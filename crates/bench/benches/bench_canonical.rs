@@ -1,0 +1,48 @@
+//! Criterion bench for Algorithm 2: canonical labeling.
+//!
+//! Canonical labels are computed for every generated network during Phase 0
+//! (millions at level 7), so per-call cost directly bounds offline build
+//! time. Benchmarked on path- and star-shaped networks at the sizes the
+//! lattice actually produces (2-8 vertices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdebug::canonical::canonical_label;
+use kwdebug::jnts::{Jnts, TupleSet};
+use kwdebug::schema_graph::Incidence;
+use std::hint::black_box;
+
+fn path(n: usize) -> Jnts {
+    let mut j = Jnts::single(TupleSet::new(0, 1));
+    for i in 1..n {
+        j = j.extend(
+            i - 1,
+            Incidence { fk: i % 3, other: i % 5, local_is_from: i % 2 == 0 },
+            0,
+        );
+    }
+    j
+}
+
+fn star(n: usize) -> Jnts {
+    let mut j = Jnts::single(TupleSet::new(0, 0));
+    for i in 1..n {
+        j = j.extend(0, Incidence { fk: i % 3, other: i % 5, local_is_from: true }, 0);
+    }
+    j
+}
+
+fn bench_canonical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_canonical_label");
+    for n in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("path", n), &path(n), |b, j| {
+            b.iter(|| black_box(canonical_label(j)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("star", n), &star(n), |b, j| {
+            b.iter(|| black_box(canonical_label(j)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical);
+criterion_main!(benches);

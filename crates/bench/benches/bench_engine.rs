@@ -1,0 +1,70 @@
+//! Criterion bench for the relational-engine substrate.
+//!
+//! The traversal strategies' costs are dominated by aliveness checks; this
+//! bench isolates the engine's emptiness test (`Executor::exists`) and
+//! bounded enumeration on join trees of increasing depth over the DBLife
+//! data, plus the inverted-index candidate seeding that keeps keyword nodes
+//! from scanning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_dblife, DblifeConfig};
+use relengine::{Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate};
+use std::hint::black_box;
+use textindex::InvertedIndex;
+
+/// person —writes— publication chain plan of `depth` relations, keyword on
+/// both ends.
+fn chain_plan(
+    db: &relengine::Database,
+    idx: Option<&InvertedIndex>,
+) -> JoinTreePlan {
+    let person = db.table_id("person").expect("schema");
+    let publication = db.table_id("publication").expect("schema");
+    let writes = db.table_id("writes").expect("schema");
+    let mut p_node = PlanNode::new(person, Predicate::any_text_contains("widom"));
+    let mut pub_node = PlanNode::new(publication, Predicate::any_text_contains("trio"));
+    if let Some(idx) = idx {
+        p_node = p_node.with_candidates(idx.rows_containing(person, "widom").to_vec());
+        pub_node = pub_node.with_candidates(idx.rows_containing(publication, "trio").to_vec());
+    }
+    JoinTreePlan::new(
+        vec![p_node, PlanNode::free(writes), pub_node],
+        vec![
+            PlanEdge { a: 1, a_col: 0, b: 0, b_col: 0 },
+            PlanEdge { a: 1, a_col: 1, b: 2, b_col: 0 },
+        ],
+    )
+    .expect("static plan")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let db = generate_dblife(&DblifeConfig::medium());
+    let idx = InvertedIndex::build(&db);
+
+    let mut group = c.benchmark_group("engine_exists");
+    for (name, with_idx) in [("with_posting_candidates", true), ("predicate_scan_only", false)] {
+        let plan = chain_plan(&db, with_idx.then_some(&idx));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
+            b.iter(|| {
+                let mut exec = Executor::new(&db);
+                black_box(exec.exists(p).expect("plan valid"))
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("engine_enumerate_limit10", |b| {
+        let plan = chain_plan(&db, Some(&idx));
+        b.iter(|| {
+            let mut exec = Executor::new(&db);
+            black_box(exec.execute(&plan, 10).expect("plan valid")).len()
+        })
+    });
+
+    c.bench_function("index_build_medium", |b| {
+        b.iter(|| black_box(InvertedIndex::build(&db)).term_count())
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Interactive keyword-search debugger over the synthetic DBLife database.
+//!
+//! A small REPL: type keyword queries, get the full answer/non-answer/MPAN
+//! report; `:strategy BU|BUWR|TD|TDWR|SBH|BRUTE` switches the traversal,
+//! `:quit` exits. Useful for poking at the system the way the paper's
+//! intended developer/SEO user would.
+//!
+//! Usage: `kws_repl [--scale S] [--max-level N]` (default small, N=5), then
+//! e.g. `DeRose VLDB` at the prompt.
+
+use std::io::{BufRead, Write};
+
+use bench::{build_system, ExpArgs};
+use kwdebug::debugger::NonAnswerDebugger;
+use kwdebug::traversal::StrategyKind;
+
+fn parse_strategy(name: &str) -> Option<StrategyKind> {
+    match name.to_ascii_uppercase().as_str() {
+        "BU" => Some(StrategyKind::BottomUp),
+        "TD" => Some(StrategyKind::TopDown),
+        "BUWR" => Some(StrategyKind::BottomUpWithReuse),
+        "TDWR" => Some(StrategyKind::TopDownWithReuse),
+        "SBH" => Some(StrategyKind::ScoreBasedHeuristic),
+        "BRUTE" => Some(StrategyKind::BruteForce),
+        _ => None,
+    }
+}
+
+fn handle(system: &NonAnswerDebugger, strategy: StrategyKind, line: &str) {
+    match system.debug_with_strategy(line, strategy) {
+        Ok(report) => {
+            print!("{report}");
+            println!(
+                "[{} answers, {} non-answers, {} MPANs; {} SQL queries in {:?}]",
+                report.answer_count(),
+                report.non_answer_count(),
+                report.mpan_count(),
+                report.sql_queries(),
+                report.sql_time(),
+            );
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let max_level = args.max_level.unwrap_or(5);
+    eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
+    let system = build_system(args.scale, args.seed, max_level);
+    eprintln!(
+        "ready: {} tuples, lattice {} nodes. Try `DeRose VLDB` or `Widom Trio`; :quit to exit.",
+        system.database().total_rows(),
+        system.lattice().node_count()
+    );
+
+    let mut strategy = StrategyKind::ScoreBasedHeuristic;
+    let stdin = std::io::stdin();
+    loop {
+        print!("kws[{}]> ", strategy.name());
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("quit") | Some("q") => break,
+                Some("strategy") => match parts.next().and_then(parse_strategy) {
+                    Some(s) => {
+                        strategy = s;
+                        println!("strategy = {}", strategy.name());
+                    }
+                    None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE"),
+                },
+                _ => println!("commands: :strategy <name>, :quit"),
+            }
+            continue;
+        }
+        handle(&system, strategy, line);
+    }
+}

@@ -1,0 +1,303 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation (§3) has a dedicated
+//! binary under `src/bin/` (see `DESIGN.md` for the experiment index). They
+//! all share the same setup path: generate the synthetic DBLife database at a
+//! chosen scale, build the offline system (inverted index + lattice) at a
+//! chosen `maxJoins`, then run the Table 2 workload through whatever
+//! combination of traversal strategies and baselines the experiment needs.
+//!
+//! Command-line conventions (hand-rolled; every binary accepts):
+//!
+//! * `--scale tiny|small|medium|paper` — dataset size (default `small`);
+//! * `--max-level N` — lattice levels, i.e. `maxJoins = N - 1` (binaries
+//!   pick their own paper-matching defaults);
+//! * `--seed N` — data generator seed (default 7).
+
+use std::time::Duration;
+
+use datagen::{generate_dblife, DblifeConfig};
+use kwdebug::baseline::{run_return_everything, run_return_nothing, ReOutcome, RnOutcome};
+use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kwdebug::oracle::AlivenessOracle;
+use kwdebug::prune::{PruneStats, PrunedLattice};
+use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
+use kwdebug::KwError;
+
+/// Dataset scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataScale {
+    /// ~500 tuples.
+    Tiny,
+    /// ~4k tuples.
+    Small,
+    /// ~30k tuples.
+    Medium,
+    /// ~800k tuples, approximating the paper's snapshot.
+    Paper,
+}
+
+impl DataScale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<DataScale> {
+        match s {
+            "tiny" => Some(DataScale::Tiny),
+            "small" => Some(DataScale::Small),
+            "medium" => Some(DataScale::Medium),
+            "paper" => Some(DataScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration for this scale.
+    pub fn config(self, seed: u64) -> DblifeConfig {
+        let mut cfg = match self {
+            DataScale::Tiny => DblifeConfig::tiny(),
+            DataScale::Small => DblifeConfig::small(),
+            DataScale::Medium => DblifeConfig::medium(),
+            DataScale::Paper => DblifeConfig::paper_scale(),
+        };
+        cfg.seed = seed;
+        cfg
+    }
+}
+
+/// Parsed common command-line arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Dataset scale.
+    pub scale: DataScale,
+    /// Lattice levels (`maxJoins + 1`); `None` means the binary's default.
+    pub max_level: Option<usize>,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> ExpArgs {
+        let mut out = ExpArgs { scale: DataScale::Small, max_level: None, seed: 7 };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| -> &str {
+                args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    out.scale = DataScale::parse(value(i)).unwrap_or_else(|| {
+                        eprintln!("unknown scale `{}` (tiny|small|medium|paper)", args[i + 1]);
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--max-level" => {
+                    out.max_level = Some(value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("--max-level expects a number");
+                        std::process::exit(2);
+                    }));
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("--seed expects a number");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --scale tiny|small|medium|paper  --max-level N  --seed N");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument `{other}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the full system (data + index + lattice) for an experiment.
+pub fn build_system(scale: DataScale, seed: u64, max_level: usize) -> NonAnswerDebugger {
+    let db = generate_dblife(&scale.config(seed));
+    NonAnswerDebugger::new(
+        db,
+        DebugConfig {
+            max_joins: max_level.saturating_sub(1),
+            sample_limit: 0,
+            ..DebugConfig::default()
+        },
+    )
+    .expect("valid experiment configuration")
+}
+
+/// Aggregate of one query's Phase 1-3 run under one strategy, summed over
+/// interpretations.
+#[derive(Debug, Clone, Default)]
+pub struct QueryAggregate {
+    /// Interpretations explored.
+    pub interpretations: usize,
+    /// Answer queries (alive MTNs).
+    pub answers: usize,
+    /// Non-answer queries (dead MTNs).
+    pub non_answers: usize,
+    /// MPANs reported (per dead MTN, with cross-MTN duplicates).
+    pub mpans: usize,
+    /// Distinct MPAN nodes (per interpretation, summed).
+    pub mpans_unique: usize,
+    /// SQL queries executed by the traversal.
+    pub sql_queries: u64,
+    /// Wall time spent executing SQL.
+    pub sql_time: Duration,
+    /// Phase 1/2 statistics summed over interpretations.
+    pub prune: PruneStats,
+    /// Keyword-to-schema mapping time.
+    pub mapping_time: Duration,
+}
+
+impl QueryAggregate {
+    /// Total MTNs.
+    pub fn mtns(&self) -> usize {
+        self.answers + self.non_answers
+    }
+}
+
+/// Runs one workload query under one strategy against a prepared system,
+/// without report sampling, and aggregates over interpretations.
+pub fn run_query(
+    system: &NonAnswerDebugger,
+    text: &str,
+    strategy: StrategyKind,
+) -> Result<QueryAggregate, KwError> {
+    let mut agg = QueryAggregate::default();
+    let query = KeywordQuery::parse(text)?;
+    let t0 = std::time::Instant::now();
+    let mapping = map_keywords(&query, system.index());
+    agg.mapping_time = t0.elapsed();
+    for interp in &mapping.interpretations {
+        agg.interpretations += 1;
+        let pruned = PrunedLattice::build(system.lattice(), interp);
+        let mut oracle = AlivenessOracle::new(
+            system.database(),
+            Some(system.index()),
+            interp,
+            &mapping.keywords,
+            false,
+        );
+        let outcome = traversal::run(strategy, system.lattice(), &pruned, &mut oracle, 0.5)?;
+        accumulate(&mut agg, &pruned, &outcome);
+    }
+    Ok(agg)
+}
+
+/// Runs the Return-Everything baseline for one query.
+pub fn run_re(system: &NonAnswerDebugger, text: &str) -> Result<QueryAggregate, KwError> {
+    let mut agg = QueryAggregate::default();
+    let query = KeywordQuery::parse(text)?;
+    let mapping = map_keywords(&query, system.index());
+    for interp in &mapping.interpretations {
+        agg.interpretations += 1;
+        let pruned = PrunedLattice::build(system.lattice(), interp);
+        let mut oracle = AlivenessOracle::new(
+            system.database(),
+            Some(system.index()),
+            interp,
+            &mapping.keywords,
+            false,
+        );
+        let ReOutcome { outcome } = run_return_everything(system.lattice(), &pruned, &mut oracle)?;
+        accumulate(&mut agg, &pruned, &outcome);
+    }
+    Ok(agg)
+}
+
+/// Runs the Return-Nothing baseline for one query.
+pub fn run_rn(system: &NonAnswerDebugger, text: &str) -> Result<RnOutcome, KwError> {
+    let query = KeywordQuery::parse(text)?;
+    run_return_nothing(system.database(), system.index(), system.lattice(), &query)
+}
+
+fn accumulate(agg: &mut QueryAggregate, pruned: &PrunedLattice, outcome: &TraversalOutcome) {
+    agg.answers += outcome.alive_mtns.len();
+    agg.non_answers += outcome.dead_mtns.len();
+    agg.mpans += outcome.mpan_total();
+    agg.mpans_unique += outcome.mpan_unique();
+    agg.sql_queries += outcome.sql_queries;
+    agg.sql_time += outcome.sql_time;
+    let s = pruned.stats();
+    agg.prune.lattice_nodes = s.lattice_nodes;
+    agg.prune.retained_phase1 += s.retained_phase1;
+    agg.prune.total_nodes += s.total_nodes;
+    agg.prune.mtn_count += s.mtn_count;
+    agg.prune.pruned_nodes += s.pruned_nodes;
+    agg.prune.mtn_descendants_total += s.mtn_descendants_total;
+    agg.prune.mtn_descendants_unique += s.mtn_descendants_unique;
+}
+
+/// Renders a text table with right-aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("{}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(DataScale::parse("tiny"), Some(DataScale::Tiny));
+        assert_eq!(DataScale::parse("paper"), Some(DataScale::Paper));
+        assert_eq!(DataScale::parse("huge"), None);
+    }
+
+    #[test]
+    fn run_query_tiny_end_to_end() {
+        let sys = build_system(DataScale::Tiny, 7, 3);
+        let agg = run_query(&sys, "Widom Trio", StrategyKind::ScoreBasedHeuristic).unwrap();
+        assert!(agg.interpretations >= 1);
+        // Widom authors the Trio paper: at least one answer at level 3.
+        assert!(agg.answers >= 1, "{agg:?}");
+    }
+
+    #[test]
+    fn baselines_run() {
+        let sys = build_system(DataScale::Tiny, 7, 3);
+        let re = run_re(&sys, "DeRose VLDB").unwrap();
+        let rn = run_rn(&sys, "DeRose VLDB").unwrap();
+        assert!(re.sql_queries > 0);
+        assert_eq!(rn.submissions, 3); // full + two singletons
+        assert!(rn.sql_queries > 0);
+    }
+}

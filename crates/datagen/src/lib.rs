@@ -1,0 +1,32 @@
+//! # datagen — datasets and workloads for the reproduction
+//!
+//! Two datasets back the paper's narrative and evaluation:
+//!
+//! * [`toydb`] — the product database of Figure 2 (Items, Product Type,
+//!   Colors, Attributes), reproduced row for row. It drives the running
+//!   example: the keyword query *"saffron scented candle"* maps to two
+//!   structured queries, both non-answers, whose maximal alive sub-queries
+//!   the paper derives by hand. Tests assert our system produces exactly
+//!   those.
+//! * [`dblife`] — a seeded synthetic stand-in for the DBLife snapshot the
+//!   paper evaluates on (801,189 tuples, 14 tables: 5 entity tables carrying
+//!   text, 9 relationship tables carrying only keys, star-shaped around
+//!   Person). The real snapshot is not publicly distributable, so the
+//!   generator reproduces its *structural* properties: the same 14-table
+//!   schema, text confined to entity tables, a skewed degree distribution,
+//!   and a planted vocabulary that makes the paper's ten benchmark queries
+//!   ([`workload`]) behave qualitatively the same — e.g. "DeRose VLDB" is
+//!   empty at the two-table level but connects through longer join paths,
+//!   and "Washington" occurs in three different entity tables.
+//!
+//! Scale is configurable; [`dblife::DblifeConfig::paper_scale`] approximates
+//! the original tuple count, while the `tiny`/`small`/`medium` presets keep
+//! tests and benchmarks fast.
+
+pub mod dblife;
+pub mod toydb;
+pub mod workload;
+
+pub use dblife::{generate_dblife, DblifeConfig};
+pub use toydb::product_database;
+pub use workload::{paper_queries, WorkloadQuery};

@@ -1,0 +1,125 @@
+//! The paper's Figure 2 product database, row for row.
+//!
+//! Four tables: Product Type (`P`), Color (`C`), Attribute (`A`) and Item
+//! (`I`), with `I` referencing the other three. The "saffron scented candle"
+//! running example (Example 1) plays out exactly as in the paper:
+//!
+//! * `q1 = P_candle ⋈ I_scented ⋈ C_saffron` is dead; its maximal alive
+//!   sub-queries are `P_candle ⋈ I_scented` and `C_saffron`.
+//! * `q2 = P_candle ⋈ I_scented ⋈ A_saffron` is dead; its maximal alive
+//!   sub-queries are `P_candle ⋈ I_scented` and `I_scented ⋈ A_saffron`.
+
+use relengine::{DataType, Database, DatabaseBuilder, Value};
+
+/// Builds the Figure 2 database (finalized, integrity-checked).
+pub fn product_database() -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("ptype")
+        .column("id", DataType::Int)
+        .column("product_type", DataType::Text)
+        .primary_key("id");
+    b.table("color")
+        .column("id", DataType::Int)
+        .column("color", DataType::Text)
+        .column("synonyms", DataType::Text)
+        .primary_key("id");
+    b.table("attribute")
+        .column("id", DataType::Int)
+        .column("property", DataType::Text)
+        .column("value", DataType::Text)
+        .primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("ptype_id", DataType::Int)
+        .column("color_id", DataType::Int)
+        .column("attr_id", DataType::Int)
+        .column("cost_cents", DataType::Int)
+        .column("description", DataType::Text)
+        .primary_key("id");
+    b.foreign_key("item", "ptype_id", "ptype", "id").expect("schema is static");
+    b.foreign_key("item", "color_id", "color", "id").expect("schema is static");
+    b.foreign_key("item", "attr_id", "attribute", "id").expect("schema is static");
+    let mut db = b.finish().expect("static schema builds");
+
+    for (id, pt) in [(1, "oil"), (2, "candle"), (3, "incense")] {
+        db.insert_values("ptype", vec![Value::Int(id), Value::text(pt)])
+            .expect("static row");
+    }
+    for (id, color, syn) in [
+        (1, "red", "crimson, orange"),
+        (2, "yellow", "golden, lemon"),
+        (3, "pink", "peach, salmon"),
+        (4, "saffron", "yellow, orange"),
+    ] {
+        db.insert_values("color", vec![Value::Int(id), Value::text(color), Value::text(syn)])
+            .expect("static row");
+    }
+    for (id, prop, value) in [
+        (1, "scent", "saffron"),
+        (2, "scent", "vanilla"),
+        (3, "pattern", "floral"),
+        (4, "pattern", "checkered"),
+    ] {
+        db.insert_values(
+            "attribute",
+            vec![Value::Int(id), Value::text(prop), Value::text(value)],
+        )
+        .expect("static row");
+    }
+    // (id, name, ptype, color (NULL = "NA"), attr, cost, description)
+    type ItemRow = (i64, &'static str, i64, Option<i64>, i64, i64, &'static str);
+    let items: [ItemRow; 4] = [
+        (1, "saffron scented oil", 1, None, 1, 499, "3.4 oz. burns without fumes."),
+        (2, "vanilla scented candle", 2, Some(2), 2, 599, "burn time 50 hrs. 6.4 oz. 2pck."),
+        (3, "crimson scented candle", 2, Some(1), 3, 399, "hand-made. saffron scented. 2pck."),
+        (4, "red checkered candle", 2, Some(1), 4, 399, "rose scented. made from essential oils."),
+    ];
+    for (id, name, pt, color, attr, cost, desc) in items {
+        db.insert_values(
+            "item",
+            vec![
+                Value::Int(id),
+                Value::text(name),
+                Value::Int(pt),
+                color.map_or(Value::Null, Value::Int),
+                Value::Int(attr),
+                Value::Int(cost),
+                Value::text(desc),
+            ],
+        )
+        .expect("static row");
+    }
+    db.finalize();
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure2() {
+        let db = product_database();
+        assert_eq!(db.table_count(), 4);
+        assert_eq!(db.foreign_keys().len(), 3);
+        assert_eq!(db.table(db.table_id("ptype").unwrap()).len(), 3);
+        assert_eq!(db.table(db.table_id("color").unwrap()).len(), 4);
+        assert_eq!(db.table(db.table_id("attribute").unwrap()).len(), 4);
+        assert_eq!(db.table(db.table_id("item").unwrap()).len(), 4);
+        assert_eq!(db.total_rows(), 15);
+    }
+
+    #[test]
+    fn integrity_holds() {
+        product_database().check_integrity().unwrap();
+    }
+
+    #[test]
+    fn item_one_has_null_color() {
+        let db = product_database();
+        let items = db.table(db.table_id("item").unwrap());
+        assert!(items.row(0)[3].is_null());
+        assert!(!items.row(1)[3].is_null());
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's keyword-query workload (Table 2).
+//!
+//! Ten queries over the DBLife schema, mixing person names (the hub of the
+//! star schema), conference names, topic terms, and one deliberately
+//! ambiguous keyword ("Washington", which occurs in Person, Publication and
+//! Organization). The [`crate::dblife`] generator plants all of these terms,
+//! so the workload exercises the same structural cases as the original
+//! evaluation: many-MTN person queries (Q3), zero-MPAN answer queries (Q2),
+//! queries empty at the two-table level but alive at higher levels (Q4, Q6),
+//! and multi-interpretation queries (Q8).
+
+/// One benchmark keyword query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadQuery {
+    /// Query id as in the paper ("Q1".."Q10").
+    pub id: &'static str,
+    /// The keyword string the user types.
+    pub text: &'static str,
+}
+
+/// The ten queries of Table 2.
+pub fn paper_queries() -> Vec<WorkloadQuery> {
+    vec![
+        WorkloadQuery { id: "Q1", text: "Widom Trio" },
+        WorkloadQuery { id: "Q2", text: "Hristidis Keyword Search" },
+        WorkloadQuery { id: "Q3", text: "Agrawal Chaudhuri Das" },
+        WorkloadQuery { id: "Q4", text: "DeRose VLDB" },
+        WorkloadQuery { id: "Q5", text: "Gray SIGMOD" },
+        WorkloadQuery { id: "Q6", text: "DeWitt tutorial" },
+        WorkloadQuery { id: "Q7", text: "Probabilistic Data" },
+        WorkloadQuery { id: "Q8", text: "Probabilistic Data Washington" },
+        WorkloadQuery { id: "Q9", text: "SIGMOD XML" },
+        WorkloadQuery { id: "Q10", text: "Stream data histograms" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_queries_with_paper_ids() {
+        let qs = paper_queries();
+        assert_eq!(qs.len(), 10);
+        assert_eq!(qs[0].id, "Q1");
+        assert_eq!(qs[9].id, "Q10");
+        // Three-keyword queries are Q2, Q3, Q8, Q10 (the "complicated" ones
+        // in Figures 14/15).
+        let three: Vec<&str> = qs
+            .iter()
+            .filter(|q| q.text.split_whitespace().count() == 3)
+            .map(|q| q.id)
+            .collect();
+        assert_eq!(three, vec!["Q2", "Q3", "Q8", "Q10"]);
+    }
+}

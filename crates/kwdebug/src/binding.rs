@@ -1,0 +1,283 @@
+//! Keyword-to-copy binding (Phase 1).
+//!
+//! At query time every keyword is mapped, through the inverted index, to the
+//! relations containing it. A keyword mapped to relation `R` binds to one of
+//! the keyword copies `R_1..R_{m+1}`; the empty keyword is bound to the free
+//! copy `R_0` of every relation. Keywords occurring in several relations
+//! ("Washington" lives in Person, Publication *and* Organization in DBLife)
+//! produce several *interpretations*, handled one at a time (§2.3). Keywords
+//! occurring nowhere are reported and stop the exploration ("and" semantics).
+
+use std::collections::HashMap;
+
+use relengine::TableId;
+use textindex::{tokenize, InvertedIndex};
+
+use crate::error::KwError;
+use crate::jnts::{CopyIdx, TupleSet};
+
+/// A parsed keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordQuery {
+    keywords: Vec<String>,
+}
+
+impl KeywordQuery {
+    /// Tokenizes raw user input into a keyword query.
+    pub fn parse(input: &str) -> Result<Self, KwError> {
+        let keywords = tokenize(input);
+        if keywords.is_empty() {
+            return Err(KwError::EmptyQuery);
+        }
+        Ok(KeywordQuery { keywords })
+    }
+
+    /// The normalized keywords, in query order.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// Always false: parsing rejects empty queries.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// The sub-query restricted to the keywords selected by `mask` (bit `i`
+    /// keeps keyword `i`). Used by the Return-Nothing baseline, which
+    /// re-submits every keyword subset. Returns `None` for the empty mask.
+    pub fn subset(&self, mask: u32) -> Option<KeywordQuery> {
+        let keywords: Vec<String> = self
+            .keywords
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| k.clone())
+            .collect();
+        if keywords.is_empty() {
+            None
+        } else {
+            Some(KeywordQuery { keywords })
+        }
+    }
+}
+
+/// One interpretation: an assignment of every keyword to a single relation
+/// (and therefore to a concrete relation copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interpretation {
+    /// `tables[i]` is the relation keyword `i` is bound to.
+    tables: Vec<TableId>,
+    /// `copies[i]` is the copy index keyword `i` is bound to: the j-th
+    /// keyword mapped to a relation (in query order) binds to copy `j`.
+    copies: Vec<CopyIdx>,
+    /// Reverse map: relation copy → keyword index.
+    by_copy: HashMap<(TableId, CopyIdx), usize>,
+}
+
+impl Interpretation {
+    fn new(tables: Vec<TableId>) -> Self {
+        let mut per_table: HashMap<TableId, CopyIdx> = HashMap::new();
+        let mut copies = Vec::with_capacity(tables.len());
+        let mut by_copy = HashMap::with_capacity(tables.len());
+        for (kw, &t) in tables.iter().enumerate() {
+            let c = per_table.entry(t).or_insert(0);
+            *c += 1;
+            copies.push(*c);
+            by_copy.insert((t, *c), kw);
+        }
+        Interpretation { tables, copies, by_copy }
+    }
+
+    /// The relation each keyword is bound to.
+    pub fn tables(&self) -> &[TableId] {
+        &self.tables
+    }
+
+    /// The copy index each keyword is bound to.
+    pub fn copies(&self) -> &[CopyIdx] {
+        &self.copies
+    }
+
+    /// Number of keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The keyword (by index) bound to the given relation copy, if any.
+    pub fn keyword_for(&self, ts: TupleSet) -> Option<usize> {
+        self.by_copy.get(&(ts.table, ts.copy)).copied()
+    }
+
+    /// Phase-1 retention test for a single vertex: free copies always pass;
+    /// keyword copies pass only if a keyword is bound to them.
+    pub fn vertex_allowed(&self, ts: TupleSet) -> bool {
+        ts.is_free() || self.by_copy.contains_key(&(ts.table, ts.copy))
+    }
+
+    /// The relation copy keyword `i` is bound to.
+    pub fn tuple_set_of(&self, i: usize) -> TupleSet {
+        TupleSet::new(self.tables[i], self.copies[i])
+    }
+}
+
+/// Result of mapping a keyword query against the inverted index.
+#[derive(Debug, Clone)]
+pub struct KeywordMapping {
+    /// The query keywords in order.
+    pub keywords: Vec<String>,
+    /// Keywords that occur nowhere in the database. Non-empty means the
+    /// query cannot match under "and" semantics and `interpretations` is
+    /// empty — exactly the paper's early exit.
+    pub unknown: Vec<String>,
+    /// All interpretations (cartesian product of per-keyword relation
+    /// choices), in deterministic order.
+    pub interpretations: Vec<Interpretation>,
+}
+
+/// Maps every keyword to its candidate relations and enumerates the
+/// interpretations.
+pub fn map_keywords(query: &KeywordQuery, index: &InvertedIndex) -> KeywordMapping {
+    let keywords: Vec<String> = query.keywords().to_vec();
+    let mut unknown = Vec::new();
+    let mut choices: Vec<Vec<TableId>> = Vec::with_capacity(keywords.len());
+    for k in &keywords {
+        let tables = index.tables_containing(k);
+        if tables.is_empty() {
+            unknown.push(k.clone());
+        }
+        choices.push(tables);
+    }
+    if !unknown.is_empty() {
+        return KeywordMapping { keywords, unknown, interpretations: Vec::new() };
+    }
+    // Cartesian product, lexicographic in per-keyword table order.
+    let mut interpretations = Vec::new();
+    let mut current: Vec<TableId> = Vec::with_capacity(keywords.len());
+    fn rec(
+        choices: &[Vec<TableId>],
+        current: &mut Vec<TableId>,
+        out: &mut Vec<Interpretation>,
+    ) {
+        if current.len() == choices.len() {
+            out.push(Interpretation::new(current.clone()));
+            return;
+        }
+        for &t in &choices[current.len()] {
+            current.push(t);
+            rec(choices, current, out);
+            current.pop();
+        }
+    }
+    rec(&choices, &mut current, &mut interpretations);
+    KeywordMapping { keywords, unknown, interpretations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    fn index() -> InvertedIndex {
+        let mut b = DatabaseBuilder::new();
+        b.table("person").column("id", DataType::Int).column("name", DataType::Text);
+        b.table("org").column("id", DataType::Int).column("name", DataType::Text);
+        let mut db = b.finish().unwrap();
+        db.insert_values("person", vec![Value::Int(1), Value::text("George Washington")])
+            .unwrap();
+        db.insert_values("person", vec![Value::Int(2), Value::text("Ada Lovelace")]).unwrap();
+        db.insert_values("org", vec![Value::Int(1), Value::text("University of Washington")])
+            .unwrap();
+        InvertedIndex::build(&db)
+    }
+
+    #[test]
+    fn parse_normalizes() {
+        let q = KeywordQuery::parse("  Widom, Trio!  ").unwrap();
+        assert_eq!(q.keywords(), &["widom", "trio"]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert!(matches!(KeywordQuery::parse("  ... "), Err(KwError::EmptyQuery)));
+    }
+
+    #[test]
+    fn subsets() {
+        let q = KeywordQuery::parse("a b c").unwrap();
+        assert_eq!(q.subset(0b101).unwrap().keywords(), &["a", "c"]);
+        assert_eq!(q.subset(0b010).unwrap().keywords(), &["b"]);
+        assert!(q.subset(0).is_none());
+    }
+
+    #[test]
+    fn multi_table_keyword_yields_multiple_interpretations() {
+        let idx = index();
+        let q = KeywordQuery::parse("washington lovelace").unwrap();
+        let m = map_keywords(&q, &idx);
+        assert!(m.unknown.is_empty());
+        // "washington" ∈ {person, org}; "lovelace" ∈ {person}: 2 interpretations.
+        assert_eq!(m.interpretations.len(), 2);
+        let tables: Vec<Vec<TableId>> =
+            m.interpretations.iter().map(|i| i.tables().to_vec()).collect();
+        assert!(tables.contains(&vec![0, 0]));
+        assert!(tables.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn unknown_keyword_short_circuits() {
+        let idx = index();
+        let q = KeywordQuery::parse("washington zanzibar").unwrap();
+        let m = map_keywords(&q, &idx);
+        assert_eq!(m.unknown, vec!["zanzibar"]);
+        assert!(m.interpretations.is_empty());
+    }
+
+    #[test]
+    fn copies_assigned_in_keyword_order_per_table() {
+        let idx = index();
+        // Both keywords in person: first binds copy 1, second copy 2.
+        let q = KeywordQuery::parse("washington ada").unwrap();
+        let m = map_keywords(&q, &idx);
+        let person_person: &Interpretation = m
+            .interpretations
+            .iter()
+            .find(|i| i.tables() == [0, 0])
+            .expect("person-person interpretation");
+        assert_eq!(person_person.copies(), &[1, 2]);
+        assert_eq!(person_person.keyword_for(TupleSet::new(0, 1)), Some(0));
+        assert_eq!(person_person.keyword_for(TupleSet::new(0, 2)), Some(1));
+        assert_eq!(person_person.keyword_for(TupleSet::new(0, 3)), None);
+        assert_eq!(person_person.tuple_set_of(1), TupleSet::new(0, 2));
+    }
+
+    #[test]
+    fn vertex_allowed_rules() {
+        let idx = index();
+        let q = KeywordQuery::parse("washington").unwrap();
+        let m = map_keywords(&q, &idx);
+        let i = &m.interpretations[0]; // person interpretation first (table 0)
+        assert!(i.vertex_allowed(TupleSet::new(0, 0))); // free copy
+        assert!(i.vertex_allowed(TupleSet::new(0, 1))); // bound copy
+        assert!(!i.vertex_allowed(TupleSet::new(0, 2))); // unbound keyword copy
+        assert!(i.vertex_allowed(TupleSet::new(1, 0))); // free copy of org
+        assert!(!i.vertex_allowed(TupleSet::new(1, 1)));
+    }
+
+    #[test]
+    fn interpretation_count_is_product() {
+        let idx = index();
+        let q = KeywordQuery::parse("washington washington").unwrap();
+        let m = map_keywords(&q, &idx);
+        // 2 choices × 2 choices = 4 interpretations.
+        assert_eq!(m.interpretations.len(), 4);
+        // The person-person one binds copies 1 and 2.
+        let pp = m.interpretations.iter().find(|i| i.tables() == [0, 0]).unwrap();
+        assert_eq!(pp.copies(), &[1, 2]);
+        // Mixed ones bind copy 1 of each.
+        let po = m.interpretations.iter().find(|i| i.tables() == [0, 1]).unwrap();
+        assert_eq!(po.copies(), &[1, 1]);
+    }
+}

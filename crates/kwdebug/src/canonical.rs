@@ -1,0 +1,165 @@
+//! Canonical labeling of join-query networks (the paper's Algorithm 2).
+//!
+//! Lattice generation produces the same network through different extension
+//! orders; duplicates must be eliminated offline. Candidate join-query
+//! networks are trees, so isomorphism is decidable in linear time with an
+//! AHU-style canonical code: root the tree at every vertex carrying the
+//! minimum vertex label, compute a recursive code whose children are sorted,
+//! and keep the lexicographically smallest string. Two networks are
+//! isomorphic — same relation copies, same joins, same orientations — if and
+//! only if their canonical labels are equal.
+//!
+//! Vertex label: the relation copy `(table, copy)`. Edge label: the foreign
+//! key plus its orientation relative to the traversal direction, so the two
+//! orientations of a self-relationship (citing vs cited) never collapse.
+
+use crate::jnts::Jnts;
+
+/// Computes the canonical label of a network.
+///
+/// The label is an unambiguous string: node ids and edge ids are decimal
+/// numbers separated by the non-digit delimiters `[`, `|`, `]` and `:`, so
+/// distinct trees can never render to the same string.
+pub fn canonical_label(j: &Jnts) -> String {
+    let n = j.node_count();
+    // Vertex label ids: order by (table, copy).
+    let vid = |i: usize| -> u64 {
+        let ts = j.nodes()[i];
+        (ts.table as u64) << 8 | ts.copy as u64
+    };
+    // Adjacency with direction-aware edge ids.
+    let mut adj: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    for e in j.edges() {
+        let (a, b) = (e.a as usize, e.b as usize);
+        // Edge id as seen when traversing a -> b, resp. b -> a.
+        let id_ab = (e.fk as u64) << 1 | u64::from(e.a_is_from);
+        let id_ba = (e.fk as u64) << 1 | u64::from(!e.a_is_from);
+        adj[a].push((id_ab, b));
+        adj[b].push((id_ba, a));
+    }
+
+    let min_label = (0..n).map(vid).min().expect("non-empty network");
+    (0..n)
+        .filter(|&r| vid(r) == min_label)
+        .map(|r| get_code(r, usize::MAX, &adj, &vid))
+        .min()
+        .expect("at least one root")
+}
+
+/// Recursive rooted code (the paper's `GetCode`).
+fn get_code(
+    u: usize,
+    parent: usize,
+    adj: &[Vec<(u64, usize)>],
+    vid: &dyn Fn(usize) -> u64,
+) -> String {
+    let mut children: Vec<String> = adj[u]
+        .iter()
+        .filter(|&&(_, v)| v != parent)
+        .map(|&(eid, v)| format!("{eid}:{}", get_code(v, u, adj, vid)))
+        .collect();
+    if children.is_empty() {
+        return format!("[{}]", vid(u));
+    }
+    children.sort_unstable();
+    format!("[{}|{}]", vid(u), children.join(""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jnts::TupleSet;
+    use crate::schema_graph::Incidence;
+
+    fn inc(fk: usize, other: usize, local_is_from: bool) -> Incidence {
+        Incidence { fk, other, local_is_from }
+    }
+
+    #[test]
+    fn isomorphic_extension_orders_collapse() {
+        // R1 ⋈ S2 built from R1 and built from S2 must agree.
+        // fk 0: R.b -> S.c, so R is the "from" side.
+        let from_r = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 2);
+        let from_s = Jnts::single(TupleSet::new(1, 2)).extend(0, inc(0, 0, false), 1);
+        assert_eq!(canonical_label(&from_r), canonical_label(&from_s));
+    }
+
+    #[test]
+    fn different_copies_differ() {
+        let r1s1 = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 1);
+        let r1s2 = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 2);
+        assert_ne!(canonical_label(&r1s1), canonical_label(&r1s2));
+    }
+
+    #[test]
+    fn self_relationship_orientations_differ() {
+        // cites: fk 0 from "citing" column, fk 1 from "cited" column, both
+        // between table 1 (cites) and table 0 (publication).
+        // P1 cited-by C0 citing P2  vs  P1 citing C0 cited P2.
+        let a = Jnts::single(TupleSet::new(0, 1))
+            .extend(0, inc(0, 1, false), 0) // cites vertex references P1 via "citing"
+            .extend(1, inc(1, 0, true), 2); // same cites vertex references P2 via "cited"
+        let b = Jnts::single(TupleSet::new(0, 1))
+            .extend(0, inc(1, 1, false), 0)
+            .extend(1, inc(0, 0, true), 2);
+        assert_ne!(canonical_label(&a), canonical_label(&b));
+        // But swapping which publication copy sits on which side of `a`'s
+        // shape produces an isomorphic network only if copies also swap.
+        let a_mirror = Jnts::single(TupleSet::new(0, 2))
+            .extend(0, inc(1, 1, false), 0)
+            .extend(1, inc(0, 0, true), 1);
+        assert_eq!(canonical_label(&a), canonical_label(&a_mirror));
+    }
+
+    #[test]
+    fn paper_example3_shape_invariance() {
+        // Figure 5: two different presentations of the same star tree.
+        // Star: center table 0 copy 0; leaves tables 1,2,3 via fks 0,1,2.
+        let star1 = Jnts::single(TupleSet::new(0, 0))
+            .extend(0, inc(0, 1, true), 0)
+            .extend(0, inc(1, 2, true), 0)
+            .extend(0, inc(2, 3, true), 0);
+        // Same star, built leaf-first in a different order.
+        let star2 = Jnts::single(TupleSet::new(3, 0))
+            .extend(0, inc(2, 0, false), 0)
+            .extend(1, inc(1, 2, true), 0)
+            .extend(1, inc(0, 1, true), 0);
+        assert_eq!(canonical_label(&star1), canonical_label(&star2));
+    }
+
+    #[test]
+    fn repeated_free_copies_are_handled() {
+        // person1 - writes0 - pub0 - writes0' - person2: two distinct vertices
+        // with the same label (writes, copy 0).
+        // fks: 0 = writes.person -> person, 1 = writes.pub -> publication.
+        let path = Jnts::single(TupleSet::new(0, 1)) // person1
+            .extend(0, inc(0, 2, false), 0) // writes0
+            .extend(1, inc(1, 1, true), 0) // pub0
+            .extend(2, inc(1, 2, false), 0) // writes0'
+            .extend(3, inc(0, 0, true), 2); // person2
+        // Mirror image: person2 first.
+        let mirror = Jnts::single(TupleSet::new(0, 2))
+            .extend(0, inc(0, 2, false), 0)
+            .extend(1, inc(1, 1, true), 0)
+            .extend(2, inc(1, 2, false), 0)
+            .extend(3, inc(0, 0, true), 1);
+        assert_eq!(canonical_label(&path), canonical_label(&mirror));
+    }
+
+    #[test]
+    fn path_vs_star_differ() {
+        let path = Jnts::single(TupleSet::new(0, 0))
+            .extend(0, inc(0, 0, true), 0)
+            .extend(1, inc(0, 0, true), 0);
+        let star = Jnts::single(TupleSet::new(0, 0))
+            .extend(0, inc(0, 0, true), 0)
+            .extend(0, inc(0, 0, true), 0);
+        assert_ne!(canonical_label(&path), canonical_label(&star));
+    }
+
+    #[test]
+    fn label_is_deterministic() {
+        let j = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 0);
+        assert_eq!(canonical_label(&j), canonical_label(&j.clone()));
+    }
+}

@@ -1,0 +1,510 @@
+//! The end-to-end system: offline setup + the four-phase debug pipeline.
+
+use std::time::Instant;
+
+use relengine::Database;
+use textindex::InvertedIndex;
+
+use crate::binding::{map_keywords, Interpretation, KeywordQuery};
+use crate::error::KwError;
+use crate::jnts::Jnts;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+use crate::report::{DebugReport, InterpretationOutcome, NonAnswerInfo, QueryInfo};
+use crate::schema_graph::SchemaGraph;
+use crate::traversal::{self, StrategyKind};
+
+/// Configuration of a [`NonAnswerDebugger`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DebugConfig {
+    /// Maximum number of joins the lattice covers (`maxJoins`; the lattice
+    /// has `max_joins + 1` levels). The paper evaluates 2, 4 and 6.
+    pub max_joins: usize,
+    /// Phase-3 traversal strategy.
+    pub strategy: StrategyKind,
+    /// Aliveness prior for the score-based heuristic.
+    pub pa: f64,
+    /// Sample result tuples fetched per alive query for the report
+    /// (0 disables sampling; samples are *not* counted in the traversal's
+    /// SQL-query metric).
+    pub sample_limit: usize,
+    /// Cache aliveness results per lattice node for the lifetime of one
+    /// interpretation's traversal (extension; the paper re-executes). The
+    /// cache never crosses interpretations — the same lattice node can
+    /// instantiate to different SQL under a different keyword assignment.
+    pub memoize: bool,
+    /// Estimate `p_a` per interpretation from index/catalog statistics
+    /// ([`crate::estimate::PaEstimator`]) instead of using the fixed prior —
+    /// the paper's future-work knob. Only affects the score-based heuristic's
+    /// query count, never its output.
+    pub estimate_pa: bool,
+}
+
+impl Default for DebugConfig {
+    fn default() -> Self {
+        DebugConfig {
+            max_joins: 4,
+            strategy: StrategyKind::ScoreBasedHeuristic,
+            pa: traversal::DEFAULT_PA,
+            sample_limit: 3,
+            memoize: false,
+            estimate_pa: false,
+        }
+    }
+}
+
+impl DebugConfig {
+    fn validate(&self) -> Result<(), KwError> {
+        if self.max_joins > 12 {
+            return Err(KwError::BadConfig(format!(
+                "max_joins = {} would generate an intractably large lattice",
+                self.max_joins
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.pa) {
+            return Err(KwError::BadConfig(format!("pa = {} must be within [0, 1]", self.pa)));
+        }
+        Ok(())
+    }
+}
+
+/// The KWS-S system with non-answer debugging.
+///
+/// Construction performs the offline work (Phase 0): building the inverted
+/// index over the data and generating the query lattice from the schema
+/// graph. [`NonAnswerDebugger::debug`] then answers keyword queries with the
+/// full `A(K) ∪ N(K) ∪ M(K)` output.
+pub struct NonAnswerDebugger {
+    db: Database,
+    index: InvertedIndex,
+    graph: SchemaGraph,
+    lattice: Lattice,
+    config: DebugConfig,
+}
+
+impl NonAnswerDebugger {
+    /// Builds the system over `db`. `db` should be [`Database::finalize`]d;
+    /// if not, join indexes are built here.
+    pub fn new(mut db: Database, config: DebugConfig) -> Result<Self, KwError> {
+        config.validate()?;
+        db.finalize();
+        let index = InvertedIndex::build(&db);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, config.max_joins);
+        Ok(NonAnswerDebugger { db, index, graph, lattice, config })
+    }
+
+    /// Builds the system reusing a previously persisted lattice (see
+    /// [`crate::lattice_io`]), skipping the expensive Phase-0 generation.
+    /// The lattice must match `config.max_joins` and must have been built
+    /// for a database with the same schema graph — table and foreign-key
+    /// ids are validated against `db`.
+    pub fn with_lattice(
+        mut db: Database,
+        lattice: Lattice,
+        config: DebugConfig,
+    ) -> Result<Self, KwError> {
+        config.validate()?;
+        if lattice.max_joins() != config.max_joins {
+            return Err(KwError::BadConfig(format!(
+                "lattice was built for maxJoins = {}, config wants {}",
+                lattice.max_joins(),
+                config.max_joins
+            )));
+        }
+        for id in lattice.all_nodes() {
+            let jnts = &lattice.node(id).jnts;
+            for ts in jnts.nodes() {
+                if ts.table >= db.table_count() {
+                    return Err(KwError::BadConfig(format!(
+                        "lattice references table #{} outside this database",
+                        ts.table
+                    )));
+                }
+            }
+            for e in jnts.edges() {
+                if e.fk >= db.foreign_keys().len() {
+                    return Err(KwError::BadConfig(format!(
+                        "lattice references foreign key #{} outside this schema",
+                        e.fk
+                    )));
+                }
+            }
+        }
+        db.finalize();
+        let index = InvertedIndex::build(&db);
+        let graph = SchemaGraph::new(&db);
+        Ok(NonAnswerDebugger { db, index, graph, lattice, config })
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The offline lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The schema graph.
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DebugConfig {
+        &self.config
+    }
+
+    /// Debugs a keyword query end to end (Phases 1–3).
+    pub fn debug(&self, input: &str) -> Result<DebugReport, KwError> {
+        self.debug_with_strategy(input, self.config.strategy)
+    }
+
+    /// Like [`NonAnswerDebugger::debug`] but with an explicit strategy,
+    /// letting callers compare strategies over one offline lattice.
+    pub fn debug_with_strategy(
+        &self,
+        input: &str,
+        strategy: StrategyKind,
+    ) -> Result<DebugReport, KwError> {
+        let start = Instant::now();
+        let query = KeywordQuery::parse(input)?;
+
+        let map_start = Instant::now();
+        let mapping = map_keywords(&query, &self.index);
+        let mapping_time = map_start.elapsed();
+
+        let mut interpretations = Vec::with_capacity(mapping.interpretations.len());
+        for interp in &mapping.interpretations {
+            interpretations.push(self.debug_interpretation(
+                interp,
+                &mapping.keywords,
+                strategy,
+            )?);
+        }
+        Ok(DebugReport {
+            keywords: mapping.keywords,
+            unknown_keywords: mapping.unknown,
+            interpretations,
+            mapping_time,
+            total_time: start.elapsed(),
+        })
+    }
+
+    /// Runs Phases 2–3 for one interpretation.
+    fn debug_interpretation(
+        &self,
+        interp: &Interpretation,
+        keywords: &[String],
+        strategy: StrategyKind,
+    ) -> Result<InterpretationOutcome, KwError> {
+        let pruned = PrunedLattice::build(&self.lattice, interp);
+        let mut oracle = AlivenessOracle::new(
+            &self.db,
+            Some(&self.index),
+            interp,
+            keywords,
+            self.config.memoize,
+        );
+        let pa = if self.config.estimate_pa {
+            crate::estimate::PaEstimator::new(&self.db, &self.index, interp, keywords)
+                .estimate_pa(&self.lattice, &pruned)
+        } else {
+            self.config.pa
+        };
+        let outcome = traversal::run(strategy, &self.lattice, &pruned, &mut oracle, pa)?;
+
+        let keyword_tables = keywords
+            .iter()
+            .zip(interp.tables())
+            .map(|(k, &t)| (k.clone(), self.db.table(t).schema().name.clone()))
+            .collect();
+
+        let mut answers = Vec::with_capacity(outcome.alive_mtns.len());
+        for &m in &outcome.alive_mtns {
+            answers.push(self.query_info(&pruned, m, &mut oracle, true)?);
+        }
+        let mut non_answers = Vec::with_capacity(outcome.dead_mtns.len());
+        for (&m, mpans) in outcome.dead_mtns.iter().zip(&outcome.mpans) {
+            let query = self.query_info(&pruned, m, &mut oracle, false)?;
+            let mut infos = Vec::with_capacity(mpans.len());
+            for &p in mpans {
+                infos.push(self.query_info(&pruned, p, &mut oracle, true)?);
+            }
+            non_answers.push(NonAnswerInfo { query, mpans: infos });
+        }
+
+        Ok(InterpretationOutcome {
+            keyword_tables,
+            answers,
+            non_answers,
+            prune_stats: pruned.stats().clone(),
+            sql_queries: outcome.sql_queries,
+            sql_time: outcome.sql_time,
+        })
+    }
+
+    /// Renders one pruned-lattice node for the report, sampling tuples if the
+    /// node is alive and sampling is enabled.
+    fn query_info(
+        &self,
+        pruned: &PrunedLattice,
+        dense: usize,
+        oracle: &mut AlivenessOracle<'_>,
+        alive: bool,
+    ) -> Result<QueryInfo, KwError> {
+        let jnts = pruned.jnts(&self.lattice, dense);
+        let sql = oracle.sql(jnts)?;
+        let sample_tuples = if alive && self.config.sample_limit > 0 {
+            oracle
+                .sample(jnts, self.config.sample_limit)?
+                .into_iter()
+                .map(|t| render_tuple(&self.db, jnts, &t))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(QueryInfo { sql, level: pruned.level(dense), sample_tuples })
+    }
+}
+
+/// Renders one result tuple as `table0(v1, v2) ⋈ table1(...)`.
+fn render_tuple(db: &Database, jnts: &Jnts, tuple: &[relengine::RowId]) -> String {
+    let parts: Vec<String> = jnts
+        .nodes()
+        .iter()
+        .zip(tuple)
+        .map(|(ts, &rid)| {
+            let table = db.table(ts.table);
+            let values: Vec<String> =
+                table.row(rid).iter().map(|v| v.to_string()).collect();
+            format!("{}{}({})", table.schema().name, ts.copy, values.join(", "))
+        })
+        .collect();
+    parts.join(" ⋈ ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    /// The paper's Figure 2 in miniature: saffron-colored things exist, scented
+    /// candles exist, but no saffron-scented candle.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").unwrap();
+        b.foreign_key("item", "color_id", "color", "id").unwrap();
+        let mut db = b.finish().unwrap();
+        db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+        db.insert_values("ptype", vec![Value::Int(2), Value::text("oil")]).unwrap();
+        db.insert_values("color", vec![Value::Int(1), Value::text("saffron")]).unwrap();
+        db.insert_values("color", vec![Value::Int(2), Value::text("red")]).unwrap();
+        // A red scented candle and a saffron scented oil.
+        db.insert_values(
+            "item",
+            vec![Value::Int(1), Value::text("scented pillar"), Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
+        db.insert_values(
+            "item",
+            vec![Value::Int(2), Value::text("scented burner"), Value::Int(2), Value::Int(1)],
+        )
+        .unwrap();
+        db
+    }
+
+    fn debugger(strategy: StrategyKind) -> NonAnswerDebugger {
+        NonAnswerDebugger::new(
+            db(),
+            DebugConfig { max_joins: 2, strategy, ..DebugConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn answer_query_reported_alive() {
+        let d = debugger(StrategyKind::ScoreBasedHeuristic);
+        let r = d.debug("red candle").unwrap();
+        assert_eq!(r.answer_count(), 1);
+        assert_eq!(r.non_answer_count(), 0);
+        let a = &r.interpretations[0].answers[0];
+        assert_eq!(a.level, 3);
+        assert!(!a.sample_tuples.is_empty());
+        assert!(a.sample_tuples[0].contains("scented pillar"), "{:?}", a.sample_tuples);
+    }
+
+    #[test]
+    fn non_answer_explained_with_mpans() {
+        let d = debugger(StrategyKind::ScoreBasedHeuristic);
+        let r = d.debug("saffron candle").unwrap();
+        assert_eq!(r.answer_count(), 0);
+        assert_eq!(r.non_answer_count(), 1);
+        let na = &r.interpretations[0].non_answers[0];
+        assert!(!na.mpans.is_empty());
+        // MPANs must mention both frontier causes: candles exist, and
+        // saffron things exist.
+        let all_sql: String =
+            na.mpans.iter().map(|m| m.sql.as_str()).collect::<Vec<_>>().join(" | ");
+        assert!(all_sql.contains("%candle%"), "{all_sql}");
+        assert!(all_sql.contains("%saffron%"), "{all_sql}");
+    }
+
+    #[test]
+    fn all_strategies_agree_on_output() {
+        let d = debugger(StrategyKind::BruteForce);
+        let base = d.debug("saffron candle").unwrap();
+        for kind in StrategyKind::ALL {
+            let r = d.debug_with_strategy("saffron candle", kind).unwrap();
+            assert_eq!(r.answer_count(), base.answer_count(), "{kind}");
+            assert_eq!(r.non_answer_count(), base.non_answer_count(), "{kind}");
+            assert_eq!(r.mpan_count(), base.mpan_count(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_short_circuits() {
+        let d = debugger(StrategyKind::ScoreBasedHeuristic);
+        let r = d.debug("saffron zanzibar").unwrap();
+        assert_eq!(r.unknown_keywords, vec!["zanzibar"]);
+        assert!(r.interpretations.is_empty());
+        assert_eq!(r.sql_queries(), 0);
+    }
+
+    #[test]
+    fn empty_query_is_error() {
+        let d = debugger(StrategyKind::ScoreBasedHeuristic);
+        assert!(matches!(d.debug("  !! "), Err(KwError::EmptyQuery)));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(NonAnswerDebugger::new(
+            db(),
+            DebugConfig { max_joins: 99, ..DebugConfig::default() }
+        )
+        .is_err());
+        assert!(NonAnswerDebugger::new(db(), DebugConfig { pa: 1.5, ..DebugConfig::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_can_be_disabled() {
+        let d = NonAnswerDebugger::new(
+            db(),
+            DebugConfig { max_joins: 2, sample_limit: 0, ..DebugConfig::default() },
+        )
+        .unwrap();
+        let r = d.debug("red candle").unwrap();
+        assert!(r.interpretations[0].answers[0].sample_tuples.is_empty());
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let d = debugger(StrategyKind::ScoreBasedHeuristic);
+        let r = d.debug("saffron candle").unwrap();
+        let text = r.to_string();
+        assert!(text.contains("DEAD"));
+        assert!(text.contains("max alive sub-query"));
+    }
+}
+
+#[cfg(test)]
+mod with_lattice_tests {
+    use super::*;
+    use crate::lattice_io::{load_lattice, save_lattice};
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).expect("row");
+        db.insert_values("item", vec![Value::Int(1), Value::text("wax"), Value::Int(1)])
+            .expect("row");
+        db.finalize();
+        db
+    }
+
+    #[test]
+    fn persisted_lattice_round_trips_through_debugger() {
+        let config = DebugConfig { max_joins: 2, sample_limit: 0, ..DebugConfig::default() };
+        let first = NonAnswerDebugger::new(db(), config).expect("builds");
+        let mut buf = Vec::new();
+        save_lattice(first.lattice(), &mut buf).expect("saves");
+        let reloaded = load_lattice(&mut buf.as_slice()).expect("loads");
+        let second =
+            NonAnswerDebugger::with_lattice(db(), reloaded, config).expect("reuses lattice");
+        for q in ["red wax", "red item"] {
+            let a = first.debug(q).expect("runs");
+            let b = second.debug(q).expect("runs");
+            assert_eq!(a.answer_count(), b.answer_count(), "{q}");
+            assert_eq!(a.non_answer_count(), b.non_answer_count(), "{q}");
+        }
+    }
+
+    #[test]
+    fn mismatched_max_joins_rejected() {
+        let first = NonAnswerDebugger::new(
+            db(),
+            DebugConfig { max_joins: 2, ..DebugConfig::default() },
+        )
+        .expect("builds");
+        let mut buf = Vec::new();
+        save_lattice(first.lattice(), &mut buf).expect("saves");
+        let reloaded = load_lattice(&mut buf.as_slice()).expect("loads");
+        let result = NonAnswerDebugger::with_lattice(
+            db(),
+            reloaded,
+            DebugConfig { max_joins: 3, ..DebugConfig::default() },
+        );
+        assert!(matches!(result, Err(KwError::BadConfig(_))));
+    }
+
+    #[test]
+    fn foreign_lattice_rejected() {
+        // A lattice over a wider schema must not attach to a narrower db.
+        let mut b = DatabaseBuilder::new();
+        b.table("only").column("id", DataType::Int).column("t", DataType::Text);
+        let small = b.finish().expect("static");
+        let wide = NonAnswerDebugger::new(
+            db(),
+            DebugConfig { max_joins: 1, ..DebugConfig::default() },
+        )
+        .expect("builds");
+        let mut buf = Vec::new();
+        save_lattice(wide.lattice(), &mut buf).expect("saves");
+        let reloaded = load_lattice(&mut buf.as_slice()).expect("loads");
+        let result = NonAnswerDebugger::with_lattice(
+            small,
+            reloaded,
+            DebugConfig { max_joins: 1, ..DebugConfig::default() },
+        );
+        assert!(matches!(result, Err(KwError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,334 @@
+//! Root-cause diagnosis: minimal dead sub-queries and repair hints.
+//!
+//! MPANs are the *maximal alive* frontier of a non-answer — what still works.
+//! Debugging also wants the dual: the **minimal dead nodes (MDNs)** — dead
+//! sub-queries all of whose own sub-queries are alive. Each MDN is a smallest
+//! reproducible failure, and its shape tells the developer *what kind* of
+//! problem they have (the paper's introduction lists exactly these cases):
+//!
+//! * a single-relation MDN ⇒ the data problem: the relation is empty or no
+//!   tuple matches the keyword;
+//! * a two-relation MDN ⇒ the join problem: both sides have matching tuples
+//!   but the key/foreign-key join connects none of them — the
+//!   "add `saffron` as a synonym of `yellow`" case from Example 1, or a
+//!   missing association row;
+//! * a larger MDN whose every proper sub-query is alive ⇒ a co-occurrence
+//!   problem: every pairwise relationship exists, the full combination does
+//!   not (the merchandising case).
+//!
+//! Diagnoses are computed from complete traversal statuses (e.g. a finished
+//! [`crate::session::DebugSession`]), so no extra SQL is executed.
+
+use std::fmt;
+
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+use crate::traversal::Status;
+use crate::KwError;
+
+/// Category of a minimal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CauseKind {
+    /// A single free tuple set is empty: the relation itself has no rows.
+    EmptyRelation {
+        /// The empty table.
+        table: String,
+    },
+    /// A single keyword-bound tuple set is empty: the keyword matches no
+    /// tuple of its relation (under the current interpretation).
+    KeywordMatchesNothing {
+        /// The searched table.
+        table: String,
+        /// The keyword that found nothing.
+        keyword: String,
+    },
+    /// A two-relation join is empty although both sides are alive: the
+    /// key/foreign-key association never links the matching tuples.
+    BrokenJoin {
+        /// Referencing side of the join (`table.column`).
+        from: String,
+        /// Referenced side of the join (`table.column`).
+        to: String,
+    },
+    /// Every proper sub-query is alive but the full combination never
+    /// co-occurs.
+    CombinationNeverOccurs {
+        /// Number of relations in the failing combination.
+        relations: usize,
+    },
+}
+
+/// One minimal dead sub-query with its classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// Dense index of the minimal dead node in the pruned lattice.
+    pub node: usize,
+    /// Lattice level of the failure (number of relations involved).
+    pub level: u32,
+    /// The failing SQL.
+    pub sql: String,
+    /// What kind of failure this is.
+    pub kind: CauseKind,
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            CauseKind::EmptyRelation { table } => {
+                write!(f, "relation `{table}` holds no tuples at all")
+            }
+            CauseKind::KeywordMatchesNothing { table, keyword } => write!(
+                f,
+                "keyword \"{keyword}\" matches nothing in `{table}` — vocabulary fix \
+                 (synonyms, spelling) needed"
+            ),
+            CauseKind::BrokenJoin { from, to } => write!(
+                f,
+                "both sides have matching tuples but the join {from} = {to} links none of \
+                 them — consider a synonym/data fix on either side or missing association rows"
+            ),
+            CauseKind::CombinationNeverOccurs { relations } => write!(
+                f,
+                "every sub-relationship exists, but the full {relations}-relation \
+                 combination never co-occurs in the data"
+            ),
+        }?;
+        write!(f, " [{}]", self.sql)
+    }
+}
+
+/// Minimal dead nodes of dead MTN `m`: dead nodes in `Desc+(m)` whose every
+/// child is alive (single-relation dead nodes are trivially minimal).
+///
+/// Statuses must be complete over `Desc+(m)`.
+pub fn minimal_dead_nodes(pruned: &PrunedLattice, status: &[Status], m: usize) -> Vec<usize> {
+    debug_assert_eq!(status[m], Status::Dead);
+    pruned
+        .desc_plus(m)
+        .iter()
+        .copied()
+        .filter(|&n| {
+            status[n] == Status::Dead
+                && pruned.children(n).iter().all(|&c| status[c] == Status::Alive)
+        })
+        .collect()
+}
+
+/// Diagnoses dead MTN `m` from complete statuses: one [`Diagnosis`] per
+/// minimal dead node, classified by shape. The oracle is only used to render
+/// SQL and to read schema names — no queries are executed.
+pub fn diagnose(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    status: &[Status],
+    m: usize,
+    oracle: &AlivenessOracle<'_>,
+) -> Result<Vec<Diagnosis>, KwError> {
+    let db = oracle.database();
+    let mut out = Vec::new();
+    for node in minimal_dead_nodes(pruned, status, m) {
+        let jnts = pruned.jnts(lattice, node);
+        let sql = oracle.sql(jnts)?;
+        let kind = match jnts.node_count() {
+            1 => {
+                let ts = jnts.nodes()[0];
+                let table = db.table(ts.table).schema().name.clone();
+                match oracle.keyword_of(ts) {
+                    None => CauseKind::EmptyRelation { table },
+                    Some(kw) => {
+                        CauseKind::KeywordMatchesNothing { table, keyword: kw.to_owned() }
+                    }
+                }
+            }
+            2 => {
+                let e = jnts.edges()[0];
+                let fk = db.foreign_key(e.fk);
+                let name = |t: usize, c: usize| {
+                    let s = db.table(t).schema();
+                    format!("{}.{}", s.name, s.columns[c].name)
+                };
+                CauseKind::BrokenJoin {
+                    from: name(fk.from_table, fk.from_col),
+                    to: name(fk.to_table, fk.to_col),
+                }
+            }
+            n => CauseKind::CombinationNeverOccurs { relations: n },
+        };
+        out.push(Diagnosis { node, level: pruned.level(node), sql, kind });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::session::DebugSession;
+    use crate::schema_graph::SchemaGraph;
+    use relengine::{DataType, Database, DatabaseBuilder, Value};
+    use textindex::InvertedIndex;
+
+    /// ptype(candle, incense) <- item -> color(red, saffron); items: a red
+    /// candle and a saffron oil... except `incense` exists as a type with no
+    /// items, and `saffron` colors nothing that is a candle.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").expect("static");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        for (id, n) in [(1, "candle"), (2, "oil"), (3, "incense")] {
+            db.insert_values("ptype", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n) in [(1, "red"), (2, "saffron")] {
+            db.insert_values("color", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n, p, c) in [(1, "wick", 1, 1), (2, "drop", 2, 2)] {
+            db.insert_values(
+                "item",
+                vec![Value::Int(id), Value::text(n), Value::Int(p), Value::Int(c)],
+            )
+            .expect("row");
+        }
+        db.finalize();
+        db
+    }
+
+    struct Fix {
+        db: Database,
+        index: InvertedIndex,
+        lattice: Lattice,
+        keywords: Vec<String>,
+        interp: crate::binding::Interpretation,
+    }
+
+    fn fix(text: &str) -> Fix {
+        let db = db();
+        let index = InvertedIndex::build(&db);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let query = KeywordQuery::parse(text).expect("parses");
+        let mapping = map_keywords(&query, &index);
+        let interp = mapping.interpretations[0].clone();
+        Fix { db, index, lattice, keywords: mapping.keywords, interp }
+    }
+
+    fn diagnose_first_dead(f: &Fix) -> Vec<Diagnosis> {
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        session.run_to_completion(&mut oracle).expect("session runs");
+        let out = session.outcome().expect("complete");
+        assert!(!out.dead_mtns.is_empty(), "fixture query must be a non-answer");
+        let statuses: Vec<Status> =
+            (0..session.pruned().len()).map(|i| session.status(i)).collect();
+        diagnose(&f.lattice, session.pruned(), &statuses, out.dead_mtns[0], &oracle)
+            .expect("diagnosis runs")
+    }
+
+    #[test]
+    fn broken_join_detected_for_saffron_candle() {
+        let f = fix("saffron candle");
+        let diags = diagnose_first_dead(&f);
+        // Both I⋈C_saffron... the saffron oil exists so item-color is alive;
+        // the dead frontier is the candle-side join combination. At least one
+        // diagnosis must exist and be join- or combination-shaped.
+        assert!(!diags.is_empty());
+        for d in &diags {
+            assert!(d.level >= 2, "single tables are alive here: {d}");
+            assert!(matches!(
+                d.kind,
+                CauseKind::BrokenJoin { .. } | CauseKind::CombinationNeverOccurs { .. }
+            ));
+            assert!(!d.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_relationship_frontier_for_scented_incense() {
+        // "incense drop": incense exists (ptype 3) but no item references it;
+        // "drop" matches item 2. The MDN is the item⋈ptype join.
+        let f = fix("drop incense");
+        let diags = diagnose_first_dead(&f);
+        assert!(diags.iter().any(|d| matches!(
+            d.kind,
+            CauseKind::BrokenJoin { ref to, .. } if to == "ptype.id"
+        )), "{diags:?}");
+        let text = diags[0].to_string();
+        assert!(text.contains("join"), "{text}");
+    }
+
+    #[test]
+    fn minimal_dead_nodes_are_minimal() {
+        let f = fix("saffron candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        session.run_to_completion(&mut oracle).expect("session runs");
+        let out = session.outcome().expect("complete");
+        let statuses: Vec<Status> =
+            (0..session.pruned().len()).map(|i| session.status(i)).collect();
+        for &m in &out.dead_mtns {
+            for mdn in minimal_dead_nodes(session.pruned(), &statuses, m) {
+                assert_eq!(statuses[mdn], Status::Dead);
+                for &c in session.pruned().children(mdn) {
+                    assert_eq!(statuses[c], Status::Alive, "child of MDN must be alive");
+                }
+                // Every dead node above an MDN stays dead (R2): the MDN set
+                // explains all deadness in the cone.
+                for &a in session.pruned().asc_plus(mdn) {
+                    if session.pruned().is_desc_or_self(a, m) {
+                        assert_eq!(statuses[a], Status::Dead);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let d = Diagnosis {
+            node: 0,
+            level: 1,
+            sql: "SELECT *".into(),
+            kind: CauseKind::KeywordMatchesNothing {
+                table: "color".into(),
+                keyword: "saffron".into(),
+            },
+        };
+        assert!(d.to_string().contains("vocabulary fix"));
+        let d = Diagnosis {
+            node: 0,
+            level: 2,
+            sql: "SELECT *".into(),
+            kind: CauseKind::BrokenJoin { from: "item.color_id".into(), to: "color.id".into() },
+        };
+        assert!(d.to_string().contains("item.color_id = color.id"));
+        let d = Diagnosis {
+            node: 0,
+            level: 3,
+            sql: "SELECT *".into(),
+            kind: CauseKind::CombinationNeverOccurs { relations: 3 },
+        };
+        assert!(d.to_string().contains("3-relation"));
+        let d = Diagnosis {
+            node: 0,
+            level: 1,
+            sql: "SELECT *".into(),
+            kind: CauseKind::EmptyRelation { table: "writes".into() },
+        };
+        assert!(d.to_string().contains("no tuples"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the kwdebug pipeline.
+
+use std::fmt;
+
+use relengine::EngineError;
+
+/// Errors surfaced by lattice construction and query debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KwError {
+    /// The underlying engine rejected a plan or catalog operation.
+    Engine(EngineError),
+    /// The keyword query was empty after tokenization.
+    EmptyQuery,
+    /// Configuration is out of range (e.g. `max_joins == 0` overflow bounds).
+    BadConfig(String),
+    /// An interactive assertion contradicts what is already known (e.g.
+    /// marking a node dead whose descendant was observed alive).
+    ConflictingVerdict(String),
+    /// An internal invariant was violated; indicates a bug, reported rather
+    /// than panicking so callers can degrade gracefully.
+    Internal(String),
+}
+
+impl fmt::Display for KwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KwError::Engine(e) => write!(f, "engine error: {e}"),
+            KwError::EmptyQuery => write!(f, "keyword query is empty"),
+            KwError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            KwError::ConflictingVerdict(msg) => write!(f, "conflicting verdict: {msg}"),
+            KwError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KwError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for KwError {
+    fn from(e: EngineError) -> Self {
+        KwError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KwError::from(EngineError::UnknownTable("t".into()));
+        assert!(e.to_string().contains("unknown table"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&KwError::EmptyQuery).is_none());
+        assert_eq!(KwError::EmptyQuery.to_string(), "keyword query is empty");
+    }
+}

@@ -1,0 +1,243 @@
+//! Lightweight estimation of the aliveness prior `p_a` (paper §2.5.3,
+//! future work).
+//!
+//! The score-based heuristic weighs "what if this node is alive" against
+//! "what if it is dead" with a prior `p_a`. The paper fixes `p_a = 0.5` and
+//! notes that estimating it exactly would require executing all the queries —
+//! "it is still interesting future work to explore lightweight estimation
+//! approaches for `p_a`". This module is that approach: a textbook
+//! System-R-style cardinality model over statistics that are already
+//! available without touching the data at query time —
+//!
+//! * per-table row counts,
+//! * per-join-column distinct-value counts (from the engine's join indexes),
+//! * per-keyword document frequencies (from the inverted index).
+//!
+//! The expected result size of a join network is
+//!
+//! ```text
+//! E[|T|] = Π_nodes sel(node) · |R(node)|  ·  Π_edges 1 / max(V(a.col), V(b.col))
+//! ```
+//!
+//! and the node's aliveness probability is modeled as `1 − e^(−E[|T|])`
+//! (a Poisson approximation of "at least one result"). `p_a` for a pruned
+//! lattice is the mean over its nodes.
+
+use relengine::Database;
+use textindex::InvertedIndex;
+
+use crate::binding::Interpretation;
+use crate::jnts::Jnts;
+use crate::lattice::Lattice;
+use crate::prune::PrunedLattice;
+
+/// Statistics-based cardinality and aliveness estimator.
+pub struct PaEstimator<'a> {
+    db: &'a Database,
+    index: &'a InvertedIndex,
+    interp: &'a Interpretation,
+    keywords: &'a [String],
+}
+
+impl<'a> PaEstimator<'a> {
+    /// Creates an estimator for one interpretation.
+    pub fn new(
+        db: &'a Database,
+        index: &'a InvertedIndex,
+        interp: &'a Interpretation,
+        keywords: &'a [String],
+    ) -> Self {
+        PaEstimator { db, index, interp, keywords }
+    }
+
+    /// Expected number of result tuples of a network, under independence.
+    pub fn expected_rows(&self, jnts: &Jnts) -> f64 {
+        let mut expected = 1.0f64;
+        for &ts in jnts.nodes() {
+            let table = self.db.table(ts.table);
+            let base = table.len() as f64;
+            let filtered = match self.interp.keyword_for(ts) {
+                None => base,
+                Some(kw) => {
+                    self.index.doc_frequency(ts.table, &self.keywords[kw]) as f64
+                }
+            };
+            expected *= filtered;
+        }
+        for e in jnts.edges() {
+            let fk = self.db.foreign_key(e.fk);
+            let v_from = self.db.table(fk.from_table).distinct_ints(fk.from_col).max(1);
+            let v_to = self.db.table(fk.to_table).distinct_ints(fk.to_col).max(1);
+            expected /= v_from.max(v_to) as f64;
+        }
+        expected
+    }
+
+    /// Probability the network returns at least one tuple:
+    /// `1 − e^(−E[rows])`.
+    pub fn alive_probability(&self, jnts: &Jnts) -> f64 {
+        let rows = self.expected_rows(jnts);
+        if !rows.is_finite() {
+            return 1.0;
+        }
+        1.0 - (-rows).exp()
+    }
+
+    /// Mean aliveness probability over a pruned lattice — the estimated
+    /// `p_a` fed to the score-based heuristic. Empty lattices fall back to
+    /// the paper's 0.5.
+    pub fn estimate_pa(&self, lattice: &Lattice, pruned: &PrunedLattice) -> f64 {
+        if pruned.is_empty() {
+            return crate::traversal::DEFAULT_PA;
+        }
+        let sum: f64 =
+            (0..pruned.len()).map(|i| self.alive_probability(pruned.jnts(lattice, i))).sum();
+        (sum / pruned.len() as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::jnts::TupleSet;
+    use crate::schema_graph::{Incidence, SchemaGraph};
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    /// color(2 rows) <- item(100 rows): most items red, one blue; keyword
+    /// frequencies differ by 50x.
+    fn setup() -> (Database, InvertedIndex) {
+        let mut b = DatabaseBuilder::new();
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).expect("row");
+        db.insert_values("color", vec![Value::Int(2), Value::text("blue")]).expect("row");
+        for i in 1..=100i64 {
+            let (name, c) = if i == 1 { ("blue widget", 2) } else { ("red widget", 1) };
+            db.insert_values("item", vec![Value::Int(i), Value::text(name), Value::Int(c)])
+                .expect("row");
+        }
+        db.finalize();
+        let idx = InvertedIndex::build(&db);
+        (db, idx)
+    }
+
+    use relengine::Database;
+
+    fn estimator_for<'a>(
+        db: &'a Database,
+        idx: &'a InvertedIndex,
+        mapping: &'a crate::binding::KeywordMapping,
+    ) -> PaEstimator<'a> {
+        PaEstimator::new(db, idx, &mapping.interpretations[0], &mapping.keywords)
+    }
+
+    #[test]
+    fn frequent_terms_estimate_higher() {
+        let (db, idx) = setup();
+        // Use the interpretation binding the keyword to the *item* table
+        // (both colors also appear as color names, giving two choices).
+        let item_interp = |text: &str| {
+            let m = map_keywords(&KeywordQuery::parse(text).expect("parses"), &idx);
+            let i = m
+                .interpretations
+                .iter()
+                .position(|i| i.tables() == [1])
+                .expect("item interpretation exists");
+            (m.keywords.clone(), m.interpretations[i].clone())
+        };
+        let (kw_red, i_red) = item_interp("red");
+        let (kw_blue, i_blue) = item_interp("blue");
+        let node = Jnts::single(TupleSet::new(1, 1));
+        let red = PaEstimator::new(&db, &idx, &i_red, &kw_red).expected_rows(&node);
+        let blue = PaEstimator::new(&db, &idx, &i_blue, &kw_blue).expected_rows(&node);
+        assert!(red > blue * 10.0, "red {red} vs blue {blue}");
+    }
+
+    #[test]
+    fn joins_reduce_expected_rows() {
+        let (db, idx) = setup();
+        let q = map_keywords(&KeywordQuery::parse("red widget").expect("parses"), &idx);
+        let est = estimator_for(&db, &idx, &q);
+        let single = Jnts::single(TupleSet::new(1, 1)); // item bound to "widget"
+        let joined = single.extend(0, Incidence { fk: 0, other: 0, local_is_from: true }, 1);
+        // Joining through a 2-distinct-value key divides by ~2 then applies
+        // the color-side frequency.
+        assert!(est.expected_rows(&joined) < est.expected_rows(&single));
+    }
+
+    #[test]
+    fn probability_is_monotone_in_rows_and_bounded() {
+        let (db, idx) = setup();
+        let q = map_keywords(&KeywordQuery::parse("red").expect("parses"), &idx);
+        let est = estimator_for(&db, &idx, &q);
+        let bound = Jnts::single(TupleSet::new(1, 1));
+        let free = Jnts::single(TupleSet::new(1, 0));
+        let pb = est.alive_probability(&bound);
+        let pf = est.alive_probability(&free);
+        assert!((0.0..=1.0).contains(&pb));
+        assert!((0.0..=1.0).contains(&pf));
+        assert!(pf >= pb, "unfiltered scan at least as likely alive");
+        // 100 expected rows ≈ certainly alive.
+        assert!(pf > 0.999);
+    }
+
+    #[test]
+    fn estimated_pa_drives_sbh_correctly() {
+        let (db, idx) = setup();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let q = map_keywords(&KeywordQuery::parse("blue widget").expect("parses"), &idx);
+        let interp = &q.interpretations[0];
+        let pruned = PrunedLattice::build(&lattice, interp);
+        let est = PaEstimator::new(&db, &idx, interp, &q.keywords);
+        let pa = est.estimate_pa(&lattice, &pruned);
+        assert!((0.0..=1.0).contains(&pa));
+
+        // SBH with the estimated prior still matches brute force.
+        let mut oracle =
+            crate::oracle::AlivenessOracle::new(&db, Some(&idx), interp, &q.keywords, false);
+        let sbh = crate::traversal::run(
+            crate::traversal::StrategyKind::ScoreBasedHeuristic,
+            &lattice, &pruned, &mut oracle, pa,
+        )
+        .expect("runs");
+        let mut oracle =
+            crate::oracle::AlivenessOracle::new(&db, Some(&idx), interp, &q.keywords, false);
+        let brute = crate::traversal::run(
+            crate::traversal::StrategyKind::BruteForce,
+            &lattice, &pruned, &mut oracle, 0.5,
+        )
+        .expect("runs");
+        assert_eq!(sbh.alive_mtns, brute.alive_mtns);
+        assert_eq!(sbh.mpans, brute.mpans);
+    }
+
+    #[test]
+    fn empty_pruned_lattice_falls_back_to_half() {
+        let (db, idx) = setup();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 0); // single tables only
+        // Two keywords in different tables: no MTN at level 1.
+        let q = map_keywords(&KeywordQuery::parse("blue red").expect("parses"), &idx);
+        // Pick an interpretation placing them in different tables if any;
+        // all interpretations with both in `item` still have MTNs, so use
+        // the (color, item) one.
+        let interp = q
+            .interpretations
+            .iter()
+            .find(|i| i.tables()[0] != i.tables()[1])
+            .expect("cross-table interpretation");
+        let pruned = PrunedLattice::build(&lattice, interp);
+        assert!(pruned.is_empty());
+        let est = PaEstimator::new(&db, &idx, interp, &q.keywords);
+        assert_eq!(est.estimate_pa(&lattice, &pruned), 0.5);
+    }
+}

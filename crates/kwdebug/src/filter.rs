@@ -1,0 +1,194 @@
+//! Post-processing filters over reported MPANs (paper §1, future work).
+//!
+//! The paper notes that the number of maximal alive sub-queries can be large
+//! and suggests letting the developer "define various filters or a priority
+//! hierarchy on the returned sub-queries" as follow-on work, while the core
+//! system stays complete. This module provides that layer: composable
+//! [`MpanFilter`]s applied to a [`DebugReport`] *after* the complete set has
+//! been computed — filtering never changes what was explored, only what is
+//! shown.
+
+use relengine::Database;
+
+use crate::report::{DebugReport, QueryInfo};
+
+/// A predicate/priority over reported MPANs.
+pub trait MpanFilter {
+    /// Whether to keep this sub-query in the displayed report.
+    fn keep(&self, mpan: &QueryInfo) -> bool;
+
+    /// Sort key; lower sorts first. Default: stable (constant key).
+    fn priority(&self, _mpan: &QueryInfo) -> i64 {
+        0
+    }
+}
+
+/// Keeps MPANs of at least the given level — deeper sub-queries carry more
+/// of the original query's structure.
+#[derive(Debug, Clone, Copy)]
+pub struct MinLevel(pub u32);
+
+impl MpanFilter for MinLevel {
+    fn keep(&self, mpan: &QueryInfo) -> bool {
+        mpan.level >= self.0
+    }
+}
+
+/// Prefers (and optionally restricts to) MPANs that mention given tables —
+/// e.g. an SEO person may only care about explanations involving the
+/// synonym-bearing `color` table.
+#[derive(Debug, Clone)]
+pub struct TablePriority {
+    /// Table names in decreasing priority.
+    pub tables: Vec<String>,
+    /// When true, MPANs mentioning none of the tables are dropped.
+    pub exclusive: bool,
+}
+
+impl TablePriority {
+    /// Builds a priority over the given table names (validated to exist so
+    /// typos surface early).
+    pub fn new(db: &Database, tables: &[&str], exclusive: bool) -> Option<Self> {
+        if tables.iter().any(|t| db.table_id(t).is_none()) {
+            return None;
+        }
+        Some(TablePriority {
+            tables: tables.iter().map(|s| (*s).to_owned()).collect(),
+            exclusive,
+        })
+    }
+
+    fn best_rank(&self, mpan: &QueryInfo) -> Option<usize> {
+        // The rendered SQL names every table as `FROM name AS alias`; a
+        // simple containment check is exact enough for prioritization.
+        self.tables.iter().position(|t| mpan.sql.contains(&format!("{t} AS")))
+    }
+}
+
+impl MpanFilter for TablePriority {
+    fn keep(&self, mpan: &QueryInfo) -> bool {
+        !self.exclusive || self.best_rank(mpan).is_some()
+    }
+
+    fn priority(&self, mpan: &QueryInfo) -> i64 {
+        self.best_rank(mpan).map_or(i64::MAX, |r| r as i64)
+    }
+}
+
+/// Applies filters to a report in place: per non-answer, drop MPANs rejected
+/// by any filter, sort the rest by `(summed priority, -level)`, and truncate
+/// to `top_k` per non-answer if given.
+///
+/// Returns the number of MPANs removed across the report.
+pub fn apply(
+    report: &mut DebugReport,
+    filters: &[&dyn MpanFilter],
+    top_k: Option<usize>,
+) -> usize {
+    let top_k = top_k.unwrap_or(usize::MAX);
+    let mut removed = 0;
+    for interp in &mut report.interpretations {
+        for na in &mut interp.non_answers {
+            let before = na.mpans.len();
+            na.mpans.retain(|m| filters.iter().all(|f| f.keep(m)));
+            na.mpans.sort_by_key(|m| {
+                let p: i64 = filters.iter().map(|f| f.priority(m)).sum();
+                (p, std::cmp::Reverse(m.level))
+            });
+            na.mpans.truncate(top_k);
+            removed += before - na.mpans.len();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::PruneStats;
+    use crate::report::{InterpretationOutcome, NonAnswerInfo};
+    use std::time::Duration;
+
+    fn q(sql: &str, level: u32) -> QueryInfo {
+        QueryInfo { sql: sql.to_owned(), level, sample_tuples: vec![] }
+    }
+
+    fn report() -> DebugReport {
+        DebugReport {
+            keywords: vec!["a".into(), "b".into()],
+            unknown_keywords: vec![],
+            interpretations: vec![InterpretationOutcome {
+                keyword_tables: vec![],
+                answers: vec![],
+                non_answers: vec![NonAnswerInfo {
+                    query: q("DEAD", 3),
+                    mpans: vec![
+                        q("SELECT * FROM color AS color1 WHERE x", 1),
+                        q("SELECT * FROM ptype AS ptype1, item AS item0 WHERE y", 2),
+                        q("SELECT * FROM item AS item0 WHERE z", 1),
+                    ],
+                }],
+                prune_stats: PruneStats::default(),
+                sql_queries: 0,
+                sql_time: Duration::ZERO,
+            }],
+            mapping_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn min_level_drops_shallow_mpans() {
+        let mut r = report();
+        let removed = apply(&mut r, &[&MinLevel(2)], None);
+        assert_eq!(removed, 2);
+        let mpans = &r.interpretations[0].non_answers[0].mpans;
+        assert_eq!(mpans.len(), 1);
+        assert_eq!(mpans[0].level, 2);
+    }
+
+    #[test]
+    fn table_priority_orders_and_restricts() {
+        let db = crate::filter::tests::toy_db();
+        let prio = TablePriority::new(&db, &["color"], false).expect("tables exist");
+        let mut r = report();
+        apply(&mut r, &[&prio], None);
+        let mpans = &r.interpretations[0].non_answers[0].mpans;
+        assert_eq!(mpans.len(), 3, "non-exclusive keeps everything");
+        assert!(mpans[0].sql.contains("color AS"), "color-mentioning MPAN first");
+
+        let exclusive = TablePriority::new(&db, &["color"], true).expect("tables exist");
+        let mut r = report();
+        let removed = apply(&mut r, &[&exclusive], None);
+        assert_eq!(removed, 2);
+        assert_eq!(r.interpretations[0].non_answers[0].mpans.len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let db = toy_db();
+        assert!(TablePriority::new(&db, &["ghost"], false).is_none());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let db = toy_db();
+        let prio = TablePriority::new(&db, &["item"], false).expect("tables exist");
+        let mut r = report();
+        let removed = apply(&mut r, &[&prio, &MinLevel(1)], Some(2));
+        assert_eq!(removed, 1, "top-k truncation removed the lowest-priority MPAN");
+        let mpans = &r.interpretations[0].non_answers[0].mpans;
+        assert_eq!(mpans.len(), 2);
+        // item-mentioning MPANs first; among them, higher level first.
+        assert!(mpans[0].sql.contains("item AS"));
+        assert_eq!(mpans[0].level, 2);
+    }
+
+    pub(super) fn toy_db() -> relengine::Database {
+        let mut b = relengine::DatabaseBuilder::new();
+        b.table("color").column("id", relengine::DataType::Int);
+        b.table("ptype").column("id", relengine::DataType::Int);
+        b.table("item").column("id", relengine::DataType::Int);
+        b.finish().expect("static schema")
+    }
+}

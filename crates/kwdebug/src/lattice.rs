@@ -1,0 +1,368 @@
+//! Offline lattice generation (Phase 0, the paper's Algorithm 1).
+//!
+//! The lattice contains every join-query network a KWS-S system can explore,
+//! up to `maxJoins` joins, organized hierarchically: level `k` holds the
+//! networks with `k` relation instances (`k-1` joins), and a node's children
+//! are exactly its maximal sub-networks (one leaf removed). The structure is
+//! computed once, offline, from the schema graph alone — it bypasses the
+//! costly candidate-network generation of traditional KWS-S systems and, at
+//! query time, lets the traversal strategies (Phase 3) *infer* the emptiness
+//! of many SQL queries instead of executing them.
+//!
+//! Copies: for each relation `R` the lattice uses a free copy `R_0` (the
+//! empty-keyword tuple set) plus keyword copies `R_1..R_{m+1}`. Keyword
+//! copies appear at most once per network (each is bound 1-1 to a keyword at
+//! runtime); free copies may repeat, which is what allows e.g.
+//! `Person1 — Writes0 — Publication0 — Writes0 — Person2` co-author networks.
+//! Keyword copies are only generated for relations that have text attributes;
+//! copies of pure-relationship tables could never be bound to any keyword and
+//! would be pruned in every query (a space optimization the paper's DBLife
+//! schema makes natural: its 9 relationship tables carry no text).
+//!
+//! Two pruning rules apply during generation:
+//! 1. **duplicate elimination** via canonical labels ([`crate::canonical`],
+//!    the paper's "Offline Pruning 1"), and
+//! 2. **degenerate-join elimination**: a vertex never uses the same foreign
+//!    key from its referencing side twice (both neighbours would be forced to
+//!    be the same tuple), mirroring DISCOVER's candidate-network rules.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use relengine::Database;
+
+use crate::canonical::canonical_label;
+use crate::jnts::{CopyIdx, Jnts, TupleSet};
+use crate::schema_graph::SchemaGraph;
+
+/// Identifier of a lattice node (dense, 0-based).
+pub type NodeId = u32;
+
+/// One lattice node: a network plus its hierarchical links.
+#[derive(Debug, Clone)]
+pub struct LatticeNode {
+    /// The join network of tuple sets.
+    pub jnts: Jnts,
+    /// Lattice level (= number of relation instances).
+    pub level: u32,
+    /// Minimal proper super-networks (one level up).
+    pub parents: Vec<NodeId>,
+    /// Maximal proper sub-networks (one level down).
+    pub children: Vec<NodeId>,
+}
+
+/// Per-level generation statistics (reproduces Figure 9).
+#[derive(Debug, Clone, Default)]
+pub struct LevelStats {
+    /// Networks produced by extension before duplicate elimination.
+    pub generated: usize,
+    /// Networks discarded as duplicates of an existing node.
+    pub duplicates: usize,
+    /// Nodes kept at this level.
+    pub kept: usize,
+    /// Wall-clock time spent building this level.
+    pub elapsed: Duration,
+}
+
+/// The full offline lattice.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    nodes: Vec<LatticeNode>,
+    /// `levels[k-1]` lists the node ids at level `k`.
+    levels: Vec<Vec<NodeId>>,
+    max_joins: usize,
+    stats: Vec<LevelStats>,
+}
+
+impl Lattice {
+    /// Generates the lattice for `db` up to `max_joins` joins
+    /// (`max_joins + 1` levels). This is the paper's Algorithm 1.
+    pub fn build(db: &Database, graph: &SchemaGraph, max_joins: usize) -> Lattice {
+        let max_level = max_joins + 1;
+        let mut nodes: Vec<LatticeNode> = Vec::new();
+        let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(max_level);
+        let mut stats: Vec<LevelStats> = Vec::with_capacity(max_level);
+
+        // Base level: copies of every relation. Copy 0 always; keyword copies
+        // 1..=max_joins+1 only for text-bearing relations.
+        let t0 = Instant::now();
+        let mut base: Vec<NodeId> = Vec::new();
+        let mut level_stats = LevelStats::default();
+        for t in 0..db.table_count() {
+            let max_copy = if graph.has_text(t) { max_level as CopyIdx } else { 0 };
+            for copy in 0..=max_copy {
+                let id = nodes.len() as NodeId;
+                nodes.push(LatticeNode {
+                    jnts: Jnts::single(TupleSet::new(t, copy)),
+                    level: 1,
+                    parents: Vec::new(),
+                    children: Vec::new(),
+                });
+                base.push(id);
+                level_stats.generated += 1;
+                level_stats.kept += 1;
+            }
+        }
+        level_stats.elapsed = t0.elapsed();
+        levels.push(base);
+        stats.push(level_stats);
+
+        // Higher levels by extension.
+        for level in 2..=max_level {
+            let t0 = Instant::now();
+            let mut level_stats = LevelStats::default();
+            let mut by_canon: HashMap<String, NodeId> = HashMap::new();
+            let mut this_level: Vec<NodeId> = Vec::new();
+            let prev: Vec<NodeId> = levels[level - 2].clone();
+            for g_id in prev {
+                let g = nodes[g_id as usize].jnts.clone();
+                for at in 0..g.node_count() {
+                    let table = g.nodes()[at].table;
+                    for &incidence in graph.incident(table) {
+                        // Degenerate-join rule: the referencing side of a key
+                        // holds one value; it cannot join two neighbours.
+                        if incidence.local_is_from && g.uses_fk_from(at, incidence.fk) {
+                            continue;
+                        }
+                        let max_copy =
+                            if graph.has_text(incidence.other) { max_level as CopyIdx } else { 0 };
+                        for copy in 0..=max_copy {
+                            if copy > 0 && g.contains(TupleSet::new(incidence.other, copy)) {
+                                continue; // keyword copies are unique per network
+                            }
+                            let extended = g.extend(at, incidence, copy);
+                            level_stats.generated += 1;
+                            let label = canonical_label(&extended);
+                            let target = match by_canon.get(&label) {
+                                Some(&existing) => {
+                                    level_stats.duplicates += 1;
+                                    existing
+                                }
+                                None => {
+                                    let id = nodes.len() as NodeId;
+                                    nodes.push(LatticeNode {
+                                        jnts: extended,
+                                        level: level as u32,
+                                        parents: Vec::new(),
+                                        children: Vec::new(),
+                                    });
+                                    by_canon.insert(label, id);
+                                    this_level.push(id);
+                                    level_stats.kept += 1;
+                                    id
+                                }
+                            };
+                            nodes[target as usize].children.push(g_id);
+                            nodes[g_id as usize].parents.push(target);
+                        }
+                    }
+                }
+            }
+            // A node can be linked to the same child through several
+            // isomorphic extensions; keep links unique.
+            for &id in &this_level {
+                let n = &mut nodes[id as usize];
+                n.children.sort_unstable();
+                n.children.dedup();
+            }
+            for &id in &levels[level - 2] {
+                let n = &mut nodes[id as usize];
+                n.parents.sort_unstable();
+                n.parents.dedup();
+            }
+            level_stats.elapsed = t0.elapsed();
+            levels.push(this_level);
+            stats.push(level_stats);
+        }
+
+        Lattice { nodes, levels, max_joins, stats }
+    }
+
+    /// Reassembles a lattice from deserialized parts (see
+    /// [`crate::lattice_io`]). Callers must supply internally consistent
+    /// data; `lattice_io` validates while reading.
+    pub(crate) fn from_parts(
+        nodes: Vec<LatticeNode>,
+        levels: Vec<Vec<NodeId>>,
+        max_joins: usize,
+        stats: Vec<LevelStats>,
+    ) -> Lattice {
+        Lattice { nodes, levels, max_joins, stats }
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &LatticeNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Node ids at `level` (1-based); empty for out-of-range levels.
+    pub fn level_nodes(&self, level: usize) -> &[NodeId] {
+        if level == 0 || level > self.levels.len() {
+            &[]
+        } else {
+            &self.levels[level - 1]
+        }
+    }
+
+    /// Number of levels (`max_joins + 1`).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The `maxJoins` the lattice was built for.
+    pub fn max_joins(&self) -> usize {
+        self.max_joins
+    }
+
+    /// Per-level generation statistics.
+    pub fn stats(&self) -> &[LevelStats] {
+        &self.stats
+    }
+
+    /// All node ids in level order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.levels.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder};
+
+    /// The paper's Example 2: R(a, b), S(c, d), one fk R.b -> S.c.
+    fn example2_db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("R").column("a", DataType::Text).column("b", DataType::Int);
+        b.table("S").column("c", DataType::Int).column("d", DataType::Text);
+        b.foreign_key("R", "b", "S", "c").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn example2_lattice_shape() {
+        let db = example2_db();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 1);
+        // Base level: R0, R1, R2, S0, S1, S2 (m+1 = 2 keyword copies + free).
+        assert_eq!(lat.level_nodes(1).len(), 6);
+        // Level 2: Ri ⋈ Sj for i, j in {0,1,2} = 9 combinations.
+        assert_eq!(lat.level_nodes(2).len(), 9);
+        assert_eq!(lat.level_count(), 2);
+        // The paper's Figure 4 shows the 4 keyword-copy-only combinations;
+        // with the free copies the full count is 9.
+        for &id in lat.level_nodes(2) {
+            let n = lat.node(id);
+            assert_eq!(n.jnts.node_count(), 2);
+            assert_eq!(n.children.len(), 2); // R_i and S_j
+            assert!(n.parents.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_elimination_counts() {
+        let db = example2_db();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 1);
+        let s = &lat.stats()[1];
+        // Each R_i ⋈ S_j is generated twice (once extending R_i, once S_j).
+        assert_eq!(s.generated, 18);
+        assert_eq!(s.duplicates, 9);
+        assert_eq!(s.kept, 9);
+    }
+
+    #[test]
+    fn parent_child_links_are_mutual_and_unique() {
+        let db = example2_db();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 2);
+        for id in lat.all_nodes() {
+            let n = lat.node(id);
+            for &c in &n.children {
+                assert!(lat.node(c).parents.contains(&id));
+                assert_eq!(lat.node(c).level + 1, n.level);
+            }
+            let mut sorted = n.children.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n.children.len(), "duplicate child link");
+        }
+    }
+
+    #[test]
+    fn textless_tables_get_only_free_copies() {
+        let mut b = DatabaseBuilder::new();
+        b.table("person").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("writes").column("pid", DataType::Int).column("pubid", DataType::Int);
+        b.foreign_key("writes", "pid", "person", "id").unwrap();
+        let db = b.finish().unwrap();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 2);
+        let base: Vec<_> = lat
+            .level_nodes(1)
+            .iter()
+            .map(|&id| lat.node(id).jnts.nodes()[0])
+            .collect();
+        // person: copies 0..=3; writes: copy 0 only.
+        assert_eq!(base.iter().filter(|ts| ts.table == 0).count(), 4);
+        assert_eq!(base.iter().filter(|ts| ts.table == 1).count(), 1);
+    }
+
+    #[test]
+    fn degenerate_double_reference_excluded() {
+        // writes.pid references person. A network
+        // person_a <- writes0 -> person_b via the SAME fk must not exist.
+        let mut b = DatabaseBuilder::new();
+        b.table("person").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("writes").column("pid", DataType::Int).column("pubid", DataType::Int);
+        b.foreign_key("writes", "pid", "person", "id").unwrap();
+        let db = b.finish().unwrap();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 2);
+        for id in lat.all_nodes() {
+            let j = &lat.node(id).jnts;
+            for v in 0..j.node_count() {
+                let from_uses = j
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        (e.a as usize == v && e.a_is_from) || (e.b as usize == v && !e.a_is_from)
+                    })
+                    .filter(|e| e.fk == 0)
+                    .count();
+                assert!(from_uses <= 1, "degenerate network in lattice");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_is_monotone_with_level() {
+        let db = example2_db();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 3);
+        assert_eq!(lat.level_count(), 4);
+        assert_eq!(lat.node_count(), lat.all_nodes().count());
+        // Every node's networks validate as trees and match their level.
+        for id in lat.all_nodes() {
+            let n = lat.node(id);
+            assert!(n.jnts.validate());
+            assert_eq!(n.jnts.node_count() as u32, n.level);
+        }
+    }
+
+    #[test]
+    fn level_accessor_bounds() {
+        let db = example2_db();
+        let g = SchemaGraph::new(&db);
+        let lat = Lattice::build(&db, &g, 1);
+        assert!(lat.level_nodes(0).is_empty());
+        assert!(lat.level_nodes(99).is_empty());
+        assert_eq!(lat.max_joins(), 1);
+    }
+}

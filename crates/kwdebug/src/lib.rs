@@ -1,0 +1,80 @@
+//! # kwdebug — debugging non-answers in keyword search over structured data
+//!
+//! This crate is the core reproduction of *On Debugging Non-Answers in
+//! Keyword Search Systems* (Baid, Wu, Sun, Doan, Naughton; EDBT 2015).
+//!
+//! A KWS-S system maps a keyword query `K` to many structured SQL queries
+//! (candidate networks); when all of them return zero tuples the user sees
+//! "no results found" and the developer has nothing to go on. This crate
+//! implements the paper's four-phase pipeline that exposes *why*:
+//!
+//! * **Phase 0** ([`lattice`]): offline generation of a lattice of all
+//!   join-query trees up to `maxJoins` joins over relation copies
+//!   `R_0..R_{m+1}` (Algorithm 1), deduplicated with a canonical tree
+//!   labeling ([`canonical`], Algorithm 2).
+//! * **Phase 1** ([`binding`], [`prune`]): keywords are mapped to relations
+//!   through an inverted index and bound to relation copies; lattice nodes
+//!   containing unbound copies are pruned.
+//! * **Phase 2** ([`mtn`]): identification of Minimal Total Nodes (MTNs) —
+//!   the candidate networks — and restriction to MTNs plus descendants.
+//! * **Phase 3** ([`traversal`]): classification of each MTN as alive
+//!   (answer query) or dead (non-answer query) and discovery of each dead
+//!   MTN's Maximal Partially Alive Nodes (MPANs) — the maximal non-empty
+//!   sub-queries that explain the non-answer — while minimizing the number
+//!   of SQL queries executed. Five strategies: bottom-up / top-down, both
+//!   with and without cross-MTN reuse, and the score-based greedy heuristic
+//!   of §2.5.3.
+//!
+//! The two baselines of §3.8 — *Return Nothing* and *Return Everything* —
+//! live in [`baseline`]. The end-to-end system (the public entry point) is
+//! [`debugger::NonAnswerDebugger`].
+//!
+//! ```
+//! use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+//! use kwdebug::traversal::StrategyKind;
+//! # use relengine::{DatabaseBuilder, DataType, Value};
+//! # let mut b = DatabaseBuilder::new();
+//! # b.table("color").column("id", DataType::Int).column("name", DataType::Text).primary_key("id");
+//! # b.table("item").column("id", DataType::Int).column("name", DataType::Text)
+//! #     .column("color_id", DataType::Int).primary_key("id");
+//! # b.foreign_key("item", "color_id", "color", "id").unwrap();
+//! # let mut db = b.finish().unwrap();
+//! # db.insert_values("color", vec![Value::Int(1), Value::text("saffron")]).unwrap();
+//! # db.insert_values("color", vec![Value::Int(2), Value::text("red")]).unwrap();
+//! # db.insert_values("item", vec![Value::Int(1), Value::text("vanilla candle"), Value::Int(2)]).unwrap();
+//! # db.finalize();
+//! let debugger = NonAnswerDebugger::new(db, DebugConfig {
+//!     max_joins: 2,
+//!     strategy: StrategyKind::ScoreBasedHeuristic,
+//!     ..DebugConfig::default()
+//! }).unwrap();
+//! let report = debugger.debug("saffron candle").unwrap();
+//! // "saffron candle" has no answers, but its single-keyword sub-queries live:
+//! assert!(report.answer_count() == 0);
+//! assert!(report.non_answer_count() > 0);
+//! ```
+
+pub mod baseline;
+pub mod binding;
+pub mod canonical;
+pub mod debugger;
+pub mod diagnose;
+pub mod error;
+pub mod estimate;
+pub mod filter;
+pub mod jnts;
+pub mod lattice;
+pub mod lattice_io;
+pub mod mtn;
+pub mod oracle;
+pub mod prune;
+pub mod report;
+pub mod schema_graph;
+pub mod session;
+pub mod traversal;
+
+pub use debugger::{DebugConfig, NonAnswerDebugger};
+pub use error::KwError;
+pub use jnts::{CopyIdx, Jnts, TupleSet};
+pub use report::DebugReport;
+pub use schema_graph::SchemaGraph;

@@ -1,0 +1,123 @@
+//! Totality and Minimal Total Nodes (Phase 2 predicates).
+//!
+//! * A node is **total** if its network contains the relation copy bound to
+//!   *every* keyword (only total nodes can be answer queries under "and"
+//!   semantics).
+//! * A node is a **Minimal Total Node (MTN)** if it is total and none of its
+//!   descendants is total. MTNs correspond to the candidate networks of
+//!   DISCOVER-style KWS-S systems; classifying them alive/dead is the goal of
+//!   Phase 3.
+//!
+//! Because each keyword copy appears at most once per network and every
+//! keyword copy present must be bound (Phase 1 pruned the rest), totality
+//! reduces to counting non-free vertices; and since a node's children are its
+//! one-leaf-removed sub-networks, minimality reduces to "no free leaf":
+//! removing a bound leaf always breaks totality, removing a free leaf never
+//! does.
+
+use crate::binding::Interpretation;
+use crate::jnts::Jnts;
+
+/// Phase-1 retention: every keyword copy in the network is bound.
+pub fn is_retained(jnts: &Jnts, interp: &Interpretation) -> bool {
+    jnts.nodes().iter().all(|&ts| interp.vertex_allowed(ts))
+}
+
+/// Whether a (retained) network is total for the interpretation.
+pub fn is_total(jnts: &Jnts, interp: &Interpretation) -> bool {
+    debug_assert!(is_retained(jnts, interp));
+    let bound = jnts.nodes().iter().filter(|ts| !ts.is_free()).count();
+    bound == interp.keyword_count()
+}
+
+/// Whether a (retained) network is a Minimal Total Node.
+pub fn is_mtn(jnts: &Jnts, interp: &Interpretation) -> bool {
+    if !is_total(jnts, interp) {
+        return false;
+    }
+    if jnts.node_count() == 1 {
+        return true; // no descendants at all
+    }
+    // Minimal iff no child (= one leaf removed) is still total, i.e. no leaf
+    // is a free tuple set.
+    jnts.leaves().iter().all(|&l| !jnts.nodes()[l].is_free())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::jnts::TupleSet;
+    use crate::schema_graph::Incidence;
+    use relengine::{DataType, DatabaseBuilder, Value};
+    use textindex::InvertedIndex;
+
+    /// Tables: 0 = product_type(text), 1 = item(text), 2 = color(text).
+    /// fks: 0 = item.ptype -> product_type, 1 = item.color -> color.
+    fn interp_for(query: &str) -> Interpretation {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text);
+        b.table("item").column("id", DataType::Int).column("name", DataType::Text);
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text);
+        let mut db = b.finish().unwrap();
+        db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+        db.insert_values("item", vec![Value::Int(1), Value::text("scented thing")]).unwrap();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse(query).unwrap();
+        let m = map_keywords(&q, &idx);
+        assert_eq!(m.interpretations.len(), 1);
+        m.interpretations.into_iter().next().unwrap()
+    }
+
+    fn inc(fk: usize, other: usize, local_is_from: bool) -> Incidence {
+        Incidence { fk, other, local_is_from }
+    }
+
+    #[test]
+    fn retention() {
+        let i = interp_for("red candle"); // red -> color copy 1, candle -> ptype copy 1
+        assert!(is_retained(&Jnts::single(TupleSet::new(2, 1)), &i)); // C1 bound
+        assert!(is_retained(&Jnts::single(TupleSet::new(2, 0)), &i)); // free
+        assert!(!is_retained(&Jnts::single(TupleSet::new(2, 2)), &i)); // unbound copy
+        assert!(!is_retained(&Jnts::single(TupleSet::new(1, 1)), &i)); // item has no keyword
+    }
+
+    #[test]
+    fn totality_counts_keywords() {
+        let i = interp_for("red candle");
+        // C1 alone: only one keyword covered.
+        assert!(!is_total(&Jnts::single(TupleSet::new(2, 1)), &i));
+        // P1 - I0 - C1 covers both.
+        let full = Jnts::single(TupleSet::new(0, 1))
+            .extend(0, inc(0, 1, false), 0) // item0 references ptype
+            .extend(1, inc(1, 2, true), 1); // item0 references color1
+        assert!(is_total(&full, &i));
+        assert!(is_mtn(&full, &i));
+    }
+
+    #[test]
+    fn free_leaf_breaks_minimality() {
+        let i = interp_for("red"); // red -> color copy 1
+        // C1 alone is an MTN (single keyword).
+        assert!(is_mtn(&Jnts::single(TupleSet::new(2, 1)), &i));
+        // C1 - I0 is total but I0 is a free leaf: not minimal.
+        let with_free = Jnts::single(TupleSet::new(2, 1)).extend(0, inc(1, 1, false), 0);
+        assert!(is_total(&with_free, &i));
+        assert!(!is_mtn(&with_free, &i));
+    }
+
+    #[test]
+    fn free_inner_vertex_is_fine() {
+        let i = interp_for("red candle");
+        // P1 - I0 - C1: I0 is free but interior; both leaves bound -> MTN.
+        let mtn = Jnts::single(TupleSet::new(0, 1))
+            .extend(0, inc(0, 1, false), 0)
+            .extend(1, inc(1, 2, true), 1);
+        assert!(is_mtn(&mtn, &i));
+        // Extending with one more free leaf keeps it total but not minimal.
+        let bigger = mtn.extend(1, inc(0, 0, true), 0);
+        assert!(is_total(&bigger, &i));
+        assert!(!is_mtn(&bigger, &i));
+    }
+}

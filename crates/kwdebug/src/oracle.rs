@@ -1,0 +1,297 @@
+//! The aliveness oracle: executing a lattice node's SQL query.
+//!
+//! Phase 3 asks one question of a node — *is it alive* (does its SQL query
+//! return at least one tuple)? The oracle instantiates a node's network into
+//! a [`relengine::JoinTreePlan`] under the current interpretation (keyword
+//! copies get their keyword's containment predicate plus the inverted-index
+//! posting list as candidates; free copies are unconstrained) and runs the
+//! engine's emptiness check. Every call is one "SQL query executed" in the
+//! paper's metrics; an optional memo table (off by default, an ablation knob)
+//! caches results per lattice node across calls.
+
+use std::collections::HashMap;
+
+use relengine::{
+    Database, EngineError, ExecStats, Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate,
+};
+use textindex::InvertedIndex;
+
+use crate::binding::Interpretation;
+use crate::error::KwError;
+use crate::jnts::Jnts;
+use crate::lattice::NodeId;
+
+/// Builds the executable plan of a network under an interpretation.
+pub fn build_plan(
+    jnts: &Jnts,
+    interp: &Interpretation,
+    db: &Database,
+    index: Option<&InvertedIndex>,
+    keywords: &[String],
+) -> Result<JoinTreePlan, EngineError> {
+    let mut nodes = Vec::with_capacity(jnts.node_count());
+    for &ts in jnts.nodes() {
+        let table_name = &db.table(ts.table).schema().name;
+        let alias = format!("{}{}", table_name, ts.copy);
+        let node = match interp.keyword_for(ts) {
+            None => PlanNode::free(ts.table).with_alias(alias),
+            Some(kw_idx) => {
+                let kw = &keywords[kw_idx];
+                let mut n =
+                    PlanNode::new(ts.table, Predicate::any_text_contains(kw.clone()))
+                        .with_alias(alias);
+                if let Some(idx) = index {
+                    n = n.with_candidates(idx.rows_containing(ts.table, kw).to_vec());
+                }
+                n
+            }
+        };
+        nodes.push(node);
+    }
+    let mut edges = Vec::with_capacity(jnts.join_count());
+    for e in jnts.edges() {
+        let fk = db.foreign_key(e.fk);
+        let (a_col, b_col) =
+            if e.a_is_from { (fk.from_col, fk.to_col) } else { (fk.to_col, fk.from_col) };
+        edges.push(PlanEdge { a: e.a as usize, a_col, b: e.b as usize, b_col });
+    }
+    JoinTreePlan::new(nodes, edges)
+}
+
+/// Answers aliveness queries for lattice nodes, counting every execution.
+pub struct AlivenessOracle<'a> {
+    db: &'a Database,
+    index: Option<&'a InvertedIndex>,
+    interp: &'a Interpretation,
+    keywords: &'a [String],
+    executor: Executor<'a>,
+    memo: Option<HashMap<NodeId, bool>>,
+    memo_hits: u64,
+}
+
+impl<'a> AlivenessOracle<'a> {
+    /// Creates an oracle for one interpretation. `memoize` enables the
+    /// cross-call result cache (an extension; the paper re-executes).
+    pub fn new(
+        db: &'a Database,
+        index: Option<&'a InvertedIndex>,
+        interp: &'a Interpretation,
+        keywords: &'a [String],
+        memoize: bool,
+    ) -> Self {
+        AlivenessOracle {
+            db,
+            index,
+            interp,
+            keywords,
+            executor: Executor::new(db),
+            memo: memoize.then(HashMap::new),
+            memo_hits: 0,
+        }
+    }
+
+    /// Whether the node's query returns at least one tuple.
+    pub fn is_alive(&mut self, node: NodeId, jnts: &Jnts) -> Result<bool, KwError> {
+        if let Some(memo) = &self.memo {
+            if let Some(&alive) = memo.get(&node) {
+                self.memo_hits += 1;
+                return Ok(alive);
+            }
+        }
+        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
+        let alive = self.executor.exists(&plan)?;
+        if let Some(memo) = &mut self.memo {
+            memo.insert(node, alive);
+        }
+        Ok(alive)
+    }
+
+    /// Fetches up to `limit` sample result tuples of a node (for reports).
+    /// Counts as one more executed query.
+    pub fn sample(
+        &mut self,
+        jnts: &Jnts,
+        limit: usize,
+    ) -> Result<Vec<Vec<relengine::RowId>>, KwError> {
+        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
+        Ok(self.executor.execute(&plan, limit)?)
+    }
+
+    /// The keyword bound to a relation copy under this interpretation, if any.
+    pub fn keyword_of(&self, ts: crate::jnts::TupleSet) -> Option<&str> {
+        self.interp.keyword_for(ts).map(|i| self.keywords[i].as_str())
+    }
+
+    /// The SQL text of a node under this interpretation.
+    pub fn sql(&self, jnts: &Jnts) -> Result<String, KwError> {
+        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
+        Ok(relengine::render_sql(&plan, self.db))
+    }
+
+    /// Engine statistics: queries executed, rows examined, time.
+    pub fn stats(&self) -> &ExecStats {
+        self.executor.stats()
+    }
+
+    /// Number of executed queries so far.
+    pub fn queries(&self) -> u64 {
+        self.executor.stats().queries
+    }
+
+    /// Memo hits (0 unless memoization is on).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Resets execution statistics (not the memo).
+    pub fn reset_stats(&mut self) {
+        self.executor.reset_stats();
+    }
+
+    /// The database under test.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::jnts::TupleSet;
+    use crate::schema_graph::Incidence;
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    /// ptype(candle,oil) <- item -> color(red,saffron); items: red candle,
+    /// saffron oil.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").unwrap();
+        b.foreign_key("item", "color_id", "color", "id").unwrap();
+        let mut db = b.finish().unwrap();
+        db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+        db.insert_values("ptype", vec![Value::Int(2), Value::text("oil")]).unwrap();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        db.insert_values("color", vec![Value::Int(2), Value::text("saffron")]).unwrap();
+        db.insert_values(
+            "item",
+            vec![Value::Int(1), Value::text("glowy"), Value::Int(1), Value::Int(1)],
+        )
+        .unwrap();
+        db.insert_values(
+            "item",
+            vec![Value::Int(2), Value::text("scented"), Value::Int(2), Value::Int(2)],
+        )
+        .unwrap();
+        db.finalize();
+        db
+    }
+
+    fn inc(fk: usize, other: usize, local_is_from: bool) -> Incidence {
+        Incidence { fk, other, local_is_from }
+    }
+
+    /// P1 - I0 - C1 for the given two keywords (ptype kw first).
+    fn mtn_jnts() -> Jnts {
+        Jnts::single(TupleSet::new(0, 1))
+            .extend(0, inc(0, 1, false), 0)
+            .extend(1, inc(1, 2, true), 1)
+    }
+
+    #[test]
+    fn alive_and_dead_networks() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let interp = &m.interpretations[0];
+        let mut oracle = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false);
+        assert!(oracle.is_alive(0, &mtn_jnts()).unwrap()); // red candle exists
+
+        let q2 = KeywordQuery::parse("candle saffron").unwrap();
+        let m2 = map_keywords(&q2, &idx);
+        let interp2 = &m2.interpretations[0];
+        let mut oracle2 = AlivenessOracle::new(&db, Some(&idx), interp2, &m2.keywords, false);
+        assert!(!oracle2.is_alive(0, &mtn_jnts()).unwrap()); // no saffron candle
+        assert_eq!(oracle2.queries(), 1);
+    }
+
+    #[test]
+    fn memoization_avoids_reexecution() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, true);
+        let j = mtn_jnts();
+        assert!(oracle.is_alive(7, &j).unwrap());
+        assert!(oracle.is_alive(7, &j).unwrap());
+        assert_eq!(oracle.queries(), 1);
+        assert_eq!(oracle.memo_hits(), 1);
+    }
+
+    #[test]
+    fn without_memo_reexecutes() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false);
+        let j = mtn_jnts();
+        oracle.is_alive(7, &j).unwrap();
+        oracle.is_alive(7, &j).unwrap();
+        assert_eq!(oracle.queries(), 2);
+        assert_eq!(oracle.memo_hits(), 0);
+    }
+
+    #[test]
+    fn plan_without_index_scans() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle = AlivenessOracle::new(&db, None, &m.interpretations[0], &m.keywords, false);
+        assert!(oracle.is_alive(0, &mtn_jnts()).unwrap());
+    }
+
+    #[test]
+    fn sql_rendering_shows_binding() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false);
+        let sql = oracle.sql(&mtn_jnts()).unwrap();
+        assert!(sql.contains("ptype AS ptype1"), "{sql}");
+        assert!(sql.contains("item AS item0"), "{sql}");
+        assert!(sql.contains("LIKE '%candle%'"), "{sql}");
+        assert!(sql.contains("LIKE '%red%'"), "{sql}");
+        assert!(sql.contains("item0.ptype_id = ptype1.id") || sql.contains("ptype1.id = item0.ptype_id"), "{sql}");
+    }
+
+    #[test]
+    fn sample_returns_tuples() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false);
+        let tuples = oracle.sample(&mtn_jnts(), 5).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].len(), 3);
+    }
+}

@@ -1,0 +1,370 @@
+//! Phase 1 + Phase 2: keyword-based pruning and the per-query sub-lattice.
+//!
+//! [`PrunedLattice`] is the runtime view of the offline lattice for one
+//! interpretation of one keyword query: only the MTNs and their descendants
+//! survive, re-indexed densely in level order, with materialized
+//! ancestor/descendant closures. Everything Phase 3 needs — traversal orders,
+//! R1/R2 propagation, MPAN extraction, SBH scoring — runs on this small
+//! structure, matching the paper's observation that keyword pruning removes
+//! ~98% of lattice nodes.
+
+use std::collections::HashMap;
+
+use crate::binding::Interpretation;
+use crate::jnts::Jnts;
+use crate::lattice::{Lattice, NodeId};
+use crate::mtn::{is_mtn, is_retained, is_total};
+
+/// Phase-1/2 statistics for one interpretation (reproduces §3.3 / Figure 10).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Nodes in the full offline lattice.
+    pub lattice_nodes: usize,
+    /// Nodes surviving Phase 1 (keyword-based pruning).
+    pub retained_phase1: usize,
+    /// Total nodes among the retained ones.
+    pub total_nodes: usize,
+    /// Number of MTNs.
+    pub mtn_count: usize,
+    /// Nodes in the final sub-lattice (MTNs plus descendants).
+    pub pruned_nodes: usize,
+    /// Σ over MTNs of their descendant count (with cross-MTN duplicates) —
+    /// the `N` of Figure 13's reuse percentage.
+    pub mtn_descendants_total: usize,
+    /// Distinct descendants of all MTNs — the `N_u` of Figure 13.
+    pub mtn_descendants_unique: usize,
+}
+
+impl PruneStats {
+    /// Figure 13's percentage of reuse: `100 * (1 - N_u / N)`.
+    pub fn reuse_percentage(&self) -> f64 {
+        if self.mtn_descendants_total == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.mtn_descendants_unique as f64 / self.mtn_descendants_total as f64)
+        }
+    }
+}
+
+/// The per-interpretation sub-lattice: MTNs and their descendants, densely
+/// re-indexed in ascending level order (so iterating `0..len` is a bottom-up
+/// sweep and the reverse is top-down).
+#[derive(Debug, Clone)]
+pub struct PrunedLattice {
+    /// Dense index → offline lattice node id.
+    nodes: Vec<NodeId>,
+    /// Level of each dense node.
+    levels: Vec<u32>,
+    /// Children (dense) of each dense node.
+    children: Vec<Vec<usize>>,
+    /// Parents (dense) of each dense node, restricted to the pruned set.
+    parents: Vec<Vec<usize>>,
+    /// Descendant closure including self, sorted ascending.
+    desc_plus: Vec<Vec<usize>>,
+    /// Ancestor closure (within the pruned set) including self, sorted.
+    asc_plus: Vec<Vec<usize>>,
+    /// Dense indices of the MTNs, ascending.
+    mtns: Vec<usize>,
+    stats: PruneStats,
+}
+
+impl PrunedLattice {
+    /// Runs Phases 1 and 2 for one interpretation.
+    pub fn build(lattice: &Lattice, interp: &Interpretation) -> PrunedLattice {
+        let mut stats =
+            PruneStats { lattice_nodes: lattice.node_count(), ..PruneStats::default() };
+
+        // Phase 1 + totality classification, in level order.
+        let mut retained: Vec<NodeId> = Vec::new();
+        let mut mtn_ids: Vec<NodeId> = Vec::new();
+        for id in lattice.all_nodes() {
+            let jnts = &lattice.node(id).jnts;
+            if !is_retained(jnts, interp) {
+                continue;
+            }
+            retained.push(id);
+            if is_total(jnts, interp) {
+                stats.total_nodes += 1;
+                if is_mtn(jnts, interp) {
+                    mtn_ids.push(id);
+                }
+            }
+        }
+        stats.retained_phase1 = retained.len();
+        stats.mtn_count = mtn_ids.len();
+
+        // Phase 2: keep MTNs ∪ descendants (children closure downward).
+        let mut keep: HashMap<NodeId, bool> = HashMap::new();
+        let mut stack: Vec<NodeId> = mtn_ids.clone();
+        while let Some(id) = stack.pop() {
+            if keep.insert(id, true).is_some() {
+                continue;
+            }
+            for &c in &lattice.node(id).children {
+                if !keep.contains_key(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+
+        // Dense indexing in level order (lattice.all_nodes is level-ordered).
+        let nodes: Vec<NodeId> =
+            lattice.all_nodes().filter(|id| keep.contains_key(id)).collect();
+        stats.pruned_nodes = nodes.len();
+        let dense: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let levels: Vec<u32> = nodes.iter().map(|&id| lattice.node(id).level).collect();
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, &id) in nodes.iter().enumerate() {
+            for &c in &lattice.node(id).children {
+                if let Some(&ci) = dense.get(&c) {
+                    children[i].push(ci);
+                    parents[ci].push(i);
+                }
+            }
+        }
+
+        // Descendant closure bottom-up (children have smaller dense index).
+        let mut desc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for i in 0..nodes.len() {
+            let mut d: Vec<usize> = vec![i];
+            for &c in &children[i] {
+                d.extend_from_slice(&desc_plus[c]);
+            }
+            d.sort_unstable();
+            d.dedup();
+            desc_plus[i] = d;
+        }
+        // Ancestor closure by inversion.
+        let mut asc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, descs) in desc_plus.iter().enumerate() {
+            for &d in descs {
+                asc_plus[d].push(i);
+            }
+        }
+        for a in &mut asc_plus {
+            a.sort_unstable();
+        }
+
+        let mtns: Vec<usize> = mtn_ids.iter().map(|id| dense[id]).collect();
+        let mut mtns = mtns;
+        mtns.sort_unstable();
+
+        for &m in &mtns {
+            stats.mtn_descendants_total += desc_plus[m].len() - 1;
+        }
+        let mut uniq: Vec<usize> = mtns
+            .iter()
+            .flat_map(|&m| desc_plus[m].iter().copied().filter(move |&d| d != m))
+            .collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        stats.mtn_descendants_unique = uniq.len();
+
+        PrunedLattice { nodes, levels, children, parents, desc_plus, asc_plus, mtns, stats }
+    }
+
+    /// Number of nodes in the sub-lattice.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the sub-lattice is empty (no MTNs exist).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The offline lattice node id of dense node `i`.
+    pub fn lattice_id(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// The network of dense node `i`.
+    pub fn jnts<'a>(&self, lattice: &'a Lattice, i: usize) -> &'a Jnts {
+        &lattice.node(self.nodes[i]).jnts
+    }
+
+    /// Level of dense node `i`.
+    pub fn level(&self, i: usize) -> u32 {
+        self.levels[i]
+    }
+
+    /// Children (dense) of node `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Parents (dense, within the pruned set) of node `i`.
+    pub fn parents(&self, i: usize) -> &[usize] {
+        &self.parents[i]
+    }
+
+    /// Descendants of `i` including `i`, ascending.
+    pub fn desc_plus(&self, i: usize) -> &[usize] {
+        &self.desc_plus[i]
+    }
+
+    /// Ancestors of `i` (within the pruned set) including `i`, ascending.
+    pub fn asc_plus(&self, i: usize) -> &[usize] {
+        &self.asc_plus[i]
+    }
+
+    /// Whether `d` is a descendant of `a` (or equal).
+    pub fn is_desc_or_self(&self, d: usize, a: usize) -> bool {
+        self.desc_plus[a].binary_search(&d).is_ok()
+    }
+
+    /// Dense indices of the MTNs, ascending (= by level).
+    pub fn mtns(&self) -> &[usize] {
+        &self.mtns
+    }
+
+    /// Phase-1/2 statistics.
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::schema_graph::SchemaGraph;
+    use relengine::{DataType, DatabaseBuilder, Database, Value};
+    use textindex::InvertedIndex;
+
+    /// ptype(candle) <- item -> color(red): the paper's "red candle" example.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").unwrap();
+        b.foreign_key("item", "color_id", "color", "id").unwrap();
+        let mut db = b.finish().unwrap();
+        db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        db.insert_values(
+            "item",
+            vec![Value::Int(1), Value::text("plain holder"), Value::Int(1), Value::Int(1)],
+        )
+        .unwrap();
+        db.finalize();
+        db
+    }
+
+    fn pruned(max_joins: usize) -> (Lattice, PrunedLattice) {
+        let db = db();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("red candle").unwrap();
+        let m = map_keywords(&q, &idx);
+        assert_eq!(m.interpretations.len(), 1);
+        let p = PrunedLattice::build(&lattice, &m.interpretations[0]);
+        (lattice, p)
+    }
+
+    #[test]
+    fn red_candle_has_single_mtn_at_level3() {
+        let (lattice, p) = pruned(2);
+        assert_eq!(p.mtns().len(), 1);
+        let m = p.mtns()[0];
+        assert_eq!(p.level(m), 3);
+        let jnts = p.jnts(&lattice, m);
+        // P1 - I0 - C1 (ptype copy 1, free item, color copy 1).
+        let mut labels: Vec<(usize, u8)> =
+            jnts.nodes().iter().map(|ts| (ts.table, ts.copy)).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![(0, 1), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn pruning_reduces_node_count() {
+        let (lattice, p) = pruned(2);
+        assert!(p.stats().retained_phase1 < lattice.node_count());
+        assert!(p.stats().pruned_nodes <= p.stats().retained_phase1);
+        assert_eq!(p.stats().lattice_nodes, lattice.node_count());
+        assert_eq!(p.len(), p.stats().pruned_nodes);
+    }
+
+    #[test]
+    fn closures_are_consistent() {
+        let (_, p) = pruned(2);
+        for i in 0..p.len() {
+            assert!(p.desc_plus(i).contains(&i));
+            assert!(p.asc_plus(i).contains(&i));
+            for &c in p.children(i) {
+                assert!(c < i || p.level(c) < p.level(i));
+                assert!(p.is_desc_or_self(c, i));
+            }
+            for &d in p.desc_plus(i) {
+                assert!(p.asc_plus(d).contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn mtn_descendants_stats() {
+        let (_, p) = pruned(2);
+        let s = p.stats();
+        assert_eq!(s.mtn_count, 1);
+        // Single MTN: unique == total, zero reuse.
+        assert_eq!(s.mtn_descendants_total, s.mtn_descendants_unique);
+        assert_eq!(s.reuse_percentage(), 0.0);
+    }
+
+    #[test]
+    fn dense_order_is_level_order() {
+        let (_, p) = pruned(2);
+        for i in 1..p.len() {
+            assert!(p.level(i - 1) <= p.level(i));
+        }
+    }
+
+    #[test]
+    fn empty_when_no_mtn() {
+        // One keyword that only matches ptype, but lattice limited to 0 joins:
+        // MTN exists at level 1, so instead query two keywords in tables that
+        // cannot connect within the join budget.
+        let db = db();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 0); // single-table queries only
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("red candle").unwrap();
+        let m = map_keywords(&q, &idx);
+        let p = PrunedLattice::build(&lattice, &m.interpretations[0]);
+        // "red" and "candle" live in different tables: no single-table total node.
+        assert!(p.is_empty());
+        assert_eq!(p.stats().mtn_count, 0);
+    }
+
+    #[test]
+    fn reuse_when_multiple_mtns_share_descendants() {
+        // Query "red" alone at maxJoins 2: MTN is C1 itself (level 1), the
+        // only MTN; descendants empty.
+        let db = db();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let p = PrunedLattice::build(&lattice, &m.interpretations[0]);
+        assert_eq!(p.mtns().len(), 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.stats().mtn_descendants_total, 0);
+    }
+}

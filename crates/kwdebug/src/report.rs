@@ -1,0 +1,315 @@
+//! Output types: the system's answer to a keyword query.
+//!
+//! Per §2.1 the output is `O(K) = A(K) ∪ N(K) ∪ M(K)`: the answer queries,
+//! the non-answer queries, and for each non-answer its maximal non-empty
+//! sub-queries. Reports carry SQL text (what a developer pastes into a
+//! console) and sample result tuples for everything alive.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::prune::PruneStats;
+
+/// One structured query (a lattice node) as shown to the developer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryInfo {
+    /// Rendered SQL of the instantiated query.
+    pub sql: String,
+    /// Lattice level (number of relation instances).
+    pub level: u32,
+    /// Up to `sample_limit` rendered result tuples (empty for dead queries or
+    /// when sampling is disabled).
+    pub sample_tuples: Vec<String>,
+}
+
+/// A dead candidate network together with its explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonAnswerInfo {
+    /// The non-answer query itself.
+    pub query: QueryInfo,
+    /// Its maximal partially alive sub-queries — the frontier cause.
+    pub mpans: Vec<QueryInfo>,
+}
+
+/// Results for one interpretation of the keyword query.
+#[derive(Debug, Clone)]
+pub struct InterpretationOutcome {
+    /// `(keyword, table name)` binding of this interpretation.
+    pub keyword_tables: Vec<(String, String)>,
+    /// Alive candidate networks.
+    pub answers: Vec<QueryInfo>,
+    /// Dead candidate networks with their MPANs.
+    pub non_answers: Vec<NonAnswerInfo>,
+    /// Phase 1/2 statistics.
+    pub prune_stats: PruneStats,
+    /// SQL queries executed by the Phase-3 traversal.
+    pub sql_queries: u64,
+    /// Wall-clock SQL time of the Phase-3 traversal.
+    pub sql_time: Duration,
+}
+
+/// The full report for a keyword query.
+#[derive(Debug, Clone)]
+pub struct DebugReport {
+    /// Normalized keywords in query order.
+    pub keywords: Vec<String>,
+    /// Keywords that occur nowhere in the database (non-empty ⇒ no
+    /// exploration happened, matching the paper's early exit).
+    pub unknown_keywords: Vec<String>,
+    /// Per-interpretation results.
+    pub interpretations: Vec<InterpretationOutcome>,
+    /// Time to map keywords to schema terms (Phase 1 lookup, §3.3).
+    pub mapping_time: Duration,
+    /// End-to-end time of the debug call.
+    pub total_time: Duration,
+}
+
+impl DebugReport {
+    /// Total answer queries across interpretations.
+    pub fn answer_count(&self) -> usize {
+        self.interpretations.iter().map(|i| i.answers.len()).sum()
+    }
+
+    /// Total non-answer queries across interpretations.
+    pub fn non_answer_count(&self) -> usize {
+        self.interpretations.iter().map(|i| i.non_answers.len()).sum()
+    }
+
+    /// Total MPANs reported across all non-answers.
+    pub fn mpan_count(&self) -> usize {
+        self.interpretations
+            .iter()
+            .flat_map(|i| i.non_answers.iter())
+            .map(|n| n.mpans.len())
+            .sum()
+    }
+
+    /// Total SQL queries executed across interpretations.
+    pub fn sql_queries(&self) -> u64 {
+        self.interpretations.iter().map(|i| i.sql_queries).sum()
+    }
+
+    /// Total SQL time across interpretations.
+    pub fn sql_time(&self) -> Duration {
+        self.interpretations.iter().map(|i| i.sql_time).sum()
+    }
+}
+
+impl fmt::Display for DebugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "keyword query: {:?}", self.keywords)?;
+        if !self.unknown_keywords.is_empty() {
+            writeln!(
+                f,
+                "keywords not found anywhere in the database: {:?}",
+                self.unknown_keywords
+            )?;
+            return writeln!(f, "(no exploration performed — \"and\" semantics)");
+        }
+        for (i, interp) in self.interpretations.iter().enumerate() {
+            writeln!(f, "— interpretation #{}:", i + 1)?;
+            for (kw, table) in &interp.keyword_tables {
+                writeln!(f, "    {kw} -> {table}")?;
+            }
+            writeln!(
+                f,
+                "  {} answer quer{}, {} non-answer quer{} ({} SQL queries, {:?})",
+                interp.answers.len(),
+                if interp.answers.len() == 1 { "y" } else { "ies" },
+                interp.non_answers.len(),
+                if interp.non_answers.len() == 1 { "y" } else { "ies" },
+                interp.sql_queries,
+                interp.sql_time,
+            )?;
+            for a in &interp.answers {
+                writeln!(f, "  ALIVE  (level {}) {}", a.level, a.sql)?;
+                for t in &a.sample_tuples {
+                    writeln!(f, "           e.g. {t}")?;
+                }
+            }
+            for n in &interp.non_answers {
+                writeln!(f, "  DEAD   (level {}) {}", n.query.level, n.query.sql)?;
+                for m in &n.mpans {
+                    writeln!(f, "    max alive sub-query (level {}): {}", m.level, m.sql)?;
+                    for t in &m.sample_tuples {
+                        writeln!(f, "           e.g. {t}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> DebugReport {
+        DebugReport {
+            keywords: vec!["saffron".into(), "candle".into()],
+            unknown_keywords: vec![],
+            interpretations: vec![InterpretationOutcome {
+                keyword_tables: vec![
+                    ("saffron".into(), "color".into()),
+                    ("candle".into(), "ptype".into()),
+                ],
+                answers: vec![QueryInfo {
+                    sql: "SELECT *".into(),
+                    level: 3,
+                    sample_tuples: vec!["item(1)".into()],
+                }],
+                non_answers: vec![NonAnswerInfo {
+                    query: QueryInfo { sql: "SELECT * DEAD".into(), level: 3, sample_tuples: vec![] },
+                    mpans: vec![
+                        QueryInfo { sql: "SUB1".into(), level: 2, sample_tuples: vec![] },
+                        QueryInfo { sql: "SUB2".into(), level: 1, sample_tuples: vec![] },
+                    ],
+                }],
+                prune_stats: PruneStats::default(),
+                sql_queries: 7,
+                sql_time: Duration::from_millis(3),
+            }],
+            mapping_time: Duration::from_millis(1),
+            total_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let r = sample_report();
+        assert_eq!(r.answer_count(), 1);
+        assert_eq!(r.non_answer_count(), 1);
+        assert_eq!(r.mpan_count(), 2);
+        assert_eq!(r.sql_queries(), 7);
+        assert_eq!(r.sql_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn display_renders_sections() {
+        let text = sample_report().to_string();
+        assert!(text.contains("interpretation #1"));
+        assert!(text.contains("ALIVE"));
+        assert!(text.contains("DEAD"));
+        assert!(text.contains("max alive sub-query"));
+        assert!(text.contains("saffron -> color"));
+    }
+
+    #[test]
+    fn display_unknown_keywords_short_circuit() {
+        let mut r = sample_report();
+        r.unknown_keywords = vec!["zanzibar".into()];
+        let text = r.to_string();
+        assert!(text.contains("not found anywhere"));
+        assert!(text.contains("zanzibar"));
+        assert!(!text.contains("interpretation #1"));
+    }
+}
+
+impl DebugReport {
+    /// Renders the report as Markdown — the shape a dashboard or issue
+    /// tracker integration would consume.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(md, "# Keyword query `{}`\n", self.keywords.join(" "));
+        if !self.unknown_keywords.is_empty() {
+            let _ = writeln!(
+                md,
+                "**Keywords not found anywhere in the database:** {}\n",
+                self.unknown_keywords.join(", ")
+            );
+            let _ = writeln!(md, "_No exploration performed (\"and\" semantics)._");
+            return md;
+        }
+        let _ = writeln!(
+            md,
+            "{} answer(s), {} non-answer(s), {} explanation sub-queries; \
+             {} SQL queries in {:?}.\n",
+            self.answer_count(),
+            self.non_answer_count(),
+            self.mpan_count(),
+            self.sql_queries(),
+            self.sql_time()
+        );
+        for (i, interp) in self.interpretations.iter().enumerate() {
+            let binding: Vec<String> = interp
+                .keyword_tables
+                .iter()
+                .map(|(k, t)| format!("`{k}` → `{t}`"))
+                .collect();
+            let _ = writeln!(md, "## Interpretation {}: {}\n", i + 1, binding.join(", "));
+            for a in &interp.answers {
+                let _ = writeln!(md, "- ✅ **alive** (level {}): `{}`", a.level, a.sql);
+                for t in &a.sample_tuples {
+                    let _ = writeln!(md, "  - e.g. {t}");
+                }
+            }
+            for n in &interp.non_answers {
+                let _ = writeln!(md, "- ❌ **dead** (level {}): `{}`", n.query.level, n.query.sql);
+                for m in &n.mpans {
+                    let _ = writeln!(
+                        md,
+                        "  - still works (level {}): `{}`",
+                        m.level, m.sql
+                    );
+                }
+            }
+            let _ = writeln!(md);
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod markdown_tests {
+    use super::*;
+    use crate::prune::PruneStats;
+    use std::time::Duration;
+
+    #[test]
+    fn markdown_contains_all_sections() {
+        let r = DebugReport {
+            keywords: vec!["saffron".into(), "candle".into()],
+            unknown_keywords: vec![],
+            interpretations: vec![InterpretationOutcome {
+                keyword_tables: vec![("saffron".into(), "color".into())],
+                answers: vec![QueryInfo {
+                    sql: "A".into(),
+                    level: 2,
+                    sample_tuples: vec!["x".into()],
+                }],
+                non_answers: vec![NonAnswerInfo {
+                    query: QueryInfo { sql: "D".into(), level: 3, sample_tuples: vec![] },
+                    mpans: vec![QueryInfo { sql: "M".into(), level: 1, sample_tuples: vec![] }],
+                }],
+                prune_stats: PruneStats::default(),
+                sql_queries: 4,
+                sql_time: Duration::from_millis(1),
+            }],
+            mapping_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+        };
+        let md = r.to_markdown();
+        assert!(md.starts_with("# Keyword query `saffron candle`"));
+        assert!(md.contains("## Interpretation 1"));
+        assert!(md.contains("✅ **alive** (level 2): `A`"));
+        assert!(md.contains("❌ **dead** (level 3): `D`"));
+        assert!(md.contains("still works (level 1): `M`"));
+        assert!(md.contains("e.g. x"));
+    }
+
+    #[test]
+    fn markdown_unknown_keywords_short_circuit() {
+        let r = DebugReport {
+            keywords: vec!["x".into()],
+            unknown_keywords: vec!["x".into()],
+            interpretations: vec![],
+            mapping_time: Duration::ZERO,
+            total_time: Duration::ZERO,
+        };
+        let md = r.to_markdown();
+        assert!(md.contains("not found anywhere"));
+        assert!(!md.contains("## Interpretation"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The schema graph: tables as vertices, key/foreign-key edges.
+//!
+//! Lattice generation (Phase 0) walks this graph: a join-query tree may only
+//! use joins "implicit in the schema graph" (no cross products). Each edge is
+//! one declared foreign key; an edge is traversable in both directions (from
+//! the referencing table to the referenced one and back), but its identity —
+//! which side holds the foreign-key column — is preserved, which matters for
+//! self-referencing relationships such as a citation table.
+
+use relengine::{Database, FkId, TableId};
+
+/// One direction-aware incidence entry of the schema graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incidence {
+    /// The foreign key realizing this edge.
+    pub fk: FkId,
+    /// The table on the other end.
+    pub other: TableId,
+    /// Whether the *local* table (the one whose incidence list this entry
+    /// sits in) is the referencing (`from`) side of the foreign key.
+    pub local_is_from: bool,
+}
+
+/// Adjacency view of the database's key/foreign-key graph.
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    /// `incident[t]` lists the edges touching table `t`.
+    incident: Vec<Vec<Incidence>>,
+    /// Tables that contain at least one text attribute (keyword-bindable).
+    text_tables: Vec<bool>,
+    fk_count: usize,
+}
+
+impl SchemaGraph {
+    /// Builds the schema graph of `db`.
+    pub fn new(db: &Database) -> Self {
+        let n = db.table_count();
+        let mut incident = vec![Vec::new(); n];
+        for (fk_id, fk) in db.foreign_keys().iter().enumerate() {
+            incident[fk.from_table].push(Incidence {
+                fk: fk_id,
+                other: fk.to_table,
+                local_is_from: true,
+            });
+            incident[fk.to_table].push(Incidence {
+                fk: fk_id,
+                other: fk.from_table,
+                local_is_from: false,
+            });
+        }
+        let text_tables = (0..n).map(|t| db.table(t).schema().has_text()).collect();
+        SchemaGraph { incident, text_tables, fk_count: db.foreign_keys().len() }
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.incident.len()
+    }
+
+    /// Number of foreign keys (undirected edges).
+    pub fn fk_count(&self) -> usize {
+        self.fk_count
+    }
+
+    /// Edges incident to table `t`.
+    pub fn incident(&self, t: TableId) -> &[Incidence] {
+        &self.incident[t]
+    }
+
+    /// Whether table `t` has text attributes, i.e. keywords can bind to it.
+    pub fn has_text(&self, t: TableId) -> bool {
+        self.text_tables[t]
+    }
+
+    /// Degree of table `t` in the schema graph.
+    pub fn degree(&self, t: TableId) -> usize {
+        self.incident[t].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder};
+
+    /// person, publication, writes(person, publication), cites(pub, pub)
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("person")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key("id");
+        b.table("publication")
+            .column("id", DataType::Int)
+            .column("title", DataType::Text)
+            .primary_key("id");
+        b.table("writes")
+            .column("person_id", DataType::Int)
+            .column("pub_id", DataType::Int);
+        b.table("cites")
+            .column("citing", DataType::Int)
+            .column("cited", DataType::Int);
+        b.foreign_key("writes", "person_id", "person", "id").unwrap();
+        b.foreign_key("writes", "pub_id", "publication", "id").unwrap();
+        b.foreign_key("cites", "citing", "publication", "id").unwrap();
+        b.foreign_key("cites", "cited", "publication", "id").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn incidences_both_directions() {
+        let db = db();
+        let g = SchemaGraph::new(&db);
+        assert_eq!(g.table_count(), 4);
+        assert_eq!(g.fk_count(), 4);
+        let person = db.table_id("person").unwrap();
+        let writes = db.table_id("writes").unwrap();
+        assert_eq!(g.degree(person), 1);
+        assert!(!g.incident(person)[0].local_is_from);
+        assert_eq!(g.incident(person)[0].other, writes);
+        assert_eq!(g.degree(writes), 2);
+        assert!(g.incident(writes).iter().all(|i| i.local_is_from));
+    }
+
+    #[test]
+    fn self_relationship_contributes_two_incidences() {
+        let db = db();
+        let g = SchemaGraph::new(&db);
+        let publication = db.table_id("publication").unwrap();
+        // publication touches: writes.pub_id, cites.citing, cites.cited.
+        assert_eq!(g.degree(publication), 3);
+    }
+
+    #[test]
+    fn text_tables() {
+        let db = db();
+        let g = SchemaGraph::new(&db);
+        assert!(g.has_text(db.table_id("person").unwrap()));
+        assert!(g.has_text(db.table_id("publication").unwrap()));
+        assert!(!g.has_text(db.table_id("writes").unwrap()));
+        assert!(!g.has_text(db.table_id("cites").unwrap()));
+    }
+}

@@ -1,0 +1,378 @@
+//! Interactive non-answer debugging sessions (paper §5, future work).
+//!
+//! The paper closes with: *"debugging is often an interactive process and it
+//! is worth studying how to combine the search for MPANs with user
+//! intervention."* This module implements that combination. A
+//! [`DebugSession`] holds the Phase-2 state (pruned lattice + statuses) and
+//! interleaves three kinds of step, all sharing the R1/R2 propagation:
+//!
+//! * [`DebugSession::step`] — execute the SQL of the most informative
+//!   unknown node (chosen with the SBH score) through the oracle;
+//! * [`DebugSession::assert_alive`] / [`DebugSession::assert_dead`] — inject
+//!   an *external* verdict, e.g. a developer who already knows a relationship
+//!   table is empty, or who wants to explore "what if I added this synonym"
+//!   without touching the data. Contradictions with established knowledge
+//!   are rejected, not absorbed;
+//! * [`DebugSession::outcome`] — once everything needed is classified,
+//!   extract the answers / non-answers / MPANs exactly as the batch
+//!   traversals do.
+//!
+//! Because injected verdicts participate in inference, a single "this table
+//! is empty in production" assertion can resolve large regions of the search
+//! space without a single SQL execution — the interactive pruning the paper
+//! anticipates.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+use crate::traversal::{extract_mpans, Status, TraversalOutcome};
+
+/// A stateful, steppable Phase-3 exploration.
+pub struct DebugSession<'a> {
+    lattice: &'a Lattice,
+    pruned: PrunedLattice,
+    status: Vec<Status>,
+    /// Static MTN-coverage weight per node (see the SBH module docs).
+    weight: Vec<i64>,
+    /// Aliveness prior used to rank suggestions.
+    pa: f64,
+    executed: u64,
+    injected: u64,
+}
+
+impl<'a> DebugSession<'a> {
+    /// Opens a session over a pruned lattice.
+    pub fn new(lattice: &'a Lattice, pruned: PrunedLattice, pa: f64) -> Self {
+        let len = pruned.len();
+        let mut weight = vec![0i64; len];
+        for &m in pruned.mtns() {
+            for &x in pruned.desc_plus(m) {
+                weight[x] += 1;
+            }
+        }
+        DebugSession {
+            lattice,
+            pruned,
+            status: vec![Status::Unknown; len],
+            weight,
+            pa,
+            executed: 0,
+            injected: 0,
+        }
+    }
+
+    /// The pruned lattice being explored.
+    pub fn pruned(&self) -> &PrunedLattice {
+        &self.pruned
+    }
+
+    /// Current status of dense node `i`.
+    pub fn status(&self, i: usize) -> Status {
+        self.status[i]
+    }
+
+    /// All statuses, indexed by dense node (for diagnosis once complete).
+    pub fn statuses(&self) -> &[Status] {
+        &self.status
+    }
+
+    /// Number of still-unknown nodes.
+    pub fn unknown_count(&self) -> usize {
+        self.status.iter().filter(|&&s| s == Status::Unknown).count()
+    }
+
+    /// SQL queries executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// External verdicts injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Whether every node is classified (outcome available).
+    pub fn is_complete(&self) -> bool {
+        self.unknown_count() == 0
+    }
+
+    /// The most informative unknown node under the SBH score, or `None` when
+    /// the session is complete.
+    pub fn suggestion(&self) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for n in 0..self.pruned.len() {
+            if self.status[n] != Status::Unknown {
+                continue;
+            }
+            let a: i64 = self
+                .pruned
+                .desc_plus(n)
+                .iter()
+                .filter(|&&x| self.status[x] == Status::Unknown)
+                .map(|&x| self.weight[x])
+                .sum();
+            let b: i64 = self
+                .pruned
+                .asc_plus(n)
+                .iter()
+                .filter(|&&x| self.status[x] == Status::Unknown)
+                .map(|&x| self.weight[x])
+                .sum();
+            let gain = self.pa * a as f64 + (1.0 - self.pa) * b as f64;
+            if best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, n));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// Executes the suggestion's SQL through `oracle`; returns the node and
+    /// its verdict, or `None` if the session was already complete.
+    pub fn step(
+        &mut self,
+        oracle: &mut AlivenessOracle<'_>,
+    ) -> Result<Option<(usize, bool)>, KwError> {
+        let Some(n) = self.suggestion() else { return Ok(None) };
+        let alive =
+            oracle.is_alive(self.pruned.lattice_id(n), self.pruned.jnts(self.lattice, n))?;
+        self.executed += 1;
+        self.record(n, alive)?;
+        Ok(Some((n, alive)))
+    }
+
+    /// Runs [`DebugSession::step`] until complete.
+    pub fn run_to_completion(
+        &mut self,
+        oracle: &mut AlivenessOracle<'_>,
+    ) -> Result<(), KwError> {
+        while self.step(oracle)?.is_some() {}
+        Ok(())
+    }
+
+    /// Injects an external "this sub-query has results" verdict.
+    pub fn assert_alive(&mut self, n: usize) -> Result<(), KwError> {
+        self.inject(n, true)
+    }
+
+    /// Injects an external "this sub-query is empty" verdict.
+    pub fn assert_dead(&mut self, n: usize) -> Result<(), KwError> {
+        self.inject(n, false)
+    }
+
+    fn inject(&mut self, n: usize, alive: bool) -> Result<(), KwError> {
+        if n >= self.pruned.len() {
+            return Err(KwError::BadConfig(format!(
+                "node {n} out of range for a {}-node session",
+                self.pruned.len()
+            )));
+        }
+        self.injected += 1;
+        self.record(n, alive)
+    }
+
+    /// Records a verdict and propagates R1/R2; rejects contradictions.
+    fn record(&mut self, n: usize, alive: bool) -> Result<(), KwError> {
+        let (new_status, cone): (Status, &[usize]) = if alive {
+            (Status::Alive, self.pruned.desc_plus(n))
+        } else {
+            (Status::Dead, self.pruned.asc_plus(n))
+        };
+        let contradiction = match self.status[n] {
+            Status::Unknown => None,
+            s if s == new_status => return Ok(()), // redundant, fine
+            _ => Some(n),
+        }
+        .or_else(|| {
+            cone.iter()
+                .copied()
+                .find(|&x| self.status[x] != Status::Unknown && self.status[x] != new_status)
+        });
+        if let Some(x) = contradiction {
+            return Err(KwError::ConflictingVerdict(format!(
+                "node {n} asserted {} but node {x} is already {:?}",
+                if alive { "alive" } else { "dead" },
+                self.status[x]
+            )));
+        }
+        for &x in cone {
+            self.status[x] = new_status;
+        }
+        Ok(())
+    }
+
+    /// Extracts the final classification once complete; `None` while unknown
+    /// nodes remain.
+    pub fn outcome(&self) -> Option<TraversalOutcome> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut alive_mtns = Vec::new();
+        let mut dead_mtns = Vec::new();
+        let mut mpans = Vec::new();
+        for &m in self.pruned.mtns() {
+            match self.status[m] {
+                Status::Alive => alive_mtns.push(m),
+                Status::Dead => {
+                    dead_mtns.push(m);
+                    mpans.push(extract_mpans(&self.pruned, &self.status, m));
+                }
+                Status::Unknown => return None,
+            }
+        }
+        Some(TraversalOutcome {
+            alive_mtns,
+            dead_mtns,
+            mpans,
+            sql_queries: self.executed,
+            sql_time: std::time::Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::prune::PrunedLattice;
+    use crate::schema_graph::SchemaGraph;
+    use crate::traversal::{self, StrategyKind};
+    use relengine::{DataType, Database, DatabaseBuilder, Value};
+    use textindex::InvertedIndex;
+
+    /// ptype <- item -> color; "blue candle" dead, "red candle" alive.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").expect("static");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        for (id, n) in [(1, "candle"), (2, "oil")] {
+            db.insert_values("ptype", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n) in [(1, "red"), (2, "blue")] {
+            db.insert_values("color", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n, p, c) in [(1, "wick", 1, 1), (2, "drop", 2, 2)] {
+            db.insert_values(
+                "item",
+                vec![Value::Int(id), Value::text(n), Value::Int(p), Value::Int(c)],
+            )
+            .expect("row");
+        }
+        db.finalize();
+        db
+    }
+
+    struct Fix {
+        db: Database,
+        index: InvertedIndex,
+        lattice: Lattice,
+        keywords: Vec<String>,
+        interp: crate::binding::Interpretation,
+    }
+
+    fn fix(text: &str) -> Fix {
+        let db = db();
+        let index = InvertedIndex::build(&db);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let query = KeywordQuery::parse(text).expect("parses");
+        let mapping = map_keywords(&query, &index);
+        let interp = mapping.interpretations[0].clone();
+        Fix { db, index, lattice, keywords: mapping.keywords, interp }
+    }
+
+    #[test]
+    fn stepping_to_completion_matches_batch_sbh() {
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut session = DebugSession::new(&f.lattice, pruned.clone(), 0.5);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        assert!(session.outcome().is_none());
+        session.run_to_completion(&mut oracle).expect("session runs");
+        let got = session.outcome().expect("complete");
+
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        let batch = traversal::run(
+            StrategyKind::ScoreBasedHeuristic, &f.lattice, &pruned, &mut oracle, 0.5,
+        )
+        .expect("batch runs");
+        assert_eq!(got.alive_mtns, batch.alive_mtns);
+        assert_eq!(got.dead_mtns, batch.dead_mtns);
+        assert_eq!(got.mpans, batch.mpans);
+        assert_eq!(got.sql_queries, batch.sql_queries, "same greedy order, same cost");
+    }
+
+    #[test]
+    fn injected_verdicts_save_executions() {
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        // Find the MTN and assert it dead by hand (the developer "knows").
+        let mtn = pruned.mtns()[0];
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        session.assert_dead(mtn).expect("assertion accepted");
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        session.run_to_completion(&mut oracle).expect("session runs");
+        let out = session.outcome().expect("complete");
+        assert_eq!(out.dead_mtns.len(), 1);
+        assert_eq!(session.injected(), 1);
+        // The paper's batch SBH executes the MTN itself; we saved that query.
+        assert!(session.executed() < 6, "injection pruned the search");
+    }
+
+    #[test]
+    fn contradictions_rejected() {
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mtn = pruned.mtns()[0];
+        // A child of the MTN.
+        let child = pruned.children(mtn)[0];
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        session.assert_dead(child).expect("first verdict fine");
+        // The MTN is now dead by R2; asserting it alive must fail.
+        let err = session.assert_alive(mtn).expect_err("contradiction");
+        assert!(matches!(err, KwError::ConflictingVerdict(_)), "{err}");
+        // Redundant re-assertion is fine.
+        session.assert_dead(mtn).expect("consistent verdict accepted");
+    }
+
+    #[test]
+    fn out_of_range_assertion_rejected() {
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        assert!(session.assert_alive(9999).is_err());
+    }
+
+    #[test]
+    fn counters_and_accessors() {
+        let f = fix("red candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let total = pruned.len();
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        assert_eq!(session.unknown_count(), total);
+        assert!(!session.is_complete());
+        assert!(session.suggestion().is_some());
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        let (n, alive) = session.step(&mut oracle).expect("runs").expect("stepped");
+        assert_eq!(session.status(n), if alive { Status::Alive } else { Status::Dead });
+        assert!(session.unknown_count() < total);
+        session.run_to_completion(&mut oracle).expect("runs");
+        assert!(session.step(&mut oracle).expect("runs").is_none());
+        assert!(session.pruned().len() == total);
+    }
+}

@@ -1,0 +1,28 @@
+//! Brute-force reference traversal.
+//!
+//! Executes the SQL query of *every* node in the pruned sub-lattice, never
+//! using R1/R2 inference. It is the most expensive strategy and exists as
+//! ground truth: every other strategy must produce exactly the same MTN
+//! classification and MPAN sets (asserted by the integration and property
+//! tests), differing only in query count.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+use super::{execute, outcome_from_global_status, Status};
+
+type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+
+pub(super) fn run(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+) -> Result<Classified, KwError> {
+    let mut status = vec![Status::Unknown; pruned.len()];
+    for (n, s) in status.iter_mut().enumerate() {
+        *s = if execute(lattice, pruned, oracle, n)? { Status::Alive } else { Status::Dead };
+    }
+    Ok(outcome_from_global_status(pruned, &status))
+}

@@ -1,0 +1,56 @@
+//! Bottom-up traversal without reuse (BU, §2.5.1).
+//!
+//! Each MTN is classified independently: its sub-lattice is swept from the
+//! single-table level upward, executing every node whose status is still
+//! unknown. A dead node marks all of its ancestors dead (rule R2), which is
+//! where bottom-up saves queries — whole upper regions of the sub-lattice are
+//! skipped once a low-level sub-query comes back empty. Nothing is shared
+//! between MTNs: a sub-query common to two MTNs is executed twice, which is
+//! exactly the redundancy the paper's reuse variants remove.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+use super::{execute, extract_mpans, Status};
+
+type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+
+pub(super) fn run(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+) -> Result<Classified, KwError> {
+    let mut alive_mtns = Vec::new();
+    let mut dead_mtns = Vec::new();
+    let mut mpans = Vec::new();
+    for &m in pruned.mtns() {
+        let mut status = vec![Status::Unknown; pruned.len()];
+        // desc_plus is ascending in dense index = ascending in level.
+        for &n in pruned.desc_plus(m) {
+            if status[n] != Status::Unknown {
+                continue;
+            }
+            if execute(lattice, pruned, oracle, n)? {
+                status[n] = Status::Alive;
+            } else {
+                // R2: every ancestor of a dead node is dead.
+                for &a in pruned.asc_plus(n) {
+                    status[a] = Status::Dead;
+                }
+            }
+        }
+        match status[m] {
+            Status::Alive => alive_mtns.push(m),
+            Status::Dead => {
+                dead_mtns.push(m);
+                mpans.push(extract_mpans(pruned, &status, m));
+            }
+            Status::Unknown => {
+                return Err(KwError::Internal("BU left its MTN unclassified".into()))
+            }
+        }
+    }
+    Ok((alive_mtns, dead_mtns, mpans))
+}

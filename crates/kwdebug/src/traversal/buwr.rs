@@ -1,0 +1,40 @@
+//! Bottom-up with reuse (BUWR, the paper's Algorithm 3).
+//!
+//! All MTNs and their descendants are processed *simultaneously* in one
+//! bottom-up sweep with a single shared status map: a sub-query common to
+//! several MTNs is executed at most once, removing the redundancy of BU.
+//! Rule R2 still prunes upward — a dead node kills its entire ancestor cone
+//! across every MTN's search space at once.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+use super::{execute, outcome_from_global_status, Status};
+
+type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+
+pub(super) fn run(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+) -> Result<Classified, KwError> {
+    let mut status = vec![Status::Unknown; pruned.len()];
+    // Dense order is level-ascending: one sweep is the level-by-level climb
+    // of Algorithm 3, with "next level = parents of alive nodes" realized by
+    // R2 having already marked the ancestors of dead nodes.
+    for n in 0..pruned.len() {
+        if status[n] != Status::Unknown {
+            continue;
+        }
+        if execute(lattice, pruned, oracle, n)? {
+            status[n] = Status::Alive;
+        } else {
+            for &a in pruned.asc_plus(n) {
+                status[a] = Status::Dead;
+            }
+        }
+    }
+    Ok(outcome_from_global_status(pruned, &status))
+}

@@ -1,0 +1,357 @@
+//! Phase 3: lattice traversal strategies.
+//!
+//! Given the pruned sub-lattice (MTNs and their descendants), Phase 3 must
+//! classify every MTN as **alive** (answer query) or **dead** (non-answer
+//! query) and, for every dead MTN, find its **MPANs** — the maximal partially
+//! alive nodes, i.e. alive descendants none of whose ancestors within the
+//! MTN's sub-lattice is alive. The classification rules
+//!
+//! * **R1**: a node is alive ⇒ all of its descendants are alive,
+//! * **R2**: a node has a dead descendant ⇒ it is dead,
+//!
+//! let a traversal *infer* the status of many nodes instead of executing
+//! their SQL queries; strategies differ in the order they pick nodes and in
+//! whether executions are shared across MTNs:
+//!
+//! | strategy | order | sharing |
+//! |---|---|---|
+//! | [`StrategyKind::BottomUp`] (BU) | per MTN, level ascending | none |
+//! | [`StrategyKind::TopDown`] (TD) | per MTN, level descending | none |
+//! | [`StrategyKind::BottomUpWithReuse`] (BUWR, Algorithm 3) | level ascending | global |
+//! | [`StrategyKind::TopDownWithReuse`] (TDWR) | level descending | global |
+//! | [`StrategyKind::ScoreBasedHeuristic`] (SBH, §2.5.3) | greedy by score | global |
+//! | [`StrategyKind::BruteForce`] | every node | global (oracle only) |
+//!
+//! All strategies return identical classifications and MPAN sets — they only
+//! differ in the number of SQL queries executed, which is exactly what the
+//! paper measures (Figures 11–12, Table 4).
+
+mod brute;
+mod bu;
+mod buwr;
+mod sbh;
+mod td;
+mod tdwr;
+
+use std::time::Duration;
+
+pub use sbh::DEFAULT_PA;
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+/// Selects a Phase-3 traversal strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Per-MTN bottom-up traversal (BU).
+    BottomUp,
+    /// Per-MTN top-down traversal (TD).
+    TopDown,
+    /// Bottom-up over all MTNs simultaneously (BUWR, the paper's Algorithm 3).
+    BottomUpWithReuse,
+    /// Top-down over all MTNs simultaneously (TDWR).
+    TopDownWithReuse,
+    /// Greedy score-based heuristic (SBH, §2.5.3) with `p_a = 0.5`.
+    ScoreBasedHeuristic,
+    /// Executes every node; the ground-truth reference.
+    BruteForce,
+}
+
+impl StrategyKind {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::BottomUp,
+        StrategyKind::BottomUpWithReuse,
+        StrategyKind::TopDown,
+        StrategyKind::TopDownWithReuse,
+        StrategyKind::ScoreBasedHeuristic,
+    ];
+
+    /// Short display name matching the paper's abbreviations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::BottomUp => "BU",
+            StrategyKind::TopDown => "TD",
+            StrategyKind::BottomUpWithReuse => "BUWR",
+            StrategyKind::TopDownWithReuse => "TDWR",
+            StrategyKind::ScoreBasedHeuristic => "SBH",
+            StrategyKind::BruteForce => "BRUTE",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classification state of a node during traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Not yet classified ("possibly alive" in the paper).
+    Unknown,
+    /// Returns at least one tuple.
+    Alive,
+    /// Returns no tuples.
+    Dead,
+}
+
+/// Result of a Phase-3 traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraversalOutcome {
+    /// Dense indices of MTNs classified alive (answer queries), ascending.
+    pub alive_mtns: Vec<usize>,
+    /// Dense indices of MTNs classified dead (non-answer queries), ascending.
+    pub dead_mtns: Vec<usize>,
+    /// For each dead MTN (aligned with `dead_mtns`), its MPANs ascending.
+    pub mpans: Vec<Vec<usize>>,
+    /// SQL queries executed by this traversal.
+    pub sql_queries: u64,
+    /// Wall-clock time spent executing SQL.
+    pub sql_time: Duration,
+}
+
+impl TraversalOutcome {
+    /// Total number of MPANs across all dead MTNs (with duplicates, as each
+    /// dead MTN reports its own frontier).
+    pub fn mpan_total(&self) -> usize {
+        self.mpans.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct MPAN nodes across all dead MTNs.
+    pub fn mpan_unique(&self) -> usize {
+        let mut all: Vec<usize> = self.mpans.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+/// Runs a traversal strategy over a pruned lattice.
+///
+/// `pa` is the aliveness prior used by [`StrategyKind::ScoreBasedHeuristic`]
+/// (ignored by the others); the paper finds `p_a = 0.5` works well.
+pub fn run(
+    kind: StrategyKind,
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    pa: f64,
+) -> Result<TraversalOutcome, KwError> {
+    let q0 = oracle.stats().queries;
+    let t0 = oracle.stats().total_time;
+    let (alive_mtns, dead_mtns, mpans) = match kind {
+        StrategyKind::BottomUp => bu::run(lattice, pruned, oracle)?,
+        StrategyKind::TopDown => td::run(lattice, pruned, oracle)?,
+        StrategyKind::BottomUpWithReuse => buwr::run(lattice, pruned, oracle)?,
+        StrategyKind::TopDownWithReuse => tdwr::run(lattice, pruned, oracle)?,
+        StrategyKind::ScoreBasedHeuristic => sbh::run(lattice, pruned, oracle, pa)?,
+        StrategyKind::BruteForce => brute::run(lattice, pruned, oracle)?,
+    };
+    Ok(TraversalOutcome {
+        alive_mtns,
+        dead_mtns,
+        mpans,
+        sql_queries: oracle.stats().queries - q0,
+        sql_time: oracle.stats().total_time.saturating_sub(t0),
+    })
+}
+
+/// Executes the SQL query of dense node `n` through the oracle.
+pub(crate) fn execute(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    n: usize,
+) -> Result<bool, KwError> {
+    oracle.is_alive(pruned.lattice_id(n), pruned.jnts(lattice, n))
+}
+
+/// Extracts the MPANs of dead MTN `m` from complete statuses: alive strict
+/// descendants of `m` with no alive parent inside `Desc+(m)`.
+///
+/// A parent-level check suffices: if any strict ancestor inside `Desc+(m)`
+/// were alive, rule R1 would make some parent on the connecting chain alive
+/// as well.
+pub(crate) fn extract_mpans(pruned: &PrunedLattice, status: &[Status], m: usize) -> Vec<usize> {
+    debug_assert_eq!(status[m], Status::Dead);
+    pruned
+        .desc_plus(m)
+        .iter()
+        .copied()
+        .filter(|&n| {
+            n != m
+                && status[n] == Status::Alive
+                && pruned
+                    .parents(n)
+                    .iter()
+                    .all(|&p| !pruned.is_desc_or_self(p, m) || status[p] == Status::Dead)
+        })
+        .collect()
+}
+
+/// Splits the MTNs by status and extracts MPANs for the dead ones; shared by
+/// the global-status strategies.
+pub(crate) fn outcome_from_global_status(
+    pruned: &PrunedLattice,
+    status: &[Status],
+) -> (Vec<usize>, Vec<usize>, Vec<Vec<usize>>) {
+    let mut alive_mtns = Vec::new();
+    let mut dead_mtns = Vec::new();
+    let mut mpans = Vec::new();
+    for &m in pruned.mtns() {
+        match status[m] {
+            Status::Alive => alive_mtns.push(m),
+            Status::Dead => {
+                dead_mtns.push(m);
+                mpans.push(extract_mpans(pruned, status, m));
+            }
+            Status::Unknown => unreachable!("traversal left MTN unclassified"),
+        }
+    }
+    (alive_mtns, dead_mtns, mpans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{map_keywords, KeywordQuery};
+    use crate::oracle::AlivenessOracle;
+    use crate::schema_graph::SchemaGraph;
+    use relengine::{DataType, Database, DatabaseBuilder, Value};
+    use textindex::InvertedIndex;
+
+    /// ptype <- item -> color store where "blue candle" is dead ("blue" only
+    /// colors an oil) while "red candle" is alive.
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("ptype").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("ptype_id", DataType::Int)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("color").column("id", DataType::Int).column("name", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "ptype_id", "ptype", "id").expect("static");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        for (id, n) in [(1, "candle"), (2, "oil")] {
+            db.insert_values("ptype", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n) in [(1, "red"), (2, "blue")] {
+            db.insert_values("color", vec![Value::Int(id), Value::text(n)]).expect("row");
+        }
+        for (id, n, p, c) in [(1, "wick", 1, 1), (2, "drop", 2, 2)] {
+            db.insert_values(
+                "item",
+                vec![Value::Int(id), Value::text(n), Value::Int(p), Value::Int(c)],
+            )
+            .expect("row");
+        }
+        db.finalize();
+        db
+    }
+
+    struct Fixture {
+        db: Database,
+        index: InvertedIndex,
+        lattice: Lattice,
+    }
+
+    fn fixture() -> Fixture {
+        let db = db();
+        let index = InvertedIndex::build(&db);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        Fixture { db, index, lattice }
+    }
+
+    fn run_on(f: &Fixture, text: &str, kind: StrategyKind) -> TraversalOutcome {
+        let query = KeywordQuery::parse(text).expect("parses");
+        let mapping = map_keywords(&query, &f.index);
+        assert_eq!(mapping.interpretations.len(), 1, "fixture keywords are unambiguous");
+        let interp = &mapping.interpretations[0];
+        let pruned = PrunedLattice::build(&f.lattice, interp);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), interp, &mapping.keywords, false);
+        run(kind, &f.lattice, &pruned, &mut oracle, DEFAULT_PA).expect("traversal runs")
+    }
+
+    #[test]
+    fn dead_mtn_detected_by_every_strategy() {
+        let f = fixture();
+        for kind in StrategyKind::ALL.into_iter().chain([StrategyKind::BruteForce]) {
+            let out = run_on(&f, "blue candle", kind);
+            assert_eq!(out.alive_mtns.len(), 0, "{kind}");
+            assert_eq!(out.dead_mtns.len(), 1, "{kind}");
+            // MPANs: candles exist, blue items exist.
+            assert_eq!(out.mpans[0].len(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn alive_mtn_detected_by_every_strategy() {
+        let f = fixture();
+        for kind in StrategyKind::ALL {
+            let out = run_on(&f, "red candle", kind);
+            assert_eq!(out.alive_mtns.len(), 1, "{kind}");
+            assert!(out.dead_mtns.is_empty(), "{kind}");
+            assert_eq!(out.mpan_total(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn td_executes_one_query_for_alive_mtn() {
+        let f = fixture();
+        let td = run_on(&f, "red candle", StrategyKind::TopDown);
+        assert_eq!(td.sql_queries, 1, "TD hits the alive MTN first and infers the rest");
+        let bu = run_on(&f, "red candle", StrategyKind::BottomUp);
+        assert!(bu.sql_queries > td.sql_queries, "BU must climb the whole cone");
+    }
+
+    #[test]
+    fn bu_benefits_from_dead_low_nodes() {
+        // "green candle": green occurs nowhere -> unknown keyword, no MTNs.
+        // Use "blue oil" instead: alive (the drop item is a blue oil).
+        let f = fixture();
+        let out = run_on(&f, "blue oil", StrategyKind::BottomUpWithReuse);
+        assert_eq!(out.alive_mtns.len(), 1);
+    }
+
+    #[test]
+    fn outcome_counters() {
+        let f = fixture();
+        let out = run_on(&f, "blue candle", StrategyKind::BruteForce);
+        assert_eq!(out.mpan_total(), 2);
+        assert_eq!(out.mpan_unique(), 2);
+        assert!(out.sql_queries >= 6, "brute executes every pruned node");
+        // Strategy display names.
+        assert_eq!(StrategyKind::BottomUp.to_string(), "BU");
+        assert_eq!(StrategyKind::ScoreBasedHeuristic.name(), "SBH");
+    }
+
+    #[test]
+    fn sbh_extreme_priors_still_correct() {
+        let f = fixture();
+        let query = KeywordQuery::parse("blue candle").expect("parses");
+        let mapping = map_keywords(&query, &f.index);
+        let interp = &mapping.interpretations[0];
+        let pruned = PrunedLattice::build(&f.lattice, interp);
+        for pa in [0.0, 0.25, 0.75, 1.0] {
+            let mut oracle =
+                AlivenessOracle::new(&f.db, Some(&f.index), interp, &mapping.keywords, false);
+            let out = run(
+                StrategyKind::ScoreBasedHeuristic, &f.lattice, &pruned, &mut oracle, pa,
+            )
+            .expect("SBH runs");
+            assert_eq!(out.dead_mtns.len(), 1, "pa={pa}");
+            assert_eq!(out.mpans[0].len(), 2, "pa={pa}");
+        }
+    }
+}

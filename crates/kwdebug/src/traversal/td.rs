@@ -1,0 +1,55 @@
+//! Top-down traversal without reuse (TD, §2.5.1).
+//!
+//! Each MTN's sub-lattice is swept from the MTN down to the single-table
+//! level. An alive node marks its whole descendant cone alive (rule R1), so
+//! when answers sit high in the lattice, large lower regions are never
+//! executed. A pleasant property of top-down order: every node found alive
+//! *by execution* (rather than by R1 inference) has no alive ancestor — for a
+//! dead MTN these are exactly its MPANs, though we extract them uniformly
+//! from the final statuses.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+use super::{execute, extract_mpans, Status};
+
+type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+
+pub(super) fn run(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+) -> Result<Classified, KwError> {
+    let mut alive_mtns = Vec::new();
+    let mut dead_mtns = Vec::new();
+    let mut mpans = Vec::new();
+    for &m in pruned.mtns() {
+        let mut status = vec![Status::Unknown; pruned.len()];
+        for &n in pruned.desc_plus(m).iter().rev() {
+            if status[n] != Status::Unknown {
+                continue;
+            }
+            if execute(lattice, pruned, oracle, n)? {
+                // R1: every descendant of an alive node is alive.
+                for &d in pruned.desc_plus(n) {
+                    status[d] = Status::Alive;
+                }
+            } else {
+                status[n] = Status::Dead;
+            }
+        }
+        match status[m] {
+            Status::Alive => alive_mtns.push(m),
+            Status::Dead => {
+                dead_mtns.push(m);
+                mpans.push(extract_mpans(pruned, &status, m));
+            }
+            Status::Unknown => {
+                return Err(KwError::Internal("TD left its MTN unclassified".into()))
+            }
+        }
+    }
+    Ok((alive_mtns, dead_mtns, mpans))
+}

@@ -1,0 +1,37 @@
+//! Top-down with reuse (TDWR, §2.5.2).
+//!
+//! The top-down analogue of Algorithm 3: one shared status map, one sweep
+//! from the highest lattice level down. Alive nodes propagate rule R1 over
+//! the descendant cones of *all* MTNs at once. On workloads where answers
+//! concentrate at high levels (the DBLife behaviour in §3.5), this is the
+//! strongest of the four order-based strategies.
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::AlivenessOracle;
+use crate::prune::PrunedLattice;
+
+use super::{execute, outcome_from_global_status, Status};
+
+type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+
+pub(super) fn run(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+) -> Result<Classified, KwError> {
+    let mut status = vec![Status::Unknown; pruned.len()];
+    for n in (0..pruned.len()).rev() {
+        if status[n] != Status::Unknown {
+            continue;
+        }
+        if execute(lattice, pruned, oracle, n)? {
+            for &d in pruned.desc_plus(n) {
+                status[d] = Status::Alive;
+            }
+        } else {
+            status[n] = Status::Dead;
+        }
+    }
+    Ok(outcome_from_global_status(pruned, &status))
+}

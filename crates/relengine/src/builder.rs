@@ -1,0 +1,189 @@
+//! Fluent construction of databases.
+//!
+//! ```
+//! use relengine::{DatabaseBuilder, DataType};
+//!
+//! let mut b = DatabaseBuilder::new();
+//! b.table("person")
+//!     .column("id", DataType::Int)
+//!     .column("name", DataType::Text)
+//!     .primary_key("id");
+//! b.table("writes")
+//!     .column("person_id", DataType::Int)
+//!     .column("pub_id", DataType::Int);
+//! b.foreign_key("writes", "person_id", "person", "id").unwrap();
+//! let db = b.finish().unwrap();
+//! assert_eq!(db.table_count(), 2);
+//! ```
+
+use crate::catalog::{Database, ForeignKey};
+use crate::error::EngineError;
+use crate::schema::{ColumnDef, TableSchema};
+use crate::value::DataType;
+
+/// Pending foreign key declared by name; resolved at [`DatabaseBuilder::finish`].
+#[derive(Debug, Clone)]
+struct PendingFk {
+    from_table: String,
+    from_col: String,
+    to_table: String,
+    to_col: String,
+}
+
+/// Builder for a [`Database`].
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    tables: Vec<TableSchema>,
+    fks: Vec<PendingFk>,
+}
+
+impl DatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DatabaseBuilder::default()
+    }
+
+    /// Starts (or resumes) building the table `name`.
+    pub fn table(&mut self, name: &str) -> TableBuilder<'_> {
+        let idx = match self.tables.iter().position(|t| t.name == name) {
+            Some(i) => i,
+            None => {
+                self.tables.push(TableSchema::new(name));
+                self.tables.len() - 1
+            }
+        };
+        TableBuilder { builder: self, idx }
+    }
+
+    /// Declares a foreign key by table/column names. The tables must already
+    /// have been started with [`DatabaseBuilder::table`]; columns are checked
+    /// at [`DatabaseBuilder::finish`] time.
+    pub fn foreign_key(
+        &mut self,
+        from_table: &str,
+        from_col: &str,
+        to_table: &str,
+        to_col: &str,
+    ) -> Result<(), EngineError> {
+        for t in [from_table, to_table] {
+            if !self.tables.iter().any(|s| s.name == t) {
+                return Err(EngineError::UnknownTable(t.to_owned()));
+            }
+        }
+        self.fks.push(PendingFk {
+            from_table: from_table.to_owned(),
+            from_col: from_col.to_owned(),
+            to_table: to_table.to_owned(),
+            to_col: to_col.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Resolves all declarations into a [`Database`] (still empty of rows).
+    pub fn finish(self) -> Result<Database, EngineError> {
+        let mut db = Database::new();
+        for schema in self.tables {
+            db.add_table(schema)?;
+        }
+        for fk in self.fks {
+            let from_table =
+                db.table_id(&fk.from_table).ok_or(EngineError::UnknownTable(fk.from_table.clone()))?;
+            let to_table =
+                db.table_id(&fk.to_table).ok_or(EngineError::UnknownTable(fk.to_table.clone()))?;
+            let from_col = db
+                .table(from_table)
+                .schema()
+                .col_index(&fk.from_col)
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    table: fk.from_table.clone(),
+                    column: fk.from_col.clone(),
+                })?;
+            let to_col = db
+                .table(to_table)
+                .schema()
+                .col_index(&fk.to_col)
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    table: fk.to_table.clone(),
+                    column: fk.to_col.clone(),
+                })?;
+            db.add_foreign_key(ForeignKey { from_table, from_col, to_table, to_col })?;
+        }
+        Ok(db)
+    }
+}
+
+/// Builds one table's schema within a [`DatabaseBuilder`].
+pub struct TableBuilder<'a> {
+    builder: &'a mut DatabaseBuilder,
+    idx: usize,
+}
+
+impl TableBuilder<'_> {
+    /// Appends a column.
+    pub fn column(self, name: &str, ty: DataType) -> Self {
+        self.builder.tables[self.idx]
+            .columns
+            .push(ColumnDef { name: name.to_owned(), ty });
+        self
+    }
+
+    /// Declares the primary key by column name (must already be added).
+    pub fn primary_key(self, name: &str) -> Self {
+        let pk = self.builder.tables[self.idx].col_index(name);
+        self.builder.tables[self.idx].primary_key = pk;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_schema_and_fks() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("id", DataType::Int).primary_key("id");
+        b.table("b")
+            .column("id", DataType::Int)
+            .column("a_id", DataType::Int)
+            .primary_key("id");
+        b.foreign_key("b", "a_id", "a", "id").unwrap();
+        let db = b.finish().unwrap();
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.foreign_keys().len(), 1);
+        assert_eq!(db.table(0).schema().primary_key, Some(0));
+    }
+
+    #[test]
+    fn fk_unknown_table_rejected_early() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("id", DataType::Int);
+        assert!(b.foreign_key("a", "id", "ghost", "id").is_err());
+    }
+
+    #[test]
+    fn fk_unknown_column_rejected_at_finish() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("id", DataType::Int);
+        b.table("b").column("id", DataType::Int);
+        b.foreign_key("b", "ghost_col", "a", "id").unwrap();
+        assert!(matches!(b.finish(), Err(EngineError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn resuming_a_table_appends_columns() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("x", DataType::Int);
+        b.table("a").column("y", DataType::Text);
+        let db = b.finish().unwrap();
+        assert_eq!(db.table(0).schema().arity(), 2);
+    }
+
+    #[test]
+    fn primary_key_of_missing_column_is_none() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("x", DataType::Int).primary_key("nope");
+        let db = b.finish().unwrap();
+        assert_eq!(db.table(0).schema().primary_key, None);
+    }
+}

@@ -1,0 +1,335 @@
+//! The database catalog: tables plus the key/foreign-key schema graph.
+
+use std::collections::HashMap;
+
+use crate::error::EngineError;
+use crate::schema::{ColId, SchemaFk, TableSchema};
+use crate::table::{RowId, Table};
+use crate::value::{DataType, Value};
+
+/// Identifier of a table within a [`Database`] (dense, 0-based).
+pub type TableId = usize;
+
+/// Identifier of a foreign key within a [`Database`] (dense, 0-based).
+pub type FkId = usize;
+
+/// A named key/foreign-key association. These are the edges of the schema
+/// graph from which the query lattice is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: TableId,
+    /// Referencing column in `from_table` (an `Int` column).
+    pub from_col: ColId,
+    /// Referenced table.
+    pub to_table: TableId,
+    /// Referenced column in `to_table` (an `Int` column, usually its pk).
+    pub to_col: ColId,
+}
+
+impl From<SchemaFk> for ForeignKey {
+    fn from(fk: SchemaFk) -> Self {
+        ForeignKey {
+            from_table: fk.from_table,
+            from_col: fk.from_col,
+            to_table: fk.to_table,
+            to_col: fk.to_col,
+        }
+    }
+}
+
+/// An in-memory relational database: tables, name lookup, foreign keys.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    fks: Vec<ForeignKey>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a table; its name must be unique.
+    pub fn add_table(&mut self, schema: TableSchema) -> Result<TableId, EngineError> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(EngineError::DuplicateTable(schema.name));
+        }
+        let mut seen = HashMap::new();
+        for c in &schema.columns {
+            if seen.insert(c.name.clone(), ()).is_some() {
+                return Err(EngineError::DuplicateColumn {
+                    table: schema.name.clone(),
+                    column: c.name.clone(),
+                });
+            }
+        }
+        if let Some(pk) = schema.primary_key {
+            if pk >= schema.columns.len() {
+                return Err(EngineError::UnknownColumn {
+                    table: schema.name.clone(),
+                    column: format!("#{pk}"),
+                });
+            }
+            if schema.columns[pk].ty != DataType::Int {
+                return Err(EngineError::NonIntegerKey {
+                    table: schema.name.clone(),
+                    column: schema.columns[pk].name.clone(),
+                });
+            }
+        }
+        let id = self.tables.len();
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(schema));
+        Ok(id)
+    }
+
+    /// Declares a key/foreign-key edge after validating both endpoints are
+    /// existing integer columns.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<FkId, EngineError> {
+        for (t, c) in [(fk.from_table, fk.from_col), (fk.to_table, fk.to_col)] {
+            let table = self
+                .tables
+                .get(t)
+                .ok_or_else(|| EngineError::UnknownTable(format!("#{t}")))?;
+            let col = table.schema().columns.get(c).ok_or_else(|| {
+                EngineError::UnknownColumn {
+                    table: table.schema().name.clone(),
+                    column: format!("#{c}"),
+                }
+            })?;
+            if col.ty != DataType::Int {
+                return Err(EngineError::NonIntegerKey {
+                    table: table.schema().name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+        }
+        let id = self.fks.len();
+        self.fks.push(fk);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The table with the given id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id (ids originate from this database).
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id]
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All tables with their ids.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().enumerate()
+    }
+
+    /// All declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// The foreign key with the given id.
+    pub fn foreign_key(&self, id: FkId) -> &ForeignKey {
+        &self.fks[id]
+    }
+
+    /// Inserts a row into a table identified by name.
+    pub fn insert_values(&mut self, table: &str, values: Vec<Value>) -> Result<RowId, EngineError> {
+        let id = self
+            .table_id(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_owned()))?;
+        self.tables[id].insert(values)
+    }
+
+    /// Inserts a row into a table identified by id.
+    pub fn insert(&mut self, table: TableId, values: Vec<Value>) -> Result<RowId, EngineError> {
+        self.tables[table].insert(values)
+    }
+
+    /// Builds join indexes on every column that participates in a foreign key
+    /// (both endpoints) and on every primary key. Call after bulk loading.
+    pub fn finalize(&mut self) {
+        let mut targets: Vec<(TableId, ColId)> = Vec::new();
+        for fk in &self.fks {
+            targets.push((fk.from_table, fk.from_col));
+            targets.push((fk.to_table, fk.to_col));
+        }
+        for (tid, t) in self.tables.iter().enumerate() {
+            if let Some(pk) = t.schema().primary_key {
+                targets.push((tid, pk));
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        for (tid, col) in targets {
+            // Endpoints were validated as Int columns on declaration.
+            self.tables[tid]
+                .build_index(col)
+                .expect("fk/pk endpoints are validated integer columns");
+        }
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Validates referential integrity: every non-null FK value must resolve
+    /// to at least one referenced row, and primary keys must be unique.
+    /// Intended for tests and data generators, not the hot path.
+    pub fn check_integrity(&self) -> Result<(), EngineError> {
+        for t in &self.tables {
+            t.check_primary_key()?;
+        }
+        for fk in &self.fks {
+            let from = &self.tables[fk.from_table];
+            let to = &self.tables[fk.to_table];
+            for (_, row) in from.iter() {
+                if let Some(v) = row[fk.from_col].as_int() {
+                    if to.lookup(fk.to_col, v).is_empty() {
+                        return Err(EngineError::RowMismatch {
+                            table: from.schema().name.clone(),
+                            detail: format!(
+                                "dangling foreign key value {v} in column `{}` (references `{}`)",
+                                from.schema().columns[fk.from_col].name,
+                                to.schema().name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn two_table_db() -> Database {
+        let mut db = Database::new();
+        let mut color = TableSchema::new("color");
+        color.columns = vec![
+            ColumnDef { name: "id".into(), ty: DataType::Int },
+            ColumnDef { name: "name".into(), ty: DataType::Text },
+        ];
+        color.primary_key = Some(0);
+        let mut item = TableSchema::new("item");
+        item.columns = vec![
+            ColumnDef { name: "id".into(), ty: DataType::Int },
+            ColumnDef { name: "color_id".into(), ty: DataType::Int },
+        ];
+        item.primary_key = Some(0);
+        let c = db.add_table(color).unwrap();
+        let i = db.add_table(item).unwrap();
+        db.add_foreign_key(ForeignKey { from_table: i, from_col: 1, to_table: c, to_col: 0 })
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn name_lookup_and_duplicates() {
+        let mut db = two_table_db();
+        assert_eq!(db.table_id("color"), Some(0));
+        assert_eq!(db.table_id("item"), Some(1));
+        assert_eq!(db.table_id("nope"), None);
+        assert!(matches!(
+            db.add_table(TableSchema::new("color")),
+            Err(EngineError::DuplicateTable(_))
+        ));
+        assert_eq!(db.table_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut db = Database::new();
+        let mut s = TableSchema::new("t");
+        s.columns = vec![
+            ColumnDef { name: "a".into(), ty: DataType::Int },
+            ColumnDef { name: "a".into(), ty: DataType::Int },
+        ];
+        assert!(matches!(db.add_table(s), Err(EngineError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn text_pk_rejected() {
+        let mut db = Database::new();
+        let mut s = TableSchema::new("t");
+        s.columns = vec![ColumnDef { name: "a".into(), ty: DataType::Text }];
+        s.primary_key = Some(0);
+        assert!(matches!(db.add_table(s), Err(EngineError::NonIntegerKey { .. })));
+    }
+
+    #[test]
+    fn fk_validation() {
+        let mut db = two_table_db();
+        assert!(db
+            .add_foreign_key(ForeignKey { from_table: 9, from_col: 0, to_table: 0, to_col: 0 })
+            .is_err());
+        assert!(db
+            .add_foreign_key(ForeignKey { from_table: 1, from_col: 9, to_table: 0, to_col: 0 })
+            .is_err());
+        // Text column endpoint.
+        assert!(db
+            .add_foreign_key(ForeignKey { from_table: 1, from_col: 1, to_table: 0, to_col: 1 })
+            .is_err());
+        assert_eq!(db.foreign_keys().len(), 1);
+        assert_eq!(db.foreign_key(0).to_table, 0);
+    }
+
+    #[test]
+    fn finalize_builds_indexes() {
+        let mut db = two_table_db();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        db.insert_values("item", vec![Value::Int(5), Value::Int(1)]).unwrap();
+        db.finalize();
+        assert!(db.table(0).has_index(0));
+        assert!(db.table(1).has_index(1));
+        assert_eq!(db.total_rows(), 2);
+    }
+
+    #[test]
+    fn integrity_check() {
+        let mut db = two_table_db();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        db.insert_values("item", vec![Value::Int(5), Value::Int(1)]).unwrap();
+        assert!(db.check_integrity().is_ok());
+        db.insert_values("item", vec![Value::Int(6), Value::Int(99)]).unwrap();
+        assert!(db.check_integrity().is_err());
+    }
+
+    #[test]
+    fn null_fk_passes_integrity() {
+        let mut db = two_table_db();
+        db.insert_values("item", vec![Value::Int(5), Value::Null]).unwrap();
+        assert!(db.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn insert_unknown_table() {
+        let mut db = two_table_db();
+        assert!(matches!(
+            db.insert_values("ghost", vec![]),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+}

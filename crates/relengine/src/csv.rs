@@ -1,0 +1,241 @@
+//! CSV import/export for tables.
+//!
+//! A downstream user's product catalog or entity dump usually arrives as CSV;
+//! this module loads it into a declared schema (and writes tables back out),
+//! with RFC-4180-style quoting. Values are typed by the target column:
+//! `Int` columns parse as `i64`, empty fields become `NULL`, everything in a
+//! `Text` column is taken verbatim.
+
+use std::fmt::Write as _;
+
+use crate::catalog::{Database, TableId};
+use crate::error::EngineError;
+use crate::value::{DataType, Value};
+
+/// Parses one CSV record (no trailing newline) into fields, honouring
+/// double-quote quoting and `""` escapes.
+fn parse_record(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err("unterminated quoted field".to_owned());
+                }
+                fields.push(field);
+                return Ok(fields);
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if field.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => fields.push(std::mem::take(&mut field)),
+            Some(c) => field.push(c),
+        }
+    }
+}
+
+/// Quotes a field if it contains a comma, quote, or newline.
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Loads CSV text into an existing table. The first line must be a header
+/// matching the table's column names (in order). Returns the number of rows
+/// inserted. Call [`Database::finalize`] afterwards to rebuild join indexes.
+pub fn load_csv(db: &mut Database, table: &str, csv: &str) -> Result<usize, EngineError> {
+    let tid: TableId =
+        db.table_id(table).ok_or_else(|| EngineError::UnknownTable(table.to_owned()))?;
+    let schema = db.table(tid).schema().clone();
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or_else(|| EngineError::RowMismatch {
+        table: table.to_owned(),
+        detail: "empty CSV input".into(),
+    })?;
+    let cols = parse_record(header).map_err(|e| EngineError::RowMismatch {
+        table: table.to_owned(),
+        detail: format!("bad header: {e}"),
+    })?;
+    let expected: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+    if cols != expected {
+        return Err(EngineError::RowMismatch {
+            table: table.to_owned(),
+            detail: format!("header {cols:?} does not match schema columns {expected:?}"),
+        });
+    }
+    let mut inserted = 0;
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(line).map_err(|e| EngineError::RowMismatch {
+            table: table.to_owned(),
+            detail: format!("line {}: {e}", lineno + 2),
+        })?;
+        if fields.len() != schema.arity() {
+            return Err(EngineError::RowMismatch {
+                table: table.to_owned(),
+                detail: format!(
+                    "line {}: expected {} fields, got {}",
+                    lineno + 2,
+                    schema.arity(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (field, col) in fields.into_iter().zip(&schema.columns) {
+            let value = if field.is_empty() {
+                Value::Null
+            } else {
+                match col.ty {
+                    DataType::Int => {
+                        Value::Int(field.parse::<i64>().map_err(|_| EngineError::RowMismatch {
+                            table: table.to_owned(),
+                            detail: format!(
+                                "line {}: `{field}` is not an integer for column `{}`",
+                                lineno + 2,
+                                col.name
+                            ),
+                        })?)
+                    }
+                    DataType::Text => Value::Text(field),
+                }
+            };
+            values.push(value);
+        }
+        db.insert(tid, values)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Serializes a table to CSV text (header + rows; nulls as empty fields).
+pub fn dump_csv(db: &Database, table: &str) -> Result<String, EngineError> {
+    let tid =
+        db.table_id(table).ok_or_else(|| EngineError::UnknownTable(table.to_owned()))?;
+    let t = db.table(tid);
+    let mut out = String::new();
+    let header: Vec<String> =
+        t.schema().columns.iter().map(|c| quote(&c.name)).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for (_, row) in t.iter() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Int(i) => i.to_string(),
+                Value::Text(s) => quote(s),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.finish().expect("static")
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut d = db();
+        let csv = "id,name,color_id\n1,plain candle,2\n2,\"scented, fancy\",\n3,\"say \"\"hi\"\"\",7\n";
+        let n = load_csv(&mut d, "item", csv).expect("loads");
+        assert_eq!(n, 3);
+        let t = d.table(0);
+        assert_eq!(t.row(1)[1], Value::text("scented, fancy"));
+        assert!(t.row(1)[2].is_null());
+        assert_eq!(t.row(2)[1], Value::text("say \"hi\""));
+        let dumped = dump_csv(&d, "item").expect("dumps");
+        let mut d2 = db();
+        load_csv(&mut d2, "item", &dumped).expect("reloads");
+        for (rid, row) in d.table(0).iter() {
+            assert_eq!(row, d2.table(0).row(rid));
+        }
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let mut d = db();
+        assert!(matches!(
+            load_csv(&mut d, "item", "id,nom,color_id\n1,x,2\n"),
+            Err(EngineError::RowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_and_type_errors_carry_line_numbers() {
+        let mut d = db();
+        let err = load_csv(&mut d, "item", "id,name,color_id\n1,x\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = load_csv(&mut d, "item", "id,name,color_id\n1,x,2\nxx,y,3\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("not an integer"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let mut d = db();
+        let err = load_csv(&mut d, "item", "id,name,color_id\n1,\"oops,2\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table() {
+        let mut d = db();
+        assert!(matches!(
+            load_csv(&mut d, "ghost", "a\n1\n"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(dump_csv(&d, "ghost"), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn empty_lines_skipped_and_empty_input_rejected() {
+        let mut d = db();
+        assert!(load_csv(&mut d, "item", "").is_err());
+        let n = load_csv(&mut d, "item", "id,name,color_id\n\n1,x,2\n\n").expect("loads");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn parse_record_edge_cases() {
+        assert_eq!(parse_record("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_record("").unwrap(), vec![""]);
+        assert_eq!(parse_record(",").unwrap(), vec!["", ""]);
+        assert_eq!(parse_record("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
+        assert_eq!(parse_record("\"\"").unwrap(), vec![""]);
+        assert!(parse_record("\"open").is_err());
+    }
+
+    #[test]
+    fn quote_function() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

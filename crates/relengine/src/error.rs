@@ -1,0 +1,75 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised by catalog construction and query execution.
+///
+/// The engine never panics on malformed input; everything user-supplied
+/// (schemas, plans, rows) is validated and reported through this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A table name was registered twice.
+    DuplicateTable(String),
+    /// A column name was registered twice within one table.
+    DuplicateColumn { table: String, column: String },
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist in the table.
+    UnknownColumn { table: String, column: String },
+    /// A row's arity or types do not match the table schema.
+    RowMismatch { table: String, detail: String },
+    /// A foreign key endpoint is not an integer column.
+    NonIntegerKey { table: String, column: String },
+    /// A join-tree plan is structurally invalid (not a connected tree, or
+    /// references out-of-range nodes/columns).
+    InvalidPlan(String),
+    /// A primary key value appeared twice.
+    DuplicateKey { table: String, key: i64 },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateTable(t) => write!(f, "duplicate table `{t}`"),
+            EngineError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column `{column}` in table `{table}`")
+            }
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            EngineError::RowMismatch { table, detail } => {
+                write!(f, "row does not match schema of `{table}`: {detail}")
+            }
+            EngineError::NonIntegerKey { table, column } => {
+                write!(f, "key column `{table}`.`{column}` must be INT")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid join-tree plan: {msg}"),
+            EngineError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table `{table}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::DuplicateTable("t".into()).to_string(),
+            "duplicate table `t`"
+        );
+        assert_eq!(
+            EngineError::UnknownColumn { table: "t".into(), column: "c".into() }.to_string(),
+            "unknown column `c` in table `t`"
+        );
+        assert!(EngineError::InvalidPlan("cycle".into()).to_string().contains("cycle"));
+        let e: Box<dyn std::error::Error> = Box::new(EngineError::UnknownTable("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,559 @@
+//! Join-tree execution: emptiness checks and bounded enumeration.
+//!
+//! Join networks are trees, so queries are acyclic and a single bottom-up
+//! semi-join pass (Yannakakis) decides emptiness exactly: after reducing every
+//! node against its children, a root row survives if and only if it extends to
+//! a full match of the whole tree. Enumeration then proceeds top-down over the
+//! reduced sets, with a result limit for early exit — aliveness only needs the
+//! first tuple.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use crate::catalog::Database;
+use crate::error::EngineError;
+use crate::plan::JoinTreePlan;
+use crate::stats::ExecStats;
+use crate::table::{RowId, Table};
+
+/// One result tuple: for each plan node (by index), the matched row id.
+pub type MatchTuple = Vec<RowId>;
+
+/// One enumeration step: `(node, parent, parent_col, join value → live rows)`.
+type EnumStep = (usize, usize, usize, HashMap<i64, Vec<RowId>>);
+
+/// The set of live rows at a plan node during reduction.
+#[derive(Debug, Clone)]
+enum LiveSet {
+    /// Every row of the table is (still) live.
+    All,
+    /// Exactly these rows are live (ascending row ids).
+    Rows(Vec<RowId>),
+}
+
+impl LiveSet {
+    fn is_empty(&self, table: &Table) -> bool {
+        match self {
+            LiveSet::All => table.is_empty(),
+            LiveSet::Rows(r) => r.is_empty(),
+        }
+    }
+}
+
+/// Membership test for "does the child have a live row with this join value".
+enum ValueMembership<'a> {
+    Indexed(&'a Table, usize),
+    Set(HashSet<i64>),
+}
+
+impl ValueMembership<'_> {
+    fn contains(&self, v: i64) -> bool {
+        match self {
+            ValueMembership::Indexed(t, col) => {
+                t.lookup_indexed(*col, v).is_some_and(|rows| !rows.is_empty())
+            }
+            ValueMembership::Set(s) => s.contains(&v),
+        }
+    }
+}
+
+/// Executes join-tree plans against a database, counting every execution.
+///
+/// One call to [`Executor::exists`] or [`Executor::execute`] corresponds to
+/// one "SQL query executed" in the paper's measurements.
+pub struct Executor<'a> {
+    db: &'a Database,
+    stats: ExecStats,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        Executor { db, stats: ExecStats::default() }
+    }
+
+    /// Accumulated execution statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+    }
+
+    /// The database this executor runs against.
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Does the query return at least one tuple? (The paper's aliveness test.)
+    pub fn exists(&mut self, plan: &JoinTreePlan) -> Result<bool, EngineError> {
+        plan.validate(self.db)?;
+        let start = Instant::now();
+        let alive = self.reduce(plan)?.is_some();
+        self.stats.record(start.elapsed());
+        Ok(alive)
+    }
+
+    /// Evaluates the query, returning up to `limit` result tuples.
+    ///
+    /// Each tuple maps plan-node index to the matched row id. `limit == 0`
+    /// means unlimited.
+    pub fn execute(
+        &mut self,
+        plan: &JoinTreePlan,
+        limit: usize,
+    ) -> Result<Vec<MatchTuple>, EngineError> {
+        plan.validate(self.db)?;
+        let start = Instant::now();
+        let result = match self.reduce(plan)? {
+            None => Vec::new(),
+            Some(live) => self.enumerate(plan, live, limit),
+        };
+        self.stats.record(start.elapsed());
+        Ok(result)
+    }
+
+    /// Counts result tuples, up to `cap` (0 = exact count, unbounded).
+    pub fn count(&mut self, plan: &JoinTreePlan, cap: usize) -> Result<usize, EngineError> {
+        Ok(self.execute(plan, cap)?.len())
+    }
+
+    /// Bottom-up semi-join reduction rooted at node 0. Returns `None` as soon
+    /// as any live set empties (the query is dead), otherwise the fully
+    /// reduced live sets.
+    fn reduce(&mut self, plan: &JoinTreePlan) -> Result<Option<Vec<LiveSet>>, EngineError> {
+        let n = plan.node_count();
+        let mut live: Vec<LiveSet> = Vec::with_capacity(n);
+        // Initial per-node filtering: candidates ∩ predicate.
+        for node in plan.nodes() {
+            let table = self.db.table(node.table);
+            let set = match (&node.candidates, node.predicate.is_true()) {
+                (None, true) => LiveSet::All,
+                (None, false) => {
+                    let mut rows = Vec::new();
+                    for (rid, row) in table.iter() {
+                        self.stats.rows_examined += 1;
+                        if node.predicate.eval(table.schema(), row) {
+                            rows.push(rid);
+                        }
+                    }
+                    LiveSet::Rows(rows)
+                }
+                (Some(cands), _) => {
+                    let mut rows = Vec::with_capacity(cands.len());
+                    for &rid in cands {
+                        if (rid as usize) >= table.len() {
+                            return Err(EngineError::InvalidPlan(format!(
+                                "candidate row {rid} out of range for table `{}`",
+                                table.schema().name
+                            )));
+                        }
+                        self.stats.rows_examined += 1;
+                        if node.predicate.eval(table.schema(), table.row(rid)) {
+                            rows.push(rid);
+                        }
+                    }
+                    LiveSet::Rows(rows)
+                }
+            };
+            if set.is_empty(table) {
+                return Ok(None);
+            }
+            live.push(set);
+        }
+
+        // Children-before-parent semi-joins.
+        for (node, parent_edge, parent) in plan.post_order(0) {
+            if parent == usize::MAX {
+                continue; // root has no parent to reduce
+            }
+            let edge = plan.edges()[parent_edge];
+            let (child_col, parent_col) = if edge.a == node {
+                (edge.a_col, edge.b_col)
+            } else {
+                (edge.b_col, edge.a_col)
+            };
+            let child_table = self.db.table(plan.nodes()[node].table);
+            let membership = match &live[node] {
+                LiveSet::Rows(rows) => {
+                    let mut s = HashSet::with_capacity(rows.len());
+                    for &rid in rows {
+                        if let Some(v) = child_table.row(rid)[child_col].as_int() {
+                            s.insert(v);
+                        }
+                    }
+                    ValueMembership::Set(s)
+                }
+                LiveSet::All => {
+                    if child_table.has_index(child_col) {
+                        ValueMembership::Indexed(child_table, child_col)
+                    } else {
+                        let mut s = HashSet::new();
+                        for (_, row) in child_table.iter() {
+                            self.stats.rows_examined += 1;
+                            if let Some(v) = row[child_col].as_int() {
+                                s.insert(v);
+                            }
+                        }
+                        ValueMembership::Set(s)
+                    }
+                }
+            };
+            let parent_table = self.db.table(plan.nodes()[parent].table);
+            let filtered: Vec<RowId> = match &live[parent] {
+                LiveSet::All => parent_table
+                    .iter()
+                    .filter(|(_, row)| {
+                        row[parent_col].as_int().is_some_and(|v| membership.contains(v))
+                    })
+                    .map(|(rid, _)| rid)
+                    .collect(),
+                LiveSet::Rows(rows) => rows
+                    .iter()
+                    .copied()
+                    .filter(|&rid| {
+                        parent_table.row(rid)[parent_col]
+                            .as_int()
+                            .is_some_and(|v| membership.contains(v))
+                    })
+                    .collect(),
+            };
+            self.stats.rows_examined += filtered.len() as u64;
+            if filtered.is_empty() {
+                return Ok(None);
+            }
+            live[parent] = LiveSet::Rows(filtered);
+        }
+        Ok(Some(live))
+    }
+
+    /// Top-down enumeration over reduced live sets, rooted at node 0.
+    ///
+    /// Nodes are assigned in pre-order (parent before child), so the only
+    /// constraint on a node — the equi-join with its already-assigned parent —
+    /// can be satisfied from a per-node `join value → live rows` map, and
+    /// plain backtracking enumerates exactly the join results.
+    fn enumerate(&mut self, plan: &JoinTreePlan, live: Vec<LiveSet>, limit: usize) -> Vec<MatchTuple> {
+        let n = plan.node_count();
+        // Materialize every live set.
+        let rows_per_node: Vec<Vec<RowId>> = live
+            .into_iter()
+            .enumerate()
+            .map(|(i, set)| match set {
+                LiveSet::Rows(r) => r,
+                LiveSet::All => {
+                    let t = self.db.table(plan.nodes()[i].table);
+                    (0..t.len() as RowId).collect()
+                }
+            })
+            .collect();
+
+        // Pre-order = reversed post-order; each entry is (node, parent_col,
+        // by-value map of the node's live rows keyed on its own join column).
+        let mut post = plan.post_order(0);
+        post.reverse();
+        let mut steps: Vec<EnumStep> = Vec::new();
+        for &(node, parent_edge, parent) in &post {
+            if parent == usize::MAX {
+                continue;
+            }
+            let edge = plan.edges()[parent_edge];
+            let (child_col, parent_col) = if edge.a == node {
+                (edge.a_col, edge.b_col)
+            } else {
+                (edge.b_col, edge.a_col)
+            };
+            let table = self.db.table(plan.nodes()[node].table);
+            let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
+            for &rid in &rows_per_node[node] {
+                if let Some(v) = table.row(rid)[child_col].as_int() {
+                    map.entry(v).or_default().push(rid);
+                }
+            }
+            steps.push((node, parent, parent_col, map));
+        }
+
+        let mut results = Vec::new();
+        let mut assignment: Vec<RowId> = vec![0; n];
+        for &root_row in &rows_per_node[0] {
+            assignment[0] = root_row;
+            if !self.backtrack(plan, &steps, 0, &mut assignment, &mut results, limit) {
+                break;
+            }
+        }
+        results
+    }
+
+    /// Assigns `steps[pos..]` in order; returns `false` once `limit` results
+    /// have been collected.
+    fn backtrack(
+        &self,
+        plan: &JoinTreePlan,
+        steps: &[EnumStep],
+        pos: usize,
+        assignment: &mut Vec<RowId>,
+        results: &mut Vec<MatchTuple>,
+        limit: usize,
+    ) -> bool {
+        if pos == steps.len() {
+            results.push(assignment.clone());
+            return limit == 0 || results.len() < limit;
+        }
+        let (node, parent, parent_col, ref map) = steps[pos];
+        let table = self.db.table(plan.nodes()[parent].table);
+        let Some(v) = table.row(assignment[parent])[parent_col].as_int() else {
+            return true; // null join value: no extension on this branch
+        };
+        let Some(rows) = map.get(&v) else {
+            return true;
+        };
+        for &rid in rows {
+            assignment[node] = rid;
+            if !self.backtrack(plan, steps, pos + 1, assignment, results, limit) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+    use crate::plan::{PlanEdge, PlanNode};
+    use crate::predicate::Predicate;
+    use crate::value::{DataType, Value};
+
+    /// color(id, name); item(id, name, color_id); tag(id, item_id, label)
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("color")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.table("tag")
+            .column("id", DataType::Int)
+            .column("item_id", DataType::Int)
+            .column("label", DataType::Text)
+            .primary_key("id");
+        b.foreign_key("item", "color_id", "color", "id").unwrap();
+        b.foreign_key("tag", "item_id", "item", "id").unwrap();
+        let mut db = b.finish().unwrap();
+        for (id, name) in [(1, "red"), (2, "yellow"), (3, "saffron")] {
+            db.insert_values("color", vec![Value::Int(id), Value::text(name)]).unwrap();
+        }
+        for (id, name, cid) in [
+            (1, "scented oil", 3),
+            (2, "scented candle", 2),
+            (3, "plain candle", 1),
+        ] {
+            db.insert_values("item", vec![Value::Int(id), Value::text(name), Value::Int(cid)])
+                .unwrap();
+        }
+        for (id, iid, label) in [(1, 1, "luxury"), (2, 2, "gift"), (3, 2, "luxury")] {
+            db.insert_values("tag", vec![Value::Int(id), Value::Int(iid), Value::text(label)])
+                .unwrap();
+        }
+        db.finalize();
+        db
+    }
+
+    fn plan2(db: &Database, item_kw: &str, color_kw: &str) -> JoinTreePlan {
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::any_text_contains(item_kw)),
+                PlanNode::new(color, Predicate::any_text_contains(color_kw)),
+            ],
+            vec![PlanEdge { a: 0, a_col: 2, b: 1, b_col: 0 }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_table_exists() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let p = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::any_text_contains("candle"))],
+            vec![],
+        )
+        .unwrap();
+        assert!(ex.exists(&p).unwrap());
+        let p = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::any_text_contains("incense"))],
+            vec![],
+        )
+        .unwrap();
+        assert!(!ex.exists(&p).unwrap());
+        assert_eq!(ex.stats().queries, 2);
+    }
+
+    #[test]
+    fn two_way_join_alive_and_dead() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        // "scented candle whose color is yellow" exists (item 2).
+        assert!(ex.exists(&plan2(&db, "scented", "yellow")).unwrap());
+        // "scented candle whose color is saffron": item 1 is saffron but is
+        // an oil, not a candle; candle items are yellow/red.
+        assert!(ex.exists(&plan2(&db, "scented", "saffron")).unwrap()); // scented oil is saffron
+        assert!(!ex.exists(&plan2(&db, "candle", "saffron")).unwrap());
+    }
+
+    #[test]
+    fn three_way_chain_join() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        let tag = db.table_id("tag").unwrap();
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::True),
+                PlanNode::new(color, Predicate::any_text_contains("yellow")),
+                PlanNode::new(tag, Predicate::any_text_contains("luxury")),
+            ],
+            vec![
+                PlanEdge { a: 0, a_col: 2, b: 1, b_col: 0 },
+                PlanEdge { a: 2, a_col: 1, b: 0, b_col: 0 },
+            ],
+        )
+        .unwrap();
+        // item 2 is yellow and tagged luxury.
+        let tuples = ex.execute(&plan, 0).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0][0], 1); // item row id 1 == item id 2
+    }
+
+    #[test]
+    fn enumeration_counts_cross_products_along_tree() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let tag = db.table_id("tag").unwrap();
+        // item 2 has two tags -> two result tuples for "scented candle" + any tag.
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::any_text_contains("scented candle")),
+                PlanNode::free(tag),
+            ],
+            vec![PlanEdge { a: 1, a_col: 1, b: 0, b_col: 0 }],
+        )
+        .unwrap();
+        assert_eq!(ex.count(&plan, 0).unwrap(), 2);
+        // Limit respected.
+        assert_eq!(ex.execute(&plan, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn candidates_prefilter() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        // Candidate list excludes the matching row: dead despite predicate match.
+        let p = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::any_text_contains("oil")).with_candidates(vec![1, 2])],
+            vec![],
+        )
+        .unwrap();
+        assert!(!ex.exists(&p).unwrap());
+        // Candidate list includes it: alive.
+        let p = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::any_text_contains("oil")).with_candidates(vec![0])],
+            vec![],
+        )
+        .unwrap();
+        assert!(ex.exists(&p).unwrap());
+    }
+
+    #[test]
+    fn candidate_out_of_range_is_error() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let p = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::True).with_candidates(vec![99])],
+            vec![],
+        )
+        .unwrap();
+        assert!(ex.exists(&p).is_err());
+    }
+
+    #[test]
+    fn free_single_node_alive_iff_table_nonempty() {
+        let mut b = DatabaseBuilder::new();
+        b.table("empty").column("id", DataType::Int);
+        let db = b.finish().unwrap();
+        let mut ex = Executor::new(&db);
+        let p = JoinTreePlan::new(vec![PlanNode::free(0)], vec![]).unwrap();
+        assert!(!ex.exists(&p).unwrap());
+    }
+
+    #[test]
+    fn null_fk_never_joins() {
+        let mut b = DatabaseBuilder::new();
+        b.table("a").column("id", DataType::Int).primary_key("id");
+        b.table("b").column("id", DataType::Int).column("a_id", DataType::Int);
+        b.foreign_key("b", "a_id", "a", "id").unwrap();
+        let mut db = b.finish().unwrap();
+        db.insert_values("a", vec![Value::Int(1)]).unwrap();
+        db.insert_values("b", vec![Value::Int(1), Value::Null]).unwrap();
+        db.finalize();
+        let mut ex = Executor::new(&db);
+        let p = JoinTreePlan::new(
+            vec![PlanNode::free(0), PlanNode::free(1)],
+            vec![PlanEdge { a: 1, a_col: 1, b: 0, b_col: 0 }],
+        )
+        .unwrap();
+        assert!(!ex.exists(&p).unwrap());
+    }
+
+    #[test]
+    fn self_join_same_table_two_instances() {
+        // Two instances of `tag` joined through `item`: tags sharing an item.
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let tag = db.table_id("tag").unwrap();
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::free(item),
+                PlanNode::new(tag, Predicate::any_text_contains("gift")),
+                PlanNode::new(tag, Predicate::any_text_contains("luxury")),
+            ],
+            vec![
+                PlanEdge { a: 1, a_col: 1, b: 0, b_col: 0 },
+                PlanEdge { a: 2, a_col: 1, b: 0, b_col: 0 },
+            ],
+        )
+        .unwrap();
+        let tuples = ex.execute(&plan, 0).unwrap();
+        // Item 2 carries both a gift and a luxury tag.
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0][1], 1); // tag row 1 = gift
+        assert_eq!(tuples[0][2], 2); // tag row 2 = luxury on item 2
+    }
+
+    #[test]
+    fn stats_accumulate_time() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        ex.exists(&plan2(&db, "scented", "yellow")).unwrap();
+        ex.exists(&plan2(&db, "scented", "yellow")).unwrap();
+        assert_eq!(ex.stats().queries, 2);
+        assert!(ex.stats().rows_examined > 0);
+        ex.reset_stats();
+        assert_eq!(ex.stats().queries, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Row predicates — the instantiated `WHERE` clause fragments.
+//!
+//! A lattice node's SQL template has an uninstantiated `WHERE` clause offline;
+//! at query time each keyword bound to a relation copy becomes an
+//! [`Predicate::AnyTextContains`] over that copy's text attributes (the
+//! paper's `Color.name LIKE '%saffron%' OR Color.synonyms LIKE '%saffron%'`).
+
+use crate::schema::TableSchema;
+use crate::table::Row;
+use crate::value::contains_ci;
+
+/// A boolean predicate over a single row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true — the free tuple set `R_0` carries no keyword.
+    True,
+    /// Some text column of the row contains the needle (case-insensitive).
+    AnyTextContains(String),
+    /// A specific column contains the needle (case-insensitive).
+    ColumnContains {
+        /// Column index within the table schema.
+        col: usize,
+        /// Substring to search for.
+        needle: String,
+    },
+    /// A specific integer column equals the value.
+    IntEq {
+        /// Column index within the table schema.
+        col: usize,
+        /// Value to compare against.
+        value: i64,
+    },
+    /// Conjunction; empty conjunction is true.
+    And(Vec<Predicate>),
+    /// Disjunction; empty disjunction is false.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for the keyword-containment predicate.
+    pub fn any_text_contains(needle: impl Into<String>) -> Self {
+        Predicate::AnyTextContains(needle.into())
+    }
+
+    /// Conjunction of all given keywords, each over any text column —
+    /// the "AND semantics" form used when several keywords bind to the same
+    /// relation copy is not allowed, but used by baselines that probe a
+    /// single table with multiple keywords.
+    pub fn all_keywords(keywords: &[&str]) -> Self {
+        Predicate::And(keywords.iter().map(|k| Predicate::any_text_contains(*k)).collect())
+    }
+
+    /// Evaluates the predicate against a row of the given schema.
+    pub fn eval(&self, schema: &TableSchema, row: &Row) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::AnyTextContains(needle) => row.iter().zip(&schema.columns).any(|(v, c)| {
+                c.ty == crate::value::DataType::Text
+                    && v.as_text().is_some_and(|s| contains_ci(s, needle))
+            }),
+            Predicate::ColumnContains { col, needle } => {
+                row.get(*col).is_some_and(|v| v.contains_ci(needle))
+            }
+            Predicate::IntEq { col, value } => {
+                row.get(*col).and_then(|v| v.as_int()) == Some(*value)
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(schema, row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(schema, row)),
+        }
+    }
+
+    /// Whether the predicate is trivially true (no filtering).
+    pub fn is_true(&self) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::And(ps) => ps.iter().all(Predicate::is_true),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::{DataType, Value};
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "item".into(),
+            columns: vec![
+                ColumnDef { name: "id".into(), ty: DataType::Int },
+                ColumnDef { name: "name".into(), ty: DataType::Text },
+                ColumnDef { name: "description".into(), ty: DataType::Text },
+            ],
+            primary_key: Some(0),
+        }
+    }
+
+    fn row(id: i64, name: &str, desc: &str) -> Row {
+        vec![Value::Int(id), Value::text(name), Value::text(desc)].into_boxed_slice()
+    }
+
+    #[test]
+    fn any_text_search_spans_all_text_columns() {
+        let s = schema();
+        let r = row(3, "crimson scented candle", "hand-made. saffron scented. 2pck.");
+        assert!(Predicate::any_text_contains("saffron").eval(&s, &r));
+        assert!(Predicate::any_text_contains("crimson").eval(&s, &r));
+        assert!(!Predicate::any_text_contains("vanilla").eval(&s, &r));
+    }
+
+    #[test]
+    fn any_text_ignores_int_columns() {
+        let s = schema();
+        let r = row(42, "a", "b");
+        assert!(!Predicate::any_text_contains("42").eval(&s, &r));
+    }
+
+    #[test]
+    fn column_contains_and_int_eq() {
+        let s = schema();
+        let r = row(1, "red candle", "rose scented");
+        assert!(Predicate::ColumnContains { col: 1, needle: "red".into() }.eval(&s, &r));
+        assert!(!Predicate::ColumnContains { col: 2, needle: "red".into() }.eval(&s, &r));
+        assert!(Predicate::IntEq { col: 0, value: 1 }.eval(&s, &r));
+        assert!(!Predicate::IntEq { col: 0, value: 2 }.eval(&s, &r));
+        // Out-of-range column: false, not panic.
+        assert!(!Predicate::ColumnContains { col: 9, needle: "x".into() }.eval(&s, &r));
+        assert!(!Predicate::IntEq { col: 9, value: 1 }.eval(&s, &r));
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let s = schema();
+        let r = row(1, "red candle", "rose scented");
+        let t = Predicate::any_text_contains("red");
+        let f = Predicate::any_text_contains("blue");
+        assert!(Predicate::And(vec![t.clone(), t.clone()]).eval(&s, &r));
+        assert!(!Predicate::And(vec![t.clone(), f.clone()]).eval(&s, &r));
+        assert!(Predicate::Or(vec![f.clone(), t.clone()]).eval(&s, &r));
+        assert!(!Predicate::Or(vec![f.clone(), f.clone()]).eval(&s, &r));
+        assert!(Predicate::And(vec![]).eval(&s, &r));
+        assert!(!Predicate::Or(vec![]).eval(&s, &r));
+    }
+
+    #[test]
+    fn all_keywords_builder() {
+        let s = schema();
+        let r = row(1, "red candle", "rose scented");
+        assert!(Predicate::all_keywords(&["red", "rose"]).eval(&s, &r));
+        assert!(!Predicate::all_keywords(&["red", "vanilla"]).eval(&s, &r));
+    }
+
+    #[test]
+    fn is_true() {
+        assert!(Predicate::True.is_true());
+        assert!(Predicate::And(vec![Predicate::True, Predicate::True]).is_true());
+        assert!(!Predicate::any_text_contains("x").is_true());
+        assert!(!Predicate::Or(vec![]).is_true());
+    }
+}

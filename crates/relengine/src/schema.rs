@@ -1,0 +1,117 @@
+//! Table schemas: column definitions, primary keys, text attributes.
+
+use crate::value::DataType;
+
+/// Index of a column within its table schema.
+pub type ColId = usize;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Column data type.
+    pub ty: DataType,
+}
+
+/// Schema of one table: ordered columns plus an optional integer primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Index of the primary-key column, if declared. Always an `Int` column.
+    pub primary_key: Option<ColId>,
+}
+
+impl TableSchema {
+    /// Creates a schema with the given name and no columns.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema { name: name.into(), columns: Vec::new(), primary_key: None }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks up a column index by name.
+    pub fn col_index(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Returns the column definition at `col`.
+    pub fn column(&self, col: ColId) -> &ColumnDef {
+        &self.columns[col]
+    }
+
+    /// Indices of all text columns — the attributes keyword predicates search.
+    pub fn text_columns(&self) -> Vec<ColId> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ty == DataType::Text)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether the table has at least one text attribute. The paper's DBLife
+    /// schema distinguishes entity tables (searchable) from relationship
+    /// tables (pure key pairs, never keyword-bound).
+    pub fn has_text(&self) -> bool {
+        self.columns.iter().any(|c| c.ty == DataType::Text)
+    }
+}
+
+/// A key/foreign-key association between two tables — one edge of the schema
+/// graph the lattice is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemaFk {
+    /// Referencing table.
+    pub from_table: usize,
+    /// Referencing column (in `from_table`).
+    pub from_col: ColId,
+    /// Referenced table.
+    pub to_table: usize,
+    /// Referenced column (in `to_table`), typically its primary key.
+    pub to_col: ColId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema {
+            name: "item".into(),
+            columns: vec![
+                ColumnDef { name: "id".into(), ty: DataType::Int },
+                ColumnDef { name: "name".into(), ty: DataType::Text },
+                ColumnDef { name: "description".into(), ty: DataType::Text },
+                ColumnDef { name: "color_id".into(), ty: DataType::Int },
+            ],
+            primary_key: Some(0),
+        }
+    }
+
+    #[test]
+    fn col_lookup() {
+        let s = sample();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.col_index("name"), Some(1));
+        assert_eq!(s.col_index("nope"), None);
+        assert_eq!(s.column(3).name, "color_id");
+    }
+
+    #[test]
+    fn text_columns() {
+        let s = sample();
+        assert_eq!(s.text_columns(), vec![1, 2]);
+        assert!(s.has_text());
+        let mut rel = TableSchema::new("writes");
+        rel.columns.push(ColumnDef { name: "pid".into(), ty: DataType::Int });
+        assert!(!rel.has_text());
+        assert!(rel.text_columns().is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! SQL text rendering for join-tree plans.
+//!
+//! The engine executes plans directly, but the paper's system *displays* the
+//! SQL of lattice nodes to the developer (the sub-queries explaining a
+//! non-answer). This module renders the equivalent `SELECT * FROM … WHERE …`
+//! text, matching the template shape of the paper's Example 2:
+//!
+//! ```sql
+//! SELECT * FROM R1, S2 WHERE R1.b = S2.c
+//!   AND R1.a LIKE '%k1%' AND S2.d LIKE '%k2%'
+//! ```
+
+use crate::catalog::Database;
+use crate::plan::JoinTreePlan;
+use crate::predicate::Predicate;
+use crate::schema::TableSchema;
+
+/// Renders the SQL text of a plan against a database.
+pub fn render_sql(plan: &JoinTreePlan, db: &Database) -> String {
+    let aliases: Vec<String> = plan
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| n.alias.clone().unwrap_or_else(|| format!("t{i}")))
+        .collect();
+
+    let mut sql = String::from("SELECT * FROM ");
+    for (i, n) in plan.nodes().iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        let name = &db.table(n.table).schema().name;
+        sql.push_str(name);
+        sql.push_str(" AS ");
+        sql.push_str(&aliases[i]);
+    }
+
+    let mut conditions: Vec<String> = Vec::new();
+    for e in plan.edges() {
+        let sa = db.table(plan.nodes()[e.a].table).schema();
+        let sb = db.table(plan.nodes()[e.b].table).schema();
+        conditions.push(format!(
+            "{}.{} = {}.{}",
+            aliases[e.a],
+            sa.columns[e.a_col].name,
+            aliases[e.b],
+            sb.columns[e.b_col].name
+        ));
+    }
+    for (i, n) in plan.nodes().iter().enumerate() {
+        if let Some(c) = render_predicate(&n.predicate, &aliases[i], db.table(n.table).schema()) {
+            conditions.push(c);
+        }
+    }
+    if !conditions.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conditions.join(" AND "));
+    }
+    sql
+}
+
+/// Renders one node predicate; `None` for a trivially true predicate.
+fn render_predicate(p: &Predicate, alias: &str, schema: &TableSchema) -> Option<String> {
+    match p {
+        Predicate::True => None,
+        Predicate::AnyTextContains(kw) => {
+            let parts: Vec<String> = schema
+                .text_columns()
+                .into_iter()
+                .map(|c| format!("{alias}.{} LIKE '%{}%'", schema.columns[c].name, escape(kw)))
+                .collect();
+            match parts.len() {
+                0 => Some("FALSE".to_owned()),
+                1 => Some(parts.into_iter().next().expect("len checked")),
+                _ => Some(format!("({})", parts.join(" OR "))),
+            }
+        }
+        Predicate::ColumnContains { col, needle } => Some(format!(
+            "{alias}.{} LIKE '%{}%'",
+            schema.columns[*col].name,
+            escape(needle)
+        )),
+        Predicate::IntEq { col, value } => {
+            Some(format!("{alias}.{} = {value}", schema.columns[*col].name))
+        }
+        Predicate::And(ps) => {
+            let parts: Vec<String> =
+                ps.iter().filter_map(|p| render_predicate(p, alias, schema)).collect();
+            match parts.len() {
+                0 => None,
+                1 => Some(parts.into_iter().next().expect("len checked")),
+                _ => Some(format!("({})", parts.join(" AND "))),
+            }
+        }
+        Predicate::Or(ps) => {
+            let parts: Vec<String> =
+                ps.iter().filter_map(|p| render_predicate(p, alias, schema)).collect();
+            if parts.is_empty() {
+                Some("FALSE".to_owned())
+            } else if parts.len() == 1 {
+                Some(parts.into_iter().next().expect("len checked"))
+            } else {
+                Some(format!("({})", parts.join(" OR ")))
+            }
+        }
+    }
+}
+
+/// Escapes single quotes for SQL literal embedding.
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatabaseBuilder;
+    use crate::plan::{PlanEdge, PlanNode};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("R")
+            .column("a", DataType::Text)
+            .column("b", DataType::Int);
+        b.table("S")
+            .column("c", DataType::Int)
+            .column("d", DataType::Text);
+        b.foreign_key("R", "b", "S", "c").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_example2_template() {
+        let db = db();
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::new(0, Predicate::any_text_contains("k1")).with_alias("R1"),
+                PlanNode::new(1, Predicate::any_text_contains("k2")).with_alias("S2"),
+            ],
+            vec![PlanEdge { a: 0, a_col: 1, b: 1, b_col: 0 }],
+        )
+        .unwrap();
+        let sql = render_sql(&plan, &db);
+        assert_eq!(
+            sql,
+            "SELECT * FROM R AS R1, S AS S2 WHERE R1.b = S2.c \
+             AND R1.a LIKE '%k1%' AND S2.d LIKE '%k2%'"
+        );
+    }
+
+    #[test]
+    fn free_node_has_no_predicate() {
+        let db = db();
+        let plan = JoinTreePlan::new(vec![PlanNode::free(0)], vec![]).unwrap();
+        assert_eq!(render_sql(&plan, &db), "SELECT * FROM R AS t0");
+    }
+
+    #[test]
+    fn keyword_on_textless_table_renders_false() {
+        let mut b = DatabaseBuilder::new();
+        b.table("rel").column("x", DataType::Int);
+        let db = b.finish().unwrap();
+        let plan = JoinTreePlan::new(
+            vec![PlanNode::new(0, Predicate::any_text_contains("k"))],
+            vec![],
+        )
+        .unwrap();
+        assert!(render_sql(&plan, &db).contains("FALSE"));
+    }
+
+    #[test]
+    fn multi_text_column_or() {
+        let mut b = DatabaseBuilder::new();
+        b.table("c")
+            .column("name", DataType::Text)
+            .column("synonyms", DataType::Text);
+        let db = b.finish().unwrap();
+        let plan = JoinTreePlan::new(
+            vec![PlanNode::new(0, Predicate::any_text_contains("saffron")).with_alias("C1")],
+            vec![],
+        )
+        .unwrap();
+        let sql = render_sql(&plan, &db);
+        assert!(sql.contains("C1.name LIKE '%saffron%' OR C1.synonyms LIKE '%saffron%'"));
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let db = db();
+        let plan = JoinTreePlan::new(
+            vec![PlanNode::new(0, Predicate::any_text_contains("o'brien"))],
+            vec![],
+        )
+        .unwrap();
+        assert!(render_sql(&plan, &db).contains("%o''brien%"));
+    }
+
+    #[test]
+    fn and_or_composites() {
+        let db = db();
+        let p = Predicate::And(vec![
+            Predicate::any_text_contains("x"),
+            Predicate::IntEq { col: 1, value: 3 },
+        ]);
+        let plan = JoinTreePlan::new(vec![PlanNode::new(0, p)], vec![]).unwrap();
+        let sql = render_sql(&plan, &db);
+        assert!(sql.contains("(t0.a LIKE '%x%' AND t0.b = 3)"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Execution statistics.
+//!
+//! The paper measures traversal strategies by (a) the number of SQL queries
+//! executed (Figure 11, Table 4) and (b) the total time spent executing them
+//! (Figures 12, 14, 15). [`ExecStats`] captures both for our engine.
+
+use std::time::Duration;
+
+/// Counters accumulated by an [`crate::Executor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of query executions (each `exists`/`execute` call is one).
+    pub queries: u64,
+    /// Rows touched across all executions (scan + semi-join work).
+    pub rows_examined: u64,
+    /// Total wall-clock time spent inside executions.
+    pub total_time: Duration,
+}
+
+impl ExecStats {
+    /// Records one finished execution.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.queries += 1;
+        self.total_time += elapsed;
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.queries += other.queries;
+        self.rows_examined += other.rows_examined;
+        self.total_time += other.total_time;
+    }
+
+    /// Mean time per query, or zero if none ran.
+    pub fn mean_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = ExecStats::default();
+        a.record(Duration::from_millis(10));
+        a.record(Duration::from_millis(20));
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.total_time, Duration::from_millis(30));
+        assert_eq!(a.mean_time(), Duration::from_millis(15));
+
+        let mut b = ExecStats { rows_examined: 5, ..ExecStats::default() };
+        b.record(Duration::from_millis(5));
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.rows_examined, 5);
+        assert_eq!(a.total_time, Duration::from_millis(35));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(ExecStats::default().mean_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,317 @@
+//! Row storage and per-column hash indexes.
+
+use std::collections::HashMap;
+
+use crate::error::EngineError;
+use crate::schema::{ColId, TableSchema};
+use crate::value::{DataType, Value};
+
+/// Row identifier: position of the row within its table.
+pub type RowId = u32;
+
+/// A stored row. Values are in schema column order.
+pub type Row = Box<[Value]>;
+
+/// One table: schema, rows, and lazily built equality indexes on integer
+/// columns (used to execute the key/foreign-key joins).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub(crate) schema: TableSchema,
+    pub(crate) rows: Vec<Row>,
+    /// `indexes[col]` maps an integer value to the sorted row ids holding it.
+    /// Built by [`Table::build_index`]; nulls are not indexed.
+    indexes: HashMap<ColId, HashMap<i64, Vec<RowId>>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new(), indexes: HashMap::new() }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the row with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; row ids come from this table so an
+    /// out-of-range id is an internal logic error, not bad user input.
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id as usize]
+    }
+
+    /// Iterates over `(RowId, &Row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
+    }
+
+    /// Appends a row after validating arity and column types.
+    ///
+    /// Indexes are invalidated (dropped) by insertion; call
+    /// [`Table::build_index`] (or `Database::finalize`) after loading.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, EngineError> {
+        if values.len() != self.schema.arity() {
+            return Err(EngineError::RowMismatch {
+                table: self.schema.name.clone(),
+                detail: format!("expected {} values, got {}", self.schema.arity(), values.len()),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let want = self.schema.columns[i].ty;
+            let ok = match v.data_type() {
+                None => true, // null fits any column
+                Some(t) => t == want,
+            };
+            if !ok {
+                return Err(EngineError::RowMismatch {
+                    table: self.schema.name.clone(),
+                    detail: format!(
+                        "column `{}` expects {}, got {:?}",
+                        self.schema.columns[i].name, want, v
+                    ),
+                });
+            }
+        }
+        if let Some(pk) = self.schema.primary_key {
+            if values[pk].is_null() {
+                return Err(EngineError::RowMismatch {
+                    table: self.schema.name.clone(),
+                    detail: "primary key may not be NULL".into(),
+                });
+            }
+        }
+        self.indexes.clear();
+        let id = self.rows.len() as RowId;
+        self.rows.push(values.into_boxed_slice());
+        Ok(id)
+    }
+
+    /// Builds (or rebuilds) the equality index on an integer column.
+    pub fn build_index(&mut self, col: ColId) -> Result<(), EngineError> {
+        if col >= self.schema.arity() {
+            return Err(EngineError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: format!("#{col}"),
+            });
+        }
+        if self.schema.columns[col].ty != DataType::Int {
+            return Err(EngineError::NonIntegerKey {
+                table: self.schema.name.clone(),
+                column: self.schema.columns[col].name.clone(),
+            });
+        }
+        let mut idx: HashMap<i64, Vec<RowId>> = HashMap::new();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if let Some(v) = row[col].as_int() {
+                idx.entry(v).or_default().push(rid as RowId);
+            }
+        }
+        self.indexes.insert(col, idx);
+        Ok(())
+    }
+
+    /// Whether an index exists on `col`.
+    pub fn has_index(&self, col: ColId) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Row ids whose `col` equals `value`, using the index if present and a
+    /// scan otherwise. Result is in ascending row-id order either way.
+    pub fn lookup(&self, col: ColId, value: i64) -> Vec<RowId> {
+        if let Some(idx) = self.indexes.get(&col) {
+            return idx.get(&value).cloned().unwrap_or_default();
+        }
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[col].as_int() == Some(value))
+            .map(|(i, _)| i as RowId)
+            .collect()
+    }
+
+    /// Indexed lookup returning a borrowed slice; `None` if no index on `col`.
+    pub fn lookup_indexed(&self, col: ColId, value: i64) -> Option<&[RowId]> {
+        self.indexes
+            .get(&col)
+            .map(|idx| idx.get(&value).map_or(&[][..], |v| v.as_slice()))
+    }
+
+    /// Number of distinct non-null integer values in `col`, using the index
+    /// if one exists and a scan otherwise. Used by cardinality estimation.
+    pub fn distinct_ints(&self, col: ColId) -> usize {
+        if let Some(idx) = self.indexes.get(&col) {
+            return idx.len();
+        }
+        let mut seen: Vec<i64> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.get(col).and_then(Value::as_int))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Verifies primary-key uniqueness over all rows.
+    pub fn check_primary_key(&self) -> Result<(), EngineError> {
+        let Some(pk) = self.schema.primary_key else { return Ok(()) };
+        let mut seen = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            if let Some(k) = row[pk].as_int() {
+                if seen.insert(k, ()).is_some() {
+                    return Err(EngineError::DuplicateKey {
+                        table: self.schema.name.clone(),
+                        key: k,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "id".into(), ty: DataType::Int },
+                ColumnDef { name: "txt".into(), ty: DataType::Text },
+                ColumnDef { name: "fk".into(), ty: DataType::Int },
+            ],
+            primary_key: Some(0),
+        }
+    }
+
+    fn filled() -> Table {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::text("a"), Value::Int(10)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::text("b"), Value::Int(10)]).unwrap();
+        t.insert(vec![Value::Int(3), Value::text("c"), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let t = filled();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(1)[1], Value::text("b"));
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut t = Table::new(schema());
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(EngineError::RowMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::text("x"), Value::text("a"), Value::Int(1)]),
+            Err(EngineError::RowMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![Value::Null, Value::text("a"), Value::Int(1)]),
+            Err(EngineError::RowMismatch { .. })
+        )); // null pk
+    }
+
+    #[test]
+    fn lookup_scan_and_indexed_agree() {
+        let mut t = filled();
+        assert!(!t.has_index(2));
+        let scan = t.lookup(2, 10);
+        t.build_index(2).unwrap();
+        assert!(t.has_index(2));
+        let idx = t.lookup(2, 10);
+        assert_eq!(scan, idx);
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(t.lookup_indexed(2, 10).unwrap(), &[0, 1]);
+        assert_eq!(t.lookup_indexed(2, 999).unwrap(), &[] as &[RowId]);
+        assert!(t.lookup_indexed(0, 1).is_none());
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut t = filled();
+        t.build_index(2).unwrap();
+        // Row 2 has a NULL fk: it must not appear under any key.
+        for v in [-1, 0, 10] {
+            assert!(!t.lookup(2, v).contains(&2));
+        }
+    }
+
+    #[test]
+    fn index_on_text_column_rejected() {
+        let mut t = filled();
+        assert!(matches!(t.build_index(1), Err(EngineError::NonIntegerKey { .. })));
+        assert!(matches!(t.build_index(9), Err(EngineError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn insert_invalidates_index() {
+        let mut t = filled();
+        t.build_index(2).unwrap();
+        t.insert(vec![Value::Int(4), Value::text("d"), Value::Int(10)]).unwrap();
+        assert!(!t.has_index(2));
+        // Scan fallback still finds everything.
+        assert_eq!(t.lookup(2, 10), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pk_check() {
+        let mut t = filled();
+        assert!(t.check_primary_key().is_ok());
+        t.insert(vec![Value::Int(1), Value::text("dup"), Value::Null]).unwrap();
+        assert!(matches!(t.check_primary_key(), Err(EngineError::DuplicateKey { key: 1, .. })));
+    }
+}
+
+#[cfg(test)]
+mod distinct_tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    #[test]
+    fn distinct_ints_scan_and_index_agree() {
+        let schema = TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "a".into(), ty: DataType::Int },
+                ColumnDef { name: "s".into(), ty: DataType::Text },
+            ],
+            primary_key: None,
+        };
+        let mut t = Table::new(schema);
+        for v in [1i64, 2, 2, 3, 3, 3] {
+            t.insert(vec![Value::Int(v), Value::text("x")]).unwrap();
+        }
+        t.insert(vec![Value::Null, Value::text("y")]).unwrap();
+        assert_eq!(t.distinct_ints(0), 3, "nulls excluded");
+        t.build_index(0).unwrap();
+        assert_eq!(t.distinct_ints(0), 3);
+        // Text column: no integers at all.
+        assert_eq!(t.distinct_ints(1), 0);
+        // Out-of-range column: empty, not a panic.
+        assert_eq!(t.distinct_ints(9), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Scalar values and data types.
+//!
+//! The KWS-S query class only needs integers (surrogate keys used by the
+//! key/foreign-key joins) and free text (the attributes keyword predicates
+//! search). `Null` exists so optional foreign keys ("NA" in the paper's
+//! Figure 2 product table) behave like SQL: a null never joins and never
+//! contains a keyword.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer; used for keys.
+    Int,
+    /// UTF-8 text; searched by keyword predicates.
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A scalar value stored in a row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A text value.
+    Text(String),
+    /// SQL-style null: joins to nothing, contains no keyword.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// The value's data type, or `None` for null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Null => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Case-insensitive substring containment, the engine's `LIKE '%kw%'`.
+    ///
+    /// `needle` is matched ASCII-case-insensitively without allocating; this
+    /// is the hot path of every keyword predicate. Nulls and integers contain
+    /// nothing; an empty needle is contained in any non-null text.
+    pub fn contains_ci(&self, needle: &str) -> bool {
+        match self {
+            Value::Text(hay) => contains_ci(hay, needle),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// ASCII-case-insensitive substring search without allocation.
+pub(crate) fn contains_ci(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    let hay = hay.as_bytes();
+    let needle = needle.as_bytes();
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let first = needle[0];
+    'outer: for start in 0..=(hay.len() - needle.len()) {
+        if !hay[start].eq_ignore_ascii_case(&first) {
+            continue;
+        }
+        for (i, nb) in needle.iter().enumerate().skip(1) {
+            if !hay[start + i].eq_ignore_ascii_case(nb) {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_ci_basic() {
+        assert!(contains_ci("Saffron Scented Candle", "scented"));
+        assert!(contains_ci("Saffron Scented Candle", "SAFFRON"));
+        assert!(contains_ci("abc", ""));
+        assert!(!contains_ci("", "a"));
+        assert!(!contains_ci("ab", "abc"));
+        assert!(contains_ci("xxabcyy", "abc"));
+        assert!(!contains_ci("xxabcyy", "abd"));
+    }
+
+    #[test]
+    fn contains_ci_at_boundaries() {
+        assert!(contains_ci("candle", "can"));
+        assert!(contains_ci("candle", "dle"));
+        assert!(contains_ci("candle", "candle"));
+        assert!(!contains_ci("candle", "candles"));
+    }
+
+    #[test]
+    fn value_contains() {
+        assert!(Value::text("Red Checkered Candle").contains_ci("red"));
+        assert!(!Value::Int(42).contains_ci("4"));
+        assert!(!Value::Null.contains_ci("x"));
+        // Empty needle only matches text values.
+        assert!(Value::text("x").contains_ci(""));
+        assert!(!Value::Null.contains_ci(""));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::text("a").as_int(), None);
+        assert_eq!(Value::text("a").as_text(), Some("a"));
+        assert_eq!(Value::Null.as_text(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Text.to_string(), "TEXT");
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("s"), Value::text("s"));
+        assert_eq!(Value::from("s".to_owned()), Value::text("s"));
+    }
+}

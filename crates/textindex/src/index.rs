@@ -1,0 +1,291 @@
+//! The inverted index proper.
+
+use std::collections::HashMap;
+
+use relengine::{Database, RowId, TableId};
+
+use crate::tokenizer::tokenize;
+
+/// Inverted index over all text attributes of a database.
+///
+/// For each term it records, per table, the sorted distinct row ids whose text
+/// attributes contain the term. Built once, offline, like the paper's Lucene
+/// indexes; query-time lookups are hash probes.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// term → (sorted by table id) list of per-table posting lists.
+    postings: HashMap<String, Vec<(TableId, Vec<RowId>)>>,
+    /// Number of indexed (table, row) pairs, for reporting.
+    indexed_rows: usize,
+    /// Number of distinct terms.
+    term_count: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over every text column of every table in `db`.
+    pub fn build(db: &Database) -> Self {
+        // term → table → rows (dedup within a row across columns).
+        let mut map: HashMap<String, HashMap<TableId, Vec<RowId>>> = HashMap::new();
+        let mut indexed_rows = 0usize;
+        for (tid, table) in db.tables() {
+            let text_cols = table.schema().text_columns();
+            if text_cols.is_empty() {
+                continue;
+            }
+            for (rid, row) in table.iter() {
+                indexed_rows += 1;
+                let mut row_terms: Vec<String> = Vec::new();
+                for &c in &text_cols {
+                    if let Some(s) = row[c].as_text() {
+                        row_terms.extend(tokenize(s));
+                    }
+                }
+                row_terms.sort_unstable();
+                row_terms.dedup();
+                for term in row_terms {
+                    map.entry(term).or_default().entry(tid).or_default().push(rid);
+                }
+            }
+        }
+        let term_count = map.len();
+        let postings = map
+            .into_iter()
+            .map(|(term, by_table)| {
+                let mut lists: Vec<(TableId, Vec<RowId>)> = by_table.into_iter().collect();
+                lists.sort_unstable_by_key(|(t, _)| *t);
+                // Rows were visited in ascending rid order, so lists are sorted.
+                (term, lists)
+            })
+            .collect();
+        InvertedIndex { postings, indexed_rows, term_count }
+    }
+
+    /// Tables whose text contains the term (whole-token match), ascending.
+    pub fn tables_containing(&self, term: &str) -> Vec<TableId> {
+        let needle = normalize(term);
+        self.postings
+            .get(&needle)
+            .map(|lists| lists.iter().map(|(t, _)| *t).collect())
+            .unwrap_or_default()
+    }
+
+    /// Sorted row ids of `table` containing the term; empty if none.
+    pub fn rows_containing(&self, table: TableId, term: &str) -> &[RowId] {
+        let needle = normalize(term);
+        self.postings
+            .get(&needle)
+            .and_then(|lists| {
+                lists
+                    .binary_search_by_key(&table, |(t, _)| *t)
+                    .ok()
+                    .map(|i| lists[i].1.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// Whether the term occurs anywhere in the database.
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.postings.contains_key(&normalize(term))
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.term_count
+    }
+
+    /// Number of (table, row) pairs visited during the build.
+    pub fn indexed_rows(&self) -> usize {
+        self.indexed_rows
+    }
+
+    /// Document frequency of a term in one table.
+    pub fn doc_frequency(&self, table: TableId, term: &str) -> usize {
+        self.rows_containing(table, term).len()
+    }
+}
+
+/// Queries arrive as raw user keywords; normalize them through the same
+/// tokenizer so "Saffron," and "saffron" meet in the index. A multi-token
+/// input keeps only its first token (keywords are single terms in the paper).
+fn normalize(term: &str) -> String {
+    tokenize(term).into_iter().next().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    fn db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("person")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text);
+        b.table("pub")
+            .column("id", DataType::Int)
+            .column("title", DataType::Text)
+            .column("abstract", DataType::Text);
+        b.table("writes")
+            .column("pid", DataType::Int)
+            .column("pubid", DataType::Int);
+        let mut db = b.finish().unwrap();
+        db.insert_values("person", vec![Value::Int(1), Value::text("Jennifer Widom")]).unwrap();
+        db.insert_values("person", vec![Value::Int(2), Value::text("David DeWitt")]).unwrap();
+        db.insert_values(
+            "pub",
+            vec![
+                Value::Int(1),
+                Value::text("Trio: A System for Data Uncertainty"),
+                Value::text("we present trio, managing uncertainty and lineage"),
+            ],
+        )
+        .unwrap();
+        db.insert_values(
+            "pub",
+            vec![Value::Int(2), Value::text("Keyword Search in Databases"), Value::Null],
+        )
+        .unwrap();
+        db.insert_values("writes", vec![Value::Int(1), Value::Int(1)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn tables_containing_terms() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.tables_containing("widom"), vec![0]);
+        assert_eq!(idx.tables_containing("trio"), vec![1]);
+        assert_eq!(idx.tables_containing("keyword"), vec![1]);
+        assert!(idx.tables_containing("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive_lookup() {
+        let idx = InvertedIndex::build(&db());
+        assert_eq!(idx.tables_containing("WIDOM"), vec![0]);
+        assert_eq!(idx.tables_containing("Trio,"), vec![1]);
+    }
+
+    #[test]
+    fn rows_containing_and_dedup_across_columns() {
+        let idx = InvertedIndex::build(&db());
+        // "trio" appears in both title and abstract of pub row 0: one posting.
+        assert_eq!(idx.rows_containing(1, "trio"), &[0]);
+        assert_eq!(idx.rows_containing(1, "keyword"), &[1]);
+        assert_eq!(idx.rows_containing(0, "trio"), &[] as &[RowId]);
+        assert_eq!(idx.doc_frequency(1, "trio"), 1);
+    }
+
+    #[test]
+    fn relationship_tables_not_indexed() {
+        let idx = InvertedIndex::build(&db());
+        // 2 person + 2 pub rows indexed; writes has no text columns.
+        assert_eq!(idx.indexed_rows(), 4);
+        assert!(idx.tables_containing("1").is_empty());
+    }
+
+    #[test]
+    fn contains_term() {
+        let idx = InvertedIndex::build(&db());
+        assert!(idx.contains_term("uncertainty"));
+        assert!(!idx.contains_term("zanzibar"));
+        assert!(idx.term_count() > 5);
+    }
+
+    #[test]
+    fn null_text_skipped() {
+        let idx = InvertedIndex::build(&db());
+        // pub row 1 has NULL abstract; still indexed via its title.
+        assert_eq!(idx.rows_containing(1, "databases"), &[1]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = DatabaseBuilder::new().finish().unwrap();
+        let idx = InvertedIndex::build(&db);
+        assert_eq!(idx.term_count(), 0);
+        assert!(!idx.contains_term("x"));
+    }
+}
+
+impl InvertedIndex {
+    /// Sorted row ids of `table` containing **all** the given terms
+    /// (conjunctive tuple-set semantics, DISCOVER's `R^{k1,k2}`). Posting
+    /// lists are intersected smallest-first; an unknown term short-circuits
+    /// to empty. With no terms, returns `None` (the free tuple set — every
+    /// row — is not materialized).
+    pub fn rows_containing_all(&self, table: TableId, terms: &[&str]) -> Option<Vec<RowId>> {
+        if terms.is_empty() {
+            return None;
+        }
+        let mut lists: Vec<&[RowId]> =
+            terms.iter().map(|t| self.rows_containing(table, t)).collect();
+        lists.sort_unstable_by_key(|l| l.len());
+        let mut result: Vec<RowId> = lists[0].to_vec();
+        for list in &lists[1..] {
+            if result.is_empty() {
+                break;
+            }
+            result.retain(|rid| list.binary_search(rid).is_ok());
+        }
+        Some(result)
+    }
+
+    /// Tables containing **all** the given terms (in possibly different
+    /// rows), ascending. Empty input means every table qualifies vacuously —
+    /// returns empty instead to avoid surprises.
+    pub fn tables_containing_all(&self, terms: &[&str]) -> Vec<TableId> {
+        let mut iter = terms.iter();
+        let Some(first) = iter.next() else { return Vec::new() };
+        let mut tables = self.tables_containing(first);
+        for t in iter {
+            let next = self.tables_containing(t);
+            tables.retain(|x| next.binary_search(x).is_ok());
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod multiterm_tests {
+    use super::*;
+    use relengine::{DataType, DatabaseBuilder, Value};
+
+    fn index() -> InvertedIndex {
+        let mut b = DatabaseBuilder::new();
+        b.table("topic").column("id", DataType::Int).column("name", DataType::Text);
+        b.table("pub").column("id", DataType::Int).column("title", DataType::Text);
+        let mut db = b.finish().unwrap();
+        for (id, name) in [
+            (1, "Probabilistic Data"),
+            (2, "Stream Data"),
+            (3, "Histograms"),
+            (4, "Probabilistic Streams"),
+        ] {
+            db.insert_values("topic", vec![Value::Int(id), Value::text(name)]).unwrap();
+        }
+        db.insert_values("pub", vec![Value::Int(1), Value::text("Data Sketches")]).unwrap();
+        InvertedIndex::build(&db)
+    }
+
+    #[test]
+    fn conjunctive_rows() {
+        let idx = index();
+        assert_eq!(
+            idx.rows_containing_all(0, &["probabilistic", "data"]).unwrap(),
+            vec![0]
+        );
+        assert_eq!(idx.rows_containing_all(0, &["data"]).unwrap(), vec![0, 1]);
+        assert!(idx.rows_containing_all(0, &["data", "histograms"]).unwrap().is_empty());
+        assert!(idx.rows_containing_all(0, &["zzz"]).unwrap().is_empty());
+        assert!(idx.rows_containing_all(0, &[]).is_none());
+    }
+
+    #[test]
+    fn conjunctive_tables() {
+        let idx = index();
+        assert_eq!(idx.tables_containing_all(&["data"]), vec![0, 1]);
+        assert_eq!(idx.tables_containing_all(&["data", "probabilistic"]), vec![0]);
+        assert!(idx.tables_containing_all(&["data", "zzz"]).is_empty());
+        assert!(idx.tables_containing_all(&[]).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # textindex — inverted keyword index substrate
+//!
+//! The paper builds Lucene inverted indexes over the data so that Phase 1 can
+//! map each keyword of the user query to the relations that contain it, and so
+//! that per-relation keyword predicates can be seeded with candidate tuples
+//! instead of scanning. This crate is the self-contained stand-in: a simple
+//! tokenizer plus an inverted index from terms to `(table, row)` postings,
+//! built directly over a [`relengine::Database`].
+//!
+//! ```
+//! use relengine::{DatabaseBuilder, DataType, Value};
+//! use textindex::InvertedIndex;
+//!
+//! let mut b = DatabaseBuilder::new();
+//! b.table("color").column("id", DataType::Int).column("name", DataType::Text);
+//! let mut db = b.finish().unwrap();
+//! db.insert_values("color", vec![Value::Int(1), Value::text("Saffron Orange")]).unwrap();
+//! let idx = InvertedIndex::build(&db);
+//! assert_eq!(idx.tables_containing("saffron"), vec![0]);
+//! assert!(idx.tables_containing("teal").is_empty());
+//! ```
+
+mod index;
+mod tokenizer;
+
+pub use index::InvertedIndex;
+pub use tokenizer::tokenize;

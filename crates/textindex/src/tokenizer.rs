@@ -1,0 +1,65 @@
+//! Tokenization: lowercase terms split on non-alphanumeric characters.
+//!
+//! This matches the behaviour a `StandardAnalyzer`-configured Lucene index
+//! gives the paper's system: case-insensitive whole-term matching, digits
+//! kept (queries like "histograms" and data like "3.4 oz" both tokenize
+//! predictably). No stemming and no stop words — debugging must see the data
+//! exactly as stored.
+
+/// Splits `text` into lowercase alphanumeric terms.
+///
+/// ```
+/// use textindex::tokenize;
+/// assert_eq!(tokenize("Keyword-Search, over 2 DBs!"),
+///            vec!["keyword", "search", "over", "2", "dbs"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            terms.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        terms.push(current);
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        assert_eq!(tokenize("Widom Trio"), vec!["widom", "trio"]);
+        assert_eq!(tokenize("  multiple   spaces "), vec!["multiple", "spaces"]);
+    }
+
+    #[test]
+    fn punctuation_is_a_separator() {
+        assert_eq!(tokenize("burn time 50 hrs. 6.4 oz. 2pck."),
+                   vec!["burn", "time", "50", "hrs", "6", "4", "oz", "2pck"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!@# --").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Ärger Straße"), vec!["ärger", "straße"]);
+    }
+
+    #[test]
+    fn digits_kept() {
+        assert_eq!(tokenize("VLDB 2002"), vec!["vldb", "2002"]);
+    }
+}

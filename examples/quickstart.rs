@@ -1,0 +1,74 @@
+//! Quickstart: debug a non-answer on a four-table product catalog.
+//!
+//! Builds a small store database, asks the keyword query "saffron candle"
+//! (which has no answers), and prints the full debug report: the dead
+//! structured queries and, for each, the maximal alive sub-queries that
+//! explain *why* nothing matched.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use kws_nonanswer_debug::kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kws_nonanswer_debug::kwdebug::traversal::StrategyKind;
+use kws_nonanswer_debug::relengine::{DataType, DatabaseBuilder, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A store: product types and colored items referencing them.
+    let mut b = DatabaseBuilder::new();
+    b.table("ptype")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .primary_key("id");
+    b.table("color")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("ptype_id", DataType::Int)
+        .column("color_id", DataType::Int)
+        .primary_key("id");
+    b.foreign_key("item", "ptype_id", "ptype", "id")?;
+    b.foreign_key("item", "color_id", "color", "id")?;
+    let mut db = b.finish()?;
+
+    for (id, name) in [(1, "candle"), (2, "oil")] {
+        db.insert_values("ptype", vec![Value::Int(id), Value::text(name)])?;
+    }
+    for (id, name) in [(1, "saffron"), (2, "red")] {
+        db.insert_values("color", vec![Value::Int(id), Value::text(name)])?;
+    }
+    // The store carries candles (red) and saffron things (oil) — but no
+    // saffron candle.
+    for (id, name, pt, c) in
+        [(1, "pillar wax", 1, 2), (2, "fragrant drops", 2, 1), (3, "tea light", 1, 2)]
+    {
+        db.insert_values(
+            "item",
+            vec![Value::Int(id), Value::text(name), Value::Int(pt), Value::Int(c)],
+        )?;
+    }
+
+    // Offline setup: inverted index + query lattice up to 2 joins.
+    let debugger = NonAnswerDebugger::new(
+        db,
+        DebugConfig {
+            max_joins: 2,
+            strategy: StrategyKind::ScoreBasedHeuristic,
+            ..DebugConfig::default()
+        },
+    )?;
+
+    // Online: the dreaded empty query, explained.
+    let report = debugger.debug("saffron candle")?;
+    println!("{report}");
+
+    assert_eq!(report.answer_count(), 0, "this query is a non-answer");
+    assert!(report.non_answer_count() > 0);
+    println!(
+        "debugging cost: {} SQL queries in {:?}",
+        report.sql_queries(),
+        report.sql_time()
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the EDBT 2015 "Debugging Non-Answers in Keyword Search
+//! Systems" reproduction.
+//!
+//! Re-exports the four workspace crates so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`kwdebug`] — the paper's contribution: lattice, MTN/MPAN discovery,
+//!   traversal strategies, baselines, and the [`kwdebug::NonAnswerDebugger`]
+//!   entry point.
+//! * [`relengine`] — the in-memory relational engine substrate.
+//! * [`textindex`] — the inverted keyword index substrate.
+//! * [`datagen`] — the Figure 2 toy database and the synthetic DBLife
+//!   generator with the Table 2 workload.
+//!
+//! See `examples/quickstart.rs` for the three-minute tour.
+
+pub use datagen;
+pub use kwdebug;
+pub use relengine;
+pub use textindex;

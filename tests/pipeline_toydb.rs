@@ -1,0 +1,138 @@
+//! Integration: the paper's Example 1 on the Figure 2 database, verbatim.
+//!
+//! "saffron scented candle" must map (among its interpretations) to the two
+//! structured queries the paper analyzes, both dead, each explained by
+//! exactly the maximal alive sub-queries the paper lists.
+
+use datagen::product_database;
+use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kwdebug::report::InterpretationOutcome;
+use kwdebug::traversal::StrategyKind;
+
+fn debugger(strategy: StrategyKind) -> NonAnswerDebugger {
+    NonAnswerDebugger::new(
+        product_database(),
+        DebugConfig { max_joins: 2, strategy, sample_limit: 0, ..DebugConfig::default() },
+    )
+    .expect("toy system builds")
+}
+
+fn find_interpretation<'a>(
+    report: &'a kwdebug::DebugReport,
+    saffron_table: &str,
+) -> &'a InterpretationOutcome {
+    report
+        .interpretations
+        .iter()
+        .find(|i| {
+            i.keyword_tables.contains(&("saffron".to_owned(), saffron_table.to_owned()))
+                && i.keyword_tables.contains(&("scented".to_owned(), "item".to_owned()))
+                && i.keyword_tables.contains(&("candle".to_owned(), "ptype".to_owned()))
+        })
+        .expect("paper interpretation present")
+}
+
+#[test]
+fn q1_color_interpretation_matches_paper() {
+    let report = debugger(StrategyKind::ScoreBasedHeuristic)
+        .debug("saffron scented candle")
+        .expect("query runs");
+    let q1 = find_interpretation(&report, "color");
+    assert!(q1.answers.is_empty(), "q1 must be a non-answer");
+    assert_eq!(q1.non_answers.len(), 1);
+    let mpans = &q1.non_answers[0].mpans;
+    assert_eq!(mpans.len(), 2, "paper reports exactly two maximal sub-queries");
+    let sqls: Vec<&str> = mpans.iter().map(|m| m.sql.as_str()).collect();
+    // P_candle ⋈ I_scented
+    assert!(
+        sqls.iter().any(|s| s.contains("%candle%") && s.contains("%scented%")),
+        "missing P_candle ⋈ I_scented in {sqls:?}"
+    );
+    // C_saffron alone (level 1)
+    assert!(
+        mpans
+            .iter()
+            .any(|m| m.level == 1 && m.sql.contains("color") && m.sql.contains("%saffron%")),
+        "missing C_saffron in {sqls:?}"
+    );
+}
+
+#[test]
+fn q2_attribute_interpretation_matches_paper() {
+    let report = debugger(StrategyKind::ScoreBasedHeuristic)
+        .debug("saffron scented candle")
+        .expect("query runs");
+    let q2 = find_interpretation(&report, "attribute");
+    assert!(q2.answers.is_empty(), "q2 must be a non-answer");
+    assert_eq!(q2.non_answers.len(), 1);
+    let mpans = &q2.non_answers[0].mpans;
+    assert_eq!(mpans.len(), 2);
+    // P_candle ⋈ I_scented and I_scented ⋈ A_saffron, both at level 2.
+    assert!(mpans.iter().all(|m| m.level == 2));
+    assert!(mpans
+        .iter()
+        .any(|m| m.sql.contains("%candle%") && m.sql.contains("%scented%")));
+    assert!(mpans
+        .iter()
+        .any(|m| m.sql.contains("attribute") && m.sql.contains("%saffron%") && m.sql.contains("%scented%")));
+}
+
+#[test]
+fn every_strategy_reproduces_example1() {
+    let reference = debugger(StrategyKind::BruteForce)
+        .debug("saffron scented candle")
+        .expect("query runs");
+    for kind in StrategyKind::ALL {
+        let report = debugger(kind).debug("saffron scented candle").expect("query runs");
+        assert_eq!(report.answer_count(), reference.answer_count(), "{kind}");
+        assert_eq!(report.non_answer_count(), reference.non_answer_count(), "{kind}");
+        assert_eq!(report.mpan_count(), reference.mpan_count(), "{kind}");
+        // MPAN SQL sets must match interpretation by interpretation.
+        for (a, b) in report.interpretations.iter().zip(&reference.interpretations) {
+            let mut sa: Vec<&String> =
+                a.non_answers.iter().flat_map(|n| n.mpans.iter().map(|m| &m.sql)).collect();
+            let mut sb: Vec<&String> =
+                b.non_answers.iter().flat_map(|n| n.mpans.iter().map(|m| &m.sql)).collect();
+            sa.sort();
+            sb.sort();
+            assert_eq!(sa, sb, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn red_candle_is_an_answer_query() {
+    // Figure 2 carries a "red checkered candle": "red candle" has answers.
+    let report =
+        debugger(StrategyKind::TopDownWithReuse).debug("red candle").expect("query runs");
+    assert!(report.answer_count() > 0);
+}
+
+#[test]
+fn unknown_keyword_reported_and_nothing_explored() {
+    let report =
+        debugger(StrategyKind::BottomUp).debug("saffron hovercraft").expect("query runs");
+    assert_eq!(report.unknown_keywords, vec!["hovercraft"]);
+    assert_eq!(report.sql_queries(), 0);
+    assert!(report.interpretations.is_empty());
+}
+
+#[test]
+fn incense_exists_but_no_scented_incense() {
+    // "incense" occurs (product type 3) but no item references it: the MTN
+    // ptype_incense ⋈ item_scented is dead, explained by both sides alive.
+    let report = debugger(StrategyKind::ScoreBasedHeuristic)
+        .debug("scented incense")
+        .expect("query runs");
+    assert_eq!(report.answer_count(), 0);
+    assert!(report.non_answer_count() > 0);
+    let interp = report
+        .interpretations
+        .iter()
+        .find(|i| i.keyword_tables.contains(&("incense".to_owned(), "ptype".to_owned())))
+        .expect("ptype interpretation");
+    let mpans = &interp.non_answers[0].mpans;
+    // Frontier: incense exists (level 1) and scented items exist (level 1).
+    assert!(mpans.iter().any(|m| m.sql.contains("%incense%") && m.level == 1));
+    assert!(mpans.iter().any(|m| m.sql.contains("%scented%")));
+}

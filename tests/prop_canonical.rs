@@ -1,0 +1,121 @@
+//! Property tests for canonical labeling (Algorithm 2).
+//!
+//! A canonical labeling must be invariant under how a tree is *presented*:
+//! any extension order producing an isomorphic copy-labeled tree must yield
+//! the same label. The generator grows a random tree, then rebuilds it by
+//! re-rooting at a random vertex and re-attaching edges in a shuffled order —
+//! a presentation-level isomorphism — and asserts label equality. A second
+//! property asserts that changing any vertex's copy index changes the label.
+
+use proptest::prelude::*;
+
+use kwdebug::canonical::canonical_label;
+use kwdebug::jnts::{Jnts, TupleSet};
+use kwdebug::schema_graph::Incidence;
+
+/// Specification of a random tree: vertex labels plus for each vertex i >= 1
+/// an attachment (parent < i, fk, direction).
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    vertices: Vec<(usize, u8)>,            // (table, copy)
+    attach: Vec<(usize, usize, bool)>,     // (parent index, fk, parent_is_from)
+}
+
+fn tree_spec(max_n: usize) -> impl Strategy<Value = TreeSpec> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let vertices = proptest::collection::vec((0usize..4, 0u8..3), n..=n);
+            let attach = proptest::collection::vec((0usize..n, 0usize..3, any::<bool>()), n - 1..=n - 1);
+            (vertices, attach)
+        })
+        .prop_map(|(vertices, mut attach)| {
+            // Parent of vertex i must be < i.
+            for (i, a) in attach.iter_mut().enumerate() {
+                a.0 %= i + 1;
+            }
+            TreeSpec { vertices, attach }
+        })
+}
+
+fn build(spec: &TreeSpec) -> Jnts {
+    let mut j = Jnts::single(TupleSet::new(spec.vertices[0].0, spec.vertices[0].1));
+    for (i, &(parent, fk, parent_is_from)) in spec.attach.iter().enumerate() {
+        let child = spec.vertices[i + 1];
+        j = j.extend(
+            parent,
+            Incidence { fk, other: child.0, local_is_from: parent_is_from },
+            child.1,
+        );
+    }
+    j
+}
+
+/// Rebuilds the same tree starting from `root`, attaching edges outward in
+/// BFS order — a different presentation of the identical labeled tree.
+fn rebuild_from(j: &Jnts, root: usize) -> Jnts {
+    let n = j.node_count();
+    let mut new = Jnts::single(j.nodes()[root]);
+    let mut placed = vec![usize::MAX; n]; // old index -> new index
+    placed[root] = 0;
+    let mut frontier = vec![root];
+    while let Some(u) = frontier.pop() {
+        for e in j.edges() {
+            let (a, b) = (e.a as usize, e.b as usize);
+            let (other, local_is_from) = if a == u {
+                (b, e.a_is_from)
+            } else if b == u {
+                (a, !e.a_is_from)
+            } else {
+                continue;
+            };
+            if placed[other] != usize::MAX {
+                continue;
+            }
+            let at = placed[u];
+            new = new.extend(
+                at,
+                Incidence {
+                    fk: e.fk,
+                    other: j.nodes()[other].table,
+                    local_is_from,
+                },
+                j.nodes()[other].copy,
+            );
+            placed[other] = new.node_count() - 1;
+            frontier.push(other);
+        }
+    }
+    new
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn label_invariant_under_rerooting(spec in tree_spec(7), root_pick in any::<usize>()) {
+        let j = build(&spec);
+        prop_assert!(j.validate());
+        let root = root_pick % j.node_count();
+        let rebuilt = rebuild_from(&j, root);
+        prop_assert!(rebuilt.validate());
+        prop_assert_eq!(canonical_label(&j), canonical_label(&rebuilt));
+    }
+
+    #[test]
+    fn label_changes_when_a_copy_changes(spec in tree_spec(6), pick in any::<usize>()) {
+        let j = build(&spec);
+        let v = pick % j.node_count();
+        // Bump one vertex's copy index to a value outside the generator's
+        // range, producing a definitely-different labeled tree.
+        let mut spec2 = spec.clone();
+        spec2.vertices[v].1 = 9;
+        let j2 = build(&spec2);
+        prop_assert_ne!(canonical_label(&j), canonical_label(&j2));
+    }
+
+    #[test]
+    fn label_is_stable(spec in tree_spec(7)) {
+        let j = build(&spec);
+        prop_assert_eq!(canonical_label(&j), canonical_label(&j));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for lattice generation (Algorithm 1).
+//!
+//! Structural invariants over lattices built from random-sized DBLife-style
+//! schemas and the toy schema:
+//!
+//! * **closure under sub-networks**: removing any leaf of any lattice node
+//!   yields a network that is itself in the lattice, linked as a child;
+//! * **dedup soundness**: no two nodes share a canonical label;
+//! * **link symmetry**: parents/children are mutual and one level apart;
+//! * **copy discipline**: keyword copies never repeat within a network, and
+//!   text-less relations only ever appear as free copies.
+
+use proptest::prelude::*;
+
+use datagen::product_database;
+use kwdebug::canonical::canonical_label;
+use kwdebug::lattice::Lattice;
+use kwdebug::SchemaGraph;
+use std::collections::{HashMap, HashSet};
+
+fn check_lattice_invariants(lattice: &Lattice, graph: &SchemaGraph) {
+    // Dedup soundness + index for the closure check.
+    let mut by_label: HashMap<String, u32> = HashMap::new();
+    for id in lattice.all_nodes() {
+        let label = canonical_label(&lattice.node(id).jnts);
+        assert!(
+            by_label.insert(label, id).is_none(),
+            "two lattice nodes share a canonical label"
+        );
+    }
+
+    for id in lattice.all_nodes() {
+        let node = lattice.node(id);
+        assert!(node.jnts.validate(), "node {id} is not a tree");
+        assert_eq!(node.jnts.node_count() as u32, node.level);
+
+        // Copy discipline.
+        let mut seen: HashSet<(usize, u8)> = HashSet::new();
+        for ts in node.jnts.nodes() {
+            if ts.copy > 0 {
+                assert!(graph.has_text(ts.table), "keyword copy of text-less table");
+                assert!(seen.insert((ts.table, ts.copy)), "repeated keyword copy");
+            }
+        }
+
+        // Link symmetry.
+        for &c in &node.children {
+            assert_eq!(lattice.node(c).level + 1, node.level);
+            assert!(lattice.node(c).parents.contains(&id));
+        }
+        for &p in &node.parents {
+            assert_eq!(lattice.node(p).level, node.level + 1);
+            assert!(lattice.node(p).children.contains(&id));
+        }
+
+        // Closure under leaf removal: every maximal sub-network exists and
+        // is linked as a child.
+        if node.jnts.node_count() > 1 {
+            for leaf in node.jnts.leaves() {
+                let sub = node.jnts.remove_leaf(leaf);
+                let label = canonical_label(&sub);
+                let child = by_label
+                    .get(&label)
+                    .unwrap_or_else(|| panic!("sub-network of node {id} missing from lattice"));
+                assert!(
+                    node.children.contains(child),
+                    "sub-network present but not linked as child"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn toydb_lattice_invariants() {
+    let db = product_database();
+    let graph = SchemaGraph::new(&db);
+    for max_joins in 1..=3 {
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        check_lattice_invariants(&lattice, &graph);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random schema: `n_ent` text entities, `n_rel` key-pair relationships
+    /// wiring random entity pairs.
+    #[test]
+    fn random_schema_lattice_invariants(
+        n_ent in 1usize..4,
+        wiring in proptest::collection::vec((0usize..4, 0usize..4), 1..5),
+        max_joins in 1usize..4,
+    ) {
+        let mut b = relengine::DatabaseBuilder::new();
+        for e in 0..n_ent {
+            b.table(&format!("ent{e}"))
+                .column("id", relengine::DataType::Int)
+                .column("name", relengine::DataType::Text)
+                .primary_key("id");
+        }
+        for (ri, (a, z)) in wiring.iter().enumerate() {
+            let (a, z) = (a % n_ent, z % n_ent);
+            let name = format!("rel{ri}");
+            b.table(&name)
+                .column("a_id", relengine::DataType::Int)
+                .column("b_id", relengine::DataType::Int);
+            b.foreign_key(&name, "a_id", &format!("ent{a}"), "id").expect("declared");
+            b.foreign_key(&name, "b_id", &format!("ent{z}"), "id").expect("declared");
+        }
+        let db = b.finish().expect("schema builds");
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        check_lattice_invariants(&lattice, &graph);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for Phase 3: strategy equivalence and MPAN invariants on
+//! randomized databases.
+//!
+//! For random data over a 3-entity/2-relationship schema and random keyword
+//! queries, every traversal strategy must agree exactly with brute force;
+//! and every reported MPAN must satisfy the definition directly against the
+//! aliveness oracle: it is alive, it is a strict descendant of its dead MTN,
+//! no ancestor within the MTN's cone is alive, and every alive descendant of
+//! the dead MTN is covered by (is a descendant of) some MPAN.
+
+use proptest::prelude::*;
+
+use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::lattice::Lattice;
+use kwdebug::oracle::AlivenessOracle;
+use kwdebug::prune::PrunedLattice;
+use kwdebug::traversal::{self, StrategyKind};
+use kwdebug::SchemaGraph;
+use relengine::{DataType, Database, DatabaseBuilder, Value};
+use textindex::InvertedIndex;
+
+const WORDS: [&str; 6] = ["amber", "basil", "cedar", "dune", "ember", "fern"];
+
+/// Random store: tag(id, label), item(id, name, tag_id), link(item_a, item_b).
+fn build_db(
+    tags: &[(i64, u8)],
+    items: &[(i64, u8, u8, Option<i64>)],
+    links: &[(i64, i64)],
+) -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("tag")
+        .column("id", DataType::Int)
+        .column("label", DataType::Text)
+        .primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("tag_id", DataType::Int)
+        .primary_key("id");
+    b.table("link")
+        .column("item_a", DataType::Int)
+        .column("item_b", DataType::Int);
+    b.foreign_key("item", "tag_id", "tag", "id").expect("static");
+    b.foreign_key("link", "item_a", "item", "id").expect("static");
+    b.foreign_key("link", "item_b", "item", "id").expect("static");
+    let mut db = b.finish().expect("static");
+    for (i, (_, w)) in tags.iter().enumerate() {
+        db.insert_values(
+            "tag",
+            vec![Value::Int(i as i64 + 1), Value::text(WORDS[*w as usize % WORDS.len()])],
+        )
+        .expect("typed");
+    }
+    for (i, (_, w1, w2, tag)) in items.iter().enumerate() {
+        let name = format!(
+            "{} {}",
+            WORDS[*w1 as usize % WORDS.len()],
+            WORDS[*w2 as usize % WORDS.len()]
+        );
+        let tag_id = tag.map(|t| (t.unsigned_abs() as usize % tags.len().max(1)) as i64 + 1);
+        db.insert_values(
+            "item",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::text(name),
+                tag_id.filter(|_| !tags.is_empty()).map_or(Value::Null, Value::Int),
+            ],
+        )
+        .expect("typed");
+    }
+    for (a, b_) in links {
+        if items.is_empty() {
+            break;
+        }
+        let n = items.len() as i64;
+        db.insert_values(
+            "link",
+            vec![Value::Int(a.rem_euclid(n) + 1), Value::Int(b_.rem_euclid(n) + 1)],
+        )
+        .expect("typed");
+    }
+    db.finalize();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strategies_agree_and_mpans_satisfy_definition(
+        tags in proptest::collection::vec((0i64..4, 0u8..6), 1..4),
+        items in proptest::collection::vec(
+            (0i64..8, 0u8..6, 0u8..6, proptest::option::of(0i64..8)), 1..8),
+        links in proptest::collection::vec((0i64..8, 0i64..8), 0..6),
+        kw1 in 0usize..6,
+        kw2 in 0usize..6,
+        max_joins in 1usize..4,
+    ) {
+        let db = build_db(&tags, &items, &links);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        let index = InvertedIndex::build(&db);
+        let text = format!("{} {}", WORDS[kw1], WORDS[kw2]);
+        let Ok(query) = KeywordQuery::parse(&text) else { return Ok(()) };
+        let mapping = map_keywords(&query, &index);
+
+        for interp in &mapping.interpretations {
+            let pruned = PrunedLattice::build(&lattice, interp);
+            let mut oracle =
+                AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+            let reference = traversal::run(
+                StrategyKind::BruteForce, &lattice, &pruned, &mut oracle, 0.5,
+            ).expect("brute runs");
+
+            // 1. Strategy equivalence.
+            for kind in StrategyKind::ALL {
+                let mut oracle =
+                    AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+                let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5)
+                    .expect("strategy runs");
+                prop_assert_eq!(&out.alive_mtns, &reference.alive_mtns, "{}", kind);
+                prop_assert_eq!(&out.dead_mtns, &reference.dead_mtns, "{}", kind);
+                prop_assert_eq!(&out.mpans, &reference.mpans, "{}", kind);
+            }
+
+            // 2. MPAN definition, checked against the oracle directly.
+            let mut truth =
+                AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, true);
+            let alive = |dense: usize, truth: &mut AlivenessOracle<'_>| {
+                truth
+                    .is_alive(pruned.lattice_id(dense), pruned.jnts(&lattice, dense))
+                    .expect("oracle runs")
+            };
+            for (&m, mpans) in reference.dead_mtns.iter().zip(&reference.mpans) {
+                prop_assert!(!alive(m, &mut truth), "dead MTN must be dead");
+                for &p in mpans {
+                    prop_assert!(p != m);
+                    prop_assert!(pruned.is_desc_or_self(p, m), "MPAN within Desc(m)");
+                    prop_assert!(alive(p, &mut truth), "MPAN must be alive");
+                    // Maximality: no alive strict ancestor within Desc+(m).
+                    for &a in pruned.asc_plus(p) {
+                        if a != p && pruned.is_desc_or_self(a, m) {
+                            prop_assert!(!alive(a, &mut truth), "MPAN has alive ancestor");
+                        }
+                    }
+                }
+                // Coverage: every alive node in Desc(m) is under some MPAN.
+                for &d in pruned.desc_plus(m) {
+                    if d == m || !alive(d, &mut truth) {
+                        continue;
+                    }
+                    prop_assert!(
+                        mpans.iter().any(|&p| pruned.is_desc_or_self(d, p)),
+                        "alive descendant not covered by any MPAN"
+                    );
+                }
+            }
+
+            // 3. R1/R2 semantics hold for the query class itself: children of
+            // alive nodes are alive.
+            for dense in 0..pruned.len() {
+                if alive(dense, &mut truth) {
+                    for &c in pruned.children(dense) {
+                        prop_assert!(alive(c, &mut truth), "sub-query of alive node is dead");
+                    }
+                }
+            }
+        }
+    }
+}
