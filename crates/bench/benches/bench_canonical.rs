@@ -1,15 +1,14 @@
-//! Criterion bench for Algorithm 2: canonical labeling.
+//! Bench for Algorithm 2: canonical labeling.
 //!
 //! Canonical labels are computed for every generated network during Phase 0
 //! (millions at level 7), so per-call cost directly bounds offline build
 //! time. Benchmarked on path- and star-shaped networks at the sizes the
 //! lattice actually produces (2-8 vertices).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Bench};
 use kwdebug::canonical::canonical_label;
 use kwdebug::jnts::{Jnts, TupleSet};
 use kwdebug::schema_graph::Incidence;
-use std::hint::black_box;
 
 fn path(n: usize) -> Jnts {
     let mut j = Jnts::single(TupleSet::new(0, 1));
@@ -31,18 +30,16 @@ fn star(n: usize) -> Jnts {
     j
 }
 
-fn bench_canonical(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alg2_canonical_label");
+fn main() {
+    let mut b = Bench::from_args();
     for n in [2usize, 4, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("path", n), &path(n), |b, j| {
-            b.iter(|| black_box(canonical_label(j)).len())
+        let p = path(n);
+        b.run(&format!("alg2_canonical_label/path/{n}"), 10, || {
+            black_box(canonical_label(&p)).len()
         });
-        group.bench_with_input(BenchmarkId::new("star", n), &star(n), |b, j| {
-            b.iter(|| black_box(canonical_label(j)).len())
+        let s = star(n);
+        b.run(&format!("alg2_canonical_label/star/{n}"), 10, || {
+            black_box(canonical_label(&s)).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_canonical);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Criterion bench for the relational-engine substrate.
+//! Bench for the relational-engine substrate.
 //!
 //! The traversal strategies' costs are dominated by aliveness checks; this
 //! bench isolates the engine's emptiness test (`Executor::exists`) and
@@ -6,18 +6,13 @@
 //! data, plus the inverted-index candidate seeding that keeps keyword nodes
 //! from scanning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Bench};
 use datagen::{generate_dblife, DblifeConfig};
 use relengine::{Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate};
-use std::hint::black_box;
 use textindex::InvertedIndex;
 
-/// person —writes— publication chain plan of `depth` relations, keyword on
-/// both ends.
-fn chain_plan(
-    db: &relengine::Database,
-    idx: Option<&InvertedIndex>,
-) -> JoinTreePlan {
+/// person —writes— publication chain plan, keyword on both ends.
+fn chain_plan(db: &relengine::Database, idx: Option<&InvertedIndex>) -> JoinTreePlan {
     let person = db.table_id("person").expect("schema");
     let publication = db.table_id("publication").expect("schema");
     let writes = db.table_id("writes").expect("schema");
@@ -37,34 +32,24 @@ fn chain_plan(
     .expect("static plan")
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let db = generate_dblife(&DblifeConfig::medium());
     let idx = InvertedIndex::build(&db);
+    let mut b = Bench::from_args();
 
-    let mut group = c.benchmark_group("engine_exists");
     for (name, with_idx) in [("with_posting_candidates", true), ("predicate_scan_only", false)] {
         let plan = chain_plan(&db, with_idx.then_some(&idx));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, p| {
-            b.iter(|| {
-                let mut exec = Executor::new(&db);
-                black_box(exec.exists(p).expect("plan valid"))
-            })
+        b.run(&format!("engine_exists/{name}"), 10, || {
+            let mut exec = Executor::new(&db);
+            black_box(exec.exists(&plan).expect("plan valid"))
         });
     }
-    group.finish();
 
-    c.bench_function("engine_enumerate_limit10", |b| {
-        let plan = chain_plan(&db, Some(&idx));
-        b.iter(|| {
-            let mut exec = Executor::new(&db);
-            black_box(exec.execute(&plan, 10).expect("plan valid")).len()
-        })
+    let plan = chain_plan(&db, Some(&idx));
+    b.run("engine_enumerate_limit10", 10, || {
+        let mut exec = Executor::new(&db);
+        black_box(exec.execute(&plan, 10).expect("plan valid")).len()
     });
 
-    c.bench_function("index_build_medium", |b| {
-        b.iter(|| black_box(InvertedIndex::build(&db)).term_count())
-    });
+    b.run("index_build_medium", 10, || black_box(InvertedIndex::build(&db)).term_count());
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

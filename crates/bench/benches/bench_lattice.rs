@@ -1,30 +1,22 @@
-//! Criterion bench for Figure 9: offline lattice generation.
+//! Bench for Figure 9: offline lattice generation.
 //!
 //! Measures `Lattice::build` over the DBLife schema at increasing `maxJoins`.
 //! The paper's observation — node counts (and thus build time) grow
 //! exponentially with the level, yet stay an acceptable one-time offline
 //! cost — shows up directly in the per-level timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Bench};
 use datagen::{generate_dblife, DblifeConfig};
 use kwdebug::lattice::Lattice;
 use kwdebug::SchemaGraph;
-use std::hint::black_box;
 
-fn bench_lattice_build(c: &mut Criterion) {
+fn main() {
     let db = generate_dblife(&DblifeConfig::tiny());
     let graph = SchemaGraph::new(&db);
-    let mut group = c.benchmark_group("fig9_lattice_build");
-    group.sample_size(10);
+    let mut b = Bench::from_args();
     for max_joins in [1usize, 2, 3, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("levels_{}", max_joins + 1)),
-            &max_joins,
-            |b, &mj| b.iter(|| black_box(Lattice::build(&db, &graph, mj)).node_count()),
-        );
+        b.run(&format!("fig9_lattice_build/levels_{}", max_joins + 1), 10, || {
+            black_box(Lattice::build(&db, &graph, max_joins)).node_count()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lattice_build);
-criterion_main!(benches);

@@ -1,40 +1,32 @@
-//! Criterion bench for §3.3 / Figure 10: online Phases 1 and 2.
+//! Bench for §3.3 / Figure 10: online Phases 1 and 2.
 //!
 //! Measures (a) keyword-to-schema mapping through the inverted index and
 //! (b) keyword pruning plus MTN discovery (`PrunedLattice::build`) for
 //! representative workload queries. The paper reports 7-66 ms mapping and
 //! up-to-23 ms MTN finding on 2009-era hardware; both are microseconds here.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Bench};
 use bench::{build_system, DataScale};
 use kwdebug::binding::{map_keywords, KeywordQuery};
 use kwdebug::prune::PrunedLattice;
-use std::hint::black_box;
 
-fn bench_phase12(c: &mut Criterion) {
+fn main() {
     let system = build_system(DataScale::Small, 7, 5);
+    let mut b = Bench::from_args();
 
-    let mut group = c.benchmark_group("fig10_phase1_mapping");
     for text in ["Widom Trio", "Agrawal Chaudhuri Das", "Probabilistic Data Washington"] {
         let query = KeywordQuery::parse(text).expect("workload query parses");
-        group.bench_with_input(BenchmarkId::from_parameter(text), &query, |b, q| {
-            b.iter(|| black_box(map_keywords(q, system.index())).interpretations.len())
+        b.run(&format!("fig10_phase1_mapping/{text}"), 10, || {
+            black_box(map_keywords(&query, system.index())).interpretations.len()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig10_phase2_prune_and_mtns");
-    group.sample_size(20);
     for text in ["Widom Trio", "Agrawal Chaudhuri Das"] {
         let query = KeywordQuery::parse(text).expect("workload query parses");
         let mapping = map_keywords(&query, system.index());
         let interp = mapping.interpretations.first().expect("has interpretation").clone();
-        group.bench_with_input(BenchmarkId::from_parameter(text), &interp, |b, i| {
-            b.iter(|| black_box(PrunedLattice::build(system.lattice(), i)).len())
+        b.run(&format!("fig10_phase2_prune_and_mtns/{text}"), 20, || {
+            black_box(PrunedLattice::build(system.lattice(), &interp)).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_phase12);
-criterion_main!(benches);

@@ -1,28 +1,22 @@
-//! Criterion bench for Figures 11/12 and Table 4: traversal strategies.
+//! Bench for Figures 11/12 and Table 4: traversal strategies.
 //!
 //! Measures the full Phase-3 run (SQL executions included) for each of the
 //! five strategies on a light query (Q1) and the heavy one (Q3). Expected
 //! ordering mirrors the paper: with-reuse variants beat their counterparts;
 //! SBH is never far from the best.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Bench};
 use bench::{build_system, run_query, DataScale};
 use kwdebug::traversal::StrategyKind;
-use std::hint::black_box;
 
-fn bench_strategies(c: &mut Criterion) {
+fn main() {
     let system = build_system(DataScale::Small, 7, 5);
+    let mut b = Bench::from_args();
     for (qid, text) in [("Q1", "Widom Trio"), ("Q3", "Agrawal Chaudhuri Das")] {
-        let mut group = c.benchmark_group(format!("fig11_traversal_{qid}"));
-        group.sample_size(20);
         for kind in StrategyKind::ALL {
-            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
-                b.iter(|| black_box(run_query(&system, text, k).expect("query runs")).sql_queries)
+            b.run(&format!("fig11_traversal_{qid}/{}", kind.name()), 20, || {
+                black_box(run_query(&system, text, kind).expect("query runs")).sql_queries
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

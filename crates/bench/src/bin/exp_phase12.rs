@@ -9,7 +9,7 @@
 //!
 //! Usage: `exp_phase12 [--scale S] [--max-level N]` (default N=5).
 
-use bench::{build_system, print_table, run_query, ExpArgs};
+use bench::{build_system, emit_metrics, print_table, run_query, ExpArgs};
 use datagen::paper_queries;
 use kwdebug::traversal::StrategyKind;
 
@@ -25,10 +25,14 @@ fn main() {
     println!("offline lattice: {lattice_nodes} nodes\n");
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut prune_pct_sum = 0.0;
     for q in paper_queries() {
         let agg = run_query(&system, q.text, StrategyKind::BottomUpWithReuse)
             .expect("workload query runs");
+        let mut rec = agg.snapshot("exp_phase12", q.id, "BUWR", args.scale, max_level);
+        rec.levels = system.lattice().stats().to_vec();
+        records.push(rec);
         let prune_pct = 100.0
             * (1.0 - agg.prune.retained_phase1 as f64 / (lattice_nodes * agg.interpretations.max(1)) as f64);
         prune_pct_sum += prune_pct;
@@ -47,5 +51,6 @@ fn main() {
         &["query", "interp", "map_ms", "retained", "pruned%", "MTNs", "desc", "uniq_desc"],
         &rows,
     );
-    println!("\naverage pruning: {:.1}% of lattice nodes removed", prune_pct_sum / 10.0);
+    println!("\naverage pruning: {:.1}% of lattice nodes removed\n", prune_pct_sum / 10.0);
+    emit_metrics("exp_phase12", &records);
 }

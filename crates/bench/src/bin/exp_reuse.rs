@@ -9,7 +9,7 @@
 //! Usage: `exp_reuse [--scale S] [--max-level N]` — levels 3 and 5 always
 //! run; 7 runs when `--max-level 7`.
 
-use bench::{build_system, print_table, run_query, ExpArgs};
+use bench::{build_system, emit_metrics, print_table, run_query, ExpArgs};
 use datagen::paper_queries;
 use kwdebug::traversal::StrategyKind;
 
@@ -20,12 +20,14 @@ fn main() {
     println!("== Figure 13: reuse percentage (scale {:?}, levels {levels:?}) ==\n", args.scale);
 
     let mut cells = vec![vec![String::new(); levels.len()]; 10];
+    let mut records = Vec::new();
     for (li, &level) in levels.iter().enumerate() {
         let system = build_system(args.scale, args.seed, level);
         for (qi, q) in paper_queries().iter().enumerate() {
             let agg = run_query(&system, q.text, StrategyKind::BottomUpWithReuse)
                 .expect("workload query runs");
             cells[qi][li] = format!("{:.1}", agg.prune.reuse_percentage());
+            records.push(agg.snapshot("exp_reuse", q.id, "BUWR", args.scale, level));
         }
     }
 
@@ -44,5 +46,6 @@ fn main() {
         })
         .collect();
     print_table(&header_refs, &rows);
-    println!("\n(reuse increases with the number of allowed joins, as in the paper)");
+    println!("\n(reuse increases with the number of allowed joins, as in the paper)\n");
+    emit_metrics("exp_reuse", &records);
 }

@@ -7,7 +7,7 @@
 //!
 //! Usage: `exp_traversal [--scale S] [--max-level N]` (default N=5).
 
-use bench::{build_system, print_table, run_query, ExpArgs};
+use bench::{build_system, emit_metrics, print_table, run_query, ExpArgs};
 use datagen::paper_queries;
 use kwdebug::traversal::StrategyKind;
 
@@ -22,6 +22,7 @@ fn main() {
 
     let mut count_rows = Vec::new();
     let mut time_rows = Vec::new();
+    let mut records = Vec::new();
     for q in paper_queries() {
         let mut counts = vec![q.id.to_string()];
         let mut times = vec![q.id.to_string()];
@@ -29,6 +30,13 @@ fn main() {
             let agg = run_query(&system, q.text, kind).expect("workload query runs");
             counts.push(agg.sql_queries.to_string());
             times.push(bench::ms(agg.sql_time));
+            records.push(agg.snapshot(
+                "exp_traversal",
+                q.id,
+                &kind.to_string(),
+                args.scale,
+                max_level,
+            ));
         }
         count_rows.push(counts);
         time_rows.push(times);
@@ -39,4 +47,6 @@ fn main() {
     print_table(&headers, &count_rows);
     println!("\nFigure 12 — SQL execution time (ms):");
     print_table(&headers, &time_rows);
+    println!();
+    emit_metrics("exp_traversal", &records);
 }

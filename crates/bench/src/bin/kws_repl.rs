@@ -2,6 +2,8 @@
 //!
 //! A small REPL: type keyword queries, get the full answer/non-answer/MPAN
 //! report; `:strategy BU|BUWR|TD|TDWR|SBH|BRUTE` switches the traversal,
+//! `:metrics` dumps the probe counters and phase timing of the last query
+//! (human table plus the stable [`kwdebug::metrics::MetricsSnapshot`] JSON),
 //! `:quit` exits. Useful for poking at the system the way the paper's
 //! intended developer/SEO user would.
 //!
@@ -12,6 +14,8 @@ use std::io::{BufRead, Write};
 
 use bench::{build_system, ExpArgs};
 use kwdebug::debugger::NonAnswerDebugger;
+use kwdebug::metrics::MetricsSnapshot;
+use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
 
 fn parse_strategy(name: &str) -> Option<StrategyKind> {
@@ -26,7 +30,14 @@ fn parse_strategy(name: &str) -> Option<StrategyKind> {
     }
 }
 
-fn handle(system: &NonAnswerDebugger, strategy: StrategyKind, line: &str) {
+/// What `:metrics` reports on: the last successful query and its report.
+struct LastRun {
+    query: String,
+    strategy: StrategyKind,
+    report: DebugReport,
+}
+
+fn handle(system: &NonAnswerDebugger, strategy: StrategyKind, line: &str) -> Option<LastRun> {
     match system.debug_with_strategy(line, strategy) {
         Ok(report) => {
             print!("{report}");
@@ -38,9 +49,56 @@ fn handle(system: &NonAnswerDebugger, strategy: StrategyKind, line: &str) {
                 report.sql_queries(),
                 report.sql_time(),
             );
+            Some(LastRun { query: line.to_owned(), strategy, report })
         }
-        Err(e) => println!("error: {e}"),
+        Err(e) => {
+            println!("error: {e}");
+            None
+        }
     }
+}
+
+fn show_metrics(last: &LastRun, args: &ExpArgs, max_level: usize) {
+    let p = last.report.probes();
+    let t = &last.report.timing;
+    println!("last query: {:?} under {}", last.query, last.strategy.name());
+    println!("  probes executed   {}", p.probes_executed);
+    println!("  probe time        {:?}", p.probe_time());
+    println!("  tuples scanned    {}", p.tuples_scanned);
+    println!("  memo hits         {}", p.memo_hits);
+    println!("  R1 inferences     {}", p.r1_inferences);
+    println!("  R2 inferences     {}", p.r2_inferences);
+    println!("  reuse hits        {}", p.reuse_hits);
+    println!(
+        "  phases: mapping {:?}, pruning {:?}, traversal {:?} (sql {:?}), reporting {:?}, total {:?}",
+        t.mapping, t.pruning, t.traversal, t.sql, t.reporting, t.total
+    );
+    let mut snap = MetricsSnapshot {
+        experiment: "kws_repl".into(),
+        query: last.query.clone(),
+        strategy: last.strategy.name().into(),
+        scale: format!("{:?}", args.scale).to_ascii_lowercase(),
+        max_level: max_level as u64,
+        interpretations: last.report.interpretations.len() as u64,
+        probes: p,
+        phases: *t,
+        prune: None,
+        levels: Vec::new(),
+    };
+    if let Some(first) = last.report.interpretations.first() {
+        let mut prune = first.prune_stats.clone();
+        for i in &last.report.interpretations[1..] {
+            let s = &i.prune_stats;
+            prune.retained_phase1 += s.retained_phase1;
+            prune.total_nodes += s.total_nodes;
+            prune.mtn_count += s.mtn_count;
+            prune.pruned_nodes += s.pruned_nodes;
+            prune.mtn_descendants_total += s.mtn_descendants_total;
+            prune.mtn_descendants_unique += s.mtn_descendants_unique;
+        }
+        snap.prune = Some(prune);
+    }
+    println!("{}", snap.to_json());
 }
 
 fn main() {
@@ -55,6 +113,7 @@ fn main() {
     );
 
     let mut strategy = StrategyKind::ScoreBasedHeuristic;
+    let mut last: Option<LastRun> = None;
     let stdin = std::io::stdin();
     loop {
         print!("kws[{}]> ", strategy.name());
@@ -79,10 +138,16 @@ fn main() {
                     }
                     None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE"),
                 },
-                _ => println!("commands: :strategy <name>, :quit"),
+                Some("metrics") => match &last {
+                    Some(run) => show_metrics(run, &args, max_level),
+                    None => println!("no query run yet — type a keyword query first"),
+                },
+                _ => println!("commands: :strategy <name>, :metrics, :quit"),
             }
             continue;
         }
-        handle(&system, strategy, line);
+        if let Some(run) = handle(&system, strategy, line) {
+            last = Some(run);
+        }
     }
 }

@@ -1,0 +1,129 @@
+//! Hand-rolled micro-benchmark harness (criterion stand-in).
+//!
+//! The build environment has no registry access, so the `[[bench]]` targets
+//! cannot link criterion. This module provides the small subset the
+//! experiment benches need: named samples, automatic per-sample iteration
+//! calibration, and a min/median/mean report. Timings come from
+//! [`std::time::Instant`], the same monotonic clock the metrics layer uses.
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use bench::harness::{black_box, Bench};
+//! let mut b = Bench::from_args();
+//! b.run("group/label", 10, || black_box(2 + 2));
+//! ```
+//!
+//! `cargo bench -p bench` passes any trailing non-flag argument through as a
+//! substring filter, mirroring criterion's CLI.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per sample before trusting the reading.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// A bench session: holds the CLI filter and prints one line per benchmark.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Builds a session from `std::env::args`, skipping the flags cargo
+    /// forwards (`--bench`, `--exact`, ...). The first bare argument, if
+    /// any, becomes a substring filter on benchmark labels.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench { filter }
+    }
+
+    /// Runs one benchmark: warms up, calibrates the per-sample iteration
+    /// count so a sample lasts at least ~5 ms, then records `samples`
+    /// samples and prints `min / median / mean` per iteration.
+    pub fn run<T, F: FnMut() -> T>(&mut self, label: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = samples.max(1);
+
+        // Warm-up and calibration: double the iteration count until one
+        // sample exceeds the target time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{label:<44} {:>10} min {:>10} median {:>10} mean  ({samples} samples x {iters} iters)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+}
+
+/// Renders a duration with a unit suited to its magnitude.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_pick_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn run_executes_closure() {
+        let mut b = Bench { filter: None };
+        let mut calls = 0u64;
+        b.run("test/trivial", 1, || calls += 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut b = Bench { filter: Some("other".to_owned()) };
+        let mut calls = 0u64;
+        b.run("test/trivial", 1, || calls += 1);
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Shared infrastructure for the experiment binaries and Criterion benches.
+//! Shared infrastructure for the experiment binaries and benches.
 //!
 //! Every table and figure of the paper's evaluation (§3) has a dedicated
 //! binary under `src/bin/` (see `DESIGN.md` for the experiment index). They
@@ -14,12 +14,15 @@
 //!   pick their own paper-matching defaults);
 //! * `--seed N` — data generator seed (default 7).
 
+pub mod harness;
+
 use std::time::Duration;
 
 use datagen::{generate_dblife, DblifeConfig};
 use kwdebug::baseline::{run_return_everything, run_return_nothing, ReOutcome, RnOutcome};
 use kwdebug::binding::{map_keywords, KeywordQuery};
 use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kwdebug::metrics::{MetricsSnapshot, PhaseTiming, ProbeCounters};
 use kwdebug::oracle::AlivenessOracle;
 use kwdebug::prune::{PruneStats, PrunedLattice};
 use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
@@ -47,6 +50,16 @@ impl DataScale {
             "medium" => Some(DataScale::Medium),
             "paper" => Some(DataScale::Paper),
             _ => None,
+        }
+    }
+
+    /// The canonical scale name (inverse of [`DataScale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            DataScale::Tiny => "tiny",
+            DataScale::Small => "small",
+            DataScale::Medium => "medium",
+            DataScale::Paper => "paper",
         }
     }
 
@@ -159,12 +172,65 @@ pub struct QueryAggregate {
     pub prune: PruneStats,
     /// Keyword-to-schema mapping time.
     pub mapping_time: Duration,
+    /// Probe/inference counters summed over interpretations
+    /// (`probes.probes_executed` always equals `sql_queries`).
+    pub probes: ProbeCounters,
+    /// Per-phase wall-clock breakdown summed over interpretations.
+    pub phases: PhaseTiming,
 }
 
 impl QueryAggregate {
     /// Total MTNs.
     pub fn mtns(&self) -> usize {
         self.answers + self.non_answers
+    }
+
+    /// Converts this aggregate into a machine-readable metrics record (see
+    /// [`kwdebug::metrics::MetricsSnapshot`]).
+    pub fn snapshot(
+        &self,
+        experiment: &str,
+        query: &str,
+        strategy: &str,
+        scale: DataScale,
+        max_level: usize,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            experiment: experiment.to_owned(),
+            query: query.to_owned(),
+            strategy: strategy.to_owned(),
+            scale: scale.name().to_owned(),
+            max_level: max_level as u64,
+            interpretations: self.interpretations as u64,
+            probes: self.probes,
+            phases: self.phases,
+            prune: Some(self.prune.clone()),
+            levels: Vec::new(),
+        }
+    }
+}
+
+/// Writes newline-delimited metrics records to `results/BENCH_<experiment>.json`
+/// and echoes each JSON line to stdout (prefixed `BENCH_JSON `), so both a
+/// human scanning the console and a script scraping the results directory see
+/// the same stable records.
+pub fn emit_metrics(experiment: &str, records: &[MetricsSnapshot]) {
+    use std::io::Write as _;
+    let mut lines = String::new();
+    for r in records {
+        let json = r.to_json();
+        println!("BENCH_JSON {json}");
+        lines.push_str(&json);
+        lines.push('\n');
+    }
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::File::create(&path))
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("wrote {} metrics records to {}", records.len(), path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 
@@ -180,9 +246,12 @@ pub fn run_query(
     let t0 = std::time::Instant::now();
     let mapping = map_keywords(&query, system.index());
     agg.mapping_time = t0.elapsed();
+    agg.phases.mapping = agg.mapping_time;
     for interp in &mapping.interpretations {
         agg.interpretations += 1;
+        let prune_start = std::time::Instant::now();
         let pruned = PrunedLattice::build(system.lattice(), interp);
+        agg.phases.pruning += prune_start.elapsed();
         let mut oracle = AlivenessOracle::new(
             system.database(),
             Some(system.index()),
@@ -190,9 +259,13 @@ pub fn run_query(
             &mapping.keywords,
             false,
         );
+        let trav_start = std::time::Instant::now();
         let outcome = traversal::run(strategy, system.lattice(), &pruned, &mut oracle, 0.5)?;
+        agg.phases.traversal += trav_start.elapsed();
         accumulate(&mut agg, &pruned, &outcome);
     }
+    agg.phases.sql = agg.sql_time;
+    agg.phases.total = t0.elapsed();
     Ok(agg)
 }
 
@@ -200,10 +273,15 @@ pub fn run_query(
 pub fn run_re(system: &NonAnswerDebugger, text: &str) -> Result<QueryAggregate, KwError> {
     let mut agg = QueryAggregate::default();
     let query = KeywordQuery::parse(text)?;
+    let t0 = std::time::Instant::now();
     let mapping = map_keywords(&query, system.index());
+    agg.mapping_time = t0.elapsed();
+    agg.phases.mapping = agg.mapping_time;
     for interp in &mapping.interpretations {
         agg.interpretations += 1;
+        let prune_start = std::time::Instant::now();
         let pruned = PrunedLattice::build(system.lattice(), interp);
+        agg.phases.pruning += prune_start.elapsed();
         let mut oracle = AlivenessOracle::new(
             system.database(),
             Some(system.index()),
@@ -211,9 +289,13 @@ pub fn run_re(system: &NonAnswerDebugger, text: &str) -> Result<QueryAggregate, 
             &mapping.keywords,
             false,
         );
+        let trav_start = std::time::Instant::now();
         let ReOutcome { outcome } = run_return_everything(system.lattice(), &pruned, &mut oracle)?;
+        agg.phases.traversal += trav_start.elapsed();
         accumulate(&mut agg, &pruned, &outcome);
     }
+    agg.phases.sql = agg.sql_time;
+    agg.phases.total = t0.elapsed();
     Ok(agg)
 }
 
@@ -230,6 +312,7 @@ fn accumulate(agg: &mut QueryAggregate, pruned: &PrunedLattice, outcome: &Traver
     agg.mpans_unique += outcome.mpan_unique();
     agg.sql_queries += outcome.sql_queries;
     agg.sql_time += outcome.sql_time;
+    agg.probes.accumulate(outcome.probes);
     let s = pruned.stats();
     agg.prune.lattice_nodes = s.lattice_nodes;
     agg.prune.retained_phase1 += s.retained_phase1;

@@ -27,8 +27,7 @@
 //! Everything is driven by a single `u64` seed, so every experiment is
 //! reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use relengine::{DataType, Database, DatabaseBuilder, Value};
 use std::collections::HashSet;
 
@@ -196,7 +195,7 @@ fn schema() -> Database {
 /// Generates the synthetic DBLife database for `config`.
 pub fn generate_dblife(config: &DblifeConfig) -> Database {
     let cfg = config.clamped();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     let mut db = schema();
 
     // --- Entities ---------------------------------------------------------

@@ -24,6 +24,7 @@
 //! tests and benchmarks fast.
 
 pub mod dblife;
+pub mod rng;
 pub mod toydb;
 pub mod workload;
 

@@ -28,6 +28,7 @@ pub fn run_return_everything(
 ) -> Result<ReOutcome, KwError> {
     let q0 = oracle.stats().queries;
     let t0 = oracle.stats().total_time;
+    let m0 = oracle.metrics().snapshot();
 
     let mut status = vec![Status::Unknown; pruned.len()];
     let exec = |oracle: &mut AlivenessOracle<'_>, n: usize, status: &mut Vec<Status>| -> Result<bool, KwError> {
@@ -64,6 +65,7 @@ pub fn run_return_everything(
             mpans,
             sql_queries: oracle.stats().queries - q0,
             sql_time: oracle.stats().total_time.saturating_sub(t0).max(Duration::ZERO),
+            probes: oracle.metrics().snapshot().delta(m0),
         },
     })
 }

@@ -9,6 +9,7 @@ use crate::binding::{map_keywords, Interpretation, KeywordQuery};
 use crate::error::KwError;
 use crate::jnts::Jnts;
 use crate::lattice::Lattice;
+use crate::metrics::PhaseTiming;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 use crate::report::{DebugReport, InterpretationOutcome, NonAnswerInfo, QueryInfo};
@@ -190,12 +191,18 @@ impl NonAnswerDebugger {
                 strategy,
             )?);
         }
+        let mut timing = PhaseTiming { mapping: mapping_time, ..PhaseTiming::default() };
+        for interp in &interpretations {
+            timing.accumulate(&interp.timing);
+        }
+        timing.total = start.elapsed();
         Ok(DebugReport {
             keywords: mapping.keywords,
             unknown_keywords: mapping.unknown,
             interpretations,
             mapping_time,
-            total_time: start.elapsed(),
+            total_time: timing.total,
+            timing,
         })
     }
 
@@ -206,7 +213,9 @@ impl NonAnswerDebugger {
         keywords: &[String],
         strategy: StrategyKind,
     ) -> Result<InterpretationOutcome, KwError> {
+        let prune_start = Instant::now();
         let pruned = PrunedLattice::build(&self.lattice, interp);
+        let pruning = prune_start.elapsed();
         let mut oracle = AlivenessOracle::new(
             &self.db,
             Some(&self.index),
@@ -220,8 +229,11 @@ impl NonAnswerDebugger {
         } else {
             self.config.pa
         };
+        let traversal_start = Instant::now();
         let outcome = traversal::run(strategy, &self.lattice, &pruned, &mut oracle, pa)?;
+        let traversal_time = traversal_start.elapsed();
 
+        let report_start = Instant::now();
         let keyword_tables = keywords
             .iter()
             .zip(interp.tables())
@@ -241,6 +253,7 @@ impl NonAnswerDebugger {
             }
             non_answers.push(NonAnswerInfo { query, mpans: infos });
         }
+        let reporting = report_start.elapsed();
 
         Ok(InterpretationOutcome {
             keyword_tables,
@@ -249,6 +262,14 @@ impl NonAnswerDebugger {
             prune_stats: pruned.stats().clone(),
             sql_queries: outcome.sql_queries,
             sql_time: outcome.sql_time,
+            probes: outcome.probes,
+            timing: PhaseTiming {
+                pruning,
+                traversal: traversal_time,
+                sql: outcome.sql_time,
+                reporting,
+                ..PhaseTiming::default()
+            },
         })
     }
 

@@ -131,9 +131,12 @@ mod tests {
                 prune_stats: PruneStats::default(),
                 sql_queries: 0,
                 sql_time: Duration::ZERO,
+                probes: crate::metrics::ProbeCounters::default(),
+                timing: crate::metrics::PhaseTiming::default(),
             }],
             mapping_time: Duration::ZERO,
             total_time: Duration::ZERO,
+            timing: crate::metrics::PhaseTiming::default(),
         }
     }
 

@@ -29,6 +29,39 @@
 //! live in [`baseline`]. The end-to-end system (the public entry point) is
 //! [`debugger::NonAnswerDebugger`].
 //!
+//! ## Paper-to-module map
+//!
+//! | Paper concept | Where | Module |
+//! |---|---|---|
+//! | Join network of tuple sets (JNTS), §2.2 | tree-shaped join query over relation copies | [`jnts`] |
+//! | Schema graph `G_S`, §2.2 | tables + foreign keys as an undirected graph | [`schema_graph`] |
+//! | Lattice generation, Algorithm 1 | level-by-level expansion up to `maxJoins` | [`lattice`] |
+//! | Canonical labels, Algorithm 2 | AHU-style tree canonization for dedup | [`canonical`] |
+//! | Lattice persistence (offline Phase 0) | stable binary save/load | [`lattice_io`] |
+//! | Keyword → relation mapping, §2.3/§3.3 | inverted-index lookup, interpretations | [`binding`] |
+//! | Phase-1 pruning + Phase-2 MTNs, §2.4 | keyword-bound sub-lattice, minimal total nodes | [`prune`], [`mtn`] |
+//! | Aliveness probe (`exists` SQL), §2.5 | SQL generation + execution + memo | [`oracle`] |
+//! | Rules R1/R2 and traversals, §2.5 | BU, TD, BUWR (Algorithm 3), TDWR, brute | [`traversal`] |
+//! | Score-based heuristic, §2.5.3 | greedy expected-benefit probe selection | [`traversal`] |
+//! | Output `A(K) ∪ N(K) ∪ M(K)`, §2.1 | answers, non-answers, MPANs, SQL text | [`report`] |
+//! | RN / RE baselines, §3.8 | no-lattice comparison points | [`baseline`] |
+//! | Interactive debugging (extension) | step-wise probe/assert session | [`session`], [`diagnose`] |
+//! | `p_a` estimation (future work, §4) | aliveness prior from catalog stats | [`estimate`] |
+//! | MPAN filters (future work, §1) | post-hoc filtering/prioritization | [`filter`] |
+//! | Experiment instrumentation, §3 | probe/inference counters, phase timings | [`metrics`] |
+//!
+//! ## Observability
+//!
+//! Everything the paper's evaluation measures is counted by [`metrics`]:
+//! the [`oracle`] counts SQL probes, probe time, scanned tuples and memo
+//! hits; each traversal counts R1/R2 inferences and reuse hits; and
+//! [`debugger`] stamps per-phase wall-clock timings
+//! ([`metrics::PhaseTiming`]) onto every [`report::DebugReport`]. The
+//! invariant `probes.probes_executed == ExecStats::queries` ties the
+//! counters to the engine's ground truth and is asserted by the integration
+//! tests. [`metrics::MetricsSnapshot::to_json`] renders one stable JSON
+//! record per experiment run for scripted consumption.
+//!
 //! ```
 //! use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
 //! use kwdebug::traversal::StrategyKind;
@@ -54,6 +87,8 @@
 //! assert!(report.non_answer_count() > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod binding;
 pub mod canonical;
@@ -65,6 +100,7 @@ pub mod filter;
 pub mod jnts;
 pub mod lattice;
 pub mod lattice_io;
+pub mod metrics;
 pub mod mtn;
 pub mod oracle;
 pub mod prune;

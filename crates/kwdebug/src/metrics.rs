@@ -1,0 +1,525 @@
+//! Probe-level observability: counters, timers and serializable snapshots.
+//!
+//! The paper's entire evaluation (§3) ranks strategies by *how many SQL
+//! queries they execute* and *where the time goes*. This module makes those
+//! quantities first-class: every [`crate::oracle::AlivenessOracle`] owns a
+//! [`Metrics`] block of lock-free counters that the oracle and the Phase-3
+//! traversals increment as they work, and every layer above (traversal →
+//! debugger → bench binaries) reads them through cheap [`ProbeCounters`]
+//! snapshots with delta semantics.
+//!
+//! Counter → paper cross-reference:
+//!
+//! | counter | incremented by | paper counterpart |
+//! |---|---|---|
+//! | `probes_executed` | oracle, per `is_alive`/`sample` execution | "# of SQL queries" (Figs. 11, 14; Table 4) |
+//! | `probe_time` | oracle, wall clock of each execution | "SQL time" (Figs. 12, 15) |
+//! | `tuples_scanned` | oracle, engine rows examined per probe | cost model behind §3.4 |
+//! | `memo_hits` | oracle, memoized verdict reuse (ablation knob) | beyond the paper (re-execution baseline) |
+//! | `r1_inferences` | traversals, nodes classified alive by rule R1 | §2.4 rule 1 |
+//! | `r2_inferences` | traversals, nodes classified dead by rule R2 | §2.4 rule 2 |
+//! | `reuse_hits` | traversals, visits skipped because a node was already classified | the "WR" in BUWR/TDWR (Fig. 13) |
+//!
+//! The invariant the integration tests pin down: `probes_executed` equals the
+//! engine's own `ExecStats::queries`, so a strategy can never misreport its
+//! probe count.
+//!
+//! [`MetricsSnapshot`] bundles one experiment record (probes + per-phase
+//! timings + Phase-1/2 statistics) and renders it as a single stable-key JSON
+//! object — hand-rolled like [`crate::lattice_io`], no external dependencies —
+//! which the bench binaries write as `BENCH_*.json` lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::lattice::LevelStats;
+use crate::prune::PruneStats;
+
+/// A monotonically increasing event counter (relaxed atomic, so it can be
+/// bumped through a shared borrow while the owner is otherwise `&mut`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one event.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A monotonic accumulator of elapsed wall-clock time (stored as nanoseconds).
+#[derive(Debug, Default)]
+pub struct TimeCounter(AtomicU64);
+
+impl TimeCounter {
+    /// A timer starting at zero.
+    pub const fn new() -> TimeCounter {
+        TimeCounter(AtomicU64::new(0))
+    }
+
+    /// Accumulates one elapsed span.
+    pub fn add(&self, d: Duration) {
+        self.0.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total accumulated time.
+    pub fn get(&self) -> Duration {
+        Duration::from_nanos(self.nanos())
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The live instrumentation block owned by an aliveness oracle.
+///
+/// The oracle maintains the probe counters itself; the Phase-3 strategies
+/// record their inference/reuse events through
+/// [`crate::oracle::AlivenessOracle::metrics`]. All fields are atomics, so
+/// recording never needs `&mut`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// SQL probes actually executed (`is_alive` misses + report samples).
+    pub probes_executed: Counter,
+    /// Wall-clock time spent inside probe executions.
+    pub probe_time: TimeCounter,
+    /// Engine rows examined across all probes.
+    pub tuples_scanned: Counter,
+    /// `is_alive` calls answered from the memo table without executing.
+    pub memo_hits: Counter,
+    /// Nodes classified alive by rule R1 (descendants of an executed alive
+    /// node), excluding the executed node itself.
+    pub r1_inferences: Counter,
+    /// Nodes classified dead by rule R2 (ancestors of an executed dead
+    /// node), excluding the executed node itself.
+    pub r2_inferences: Counter,
+    /// Traversal visits skipped because the node was already classified —
+    /// cross-MTN sharing for the with-reuse strategies, within-MTN
+    /// R1/R2 coverage for BU/TD.
+    pub reuse_hits: Counter,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub const fn new() -> Metrics {
+        Metrics {
+            probes_executed: Counter::new(),
+            probe_time: TimeCounter::new(),
+            tuples_scanned: Counter::new(),
+            memo_hits: Counter::new(),
+            r1_inferences: Counter::new(),
+            r2_inferences: Counter::new(),
+            reuse_hits: Counter::new(),
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ProbeCounters {
+        ProbeCounters {
+            probes_executed: self.probes_executed.get(),
+            probe_time_ns: self.probe_time.nanos(),
+            tuples_scanned: self.tuples_scanned.get(),
+            memo_hits: self.memo_hits.get(),
+            r1_inferences: self.r1_inferences.get(),
+            r2_inferences: self.r2_inferences.get(),
+            reuse_hits: self.reuse_hits.get(),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.probes_executed.reset();
+        self.probe_time.reset();
+        self.tuples_scanned.reset();
+        self.memo_hits.reset();
+        self.r1_inferences.reset();
+        self.r2_inferences.reset();
+        self.reuse_hits.reset();
+    }
+}
+
+/// A plain-value snapshot of [`Metrics`], with delta and merge semantics.
+///
+/// Snapshots taken before and after a traversal subtract
+/// ([`ProbeCounters::delta`]) to attribute counts to that traversal alone;
+/// per-interpretation counters sum ([`ProbeCounters::accumulate`]) into
+/// per-query aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// SQL probes executed.
+    pub probes_executed: u64,
+    /// Nanoseconds spent executing probes.
+    pub probe_time_ns: u64,
+    /// Engine rows examined.
+    pub tuples_scanned: u64,
+    /// Memoized verdicts reused.
+    pub memo_hits: u64,
+    /// Nodes classified alive by rule R1.
+    pub r1_inferences: u64,
+    /// Nodes classified dead by rule R2.
+    pub r2_inferences: u64,
+    /// Visits skipped on already-classified nodes.
+    pub reuse_hits: u64,
+}
+
+impl ProbeCounters {
+    /// Counts attributable to the window between `baseline` and `self`.
+    pub fn delta(self, baseline: ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            probes_executed: self.probes_executed - baseline.probes_executed,
+            probe_time_ns: self.probe_time_ns - baseline.probe_time_ns,
+            tuples_scanned: self.tuples_scanned - baseline.tuples_scanned,
+            memo_hits: self.memo_hits - baseline.memo_hits,
+            r1_inferences: self.r1_inferences - baseline.r1_inferences,
+            r2_inferences: self.r2_inferences - baseline.r2_inferences,
+            reuse_hits: self.reuse_hits - baseline.reuse_hits,
+        }
+    }
+
+    /// Adds another window's counts into this one.
+    pub fn accumulate(&mut self, other: ProbeCounters) {
+        self.probes_executed += other.probes_executed;
+        self.probe_time_ns += other.probe_time_ns;
+        self.tuples_scanned += other.tuples_scanned;
+        self.memo_hits += other.memo_hits;
+        self.r1_inferences += other.r1_inferences;
+        self.r2_inferences += other.r2_inferences;
+        self.reuse_hits += other.reuse_hits;
+    }
+
+    /// Probe time as a [`Duration`].
+    pub fn probe_time(&self) -> Duration {
+        Duration::from_nanos(self.probe_time_ns)
+    }
+
+    /// Total nodes classified without execution (R1 + R2 inferences).
+    pub fn inferences(&self) -> u64 {
+        self.r1_inferences + self.r2_inferences
+    }
+}
+
+/// Wall-clock breakdown of one debug call across the paper's phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase 1 lookup: keyword → schema-term mapping (§3.3).
+    pub mapping: Duration,
+    /// Phases 1–2: lattice pruning and MTN identification (Figure 10).
+    pub pruning: Duration,
+    /// Phase 3: traversal, including SQL (Figures 11–12).
+    pub traversal: Duration,
+    /// SQL execution alone (subset of `traversal`).
+    pub sql: Duration,
+    /// Report assembly: SQL rendering and sample fetching.
+    pub reporting: Duration,
+    /// End-to-end elapsed time.
+    pub total: Duration,
+}
+
+impl PhaseTiming {
+    /// Adds another breakdown into this one, phase by phase.
+    pub fn accumulate(&mut self, other: &PhaseTiming) {
+        self.mapping += other.mapping;
+        self.pruning += other.pruning;
+        self.traversal += other.traversal;
+        self.sql += other.sql;
+        self.reporting += other.reporting;
+        self.total += other.total;
+    }
+}
+
+/// One serializable experiment record: identification, probe counters,
+/// per-phase timings, and the Phase-0/1/2 statistics that already existed
+/// ([`LevelStats`], [`PruneStats`]) folded into a single object.
+///
+/// [`MetricsSnapshot::to_json`] renders it as one JSON object with a stable
+/// key order, suitable for newline-delimited `BENCH_*.json` files.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Emitting experiment (e.g. `exp_traversal`).
+    pub experiment: String,
+    /// Workload query id or raw keyword text.
+    pub query: String,
+    /// Traversal strategy short name (`BU`, `SBH`, ...), if one applies.
+    pub strategy: String,
+    /// Dataset scale label (`tiny`..`paper`).
+    pub scale: String,
+    /// Lattice levels (`maxJoins + 1`).
+    pub max_level: u64,
+    /// Interpretations explored for the query.
+    pub interpretations: u64,
+    /// Probe and inference counters (summed over interpretations).
+    pub probes: ProbeCounters,
+    /// Per-phase wall-clock breakdown.
+    pub phases: PhaseTiming,
+    /// Phase-1/2 statistics, when the record covers a query run.
+    pub prune: Option<PruneStats>,
+    /// Phase-0 per-level lattice build statistics, when relevant.
+    pub levels: Vec<LevelStats>,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the record as one JSON object with stable key order.
+    ///
+    /// Durations are emitted as integer nanoseconds (`*_ns`), so records are
+    /// byte-stable for identical inputs and need no float parsing.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut j = String::with_capacity(512);
+        let _ = write!(
+            j,
+            "{{\"experiment\":\"{}\",\"query\":\"{}\",\"strategy\":\"{}\",\
+             \"scale\":\"{}\",\"max_level\":{},\"interpretations\":{}",
+            esc(&self.experiment),
+            esc(&self.query),
+            esc(&self.strategy),
+            esc(&self.scale),
+            self.max_level,
+            self.interpretations,
+        );
+        let p = &self.probes;
+        let _ = write!(
+            j,
+            ",\"probes\":{{\"executed\":{},\"time_ns\":{},\"tuples_scanned\":{},\
+             \"memo_hits\":{},\"r1_inferences\":{},\"r2_inferences\":{},\"reuse_hits\":{}}}",
+            p.probes_executed,
+            p.probe_time_ns,
+            p.tuples_scanned,
+            p.memo_hits,
+            p.r1_inferences,
+            p.r2_inferences,
+            p.reuse_hits,
+        );
+        let t = &self.phases;
+        let _ = write!(
+            j,
+            ",\"phases\":{{\"mapping_ns\":{},\"pruning_ns\":{},\"traversal_ns\":{},\
+             \"sql_ns\":{},\"reporting_ns\":{},\"total_ns\":{}}}",
+            t.mapping.as_nanos(),
+            t.pruning.as_nanos(),
+            t.traversal.as_nanos(),
+            t.sql.as_nanos(),
+            t.reporting.as_nanos(),
+            t.total.as_nanos(),
+        );
+        match &self.prune {
+            None => j.push_str(",\"prune\":null"),
+            Some(s) => {
+                let _ = write!(
+                    j,
+                    ",\"prune\":{{\"lattice_nodes\":{},\"retained_phase1\":{},\
+                     \"total_nodes\":{},\"mtn_count\":{},\"pruned_nodes\":{},\
+                     \"mtn_descendants_total\":{},\"mtn_descendants_unique\":{}}}",
+                    s.lattice_nodes,
+                    s.retained_phase1,
+                    s.total_nodes,
+                    s.mtn_count,
+                    s.pruned_nodes,
+                    s.mtn_descendants_total,
+                    s.mtn_descendants_unique,
+                );
+            }
+        }
+        j.push_str(",\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"level\":{},\"generated\":{},\"duplicates\":{},\"kept\":{},\"elapsed_ns\":{}}}",
+                i + 1,
+                l.generated,
+                l.duplicates,
+                l.kept,
+                l.elapsed.as_nanos(),
+            );
+        }
+        j.push_str("]}");
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let t = TimeCounter::new();
+        t.add(Duration::from_micros(3));
+        t.add(Duration::from_micros(2));
+        assert_eq!(t.get(), Duration::from_micros(5));
+        t.reset();
+        assert_eq!(t.nanos(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_and_accumulate() {
+        let m = Metrics::new();
+        m.probes_executed.add(3);
+        m.r2_inferences.add(2);
+        let before = m.snapshot();
+        m.probes_executed.add(4);
+        m.probe_time.add(Duration::from_nanos(70));
+        m.reuse_hits.incr();
+        let window = m.snapshot().delta(before);
+        assert_eq!(window.probes_executed, 4);
+        assert_eq!(window.probe_time_ns, 70);
+        assert_eq!(window.r2_inferences, 0);
+        assert_eq!(window.reuse_hits, 1);
+        assert_eq!(window.inferences(), 0);
+
+        let mut sum = ProbeCounters::default();
+        sum.accumulate(window);
+        sum.accumulate(window);
+        assert_eq!(sum.probes_executed, 8);
+        assert_eq!(sum.probe_time(), Duration::from_nanos(140));
+    }
+
+    #[test]
+    fn metrics_reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.probes_executed.incr();
+        m.memo_hits.incr();
+        m.r1_inferences.incr();
+        m.reset();
+        assert_eq!(m.snapshot(), ProbeCounters::default());
+    }
+
+    #[test]
+    fn phase_timing_accumulates() {
+        let mut a = PhaseTiming { mapping: Duration::from_nanos(5), ..PhaseTiming::default() };
+        let b = PhaseTiming {
+            mapping: Duration::from_nanos(7),
+            sql: Duration::from_nanos(11),
+            ..PhaseTiming::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.mapping, Duration::from_nanos(12));
+        assert_eq!(a.sql, Duration::from_nanos(11));
+        assert_eq!(a.pruning, Duration::ZERO);
+    }
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let snap = MetricsSnapshot {
+            experiment: "exp_traversal".into(),
+            query: "Q3".into(),
+            strategy: "BUWR".into(),
+            scale: "small".into(),
+            max_level: 5,
+            interpretations: 1,
+            probes: ProbeCounters {
+                probes_executed: 12,
+                probe_time_ns: 345,
+                tuples_scanned: 678,
+                memo_hits: 0,
+                r1_inferences: 4,
+                r2_inferences: 9,
+                reuse_hits: 3,
+            },
+            phases: PhaseTiming {
+                mapping: Duration::from_nanos(1),
+                pruning: Duration::from_nanos(2),
+                traversal: Duration::from_nanos(3),
+                sql: Duration::from_nanos(4),
+                reporting: Duration::from_nanos(5),
+                total: Duration::from_nanos(6),
+            },
+            prune: Some(PruneStats {
+                lattice_nodes: 100,
+                retained_phase1: 20,
+                total_nodes: 5,
+                mtn_count: 2,
+                pruned_nodes: 15,
+                mtn_descendants_total: 8,
+                mtn_descendants_unique: 6,
+            }),
+            levels: vec![LevelStats {
+                generated: 10,
+                duplicates: 4,
+                kept: 6,
+                elapsed: Duration::from_nanos(9),
+            }],
+        };
+        let json = snap.to_json();
+        assert_eq!(
+            json,
+            "{\"experiment\":\"exp_traversal\",\"query\":\"Q3\",\"strategy\":\"BUWR\",\
+             \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
+             \"probes\":{\"executed\":12,\"time_ns\":345,\"tuples_scanned\":678,\
+             \"memo_hits\":0,\"r1_inferences\":4,\"r2_inferences\":9,\"reuse_hits\":3},\
+             \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
+             \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\
+             \"prune\":{\"lattice_nodes\":100,\"retained_phase1\":20,\"total_nodes\":5,\
+             \"mtn_count\":2,\"pruned_nodes\":15,\"mtn_descendants_total\":8,\
+             \"mtn_descendants_unique\":6},\
+             \"levels\":[{\"level\":1,\"generated\":10,\"duplicates\":4,\"kept\":6,\
+             \"elapsed_ns\":9}]}"
+        );
+        // The default record still renders a full object.
+        let empty = MetricsSnapshot::default().to_json();
+        assert!(empty.contains("\"prune\":null"));
+        assert!(empty.ends_with("\"levels\":[]}"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let snap = MetricsSnapshot {
+            query: "say \"hi\"\\\n".into(),
+            ..MetricsSnapshot::default()
+        };
+        assert!(snap.to_json().contains("say \\\"hi\\\"\\\\\\n"));
+    }
+}

@@ -8,8 +8,23 @@
 //! engine's emptiness check. Every call is one "SQL query executed" in the
 //! paper's metrics; an optional memo table (off by default, an ablation knob)
 //! caches results per lattice node across calls.
+//!
+//! The oracle owns the [`Metrics`] block for its interpretation and keeps the
+//! probe-side counters itself; traversal strategies record their inference
+//! and reuse events through [`AlivenessOracle::metrics`]. Oracle-side
+//! accounting versus the paper:
+//!
+//! | event | counters touched | paper counterpart |
+//! |---|---|---|
+//! | `is_alive` cache miss | `probes_executed`, `probe_time`, `tuples_scanned` | one "SQL query" (Figs. 11–12) |
+//! | `is_alive` memo hit | `memo_hits` | beyond the paper (§3 re-executes) |
+//! | `sample` for a report | `probes_executed`, `probe_time`, `tuples_scanned` | §2.1 sample tuples of `A(K)`/`M(K)` |
+//!
+//! `probes_executed` always equals the engine's own `ExecStats::queries` —
+//! the invariant the metrics integration tests pin down.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use relengine::{
     Database, EngineError, ExecStats, Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate,
@@ -20,6 +35,7 @@ use crate::binding::Interpretation;
 use crate::error::KwError;
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
+use crate::metrics::Metrics;
 
 /// Builds the executable plan of a network under an interpretation.
 pub fn build_plan(
@@ -66,7 +82,7 @@ pub struct AlivenessOracle<'a> {
     keywords: &'a [String],
     executor: Executor<'a>,
     memo: Option<HashMap<NodeId, bool>>,
-    memo_hits: u64,
+    metrics: Metrics,
 }
 
 impl<'a> AlivenessOracle<'a> {
@@ -86,7 +102,7 @@ impl<'a> AlivenessOracle<'a> {
             keywords,
             executor: Executor::new(db),
             memo: memoize.then(HashMap::new),
-            memo_hits: 0,
+            metrics: Metrics::new(),
         }
     }
 
@@ -94,12 +110,17 @@ impl<'a> AlivenessOracle<'a> {
     pub fn is_alive(&mut self, node: NodeId, jnts: &Jnts) -> Result<bool, KwError> {
         if let Some(memo) = &self.memo {
             if let Some(&alive) = memo.get(&node) {
-                self.memo_hits += 1;
+                self.metrics.memo_hits.incr();
                 return Ok(alive);
             }
         }
         let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
+        let rows_before = self.executor.stats().rows_examined;
+        let start = Instant::now();
         let alive = self.executor.exists(&plan)?;
+        self.metrics.probes_executed.incr();
+        self.metrics.probe_time.add(start.elapsed());
+        self.metrics.tuples_scanned.add(self.executor.stats().rows_examined - rows_before);
         if let Some(memo) = &mut self.memo {
             memo.insert(node, alive);
         }
@@ -114,7 +135,13 @@ impl<'a> AlivenessOracle<'a> {
         limit: usize,
     ) -> Result<Vec<Vec<relengine::RowId>>, KwError> {
         let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
-        Ok(self.executor.execute(&plan, limit)?)
+        let rows_before = self.executor.stats().rows_examined;
+        let start = Instant::now();
+        let tuples = self.executor.execute(&plan, limit)?;
+        self.metrics.probes_executed.incr();
+        self.metrics.probe_time.add(start.elapsed());
+        self.metrics.tuples_scanned.add(self.executor.stats().rows_examined - rows_before);
+        Ok(tuples)
     }
 
     /// The keyword bound to a relation copy under this interpretation, if any.
@@ -140,12 +167,20 @@ impl<'a> AlivenessOracle<'a> {
 
     /// Memo hits (0 unless memoization is on).
     pub fn memo_hits(&self) -> u64 {
-        self.memo_hits
+        self.metrics.memo_hits.get()
     }
 
-    /// Resets execution statistics (not the memo).
+    /// The probe-level instrumentation block. Traversal strategies record
+    /// their R1/R2 inferences and reuse hits here; callers snapshot it
+    /// (before/after) to attribute counts to one traversal.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets execution statistics and metrics (not the memo).
     pub fn reset_stats(&mut self) {
         self.executor.reset_stats();
+        self.metrics.reset();
     }
 
     /// The database under test.
@@ -254,6 +289,29 @@ mod tests {
         oracle.is_alive(7, &j).unwrap();
         assert_eq!(oracle.queries(), 2);
         assert_eq!(oracle.memo_hits(), 0);
+    }
+
+    #[test]
+    fn metrics_track_probes_and_memo() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, true);
+        let j = mtn_jnts();
+        oracle.is_alive(7, &j).unwrap();
+        oracle.is_alive(7, &j).unwrap();
+        oracle.sample(&j, 5).unwrap();
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.probes_executed, oracle.queries(), "probe counter mirrors the engine");
+        assert_eq!(snap.probes_executed, 2, "one is_alive miss + one sample");
+        assert_eq!(snap.memo_hits, 1);
+        assert!(snap.tuples_scanned > 0, "probes examine rows");
+        assert_eq!(snap.r1_inferences + snap.r2_inferences + snap.reuse_hits, 0);
+        oracle.reset_stats();
+        assert_eq!(oracle.metrics().snapshot(), crate::metrics::ProbeCounters::default());
+        assert_eq!(oracle.queries(), 0);
     }
 
     #[test]

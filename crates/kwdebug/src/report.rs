@@ -8,6 +8,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::metrics::{PhaseTiming, ProbeCounters};
 use crate::prune::PruneStats;
 
 /// One structured query (a lattice node) as shown to the developer.
@@ -46,6 +47,11 @@ pub struct InterpretationOutcome {
     pub sql_queries: u64,
     /// Wall-clock SQL time of the Phase-3 traversal.
     pub sql_time: Duration,
+    /// Probe/inference counters of the Phase-3 traversal.
+    pub probes: ProbeCounters,
+    /// Wall-clock breakdown of this interpretation's phases (`mapping` and
+    /// `total` are report-level and left zero here).
+    pub timing: PhaseTiming,
 }
 
 /// The full report for a keyword query.
@@ -62,6 +68,9 @@ pub struct DebugReport {
     pub mapping_time: Duration,
     /// End-to-end time of the debug call.
     pub total_time: Duration,
+    /// Per-phase wall-clock breakdown (mapping + per-interpretation phases
+    /// summed + total).
+    pub timing: PhaseTiming,
 }
 
 impl DebugReport {
@@ -92,6 +101,15 @@ impl DebugReport {
     /// Total SQL time across interpretations.
     pub fn sql_time(&self) -> Duration {
         self.interpretations.iter().map(|i| i.sql_time).sum()
+    }
+
+    /// Probe/inference counters summed across interpretations.
+    pub fn probes(&self) -> ProbeCounters {
+        let mut sum = ProbeCounters::default();
+        for i in &self.interpretations {
+            sum.accumulate(i.probes);
+        }
+        sum
     }
 }
 
@@ -169,9 +187,16 @@ mod tests {
                 prune_stats: PruneStats::default(),
                 sql_queries: 7,
                 sql_time: Duration::from_millis(3),
+                probes: ProbeCounters {
+                    probes_executed: 7,
+                    r2_inferences: 2,
+                    ..ProbeCounters::default()
+                },
+                timing: PhaseTiming::default(),
             }],
             mapping_time: Duration::from_millis(1),
             total_time: Duration::from_millis(5),
+            timing: PhaseTiming::default(),
         }
     }
 
@@ -183,6 +208,10 @@ mod tests {
         assert_eq!(r.mpan_count(), 2);
         assert_eq!(r.sql_queries(), 7);
         assert_eq!(r.sql_time(), Duration::from_millis(3));
+        let p = r.probes();
+        assert_eq!(p.probes_executed, 7);
+        assert_eq!(p.r2_inferences, 2);
+        assert_eq!(p.inferences(), 2);
     }
 
     #[test]
@@ -286,9 +315,12 @@ mod markdown_tests {
                 prune_stats: PruneStats::default(),
                 sql_queries: 4,
                 sql_time: Duration::from_millis(1),
+                probes: ProbeCounters::default(),
+                timing: PhaseTiming::default(),
             }],
             mapping_time: Duration::ZERO,
             total_time: Duration::ZERO,
+            timing: PhaseTiming::default(),
         };
         let md = r.to_markdown();
         assert!(md.starts_with("# Keyword query `saffron candle`"));
@@ -307,6 +339,7 @@ mod markdown_tests {
             interpretations: vec![],
             mapping_time: Duration::ZERO,
             total_time: Duration::ZERO,
+            timing: PhaseTiming::default(),
         };
         let md = r.to_markdown();
         assert!(md.contains("not found anywhere"));

@@ -21,9 +21,16 @@
 //! is empty in production" assertion can resolve large regions of the search
 //! space without a single SQL execution — the interactive pruning the paper
 //! anticipates.
+//!
+//! Sessions carry their own accounting — [`DebugSession::executed`],
+//! [`DebugSession::injected`], [`DebugSession::inferred`] — and
+//! [`DebugSession::outcome`] reports them through the same
+//! [`crate::metrics::ProbeCounters`] block the batch traversals use, so a
+//! stepped exploration and a batch run are directly comparable.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
+use crate::metrics::ProbeCounters;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 use crate::traversal::{extract_mpans, Status, TraversalOutcome};
@@ -39,6 +46,11 @@ pub struct DebugSession<'a> {
     pa: f64,
     executed: u64,
     injected: u64,
+    /// Nodes classified alive by R1 propagation (verdict cones, minus the
+    /// asserted/executed node itself).
+    r1_inferred: u64,
+    /// Nodes classified dead by R2 propagation.
+    r2_inferred: u64,
 }
 
 impl<'a> DebugSession<'a> {
@@ -59,6 +71,8 @@ impl<'a> DebugSession<'a> {
             pa,
             executed: 0,
             injected: 0,
+            r1_inferred: 0,
+            r2_inferred: 0,
         }
     }
 
@@ -90,6 +104,12 @@ impl<'a> DebugSession<'a> {
     /// External verdicts injected so far.
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Nodes classified by R1/R2 propagation rather than execution or
+    /// injection — how much free work the inference rules did.
+    pub fn inferred(&self) -> u64 {
+        self.r1_inferred + self.r2_inferred
     }
 
     /// Whether every node is classified (outcome available).
@@ -195,6 +215,13 @@ impl<'a> DebugSession<'a> {
                 self.status[x]
             )));
         }
+        let inferred =
+            cone.iter().filter(|&&x| x != n && self.status[x] == Status::Unknown).count() as u64;
+        if alive {
+            self.r1_inferred += inferred;
+        } else {
+            self.r2_inferred += inferred;
+        }
         for &x in cone {
             self.status[x] = new_status;
         }
@@ -226,6 +253,12 @@ impl<'a> DebugSession<'a> {
             mpans,
             sql_queries: self.executed,
             sql_time: std::time::Duration::ZERO,
+            probes: ProbeCounters {
+                probes_executed: self.executed,
+                r1_inferences: self.r1_inferred,
+                r2_inferences: self.r2_inferred,
+                ..ProbeCounters::default()
+            },
         })
     }
 }
@@ -313,6 +346,10 @@ mod tests {
         assert_eq!(got.dead_mtns, batch.dead_mtns);
         assert_eq!(got.mpans, batch.mpans);
         assert_eq!(got.sql_queries, batch.sql_queries, "same greedy order, same cost");
+        assert_eq!(got.probes.probes_executed, batch.probes.probes_executed);
+        assert_eq!(got.probes.r1_inferences, batch.probes.r1_inferences, "same R1 firings");
+        assert_eq!(got.probes.r2_inferences, batch.probes.r2_inferences, "same R2 firings");
+        assert_eq!(session.inferred(), got.probes.inferences());
     }
 
     #[test]

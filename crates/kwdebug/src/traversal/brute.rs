@@ -4,7 +4,9 @@
 //! using R1/R2 inference. It is the most expensive strategy and exists as
 //! ground truth: every other strategy must produce exactly the same MTN
 //! classification and MPAN sets (asserted by the integration and property
-//! tests), differing only in query count.
+//! tests), differing only in query count. Accordingly it records no
+//! `r1_inferences`, `r2_inferences` or `reuse_hits` — its probe count *is*
+//! the pruned sub-lattice size.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;

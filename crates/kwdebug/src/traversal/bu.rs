@@ -7,6 +7,12 @@
 //! skipped once a low-level sub-query comes back empty. Nothing is shared
 //! between MTNs: a sub-query common to two MTNs is executed twice, which is
 //! exactly the redundancy the paper's reuse variants remove.
+//!
+//! Metrics recorded (see [`crate::metrics`]): each skipped visit of an
+//! already-classified node is one `reuse_hits` (within-MTN only — BU shares
+//! nothing across MTNs); each ancestor newly killed by R2 is one
+//! `r2_inferences`. BU never fires R1: ascending order classifies every
+//! descendant before its ancestor.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
@@ -30,15 +36,21 @@ pub(super) fn run(
         // desc_plus is ascending in dense index = ascending in level.
         for &n in pruned.desc_plus(m) {
             if status[n] != Status::Unknown {
+                oracle.metrics().reuse_hits.incr();
                 continue;
             }
             if execute(lattice, pruned, oracle, n)? {
                 status[n] = Status::Alive;
             } else {
                 // R2: every ancestor of a dead node is dead.
+                let mut inferred = 0;
                 for &a in pruned.asc_plus(n) {
+                    if a != n && status[a] == Status::Unknown {
+                        inferred += 1;
+                    }
                     status[a] = Status::Dead;
                 }
+                oracle.metrics().r2_inferences.add(inferred);
             }
         }
         match status[m] {

@@ -5,6 +5,11 @@
 //! several MTNs is executed at most once, removing the redundancy of BU.
 //! Rule R2 still prunes upward — a dead node kills its entire ancestor cone
 //! across every MTN's search space at once.
+//!
+//! Metrics recorded (see [`crate::metrics`]): each visit skipped because the
+//! shared status map already classified the node is one `reuse_hits` — the
+//! cross-MTN sharing Figure 13 quantifies — and each ancestor newly killed by
+//! R2 is one `r2_inferences`. Like BU, the ascending order never fires R1.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
@@ -26,14 +31,20 @@ pub(super) fn run(
     // R2 having already marked the ancestors of dead nodes.
     for n in 0..pruned.len() {
         if status[n] != Status::Unknown {
+            oracle.metrics().reuse_hits.incr();
             continue;
         }
         if execute(lattice, pruned, oracle, n)? {
             status[n] = Status::Alive;
         } else {
+            let mut inferred = 0;
             for &a in pruned.asc_plus(n) {
+                if a != n && status[a] == Status::Unknown {
+                    inferred += 1;
+                }
                 status[a] = Status::Dead;
             }
+            oracle.metrics().r2_inferences.add(inferred);
         }
     }
     Ok(outcome_from_global_status(pruned, &status))

@@ -25,6 +25,13 @@
 //! All strategies return identical classifications and MPAN sets — they only
 //! differ in the number of SQL queries executed, which is exactly what the
 //! paper measures (Figures 11–12, Table 4).
+//!
+//! Every traversal is instrumented through the oracle's
+//! [`crate::metrics::Metrics`] block: [`run`] snapshots the counters before
+//! and after the strategy and attributes the delta to the returned
+//! [`TraversalOutcome::probes`] — probes executed, R1/R2 inferences fired,
+//! and visits skipped on already-classified nodes (`reuse_hits`, the
+//! quantity Figure 13's reuse percentage predicts).
 
 mod brute;
 mod bu;
@@ -39,6 +46,7 @@ pub use sbh::DEFAULT_PA;
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
+use crate::metrics::ProbeCounters;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
@@ -112,6 +120,10 @@ pub struct TraversalOutcome {
     pub sql_queries: u64,
     /// Wall-clock time spent executing SQL.
     pub sql_time: Duration,
+    /// Full probe/inference counters for this traversal (delta of the
+    /// oracle's metrics over the run); `probes.probes_executed` always equals
+    /// `sql_queries`.
+    pub probes: ProbeCounters,
 }
 
 impl TraversalOutcome {
@@ -143,6 +155,7 @@ pub fn run(
 ) -> Result<TraversalOutcome, KwError> {
     let q0 = oracle.stats().queries;
     let t0 = oracle.stats().total_time;
+    let m0 = oracle.metrics().snapshot();
     let (alive_mtns, dead_mtns, mpans) = match kind {
         StrategyKind::BottomUp => bu::run(lattice, pruned, oracle)?,
         StrategyKind::TopDown => td::run(lattice, pruned, oracle)?,
@@ -157,6 +170,7 @@ pub fn run(
         mpans,
         sql_queries: oracle.stats().queries - q0,
         sql_time: oracle.stats().total_time.saturating_sub(t0),
+        probes: oracle.metrics().snapshot().delta(m0),
     })
 }
 

@@ -26,6 +26,12 @@
 //! becomes known its weight is subtracted from `A` of all its ancestors and
 //! `B` of all its descendants — total update work proportional to the sum of
 //! closure sizes, paid once over the whole traversal.
+//!
+//! Metrics recorded (see [`crate::metrics`]): every node resolved alongside
+//! an execution (the `resolved` set minus the executed node itself) counts as
+//! `r1_inferences` when the verdict was alive and `r2_inferences` when dead.
+//! SBH never revisits classified nodes — the greedy pick only considers
+//! unknowns — so its `reuse_hits` is always zero.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
@@ -91,6 +97,12 @@ pub(super) fn run(
                 .filter(|&x| status[x] == Status::Unknown)
                 .collect()
         };
+        let inferred = (resolved.len() as u64).saturating_sub(1);
+        if alive {
+            oracle.metrics().r1_inferences.add(inferred);
+        } else {
+            oracle.metrics().r2_inferences.add(inferred);
+        }
         let new_status = if alive { Status::Alive } else { Status::Dead };
         for &x in &resolved {
             status[x] = new_status;

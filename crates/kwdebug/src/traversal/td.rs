@@ -7,6 +7,11 @@
 //! *by execution* (rather than by R1 inference) has no alive ancestor — for a
 //! dead MTN these are exactly its MPANs, though we extract them uniformly
 //! from the final statuses.
+//!
+//! Metrics recorded (see [`crate::metrics`]): each skipped visit of an
+//! already-classified node is one `reuse_hits` (within-MTN only); each
+//! descendant newly revived by R1 is one `r1_inferences`. TD never fires R2:
+//! descending order classifies every ancestor before its descendant.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
@@ -29,13 +34,19 @@ pub(super) fn run(
         let mut status = vec![Status::Unknown; pruned.len()];
         for &n in pruned.desc_plus(m).iter().rev() {
             if status[n] != Status::Unknown {
+                oracle.metrics().reuse_hits.incr();
                 continue;
             }
             if execute(lattice, pruned, oracle, n)? {
                 // R1: every descendant of an alive node is alive.
+                let mut inferred = 0;
                 for &d in pruned.desc_plus(n) {
+                    if d != n && status[d] == Status::Unknown {
+                        inferred += 1;
+                    }
                     status[d] = Status::Alive;
                 }
+                oracle.metrics().r1_inferences.add(inferred);
             } else {
                 status[n] = Status::Dead;
             }

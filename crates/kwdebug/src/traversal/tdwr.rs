@@ -5,6 +5,11 @@
 //! the descendant cones of *all* MTNs at once. On workloads where answers
 //! concentrate at high levels (the DBLife behaviour in §3.5), this is the
 //! strongest of the four order-based strategies.
+//!
+//! Metrics recorded (see [`crate::metrics`]): each visit skipped because the
+//! shared status map already classified the node is one `reuse_hits`
+//! (cross-MTN sharing, Figure 13); each descendant newly revived by R1 is one
+//! `r1_inferences`. Like TD, the descending order never fires R2.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
@@ -23,12 +28,18 @@ pub(super) fn run(
     let mut status = vec![Status::Unknown; pruned.len()];
     for n in (0..pruned.len()).rev() {
         if status[n] != Status::Unknown {
+            oracle.metrics().reuse_hits.incr();
             continue;
         }
         if execute(lattice, pruned, oracle, n)? {
+            let mut inferred = 0;
             for &d in pruned.desc_plus(n) {
+                if d != n && status[d] == Status::Unknown {
+                    inferred += 1;
+                }
                 status[d] = Status::Alive;
             }
+            oracle.metrics().r1_inferences.add(inferred);
         } else {
             status[n] = Status::Dead;
         }

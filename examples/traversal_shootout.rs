@@ -3,7 +3,9 @@
 //! Runs the paper's Q3 ("Agrawal Chaudhuri Das") through BU, BUWR, TD, TDWR
 //! and SBH over the same offline lattice, verifying they agree on the output
 //! while differing — often dramatically — in how many SQL queries they
-//! execute. This is Figures 11/12 in miniature.
+//! execute. The probe/inference columns show *why* they differ: the
+//! with-reuse variants convert probes into reuse hits, SBH converts them
+//! into R1/R2 inferences. This is Figures 11/12 in miniature.
 //!
 //! Run with: `cargo run --release --example traversal_shootout`
 
@@ -20,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let query = "Agrawal Chaudhuri Das";
     println!("query: {query:?} (the paper's Q3)\n");
-    println!("{:<8} {:>12} {:>12} {:>10} {:>12}", "strategy", "SQL queries", "time", "answers", "non-answers");
+    println!(
+        "{:<8} {:>7} {:>10} {:>6} {:>6} {:>6} {:>9} {:>8} {:>12}",
+        "strategy", "probes", "time", "R1", "R2", "reuse", "scanned", "answers", "non-answers"
+    );
 
     let mut reference: Option<(usize, usize, usize)> = None;
     for kind in StrategyKind::ALL {
@@ -31,15 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => reference = Some(signature),
             Some(r) => assert_eq!(*r, signature, "{kind} disagrees with the other strategies"),
         }
+        let p = report.probes();
+        assert_eq!(p.probes_executed, report.sql_queries(), "probe accounting must agree");
         println!(
-            "{:<8} {:>12} {:>12} {:>10} {:>12}",
+            "{:<8} {:>7} {:>10} {:>6} {:>6} {:>6} {:>9} {:>8} {:>12}",
             kind.name(),
-            report.sql_queries(),
+            p.probes_executed,
             format!("{:.2?}", report.sql_time()),
+            p.r1_inferences,
+            p.r2_inferences,
+            p.reuse_hits,
+            p.tuples_scanned,
             signature.0,
             signature.1,
         );
     }
     println!("\nall strategies produced identical answers, non-answers and MPANs");
+    println!("(probes == SQL queries executed; R1/R2 = statuses inferred by the rules)");
     Ok(())
 }

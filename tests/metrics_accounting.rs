@@ -1,0 +1,138 @@
+//! Probe accounting: the metrics layer must agree with the engine.
+//!
+//! Two contracts from the observability layer (`kwdebug::metrics`):
+//!
+//! 1. **Probes are grounded.** For every traversal strategy, the outcome's
+//!    `probes.probes_executed` equals the engine's own executed-query count
+//!    (`AlivenessOracle::queries`, i.e. `ExecStats::queries`) and the
+//!    outcome's legacy `sql_queries` field. A counter that drifts from the
+//!    engine's ground truth would silently invalidate every Figure 11/12
+//!    style measurement.
+//!
+//! 2. **Reuse is real.** On a workload with ≥2 MTNs sharing descendants, the
+//!    with-reuse traversals (BUWR/TDWR, §2.5.2) execute *strictly fewer*
+//!    probes than their per-MTN counterparts (BU/TD), and the saving shows
+//!    up in `reuse_hits`. This is the paper's Figure 13 mechanism in
+//!    miniature.
+//!
+//! The fixture is a citation-style schema with two parallel link tables
+//! (`pub` and `award`) between `author` and `venue`. Keywords bind to
+//! `author.name` and `venue.title`, so the level-3 pruned lattice has
+//! exactly two MTNs — author–pub–venue and author–award–venue — whose cones
+//! share the level-1 singleton nodes. Both link tables are empty, so every
+//! MTN and every level-2 node is dead and each traversal must descend to the
+//! shared singletons: BU/TD probe them once per MTN, BUWR/TDWR once total.
+
+use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::lattice::Lattice;
+use kwdebug::oracle::AlivenessOracle;
+use kwdebug::prune::PrunedLattice;
+use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
+use kwdebug::SchemaGraph;
+use relengine::{DataType, Database, DatabaseBuilder, Value};
+use textindex::InvertedIndex;
+
+/// author(id, name) ←[pub|award]→ venue(id, title); both link tables empty.
+fn two_path_db() -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("author").column("id", DataType::Int).column("name", DataType::Text)
+        .primary_key("id");
+    b.table("venue").column("id", DataType::Int).column("title", DataType::Text)
+        .primary_key("id");
+    b.table("pub")
+        .column("id", DataType::Int)
+        .column("author_id", DataType::Int)
+        .column("venue_id", DataType::Int)
+        .primary_key("id");
+    b.table("award")
+        .column("id", DataType::Int)
+        .column("author_id", DataType::Int)
+        .column("venue_id", DataType::Int)
+        .primary_key("id");
+    b.foreign_key("pub", "author_id", "author", "id").unwrap();
+    b.foreign_key("pub", "venue_id", "venue", "id").unwrap();
+    b.foreign_key("award", "author_id", "author", "id").unwrap();
+    b.foreign_key("award", "venue_id", "venue", "id").unwrap();
+    let mut db = b.finish().unwrap();
+    db.insert_values("author", vec![Value::Int(1), Value::text("halevy")]).unwrap();
+    db.insert_values("author", vec![Value::Int(2), Value::text("widom")]).unwrap();
+    db.insert_values("venue", vec![Value::Int(1), Value::text("sigmod")]).unwrap();
+    db.insert_values("venue", vec![Value::Int(2), Value::text("vldb")]).unwrap();
+    // No pubs, no awards: `halevy sigmod` is a non-answer on both join paths,
+    // while both singleton sub-queries stay alive.
+    db.finalize();
+    db
+}
+
+/// Runs `kind` on the fixture's single interpretation with a fresh oracle,
+/// returning the outcome plus the oracle's own executed-query count.
+fn run_strategy(kind: StrategyKind) -> (TraversalOutcome, u64, usize) {
+    let db = two_path_db();
+    let graph = SchemaGraph::new(&db);
+    let lattice = Lattice::build(&db, &graph, 2);
+    let index = InvertedIndex::build(&db);
+    let query = KeywordQuery::parse("halevy sigmod").unwrap();
+    let mapping = map_keywords(&query, &index);
+    assert_eq!(mapping.interpretations.len(), 1, "keywords bind unambiguously");
+    let interp = &mapping.interpretations[0];
+    let pruned = PrunedLattice::build(&lattice, interp);
+    let mut oracle = AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+    let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5).expect("traversal runs");
+    (out, oracle.queries(), pruned.stats().mtn_count)
+}
+
+/// Contract 1: every strategy's probe counter equals the engine's executed
+/// query count and the legacy `sql_queries` field — on a fixed non-answer.
+#[test]
+fn probe_count_equals_oracle_executions_per_strategy() {
+    for kind in StrategyKind::ALL.into_iter().chain([StrategyKind::BruteForce]) {
+        let (out, engine_queries, _) = run_strategy(kind);
+        assert!(engine_queries > 0, "{kind}: the non-answer requires probing");
+        assert_eq!(
+            out.probes.probes_executed, engine_queries,
+            "{kind}: probes_executed must equal the engine's ExecStats::queries"
+        );
+        assert_eq!(
+            out.probes.probes_executed, out.sql_queries,
+            "{kind}: probes_executed must equal the reported sql_queries"
+        );
+        assert_eq!(out.probes.memo_hits, 0, "{kind}: memoization is off");
+    }
+}
+
+/// Contract 2: with ≥2 MTNs sharing descendants, reuse strictly saves probes.
+#[test]
+fn with_reuse_strategies_probe_strictly_less() {
+    let (bu, _, mtns) = run_strategy(StrategyKind::BottomUp);
+    let (buwr, _, _) = run_strategy(StrategyKind::BottomUpWithReuse);
+    let (td, _, _) = run_strategy(StrategyKind::TopDown);
+    let (tdwr, _, _) = run_strategy(StrategyKind::TopDownWithReuse);
+
+    assert!(mtns >= 2, "fixture must yield a multi-MTN workload, got {mtns}");
+    assert_eq!(bu.alive_mtns.len(), 0, "both candidate networks are dead");
+    assert_eq!(bu.dead_mtns.len(), mtns);
+
+    assert!(
+        buwr.probes.probes_executed < bu.probes.probes_executed,
+        "BUWR ({}) must probe strictly less than BU ({})",
+        buwr.probes.probes_executed,
+        bu.probes.probes_executed
+    );
+    assert!(
+        tdwr.probes.probes_executed < td.probes.probes_executed,
+        "TDWR ({}) must probe strictly less than TD ({})",
+        tdwr.probes.probes_executed,
+        td.probes.probes_executed
+    );
+    // BUWR's saving shows up as visit-time skips of already-classified nodes.
+    // (TDWR's saving here is structural — its single global sweep visits each
+    // node once, so nothing is ever re-visited and skipped.)
+    assert!(buwr.probes.reuse_hits > 0, "BUWR must record cross-MTN reuse");
+
+    // All four still agree on the output (answers, non-answers, MPANs).
+    for out in [&buwr, &td, &tdwr] {
+        assert_eq!(out.alive_mtns, bu.alive_mtns);
+        assert_eq!(out.dead_mtns, bu.dead_mtns);
+        assert_eq!(out.mpans, bu.mpans);
+    }
+}

@@ -1,4 +1,4 @@
-//! Property tests for canonical labeling (Algorithm 2).
+//! Randomized tests for canonical labeling (Algorithm 2).
 //!
 //! A canonical labeling must be invariant under how a tree is *presented*:
 //! any extension order producing an isomorphic copy-labeled tree must yield
@@ -6,9 +6,11 @@
 //! re-rooting at a random vertex and re-attaching edges in a shuffled order —
 //! a presentation-level isomorphism — and asserts label equality. A second
 //! property asserts that changing any vertex's copy index changes the label.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (the registry-free
+//! stand-in for proptest), so every run replays the same tree population.
 
-use proptest::prelude::*;
-
+use datagen::rng::SplitMix64;
 use kwdebug::canonical::canonical_label;
 use kwdebug::jnts::{Jnts, TupleSet};
 use kwdebug::schema_graph::Incidence;
@@ -17,24 +19,18 @@ use kwdebug::schema_graph::Incidence;
 /// an attachment (parent < i, fk, direction).
 #[derive(Debug, Clone)]
 struct TreeSpec {
-    vertices: Vec<(usize, u8)>,            // (table, copy)
-    attach: Vec<(usize, usize, bool)>,     // (parent index, fk, parent_is_from)
+    vertices: Vec<(usize, u8)>,        // (table, copy)
+    attach: Vec<(usize, usize, bool)>, // (parent index, fk, parent_is_from)
 }
 
-fn tree_spec(max_n: usize) -> impl Strategy<Value = TreeSpec> {
-    (2..=max_n)
-        .prop_flat_map(|n| {
-            let vertices = proptest::collection::vec((0usize..4, 0u8..3), n..=n);
-            let attach = proptest::collection::vec((0usize..n, 0usize..3, any::<bool>()), n - 1..=n - 1);
-            (vertices, attach)
-        })
-        .prop_map(|(vertices, mut attach)| {
-            // Parent of vertex i must be < i.
-            for (i, a) in attach.iter_mut().enumerate() {
-                a.0 %= i + 1;
-            }
-            TreeSpec { vertices, attach }
-        })
+fn tree_spec(rng: &mut SplitMix64, max_n: usize) -> TreeSpec {
+    let n = rng.gen_range(2..=max_n);
+    let vertices: Vec<(usize, u8)> =
+        (0..n).map(|_| (rng.gen_range(0..4usize), rng.below(3) as u8)).collect();
+    let attach: Vec<(usize, usize, bool)> = (1..n)
+        .map(|i| (rng.gen_range(0..i), rng.gen_range(0..3usize), rng.below(2) == 1))
+        .collect();
+    TreeSpec { vertices, attach }
 }
 
 fn build(spec: &TreeSpec) -> Jnts {
@@ -74,11 +70,7 @@ fn rebuild_from(j: &Jnts, root: usize) -> Jnts {
             let at = placed[u];
             new = new.extend(
                 at,
-                Incidence {
-                    fk: e.fk,
-                    other: j.nodes()[other].table,
-                    local_is_from,
-                },
+                Incidence { fk: e.fk, other: j.nodes()[other].table, local_is_from },
                 j.nodes()[other].copy,
             );
             placed[other] = new.node_count() - 1;
@@ -88,34 +80,50 @@ fn rebuild_from(j: &Jnts, root: usize) -> Jnts {
     new
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn label_invariant_under_rerooting(spec in tree_spec(7), root_pick in any::<usize>()) {
+#[test]
+fn label_invariant_under_rerooting() {
+    let mut rng = SplitMix64::seed_from_u64(0xCA01);
+    for case in 0..128 {
+        let spec = tree_spec(&mut rng, 7);
         let j = build(&spec);
-        prop_assert!(j.validate());
-        let root = root_pick % j.node_count();
+        assert!(j.validate(), "case {case}: {spec:?}");
+        let root = rng.gen_range(0..j.node_count());
         let rebuilt = rebuild_from(&j, root);
-        prop_assert!(rebuilt.validate());
-        prop_assert_eq!(canonical_label(&j), canonical_label(&rebuilt));
+        assert!(rebuilt.validate(), "case {case}: {spec:?}");
+        assert_eq!(
+            canonical_label(&j),
+            canonical_label(&rebuilt),
+            "case {case}, root {root}: {spec:?}"
+        );
     }
+}
 
-    #[test]
-    fn label_changes_when_a_copy_changes(spec in tree_spec(6), pick in any::<usize>()) {
+#[test]
+fn label_changes_when_a_copy_changes() {
+    let mut rng = SplitMix64::seed_from_u64(0xCA02);
+    for case in 0..128 {
+        let spec = tree_spec(&mut rng, 6);
         let j = build(&spec);
-        let v = pick % j.node_count();
+        let v = rng.gen_range(0..j.node_count());
         // Bump one vertex's copy index to a value outside the generator's
         // range, producing a definitely-different labeled tree.
         let mut spec2 = spec.clone();
         spec2.vertices[v].1 = 9;
         let j2 = build(&spec2);
-        prop_assert_ne!(canonical_label(&j), canonical_label(&j2));
+        assert_ne!(
+            canonical_label(&j),
+            canonical_label(&j2),
+            "case {case}, vertex {v}: {spec:?}"
+        );
     }
+}
 
-    #[test]
-    fn label_is_stable(spec in tree_spec(7)) {
+#[test]
+fn label_is_stable() {
+    let mut rng = SplitMix64::seed_from_u64(0xCA03);
+    for case in 0..128 {
+        let spec = tree_spec(&mut rng, 7);
         let j = build(&spec);
-        prop_assert_eq!(canonical_label(&j), canonical_label(&j));
+        assert_eq!(canonical_label(&j), canonical_label(&j), "case {case}: {spec:?}");
     }
 }

@@ -1,11 +1,14 @@
-//! Property tests for the relational engine substrate.
+//! Randomized tests for the relational engine substrate.
 //!
 //! The semi-join-reduction executor is checked against a brute-force
 //! nested-loop reference on randomized data: same emptiness verdict, same
 //! result multiset, limits respected; and the keyword predicate is checked
 //! against the obvious lowercase-contains reference.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (the registry-free
+//! stand-in for proptest), so failures replay deterministically.
 
-use proptest::prelude::*;
+use datagen::rng::SplitMix64;
 use relengine::{
     DataType, Database, DatabaseBuilder, Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate,
     Value,
@@ -67,22 +70,39 @@ fn reference_join(
     out
 }
 
-fn word() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-d]{0,4}").expect("valid regex")
+/// Random word over `[a-d]{0,4}` — short enough to collide often.
+fn word(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(0..=4usize);
+    (0..len).map(|_| (b'a' + rng.below(4) as u8) as char).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn colors_vec(rng: &mut SplitMix64) -> Vec<(i64, String)> {
+    let n = rng.gen_range(0..6usize);
+    (0..n).map(|_| (rng.gen_range(0i64..6), word(rng))).collect()
+}
 
-    #[test]
-    fn executor_matches_nested_loop_reference(
-        colors in proptest::collection::vec((0i64..6, word()), 0..6),
-        items in proptest::collection::vec(
-            (0i64..8, word(), proptest::option::of(0i64..8)), 0..8),
-        item_kw in word(),
-        color_kw in word(),
-    ) {
-        // De-duplicate ids to keep pk-free tables but deterministic joins.
+fn items_vec(rng: &mut SplitMix64, max: usize) -> Vec<(i64, String, Option<i64>)> {
+    let n = rng.gen_range(0..max);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0i64..8),
+                word(rng),
+                rng.gen_ratio(1, 2).then(|| rng.gen_range(0i64..8)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn executor_matches_nested_loop_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0xE701);
+    for case in 0..64 {
+        let colors = colors_vec(&mut rng);
+        let items = items_vec(&mut rng, 8);
+        let item_kw = word(&mut rng);
+        let color_kw = word(&mut rng);
+
         let db = build_db(&colors, &items);
         let plan = JoinTreePlan::new(
             vec![
@@ -90,12 +110,13 @@ proptest! {
                 PlanNode::new(0, Predicate::any_text_contains(color_kw.clone())),
             ],
             vec![PlanEdge { a: 0, a_col: 2, b: 1, b_col: 0 }],
-        ).expect("valid plan");
+        )
+        .expect("valid plan");
 
         let mut exec = Executor::new(&db);
         let expected = reference_join(&db, &item_kw, &color_kw);
         let exists = exec.exists(&plan).expect("runs");
-        prop_assert_eq!(exists, !expected.is_empty());
+        assert_eq!(exists, !expected.is_empty(), "case {case}");
 
         let mut got: Vec<(u32, u32)> = exec
             .execute(&plan, 0)
@@ -106,33 +127,51 @@ proptest! {
         let mut want = expected.clone();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
 
         // Limits are respected and prefix-consistent in count.
         let limited = exec.execute(&plan, 2).expect("runs");
-        prop_assert_eq!(limited.len(), expected.len().min(2));
+        assert_eq!(limited.len(), expected.len().min(2), "case {case}");
     }
+}
 
-    #[test]
-    fn contains_ci_matches_lowercase_contains(
-        // The engine's LIKE is ASCII-case-insensitive (Unicode text matches
-        // byte-exactly), so the reference comparison uses ASCII inputs.
-        hay in "[ -~]{0,24}",
-        needle in "[a-zA-Z0-9 ]{0,6}",
-    ) {
+#[test]
+fn contains_ci_matches_lowercase_contains() {
+    // The engine's LIKE is ASCII-case-insensitive (Unicode text matches
+    // byte-exactly), so the reference comparison uses ASCII inputs.
+    let mut rng = SplitMix64::seed_from_u64(0xE702);
+    const NEEDLE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    for case in 0..256 {
+        let hay: String = {
+            let len = rng.gen_range(0..=24usize);
+            // Printable ASCII: 0x20 ..= 0x7E.
+            (0..len).map(|_| (0x20 + rng.below(0x5F) as u8) as char).collect()
+        };
+        let needle: String = {
+            let len = rng.gen_range(0..=6usize);
+            (0..len)
+                .map(|_| NEEDLE_CHARS[rng.gen_range(0..NEEDLE_CHARS.len())] as char)
+                .collect()
+        };
         let v = Value::text(hay.clone());
         let reference = hay.to_lowercase().contains(&needle.to_lowercase());
-        prop_assert_eq!(v.contains_ci(&needle.to_lowercase()), reference);
+        assert_eq!(
+            v.contains_ci(&needle.to_lowercase()),
+            reference,
+            "case {case}: hay={hay:?} needle={needle:?}"
+        );
     }
+}
 
-    #[test]
-    fn single_free_node_counts_all_rows(
-        items in proptest::collection::vec((0i64..8, word(), proptest::option::of(0i64..8)), 0..8),
-    ) {
+#[test]
+fn single_free_node_counts_all_rows() {
+    let mut rng = SplitMix64::seed_from_u64(0xE703);
+    for case in 0..64 {
+        let items = items_vec(&mut rng, 8);
         let db = build_db(&[], &items);
         let plan = JoinTreePlan::new(vec![PlanNode::free(1)], vec![]).expect("valid plan");
         let mut exec = Executor::new(&db);
-        prop_assert_eq!(exec.count(&plan, 0).expect("runs"), items.len());
+        assert_eq!(exec.count(&plan, 0).expect("runs"), items.len(), "case {case}");
     }
 }
 
@@ -169,17 +208,29 @@ mod star {
         out
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn star_join_matches_nested_loops() {
+        let mut rng = SplitMix64::seed_from_u64(0xE704);
+        for case in 0..48 {
+            let colors: Vec<(i64, String)> = {
+                let n = rng.gen_range(1..4usize);
+                (0..n).map(|_| (rng.gen_range(0i64..4), word(&mut rng))).collect()
+            };
+            let items: Vec<(i64, String, Option<i64>)> = {
+                let n = rng.gen_range(0..7usize);
+                (0..n)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0i64..8),
+                            word(&mut rng),
+                            rng.gen_ratio(1, 2).then(|| rng.gen_range(0i64..4)),
+                        )
+                    })
+                    .collect()
+            };
+            let kw1 = word(&mut rng);
+            let kw2 = word(&mut rng);
 
-        #[test]
-        fn star_join_matches_nested_loops(
-            colors in proptest::collection::vec((0i64..4, super::word()), 1..4),
-            items in proptest::collection::vec(
-                (0i64..8, super::word(), proptest::option::of(0i64..4)), 0..7),
-            kw1 in super::word(),
-            kw2 in super::word(),
-        ) {
             let db = super::build_db(&colors, &items);
             let plan = JoinTreePlan::new(
                 vec![
@@ -191,7 +242,8 @@ mod star {
                     PlanEdge { a: 1, a_col: 2, b: 0, b_col: 0 },
                     PlanEdge { a: 2, a_col: 2, b: 0, b_col: 0 },
                 ],
-            ).expect("valid plan");
+            )
+            .expect("valid plan");
             let mut exec = Executor::new(&db);
             let mut got: Vec<(u32, u32, u32)> = exec
                 .execute(&plan, 0)
@@ -202,8 +254,8 @@ mod star {
             let mut want = reference_star(&db, &kw1, &kw2);
             got.sort_unstable();
             want.sort_unstable();
-            prop_assert_eq!(&got, &want);
-            prop_assert_eq!(exec.exists(&plan).expect("runs"), !want.is_empty());
+            assert_eq!(&got, &want, "case {case}");
+            assert_eq!(exec.exists(&plan).expect("runs"), !want.is_empty(), "case {case}");
         }
     }
 }

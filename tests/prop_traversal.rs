@@ -1,4 +1,4 @@
-//! Property tests for Phase 3: strategy equivalence and MPAN invariants on
+//! Randomized tests for Phase 3: strategy equivalence and MPAN invariants on
 //! randomized databases.
 //!
 //! For random data over a 3-entity/2-relationship schema and random keyword
@@ -7,9 +7,14 @@
 //! aliveness oracle: it is alive, it is a strict descendant of its dead MTN,
 //! no ancestor within the MTN's cone is alive, and every alive descendant of
 //! the dead MTN is covered by (is a descendant of) some MPAN.
+//!
+//! The traversal metrics are cross-checked on the same runs: each strategy's
+//! reported `sql_queries` must equal the oracle's own probe counter.
+//!
+//! Cases are drawn from a seeded [`SplitMix64`] stream (the registry-free
+//! stand-in for proptest), so failures replay deterministically.
 
-use proptest::prelude::*;
-
+use datagen::rng::SplitMix64;
 use kwdebug::binding::{map_keywords, KeywordQuery};
 use kwdebug::lattice::Lattice;
 use kwdebug::oracle::AlivenessOracle;
@@ -83,44 +88,68 @@ fn build_db(
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// One random case: tags, items, links, two keywords, and a maxJoins.
+#[allow(clippy::type_complexity)]
+fn random_case(
+    rng: &mut SplitMix64,
+) -> (Vec<(i64, u8)>, Vec<(i64, u8, u8, Option<i64>)>, Vec<(i64, i64)>, usize, usize, usize) {
+    let tags: Vec<(i64, u8)> = (0..rng.gen_range(1..4usize))
+        .map(|_| (rng.gen_range(0i64..6), rng.below(6) as u8))
+        .collect();
+    let items: Vec<(i64, u8, u8, Option<i64>)> = (0..rng.gen_range(1..8usize))
+        .map(|_| {
+            (
+                rng.gen_range(0i64..8),
+                rng.below(6) as u8,
+                rng.below(6) as u8,
+                rng.gen_ratio(1, 2).then(|| rng.gen_range(0i64..8)),
+            )
+        })
+        .collect();
+    let links: Vec<(i64, i64)> = (0..rng.gen_range(0..6usize))
+        .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..8)))
+        .collect();
+    let kw1 = rng.gen_range(0..WORDS.len());
+    let kw2 = rng.gen_range(0..WORDS.len());
+    let max_joins = rng.gen_range(1..4usize);
+    (tags, items, links, kw1, kw2, max_joins)
+}
 
-    #[test]
-    fn strategies_agree_and_mpans_satisfy_definition(
-        tags in proptest::collection::vec((0i64..4, 0u8..6), 1..4),
-        items in proptest::collection::vec(
-            (0i64..8, 0u8..6, 0u8..6, proptest::option::of(0i64..8)), 1..8),
-        links in proptest::collection::vec((0i64..8, 0i64..8), 0..6),
-        kw1 in 0usize..6,
-        kw2 in 0usize..6,
-        max_joins in 1usize..4,
-    ) {
+#[test]
+fn strategies_agree_and_mpans_satisfy_definition() {
+    let mut rng = SplitMix64::seed_from_u64(0x7A01);
+    for case in 0..24 {
+        let (tags, items, links, kw1, kw2, max_joins) = random_case(&mut rng);
         let db = build_db(&tags, &items, &links);
         let graph = SchemaGraph::new(&db);
         let lattice = Lattice::build(&db, &graph, max_joins);
         let index = InvertedIndex::build(&db);
         let text = format!("{} {}", WORDS[kw1], WORDS[kw2]);
-        let Ok(query) = KeywordQuery::parse(&text) else { return Ok(()) };
+        let Ok(query) = KeywordQuery::parse(&text) else { continue };
         let mapping = map_keywords(&query, &index);
 
         for interp in &mapping.interpretations {
             let pruned = PrunedLattice::build(&lattice, interp);
             let mut oracle =
                 AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
-            let reference = traversal::run(
-                StrategyKind::BruteForce, &lattice, &pruned, &mut oracle, 0.5,
-            ).expect("brute runs");
+            let reference =
+                traversal::run(StrategyKind::BruteForce, &lattice, &pruned, &mut oracle, 0.5)
+                    .expect("brute runs");
 
-            // 1. Strategy equivalence.
+            // 1. Strategy equivalence + probe accounting.
             for kind in StrategyKind::ALL {
                 let mut oracle =
                     AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
                 let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5)
                     .expect("strategy runs");
-                prop_assert_eq!(&out.alive_mtns, &reference.alive_mtns, "{}", kind);
-                prop_assert_eq!(&out.dead_mtns, &reference.dead_mtns, "{}", kind);
-                prop_assert_eq!(&out.mpans, &reference.mpans, "{}", kind);
+                assert_eq!(&out.alive_mtns, &reference.alive_mtns, "case {case}: {kind}");
+                assert_eq!(&out.dead_mtns, &reference.dead_mtns, "case {case}: {kind}");
+                assert_eq!(&out.mpans, &reference.mpans, "case {case}: {kind}");
+                assert_eq!(
+                    out.sql_queries,
+                    oracle.queries(),
+                    "case {case}: {kind} misreports probes"
+                );
             }
 
             // 2. MPAN definition, checked against the oracle directly.
@@ -132,15 +161,18 @@ proptest! {
                     .expect("oracle runs")
             };
             for (&m, mpans) in reference.dead_mtns.iter().zip(&reference.mpans) {
-                prop_assert!(!alive(m, &mut truth), "dead MTN must be dead");
+                assert!(!alive(m, &mut truth), "case {case}: dead MTN must be dead");
                 for &p in mpans {
-                    prop_assert!(p != m);
-                    prop_assert!(pruned.is_desc_or_self(p, m), "MPAN within Desc(m)");
-                    prop_assert!(alive(p, &mut truth), "MPAN must be alive");
+                    assert!(p != m, "case {case}");
+                    assert!(pruned.is_desc_or_self(p, m), "case {case}: MPAN within Desc(m)");
+                    assert!(alive(p, &mut truth), "case {case}: MPAN must be alive");
                     // Maximality: no alive strict ancestor within Desc+(m).
                     for &a in pruned.asc_plus(p) {
                         if a != p && pruned.is_desc_or_self(a, m) {
-                            prop_assert!(!alive(a, &mut truth), "MPAN has alive ancestor");
+                            assert!(
+                                !alive(a, &mut truth),
+                                "case {case}: MPAN has alive ancestor"
+                            );
                         }
                     }
                 }
@@ -149,9 +181,9 @@ proptest! {
                     if d == m || !alive(d, &mut truth) {
                         continue;
                     }
-                    prop_assert!(
+                    assert!(
                         mpans.iter().any(|&p| pruned.is_desc_or_self(d, p)),
-                        "alive descendant not covered by any MPAN"
+                        "case {case}: alive descendant not covered by any MPAN"
                     );
                 }
             }
@@ -161,7 +193,10 @@ proptest! {
             for dense in 0..pruned.len() {
                 if alive(dense, &mut truth) {
                     for &c in pruned.children(dense) {
-                        prop_assert!(alive(c, &mut truth), "sub-query of alive node is dead");
+                        assert!(
+                            alive(c, &mut truth),
+                            "case {case}: sub-query of alive node is dead"
+                        );
                     }
                 }
             }

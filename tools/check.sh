@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local pre-commit gate: everything CI would check, in dependency order.
+#
+#   tools/check.sh          # full gate
+#   tools/check.sh --fast   # skip docs + clippy (build + tests only)
+#
+# Fails fast on the first broken step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --release (workspace, all targets)"
+cargo build --workspace --release --bins --examples --benches --tests
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo doc --no-deps (warnings denied)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+    echo "==> cargo clippy -p kwdebug (warnings denied)"
+    cargo clippy -p kwdebug --all-targets -- -D warnings
+fi
+
+echo "==> all checks passed"
