@@ -4,19 +4,26 @@
 //! report; `:strategy BU|BUWR|TD|TDWR|SBH|BRUTE` switches the traversal,
 //! `:metrics` dumps the probe counters and phase timing of the last query
 //! (human table plus the stable [`kwdebug::metrics::MetricsSnapshot`] JSON),
-//! `:quit` exits. Useful for poking at the system the way the paper's
-//! intended developer/SEO user would.
+//! `:budget N [MS]` caps probes (and optionally a deadline in milliseconds)
+//! per interpretation, `:chaos SEED T P [L]` turns on deterministic fault
+//! injection (per-mille transient/permanent/latency rates), `:budget off` /
+//! `:chaos off` restore the defaults, `:quit` exits. Useful for poking at
+//! the system — including its degraded mode — the way the paper's intended
+//! developer/SEO user would.
 //!
 //! Usage: `kws_repl [--scale S] [--max-level N]` (default small, N=5), then
 //! e.g. `DeRose VLDB` at the prompt.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 use bench::{build_system, ExpArgs};
+use kwdebug::budget::ProbeBudget;
 use kwdebug::debugger::NonAnswerDebugger;
 use kwdebug::metrics::MetricsSnapshot;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
+use relengine::FaultConfig;
 
 fn parse_strategy(name: &str) -> Option<StrategyKind> {
     match name.to_ascii_uppercase().as_str() {
@@ -77,6 +84,7 @@ fn show_metrics(last: &LastRun, args: &ExpArgs, max_level: usize) {
         experiment: "kws_repl".into(),
         query: last.query.clone(),
         strategy: last.strategy.name().into(),
+        variant: String::new(),
         scale: format!("{:?}", args.scale).to_ascii_lowercase(),
         max_level: max_level as u64,
         interpretations: last.report.interpretations.len() as u64,
@@ -101,11 +109,50 @@ fn show_metrics(last: &LastRun, args: &ExpArgs, max_level: usize) {
     println!("{}", snap.to_json());
 }
 
+/// Parses `:budget N [MS]` / `:budget off` into a probe budget.
+fn parse_budget(parts: &mut std::str::SplitWhitespace<'_>) -> Option<ProbeBudget> {
+    let first = parts.next()?;
+    if first.eq_ignore_ascii_case("off") {
+        return Some(ProbeBudget::unlimited());
+    }
+    let probes: u64 = first.parse().ok()?;
+    let mut budget = ProbeBudget::probes(probes);
+    if let Some(ms) = parts.next() {
+        budget = budget.with_deadline(Duration::from_millis(ms.parse().ok()?));
+    }
+    Some(budget)
+}
+
+/// Parses `:chaos SEED T P [L]` / `:chaos off` into a fault config
+/// (`None` = chaos off); per-mille rates as in [`FaultConfig`].
+#[allow(clippy::option_option)]
+fn parse_chaos(parts: &mut std::str::SplitWhitespace<'_>) -> Option<Option<FaultConfig>> {
+    let first = parts.next()?;
+    if first.eq_ignore_ascii_case("off") {
+        return Some(None);
+    }
+    let seed: u64 = first.parse().ok()?;
+    let transient: u32 = parts.next()?.parse().ok()?;
+    let permanent: u32 = parts.next()?.parse().ok()?;
+    let latency: u32 = match parts.next() {
+        Some(l) => l.parse().ok()?,
+        None => 0,
+    };
+    Some(Some(FaultConfig {
+        seed,
+        transient_per_mille: transient,
+        permanent_per_mille: permanent,
+        latency_per_mille: latency,
+        latency: Duration::from_micros(100),
+        fail_first_transient: 0,
+    }))
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let max_level = args.max_level.unwrap_or(5);
     eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
-    let system = build_system(args.scale, args.seed, max_level);
+    let mut system = build_system(args.scale, args.seed, max_level);
     eprintln!(
         "ready: {} tuples, lattice {} nodes. Try `DeRose VLDB` or `Widom Trio`; :quit to exit.",
         system.database().total_rows(),
@@ -142,7 +189,28 @@ fn main() {
                     Some(run) => show_metrics(run, &args, max_level),
                     None => println!("no query run yet — type a keyword query first"),
                 },
-                _ => println!("commands: :strategy <name>, :metrics, :quit"),
+                Some("budget") => match parse_budget(&mut parts) {
+                    Some(budget) => {
+                        let label = if budget.is_unlimited() { "unlimited" } else { "set" };
+                        system.set_budget(budget);
+                        println!("probe budget {label} (per interpretation)");
+                    }
+                    None => println!("usage: :budget PROBES [DEADLINE_MS]  |  :budget off"),
+                },
+                Some("chaos") => match parse_chaos(&mut parts) {
+                    Some(chaos) => {
+                        match &chaos {
+                            Some(c) => println!(
+                                "chaos on: seed={} transient={}‰ permanent={}‰ latency={}‰",
+                                c.seed, c.transient_per_mille, c.permanent_per_mille, c.latency_per_mille
+                            ),
+                            None => println!("chaos off"),
+                        }
+                        system.set_chaos(chaos);
+                    }
+                    None => println!("usage: :chaos SEED TRANSIENT‰ PERMANENT‰ [LATENCY‰]  |  :chaos off"),
+                },
+                _ => println!("commands: :strategy <name>, :metrics, :budget ..., :chaos ..., :quit"),
             }
             continue;
         }

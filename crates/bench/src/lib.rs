@@ -21,12 +21,14 @@ use std::time::Duration;
 use datagen::{generate_dblife, DblifeConfig};
 use kwdebug::baseline::{run_return_everything, run_return_nothing, ReOutcome, RnOutcome};
 use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::budget::{ProbeBudget, RetryPolicy};
 use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
 use kwdebug::metrics::{MetricsSnapshot, PhaseTiming, ProbeCounters};
 use kwdebug::oracle::AlivenessOracle;
 use kwdebug::prune::{PruneStats, PrunedLattice};
 use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
 use kwdebug::KwError;
+use relengine::FaultConfig;
 
 /// Dataset scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +179,8 @@ pub struct QueryAggregate {
     pub probes: ProbeCounters,
     /// Per-phase wall-clock breakdown summed over interpretations.
     pub phases: PhaseTiming,
+    /// MTNs left `Unknown` by degraded (chaos/budget) runs; 0 on clean runs.
+    pub unknowns: usize,
 }
 
 impl QueryAggregate {
@@ -199,6 +203,7 @@ impl QueryAggregate {
             experiment: experiment.to_owned(),
             query: query.to_owned(),
             strategy: strategy.to_owned(),
+            variant: String::new(),
             scale: scale.name().to_owned(),
             max_level: max_level as u64,
             interpretations: self.interpretations as u64,
@@ -234,12 +239,36 @@ pub fn emit_metrics(experiment: &str, records: &[MetricsSnapshot]) {
     }
 }
 
+/// Robustness knobs for [`run_query_with`]: deterministic fault injection,
+/// a per-interpretation probe budget, and the transient-retry policy.
+/// `Default` reproduces [`run_query`] exactly (no chaos, unlimited budget).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunKnobs {
+    /// Deterministic fault injection, when `Some`.
+    pub chaos: Option<FaultConfig>,
+    /// Per-interpretation probe budget.
+    pub budget: Option<ProbeBudget>,
+    /// Transient-failure retry policy (`None` = oracle default).
+    pub retry: Option<RetryPolicy>,
+}
+
 /// Runs one workload query under one strategy against a prepared system,
 /// without report sampling, and aggregates over interpretations.
 pub fn run_query(
     system: &NonAnswerDebugger,
     text: &str,
     strategy: StrategyKind,
+) -> Result<QueryAggregate, KwError> {
+    run_query_with(system, text, strategy, RunKnobs::default())
+}
+
+/// [`run_query`] with robustness knobs ([`RunKnobs`]): the chaos-sweep
+/// experiment uses this to measure degraded-mode behavior per strategy.
+pub fn run_query_with(
+    system: &NonAnswerDebugger,
+    text: &str,
+    strategy: StrategyKind,
+    knobs: RunKnobs,
 ) -> Result<QueryAggregate, KwError> {
     let mut agg = QueryAggregate::default();
     let query = KeywordQuery::parse(text)?;
@@ -259,6 +288,15 @@ pub fn run_query(
             &mapping.keywords,
             false,
         );
+        if let Some(budget) = knobs.budget {
+            oracle = oracle.with_budget(budget);
+        }
+        if let Some(retry) = knobs.retry {
+            oracle = oracle.with_retry(retry);
+        }
+        if let Some(chaos) = knobs.chaos {
+            oracle = oracle.with_chaos(chaos);
+        }
         let trav_start = std::time::Instant::now();
         let outcome = traversal::run(strategy, system.lattice(), &pruned, &mut oracle, 0.5)?;
         agg.phases.traversal += trav_start.elapsed();
@@ -313,6 +351,7 @@ fn accumulate(agg: &mut QueryAggregate, pruned: &PrunedLattice, outcome: &Traver
     agg.sql_queries += outcome.sql_queries;
     agg.sql_time += outcome.sql_time;
     agg.probes.accumulate(outcome.probes);
+    agg.unknowns += outcome.unknown_mtns.len();
     let s = pruned.stats();
     agg.prune.lattice_nodes = s.lattice_nodes;
     agg.prune.retained_phase1 += s.retained_phase1;

@@ -1,179 +1,10 @@
-//! Deterministic pseudo-random numbers without external crates.
+//! Deterministic pseudo-random numbers — re-exported from [`relengine::rng`].
 //!
-//! The build environment has no network access to a crates registry, so the
-//! generator cannot depend on `rand`. [`SplitMix64`] (Steele, Lea & Flood,
-//! OOPSLA 2014 — the seeding generator of `java.util.SplittableRandom`) is a
-//! tiny, well-distributed 64-bit generator that passes BigCrush and is fully
-//! reproducible across platforms: the same seed always yields the same
-//! database, which the workload tests rely on.
-//!
-//! The API mirrors the subset of `rand` the crate previously used
-//! (`gen_range` over ranges, `gen_ratio`), so call sites read identically.
-//! Not cryptographically secure; for synthetic data and randomized tests
-//! only.
+//! The SplitMix64 generator originally lived here; it moved down into
+//! `relengine` so the engine's chaos/fault-injection layer
+//! (`relengine::chaos`) can draw from the same deterministic stream type
+//! without a circular dependency (datagen already depends on relengine).
+//! Every existing `datagen::rng::SplitMix64` call site keeps working through
+//! this re-export.
 
-use std::ops::{Range, RangeInclusive};
-
-/// SplitMix64 generator state.
-///
-/// ```
-/// use datagen::rng::SplitMix64;
-/// let mut rng = SplitMix64::seed_from_u64(7);
-/// let a = rng.gen_range(0..10usize);
-/// assert!(a < 10);
-/// let b = rng.gen_range(1i64..=3);
-/// assert!((1..=3).contains(&b));
-/// ```
-#[derive(Debug, Clone)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Creates a generator from a 64-bit seed. Same seed, same stream.
-    pub fn seed_from_u64(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next raw 64-bit output.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform draw from `[0, n)` via Lemire's unbiased multiply-shift.
-    pub fn below(&mut self, n: u64) -> u64 {
-        assert!(n > 0, "empty sampling range");
-        let mut m = u128::from(self.next_u64()) * u128::from(n);
-        if (m as u64) < n {
-            let threshold = n.wrapping_neg() % n;
-            while (m as u64) < threshold {
-                m = u128::from(self.next_u64()) * u128::from(n);
-            }
-        }
-        (m >> 64) as u64
-    }
-
-    /// Uniform draw from a range, mirroring `rand::Rng::gen_range`.
-    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
-        range.sample(self)
-    }
-
-    /// Returns `true` with probability `num / den`, mirroring
-    /// `rand::Rng::gen_ratio`.
-    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
-        assert!(den > 0 && num <= den, "ratio must satisfy num <= den, den > 0");
-        self.below(u64::from(den)) < u64::from(num)
-    }
-}
-
-/// Range types [`SplitMix64::gen_range`] can sample from.
-pub trait SampleRange {
-    /// Element type produced by sampling.
-    type Output;
-    /// Draws one uniform element; panics on an empty range.
-    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
-}
-
-impl SampleRange for Range<usize> {
-    type Output = usize;
-    fn sample(self, rng: &mut SplitMix64) -> usize {
-        assert!(self.start < self.end, "empty sampling range");
-        self.start + rng.below((self.end - self.start) as u64) as usize
-    }
-}
-
-impl SampleRange for RangeInclusive<usize> {
-    type Output = usize;
-    fn sample(self, rng: &mut SplitMix64) -> usize {
-        let (lo, hi) = (*self.start(), *self.end());
-        assert!(lo <= hi, "empty sampling range");
-        lo + rng.below((hi - lo) as u64 + 1) as usize
-    }
-}
-
-impl SampleRange for RangeInclusive<i64> {
-    type Output = i64;
-    fn sample(self, rng: &mut SplitMix64) -> i64 {
-        let (lo, hi) = (*self.start(), *self.end());
-        assert!(lo <= hi, "empty sampling range");
-        let span = (hi as i128 - lo as i128 + 1) as u64;
-        lo.wrapping_add(rng.below(span) as i64)
-    }
-}
-
-impl SampleRange for RangeInclusive<i32> {
-    type Output = i32;
-    fn sample(self, rng: &mut SplitMix64) -> i32 {
-        let (lo, hi) = (*self.start(), *self.end());
-        assert!(lo <= hi, "empty sampling range");
-        let span = (i64::from(hi) - i64::from(lo) + 1) as u64;
-        lo.wrapping_add(rng.below(span) as i32)
-    }
-}
-
-impl SampleRange for Range<i64> {
-    type Output = i64;
-    fn sample(self, rng: &mut SplitMix64) -> i64 {
-        assert!(self.start < self.end, "empty sampling range");
-        let span = (self.end as i128 - self.start as i128) as u64;
-        self.start.wrapping_add(rng.below(span) as i64)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn same_seed_same_stream() {
-        let mut a = SplitMix64::seed_from_u64(42);
-        let mut b = SplitMix64::seed_from_u64(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn known_splitmix64_vector() {
-        // Reference outputs for seed 1234567 from the public-domain
-        // SplitMix64 C implementation (Vigna).
-        let mut rng = SplitMix64::seed_from_u64(1234567);
-        assert_eq!(rng.next_u64(), 6457827717110365317);
-        assert_eq!(rng.next_u64(), 3203168211198807973);
-    }
-
-    #[test]
-    fn ranges_stay_in_bounds() {
-        let mut rng = SplitMix64::seed_from_u64(9);
-        for _ in 0..1000 {
-            assert!(rng.gen_range(0..7usize) < 7);
-            assert!((3..=5).contains(&rng.gen_range(3i64..=5)));
-            assert!((0..=2).contains(&rng.gen_range(0i32..=2)));
-            let one = rng.gen_range(4..5usize);
-            assert_eq!(one, 4);
-        }
-    }
-
-    #[test]
-    fn gen_ratio_extremes() {
-        let mut rng = SplitMix64::seed_from_u64(1);
-        for _ in 0..100 {
-            assert!(rng.gen_ratio(1, 1));
-            assert!(!rng.gen_ratio(0, 1));
-        }
-    }
-
-    #[test]
-    fn below_covers_range() {
-        let mut rng = SplitMix64::seed_from_u64(3);
-        let mut seen = [false; 5];
-        for _ in 0..500 {
-            seen[rng.below(5) as usize] = true;
-        }
-        assert!(seen.iter().all(|&s| s), "all residues reachable");
-    }
-}
+pub use relengine::rng::{SampleRange, SplitMix64};

@@ -62,7 +62,10 @@ pub fn run_return_everything(
         outcome: TraversalOutcome {
             alive_mtns,
             dead_mtns,
+            possible_mpans: vec![Vec::new(); mpans.len()],
             mpans,
+            unknown_mtns: Vec::new(),
+            exhausted: None,
             sql_queries: oracle.stats().queries - q0,
             sql_time: oracle.stats().total_time.saturating_sub(t0).max(Duration::ZERO),
             probes: oracle.metrics().snapshot().delta(m0),

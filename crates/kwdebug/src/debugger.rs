@@ -5,7 +5,10 @@ use std::time::Instant;
 use relengine::Database;
 use textindex::InvertedIndex;
 
+use relengine::FaultConfig;
+
 use crate::binding::{map_keywords, Interpretation, KeywordQuery};
+use crate::budget::{ProbeBudget, RetryPolicy};
 use crate::error::KwError;
 use crate::jnts::Jnts;
 use crate::lattice::Lattice;
@@ -40,6 +43,18 @@ pub struct DebugConfig {
     /// the paper's future-work knob. Only affects the score-based heuristic's
     /// query count, never its output.
     pub estimate_pa: bool,
+    /// Probe budget applied *per interpretation* (each interpretation gets a
+    /// fresh oracle, hence a fresh budget window). The default is unlimited —
+    /// the happy-path pipeline. When a cap trips mid-traversal the report is
+    /// partial: see [`crate::report::InterpretationOutcome::unknown`].
+    pub budget: ProbeBudget,
+    /// How transient probe failures are retried (capped exponential
+    /// backoff); only observable when the engine actually fails.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection for robustness testing (`None` = off).
+    /// Each interpretation's oracle wraps its executor in a
+    /// [`relengine::ChaosExecutor`] with this schedule.
+    pub chaos: Option<FaultConfig>,
 }
 
 impl Default for DebugConfig {
@@ -51,6 +66,9 @@ impl Default for DebugConfig {
             sample_limit: 3,
             memoize: false,
             estimate_pa: false,
+            budget: ProbeBudget::unlimited(),
+            retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -164,6 +182,22 @@ impl NonAnswerDebugger {
         &self.config
     }
 
+    /// Sets the per-interpretation probe budget for subsequent debug calls.
+    pub fn set_budget(&mut self, budget: ProbeBudget) {
+        self.config.budget = budget;
+    }
+
+    /// Sets the transient-failure retry policy for subsequent debug calls.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.config.retry = retry;
+    }
+
+    /// Enables (`Some`) or disables (`None`) deterministic fault injection
+    /// for subsequent debug calls.
+    pub fn set_chaos(&mut self, chaos: Option<FaultConfig>) {
+        self.config.chaos = chaos;
+    }
+
     /// Debugs a keyword query end to end (Phases 1–3).
     pub fn debug(&self, input: &str) -> Result<DebugReport, KwError> {
         self.debug_with_strategy(input, self.config.strategy)
@@ -222,7 +256,12 @@ impl NonAnswerDebugger {
             interp,
             keywords,
             self.config.memoize,
-        );
+        )
+        .with_budget(self.config.budget)
+        .with_retry(self.config.retry);
+        if let Some(chaos) = self.config.chaos {
+            oracle = oracle.with_chaos(chaos);
+        }
         let pa = if self.config.estimate_pa {
             crate::estimate::PaEstimator::new(&self.db, &self.index, interp, keywords)
                 .estimate_pa(&self.lattice, &pruned)
@@ -245,13 +284,27 @@ impl NonAnswerDebugger {
             answers.push(self.query_info(&pruned, m, &mut oracle, true)?);
         }
         let mut non_answers = Vec::with_capacity(outcome.dead_mtns.len());
-        for (&m, mpans) in outcome.dead_mtns.iter().zip(&outcome.mpans) {
+        for ((&m, mpans), possible) in
+            outcome.dead_mtns.iter().zip(&outcome.mpans).zip(&outcome.possible_mpans)
+        {
             let query = self.query_info(&pruned, m, &mut oracle, false)?;
             let mut infos = Vec::with_capacity(mpans.len());
             for &p in mpans {
                 infos.push(self.query_info(&pruned, p, &mut oracle, true)?);
             }
-            non_answers.push(NonAnswerInfo { query, mpans: infos });
+            let mut possible_infos = Vec::with_capacity(possible.len());
+            for &p in possible {
+                possible_infos.push(self.query_info(&pruned, p, &mut oracle, true)?);
+            }
+            non_answers.push(NonAnswerInfo {
+                query,
+                mpans: infos,
+                possible_mpans: possible_infos,
+            });
+        }
+        let mut unknown = Vec::with_capacity(outcome.unknown_mtns.len());
+        for &m in &outcome.unknown_mtns {
+            unknown.push(self.query_info(&pruned, m, &mut oracle, false)?);
         }
         let reporting = report_start.elapsed();
 
@@ -259,6 +312,8 @@ impl NonAnswerDebugger {
             keyword_tables,
             answers,
             non_answers,
+            unknown,
+            budget_exhausted: outcome.exhausted,
             prune_stats: pruned.stats().clone(),
             sql_queries: outcome.sql_queries,
             sql_time: outcome.sql_time,
@@ -274,7 +329,9 @@ impl NonAnswerDebugger {
     }
 
     /// Renders one pruned-lattice node for the report, sampling tuples if the
-    /// node is alive and sampling is enabled.
+    /// node is alive and sampling is enabled. Sampling degrades gracefully: a
+    /// tripped budget or an injected fault yields an empty sample rather than
+    /// failing the whole report.
     fn query_info(
         &self,
         pruned: &PrunedLattice,
@@ -285,11 +342,14 @@ impl NonAnswerDebugger {
         let jnts = pruned.jnts(&self.lattice, dense);
         let sql = oracle.sql(jnts)?;
         let sample_tuples = if alive && self.config.sample_limit > 0 {
-            oracle
-                .sample(jnts, self.config.sample_limit)?
-                .into_iter()
-                .map(|t| render_tuple(&self.db, jnts, &t))
-                .collect()
+            match oracle.sample(jnts, self.config.sample_limit) {
+                Ok(tuples) => {
+                    tuples.into_iter().map(|t| render_tuple(&self.db, jnts, &t)).collect()
+                }
+                Err(KwError::BudgetExhausted(_)) => Vec::new(),
+                Err(KwError::Engine(e)) if e.is_fault() => Vec::new(),
+                Err(e) => return Err(e),
+            }
         } else {
             Vec::new()
         };
@@ -445,6 +505,82 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("DEAD"));
         assert!(text.contains("max alive sub-query"));
+    }
+
+    #[test]
+    fn quiet_chaos_and_default_knobs_change_nothing() {
+        let base = debugger(StrategyKind::ScoreBasedHeuristic)
+            .debug("saffron candle")
+            .unwrap();
+        let d = NonAnswerDebugger::new(
+            db(),
+            DebugConfig {
+                max_joins: 2,
+                chaos: Some(FaultConfig::quiet(42)),
+                ..DebugConfig::default()
+            },
+        )
+        .unwrap();
+        let r = d.debug("saffron candle").unwrap();
+        // Byte-identical up to wall-clock timings (the only nondeterminism).
+        let scrub = |s: &str| -> String {
+            s.lines()
+                .map(|l| match l.find(" SQL queries, ") {
+                    Some(i) => format!("{} SQL queries, (t)", &l[..i]),
+                    None => l.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(scrub(&r.to_string()), scrub(&base.to_string()), "quiet chaos is transparent");
+        assert_eq!(r.sql_queries(), base.sql_queries());
+        let timeless = |mut p: crate::metrics::ProbeCounters| {
+            p.probe_time_ns = 0;
+            p
+        };
+        assert_eq!(timeless(r.probes()), timeless(base.probes()), "same counters");
+        assert!(r.is_complete() && base.is_complete());
+        for (ri, bi) in r.interpretations.iter().zip(&base.interpretations) {
+            assert_eq!(ri.answers, bi.answers);
+            assert_eq!(ri.non_answers, bi.non_answers);
+            assert_eq!(ri.unknown, bi.unknown);
+        }
+    }
+
+    #[test]
+    fn zero_probe_budget_reports_everything_unknown() {
+        let d = NonAnswerDebugger::new(
+            db(),
+            DebugConfig {
+                max_joins: 2,
+                budget: ProbeBudget::probes(0),
+                ..DebugConfig::default()
+            },
+        )
+        .unwrap();
+        let r = d.debug("saffron candle").unwrap();
+        assert_eq!(r.answer_count(), 0);
+        assert_eq!(r.non_answer_count(), 0);
+        assert_eq!(r.unknown_count(), 1, "the MTN is reported, just unclassified");
+        assert!(!r.is_complete());
+        assert_eq!(r.sql_queries(), 0, "nothing executed");
+        assert_eq!(r.probes().budget_exhausted, 1);
+        let text = r.to_string();
+        assert!(text.contains("UNKNOWN"), "{text}");
+        assert!(text.contains("probe budget exhausted"), "{text}");
+    }
+
+    #[test]
+    fn robustness_setters_update_config() {
+        let mut d = debugger(StrategyKind::ScoreBasedHeuristic);
+        d.set_budget(ProbeBudget::probes(5));
+        d.set_retry(RetryPolicy::none());
+        d.set_chaos(Some(FaultConfig::quiet(1)));
+        assert_eq!(d.config().budget, ProbeBudget::probes(5));
+        assert_eq!(d.config().retry, RetryPolicy::none());
+        assert!(d.config().chaos.is_some());
+        d.set_chaos(None);
+        assert!(d.config().chaos.is_none());
     }
 }
 

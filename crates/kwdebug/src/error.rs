@@ -4,6 +4,8 @@ use std::fmt;
 
 use relengine::EngineError;
 
+use crate::budget::Exhausted;
+
 /// Errors surfaced by lattice construction and query debugging.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KwError {
@@ -13,6 +15,10 @@ pub enum KwError {
     EmptyQuery,
     /// Configuration is out of range (e.g. `max_joins == 0` overflow bounds).
     BadConfig(String),
+    /// The probe budget ran out mid-operation. Traversals catch this and
+    /// degrade to a partial report; it only escapes to callers that demand a
+    /// definite verdict (e.g. [`crate::oracle::AlivenessOracle::is_alive`]).
+    BudgetExhausted(Exhausted),
     /// An interactive assertion contradicts what is already known (e.g.
     /// marking a node dead whose descendant was observed alive).
     ConflictingVerdict(String),
@@ -27,6 +33,7 @@ impl fmt::Display for KwError {
             KwError::Engine(e) => write!(f, "engine error: {e}"),
             KwError::EmptyQuery => write!(f, "keyword query is empty"),
             KwError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            KwError::BudgetExhausted(why) => write!(f, "probe budget exhausted: {why}"),
             KwError::ConflictingVerdict(msg) => write!(f, "conflicting verdict: {msg}"),
             KwError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -59,5 +66,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&KwError::EmptyQuery).is_none());
         assert_eq!(KwError::EmptyQuery.to_string(), "keyword query is empty");
+        assert_eq!(
+            KwError::BudgetExhausted(Exhausted::Deadline).to_string(),
+            "probe budget exhausted: deadline passed"
+        );
     }
 }

@@ -127,7 +127,10 @@ mod tests {
                         q("SELECT * FROM ptype AS ptype1, item AS item0 WHERE y", 2),
                         q("SELECT * FROM item AS item0 WHERE z", 1),
                     ],
+                    possible_mpans: vec![],
                 }],
+                unknown: vec![],
+                budget_exhausted: None,
                 prune_stats: PruneStats::default(),
                 sql_queries: 0,
                 sql_time: Duration::ZERO,

@@ -49,6 +49,8 @@
 //! | `p_a` estimation (future work, §4) | aliveness prior from catalog stats | [`estimate`] |
 //! | MPAN filters (future work, §1) | post-hoc filtering/prioritization | [`filter`] |
 //! | Experiment instrumentation, §3 | probe/inference counters, phase timings | [`metrics`] |
+//! | Probe budgets / retries (extension) | caps, deadlines, backoff, degraded mode | [`budget`] |
+//! | Fault injection (extension) | deterministic chaos harness for probes | [`relengine::chaos`] |
 //!
 //! ## Observability
 //!
@@ -91,6 +93,7 @@
 
 pub mod baseline;
 pub mod binding;
+pub mod budget;
 pub mod canonical;
 pub mod debugger;
 pub mod diagnose;
@@ -109,6 +112,7 @@ pub mod schema_graph;
 pub mod session;
 pub mod traversal;
 
+pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
 pub use debugger::{DebugConfig, NonAnswerDebugger};
 pub use error::KwError;
 pub use jnts::{CopyIdx, Jnts, TupleSet};

@@ -19,6 +19,10 @@
 //! | `r1_inferences` | traversals, nodes classified alive by rule R1 | §2.4 rule 1 |
 //! | `r2_inferences` | traversals, nodes classified dead by rule R2 | §2.4 rule 2 |
 //! | `reuse_hits` | traversals, visits skipped because a node was already classified | the "WR" in BUWR/TDWR (Fig. 13) |
+//! | `retries` | oracle, probe attempts re-issued after a transient fault | beyond the paper (degraded mode) |
+//! | `faults_injected` | oracle, fault errors observed (injected or real) | beyond the paper (degraded mode) |
+//! | `probes_abandoned` | oracle, probes given up on (node stays `Unknown`) | beyond the paper (degraded mode) |
+//! | `budget_exhausted` | oracle, [`crate::budget::ProbeBudget`] cap trips | beyond the paper (degraded mode) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
 //! engine's own `ExecStats::queries`, so a strategy can never misreport its
@@ -124,6 +128,18 @@ pub struct Metrics {
     /// cross-MTN sharing for the with-reuse strategies, within-MTN
     /// R1/R2 coverage for BU/TD.
     pub reuse_hits: Counter,
+    /// Probe attempts re-issued after a transient failure (one per retry,
+    /// not per probe).
+    pub retries: Counter,
+    /// Fault errors ([`relengine::EngineError::is_fault`]) observed by the
+    /// oracle, whether or not a retry later succeeded.
+    pub faults_injected: Counter,
+    /// Probes given up on after a permanent failure or exhausted retries;
+    /// the node stays `Unknown` in the partial report.
+    pub probes_abandoned: Counter,
+    /// Times a [`crate::budget::ProbeBudget`] cap tripped (at most once per
+    /// oracle — budgets are sticky).
+    pub budget_exhausted: Counter,
 }
 
 impl Metrics {
@@ -137,6 +153,10 @@ impl Metrics {
             r1_inferences: Counter::new(),
             r2_inferences: Counter::new(),
             reuse_hits: Counter::new(),
+            retries: Counter::new(),
+            faults_injected: Counter::new(),
+            probes_abandoned: Counter::new(),
+            budget_exhausted: Counter::new(),
         }
     }
 
@@ -150,6 +170,10 @@ impl Metrics {
             r1_inferences: self.r1_inferences.get(),
             r2_inferences: self.r2_inferences.get(),
             reuse_hits: self.reuse_hits.get(),
+            retries: self.retries.get(),
+            faults_injected: self.faults_injected.get(),
+            probes_abandoned: self.probes_abandoned.get(),
+            budget_exhausted: self.budget_exhausted.get(),
         }
     }
 
@@ -162,6 +186,10 @@ impl Metrics {
         self.r1_inferences.reset();
         self.r2_inferences.reset();
         self.reuse_hits.reset();
+        self.retries.reset();
+        self.faults_injected.reset();
+        self.probes_abandoned.reset();
+        self.budget_exhausted.reset();
     }
 }
 
@@ -187,6 +215,14 @@ pub struct ProbeCounters {
     pub r2_inferences: u64,
     /// Visits skipped on already-classified nodes.
     pub reuse_hits: u64,
+    /// Probe attempts re-issued after transient failures.
+    pub retries: u64,
+    /// Fault errors observed by the oracle.
+    pub faults_injected: u64,
+    /// Probes abandoned (node left `Unknown`).
+    pub probes_abandoned: u64,
+    /// Budget caps tripped.
+    pub budget_exhausted: u64,
 }
 
 impl ProbeCounters {
@@ -200,6 +236,10 @@ impl ProbeCounters {
             r1_inferences: self.r1_inferences - baseline.r1_inferences,
             r2_inferences: self.r2_inferences - baseline.r2_inferences,
             reuse_hits: self.reuse_hits - baseline.reuse_hits,
+            retries: self.retries - baseline.retries,
+            faults_injected: self.faults_injected - baseline.faults_injected,
+            probes_abandoned: self.probes_abandoned - baseline.probes_abandoned,
+            budget_exhausted: self.budget_exhausted - baseline.budget_exhausted,
         }
     }
 
@@ -212,6 +252,10 @@ impl ProbeCounters {
         self.r1_inferences += other.r1_inferences;
         self.r2_inferences += other.r2_inferences;
         self.reuse_hits += other.reuse_hits;
+        self.retries += other.retries;
+        self.faults_injected += other.faults_injected;
+        self.probes_abandoned += other.probes_abandoned;
+        self.budget_exhausted += other.budget_exhausted;
     }
 
     /// Probe time as a [`Duration`].
@@ -268,6 +312,9 @@ pub struct MetricsSnapshot {
     pub query: String,
     /// Traversal strategy short name (`BU`, `SBH`, ...), if one applies.
     pub strategy: String,
+    /// Free-form run variant label (e.g. `fault_pm=50` for chaos sweeps);
+    /// empty when the record has no sub-variant.
+    pub variant: String,
     /// Dataset scale label (`tiny`..`paper`).
     pub scale: String,
     /// Lattice levels (`maxJoins + 1`).
@@ -312,10 +359,11 @@ impl MetricsSnapshot {
         let _ = write!(
             j,
             "{{\"experiment\":\"{}\",\"query\":\"{}\",\"strategy\":\"{}\",\
-             \"scale\":\"{}\",\"max_level\":{},\"interpretations\":{}",
+             \"variant\":\"{}\",\"scale\":\"{}\",\"max_level\":{},\"interpretations\":{}",
             esc(&self.experiment),
             esc(&self.query),
             esc(&self.strategy),
+            esc(&self.variant),
             esc(&self.scale),
             self.max_level,
             self.interpretations,
@@ -324,7 +372,9 @@ impl MetricsSnapshot {
         let _ = write!(
             j,
             ",\"probes\":{{\"executed\":{},\"time_ns\":{},\"tuples_scanned\":{},\
-             \"memo_hits\":{},\"r1_inferences\":{},\"r2_inferences\":{},\"reuse_hits\":{}}}",
+             \"memo_hits\":{},\"r1_inferences\":{},\"r2_inferences\":{},\"reuse_hits\":{},\
+             \"retries\":{},\"faults_injected\":{},\"probes_abandoned\":{},\
+             \"budget_exhausted\":{}}}",
             p.probes_executed,
             p.probe_time_ns,
             p.tuples_scanned,
@@ -332,6 +382,10 @@ impl MetricsSnapshot {
             p.r1_inferences,
             p.r2_inferences,
             p.reuse_hits,
+            p.retries,
+            p.faults_injected,
+            p.probes_abandoned,
+            p.budget_exhausted,
         );
         let t = &self.phases;
         let _ = write!(
@@ -457,6 +511,7 @@ mod tests {
             experiment: "exp_traversal".into(),
             query: "Q3".into(),
             strategy: "BUWR".into(),
+            variant: "fault_pm=50".into(),
             scale: "small".into(),
             max_level: 5,
             interpretations: 1,
@@ -468,6 +523,10 @@ mod tests {
                 r1_inferences: 4,
                 r2_inferences: 9,
                 reuse_hits: 3,
+                retries: 2,
+                faults_injected: 5,
+                probes_abandoned: 1,
+                budget_exhausted: 1,
             },
             phases: PhaseTiming {
                 mapping: Duration::from_nanos(1),
@@ -497,9 +556,12 @@ mod tests {
         assert_eq!(
             json,
             "{\"experiment\":\"exp_traversal\",\"query\":\"Q3\",\"strategy\":\"BUWR\",\
+             \"variant\":\"fault_pm=50\",\
              \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
              \"probes\":{\"executed\":12,\"time_ns\":345,\"tuples_scanned\":678,\
-             \"memo_hits\":0,\"r1_inferences\":4,\"r2_inferences\":9,\"reuse_hits\":3},\
+             \"memo_hits\":0,\"r1_inferences\":4,\"r2_inferences\":9,\"reuse_hits\":3,\
+             \"retries\":2,\"faults_injected\":5,\"probes_abandoned\":1,\
+             \"budget_exhausted\":1},\
              \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
              \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\
              \"prune\":{\"lattice_nodes\":100,\"retained_phase1\":20,\"total_nodes\":5,\

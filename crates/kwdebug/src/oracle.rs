@@ -9,6 +9,24 @@
 //! paper's metrics; an optional memo table (off by default, an ablation knob)
 //! caches results per lattice node across calls.
 //!
+//! ## Fault tolerance and budgets
+//!
+//! The oracle is the single choke point between the traversals and the
+//! engine, so the whole robustness layer lives here:
+//!
+//! * [`AlivenessOracle::with_chaos`] swaps the plain executor for a
+//!   [`relengine::ChaosExecutor`] that injects deterministic faults;
+//! * [`AlivenessOracle::with_budget`] bounds the probing work
+//!   ([`ProbeBudget`]: max probes, wall-clock deadline, tuple-scan cap);
+//! * [`AlivenessOracle::with_retry`] sets how transient failures are retried
+//!   ([`RetryPolicy`]: capped exponential backoff, deterministic).
+//!
+//! [`AlivenessOracle::probe`] is the degradation-aware entry point: instead
+//! of an error it returns a [`Probe`] — a verdict, a per-node failure (the
+//! node stays `Unknown`), or budget exhaustion (probing is over; budgets are
+//! sticky). [`AlivenessOracle::is_alive`] keeps the original hard-error
+//! contract on top of it.
+//!
 //! The oracle owns the [`Metrics`] block for its interpretation and keeps the
 //! probe-side counters itself; traversal strategies record their inference
 //! and reuse events through [`AlivenessOracle::metrics`]. Oracle-side
@@ -19,19 +37,26 @@
 //! | `is_alive` cache miss | `probes_executed`, `probe_time`, `tuples_scanned` | one "SQL query" (Figs. 11–12) |
 //! | `is_alive` memo hit | `memo_hits` | beyond the paper (§3 re-executes) |
 //! | `sample` for a report | `probes_executed`, `probe_time`, `tuples_scanned` | §2.1 sample tuples of `A(K)`/`M(K)` |
+//! | transient fault retried | `retries`, `faults_injected` | beyond the paper (degraded mode) |
+//! | probe abandoned | `probes_abandoned` (+ `faults_injected` per fault) | beyond the paper (degraded mode) |
+//! | budget cap tripped | `budget_exhausted` (once; sticky) | beyond the paper (degraded mode) |
 //!
 //! `probes_executed` always equals the engine's own `ExecStats::queries` —
-//! the invariant the metrics integration tests pin down.
+//! the invariant the metrics integration tests pin down. Faults are injected
+//! *before* the engine executes, so a failed attempt never increments either
+//! side of that equation.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use relengine::{
-    Database, EngineError, ExecStats, Executor, JoinTreePlan, PlanEdge, PlanNode, Predicate,
+    ChaosExecutor, Database, EngineError, ExecStats, Executor, FaultConfig, FaultStats,
+    JoinTreePlan, MatchTuple, PlanEdge, PlanNode, Predicate,
 };
 use textindex::InvertedIndex;
 
 use crate::binding::Interpretation;
+use crate::budget::{Exhausted, ProbeBudget, RetryPolicy};
 use crate::error::KwError;
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
@@ -74,20 +99,86 @@ pub fn build_plan(
     JoinTreePlan::new(nodes, edges)
 }
 
+/// The outcome of one degradation-aware probe ([`AlivenessOracle::probe`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Probe {
+    /// The node's query executed (or was memoized): alive or dead.
+    Verdict(bool),
+    /// This probe failed permanently (hard fault, or transient retries
+    /// exhausted); the node stays unclassified, but probing may continue.
+    NodeFailed(EngineError),
+    /// The probe budget ran out; this and every later probe is refused.
+    Exhausted(Exhausted),
+}
+
+/// The engine behind the oracle: plain, or wrapped in fault injection.
+enum ProbeEngine<'a> {
+    Plain(Executor<'a>),
+    Chaos(ChaosExecutor<'a>),
+}
+
+impl<'a> ProbeEngine<'a> {
+    fn exists(&mut self, plan: &JoinTreePlan) -> Result<bool, EngineError> {
+        match self {
+            ProbeEngine::Plain(e) => e.exists(plan),
+            ProbeEngine::Chaos(c) => c.exists(plan),
+        }
+    }
+
+    fn execute(
+        &mut self,
+        plan: &JoinTreePlan,
+        limit: usize,
+    ) -> Result<Vec<MatchTuple>, EngineError> {
+        match self {
+            ProbeEngine::Plain(e) => e.execute(plan, limit),
+            ProbeEngine::Chaos(c) => c.execute(plan, limit),
+        }
+    }
+
+    fn stats(&self) -> &ExecStats {
+        match self {
+            ProbeEngine::Plain(e) => e.stats(),
+            ProbeEngine::Chaos(c) => c.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            ProbeEngine::Plain(e) => e.reset_stats(),
+            ProbeEngine::Chaos(c) => c.reset_stats(),
+        }
+    }
+}
+
+/// Internal failure of a budgeted, retried execution attempt.
+enum ProbeFail {
+    Node(EngineError),
+    Exhausted(Exhausted),
+}
+
 /// Answers aliveness queries for lattice nodes, counting every execution.
 pub struct AlivenessOracle<'a> {
     db: &'a Database,
     index: Option<&'a InvertedIndex>,
     interp: &'a Interpretation,
     keywords: &'a [String],
-    executor: Executor<'a>,
+    engine: ProbeEngine<'a>,
     memo: Option<HashMap<NodeId, bool>>,
     metrics: Metrics,
+    budget: ProbeBudget,
+    retry: RetryPolicy,
+    /// Wall-clock origin of the deadline: set at the first budget check.
+    started: Option<Instant>,
+    /// Sticky exhaustion state: once set, every probe is refused.
+    tripped: Option<Exhausted>,
 }
 
 impl<'a> AlivenessOracle<'a> {
     /// Creates an oracle for one interpretation. `memoize` enables the
-    /// cross-call result cache (an extension; the paper re-executes).
+    /// cross-call result cache (an extension; the paper re-executes). The
+    /// oracle starts with an unlimited [`ProbeBudget`], the default
+    /// [`RetryPolicy`] and no fault injection — the happy-path pipeline.
     pub fn new(
         db: &'a Database,
         index: Option<&'a InvertedIndex>,
@@ -100,48 +191,211 @@ impl<'a> AlivenessOracle<'a> {
             index,
             interp,
             keywords,
-            executor: Executor::new(db),
+            engine: ProbeEngine::Plain(Executor::new(db)),
             memo: memoize.then(HashMap::new),
             metrics: Metrics::new(),
+            budget: ProbeBudget::default(),
+            retry: RetryPolicy::default(),
+            started: None,
+            tripped: None,
         }
     }
 
-    /// Whether the node's query returns at least one tuple.
-    pub fn is_alive(&mut self, node: NodeId, jnts: &Jnts) -> Result<bool, KwError> {
+    /// Routes every execution through a deterministic fault injector
+    /// (keeping any statistics the current engine accumulated).
+    pub fn with_chaos(mut self, config: FaultConfig) -> Self {
+        self.engine = match self.engine {
+            ProbeEngine::Plain(e) => ProbeEngine::Chaos(ChaosExecutor::wrap(e, config)),
+            ProbeEngine::Chaos(c) => {
+                ProbeEngine::Chaos(ChaosExecutor::wrap(c.into_inner(), config))
+            }
+        };
+        self
+    }
+
+    /// Bounds the probing work of this oracle.
+    pub fn with_budget(mut self, budget: ProbeBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the transient-failure retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The memoized verdict of a node, without probing: `Some(true)` for
+    /// cached alive, `Some(false)` for cached dead, `None` when the node was
+    /// never probed (or memoization is off). Lets traversals and the session
+    /// distinguish "known dead" from "unknown" without re-deriving memo
+    /// state; a pure read, it records no metrics.
+    pub fn verdict_if_known(&self, node: NodeId) -> Option<bool> {
+        self.memo.as_ref().and_then(|m| m.get(&node).copied())
+    }
+
+    /// Why probing stopped, if a budget cap tripped.
+    pub fn exhausted(&self) -> Option<Exhausted> {
+        self.tripped
+    }
+
+    /// The active probe budget.
+    pub fn budget(&self) -> ProbeBudget {
+        self.budget
+    }
+
+    /// Fault-injection counters, when chaos is enabled.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        match &self.engine {
+            ProbeEngine::Plain(_) => None,
+            ProbeEngine::Chaos(c) => Some(c.fault_stats()),
+        }
+    }
+
+    /// Enforces the budget before a probe; trips (stickily) on the first
+    /// exceeded cap.
+    fn check_budget(&mut self) -> Option<Exhausted> {
+        if self.tripped.is_some() {
+            return self.tripped;
+        }
+        let start = *self.started.get_or_insert_with(Instant::now);
+        let why = if self.budget.max_probes.is_some_and(|m| self.metrics.probes_executed.get() >= m)
+        {
+            Some(Exhausted::Probes)
+        } else if self.budget.deadline.is_some_and(|d| start.elapsed() >= d) {
+            Some(Exhausted::Deadline)
+        } else if self.budget.max_tuples.is_some_and(|m| self.metrics.tuples_scanned.get() >= m) {
+            Some(Exhausted::Tuples)
+        } else {
+            None
+        };
+        if let Some(w) = why {
+            self.trip(w);
+        }
+        why
+    }
+
+    fn trip(&mut self, why: Exhausted) {
+        if self.tripped.is_none() {
+            self.tripped = Some(why);
+            self.metrics.budget_exhausted.incr();
+        }
+    }
+
+    /// Runs one engine operation under the retry policy: transient failures
+    /// back off and retry (re-checking the deadline), anything else abandons.
+    fn execute_with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ProbeEngine<'a>) -> Result<T, EngineError>,
+    ) -> Result<T, ProbeFail> {
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.engine) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if e.is_fault() {
+                        self.metrics.faults_injected.incr();
+                    }
+                    if e.is_transient() && attempt < self.retry.max_retries {
+                        let backoff = self.retry.backoff(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        self.metrics.retries.incr();
+                        attempt += 1;
+                        // The deadline may pass while backing off.
+                        if let (Some(d), Some(start)) = (self.budget.deadline, self.started) {
+                            if start.elapsed() >= d {
+                                self.trip(Exhausted::Deadline);
+                                return Err(ProbeFail::Exhausted(Exhausted::Deadline));
+                            }
+                        }
+                        continue;
+                    }
+                    self.metrics.probes_abandoned.incr();
+                    return Err(ProbeFail::Node(e));
+                }
+            }
+        }
+    }
+
+    /// Probes a node's aliveness without hard-failing: the degradation-aware
+    /// form of [`AlivenessOracle::is_alive`]. Memo hits are always answered
+    /// (they are free); everything else goes through the budget gate and the
+    /// retry policy.
+    pub fn probe(&mut self, node: NodeId, jnts: &Jnts) -> Probe {
         if let Some(memo) = &self.memo {
             if let Some(&alive) = memo.get(&node) {
                 self.metrics.memo_hits.incr();
-                return Ok(alive);
+                return Probe::Verdict(alive);
             }
         }
-        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
-        let rows_before = self.executor.stats().rows_examined;
-        let start = Instant::now();
-        let alive = self.executor.exists(&plan)?;
-        self.metrics.probes_executed.incr();
-        self.metrics.probe_time.add(start.elapsed());
-        self.metrics.tuples_scanned.add(self.executor.stats().rows_examined - rows_before);
-        if let Some(memo) = &mut self.memo {
-            memo.insert(node, alive);
+        if let Some(why) = self.check_budget() {
+            return Probe::Exhausted(why);
         }
-        Ok(alive)
+        let plan = match build_plan(jnts, self.interp, self.db, self.index, self.keywords) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.probes_abandoned.incr();
+                return Probe::NodeFailed(e);
+            }
+        };
+        let rows_before = self.engine.stats().rows_examined;
+        let start = Instant::now();
+        match self.execute_with_retry(|eng| eng.exists(&plan)) {
+            Ok(alive) => {
+                self.metrics.probes_executed.incr();
+                self.metrics.probe_time.add(start.elapsed());
+                self.metrics
+                    .tuples_scanned
+                    .add(self.engine.stats().rows_examined - rows_before);
+                if let Some(memo) = &mut self.memo {
+                    memo.insert(node, alive);
+                }
+                Probe::Verdict(alive)
+            }
+            Err(ProbeFail::Node(e)) => Probe::NodeFailed(e),
+            Err(ProbeFail::Exhausted(why)) => Probe::Exhausted(why),
+        }
+    }
+
+    /// Whether the node's query returns at least one tuple. Hard-errors on
+    /// probe failure or budget exhaustion ([`KwError::BudgetExhausted`]);
+    /// degradation-aware callers use [`AlivenessOracle::probe`] instead.
+    pub fn is_alive(&mut self, node: NodeId, jnts: &Jnts) -> Result<bool, KwError> {
+        match self.probe(node, jnts) {
+            Probe::Verdict(alive) => Ok(alive),
+            Probe::NodeFailed(e) => Err(e.into()),
+            Probe::Exhausted(why) => Err(KwError::BudgetExhausted(why)),
+        }
     }
 
     /// Fetches up to `limit` sample result tuples of a node (for reports).
-    /// Counts as one more executed query.
+    /// Counts as one more executed query, subject to the same budget and
+    /// retry policy as probes.
     pub fn sample(
         &mut self,
         jnts: &Jnts,
         limit: usize,
     ) -> Result<Vec<Vec<relengine::RowId>>, KwError> {
+        if let Some(why) = self.check_budget() {
+            return Err(KwError::BudgetExhausted(why));
+        }
         let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
-        let rows_before = self.executor.stats().rows_examined;
+        let rows_before = self.engine.stats().rows_examined;
         let start = Instant::now();
-        let tuples = self.executor.execute(&plan, limit)?;
-        self.metrics.probes_executed.incr();
-        self.metrics.probe_time.add(start.elapsed());
-        self.metrics.tuples_scanned.add(self.executor.stats().rows_examined - rows_before);
-        Ok(tuples)
+        match self.execute_with_retry(|eng| eng.execute(&plan, limit)) {
+            Ok(tuples) => {
+                self.metrics.probes_executed.incr();
+                self.metrics.probe_time.add(start.elapsed());
+                self.metrics
+                    .tuples_scanned
+                    .add(self.engine.stats().rows_examined - rows_before);
+                Ok(tuples)
+            }
+            Err(ProbeFail::Node(e)) => Err(e.into()),
+            Err(ProbeFail::Exhausted(why)) => Err(KwError::BudgetExhausted(why)),
+        }
     }
 
     /// The keyword bound to a relation copy under this interpretation, if any.
@@ -157,12 +411,12 @@ impl<'a> AlivenessOracle<'a> {
 
     /// Engine statistics: queries executed, rows examined, time.
     pub fn stats(&self) -> &ExecStats {
-        self.executor.stats()
+        self.engine.stats()
     }
 
     /// Number of executed queries so far.
     pub fn queries(&self) -> u64 {
-        self.executor.stats().queries
+        self.engine.stats().queries
     }
 
     /// Memo hits (0 unless memoization is on).
@@ -177,10 +431,13 @@ impl<'a> AlivenessOracle<'a> {
         &self.metrics
     }
 
-    /// Resets execution statistics and metrics (not the memo).
+    /// Resets execution statistics, metrics and the budget clock/trip state
+    /// (not the memo, and not the fault schedule).
     pub fn reset_stats(&mut self) {
-        self.executor.reset_stats();
+        self.engine.reset_stats();
         self.metrics.reset();
+        self.started = None;
+        self.tripped = None;
     }
 
     /// The database under test.
@@ -196,6 +453,7 @@ mod tests {
     use crate::jnts::TupleSet;
     use crate::schema_graph::Incidence;
     use relengine::{DataType, DatabaseBuilder, Value};
+    use std::time::Duration;
 
     /// ptype(candle,oil) <- item -> color(red,saffron); items: red candle,
     /// saffron oil.
@@ -351,5 +609,207 @@ mod tests {
         let tuples = oracle.sample(&mtn_jnts(), 5).unwrap();
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].len(), 3);
+    }
+
+    #[test]
+    fn verdict_if_known_reads_memo_without_probing() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, true);
+        assert_eq!(oracle.verdict_if_known(7), None, "never probed");
+        oracle.is_alive(7, &mtn_jnts()).unwrap();
+        assert_eq!(oracle.verdict_if_known(7), Some(true), "cached alive");
+        assert_eq!(oracle.verdict_if_known(8), None, "other node untouched");
+        assert_eq!(oracle.memo_hits(), 0, "accessor records nothing");
+        assert_eq!(oracle.queries(), 1);
+
+        // Without memoization there is never a known verdict.
+        let mut plain =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false);
+        plain.is_alive(7, &mtn_jnts()).unwrap();
+        assert_eq!(plain.verdict_if_known(7), None);
+    }
+
+    #[test]
+    fn zero_probe_budget_refuses_everything() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_budget(ProbeBudget::probes(0));
+        let j = mtn_jnts();
+        assert_eq!(oracle.probe(0, &j), Probe::Exhausted(Exhausted::Probes));
+        assert_eq!(oracle.probe(1, &j), Probe::Exhausted(Exhausted::Probes), "sticky");
+        assert!(matches!(
+            oracle.is_alive(0, &j),
+            Err(KwError::BudgetExhausted(Exhausted::Probes))
+        ));
+        assert!(matches!(
+            oracle.sample(&j, 3),
+            Err(KwError::BudgetExhausted(Exhausted::Probes))
+        ));
+        assert_eq!(oracle.queries(), 0, "nothing executed");
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.budget_exhausted, 1, "tripped exactly once");
+        assert_eq!(oracle.exhausted(), Some(Exhausted::Probes));
+    }
+
+    #[test]
+    fn probe_budget_allows_exactly_n_probes() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_budget(ProbeBudget::probes(2));
+        let j = mtn_jnts();
+        assert!(matches!(oracle.probe(0, &j), Probe::Verdict(_)));
+        assert!(matches!(oracle.probe(1, &j), Probe::Verdict(_)));
+        assert!(matches!(oracle.probe(2, &j), Probe::Exhausted(Exhausted::Probes)));
+        assert_eq!(oracle.queries(), 2);
+    }
+
+    #[test]
+    fn memo_hits_are_free_under_exhausted_budget() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, true)
+                .with_budget(ProbeBudget::probes(1));
+        let j = mtn_jnts();
+        assert!(matches!(oracle.probe(7, &j), Probe::Verdict(true)));
+        assert!(matches!(oracle.probe(8, &j), Probe::Exhausted(_)));
+        // The memoized node still answers after exhaustion.
+        assert!(matches!(oracle.probe(7, &j), Probe::Verdict(true)));
+        assert_eq!(oracle.memo_hits(), 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_chaos(FaultConfig { fail_first_transient: 2, ..FaultConfig::quiet(3) })
+                .with_retry(RetryPolicy::immediate(3));
+        let j = mtn_jnts();
+        assert!(oracle.is_alive(0, &j).unwrap(), "retries get through the warm-up faults");
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.faults_injected, 2);
+        assert_eq!(snap.probes_abandoned, 0);
+        assert_eq!(snap.probes_executed, oracle.queries(), "faulted attempts never count");
+        assert_eq!(oracle.queries(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_the_node() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_chaos(FaultConfig { fail_first_transient: 10, ..FaultConfig::quiet(3) })
+                .with_retry(RetryPolicy::immediate(2));
+        let j = mtn_jnts();
+        match oracle.probe(0, &j) {
+            Probe::NodeFailed(e) => assert!(e.is_transient()),
+            other => panic!("expected NodeFailed, got {other:?}"),
+        }
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.faults_injected, 3, "initial attempt + two retries all faulted");
+        assert_eq!(snap.probes_abandoned, 1);
+        assert_eq!(oracle.queries(), 0);
+        // The next probe draws fresh (but still failing) attempts.
+        assert!(matches!(oracle.probe(1, &j), Probe::NodeFailed(_)));
+    }
+
+    #[test]
+    fn permanent_faults_never_retry() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_chaos(FaultConfig {
+                    permanent_per_mille: 1000,
+                    ..FaultConfig::quiet(5)
+                })
+                .with_retry(RetryPolicy::immediate(5));
+        match oracle.probe(0, &mtn_jnts()) {
+            Probe::NodeFailed(e) => assert!(!e.is_transient() && e.is_fault()),
+            other => panic!("expected NodeFailed, got {other:?}"),
+        }
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.retries, 0, "permanent failures are not retried");
+        assert_eq!(snap.probes_abandoned, 1);
+    }
+
+    #[test]
+    fn deadline_trips_and_sticks() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_budget(ProbeBudget::default().with_deadline(Duration::ZERO));
+        assert!(matches!(
+            oracle.probe(0, &mtn_jnts()),
+            Probe::Exhausted(Exhausted::Deadline)
+        ));
+        assert_eq!(oracle.exhausted(), Some(Exhausted::Deadline));
+        // reset_stats clears the trip so a new window can start.
+        oracle.reset_stats();
+        assert_eq!(oracle.exhausted(), None);
+    }
+
+    #[test]
+    fn tuple_cap_trips_after_scanning() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let mut oracle =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_budget(ProbeBudget::default().with_max_tuples(1));
+        let j = mtn_jnts();
+        assert!(matches!(oracle.probe(0, &j), Probe::Verdict(_)), "first probe runs");
+        assert!(matches!(oracle.probe(1, &j), Probe::Exhausted(Exhausted::Tuples)));
+    }
+
+    #[test]
+    fn quiet_chaos_is_transparent() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let j = mtn_jnts();
+        let mut plain =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false);
+        let mut chaotic =
+            AlivenessOracle::new(&db, Some(&idx), &m.interpretations[0], &m.keywords, false)
+                .with_chaos(FaultConfig::quiet(99));
+        assert_eq!(
+            plain.is_alive(0, &j).unwrap(),
+            chaotic.is_alive(0, &j).unwrap(),
+            "a quiet schedule changes nothing"
+        );
+        assert_eq!(plain.queries(), chaotic.queries());
+        assert_eq!(chaotic.fault_stats().unwrap().faults(), 0);
+        assert!(plain.fault_stats().is_none());
     }
 }

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::budget::Exhausted;
 use crate::metrics::{PhaseTiming, ProbeCounters};
 use crate::prune::PruneStats;
 
@@ -28,8 +29,14 @@ pub struct QueryInfo {
 pub struct NonAnswerInfo {
     /// The non-answer query itself.
     pub query: QueryInfo,
-    /// Its maximal partially alive sub-queries — the frontier cause.
+    /// Its maximal partially alive sub-queries — the frontier cause. On a
+    /// degraded run these are the *confirmed* MPANs (a sound lower bound).
     pub mpans: Vec<QueryInfo>,
+    /// Additional *possible* MPANs a degraded run could not confirm or rule
+    /// out (not known dead, no in-cone parent known alive); together with
+    /// [`NonAnswerInfo::mpans`] a sound upper bound on the true frontier.
+    /// Always empty on a complete run.
+    pub possible_mpans: Vec<QueryInfo>,
 }
 
 /// Results for one interpretation of the keyword query.
@@ -41,6 +48,12 @@ pub struct InterpretationOutcome {
     pub answers: Vec<QueryInfo>,
     /// Dead candidate networks with their MPANs.
     pub non_answers: Vec<NonAnswerInfo>,
+    /// Candidate networks a degraded run could not classify (budget
+    /// exhaustion or abandoned probes); always empty on a complete run.
+    pub unknown: Vec<QueryInfo>,
+    /// Why probing stopped early, if a budget cap tripped during this
+    /// interpretation's traversal.
+    pub budget_exhausted: Option<Exhausted>,
     /// Phase 1/2 statistics.
     pub prune_stats: PruneStats,
     /// SQL queries executed by the Phase-3 traversal.
@@ -84,13 +97,37 @@ impl DebugReport {
         self.interpretations.iter().map(|i| i.non_answers.len()).sum()
     }
 
-    /// Total MPANs reported across all non-answers.
+    /// Total confirmed MPANs reported across all non-answers.
     pub fn mpan_count(&self) -> usize {
         self.interpretations
             .iter()
             .flat_map(|i| i.non_answers.iter())
             .map(|n| n.mpans.len())
             .sum()
+    }
+
+    /// Total unconfirmed (possible) MPANs across all non-answers; 0 on a
+    /// complete run.
+    pub fn possible_mpan_count(&self) -> usize {
+        self.interpretations
+            .iter()
+            .flat_map(|i| i.non_answers.iter())
+            .map(|n| n.possible_mpans.len())
+            .sum()
+    }
+
+    /// Total candidate networks left unclassified across interpretations;
+    /// 0 on a complete run.
+    pub fn unknown_count(&self) -> usize {
+        self.interpretations.iter().map(|i| i.unknown.len()).sum()
+    }
+
+    /// Whether every interpretation ran to completion: nothing unknown, no
+    /// unconfirmed MPANs, no tripped budget. Always true on the happy path.
+    pub fn is_complete(&self) -> bool {
+        self.unknown_count() == 0
+            && self.possible_mpan_count() == 0
+            && self.interpretations.iter().all(|i| i.budget_exhausted.is_none())
     }
 
     /// Total SQL queries executed across interpretations.
@@ -153,6 +190,19 @@ impl fmt::Display for DebugReport {
                         writeln!(f, "           e.g. {t}")?;
                     }
                 }
+                for m in &n.possible_mpans {
+                    writeln!(
+                        f,
+                        "    possibly-max alive sub-query (level {}): {}",
+                        m.level, m.sql
+                    )?;
+                }
+            }
+            for u in &interp.unknown {
+                writeln!(f, "  UNKNOWN (level {}) {}", u.level, u.sql)?;
+            }
+            if let Some(why) = interp.budget_exhausted {
+                writeln!(f, "  (partial result: probe budget exhausted — {why})")?;
             }
         }
         Ok(())
@@ -183,7 +233,10 @@ mod tests {
                         QueryInfo { sql: "SUB1".into(), level: 2, sample_tuples: vec![] },
                         QueryInfo { sql: "SUB2".into(), level: 1, sample_tuples: vec![] },
                     ],
+                    possible_mpans: vec![],
                 }],
+                unknown: vec![],
+                budget_exhausted: None,
                 prune_stats: PruneStats::default(),
                 sql_queries: 7,
                 sql_time: Duration::from_millis(3),
@@ -232,6 +285,37 @@ mod tests {
         assert!(text.contains("not found anywhere"));
         assert!(text.contains("zanzibar"));
         assert!(!text.contains("interpretation #1"));
+    }
+
+    #[test]
+    fn degraded_sections_render_only_when_present() {
+        let mut r = sample_report();
+        assert!(r.is_complete());
+        let text = r.to_string();
+        assert!(!text.contains("UNKNOWN"), "complete reports show no degraded lines");
+        assert!(!text.contains("possibly-max"));
+        assert!(!text.contains("budget exhausted"));
+
+        r.interpretations[0]
+            .unknown
+            .push(QueryInfo { sql: "U".into(), level: 3, sample_tuples: vec![] });
+        r.interpretations[0].non_answers[0]
+            .possible_mpans
+            .push(QueryInfo { sql: "P".into(), level: 2, sample_tuples: vec![] });
+        r.interpretations[0].budget_exhausted = Some(Exhausted::Probes);
+        assert!(!r.is_complete());
+        assert_eq!(r.unknown_count(), 1);
+        assert_eq!(r.possible_mpan_count(), 1);
+
+        let text = r.to_string();
+        assert!(text.contains("UNKNOWN (level 3) U"));
+        assert!(text.contains("possibly-max alive sub-query (level 2): P"));
+        assert!(text.contains("max probes reached"));
+
+        let md = r.to_markdown();
+        assert!(md.contains("❓ **unknown** (level 3): `U`"));
+        assert!(md.contains("possibly still works (level 2): `P`"));
+        assert!(md.contains("Partial result: probe budget exhausted"));
     }
 }
 
@@ -283,6 +367,19 @@ impl DebugReport {
                         m.level, m.sql
                     );
                 }
+                for m in &n.possible_mpans {
+                    let _ = writeln!(
+                        md,
+                        "  - possibly still works (level {}): `{}`",
+                        m.level, m.sql
+                    );
+                }
+            }
+            for u in &interp.unknown {
+                let _ = writeln!(md, "- ❓ **unknown** (level {}): `{}`", u.level, u.sql);
+            }
+            if let Some(why) = interp.budget_exhausted {
+                let _ = writeln!(md, "\n_Partial result: probe budget exhausted ({why})._");
             }
             let _ = writeln!(md);
         }
@@ -311,7 +408,10 @@ mod markdown_tests {
                 non_answers: vec![NonAnswerInfo {
                     query: QueryInfo { sql: "D".into(), level: 3, sample_tuples: vec![] },
                     mpans: vec![QueryInfo { sql: "M".into(), level: 1, sample_tuples: vec![] }],
+                    possible_mpans: vec![],
                 }],
+                unknown: vec![],
+                budget_exhausted: None,
                 prune_stats: PruneStats::default(),
                 sql_queries: 4,
                 sql_time: Duration::from_millis(1),

@@ -27,19 +27,43 @@
 //! [`DebugSession::outcome`] reports them through the same
 //! [`crate::metrics::ProbeCounters`] block the batch traversals use, so a
 //! stepped exploration and a batch run are directly comparable.
+//!
+//! Sessions inherit the oracle's robustness layer: a step against a budgeted
+//! or chaos-wrapped oracle can come back [`StepOutcome::Abandoned`] (node
+//! excluded from further suggestions) or [`StepOutcome::Exhausted`] (probing
+//! over), and [`DebugSession::partial_outcome`] extracts whatever was
+//! established so far as a partial [`TraversalOutcome`].
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::metrics::ProbeCounters;
-use crate::oracle::AlivenessOracle;
+use crate::oracle::{AlivenessOracle, Probe};
 use crate::prune::PrunedLattice;
-use crate::traversal::{extract_mpans, Status, TraversalOutcome};
+use crate::traversal::{outcome_from_global_status, Status, TraversalOutcome};
+
+/// The result of one interactive [`DebugSession::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The suggested node's SQL was executed and the verdict recorded.
+    Probed(usize, bool),
+    /// The suggested node's probe failed permanently; the node stays unknown
+    /// and is excluded from future suggestions.
+    Abandoned(usize),
+    /// The oracle's probe budget tripped; no further probing is possible
+    /// (assertions still are — see [`DebugSession::partial_outcome`]).
+    Exhausted,
+    /// Nothing left to probe: the session is complete, or every remaining
+    /// unknown node was abandoned.
+    Done,
+}
 
 /// A stateful, steppable Phase-3 exploration.
 pub struct DebugSession<'a> {
     lattice: &'a Lattice,
     pruned: PrunedLattice,
     status: Vec<Status>,
+    /// Nodes whose probe failed permanently; never suggested again.
+    abandoned: Vec<bool>,
     /// Static MTN-coverage weight per node (see the SBH module docs).
     weight: Vec<i64>,
     /// Aliveness prior used to rank suggestions.
@@ -67,6 +91,7 @@ impl<'a> DebugSession<'a> {
             lattice,
             pruned,
             status: vec![Status::Unknown; len],
+            abandoned: vec![false; len],
             weight,
             pa,
             executed: 0,
@@ -117,12 +142,17 @@ impl<'a> DebugSession<'a> {
         self.unknown_count() == 0
     }
 
+    /// Number of nodes abandoned after permanent probe failures.
+    pub fn abandoned_count(&self) -> usize {
+        self.abandoned.iter().filter(|&&x| x).count()
+    }
+
     /// The most informative unknown node under the SBH score, or `None` when
-    /// the session is complete.
+    /// the session is complete (abandoned nodes are never suggested).
     pub fn suggestion(&self) -> Option<usize> {
         let mut best: Option<(f64, usize)> = None;
         for n in 0..self.pruned.len() {
-            if self.status[n] != Status::Unknown {
+            if self.status[n] != Status::Unknown || self.abandoned[n] {
                 continue;
             }
             let a: i64 = self
@@ -147,27 +177,40 @@ impl<'a> DebugSession<'a> {
         best.map(|(_, n)| n)
     }
 
-    /// Executes the suggestion's SQL through `oracle`; returns the node and
-    /// its verdict, or `None` if the session was already complete.
-    pub fn step(
-        &mut self,
-        oracle: &mut AlivenessOracle<'_>,
-    ) -> Result<Option<(usize, bool)>, KwError> {
-        let Some(n) = self.suggestion() else { return Ok(None) };
-        let alive =
-            oracle.is_alive(self.pruned.lattice_id(n), self.pruned.jnts(self.lattice, n))?;
-        self.executed += 1;
-        self.record(n, alive)?;
-        Ok(Some((n, alive)))
+    /// Probes the suggestion's SQL through `oracle`. Degrades rather than
+    /// erroring on injected faults or budget exhaustion — only genuine bugs
+    /// (invalid plans, contradictions) surface as `Err`.
+    pub fn step(&mut self, oracle: &mut AlivenessOracle<'_>) -> Result<StepOutcome, KwError> {
+        let Some(n) = self.suggestion() else { return Ok(StepOutcome::Done) };
+        match oracle.probe(self.pruned.lattice_id(n), self.pruned.jnts(self.lattice, n)) {
+            Probe::Verdict(alive) => {
+                self.executed += 1;
+                self.record(n, alive)?;
+                Ok(StepOutcome::Probed(n, alive))
+            }
+            Probe::NodeFailed(e) if e.is_fault() => {
+                self.abandoned[n] = true;
+                Ok(StepOutcome::Abandoned(n))
+            }
+            Probe::NodeFailed(e) => Err(e.into()),
+            Probe::Exhausted(_) => Ok(StepOutcome::Exhausted),
+        }
     }
 
-    /// Runs [`DebugSession::step`] until complete.
+    /// Runs [`DebugSession::step`] until nothing more can be probed: the
+    /// session is complete, every remaining node was abandoned, or the
+    /// oracle's budget tripped. Check [`DebugSession::is_complete`] (or take
+    /// [`DebugSession::partial_outcome`]) afterwards.
     pub fn run_to_completion(
         &mut self,
         oracle: &mut AlivenessOracle<'_>,
     ) -> Result<(), KwError> {
-        while self.step(oracle)?.is_some() {}
-        Ok(())
+        loop {
+            match self.step(oracle)? {
+                StepOutcome::Probed(..) | StepOutcome::Abandoned(_) => {}
+                StepOutcome::Exhausted | StepOutcome::Done => return Ok(()),
+            }
+        }
     }
 
     /// Injects an external "this sub-query has results" verdict.
@@ -187,8 +230,11 @@ impl<'a> DebugSession<'a> {
                 self.pruned.len()
             )));
         }
+        // Record first: a rejected contradiction must not count as injected
+        // (or otherwise disturb the session's state).
+        self.record(n, alive)?;
         self.injected += 1;
-        self.record(n, alive)
+        Ok(())
     }
 
     /// Records a verdict and propagates R1/R2; rejects contradictions.
@@ -234,32 +280,33 @@ impl<'a> DebugSession<'a> {
         if !self.is_complete() {
             return None;
         }
-        let mut alive_mtns = Vec::new();
-        let mut dead_mtns = Vec::new();
-        let mut mpans = Vec::new();
-        for &m in self.pruned.mtns() {
-            match self.status[m] {
-                Status::Alive => alive_mtns.push(m),
-                Status::Dead => {
-                    dead_mtns.push(m);
-                    mpans.push(extract_mpans(&self.pruned, &self.status, m));
-                }
-                Status::Unknown => return None,
-            }
-        }
-        Some(TraversalOutcome {
-            alive_mtns,
-            dead_mtns,
-            mpans,
+        Some(self.partial_outcome())
+    }
+
+    /// Extracts whatever classification the session has established so far,
+    /// complete or not: unclassified MTNs land in
+    /// [`TraversalOutcome::unknown_mtns`] and dead MTNs report their MPAN
+    /// frontier as confirmed/possible bounds. On a complete session this is
+    /// exactly [`DebugSession::outcome`].
+    pub fn partial_outcome(&self) -> TraversalOutcome {
+        let classified = outcome_from_global_status(&self.pruned, &self.status);
+        TraversalOutcome {
+            alive_mtns: classified.alive_mtns,
+            dead_mtns: classified.dead_mtns,
+            mpans: classified.mpans,
+            possible_mpans: classified.possible_mpans,
+            unknown_mtns: classified.unknown_mtns,
+            exhausted: None,
             sql_queries: self.executed,
             sql_time: std::time::Duration::ZERO,
             probes: ProbeCounters {
                 probes_executed: self.executed,
                 r1_inferences: self.r1_inferred,
                 r2_inferences: self.r2_inferred,
+                probes_abandoned: self.abandoned_count() as u64,
                 ..ProbeCounters::default()
             },
-        })
+        }
     }
 }
 
@@ -405,11 +452,115 @@ mod tests {
         assert!(session.suggestion().is_some());
         let mut oracle =
             AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
-        let (n, alive) = session.step(&mut oracle).expect("runs").expect("stepped");
+        let StepOutcome::Probed(n, alive) = session.step(&mut oracle).expect("runs") else {
+            panic!("first step must probe");
+        };
         assert_eq!(session.status(n), if alive { Status::Alive } else { Status::Dead });
         assert!(session.unknown_count() < total);
         session.run_to_completion(&mut oracle).expect("runs");
-        assert!(session.step(&mut oracle).expect("runs").is_none());
+        assert!(session.is_complete());
+        assert_eq!(session.step(&mut oracle).expect("runs"), StepOutcome::Done);
         assert!(session.pruned().len() == total);
+        assert_eq!(session.abandoned_count(), 0);
+    }
+
+    #[test]
+    fn rejected_assertions_leave_state_untouched() {
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mtn = pruned.mtns()[0];
+        let child = pruned.children(mtn)[0];
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        session.assert_dead(child).expect("first verdict fine");
+
+        let statuses_before: Vec<Status> = session.statuses().to_vec();
+        let injected_before = session.injected();
+        let inferred_before = session.inferred();
+        let suggestion_before = session.suggestion();
+
+        let err = session.assert_alive(mtn).expect_err("contradiction");
+        assert!(matches!(err, KwError::ConflictingVerdict(_)), "{err}");
+
+        assert_eq!(session.statuses(), statuses_before.as_slice(), "statuses intact");
+        assert_eq!(session.injected(), injected_before, "rejection not counted");
+        assert_eq!(session.inferred(), inferred_before, "no phantom inference");
+        assert_eq!(session.suggestion(), suggestion_before, "suggestion unchanged");
+
+        // The session still works: it runs to the same completion as if the
+        // contradiction had never been attempted.
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        session.run_to_completion(&mut oracle).expect("session runs");
+        let out = session.outcome().expect("complete");
+        assert_eq!(out.dead_mtns.len(), 1);
+    }
+
+    #[test]
+    fn contradiction_with_executed_verdict_rejected_cleanly() {
+        let f = fix("red candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false);
+        session.run_to_completion(&mut oracle).expect("session runs");
+        assert!(session.is_complete());
+        // Every node is classified; find one alive node and contradict it.
+        let alive_node = (0..session.pruned().len())
+            .find(|&n| session.status(n) == Status::Alive)
+            .expect("red candle has alive nodes");
+        let statuses_before: Vec<Status> = session.statuses().to_vec();
+        let err = session.assert_dead(alive_node).expect_err("contradiction");
+        assert!(matches!(err, KwError::ConflictingVerdict(_)), "{err}");
+        assert_eq!(session.statuses(), statuses_before.as_slice());
+        // A redundant consistent assertion is still accepted and free.
+        session.assert_alive(alive_node).expect("consistent verdict");
+        assert_eq!(session.outcome().expect("complete").dead_mtns.len(), 0);
+    }
+
+    #[test]
+    fn session_degrades_under_permanent_faults() {
+        use relengine::FaultConfig;
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let total = pruned.len();
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        // Every probe fails permanently: each step abandons one node until
+        // nothing is pickable; the session never errors and never completes.
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false)
+                .with_chaos(FaultConfig {
+                    permanent_per_mille: 1000,
+                    ..FaultConfig::quiet(11)
+                });
+        session.run_to_completion(&mut oracle).expect("degrades, not errors");
+        assert!(!session.is_complete());
+        assert_eq!(session.abandoned_count(), total);
+        assert_eq!(session.executed(), 0);
+        let partial = session.partial_outcome();
+        assert_eq!(partial.unknown_mtns.len(), 1, "the MTN is unknown");
+        assert!(partial.alive_mtns.is_empty() && partial.dead_mtns.is_empty());
+        assert_eq!(partial.probes.probes_abandoned, total as u64);
+        assert!(session.outcome().is_none());
+        // Assertions still work after probing gave up.
+        session.assert_dead(session.pruned().mtns()[0]).expect("assertion fine");
+        assert_eq!(session.partial_outcome().dead_mtns.len(), 1);
+    }
+
+    #[test]
+    fn session_stops_on_budget_exhaustion() {
+        use crate::budget::ProbeBudget;
+        let f = fix("blue candle");
+        let pruned = PrunedLattice::build(&f.lattice, &f.interp);
+        let mut session = DebugSession::new(&f.lattice, pruned, 0.5);
+        let mut oracle =
+            AlivenessOracle::new(&f.db, Some(&f.index), &f.interp, &f.keywords, false)
+                .with_budget(ProbeBudget::probes(2));
+        assert!(matches!(session.step(&mut oracle).expect("runs"), StepOutcome::Probed(..)));
+        assert!(matches!(session.step(&mut oracle).expect("runs"), StepOutcome::Probed(..)));
+        assert_eq!(session.step(&mut oracle).expect("runs"), StepOutcome::Exhausted);
+        assert_eq!(session.executed(), 2);
+        // run_to_completion returns immediately on a tripped budget.
+        session.run_to_completion(&mut oracle).expect("returns");
+        assert_eq!(session.executed(), 2);
     }
 }

@@ -7,15 +7,16 @@
 //! tests), differing only in query count. Accordingly it records no
 //! `r1_inferences`, `r2_inferences` or `reuse_hits` — its probe count *is*
 //! the pruned sub-lattice size.
+//!
+//! Degraded mode: an abandoned node simply stays unknown; budget exhaustion
+//! stops the scan and everything unvisited stays unknown.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, outcome_from_global_status, Status};
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
 
 pub(super) fn run(
     lattice: &Lattice,
@@ -24,7 +25,13 @@ pub(super) fn run(
 ) -> Result<Classified, KwError> {
     let mut status = vec![Status::Unknown; pruned.len()];
     for (n, s) in status.iter_mut().enumerate() {
-        *s = if execute(lattice, pruned, oracle, n)? { Status::Alive } else { Status::Dead };
+        match probe(lattice, pruned, oracle, n)? {
+            ProbeOutcome::Verdict(alive) => {
+                *s = if alive { Status::Alive } else { Status::Dead };
+            }
+            ProbeOutcome::Abandoned => continue,
+            ProbeOutcome::Exhausted => break,
+        }
     }
     Ok(outcome_from_global_status(pruned, &status))
 }

@@ -13,25 +13,31 @@
 //! nothing across MTNs); each ancestor newly killed by R2 is one
 //! `r2_inferences`. BU never fires R1: ascending order classifies every
 //! descendant before its ancestor.
+//!
+//! Degraded mode: an abandoned probe leaves its node unknown and the sweep
+//! continues (R2 may still classify the MTN from other nodes); budget
+//! exhaustion finishes the current MTN from whatever statuses it has, then
+//! files all remaining MTNs as unknown.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, extract_mpans, Status};
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+use super::{probe, Classified, ProbeOutcome, Status};
 
 pub(super) fn run(
     lattice: &Lattice,
     pruned: &PrunedLattice,
     oracle: &mut AlivenessOracle<'_>,
 ) -> Result<Classified, KwError> {
-    let mut alive_mtns = Vec::new();
-    let mut dead_mtns = Vec::new();
-    let mut mpans = Vec::new();
-    for &m in pruned.mtns() {
+    let mut classified = Classified::default();
+    let mut exhausted = false;
+    for (i, &m) in pruned.mtns().iter().enumerate() {
+        if exhausted {
+            classified.unknown_mtns.extend(pruned.mtns()[i..].iter().copied());
+            break;
+        }
         let mut status = vec![Status::Unknown; pruned.len()];
         // desc_plus is ascending in dense index = ascending in level.
         for &n in pruned.desc_plus(m) {
@@ -39,30 +45,27 @@ pub(super) fn run(
                 oracle.metrics().reuse_hits.incr();
                 continue;
             }
-            if execute(lattice, pruned, oracle, n)? {
-                status[n] = Status::Alive;
-            } else {
-                // R2: every ancestor of a dead node is dead.
-                let mut inferred = 0;
-                for &a in pruned.asc_plus(n) {
-                    if a != n && status[a] == Status::Unknown {
-                        inferred += 1;
+            match probe(lattice, pruned, oracle, n)? {
+                ProbeOutcome::Verdict(true) => status[n] = Status::Alive,
+                ProbeOutcome::Verdict(false) => {
+                    // R2: every ancestor of a dead node is dead.
+                    let mut inferred = 0;
+                    for &a in pruned.asc_plus(n) {
+                        if a != n && status[a] == Status::Unknown {
+                            inferred += 1;
+                        }
+                        status[a] = Status::Dead;
                     }
-                    status[a] = Status::Dead;
+                    oracle.metrics().r2_inferences.add(inferred);
                 }
-                oracle.metrics().r2_inferences.add(inferred);
+                ProbeOutcome::Abandoned => continue,
+                ProbeOutcome::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
             }
         }
-        match status[m] {
-            Status::Alive => alive_mtns.push(m),
-            Status::Dead => {
-                dead_mtns.push(m);
-                mpans.push(extract_mpans(pruned, &status, m));
-            }
-            Status::Unknown => {
-                return Err(KwError::Internal("BU left its MTN unclassified".into()))
-            }
-        }
+        classified.classify_mtn(pruned, &status, m);
     }
-    Ok((alive_mtns, dead_mtns, mpans))
+    Ok(classified)
 }

@@ -10,15 +10,19 @@
 //! shared status map already classified the node is one `reuse_hits` — the
 //! cross-MTN sharing Figure 13 quantifies — and each ancestor newly killed by
 //! R2 is one `r2_inferences`. Like BU, the ascending order never fires R1.
+//!
+//! Degraded mode: memoized verdicts are consulted first
+//! ([`AlivenessOracle::verdict_if_known`]) so cached nodes never touch the
+//! budget; abandoned probes stay unknown and the sweep continues; budget
+//! exhaustion stops the sweep and the partial status map yields the MTN
+//! classification and MPAN bounds.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, outcome_from_global_status, Status};
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
 
 pub(super) fn run(
     lattice: &Lattice,
@@ -34,17 +38,27 @@ pub(super) fn run(
             oracle.metrics().reuse_hits.incr();
             continue;
         }
-        if execute(lattice, pruned, oracle, n)? {
-            status[n] = Status::Alive;
-        } else {
-            let mut inferred = 0;
-            for &a in pruned.asc_plus(n) {
-                if a != n && status[a] == Status::Unknown {
-                    inferred += 1;
-                }
-                status[a] = Status::Dead;
+        let outcome = match oracle.verdict_if_known(pruned.lattice_id(n)) {
+            Some(alive) => {
+                oracle.metrics().memo_hits.incr();
+                ProbeOutcome::Verdict(alive)
             }
-            oracle.metrics().r2_inferences.add(inferred);
+            None => probe(lattice, pruned, oracle, n)?,
+        };
+        match outcome {
+            ProbeOutcome::Verdict(true) => status[n] = Status::Alive,
+            ProbeOutcome::Verdict(false) => {
+                let mut inferred = 0;
+                for &a in pruned.asc_plus(n) {
+                    if a != n && status[a] == Status::Unknown {
+                        inferred += 1;
+                    }
+                    status[a] = Status::Dead;
+                }
+                oracle.metrics().r2_inferences.add(inferred);
+            }
+            ProbeOutcome::Abandoned => continue,
+            ProbeOutcome::Exhausted => break,
         }
     }
     Ok(outcome_from_global_status(pruned, &status))

@@ -32,6 +32,23 @@
 //! [`TraversalOutcome::probes`] — probes executed, R1/R2 inferences fired,
 //! and visits skipped on already-classified nodes (`reuse_hits`, the
 //! quantity Figure 13's reuse percentage predicts).
+//!
+//! ## Degraded mode
+//!
+//! When the oracle runs under a [`crate::budget::ProbeBudget`] or a fault
+//! injector, a probe can come back without a verdict: *abandoned* (this
+//! node failed permanently — skip it, keep traversing) or *exhausted* (the
+//! budget tripped — stop probing altogether). Strategies never error out in
+//! either case; they classify what they can and return a **partial**
+//! [`TraversalOutcome`]: unclassified MTNs land in
+//! [`TraversalOutcome::unknown_mtns`], and each dead MTN's MPAN frontier is
+//! reported as sound lower/upper bounds —
+//! [`TraversalOutcome::mpans`] holds *confirmed* MPANs (alive, every parent
+//! inside the cone known dead) while [`TraversalOutcome::possible_mpans`]
+//! holds the remaining candidates (not known dead, no in-cone parent known
+//! alive) that unresolved statuses kept from being confirmed or ruled out.
+//! On a complete run both `unknown_mtns` and every `possible_mpans` entry
+//! are empty and the outcome is exactly the happy-path one.
 
 mod brute;
 mod bu;
@@ -44,10 +61,11 @@ use std::time::Duration;
 
 pub use sbh::DEFAULT_PA;
 
+use crate::budget::Exhausted;
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::metrics::ProbeCounters;
-use crate::oracle::AlivenessOracle;
+use crate::oracle::{AlivenessOracle, Probe};
 use crate::prune::PrunedLattice;
 
 /// Selects a Phase-3 traversal strategy.
@@ -107,15 +125,29 @@ pub enum Status {
     Dead,
 }
 
-/// Result of a Phase-3 traversal.
+/// Result of a Phase-3 traversal; partial when probing was cut short.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraversalOutcome {
     /// Dense indices of MTNs classified alive (answer queries), ascending.
     pub alive_mtns: Vec<usize>,
     /// Dense indices of MTNs classified dead (non-answer queries), ascending.
     pub dead_mtns: Vec<usize>,
-    /// For each dead MTN (aligned with `dead_mtns`), its MPANs ascending.
+    /// For each dead MTN (aligned with `dead_mtns`), its *confirmed* MPANs
+    /// ascending: alive nodes all of whose parents inside the MTN's cone are
+    /// known dead. On a complete run this is the exact MPAN set (the sound
+    /// lower bound equals the truth).
     pub mpans: Vec<Vec<usize>>,
+    /// For each dead MTN (aligned with `dead_mtns`), *additional* possible
+    /// MPANs beyond [`TraversalOutcome::mpans`]: nodes not known dead with
+    /// no in-cone parent known alive, whose frontier membership could not be
+    /// settled. `mpans[i] ∪ possible_mpans[i]` is a sound upper bound on the
+    /// true frontier; every entry is empty on a complete run.
+    pub possible_mpans: Vec<Vec<usize>>,
+    /// MTNs left unclassified by budget exhaustion or abandoned probes,
+    /// ascending; empty on a complete run.
+    pub unknown_mtns: Vec<usize>,
+    /// Why probing stopped early, if a budget cap tripped.
+    pub exhausted: Option<Exhausted>,
     /// SQL queries executed by this traversal.
     pub sql_queries: u64,
     /// Wall-clock time spent executing SQL.
@@ -127,18 +159,24 @@ pub struct TraversalOutcome {
 }
 
 impl TraversalOutcome {
-    /// Total number of MPANs across all dead MTNs (with duplicates, as each
-    /// dead MTN reports its own frontier).
+    /// Total number of confirmed MPANs across all dead MTNs (with
+    /// duplicates, as each dead MTN reports its own frontier).
     pub fn mpan_total(&self) -> usize {
         self.mpans.iter().map(Vec::len).sum()
     }
 
-    /// Number of distinct MPAN nodes across all dead MTNs.
+    /// Number of distinct confirmed MPAN nodes across all dead MTNs.
     pub fn mpan_unique(&self) -> usize {
         let mut all: Vec<usize> = self.mpans.iter().flatten().copied().collect();
         all.sort_unstable();
         all.dedup();
         all.len()
+    }
+
+    /// Whether every MTN was classified and every MPAN frontier is exact
+    /// (always true on the happy path).
+    pub fn complete(&self) -> bool {
+        self.unknown_mtns.is_empty() && self.possible_mpans.iter().all(Vec::is_empty)
     }
 }
 
@@ -156,7 +194,7 @@ pub fn run(
     let q0 = oracle.stats().queries;
     let t0 = oracle.stats().total_time;
     let m0 = oracle.metrics().snapshot();
-    let (alive_mtns, dead_mtns, mpans) = match kind {
+    let classified = match kind {
         StrategyKind::BottomUp => bu::run(lattice, pruned, oracle)?,
         StrategyKind::TopDown => td::run(lattice, pruned, oracle)?,
         StrategyKind::BottomUpWithReuse => buwr::run(lattice, pruned, oracle)?,
@@ -165,23 +203,71 @@ pub fn run(
         StrategyKind::BruteForce => brute::run(lattice, pruned, oracle)?,
     };
     Ok(TraversalOutcome {
-        alive_mtns,
-        dead_mtns,
-        mpans,
+        alive_mtns: classified.alive_mtns,
+        dead_mtns: classified.dead_mtns,
+        mpans: classified.mpans,
+        possible_mpans: classified.possible_mpans,
+        unknown_mtns: classified.unknown_mtns,
+        exhausted: oracle.exhausted(),
         sql_queries: oracle.stats().queries - q0,
         sql_time: oracle.stats().total_time.saturating_sub(t0),
         probes: oracle.metrics().snapshot().delta(m0),
     })
 }
 
-/// Executes the SQL query of dense node `n` through the oracle.
-pub(crate) fn execute(
+/// The outcome of probing one dense node, as seen by a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProbeOutcome {
+    /// The node's aliveness is known.
+    Verdict(bool),
+    /// This node's probe failed permanently; skip it and keep traversing.
+    Abandoned,
+    /// The probe budget tripped; stop probing altogether.
+    Exhausted,
+}
+
+/// Probes the aliveness of dense node `n` through the oracle, translating
+/// degraded-mode outcomes for strategies. Injected faults degrade; any other
+/// engine error (an invalid plan — a bug) still propagates hard.
+pub(crate) fn probe(
     lattice: &Lattice,
     pruned: &PrunedLattice,
     oracle: &mut AlivenessOracle<'_>,
     n: usize,
-) -> Result<bool, KwError> {
-    oracle.is_alive(pruned.lattice_id(n), pruned.jnts(lattice, n))
+) -> Result<ProbeOutcome, KwError> {
+    match oracle.probe(pruned.lattice_id(n), pruned.jnts(lattice, n)) {
+        Probe::Verdict(alive) => Ok(ProbeOutcome::Verdict(alive)),
+        Probe::NodeFailed(e) if e.is_fault() => Ok(ProbeOutcome::Abandoned),
+        Probe::NodeFailed(e) => Err(e.into()),
+        Probe::Exhausted(_) => Ok(ProbeOutcome::Exhausted),
+    }
+}
+
+/// MTN classification collected by a strategy, including degraded-mode
+/// unknowns and MPAN bounds. [`run`] turns it into a [`TraversalOutcome`].
+#[derive(Debug, Default)]
+pub(crate) struct Classified {
+    pub alive_mtns: Vec<usize>,
+    pub dead_mtns: Vec<usize>,
+    pub mpans: Vec<Vec<usize>>,
+    pub possible_mpans: Vec<Vec<usize>>,
+    pub unknown_mtns: Vec<usize>,
+}
+
+impl Classified {
+    /// Files MTN `m` under its status, extracting MPAN bounds when dead.
+    pub(crate) fn classify_mtn(&mut self, pruned: &PrunedLattice, status: &[Status], m: usize) {
+        match status[m] {
+            Status::Alive => self.alive_mtns.push(m),
+            Status::Dead => {
+                let (confirmed, possible) = extract_mpan_bounds(pruned, status, m);
+                self.dead_mtns.push(m);
+                self.mpans.push(confirmed);
+                self.possible_mpans.push(possible);
+            }
+            Status::Unknown => self.unknown_mtns.push(m),
+        }
+    }
 }
 
 /// Extracts the MPANs of dead MTN `m` from complete statuses: alive strict
@@ -191,42 +277,63 @@ pub(crate) fn execute(
 /// were alive, rule R1 would make some parent on the connecting chain alive
 /// as well.
 pub(crate) fn extract_mpans(pruned: &PrunedLattice, status: &[Status], m: usize) -> Vec<usize> {
-    debug_assert_eq!(status[m], Status::Dead);
-    pruned
-        .desc_plus(m)
-        .iter()
-        .copied()
-        .filter(|&n| {
-            n != m
-                && status[n] == Status::Alive
-                && pruned
-                    .parents(n)
-                    .iter()
-                    .all(|&p| !pruned.is_desc_or_self(p, m) || status[p] == Status::Dead)
-        })
-        .collect()
+    extract_mpan_bounds(pruned, status, m).0
 }
 
-/// Splits the MTNs by status and extracts MPANs for the dead ones; shared by
-/// the global-status strategies.
-pub(crate) fn outcome_from_global_status(
+/// Extracts MPAN bounds of dead MTN `m` from possibly-partial statuses:
+/// `(confirmed, possible)` where *confirmed* MPANs are known alive with
+/// every in-cone parent known dead (a sound lower bound — each one is a
+/// true MPAN) and *possible* MPANs are the further not-known-dead nodes
+/// with no in-cone parent known alive. The union is a sound upper bound:
+/// a true MPAN is truly alive (so never classified dead) and its in-cone
+/// strict ancestors are truly dead (so never classified alive), hence it
+/// always lands in one of the two lists. On complete statuses `possible`
+/// is empty and `confirmed` is the exact frontier.
+pub(crate) fn extract_mpan_bounds(
     pruned: &PrunedLattice,
     status: &[Status],
-) -> (Vec<usize>, Vec<usize>, Vec<Vec<usize>>) {
-    let mut alive_mtns = Vec::new();
-    let mut dead_mtns = Vec::new();
-    let mut mpans = Vec::new();
-    for &m in pruned.mtns() {
-        match status[m] {
-            Status::Alive => alive_mtns.push(m),
-            Status::Dead => {
-                dead_mtns.push(m);
-                mpans.push(extract_mpans(pruned, status, m));
+    m: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    debug_assert_eq!(status[m], Status::Dead);
+    let mut confirmed = Vec::new();
+    let mut possible = Vec::new();
+    for &n in pruned.desc_plus(m) {
+        if n == m || status[n] == Status::Dead {
+            continue;
+        }
+        let mut all_dead = true;
+        let mut any_alive = false;
+        for &p in pruned.parents(n) {
+            if !pruned.is_desc_or_self(p, m) {
+                continue;
             }
-            Status::Unknown => unreachable!("traversal left MTN unclassified"),
+            match status[p] {
+                Status::Dead => {}
+                Status::Alive => {
+                    any_alive = true;
+                    all_dead = false;
+                }
+                Status::Unknown => all_dead = false,
+            }
+        }
+        if status[n] == Status::Alive && all_dead {
+            confirmed.push(n);
+        } else if !any_alive {
+            possible.push(n);
         }
     }
-    (alive_mtns, dead_mtns, mpans)
+    (confirmed, possible)
+}
+
+/// Splits the MTNs by status and extracts MPAN bounds for the dead ones;
+/// shared by the global-status strategies. Unknown MTNs are reported, not
+/// an error — a traversal cut short by the budget leaves some behind.
+pub(crate) fn outcome_from_global_status(pruned: &PrunedLattice, status: &[Status]) -> Classified {
+    let mut classified = Classified::default();
+    for &m in pruned.mtns() {
+        classified.classify_mtn(pruned, status, m);
+    }
+    classified
 }
 
 #[cfg(test)]

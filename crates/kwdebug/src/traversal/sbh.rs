@@ -32,18 +32,20 @@
 //! `r1_inferences` when the verdict was alive and `r2_inferences` when dead.
 //! SBH never revisits classified nodes — the greedy pick only considers
 //! unknowns — so its `reuse_hits` is always zero.
+//!
+//! Degraded mode: an abandoned node is flagged and excluded from the greedy
+//! pick (it stays unknown but is never re-probed, or the loop would spin);
+//! the traversal ends when the budget trips or no pickable node remains.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, outcome_from_global_status, Status};
+use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
 
 /// The aliveness prior the paper found to work well without estimation.
 pub const DEFAULT_PA: f64 = 0.5;
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
 
 pub(super) fn run(
     lattice: &Lattice,
@@ -53,6 +55,7 @@ pub(super) fn run(
 ) -> Result<Classified, KwError> {
     let len = pruned.len();
     let mut status = vec![Status::Unknown; len];
+    let mut abandoned = vec![false; len];
 
     // Static MTN-coverage weight of every node.
     let mut w = vec![0i64; len];
@@ -70,13 +73,13 @@ pub(super) fn run(
         b[n] = pruned.asc_plus(n).iter().map(|&x| w[x]).sum();
     }
 
-    let mut unknown = len;
-    while unknown > 0 {
-        // Greedy pick: maximal expected resolution. Ties break toward the
-        // lowest dense index (lowest level) for determinism.
+    loop {
+        // Greedy pick: maximal expected resolution among the pickable
+        // unknowns. Ties break toward the lowest dense index (lowest level)
+        // for determinism.
         let mut best: Option<(f64, usize)> = None;
         for n in 0..len {
-            if status[n] != Status::Unknown {
+            if status[n] != Status::Unknown || abandoned[n] {
                 continue;
             }
             let gain = pa * a[n] as f64 + (1.0 - pa) * b[n] as f64;
@@ -84,9 +87,16 @@ pub(super) fn run(
                 best = Some((gain, n));
             }
         }
-        let (_, n) = best.expect("unknown > 0 guarantees a candidate");
+        let Some((_, n)) = best else { break };
 
-        let alive = execute(lattice, pruned, oracle, n)?;
+        let alive = match probe(lattice, pruned, oracle, n)? {
+            ProbeOutcome::Verdict(alive) => alive,
+            ProbeOutcome::Abandoned => {
+                abandoned[n] = true;
+                continue;
+            }
+            ProbeOutcome::Exhausted => break,
+        };
         // Nodes resolved by this outcome (R1 downward or R2 upward).
         let resolved: Vec<usize> = if alive {
             pruned.desc_plus(n).iter().copied()
@@ -106,7 +116,6 @@ pub(super) fn run(
         let new_status = if alive { Status::Alive } else { Status::Dead };
         for &x in &resolved {
             status[x] = new_status;
-            unknown -= 1;
             // x leaves the unknown set: its weight no longer counts toward
             // any A (ancestors see x in their Desc+) or B (descendants see x
             // in their Asc+).

@@ -12,55 +12,57 @@
 //! already-classified node is one `reuse_hits` (within-MTN only); each
 //! descendant newly revived by R1 is one `r1_inferences`. TD never fires R2:
 //! descending order classifies every ancestor before its descendant.
+//!
+//! Degraded mode: an abandoned probe leaves its node unknown and the sweep
+//! continues; budget exhaustion finishes the current MTN from whatever
+//! statuses it has, then files all remaining MTNs as unknown.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, extract_mpans, Status};
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+use super::{probe, Classified, ProbeOutcome, Status};
 
 pub(super) fn run(
     lattice: &Lattice,
     pruned: &PrunedLattice,
     oracle: &mut AlivenessOracle<'_>,
 ) -> Result<Classified, KwError> {
-    let mut alive_mtns = Vec::new();
-    let mut dead_mtns = Vec::new();
-    let mut mpans = Vec::new();
-    for &m in pruned.mtns() {
+    let mut classified = Classified::default();
+    let mut exhausted = false;
+    for (i, &m) in pruned.mtns().iter().enumerate() {
+        if exhausted {
+            classified.unknown_mtns.extend(pruned.mtns()[i..].iter().copied());
+            break;
+        }
         let mut status = vec![Status::Unknown; pruned.len()];
         for &n in pruned.desc_plus(m).iter().rev() {
             if status[n] != Status::Unknown {
                 oracle.metrics().reuse_hits.incr();
                 continue;
             }
-            if execute(lattice, pruned, oracle, n)? {
-                // R1: every descendant of an alive node is alive.
-                let mut inferred = 0;
-                for &d in pruned.desc_plus(n) {
-                    if d != n && status[d] == Status::Unknown {
-                        inferred += 1;
+            match probe(lattice, pruned, oracle, n)? {
+                ProbeOutcome::Verdict(true) => {
+                    // R1: every descendant of an alive node is alive.
+                    let mut inferred = 0;
+                    for &d in pruned.desc_plus(n) {
+                        if d != n && status[d] == Status::Unknown {
+                            inferred += 1;
+                        }
+                        status[d] = Status::Alive;
                     }
-                    status[d] = Status::Alive;
+                    oracle.metrics().r1_inferences.add(inferred);
                 }
-                oracle.metrics().r1_inferences.add(inferred);
-            } else {
-                status[n] = Status::Dead;
+                ProbeOutcome::Verdict(false) => status[n] = Status::Dead,
+                ProbeOutcome::Abandoned => continue,
+                ProbeOutcome::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
             }
         }
-        match status[m] {
-            Status::Alive => alive_mtns.push(m),
-            Status::Dead => {
-                dead_mtns.push(m);
-                mpans.push(extract_mpans(pruned, &status, m));
-            }
-            Status::Unknown => {
-                return Err(KwError::Internal("TD left its MTN unclassified".into()))
-            }
-        }
+        classified.classify_mtn(pruned, &status, m);
     }
-    Ok((alive_mtns, dead_mtns, mpans))
+    Ok(classified)
 }

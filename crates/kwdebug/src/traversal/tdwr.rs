@@ -10,15 +10,19 @@
 //! shared status map already classified the node is one `reuse_hits`
 //! (cross-MTN sharing, Figure 13); each descendant newly revived by R1 is one
 //! `r1_inferences`. Like TD, the descending order never fires R2.
+//!
+//! Degraded mode: memoized verdicts are consulted first
+//! ([`AlivenessOracle::verdict_if_known`]) so cached nodes never touch the
+//! budget; abandoned probes stay unknown and the sweep continues; budget
+//! exhaustion stops the sweep and the partial status map yields the MTN
+//! classification and MPAN bounds.
 
 use crate::error::KwError;
 use crate::lattice::Lattice;
 use crate::oracle::AlivenessOracle;
 use crate::prune::PrunedLattice;
 
-use super::{execute, outcome_from_global_status, Status};
-
-type Classified = (Vec<usize>, Vec<usize>, Vec<Vec<usize>>);
+use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
 
 pub(super) fn run(
     lattice: &Lattice,
@@ -31,17 +35,27 @@ pub(super) fn run(
             oracle.metrics().reuse_hits.incr();
             continue;
         }
-        if execute(lattice, pruned, oracle, n)? {
-            let mut inferred = 0;
-            for &d in pruned.desc_plus(n) {
-                if d != n && status[d] == Status::Unknown {
-                    inferred += 1;
-                }
-                status[d] = Status::Alive;
+        let outcome = match oracle.verdict_if_known(pruned.lattice_id(n)) {
+            Some(alive) => {
+                oracle.metrics().memo_hits.incr();
+                ProbeOutcome::Verdict(alive)
             }
-            oracle.metrics().r1_inferences.add(inferred);
-        } else {
-            status[n] = Status::Dead;
+            None => probe(lattice, pruned, oracle, n)?,
+        };
+        match outcome {
+            ProbeOutcome::Verdict(true) => {
+                let mut inferred = 0;
+                for &d in pruned.desc_plus(n) {
+                    if d != n && status[d] == Status::Unknown {
+                        inferred += 1;
+                    }
+                    status[d] = Status::Alive;
+                }
+                oracle.metrics().r1_inferences.add(inferred);
+            }
+            ProbeOutcome::Verdict(false) => status[n] = Status::Dead,
+            ProbeOutcome::Abandoned => continue,
+            ProbeOutcome::Exhausted => break,
         }
     }
     Ok(outcome_from_global_status(pruned, &status))

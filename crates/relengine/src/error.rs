@@ -25,6 +25,33 @@ pub enum EngineError {
     InvalidPlan(String),
     /// A primary key value appeared twice.
     DuplicateKey { table: String, key: i64 },
+    /// A transient infrastructure failure (lost connection, timeout, an
+    /// injected chaos fault): the query did not run, but retrying the same
+    /// probe may succeed. The only variant for which
+    /// [`EngineError::is_transient`] returns `true`.
+    Transient(String),
+    /// A permanent execution failure: the query did not run and retrying
+    /// cannot help (e.g. an injected hard fault). Unlike the validation
+    /// variants above, this represents an environmental failure rather than
+    /// malformed input.
+    Failed(String),
+}
+
+impl EngineError {
+    /// Whether retrying the failed operation may succeed. Everything except
+    /// [`EngineError::Transient`] is permanent: validation errors are
+    /// deterministic and [`EngineError::Failed`] is a hard fault.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Transient(_))
+    }
+
+    /// Whether this error represents an execution-time fault (transient or
+    /// permanent) rather than a validation error — i.e. the query itself is
+    /// well-formed but the environment failed. Fault-tolerance layers use
+    /// this to separate "degrade gracefully" from "the caller has a bug".
+    pub fn is_fault(&self) -> bool {
+        matches!(self, EngineError::Transient(_) | EngineError::Failed(_))
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -48,6 +75,8 @@ impl fmt::Display for EngineError {
             EngineError::DuplicateKey { table, key } => {
                 write!(f, "duplicate primary key {key} in table `{table}`")
             }
+            EngineError::Transient(msg) => write!(f, "transient failure: {msg}"),
+            EngineError::Failed(msg) => write!(f, "execution failed: {msg}"),
         }
     }
 }
@@ -71,5 +100,24 @@ mod tests {
         assert!(EngineError::InvalidPlan("cycle".into()).to_string().contains("cycle"));
         let e: Box<dyn std::error::Error> = Box::new(EngineError::UnknownTable("x".into()));
         assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn taxonomy_splits_transient_from_permanent() {
+        let t = EngineError::Transient("socket reset".into());
+        assert!(t.is_transient());
+        assert!(t.is_fault());
+        assert!(t.to_string().contains("transient"));
+
+        let p = EngineError::Failed("disk gone".into());
+        assert!(!p.is_transient());
+        assert!(p.is_fault());
+        assert!(p.to_string().contains("failed"));
+
+        // Validation errors are permanent non-faults: retrying a malformed
+        // plan is pointless and the caller should see a hard error.
+        let v = EngineError::InvalidPlan("cycle".into());
+        assert!(!v.is_transient());
+        assert!(!v.is_fault());
     }
 }

@@ -55,12 +55,14 @@
 
 mod builder;
 mod catalog;
+pub mod chaos;
 mod csv;
 mod error;
 mod exec;
 mod explain;
 mod plan;
 mod predicate;
+pub mod rng;
 mod schema;
 mod sql;
 mod stats;
@@ -69,6 +71,7 @@ mod value;
 
 pub use builder::{DatabaseBuilder, TableBuilder};
 pub use catalog::{Database, ForeignKey, FkId, TableId};
+pub use chaos::{ChaosExecutor, FaultConfig, FaultDecision, FaultInjector, FaultStats};
 pub use csv::{dump_csv, load_csv};
 pub use error::EngineError;
 pub use exec::{Executor, MatchTuple};

@@ -19,7 +19,7 @@ use kws_nonanswer_debug::kwdebug::estimate::PaEstimator;
 use kws_nonanswer_debug::kwdebug::lattice::Lattice;
 use kws_nonanswer_debug::kwdebug::oracle::AlivenessOracle;
 use kws_nonanswer_debug::kwdebug::prune::PrunedLattice;
-use kws_nonanswer_debug::kwdebug::session::DebugSession;
+use kws_nonanswer_debug::kwdebug::session::{DebugSession, StepOutcome};
 use kws_nonanswer_debug::kwdebug::SchemaGraph;
 use kws_nonanswer_debug::textindex::InvertedIndex;
 
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Let the session drive the rest, narrating each suggestion.
-    while let Some((node, alive)) = session.step(&mut oracle)? {
+    while let StepOutcome::Probed(node, alive) = session.step(&mut oracle)? {
         let sql = oracle.sql(session.pruned().jnts(&lattice, node))?;
         println!("  executed [{}] {}", if alive { "ALIVE" } else { "DEAD " }, sql);
     }

@@ -1,0 +1,289 @@
+//! Soundness of degraded-mode traversal under injected faults and budgets.
+//!
+//! For random databases and keyword queries (same generator as
+//! `prop_traversal`), run every traversal strategy under deterministic fault
+//! injection and under tight probe budgets, and check the partial results
+//! against a clean brute-force ground truth:
+//!
+//! * every MTN a degraded run claims alive/dead really is alive/dead
+//!   (claims are sound; only `Unknown` may hide the truth);
+//! * the claimed MTN sets partition the MTNs (alive + dead + unknown);
+//! * every confirmed MPAN of a degraded run is a true MPAN of its dead MTN
+//!   (sound lower bound), and every true MPAN appears among the confirmed or
+//!   possible MPANs (`confirmed ∪ possible` is a sound upper bound);
+//! * fault rate 0 with an unlimited budget reproduces the clean outcome
+//!   exactly, counters included (modulo wall-clock time);
+//! * `probes_executed` equals the engine's own query counter even when
+//!   probes fail and retry; and
+//! * the same chaos seed yields byte-identical outcomes on repeat runs.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use datagen::rng::SplitMix64;
+use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::budget::ProbeBudget;
+use kwdebug::lattice::Lattice;
+use kwdebug::oracle::AlivenessOracle;
+use kwdebug::prune::PrunedLattice;
+use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
+use kwdebug::SchemaGraph;
+use relengine::{DataType, Database, DatabaseBuilder, FaultConfig, Value};
+use textindex::InvertedIndex;
+
+const WORDS: [&str; 6] = ["amber", "basil", "cedar", "dune", "ember", "fern"];
+
+/// Random store: tag(id, label), item(id, name, tag_id), link(item_a, item_b).
+fn build_db(
+    tags: &[(i64, u8)],
+    items: &[(i64, u8, u8, Option<i64>)],
+    links: &[(i64, i64)],
+) -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("tag")
+        .column("id", DataType::Int)
+        .column("label", DataType::Text)
+        .primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("tag_id", DataType::Int)
+        .primary_key("id");
+    b.table("link")
+        .column("item_a", DataType::Int)
+        .column("item_b", DataType::Int);
+    b.foreign_key("item", "tag_id", "tag", "id").expect("static");
+    b.foreign_key("link", "item_a", "item", "id").expect("static");
+    b.foreign_key("link", "item_b", "item", "id").expect("static");
+    let mut db = b.finish().expect("static");
+    for (i, (_, w)) in tags.iter().enumerate() {
+        db.insert_values(
+            "tag",
+            vec![Value::Int(i as i64 + 1), Value::text(WORDS[*w as usize % WORDS.len()])],
+        )
+        .expect("typed");
+    }
+    for (i, (_, w1, w2, tag)) in items.iter().enumerate() {
+        let name = format!(
+            "{} {}",
+            WORDS[*w1 as usize % WORDS.len()],
+            WORDS[*w2 as usize % WORDS.len()]
+        );
+        let tag_id = tag.map(|t| (t.unsigned_abs() as usize % tags.len().max(1)) as i64 + 1);
+        db.insert_values(
+            "item",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::text(name),
+                tag_id.filter(|_| !tags.is_empty()).map_or(Value::Null, Value::Int),
+            ],
+        )
+        .expect("typed");
+    }
+    for (a, b_) in links {
+        if items.is_empty() {
+            break;
+        }
+        let n = items.len() as i64;
+        db.insert_values(
+            "link",
+            vec![Value::Int(a.rem_euclid(n) + 1), Value::Int(b_.rem_euclid(n) + 1)],
+        )
+        .expect("typed");
+    }
+    db.finalize();
+    db
+}
+
+/// One random case: tags, items, links, two keywords, and a maxJoins.
+#[allow(clippy::type_complexity)]
+fn random_case(
+    rng: &mut SplitMix64,
+) -> (Vec<(i64, u8)>, Vec<(i64, u8, u8, Option<i64>)>, Vec<(i64, i64)>, usize, usize, usize) {
+    let tags: Vec<(i64, u8)> = (0..rng.gen_range(1..4usize))
+        .map(|_| (rng.gen_range(0i64..6), rng.below(6) as u8))
+        .collect();
+    let items: Vec<(i64, u8, u8, Option<i64>)> = (0..rng.gen_range(1..8usize))
+        .map(|_| {
+            (
+                rng.gen_range(0i64..8),
+                rng.below(6) as u8,
+                rng.below(6) as u8,
+                rng.gen_ratio(1, 2).then(|| rng.gen_range(0i64..8)),
+            )
+        })
+        .collect();
+    let links: Vec<(i64, i64)> = (0..rng.gen_range(0..6usize))
+        .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..8)))
+        .collect();
+    let kw1 = rng.gen_range(0..WORDS.len());
+    let kw2 = rng.gen_range(0..WORDS.len());
+    let max_joins = rng.gen_range(1..4usize);
+    (tags, items, links, kw1, kw2, max_joins)
+}
+
+/// A chaos config for one sweep point: moderately noisy, fully deterministic.
+fn chaos(seed: u64, transient: u32, permanent: u32) -> FaultConfig {
+    FaultConfig {
+        seed,
+        transient_per_mille: transient,
+        permanent_per_mille: permanent,
+        latency_per_mille: 0,
+        latency: Duration::ZERO,
+        fail_first_transient: 0,
+    }
+}
+
+/// Checks one degraded outcome against clean ground truth.
+fn assert_sound(
+    label: &str,
+    out: &TraversalOutcome,
+    reference: &TraversalOutcome,
+    pruned: &PrunedLattice,
+) {
+    // MTN partition: every MTN is claimed exactly once.
+    let claimed: Vec<usize> = out
+        .alive_mtns
+        .iter()
+        .chain(&out.dead_mtns)
+        .chain(&out.unknown_mtns)
+        .copied()
+        .collect();
+    let unique: HashSet<usize> = claimed.iter().copied().collect();
+    assert_eq!(claimed.len(), pruned.mtns().len(), "{label}: MTN partition size");
+    assert_eq!(unique.len(), claimed.len(), "{label}: MTN claimed twice");
+
+    // Soundness of claims against ground truth.
+    let truly_alive: HashSet<usize> = reference.alive_mtns.iter().copied().collect();
+    let truly_dead: HashSet<usize> = reference.dead_mtns.iter().copied().collect();
+    for &m in &out.alive_mtns {
+        assert!(truly_alive.contains(&m), "{label}: claimed-alive MTN {m} is dead");
+    }
+    for &m in &out.dead_mtns {
+        assert!(truly_dead.contains(&m), "{label}: claimed-dead MTN {m} is alive");
+    }
+    if out.complete() {
+        assert!(out.unknown_mtns.is_empty(), "{label}: complete run with unknowns");
+    }
+
+    // MPAN bounds: confirmed ⊆ true MPANs ⊆ confirmed ∪ possible for each
+    // dead MTN the degraded run claims.
+    for ((&m, confirmed), possible) in
+        out.dead_mtns.iter().zip(&out.mpans).zip(&out.possible_mpans)
+    {
+        let ri = reference.dead_mtns.iter().position(|&r| r == m).expect("claimed dead is dead");
+        let true_mpans: HashSet<usize> = reference.mpans[ri].iter().copied().collect();
+        for &p in confirmed {
+            assert!(true_mpans.contains(&p), "{label}: confirmed MPAN {p} of MTN {m} not a true MPAN");
+        }
+        for &p in possible {
+            assert!(p != m && pruned.is_desc_or_self(p, m), "{label}: possible MPAN outside cone");
+            assert!(!confirmed.contains(&p), "{label}: node {p} both confirmed and possible");
+        }
+        for &p in &true_mpans {
+            assert!(
+                confirmed.contains(&p) || possible.contains(&p),
+                "{label}: true MPAN {p} of MTN {m} escapes confirmed ∪ possible"
+            );
+        }
+        if out.complete() {
+            let got: HashSet<usize> = confirmed.iter().copied().collect();
+            assert_eq!(got, true_mpans, "{label}: complete run must report exact MPANs for MTN {m}");
+        }
+    }
+}
+
+#[test]
+fn degraded_runs_stay_sound_under_chaos_and_budgets() {
+    let mut rng = SplitMix64::seed_from_u64(0xC4A05);
+    for case in 0..12 {
+        let (tags, items, links, kw1, kw2, max_joins) = random_case(&mut rng);
+        let db = build_db(&tags, &items, &links);
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        let index = InvertedIndex::build(&db);
+        let text = format!("{} {}", WORDS[kw1], WORDS[kw2]);
+        let Ok(query) = KeywordQuery::parse(&text) else { continue };
+        let mapping = map_keywords(&query, &index);
+
+        for interp in &mapping.interpretations {
+            let pruned = PrunedLattice::build(&lattice, interp);
+            let mut oracle =
+                AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+            let reference =
+                traversal::run(StrategyKind::BruteForce, &lattice, &pruned, &mut oracle, 0.5)
+                    .expect("brute runs");
+
+            for kind in StrategyKind::ALL {
+                // Chaos sweep: transient-heavy and permanent-heavy mixes.
+                for (transient, permanent) in [(200, 0), (100, 100), (0, 300)] {
+                    let config = chaos(0xFA_0000 + case, transient, permanent);
+                    let mut oracle =
+                        AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false)
+                            .with_chaos(config);
+                    let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5)
+                        .expect("chaos degrades, never errors");
+                    let label = format!("case {case} {kind} chaos {transient}/{permanent}");
+                    assert_eq!(
+                        out.sql_queries,
+                        oracle.queries(),
+                        "{label}: probes_executed must track engine queries"
+                    );
+                    assert_sound(&label, &out, &reference, &pruned);
+
+                    // Determinism: the same seed replays byte-identically.
+                    let mut oracle2 =
+                        AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false)
+                            .with_chaos(config);
+                    let out2 = traversal::run(kind, &lattice, &pruned, &mut oracle2, 0.5)
+                        .expect("replay runs");
+                    assert_eq!(out.alive_mtns, out2.alive_mtns, "{label}: replay diverged");
+                    assert_eq!(out.dead_mtns, out2.dead_mtns, "{label}: replay diverged");
+                    assert_eq!(out.unknown_mtns, out2.unknown_mtns, "{label}: replay diverged");
+                    assert_eq!(out.mpans, out2.mpans, "{label}: replay diverged");
+                    assert_eq!(out.possible_mpans, out2.possible_mpans, "{label}: replay diverged");
+                }
+
+                // Budget sweep: 0, 1, and 3 probes per interpretation.
+                for cap in [0u64, 1, 3] {
+                    let mut oracle =
+                        AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false)
+                            .with_budget(ProbeBudget::probes(cap));
+                    let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5)
+                        .expect("budget exhaustion degrades, never errors");
+                    let label = format!("case {case} {kind} budget {cap}");
+                    assert!(
+                        out.sql_queries <= cap,
+                        "{label}: executed {} probes over the cap",
+                        out.sql_queries
+                    );
+                    assert_sound(&label, &out, &reference, &pruned);
+                }
+
+                // Quiet chaos + unlimited budget reproduces the clean run.
+                let mut clean =
+                    AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+                let base = traversal::run(kind, &lattice, &pruned, &mut clean, 0.5)
+                    .expect("clean runs");
+                let mut quiet =
+                    AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false)
+                        .with_chaos(chaos(9, 0, 0))
+                        .with_budget(ProbeBudget::unlimited());
+                let out = traversal::run(kind, &lattice, &pruned, &mut quiet, 0.5)
+                    .expect("quiet chaos runs");
+                let label = format!("case {case} {kind} quiet");
+                assert_eq!(out.alive_mtns, base.alive_mtns, "{label}");
+                assert_eq!(out.dead_mtns, base.dead_mtns, "{label}");
+                assert_eq!(out.mpans, base.mpans, "{label}");
+                assert!(out.possible_mpans.iter().all(Vec::is_empty), "{label}");
+                assert!(out.unknown_mtns.is_empty(), "{label}");
+                assert!(out.exhausted.is_none(), "{label}");
+                assert_eq!(out.sql_queries, base.sql_queries, "{label}");
+                let (mut a, mut b) = (out.probes, base.probes);
+                a.probe_time_ns = 0;
+                b.probe_time_ns = 0;
+                assert_eq!(a, b, "{label}: counters diverge under quiet chaos");
+            }
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //!    up in `reuse_hits`. This is the paper's Figure 13 mechanism in
 //!    miniature.
 //!
+//! 3. **Degraded runs keep the books.** A zero-probe budget yields an
+//!    all-Unknown partial outcome with zero probes on both sides of the
+//!    ledger, and a deadline tripping mid-traversal (forced by injected
+//!    probe latency) still leaves `probes_executed` equal to the engine's
+//!    `ExecStats::queries` — failed or refused attempts never count.
+//!
 //! The fixture is a citation-style schema with two parallel link tables
 //! (`pub` and `award`) between `author` and `venue`. Keywords bind to
 //! `author.name` and `venue.title`, so the level-3 pruned lattice has
@@ -23,13 +29,16 @@
 //! MTN and every level-2 node is dead and each traversal must descend to the
 //! shared singletons: BU/TD probe them once per MTN, BUWR/TDWR once total.
 
+use std::time::Duration;
+
 use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::budget::{Exhausted, ProbeBudget};
 use kwdebug::lattice::Lattice;
 use kwdebug::oracle::AlivenessOracle;
 use kwdebug::prune::PrunedLattice;
 use kwdebug::traversal::{self, StrategyKind, TraversalOutcome};
 use kwdebug::SchemaGraph;
-use relengine::{DataType, Database, DatabaseBuilder, Value};
+use relengine::{DataType, Database, DatabaseBuilder, FaultConfig, Value};
 use textindex::InvertedIndex;
 
 /// author(id, name) ←[pub|award]→ venue(id, title); both link tables empty.
@@ -134,5 +143,82 @@ fn with_reuse_strategies_probe_strictly_less() {
         assert_eq!(out.alive_mtns, bu.alive_mtns);
         assert_eq!(out.dead_mtns, bu.dead_mtns);
         assert_eq!(out.mpans, bu.mpans);
+    }
+}
+
+/// Like [`run_strategy`], but with a caller-configured oracle (budget/chaos).
+fn run_strategy_with(
+    kind: StrategyKind,
+    configure: impl FnOnce(AlivenessOracle<'_>) -> AlivenessOracle<'_>,
+    check: impl FnOnce(&TraversalOutcome, &AlivenessOracle<'_>, usize),
+) {
+    let db = two_path_db();
+    let graph = SchemaGraph::new(&db);
+    let lattice = Lattice::build(&db, &graph, 2);
+    let index = InvertedIndex::build(&db);
+    let query = KeywordQuery::parse("halevy sigmod").unwrap();
+    let mapping = map_keywords(&query, &index);
+    let interp = &mapping.interpretations[0];
+    let pruned = PrunedLattice::build(&lattice, interp);
+    let oracle = AlivenessOracle::new(&db, Some(&index), interp, &mapping.keywords, false);
+    let mut oracle = configure(oracle);
+    let out = traversal::run(kind, &lattice, &pruned, &mut oracle, 0.5).expect("traversal runs");
+    check(&out, &oracle, pruned.stats().mtn_count);
+}
+
+/// Contract 3a: a zero-probe budget degrades to an all-Unknown partial
+/// outcome — zero probes on both sides of the ledger, every MTN unknown,
+/// and the trip recorded exactly once.
+#[test]
+fn zero_probe_budget_yields_all_unknown_and_zero_probes() {
+    for kind in StrategyKind::ALL.into_iter().chain([StrategyKind::BruteForce]) {
+        run_strategy_with(
+            kind,
+            |o| o.with_budget(ProbeBudget::probes(0)),
+            |out, oracle, mtns| {
+                assert_eq!(out.exhausted, Some(Exhausted::Probes), "{kind}");
+                assert_eq!(out.unknown_mtns.len(), mtns, "{kind}: every MTN stays unknown");
+                assert!(out.alive_mtns.is_empty() && out.dead_mtns.is_empty(), "{kind}");
+                assert_eq!(out.sql_queries, 0, "{kind}: no probe may execute");
+                assert_eq!(out.probes.probes_executed, 0, "{kind}");
+                assert_eq!(oracle.queries(), 0, "{kind}: engine agrees nothing ran");
+                assert_eq!(out.probes.budget_exhausted, 1, "{kind}: trip counted once");
+            },
+        );
+    }
+}
+
+/// Contract 3b: a deadline tripping mid-traversal (forced by injected probe
+/// latency) still leaves `probes_executed` equal to `ExecStats::queries`,
+/// with the partial classification accounted for.
+#[test]
+fn deadline_mid_traversal_keeps_probe_accounting_grounded() {
+    for kind in StrategyKind::ALL.into_iter().chain([StrategyKind::BruteForce]) {
+        run_strategy_with(
+            kind,
+            |o| {
+                o.with_budget(ProbeBudget::unlimited().with_deadline(Duration::from_millis(2)))
+                    .with_chaos(FaultConfig {
+                        seed: 11,
+                        transient_per_mille: 0,
+                        permanent_per_mille: 0,
+                        latency_per_mille: 1000,
+                        latency: Duration::from_millis(5),
+                        fail_first_transient: 0,
+                    })
+            },
+            |out, oracle, mtns| {
+                assert_eq!(out.exhausted, Some(Exhausted::Deadline), "{kind}");
+                assert_eq!(out.sql_queries, 1, "{kind}: exactly the first probe runs");
+                assert_eq!(
+                    out.probes.probes_executed,
+                    oracle.queries(),
+                    "{kind}: probes_executed must equal ExecStats::queries mid-trip"
+                );
+                assert_eq!(out.probes.budget_exhausted, 1, "{kind}: trip counted once");
+                let classified = out.alive_mtns.len() + out.dead_mtns.len();
+                assert_eq!(classified + out.unknown_mtns.len(), mtns, "{kind}: MTN partition");
+            },
+        );
     }
 }

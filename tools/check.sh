@@ -18,6 +18,9 @@ cargo build --workspace --release --bins --examples --benches --tests
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+echo "==> chaos suite (fixed seeds: degraded-mode soundness + accounting)"
+cargo test --workspace -q --test chaos_soundness --test metrics_accounting
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
