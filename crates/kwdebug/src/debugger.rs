@@ -55,6 +55,12 @@ pub struct DebugConfig {
     /// Each interpretation's oracle wraps its executor in a
     /// [`relengine::ChaosExecutor`] with this schedule.
     pub chaos: Option<FaultConfig>,
+    /// Probe threads per traversal (see [`crate::parallel`]). `0` or `1` is
+    /// the sequential driver; any higher count fans each inference-frontier
+    /// wave over that many worker threads. The report is bit-identical
+    /// either way — workers only change wall-clock — so this is a pure
+    /// throughput knob for disk/remote-bound probe workloads.
+    pub workers: usize,
 }
 
 impl Default for DebugConfig {
@@ -69,6 +75,7 @@ impl Default for DebugConfig {
             budget: ProbeBudget::unlimited(),
             retry: RetryPolicy::default(),
             chaos: None,
+            workers: 1,
         }
     }
 }
@@ -198,6 +205,12 @@ impl NonAnswerDebugger {
         self.config.chaos = chaos;
     }
 
+    /// Sets the probe-thread count for subsequent debug calls (`<= 1` is
+    /// sequential; see [`crate::parallel`] for the equivalence guarantee).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers;
+    }
+
     /// Debugs a keyword query end to end (Phases 1–3).
     pub fn debug(&self, input: &str) -> Result<DebugReport, KwError> {
         self.debug_with_strategy(input, self.config.strategy)
@@ -269,7 +282,14 @@ impl NonAnswerDebugger {
             self.config.pa
         };
         let traversal_start = Instant::now();
-        let outcome = traversal::run(strategy, &self.lattice, &pruned, &mut oracle, pa)?;
+        let outcome = traversal::run_with_workers(
+            strategy,
+            &self.lattice,
+            &pruned,
+            &mut oracle,
+            pa,
+            self.config.workers,
+        )?;
         let traversal_time = traversal_start.elapsed();
 
         let report_start = Instant::now();

@@ -51,6 +51,7 @@
 //! | Experiment instrumentation, §3 | probe/inference counters, phase timings | [`metrics`] |
 //! | Probe budgets / retries (extension) | caps, deadlines, backoff, degraded mode | [`budget`] |
 //! | Fault injection (extension) | deterministic chaos harness for probes | [`relengine::chaos`] |
+//! | Parallel probe scheduling (extension) | work-stealing wave scheduler, sharded memo | [`parallel`] |
 //!
 //! ## Observability
 //!
@@ -106,6 +107,7 @@ pub mod lattice_io;
 pub mod metrics;
 pub mod mtn;
 pub mod oracle;
+pub mod parallel;
 pub mod prune;
 pub mod report;
 pub mod schema_graph;

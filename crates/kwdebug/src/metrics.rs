@@ -23,15 +23,23 @@
 //! | `faults_injected` | oracle, fault errors observed (injected or real) | beyond the paper (degraded mode) |
 //! | `probes_abandoned` | oracle, probes given up on (node stays `Unknown`) | beyond the paper (degraded mode) |
 //! | `budget_exhausted` | oracle, [`crate::budget::ProbeBudget`] cap trips | beyond the paper (degraded mode) |
+//! | `workers` | parallel scheduler, pool size per parallel traversal | beyond the paper (parallel probing) |
+//! | `steals` | parallel scheduler, jobs a worker took from another's queue | beyond the paper (parallel probing) |
+//! | `inference_suppressed_probes` | parallel dispatcher, probes answered by the shared memo at dispatch time | beyond the paper (parallel probing) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
 //! engine's own `ExecStats::queries`, so a strategy can never misreport its
-//! probe count.
+//! probe count. All counters are relaxed atomics, which also makes the whole
+//! block safe to share across the worker threads of [`crate::parallel`] —
+//! workers increment the *same* `Metrics`, so one snapshot already is the
+//! merged per-worker view.
 //!
 //! [`MetricsSnapshot`] bundles one experiment record (probes + per-phase
 //! timings + Phase-1/2 statistics) and renders it as a single stable-key JSON
 //! object — hand-rolled like [`crate::lattice_io`], no external dependencies —
-//! which the bench binaries write as `BENCH_*.json` lines.
+//! which the bench binaries write as `BENCH_*.json` lines. The keys of the
+//! `probes` object are emitted in sorted order so bench diffs stay clean as
+//! counters are added.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -140,6 +148,18 @@ pub struct Metrics {
     /// Times a [`crate::budget::ProbeBudget`] cap tripped (at most once per
     /// oracle — budgets are sticky).
     pub budget_exhausted: Counter,
+    /// Worker threads used by [`crate::parallel`] traversals (the pool size,
+    /// summed per parallel traversal); 0 on sequential runs.
+    pub workers: Counter,
+    /// Jobs a parallel worker stole from another worker's queue; 0 on
+    /// sequential runs (and scheduling-dependent, so never compared exactly).
+    pub steals: Counter,
+    /// Probes the parallel dispatcher never issued because the sharded memo
+    /// already held a verdict at dispatch time — cross-thread suppression the
+    /// sequential engine counts as plain `memo_hits`. Always 0 on sequential
+    /// runs; in parallel runs every such event also counts one `memo_hits`,
+    /// keeping the memo accounting comparable across modes.
+    pub inference_suppressed_probes: Counter,
 }
 
 impl Metrics {
@@ -157,6 +177,9 @@ impl Metrics {
             faults_injected: Counter::new(),
             probes_abandoned: Counter::new(),
             budget_exhausted: Counter::new(),
+            workers: Counter::new(),
+            steals: Counter::new(),
+            inference_suppressed_probes: Counter::new(),
         }
     }
 
@@ -174,6 +197,9 @@ impl Metrics {
             faults_injected: self.faults_injected.get(),
             probes_abandoned: self.probes_abandoned.get(),
             budget_exhausted: self.budget_exhausted.get(),
+            workers: self.workers.get(),
+            steals: self.steals.get(),
+            inference_suppressed_probes: self.inference_suppressed_probes.get(),
         }
     }
 
@@ -190,6 +216,9 @@ impl Metrics {
         self.faults_injected.reset();
         self.probes_abandoned.reset();
         self.budget_exhausted.reset();
+        self.workers.reset();
+        self.steals.reset();
+        self.inference_suppressed_probes.reset();
     }
 }
 
@@ -223,6 +252,13 @@ pub struct ProbeCounters {
     pub probes_abandoned: u64,
     /// Budget caps tripped.
     pub budget_exhausted: u64,
+    /// Parallel worker threads used (0 on sequential runs).
+    pub workers: u64,
+    /// Jobs stolen between parallel workers (0 on sequential runs).
+    pub steals: u64,
+    /// Probes suppressed by the parallel dispatcher's memo pre-check
+    /// (0 on sequential runs).
+    pub inference_suppressed_probes: u64,
 }
 
 impl ProbeCounters {
@@ -240,6 +276,10 @@ impl ProbeCounters {
             faults_injected: self.faults_injected - baseline.faults_injected,
             probes_abandoned: self.probes_abandoned - baseline.probes_abandoned,
             budget_exhausted: self.budget_exhausted - baseline.budget_exhausted,
+            workers: self.workers - baseline.workers,
+            steals: self.steals - baseline.steals,
+            inference_suppressed_probes: self.inference_suppressed_probes
+                - baseline.inference_suppressed_probes,
         }
     }
 
@@ -256,6 +296,9 @@ impl ProbeCounters {
         self.faults_injected += other.faults_injected;
         self.probes_abandoned += other.probes_abandoned;
         self.budget_exhausted += other.budget_exhausted;
+        self.workers += other.workers;
+        self.steals += other.steals;
+        self.inference_suppressed_probes += other.inference_suppressed_probes;
     }
 
     /// Probe time as a [`Duration`].
@@ -368,24 +411,28 @@ impl MetricsSnapshot {
             self.max_level,
             self.interpretations,
         );
+        // Counter keys in sorted order, so diffs stay clean as counters grow.
         let p = &self.probes;
         let _ = write!(
             j,
-            ",\"probes\":{{\"executed\":{},\"time_ns\":{},\"tuples_scanned\":{},\
-             \"memo_hits\":{},\"r1_inferences\":{},\"r2_inferences\":{},\"reuse_hits\":{},\
-             \"retries\":{},\"faults_injected\":{},\"probes_abandoned\":{},\
-             \"budget_exhausted\":{}}}",
+            ",\"probes\":{{\"budget_exhausted\":{},\"executed\":{},\"faults_injected\":{},\
+             \"inference_suppressed_probes\":{},\"memo_hits\":{},\"probes_abandoned\":{},\
+             \"r1_inferences\":{},\"r2_inferences\":{},\"retries\":{},\"reuse_hits\":{},\
+             \"steals\":{},\"time_ns\":{},\"tuples_scanned\":{},\"workers\":{}}}",
+            p.budget_exhausted,
             p.probes_executed,
-            p.probe_time_ns,
-            p.tuples_scanned,
+            p.faults_injected,
+            p.inference_suppressed_probes,
             p.memo_hits,
+            p.probes_abandoned,
             p.r1_inferences,
             p.r2_inferences,
-            p.reuse_hits,
             p.retries,
-            p.faults_injected,
-            p.probes_abandoned,
-            p.budget_exhausted,
+            p.reuse_hits,
+            p.steals,
+            p.probe_time_ns,
+            p.tuples_scanned,
+            p.workers,
         );
         let t = &self.phases;
         let _ = write!(
@@ -527,6 +574,9 @@ mod tests {
                 faults_injected: 5,
                 probes_abandoned: 1,
                 budget_exhausted: 1,
+                workers: 4,
+                steals: 7,
+                inference_suppressed_probes: 2,
             },
             phases: PhaseTiming {
                 mapping: Duration::from_nanos(1),
@@ -558,10 +608,10 @@ mod tests {
             "{\"experiment\":\"exp_traversal\",\"query\":\"Q3\",\"strategy\":\"BUWR\",\
              \"variant\":\"fault_pm=50\",\
              \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
-             \"probes\":{\"executed\":12,\"time_ns\":345,\"tuples_scanned\":678,\
-             \"memo_hits\":0,\"r1_inferences\":4,\"r2_inferences\":9,\"reuse_hits\":3,\
-             \"retries\":2,\"faults_injected\":5,\"probes_abandoned\":1,\
-             \"budget_exhausted\":1},\
+             \"probes\":{\"budget_exhausted\":1,\"executed\":12,\"faults_injected\":5,\
+             \"inference_suppressed_probes\":2,\"memo_hits\":0,\"probes_abandoned\":1,\
+             \"r1_inferences\":4,\"r2_inferences\":9,\"retries\":2,\"reuse_hits\":3,\
+             \"steals\":7,\"time_ns\":345,\"tuples_scanned\":678,\"workers\":4},\
              \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
              \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\
              \"prune\":{\"lattice_nodes\":100,\"retained_phase1\":20,\"total_nodes\":5,\

@@ -9,6 +9,25 @@
 //! paper's metrics; an optional memo table (off by default, an ablation knob)
 //! caches results per lattice node across calls.
 //!
+//! ## Architecture: shareable core, thin view
+//!
+//! Since the parallel scheduler landed ([`crate::parallel`]), the oracle is
+//! split in two:
+//!
+//! * `ProbeCore` (crate-internal) — the `Send + Sync` probe backend: the
+//!   plan builder inputs, the sharded memo table, the [`Metrics`] block, the
+//!   atomic [`BudgetGate`] and the retry policy. Everything in it is either
+//!   immutable borrowed data or atomic/lock-striped state, so one core can
+//!   serve any number of worker threads concurrently. Engines (executors)
+//!   are *not* in the core — each thread owns its own engine and passes it
+//!   into the core's execution methods.
+//! * [`AlivenessOracle`] — the thin sequential view every existing call site
+//!   uses: one core plus one private engine, exposing the same public API as
+//!   before the split. Sequential behavior is byte-identical.
+//!
+//! See DESIGN.md §8 ("Concurrency model") for which invariant each piece of
+//! shared state protects.
+//!
 //! ## Fault tolerance and budgets
 //!
 //! The oracle is the single choke point between the traversals and the
@@ -17,7 +36,8 @@
 //! * [`AlivenessOracle::with_chaos`] swaps the plain executor for a
 //!   [`relengine::ChaosExecutor`] that injects deterministic faults;
 //! * [`AlivenessOracle::with_budget`] bounds the probing work
-//!   ([`ProbeBudget`]: max probes, wall-clock deadline, tuple-scan cap);
+//!   ([`ProbeBudget`]: max probes, wall-clock deadline, tuple-scan cap),
+//!   enforced through the atomic [`BudgetGate`];
 //! * [`AlivenessOracle::with_retry`] sets how transient failures are retried
 //!   ([`RetryPolicy`]: capped exponential backoff, deterministic).
 //!
@@ -44,9 +64,9 @@
 //! `probes_executed` always equals the engine's own `ExecStats::queries` —
 //! the invariant the metrics integration tests pin down. Faults are injected
 //! *before* the engine executes, so a failed attempt never increments either
-//! side of that equation.
+//! side of that equation. A failed attempt also returns its reserved budget
+//! slot ([`BudgetGate::release`]), so the budget only ever counts executions.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use relengine::{
@@ -56,11 +76,12 @@ use relengine::{
 use textindex::InvertedIndex;
 
 use crate::binding::Interpretation;
-use crate::budget::{Exhausted, ProbeBudget, RetryPolicy};
+use crate::budget::{BudgetGate, Exhausted, ProbeBudget, RetryPolicy};
 use crate::error::KwError;
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
 use crate::metrics::Metrics;
+use crate::parallel::ShardedMemo;
 
 /// Builds the executable plan of a network under an interpretation.
 pub fn build_plan(
@@ -111,8 +132,10 @@ pub enum Probe {
     Exhausted(Exhausted),
 }
 
-/// The engine behind the oracle: plain, or wrapped in fault injection.
-enum ProbeEngine<'a> {
+/// The engine behind one probing thread: plain, or wrapped in fault
+/// injection. Each thread owns exactly one engine; the shared [`ProbeCore`]
+/// never holds one.
+pub(crate) enum ProbeEngine<'a> {
     Plain(Executor<'a>),
     Chaos(ChaosExecutor<'a>),
 }
@@ -136,7 +159,7 @@ impl<'a> ProbeEngine<'a> {
         }
     }
 
-    fn stats(&self) -> &ExecStats {
+    pub(crate) fn stats(&self) -> &ExecStats {
         match self {
             ProbeEngine::Plain(e) => e.stats(),
             ProbeEngine::Chaos(c) => c.stats(),
@@ -149,6 +172,13 @@ impl<'a> ProbeEngine<'a> {
             ProbeEngine::Chaos(c) => c.reset_stats(),
         }
     }
+
+    fn absorb_stats(&mut self, other: &ExecStats) {
+        match self {
+            ProbeEngine::Plain(e) => e.absorb_stats(other),
+            ProbeEngine::Chaos(c) => c.absorb_stats(other),
+        }
+    }
 }
 
 /// Internal failure of a budgeted, retried execution attempt.
@@ -157,21 +187,191 @@ enum ProbeFail {
     Exhausted(Exhausted),
 }
 
-/// Answers aliveness queries for lattice nodes, counting every execution.
-pub struct AlivenessOracle<'a> {
+/// The `Send + Sync` probe backend shared by every probing thread.
+///
+/// Holds everything a probe needs *except* an engine: the plan-builder
+/// inputs (all shared borrows), the sharded memo, the metrics block (relaxed
+/// atomics), the budget gate (atomics) and the retry policy (a `Copy`
+/// value). Threads bring their own [`ProbeEngine`] — built by
+/// [`ProbeCore::make_engine`] — and pass it into the execution methods, so
+/// nothing here ever needs `&mut`.
+pub(crate) struct ProbeCore<'a> {
     db: &'a Database,
     index: Option<&'a InvertedIndex>,
     interp: &'a Interpretation,
     keywords: &'a [String],
-    engine: ProbeEngine<'a>,
-    memo: Option<HashMap<NodeId, bool>>,
-    metrics: Metrics,
-    budget: ProbeBudget,
+    /// Shared verdict memo (`None` when memoization is off). Lock-striped;
+    /// verdicts are ground truth, so concurrent inserts are idempotent.
+    memo: Option<ShardedMemo>,
+    /// Probe/inference counters, shared across threads (relaxed atomics).
+    pub(crate) metrics: Metrics,
+    /// Atomic budget enforcement, shared across threads.
+    pub(crate) gate: BudgetGate,
     retry: RetryPolicy,
-    /// Wall-clock origin of the deadline: set at the first budget check.
-    started: Option<Instant>,
-    /// Sticky exhaustion state: once set, every probe is refused.
-    tripped: Option<Exhausted>,
+    /// The fault schedule, kept so per-worker engines can derive their own
+    /// deterministic streams (`None` = plain engines).
+    chaos: Option<FaultConfig>,
+}
+
+// The core must stay shareable across the scheduler's worker threads; this
+// trips at compile time if a non-Sync field ever sneaks in.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<ProbeCore<'static>>();
+};
+
+impl<'a> ProbeCore<'a> {
+    fn new(
+        db: &'a Database,
+        index: Option<&'a InvertedIndex>,
+        interp: &'a Interpretation,
+        keywords: &'a [String],
+        memoize: bool,
+    ) -> Self {
+        ProbeCore {
+            db,
+            index,
+            interp,
+            keywords,
+            memo: memoize.then(ShardedMemo::new),
+            metrics: Metrics::new(),
+            gate: BudgetGate::new(ProbeBudget::default()),
+            retry: RetryPolicy::default(),
+            chaos: None,
+        }
+    }
+
+    /// Builds an engine for probing thread `worker`. Worker engines under
+    /// chaos draw from seeds derived per worker (never the base seed, which
+    /// belongs to the oracle's own engine), so each worker's fault stream is
+    /// deterministic given the pool size — though which *probe* a fault
+    /// lands on still depends on job assignment.
+    pub(crate) fn make_engine(&self, worker: u64) -> ProbeEngine<'a> {
+        match self.chaos {
+            None => ProbeEngine::Plain(Executor::new(self.db)),
+            Some(config) => {
+                let seed =
+                    config.seed ^ (worker + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ProbeEngine::Chaos(ChaosExecutor::new(self.db, FaultConfig {
+                    seed,
+                    ..config
+                }))
+            }
+        }
+    }
+
+    /// The memoized verdict of a node, if any (a pure read; no metrics).
+    pub(crate) fn verdict_if_known(&self, node: NodeId) -> Option<bool> {
+        self.memo.as_ref().and_then(|m| m.get(node))
+    }
+
+    /// Reserves one budget slot, translating a refusal into the sticky
+    /// [`Exhausted`] cause and counting the (single) trip event.
+    pub(crate) fn try_reserve(&self) -> Result<(), Exhausted> {
+        match self.gate.try_reserve(self.metrics.tuples_scanned.get()) {
+            Ok(()) => Ok(()),
+            Err(trip) => {
+                if trip.newly {
+                    self.metrics.budget_exhausted.incr();
+                }
+                Err(trip.why)
+            }
+        }
+    }
+
+    /// Runs one engine operation under the retry policy: transient failures
+    /// back off and retry (re-checking the deadline), anything else abandons.
+    fn execute_with_retry<T>(
+        &self,
+        engine: &mut ProbeEngine<'a>,
+        mut op: impl FnMut(&mut ProbeEngine<'a>) -> Result<T, EngineError>,
+    ) -> Result<T, ProbeFail> {
+        let mut attempt = 0u32;
+        loop {
+            match op(engine) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if e.is_fault() {
+                        self.metrics.faults_injected.incr();
+                    }
+                    if e.is_transient() && attempt < self.retry.max_retries {
+                        let backoff = self.retry.backoff(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        self.metrics.retries.incr();
+                        attempt += 1;
+                        // The deadline may pass while backing off.
+                        if self.gate.deadline_passed() {
+                            if self.gate.trip(Exhausted::Deadline).newly {
+                                self.metrics.budget_exhausted.incr();
+                            }
+                            return Err(ProbeFail::Exhausted(Exhausted::Deadline));
+                        }
+                        continue;
+                    }
+                    self.metrics.probes_abandoned.incr();
+                    return Err(ProbeFail::Node(e));
+                }
+            }
+        }
+    }
+
+    /// Executes one probe whose budget slot is already reserved: plan,
+    /// emptiness check under retry, bookkeeping, memo insert. A failed
+    /// execution returns the slot — failed attempts never count against the
+    /// budget. This is the worker-side half of a probe; reservation (and the
+    /// memo pre-check) belongs to the caller so a dispatcher can keep both
+    /// in deterministic order.
+    pub(crate) fn execute_reserved(
+        &self,
+        engine: &mut ProbeEngine<'a>,
+        node: NodeId,
+        jnts: &Jnts,
+    ) -> Probe {
+        let plan = match build_plan(jnts, self.interp, self.db, self.index, self.keywords) {
+            Ok(p) => p,
+            Err(e) => {
+                self.gate.release();
+                self.metrics.probes_abandoned.incr();
+                return Probe::NodeFailed(e);
+            }
+        };
+        let rows_before = engine.stats().rows_examined;
+        let start = Instant::now();
+        match self.execute_with_retry(engine, |eng| eng.exists(&plan)) {
+            Ok(alive) => {
+                self.metrics.probes_executed.incr();
+                self.metrics.probe_time.add(start.elapsed());
+                self.metrics
+                    .tuples_scanned
+                    .add(engine.stats().rows_examined - rows_before);
+                if let Some(memo) = &self.memo {
+                    memo.insert(node, alive);
+                }
+                Probe::Verdict(alive)
+            }
+            Err(ProbeFail::Node(e)) => {
+                self.gate.release();
+                Probe::NodeFailed(e)
+            }
+            Err(ProbeFail::Exhausted(why)) => {
+                self.gate.release();
+                Probe::Exhausted(why)
+            }
+        }
+    }
+}
+
+/// Answers aliveness queries for lattice nodes, counting every execution.
+///
+/// The thin sequential view over a `ProbeCore`: one shared-state core plus
+/// one private engine. [`crate::parallel`] borrows the core and fans probes
+/// over worker-owned engines; this type's public API is unchanged from the
+/// pre-split oracle and its sequential behavior is byte-identical.
+pub struct AlivenessOracle<'a> {
+    core: ProbeCore<'a>,
+    engine: ProbeEngine<'a>,
 }
 
 impl<'a> AlivenessOracle<'a> {
@@ -187,23 +387,16 @@ impl<'a> AlivenessOracle<'a> {
         memoize: bool,
     ) -> Self {
         AlivenessOracle {
-            db,
-            index,
-            interp,
-            keywords,
+            core: ProbeCore::new(db, index, interp, keywords, memoize),
             engine: ProbeEngine::Plain(Executor::new(db)),
-            memo: memoize.then(HashMap::new),
-            metrics: Metrics::new(),
-            budget: ProbeBudget::default(),
-            retry: RetryPolicy::default(),
-            started: None,
-            tripped: None,
         }
     }
 
     /// Routes every execution through a deterministic fault injector
-    /// (keeping any statistics the current engine accumulated).
+    /// (keeping any statistics the current engine accumulated). Parallel
+    /// workers derive their own per-worker seeds from this schedule.
     pub fn with_chaos(mut self, config: FaultConfig) -> Self {
+        self.core.chaos = Some(config);
         self.engine = match self.engine {
             ProbeEngine::Plain(e) => ProbeEngine::Chaos(ChaosExecutor::wrap(e, config)),
             ProbeEngine::Chaos(c) => {
@@ -213,15 +406,16 @@ impl<'a> AlivenessOracle<'a> {
         self
     }
 
-    /// Bounds the probing work of this oracle.
+    /// Bounds the probing work of this oracle (a fresh [`BudgetGate`]
+    /// window).
     pub fn with_budget(mut self, budget: ProbeBudget) -> Self {
-        self.budget = budget;
+        self.core.gate = BudgetGate::new(budget);
         self
     }
 
     /// Sets the transient-failure retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
-        self.retry = retry;
+        self.core.retry = retry;
         self
     }
 
@@ -231,91 +425,26 @@ impl<'a> AlivenessOracle<'a> {
     /// distinguish "known dead" from "unknown" without re-deriving memo
     /// state; a pure read, it records no metrics.
     pub fn verdict_if_known(&self, node: NodeId) -> Option<bool> {
-        self.memo.as_ref().and_then(|m| m.get(&node).copied())
+        self.core.verdict_if_known(node)
     }
 
     /// Why probing stopped, if a budget cap tripped.
     pub fn exhausted(&self) -> Option<Exhausted> {
-        self.tripped
+        self.core.gate.tripped()
     }
 
     /// The active probe budget.
     pub fn budget(&self) -> ProbeBudget {
-        self.budget
+        self.core.gate.budget()
     }
 
-    /// Fault-injection counters, when chaos is enabled.
+    /// Fault-injection counters, when chaos is enabled (this oracle's own
+    /// engine only; parallel workers keep separate schedules, observable
+    /// through the shared `faults_injected` metric).
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         match &self.engine {
             ProbeEngine::Plain(_) => None,
             ProbeEngine::Chaos(c) => Some(c.fault_stats()),
-        }
-    }
-
-    /// Enforces the budget before a probe; trips (stickily) on the first
-    /// exceeded cap.
-    fn check_budget(&mut self) -> Option<Exhausted> {
-        if self.tripped.is_some() {
-            return self.tripped;
-        }
-        let start = *self.started.get_or_insert_with(Instant::now);
-        let why = if self.budget.max_probes.is_some_and(|m| self.metrics.probes_executed.get() >= m)
-        {
-            Some(Exhausted::Probes)
-        } else if self.budget.deadline.is_some_and(|d| start.elapsed() >= d) {
-            Some(Exhausted::Deadline)
-        } else if self.budget.max_tuples.is_some_and(|m| self.metrics.tuples_scanned.get() >= m) {
-            Some(Exhausted::Tuples)
-        } else {
-            None
-        };
-        if let Some(w) = why {
-            self.trip(w);
-        }
-        why
-    }
-
-    fn trip(&mut self, why: Exhausted) {
-        if self.tripped.is_none() {
-            self.tripped = Some(why);
-            self.metrics.budget_exhausted.incr();
-        }
-    }
-
-    /// Runs one engine operation under the retry policy: transient failures
-    /// back off and retry (re-checking the deadline), anything else abandons.
-    fn execute_with_retry<T>(
-        &mut self,
-        mut op: impl FnMut(&mut ProbeEngine<'a>) -> Result<T, EngineError>,
-    ) -> Result<T, ProbeFail> {
-        let mut attempt = 0u32;
-        loop {
-            match op(&mut self.engine) {
-                Ok(v) => return Ok(v),
-                Err(e) => {
-                    if e.is_fault() {
-                        self.metrics.faults_injected.incr();
-                    }
-                    if e.is_transient() && attempt < self.retry.max_retries {
-                        let backoff = self.retry.backoff(attempt);
-                        if !backoff.is_zero() {
-                            std::thread::sleep(backoff);
-                        }
-                        self.metrics.retries.incr();
-                        attempt += 1;
-                        // The deadline may pass while backing off.
-                        if let (Some(d), Some(start)) = (self.budget.deadline, self.started) {
-                            if start.elapsed() >= d {
-                                self.trip(Exhausted::Deadline);
-                                return Err(ProbeFail::Exhausted(Exhausted::Deadline));
-                            }
-                        }
-                        continue;
-                    }
-                    self.metrics.probes_abandoned.incr();
-                    return Err(ProbeFail::Node(e));
-                }
-            }
         }
     }
 
@@ -324,39 +453,14 @@ impl<'a> AlivenessOracle<'a> {
     /// (they are free); everything else goes through the budget gate and the
     /// retry policy.
     pub fn probe(&mut self, node: NodeId, jnts: &Jnts) -> Probe {
-        if let Some(memo) = &self.memo {
-            if let Some(&alive) = memo.get(&node) {
-                self.metrics.memo_hits.incr();
-                return Probe::Verdict(alive);
-            }
+        if let Some(alive) = self.core.verdict_if_known(node) {
+            self.core.metrics.memo_hits.incr();
+            return Probe::Verdict(alive);
         }
-        if let Some(why) = self.check_budget() {
+        if let Err(why) = self.core.try_reserve() {
             return Probe::Exhausted(why);
         }
-        let plan = match build_plan(jnts, self.interp, self.db, self.index, self.keywords) {
-            Ok(p) => p,
-            Err(e) => {
-                self.metrics.probes_abandoned.incr();
-                return Probe::NodeFailed(e);
-            }
-        };
-        let rows_before = self.engine.stats().rows_examined;
-        let start = Instant::now();
-        match self.execute_with_retry(|eng| eng.exists(&plan)) {
-            Ok(alive) => {
-                self.metrics.probes_executed.incr();
-                self.metrics.probe_time.add(start.elapsed());
-                self.metrics
-                    .tuples_scanned
-                    .add(self.engine.stats().rows_examined - rows_before);
-                if let Some(memo) = &mut self.memo {
-                    memo.insert(node, alive);
-                }
-                Probe::Verdict(alive)
-            }
-            Err(ProbeFail::Node(e)) => Probe::NodeFailed(e),
-            Err(ProbeFail::Exhausted(why)) => Probe::Exhausted(why),
-        }
+        self.core.execute_reserved(&mut self.engine, node, jnts)
     }
 
     /// Whether the node's query returns at least one tuple. Hard-errors on
@@ -378,38 +482,53 @@ impl<'a> AlivenessOracle<'a> {
         jnts: &Jnts,
         limit: usize,
     ) -> Result<Vec<Vec<relengine::RowId>>, KwError> {
-        if let Some(why) = self.check_budget() {
+        if let Err(why) = self.core.try_reserve() {
             return Err(KwError::BudgetExhausted(why));
         }
-        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
+        let core = &self.core;
+        let plan = match build_plan(jnts, core.interp, core.db, core.index, core.keywords) {
+            Ok(p) => p,
+            Err(e) => {
+                core.gate.release();
+                return Err(e.into());
+            }
+        };
         let rows_before = self.engine.stats().rows_examined;
         let start = Instant::now();
-        match self.execute_with_retry(|eng| eng.execute(&plan, limit)) {
+        match core.execute_with_retry(&mut self.engine, |eng| eng.execute(&plan, limit)) {
             Ok(tuples) => {
-                self.metrics.probes_executed.incr();
-                self.metrics.probe_time.add(start.elapsed());
-                self.metrics
+                core.metrics.probes_executed.incr();
+                core.metrics.probe_time.add(start.elapsed());
+                core.metrics
                     .tuples_scanned
                     .add(self.engine.stats().rows_examined - rows_before);
                 Ok(tuples)
             }
-            Err(ProbeFail::Node(e)) => Err(e.into()),
-            Err(ProbeFail::Exhausted(why)) => Err(KwError::BudgetExhausted(why)),
+            Err(ProbeFail::Node(e)) => {
+                core.gate.release();
+                Err(e.into())
+            }
+            Err(ProbeFail::Exhausted(why)) => {
+                core.gate.release();
+                Err(KwError::BudgetExhausted(why))
+            }
         }
     }
 
     /// The keyword bound to a relation copy under this interpretation, if any.
     pub fn keyword_of(&self, ts: crate::jnts::TupleSet) -> Option<&str> {
-        self.interp.keyword_for(ts).map(|i| self.keywords[i].as_str())
+        self.core.interp.keyword_for(ts).map(|i| self.core.keywords[i].as_str())
     }
 
     /// The SQL text of a node under this interpretation.
     pub fn sql(&self, jnts: &Jnts) -> Result<String, KwError> {
-        let plan = build_plan(jnts, self.interp, self.db, self.index, self.keywords)?;
-        Ok(relengine::render_sql(&plan, self.db))
+        let core = &self.core;
+        let plan = build_plan(jnts, core.interp, core.db, core.index, core.keywords)?;
+        Ok(relengine::render_sql(&plan, core.db))
     }
 
-    /// Engine statistics: queries executed, rows examined, time.
+    /// Engine statistics: queries executed, rows examined, time. After a
+    /// parallel traversal, worker-engine statistics have been absorbed here.
     pub fn stats(&self) -> &ExecStats {
         self.engine.stats()
     }
@@ -421,28 +540,39 @@ impl<'a> AlivenessOracle<'a> {
 
     /// Memo hits (0 unless memoization is on).
     pub fn memo_hits(&self) -> u64 {
-        self.metrics.memo_hits.get()
+        self.core.metrics.memo_hits.get()
     }
 
     /// The probe-level instrumentation block. Traversal strategies record
     /// their R1/R2 inferences and reuse hits here; callers snapshot it
-    /// (before/after) to attribute counts to one traversal.
+    /// (before/after) to attribute counts to one traversal. Shared by every
+    /// parallel worker, so a snapshot is already the merged per-worker view.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// Resets execution statistics, metrics and the budget clock/trip state
     /// (not the memo, and not the fault schedule).
     pub fn reset_stats(&mut self) {
         self.engine.reset_stats();
-        self.metrics.reset();
-        self.started = None;
-        self.tripped = None;
+        self.core.metrics.reset();
+        self.core.gate.reset();
     }
 
     /// The database under test.
     pub fn database(&self) -> &'a Database {
-        self.db
+        self.core.db
+    }
+
+    /// The shared probe backend, for the parallel scheduler.
+    pub(crate) fn core(&self) -> &ProbeCore<'a> {
+        &self.core
+    }
+
+    /// Folds a worker engine's statistics into this oracle's engine, so
+    /// `stats()`/`queries()` cover the whole pool after a parallel run.
+    pub(crate) fn absorb_stats(&mut self, stats: &ExecStats) {
+        self.engine.absorb_stats(stats);
     }
 }
 

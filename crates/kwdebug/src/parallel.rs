@@ -1,0 +1,369 @@
+//! Work-stealing parallel probe scheduler with a shared concurrent memo.
+//!
+//! EMBANKS probes are embarrassingly parallel *within* an inference
+//! frontier: two nodes on the same lattice level are never
+//! ancestor/descendant of each other, so neither's verdict can classify the
+//! other through rule R1 or R2 — their probes commute. This module exploits
+//! exactly that slack and nothing more: traversal strategies emit *waves* of
+//! independent nodes (the crate-internal `Frontier` trait in
+//! [`crate::traversal`]), the scheduler
+//! fans each wave over a fixed pool of worker threads, and all verdicts flow
+//! back to the dispatcher, which applies R1/R2 inference centrally. Between
+//! waves the world is sequential again, which is what makes the output —
+//! the [`crate::report::DebugReport`], every probe counter, even the probe
+//! *order-sensitive* counters like `memo_hits` — bit-identical to the
+//! sequential traversal on every seed.
+//!
+//! See DESIGN.md §8 ("Concurrency model") for the full invariant catalog;
+//! the short form:
+//!
+//! * **Wave independence** — a wave only ever contains nodes no verdict in
+//!   the same wave could classify. Strategies, not the scheduler, are
+//!   responsible for this (it is a property of their emission order).
+//! * **Deterministic accounting** — the dispatcher walks each wave in
+//!   sequential visit order, consulting the memo and reserving budget slots
+//!   *before* handing work to threads; workers only execute
+//!   already-reserved probes. Counter totals therefore match the sequential
+//!   run even when the budget runs dry mid-wave.
+//! * **Central inference** — workers never touch traversal state; the
+//!   dispatcher applies verdicts (and R1/R2 closure) after the wave drains.
+//!   A verdict that arrives for a node the memo meanwhile answered is
+//!   counted in `inference_suppressed_probes` rather than double-applied.
+//!
+//! The pool uses plain [`std::thread`] scoped threads — no dependencies —
+//! with one deque per worker: owners pop from the front, idle workers steal
+//! from the back of a victim's deque (counted in the `steals` metric).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+use relengine::ExecStats;
+
+use crate::error::KwError;
+use crate::lattice::{Lattice, NodeId};
+use crate::metrics::Metrics;
+use crate::oracle::{AlivenessOracle, Probe};
+use crate::prune::PrunedLattice;
+use crate::traversal::Frontier;
+
+/// Number of lock stripes in a [`ShardedMemo`]. Power of two so the shard
+/// of a node is a mask away; 16 stripes keeps contention negligible for any
+/// worker count this crate will ever run.
+const MEMO_SHARDS: usize = 16;
+
+/// A lock-striped concurrent verdict memo, shared by every probing thread.
+///
+/// Verdicts are ground truth — a node's query either returns tuples or it
+/// does not — so double-inserting the same node is idempotent and the map
+/// needs no cross-shard coordination. Lock striping (a `Mutex<HashMap>` per
+/// shard, nodes assigned by `node & (shards - 1)`) keeps writers on
+/// different lattice regions from serializing behind one lock.
+pub struct ShardedMemo {
+    shards: Vec<Mutex<HashMap<NodeId, bool>>>,
+}
+
+impl ShardedMemo {
+    /// An empty memo with the default stripe count.
+    pub fn new() -> ShardedMemo {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, node: NodeId) -> &Mutex<HashMap<NodeId, bool>> {
+        &self.shards[node as usize & (MEMO_SHARDS - 1)]
+    }
+
+    /// The memoized verdict of `node`, if any.
+    pub fn get(&self, node: NodeId) -> Option<bool> {
+        self.shard(node).lock().unwrap().get(&node).copied()
+    }
+
+    /// Records a verdict (idempotent; verdicts never change).
+    pub fn insert(&self, node: NodeId, alive: bool) {
+        self.shard(node).lock().unwrap().insert(node, alive);
+    }
+
+    /// Total number of memoized verdicts, for tests and reports.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no verdict has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedMemo {
+    fn default() -> Self {
+        ShardedMemo::new()
+    }
+}
+
+/// One probe handed to the pool: which wave slot it fills and which dense
+/// node to execute. The budget slot is already reserved by the dispatcher.
+struct Job {
+    /// Index into the wave's completion table (dispatch order).
+    slot: usize,
+    dense: usize,
+}
+
+/// A worker's answer for one job.
+struct Completion {
+    slot: usize,
+    dense: usize,
+    probe: Probe,
+}
+
+/// Shared pool state: per-worker job deques plus a pending/shutdown latch.
+struct PoolState {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    latch: Mutex<Latch>,
+    wake: Condvar,
+}
+
+struct Latch {
+    /// Jobs enqueued but not yet picked up by any worker.
+    pending: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn new(workers: usize) -> PoolState {
+        PoolState {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            latch: Mutex::new(Latch { pending: 0, shutdown: false }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Pushes a job onto worker `w`'s deque and wakes a sleeper.
+    fn push(&self, w: usize, job: Job) {
+        // Increment `pending` BEFORE the job becomes visible in a deque: a
+        // worker that claims it decrements immediately, and claiming can
+        // only happen after the push, so the counter can never underflow.
+        // (A scanner that sees `pending > 0` before the job lands simply
+        // rescans the deques.)
+        self.latch.lock().unwrap().pending += 1;
+        self.queues[w].lock().unwrap().push_back(job);
+        self.wake.notify_all();
+    }
+
+    /// Takes the next job for worker `w`: own deque front first, then steal
+    /// from the back of another worker's deque, else sleep until work or
+    /// shutdown. Returns `(job, stolen)`; `None` means shutdown.
+    fn take(&self, w: usize, metrics: &Metrics) -> Option<Job> {
+        loop {
+            if let Some(job) = self.queues[w].lock().unwrap().pop_front() {
+                self.decr_pending();
+                return Some(job);
+            }
+            for victim in (0..self.queues.len()).filter(|&v| v != w) {
+                if let Some(job) = self.queues[victim].lock().unwrap().pop_back() {
+                    self.decr_pending();
+                    metrics.steals.incr();
+                    return Some(job);
+                }
+            }
+            let mut latch = self.latch.lock().unwrap();
+            loop {
+                if latch.shutdown {
+                    return None;
+                }
+                if latch.pending > 0 {
+                    break; // something appeared; race back to the deques
+                }
+                latch = self.wake.wait(latch).unwrap();
+            }
+        }
+    }
+
+    fn decr_pending(&self) {
+        let mut latch = self.latch.lock().unwrap();
+        latch.pending -= 1;
+    }
+
+    fn shutdown(&self) {
+        self.latch.lock().unwrap().shutdown = true;
+        self.wake.notify_all();
+    }
+}
+
+/// Runs a strategy's probe waves over `workers` threads, driving `frontier`
+/// exactly as the sequential driver would. Returns when the frontier is
+/// done or the budget trips; the caller converts the frontier into the
+/// classification.
+///
+/// The dispatcher (the calling thread) owns all traversal state. Per wave
+/// it walks the emitted nodes in sequential visit order and, per node:
+///
+/// 1. already classified → `reuse_hits` (same as sequential);
+/// 2. memoized verdict → `memo_hits` + immediate apply (same as sequential);
+/// 3. otherwise reserve a budget slot and enqueue the probe. A refusal ends
+///    the wave *and* the traversal at exactly the node where the sequential
+///    run would have stopped.
+///
+/// Verdicts are applied in dispatch order after the wave drains, so R1/R2
+/// inference (order-independent within a wave — each status cell flips away
+/// from `Unknown` at most once, and wave members classify only non-members)
+/// lands on identical state and identical counter totals.
+pub(crate) fn run_waves(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    frontier: &mut dyn Frontier,
+    workers: usize,
+) -> Result<(), KwError> {
+    let workers = workers.max(1);
+    let core = oracle.core();
+    core.metrics.workers.add(workers as u64);
+
+    let pool = PoolState::new(workers);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+
+    let mut failure: Option<KwError> = None;
+    let worker_stats: Vec<ExecStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let pool = &pool;
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    let mut engine = core.make_engine(w as u64);
+                    while let Some(job) = pool.take(w, &core.metrics) {
+                        let node = pruned.lattice_id(job.dense);
+                        let jnts = pruned.jnts(lattice, job.dense);
+                        let probe = core.execute_reserved(&mut engine, node, jnts);
+                        if done
+                            .send(Completion { slot: job.slot, dense: job.dense, probe })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    engine.stats().clone()
+                })
+            })
+            .collect();
+        drop(done_tx);
+
+        let mut wave = Vec::new();
+        let mut next_worker = 0usize;
+        'traversal: loop {
+            wave.clear();
+            frontier.next_wave(&mut wave);
+            if wave.is_empty() {
+                break;
+            }
+            // Dispatch in sequential visit order; collect completions by slot.
+            let mut dispatched = 0usize;
+            let mut outcomes: Vec<Option<(usize, Probe)>> = Vec::with_capacity(wave.len());
+            let mut stop_after_wave = false;
+            for &dense in wave.iter() {
+                if !frontier.is_unknown(dense) {
+                    core.metrics.reuse_hits.incr();
+                    continue;
+                }
+                if let Some(alive) = core.verdict_if_known(pruned.lattice_id(dense)) {
+                    core.metrics.memo_hits.incr();
+                    frontier.apply(dense, alive, &core.metrics);
+                    continue;
+                }
+                if core.try_reserve().is_err() {
+                    stop_after_wave = true;
+                    break;
+                }
+                let slot = outcomes.len();
+                outcomes.push(None);
+                pool.push(next_worker, Job { slot, dense });
+                next_worker = (next_worker + 1) % workers;
+                dispatched += 1;
+            }
+            for _ in 0..dispatched {
+                let c = done_rx.recv().expect("worker pool hung up mid-wave");
+                outcomes[c.slot] = Some((c.dense, c.probe));
+            }
+            // Apply in dispatch (= sequential visit) order.
+            for outcome in outcomes.into_iter() {
+                let (dense, probe) = outcome.expect("every dispatched slot completes");
+                match probe {
+                    Probe::Verdict(alive) => {
+                        if frontier.is_unknown(dense) {
+                            frontier.apply(dense, alive, &core.metrics);
+                        } else {
+                            // A verdict classified this node while its own
+                            // probe was in flight (possible only if a wave
+                            // breaks the independence invariant). The probe
+                            // executed — and was counted — anyway; record
+                            // the work inference would have saved.
+                            core.metrics.inference_suppressed_probes.incr();
+                        }
+                    }
+                    Probe::NodeFailed(e) if e.is_fault() => frontier.abandon(dense),
+                    Probe::NodeFailed(e) => {
+                        // An invalid plan is a bug, not degradation — it
+                        // propagates hard, exactly like the sequential
+                        // driver's probe() helper.
+                        failure = Some(e.into());
+                        break 'traversal;
+                    }
+                    Probe::Exhausted(_) => stop_after_wave = true,
+                }
+            }
+            if stop_after_wave {
+                frontier.exhaust();
+                break;
+            }
+        }
+        pool.shutdown();
+        handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+    });
+
+    for stats in &worker_stats {
+        oracle.absorb_stats(stats);
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_round_trips_verdicts() {
+        let memo = ShardedMemo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.get(7), None);
+        memo.insert(7, true);
+        memo.insert(23, false); // 23 & 15 == 7: same shard as node 7
+        memo.insert(7, true); // idempotent re-insert
+        assert_eq!(memo.get(7), Some(true));
+        assert_eq!(memo.get(23), Some(false));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn memo_is_consistent_under_concurrent_writers() {
+        let memo = ShardedMemo::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let memo = &memo;
+                scope.spawn(move || {
+                    for n in 0..64u32 {
+                        memo.insert(n, n % 2 == 0);
+                        let _ = memo.get((n + t) % 64);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+        for n in 0..64u32 {
+            assert_eq!(memo.get(n), Some(n % 2 == 0));
+        }
+    }
+}

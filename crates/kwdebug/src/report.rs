@@ -4,6 +4,14 @@
 //! the non-answer queries, and for each non-answer its maximal non-empty
 //! sub-queries. Reports carry SQL text (what a developer pastes into a
 //! console) and sample result tuples for everything alive.
+//!
+//! Reports are deterministic in everything but wall-clock timings — and
+//! that determinism survives [`crate::debugger::DebugConfig::workers`]: a
+//! parallel traversal yields the same classification, the same MPAN lists
+//! in the same order, and the same probe counters as the sequential run
+//! (`tests/parallel_equivalence.rs` pins this; DESIGN.md §8 explains why).
+//! Only `probe_time_ns` and the parallel-only `workers`/`steals` counters
+//! vary with the thread count.
 
 use std::fmt;
 use std::time::Duration;

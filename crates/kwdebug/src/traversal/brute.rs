@@ -8,30 +8,53 @@
 //! `r1_inferences`, `r2_inferences` or `reuse_hits` — its probe count *is*
 //! the pruned sub-lattice size.
 //!
+//! As a [`Frontier`], brute force emits one single wave holding every dense
+//! node in order: with no inference rules, every node is independent of
+//! every other, making it the best-case workload for the parallel driver.
+//!
 //! Degraded mode: an abandoned node simply stays unknown; budget exhaustion
 //! stops the scan and everything unvisited stays unknown.
 
-use crate::error::KwError;
-use crate::lattice::Lattice;
-use crate::oracle::AlivenessOracle;
+use crate::metrics::Metrics;
 use crate::prune::PrunedLattice;
 
-use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
+use super::{outcome_from_global_status, Classified, Frontier, Status};
 
-pub(super) fn run(
-    lattice: &Lattice,
-    pruned: &PrunedLattice,
-    oracle: &mut AlivenessOracle<'_>,
-) -> Result<Classified, KwError> {
-    let mut status = vec![Status::Unknown; pruned.len()];
-    for (n, s) in status.iter_mut().enumerate() {
-        match probe(lattice, pruned, oracle, n)? {
-            ProbeOutcome::Verdict(alive) => {
-                *s = if alive { Status::Alive } else { Status::Dead };
-            }
-            ProbeOutcome::Abandoned => continue,
-            ProbeOutcome::Exhausted => break,
+pub(super) struct BruteFrontier<'p> {
+    pruned: &'p PrunedLattice,
+    emitted: bool,
+    status: Vec<Status>,
+}
+
+impl<'p> BruteFrontier<'p> {
+    pub(super) fn new(pruned: &'p PrunedLattice) -> Self {
+        BruteFrontier { pruned, emitted: false, status: vec![Status::Unknown; pruned.len()] }
+    }
+}
+
+impl Frontier for BruteFrontier<'_> {
+    fn next_wave(&mut self, out: &mut Vec<usize>) {
+        if !self.emitted {
+            out.extend(0..self.pruned.len());
+            self.emitted = true;
         }
     }
-    Ok(outcome_from_global_status(pruned, &status))
+
+    fn is_unknown(&self, n: usize) -> bool {
+        // No inference: a node is only classified by its own probe, so every
+        // node is still unknown when the driver reaches it.
+        self.status[n] == Status::Unknown
+    }
+
+    fn apply(&mut self, n: usize, alive: bool, _metrics: &Metrics) {
+        self.status[n] = if alive { Status::Alive } else { Status::Dead };
+    }
+
+    fn abandon(&mut self, _n: usize) {}
+
+    fn exhaust(&mut self) {}
+
+    fn finish(self: Box<Self>) -> Classified {
+        outcome_from_global_status(self.pruned, &self.status)
+    }
 }

@@ -6,60 +6,80 @@
 //! Rule R2 still prunes upward — a dead node kills its entire ancestor cone
 //! across every MTN's search space at once.
 //!
+//! As a [`Frontier`], BUWR emits one wave per global lattice level,
+//! ascending: dense order *is* level order, so the waves are the maximal
+//! equal-level runs of `0..len`. The sweep is the level-by-level climb of
+//! Algorithm 3, with "next level = parents of alive nodes" realized by R2
+//! having already marked the ancestors of dead nodes.
+//!
 //! Metrics recorded (see [`crate::metrics`]): each visit skipped because the
 //! shared status map already classified the node is one `reuse_hits` — the
 //! cross-MTN sharing Figure 13 quantifies — and each ancestor newly killed by
-//! R2 is one `r2_inferences`. Like BU, the ascending order never fires R1.
+//! R2 is one `r2_inferences`. The driver consults memoized verdicts before
+//! the budget ([`crate::oracle::AlivenessOracle::verdict_if_known`]), so
+//! cached nodes never touch it. Like BU, the ascending order never fires R1.
 //!
-//! Degraded mode: memoized verdicts are consulted first
-//! ([`AlivenessOracle::verdict_if_known`]) so cached nodes never touch the
-//! budget; abandoned probes stay unknown and the sweep continues; budget
-//! exhaustion stops the sweep and the partial status map yields the MTN
-//! classification and MPAN bounds.
+//! Degraded mode: abandoned probes stay unknown and the sweep continues;
+//! budget exhaustion stops the sweep and the partial status map yields the
+//! MTN classification and MPAN bounds.
 
-use crate::error::KwError;
-use crate::lattice::Lattice;
-use crate::oracle::AlivenessOracle;
+use crate::metrics::Metrics;
 use crate::prune::PrunedLattice;
 
-use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
+use super::{outcome_from_global_status, Classified, Frontier, Status};
 
-pub(super) fn run(
-    lattice: &Lattice,
-    pruned: &PrunedLattice,
-    oracle: &mut AlivenessOracle<'_>,
-) -> Result<Classified, KwError> {
-    let mut status = vec![Status::Unknown; pruned.len()];
-    // Dense order is level-ascending: one sweep is the level-by-level climb
-    // of Algorithm 3, with "next level = parents of alive nodes" realized by
-    // R2 having already marked the ancestors of dead nodes.
-    for n in 0..pruned.len() {
-        if status[n] != Status::Unknown {
-            oracle.metrics().reuse_hits.incr();
-            continue;
+pub(super) struct BuwrFrontier<'p> {
+    pruned: &'p PrunedLattice,
+    /// Next unemitted dense node (dense order = level-ascending order).
+    pos: usize,
+    status: Vec<Status>,
+}
+
+impl<'p> BuwrFrontier<'p> {
+    pub(super) fn new(pruned: &'p PrunedLattice) -> Self {
+        BuwrFrontier { pruned, pos: 0, status: vec![Status::Unknown; pruned.len()] }
+    }
+}
+
+impl Frontier for BuwrFrontier<'_> {
+    fn next_wave(&mut self, out: &mut Vec<usize>) {
+        if self.pos >= self.pruned.len() {
+            return;
         }
-        let outcome = match oracle.verdict_if_known(pruned.lattice_id(n)) {
-            Some(alive) => {
-                oracle.metrics().memo_hits.incr();
-                ProbeOutcome::Verdict(alive)
-            }
-            None => probe(lattice, pruned, oracle, n)?,
-        };
-        match outcome {
-            ProbeOutcome::Verdict(true) => status[n] = Status::Alive,
-            ProbeOutcome::Verdict(false) => {
-                let mut inferred = 0;
-                for &a in pruned.asc_plus(n) {
-                    if a != n && status[a] == Status::Unknown {
-                        inferred += 1;
-                    }
-                    status[a] = Status::Dead;
-                }
-                oracle.metrics().r2_inferences.add(inferred);
-            }
-            ProbeOutcome::Abandoned => continue,
-            ProbeOutcome::Exhausted => break,
+        let lvl = self.pruned.level(self.pos);
+        while self.pos < self.pruned.len() && self.pruned.level(self.pos) == lvl {
+            out.push(self.pos);
+            self.pos += 1;
         }
     }
-    Ok(outcome_from_global_status(pruned, &status))
+
+    fn is_unknown(&self, n: usize) -> bool {
+        self.status[n] == Status::Unknown
+    }
+
+    fn apply(&mut self, n: usize, alive: bool, metrics: &Metrics) {
+        if alive {
+            self.status[n] = Status::Alive;
+        } else {
+            let mut inferred = 0;
+            for &a in self.pruned.asc_plus(n) {
+                if a != n && self.status[a] == Status::Unknown {
+                    inferred += 1;
+                }
+                self.status[a] = Status::Dead;
+            }
+            metrics.r2_inferences.add(inferred);
+        }
+    }
+
+    fn abandon(&mut self, _n: usize) {}
+
+    fn exhaust(&mut self) {
+        // The partial status map already holds everything we know.
+        self.pos = self.pruned.len();
+    }
+
+    fn finish(self: Box<Self>) -> Classified {
+        outcome_from_global_status(self.pruned, &self.status)
+    }
 }

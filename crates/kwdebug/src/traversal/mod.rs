@@ -49,6 +49,23 @@
 //! alive) that unresolved statuses kept from being confirmed or ruled out.
 //! On a complete run both `unknown_mtns` and every `possible_mpans` entry
 //! are empty and the outcome is exactly the happy-path one.
+//!
+//! ## Wave emission and the parallel scheduler
+//!
+//! Every strategy is implemented as a `Frontier`: a state machine that
+//! *emits* batches ("waves") of dense nodes to probe instead of probing
+//! them itself. A wave's nodes are mutually independent — no verdict inside
+//! the wave can classify another wave member through R1/R2 (for the
+//! order-based strategies this falls out of level structure: same-level
+//! nodes are never ancestor/descendant of each other). One driver loop
+//! walks each wave in the strategy's visit order and handles the per-node
+//! protocol (reuse check → memo check → budget → probe → apply); the
+//! sequential driver lives here ([`run`]), the multi-threaded one in
+//! [`crate::parallel`] ([`run_with_workers`] with `workers > 1`). Because
+//! both drivers share the per-node protocol and the wave order, the
+//! parallel traversal produces bit-identical classifications, MPAN sets
+//! *and probe counters* — strategies stay single-threaded state machines
+//! and never need locks.
 
 mod brute;
 mod bu;
@@ -64,7 +81,7 @@ pub use sbh::DEFAULT_PA;
 use crate::budget::Exhausted;
 use crate::error::KwError;
 use crate::lattice::Lattice;
-use crate::metrics::ProbeCounters;
+use crate::metrics::{Metrics, ProbeCounters};
 use crate::oracle::{AlivenessOracle, Probe};
 use crate::prune::PrunedLattice;
 
@@ -180,7 +197,7 @@ impl TraversalOutcome {
     }
 }
 
-/// Runs a traversal strategy over a pruned lattice.
+/// Runs a traversal strategy over a pruned lattice, sequentially.
 ///
 /// `pa` is the aliveness prior used by [`StrategyKind::ScoreBasedHeuristic`]
 /// (ignored by the others); the paper finds `p_a = 0.5` works well.
@@ -191,17 +208,39 @@ pub fn run(
     oracle: &mut AlivenessOracle<'_>,
     pa: f64,
 ) -> Result<TraversalOutcome, KwError> {
+    run_with_workers(kind, lattice, pruned, oracle, pa, 1)
+}
+
+/// Runs a traversal strategy over a pruned lattice, fanning each probe wave
+/// over `workers` threads when `workers > 1` (see [`crate::parallel`]).
+/// `workers <= 1` is the sequential driver; either way the outcome —
+/// classification, MPAN sets, probe counters — is identical, only
+/// wall-clock changes.
+pub fn run_with_workers(
+    kind: StrategyKind,
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    pa: f64,
+    workers: usize,
+) -> Result<TraversalOutcome, KwError> {
     let q0 = oracle.stats().queries;
     let t0 = oracle.stats().total_time;
     let m0 = oracle.metrics().snapshot();
-    let classified = match kind {
-        StrategyKind::BottomUp => bu::run(lattice, pruned, oracle)?,
-        StrategyKind::TopDown => td::run(lattice, pruned, oracle)?,
-        StrategyKind::BottomUpWithReuse => buwr::run(lattice, pruned, oracle)?,
-        StrategyKind::TopDownWithReuse => tdwr::run(lattice, pruned, oracle)?,
-        StrategyKind::ScoreBasedHeuristic => sbh::run(lattice, pruned, oracle, pa)?,
-        StrategyKind::BruteForce => brute::run(lattice, pruned, oracle)?,
+    let mut frontier: Box<dyn Frontier + '_> = match kind {
+        StrategyKind::BottomUp => Box::new(bu::BuFrontier::new(pruned)),
+        StrategyKind::TopDown => Box::new(td::TdFrontier::new(pruned)),
+        StrategyKind::BottomUpWithReuse => Box::new(buwr::BuwrFrontier::new(pruned)),
+        StrategyKind::TopDownWithReuse => Box::new(tdwr::TdwrFrontier::new(pruned)),
+        StrategyKind::ScoreBasedHeuristic => Box::new(sbh::SbhFrontier::new(pruned, pa)),
+        StrategyKind::BruteForce => Box::new(brute::BruteFrontier::new(pruned)),
     };
+    if workers > 1 {
+        crate::parallel::run_waves(lattice, pruned, oracle, frontier.as_mut(), workers)?;
+    } else {
+        drive_sequential(lattice, pruned, oracle, frontier.as_mut())?;
+    }
+    let classified = frontier.finish();
     Ok(TraversalOutcome {
         alive_mtns: classified.alive_mtns,
         dead_mtns: classified.dead_mtns,
@@ -213,6 +252,80 @@ pub fn run(
         sql_time: oracle.stats().total_time.saturating_sub(t0),
         probes: oracle.metrics().snapshot().delta(m0),
     })
+}
+
+/// A traversal strategy as a wave-emitting state machine.
+///
+/// The strategy owns its status bookkeeping and inference rules; a *driver*
+/// (sequential below, multi-threaded in [`crate::parallel`]) owns probing.
+/// Per wave the driver walks the emitted nodes **in emission order** and,
+/// for each node: already classified → count `reuse_hits`; memoized →
+/// count `memo_hits` and [`Frontier::apply`]; otherwise reserve a budget
+/// slot and probe, then [`Frontier::apply`] the verdict. A budget refusal
+/// calls [`Frontier::exhaust`] and ends the traversal.
+///
+/// Implementations must uphold the **wave-independence invariant**: no
+/// verdict applied for one wave member may classify another member of the
+/// same wave (R1/R2 reach only other levels, so emitting runs of equal
+/// lattice level satisfies this). The drivers rely on it for `reuse_hits`
+/// determinism; DESIGN.md §8 states it formally.
+pub(crate) trait Frontier {
+    /// Emits the next wave of nodes in visit order into `out` (cleared by
+    /// the driver). An empty wave means the traversal is complete. Nodes
+    /// already classified at emission time are included — the driver counts
+    /// them as `reuse_hits` exactly like the sequential sweeps did.
+    fn next_wave(&mut self, out: &mut Vec<usize>);
+    /// Whether dense node `n` is still unclassified in this strategy's view.
+    fn is_unknown(&self, n: usize) -> bool;
+    /// Records a verdict for `n` and fires the strategy's inference rules,
+    /// counting `r1_inferences`/`r2_inferences` on `metrics`.
+    fn apply(&mut self, n: usize, alive: bool, metrics: &Metrics);
+    /// Marks `n` permanently failed (degraded mode); it stays unclassified.
+    fn abandon(&mut self, n: usize);
+    /// The budget tripped: settle partial state (e.g. classify the
+    /// in-progress MTN, file the rest as unknown). No more waves follow.
+    fn exhaust(&mut self);
+    /// Consumes the frontier into the final MTN classification.
+    fn finish(self: Box<Self>) -> Classified;
+}
+
+/// The sequential wave driver: one probe at a time through the oracle's own
+/// engine, per-node protocol identical to [`crate::parallel::run_waves`].
+fn drive_sequential(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    frontier: &mut dyn Frontier,
+) -> Result<(), KwError> {
+    let mut wave = Vec::new();
+    loop {
+        wave.clear();
+        frontier.next_wave(&mut wave);
+        if wave.is_empty() {
+            return Ok(());
+        }
+        let mut stop = false;
+        for &n in &wave {
+            if !frontier.is_unknown(n) {
+                oracle.metrics().reuse_hits.incr();
+                continue;
+            }
+            // probe() consults the memo before the budget, so memoized
+            // nodes are answered (and counted) even under a tripped cap.
+            match probe(lattice, pruned, oracle, n)? {
+                ProbeOutcome::Verdict(alive) => frontier.apply(n, alive, oracle.metrics()),
+                ProbeOutcome::Abandoned => frontier.abandon(n),
+                ProbeOutcome::Exhausted => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        if stop {
+            frontier.exhaust();
+            return Ok(());
+        }
+    }
 }
 
 /// The outcome of probing one dense node, as seen by a strategy.

@@ -27,6 +27,11 @@
 //! `B` of all its descendants — total update work proportional to the sum of
 //! closure sizes, paid once over the whole traversal.
 //!
+//! As a [`Frontier`], SBH emits singleton waves: each greedy pick depends on
+//! every verdict so far, so there is no independent batch to fan out — the
+//! parallel driver degenerates to sequential probing here (correct, just
+//! not faster), which is the honest reading of the heuristic.
+//!
 //! Metrics recorded (see [`crate::metrics`]): every node resolved alongside
 //! an execution (the `resolved` set minus the executed node itself) counts as
 //! `r1_inferences` when the verdict was alive and `r2_inferences` when dead.
@@ -37,96 +42,123 @@
 //! pick (it stays unknown but is never re-probed, or the loop would spin);
 //! the traversal ends when the budget trips or no pickable node remains.
 
-use crate::error::KwError;
-use crate::lattice::Lattice;
-use crate::oracle::AlivenessOracle;
+use crate::metrics::Metrics;
 use crate::prune::PrunedLattice;
 
-use super::{outcome_from_global_status, probe, Classified, ProbeOutcome, Status};
+use super::{outcome_from_global_status, Classified, Frontier, Status};
 
 /// The aliveness prior the paper found to work well without estimation.
 pub const DEFAULT_PA: f64 = 0.5;
 
-pub(super) fn run(
-    lattice: &Lattice,
-    pruned: &PrunedLattice,
-    oracle: &mut AlivenessOracle<'_>,
+pub(super) struct SbhFrontier<'p> {
+    pruned: &'p PrunedLattice,
     pa: f64,
-) -> Result<Classified, KwError> {
-    let len = pruned.len();
-    let mut status = vec![Status::Unknown; len];
-    let mut abandoned = vec![false; len];
+    status: Vec<Status>,
+    abandoned: Vec<bool>,
+    /// Static MTN-coverage weight of every node.
+    w: Vec<i64>,
+    /// A(n)/B(n) over the current unknown set, maintained incrementally.
+    a: Vec<i64>,
+    b: Vec<i64>,
+    exhausted: bool,
+}
 
-    // Static MTN-coverage weight of every node.
-    let mut w = vec![0i64; len];
-    for &m in pruned.mtns() {
-        for &x in pruned.desc_plus(m) {
-            w[x] += 1;
+impl<'p> SbhFrontier<'p> {
+    pub(super) fn new(pruned: &'p PrunedLattice, pa: f64) -> Self {
+        let len = pruned.len();
+        let mut w = vec![0i64; len];
+        for &m in pruned.mtns() {
+            for &x in pruned.desc_plus(m) {
+                w[x] += 1;
+            }
+        }
+        let mut a = vec![0i64; len];
+        let mut b = vec![0i64; len];
+        for n in 0..len {
+            a[n] = pruned.desc_plus(n).iter().map(|&x| w[x]).sum();
+            b[n] = pruned.asc_plus(n).iter().map(|&x| w[x]).sum();
+        }
+        SbhFrontier {
+            pruned,
+            pa,
+            status: vec![Status::Unknown; len],
+            abandoned: vec![false; len],
+            w,
+            a,
+            b,
+            exhausted: false,
         }
     }
+}
 
-    // A(n) / B(n) over the all-unknown initial state.
-    let mut a = vec![0i64; len];
-    let mut b = vec![0i64; len];
-    for n in 0..len {
-        a[n] = pruned.desc_plus(n).iter().map(|&x| w[x]).sum();
-        b[n] = pruned.asc_plus(n).iter().map(|&x| w[x]).sum();
-    }
-
-    loop {
+impl Frontier for SbhFrontier<'_> {
+    fn next_wave(&mut self, out: &mut Vec<usize>) {
+        if self.exhausted {
+            return;
+        }
         // Greedy pick: maximal expected resolution among the pickable
         // unknowns. Ties break toward the lowest dense index (lowest level)
         // for determinism.
         let mut best: Option<(f64, usize)> = None;
-        for n in 0..len {
-            if status[n] != Status::Unknown || abandoned[n] {
+        for n in 0..self.pruned.len() {
+            if self.status[n] != Status::Unknown || self.abandoned[n] {
                 continue;
             }
-            let gain = pa * a[n] as f64 + (1.0 - pa) * b[n] as f64;
+            let gain = self.pa * self.a[n] as f64 + (1.0 - self.pa) * self.b[n] as f64;
             if best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, n));
             }
         }
-        let Some((_, n)) = best else { break };
+        if let Some((_, n)) = best {
+            out.push(n);
+        }
+    }
 
-        let alive = match probe(lattice, pruned, oracle, n)? {
-            ProbeOutcome::Verdict(alive) => alive,
-            ProbeOutcome::Abandoned => {
-                abandoned[n] = true;
-                continue;
-            }
-            ProbeOutcome::Exhausted => break,
-        };
+    fn is_unknown(&self, n: usize) -> bool {
+        self.status[n] == Status::Unknown
+    }
+
+    fn apply(&mut self, n: usize, alive: bool, metrics: &Metrics) {
         // Nodes resolved by this outcome (R1 downward or R2 upward).
         let resolved: Vec<usize> = if alive {
-            pruned.desc_plus(n).iter().copied()
-                .filter(|&x| status[x] == Status::Unknown)
+            self.pruned.desc_plus(n).iter().copied()
+                .filter(|&x| self.status[x] == Status::Unknown)
                 .collect()
         } else {
-            pruned.asc_plus(n).iter().copied()
-                .filter(|&x| status[x] == Status::Unknown)
+            self.pruned.asc_plus(n).iter().copied()
+                .filter(|&x| self.status[x] == Status::Unknown)
                 .collect()
         };
         let inferred = (resolved.len() as u64).saturating_sub(1);
         if alive {
-            oracle.metrics().r1_inferences.add(inferred);
+            metrics.r1_inferences.add(inferred);
         } else {
-            oracle.metrics().r2_inferences.add(inferred);
+            metrics.r2_inferences.add(inferred);
         }
         let new_status = if alive { Status::Alive } else { Status::Dead };
         for &x in &resolved {
-            status[x] = new_status;
+            self.status[x] = new_status;
             // x leaves the unknown set: its weight no longer counts toward
             // any A (ancestors see x in their Desc+) or B (descendants see x
             // in their Asc+).
-            for &p in pruned.asc_plus(x) {
-                a[p] -= w[x];
+            for &p in self.pruned.asc_plus(x) {
+                self.a[p] -= self.w[x];
             }
-            for &d in pruned.desc_plus(x) {
-                b[d] -= w[x];
+            for &d in self.pruned.desc_plus(x) {
+                self.b[d] -= self.w[x];
             }
         }
     }
 
-    Ok(outcome_from_global_status(pruned, &status))
+    fn abandon(&mut self, n: usize) {
+        self.abandoned[n] = true;
+    }
+
+    fn exhaust(&mut self) {
+        self.exhausted = true;
+    }
+
+    fn finish(self: Box<Self>) -> Classified {
+        outcome_from_global_status(self.pruned, &self.status)
+    }
 }

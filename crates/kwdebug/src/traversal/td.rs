@@ -8,61 +8,122 @@
 //! dead MTN these are exactly its MPANs, though we extract them uniformly
 //! from the final statuses.
 //!
+//! As a [`Frontier`], TD emits one wave per *level run* of the current
+//! MTN's cone walked in reverse (`Desc+(m)` descending = level-descending).
+//! Same-level nodes are never descendants of each other, so R1 from one
+//! wave member can never classify another — the wave-independence invariant
+//! the parallel driver needs.
+//!
 //! Metrics recorded (see [`crate::metrics`]): each skipped visit of an
-//! already-classified node is one `reuse_hits` (within-MTN only); each
-//! descendant newly revived by R1 is one `r1_inferences`. TD never fires R2:
-//! descending order classifies every ancestor before its descendant.
+//! already-classified node is one `reuse_hits` (within-MTN only, counted by
+//! the driver); each descendant newly revived by R1 is one `r1_inferences`.
+//! TD never fires R2: descending order classifies every ancestor before its
+//! descendant.
 //!
 //! Degraded mode: an abandoned probe leaves its node unknown and the sweep
 //! continues; budget exhaustion finishes the current MTN from whatever
 //! statuses it has, then files all remaining MTNs as unknown.
 
-use crate::error::KwError;
-use crate::lattice::Lattice;
-use crate::oracle::AlivenessOracle;
+use crate::metrics::Metrics;
 use crate::prune::PrunedLattice;
 
-use super::{probe, Classified, ProbeOutcome, Status};
+use super::{Classified, Frontier, Status};
 
-pub(super) fn run(
-    lattice: &Lattice,
-    pruned: &PrunedLattice,
-    oracle: &mut AlivenessOracle<'_>,
-) -> Result<Classified, KwError> {
-    let mut classified = Classified::default();
-    let mut exhausted = false;
-    for (i, &m) in pruned.mtns().iter().enumerate() {
-        if exhausted {
-            classified.unknown_mtns.extend(pruned.mtns()[i..].iter().copied());
-            break;
+pub(super) struct TdFrontier<'p> {
+    pruned: &'p PrunedLattice,
+    /// Index into `pruned.mtns()` of the cone being swept.
+    mtn_idx: usize,
+    /// Number of cone nodes already emitted (walking the cone in reverse).
+    pos: usize,
+    status: Vec<Status>,
+    classified: Classified,
+    done: bool,
+}
+
+impl<'p> TdFrontier<'p> {
+    pub(super) fn new(pruned: &'p PrunedLattice) -> Self {
+        TdFrontier {
+            pruned,
+            mtn_idx: 0,
+            pos: 0,
+            status: vec![Status::Unknown; pruned.len()],
+            classified: Classified::default(),
+            done: pruned.mtns().is_empty(),
         }
-        let mut status = vec![Status::Unknown; pruned.len()];
-        for &n in pruned.desc_plus(m).iter().rev() {
-            if status[n] != Status::Unknown {
-                oracle.metrics().reuse_hits.incr();
+    }
+
+    fn cone(&self) -> &'p [usize] {
+        self.pruned.desc_plus(self.pruned.mtns()[self.mtn_idx])
+    }
+
+    /// The cone node at reverse-walk position `pos`.
+    fn at(&self, pos: usize) -> usize {
+        let cone = self.cone();
+        cone[cone.len() - 1 - pos]
+    }
+}
+
+impl Frontier for TdFrontier<'_> {
+    fn next_wave(&mut self, out: &mut Vec<usize>) {
+        while !self.done {
+            let len = self.cone().len();
+            if self.pos >= len {
+                let m = self.pruned.mtns()[self.mtn_idx];
+                self.classified.classify_mtn(self.pruned, &self.status, m);
+                self.mtn_idx += 1;
+                self.pos = 0;
+                if self.mtn_idx >= self.pruned.mtns().len() {
+                    self.done = true;
+                    return;
+                }
+                self.status.fill(Status::Unknown);
                 continue;
             }
-            match probe(lattice, pruned, oracle, n)? {
-                ProbeOutcome::Verdict(true) => {
-                    // R1: every descendant of an alive node is alive.
-                    let mut inferred = 0;
-                    for &d in pruned.desc_plus(n) {
-                        if d != n && status[d] == Status::Unknown {
-                            inferred += 1;
-                        }
-                        status[d] = Status::Alive;
-                    }
-                    oracle.metrics().r1_inferences.add(inferred);
-                }
-                ProbeOutcome::Verdict(false) => status[n] = Status::Dead,
-                ProbeOutcome::Abandoned => continue,
-                ProbeOutcome::Exhausted => {
-                    exhausted = true;
-                    break;
-                }
+            // Emit the maximal run of equal-level nodes, walking downward.
+            let lvl = self.pruned.level(self.at(self.pos));
+            while self.pos < len && self.pruned.level(self.at(self.pos)) == lvl {
+                out.push(self.at(self.pos));
+                self.pos += 1;
             }
+            return;
         }
-        classified.classify_mtn(pruned, &status, m);
     }
-    Ok(classified)
+
+    fn is_unknown(&self, n: usize) -> bool {
+        self.status[n] == Status::Unknown
+    }
+
+    fn apply(&mut self, n: usize, alive: bool, metrics: &Metrics) {
+        if alive {
+            // R1: every descendant of an alive node is alive.
+            let mut inferred = 0;
+            for &d in self.pruned.desc_plus(n) {
+                if d != n && self.status[d] == Status::Unknown {
+                    inferred += 1;
+                }
+                self.status[d] = Status::Alive;
+            }
+            metrics.r1_inferences.add(inferred);
+        } else {
+            self.status[n] = Status::Dead;
+        }
+    }
+
+    fn abandon(&mut self, _n: usize) {}
+
+    fn exhaust(&mut self) {
+        if self.done {
+            return;
+        }
+        let m = self.pruned.mtns()[self.mtn_idx];
+        self.classified.classify_mtn(self.pruned, &self.status, m);
+        self.classified
+            .unknown_mtns
+            .extend(self.pruned.mtns()[self.mtn_idx + 1..].iter().copied());
+        self.done = true;
+    }
+
+    fn finish(self: Box<Self>) -> Classified {
+        self.classified
+    }
 }

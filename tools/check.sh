@@ -21,6 +21,10 @@ cargo test --workspace -q
 echo "==> chaos suite (fixed seeds: degraded-mode soundness + accounting)"
 cargo test --workspace -q --test chaos_soundness --test metrics_accounting
 
+echo "==> parallel scheduler (sequential-equivalence + chaos smoke, single-threaded)"
+cargo test --workspace -q --test parallel_equivalence
+cargo test --workspace -q --test parallel_equivalence --test chaos_soundness -- --test-threads=1
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
