@@ -101,6 +101,7 @@ fn main() {
                 scale: args.scale.name().to_owned(),
                 max_level: max_level as u64,
                 interpretations: report.interpretations.len() as u64,
+                lattice_bytes: 0,
                 probes,
                 phases: Default::default(),
                 prune: None,

@@ -7,11 +7,48 @@
 //! lattice nodes (98% on average at level 5); queries with high descendant
 //! overlap (few unique descendants) are the ones reuse helps most.
 //!
-//! Usage: `exp_phase12 [--scale S] [--max-level N]` (default N=5).
+//! With `--throughput N` the binary additionally runs the sustained
+//! multi-query mode of experiment E14: N workload queries back to back over
+//! the one shared lattice, reporting queries/sec, per-phase µs per query and
+//! heap allocations per query (counted by a wrapping global allocator). This
+//! is the before/after yardstick for the compact lattice substrate
+//! (DESIGN.md §9).
+//!
+//! Usage: `exp_phase12 [--scale S] [--max-level N] [--throughput N]`
+//! (default max level 5).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bench::{build_system, emit_metrics, print_table, run_query, ExpArgs};
 use datagen::paper_queries;
+use kwdebug::metrics::{MetricsSnapshot, PhaseTiming};
 use kwdebug::traversal::StrategyKind;
+
+/// Wraps the system allocator to count heap allocations, so the throughput
+/// mode can report allocations per query without external tooling.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args = ExpArgs::parse();
@@ -32,6 +69,7 @@ fn main() {
             .expect("workload query runs");
         let mut rec = agg.snapshot("exp_phase12", q.id, "BUWR", args.scale, max_level);
         rec.levels = system.lattice().stats().to_vec();
+        rec.lattice_bytes = system.lattice().memory_footprint().total_bytes() as u64;
         records.push(rec);
         let prune_pct = 100.0
             * (1.0 - agg.prune.retained_phase1 as f64 / (lattice_nodes * agg.interpretations.max(1)) as f64);
@@ -52,5 +90,70 @@ fn main() {
         &rows,
     );
     println!("\naverage pruning: {:.1}% of lattice nodes removed\n", prune_pct_sum / 10.0);
+
+    if let Some(n) = args.throughput {
+        records.push(run_throughput(&system, n, args, max_level));
+    }
     emit_metrics("exp_phase12", &records);
+}
+
+/// E14: sustained Phase 1–2 throughput over the shared lattice.
+fn run_throughput(
+    system: &kwdebug::debugger::NonAnswerDebugger,
+    n: usize,
+    args: ExpArgs,
+    max_level: usize,
+) -> MetricsSnapshot {
+    println!("== E14: sustained phase 1-2 throughput ({n} queries) ==\n");
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let rep = bench::run_phase12_throughput(system, n);
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let allocs_per_query = allocs / n.max(1) as u64;
+    let per_query_us = rep.wall.as_secs_f64() * 1e6 / rep.queries.max(1) as f64;
+    let map_us = rep.mapping.as_secs_f64() * 1e6 / rep.queries.max(1) as f64;
+    let prune_us = rep.pruning.as_secs_f64() * 1e6 / rep.queries.max(1) as f64;
+    print_table(
+        &["queries", "interp", "q/s", "query_us", "map_us", "prune12_us", "allocs/q"],
+        &[vec![
+            rep.queries.to_string(),
+            rep.interpretations.to_string(),
+            format!("{:.0}", rep.queries_per_sec()),
+            format!("{per_query_us:.1}"),
+            format!("{map_us:.1}"),
+            format!("{prune_us:.1}"),
+            allocs_per_query.to_string(),
+        ]],
+    );
+    println!();
+    let mut rec = MetricsSnapshot {
+        experiment: "exp_phase12".to_owned(),
+        query: "THROUGHPUT".to_owned(),
+        strategy: "NONE".to_owned(),
+        variant: format!(
+            "throughput={n};substrate={};allocs_per_query={allocs_per_query}",
+            substrate_name()
+        ),
+        scale: args.scale.name().to_owned(),
+        max_level: max_level as u64,
+        interpretations: rep.interpretations as u64,
+        lattice_bytes: system.lattice().memory_footprint().total_bytes() as u64,
+        probes: Default::default(),
+        phases: PhaseTiming {
+            mapping: rep.mapping,
+            pruning: rep.pruning,
+            total: rep.wall,
+            ..PhaseTiming::default()
+        },
+        prune: Some(rep.prune.clone()),
+        levels: Vec::new(),
+    };
+    rec.probes.phase1_nodes_touched = rep.phase1_nodes_touched;
+    rec.probes.workspace_reuses = rep.workspace_reuses;
+    rec
+}
+
+/// Label of the Phase 1–2 substrate in effect, recorded in the bench variant
+/// so before/after rows are distinguishable in `results/`.
+fn substrate_name() -> &'static str {
+    kwdebug::prune::SUBSTRATE
 }

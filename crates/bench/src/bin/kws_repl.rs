@@ -4,6 +4,8 @@
 //! report; `:strategy BU|BUWR|TD|TDWR|SBH|BRUTE` switches the traversal,
 //! `:metrics` dumps the probe counters and phase timing of the last query
 //! (human table plus the stable [`kwdebug::metrics::MetricsSnapshot`] JSON),
+//! `:lattice` prints the offline lattice's per-level node counts and the
+//! byte breakdown of its resident arena ([`kwdebug::lattice::Lattice::memory_footprint`]),
 //! `:budget N [MS]` caps probes (and optionally a deadline in milliseconds)
 //! per interpretation, `:chaos SEED T P [L]` turns on deterministic fault
 //! injection (per-mille transient/permanent/latency rates), `:budget off` /
@@ -65,7 +67,31 @@ fn handle(system: &NonAnswerDebugger, strategy: StrategyKind, line: &str) -> Opt
     }
 }
 
-fn show_metrics(last: &LastRun, args: &ExpArgs, max_level: usize) {
+/// `:lattice` — per-level shape and resident-memory breakdown of the shared
+/// offline lattice.
+fn show_lattice(system: &NonAnswerDebugger) {
+    let lattice = system.lattice();
+    let fp = lattice.memory_footprint();
+    println!(
+        "offline lattice: {} nodes, {} levels (maxJoins {})",
+        fp.nodes,
+        lattice.level_count(),
+        lattice.max_joins()
+    );
+    for level in 1..=lattice.level_count() {
+        println!("  level {level:>2}  {:>8} nodes", lattice.level_nodes(level).len());
+    }
+    let kib = |b: usize| b as f64 / 1024.0;
+    println!("resident arena:");
+    println!("  networks (JNTS)   {:>10.1} KiB", kib(fp.jnts_bytes));
+    println!("  adjacency CSR     {:>10.1} KiB", kib(fp.adjacency_bytes));
+    println!("  postings index    {:>10.1} KiB", kib(fp.postings_bytes));
+    println!("  levels/flags      {:>10.1} KiB", kib(fp.index_bytes));
+    println!("  total             {:>10.1} KiB", kib(fp.total_bytes()));
+    println!("workspace reuses so far: {}", system.workspace_reuses());
+}
+
+fn show_metrics(system: &NonAnswerDebugger, last: &LastRun, args: &ExpArgs, max_level: usize) {
     let p = last.report.probes();
     let t = &last.report.timing;
     println!("last query: {:?} under {}", last.query, last.strategy.name());
@@ -88,6 +114,7 @@ fn show_metrics(last: &LastRun, args: &ExpArgs, max_level: usize) {
         scale: format!("{:?}", args.scale).to_ascii_lowercase(),
         max_level: max_level as u64,
         interpretations: last.report.interpretations.len() as u64,
+        lattice_bytes: system.lattice().memory_footprint().total_bytes() as u64,
         probes: p,
         phases: *t,
         prune: None,
@@ -186,9 +213,10 @@ fn main() {
                     None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE"),
                 },
                 Some("metrics") => match &last {
-                    Some(run) => show_metrics(run, &args, max_level),
+                    Some(run) => show_metrics(&system, run, &args, max_level),
                     None => println!("no query run yet — type a keyword query first"),
                 },
+                Some("lattice") => show_lattice(&system),
                 Some("budget") => match parse_budget(&mut parts) {
                     Some(budget) => {
                         let label = if budget.is_unlimited() { "unlimited" } else { "set" };
@@ -210,7 +238,7 @@ fn main() {
                     }
                     None => println!("usage: :chaos SEED TRANSIENT‰ PERMANENT‰ [LATENCY‰]  |  :chaos off"),
                 },
-                _ => println!("commands: :strategy <name>, :metrics, :budget ..., :chaos ..., :quit"),
+                _ => println!("commands: :strategy <name>, :metrics, :lattice, :budget ..., :chaos ..., :quit"),
             }
             continue;
         }

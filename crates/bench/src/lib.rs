@@ -87,12 +87,16 @@ pub struct ExpArgs {
     pub max_level: Option<usize>,
     /// Generator seed.
     pub seed: u64,
+    /// Sustained multi-query throughput mode: run this many queries over one
+    /// shared lattice (used by `exp_phase12`; ignored by other binaries).
+    pub throughput: Option<usize>,
 }
 
 impl ExpArgs {
     /// Parses `std::env::args`, exiting with a usage message on errors.
     pub fn parse() -> ExpArgs {
-        let mut out = ExpArgs { scale: DataScale::Small, max_level: None, seed: 7 };
+        let mut out =
+            ExpArgs { scale: DataScale::Small, max_level: None, seed: 7, throughput: None };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -124,8 +128,18 @@ impl ExpArgs {
                     });
                     i += 2;
                 }
+                "--throughput" => {
+                    out.throughput = Some(value(i).parse().unwrap_or_else(|_| {
+                        eprintln!("--throughput expects a number of queries");
+                        std::process::exit(2);
+                    }));
+                    i += 2;
+                }
                 "--help" | "-h" => {
-                    eprintln!("options: --scale tiny|small|medium|paper  --max-level N  --seed N");
+                    eprintln!(
+                        "options: --scale tiny|small|medium|paper  --max-level N  --seed N  \
+                         --throughput N"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -207,6 +221,7 @@ impl QueryAggregate {
             scale: scale.name().to_owned(),
             max_level: max_level as u64,
             interpretations: self.interpretations as u64,
+            lattice_bytes: 0,
             probes: self.probes,
             phases: self.phases,
             prune: Some(self.prune.clone()),
@@ -305,6 +320,81 @@ pub fn run_query_with(
     agg.phases.sql = agg.sql_time;
     agg.phases.total = t0.elapsed();
     Ok(agg)
+}
+
+/// Outcome of the sustained Phase 1–2 throughput mode (experiment E14):
+/// `queries` keyword queries answered back to back over one shared lattice,
+/// running keyword mapping plus the full Phase 1–2 pipeline
+/// ([`PrunedLattice`] construction) for every interpretation, without
+/// Phase 3 probing. This isolates exactly the per-query substrate cost the
+/// compact-lattice refactor targets.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputReport {
+    /// Queries executed.
+    pub queries: usize,
+    /// Interpretations pruned (Σ over queries).
+    pub interpretations: usize,
+    /// Total wall-clock for the whole run.
+    pub wall: Duration,
+    /// Time in keyword-to-schema mapping.
+    pub mapping: Duration,
+    /// Time in Phase 1–2 (`PrunedLattice` construction).
+    pub pruning: Duration,
+    /// Prune statistics summed over interpretations.
+    pub prune: PruneStats,
+    /// Posting-list entries scanned by Phase 1 (0 before the postings index).
+    pub phase1_nodes_touched: u64,
+    /// Number of `PrunedLattice` builds that reused pooled scratch.
+    pub workspace_reuses: u64,
+}
+
+impl ThroughputReport {
+    /// Queries per second over the whole run.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.queries as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Runs the sustained Phase 1–2 throughput mode: `n` queries drawn
+/// round-robin from the Table 2 workload, mapped and pruned over the one
+/// shared lattice in `system`. Returns per-phase totals; callers derive
+/// queries/sec and per-query µs.
+pub fn run_phase12_throughput(system: &NonAnswerDebugger, n: usize) -> ThroughputReport {
+    let workload = datagen::paper_queries();
+    let mut rep = ThroughputReport::default();
+    let mut ws = kwdebug::workspace::QueryWorkspace::new();
+    let t_all = std::time::Instant::now();
+    for qi in 0..n {
+        let q = &workload[qi % workload.len()];
+        let t0 = std::time::Instant::now();
+        let query = KeywordQuery::parse(q.text).expect("workload query parses");
+        let mapping = map_keywords(&query, system.index());
+        rep.mapping += t0.elapsed();
+        for interp in &mapping.interpretations {
+            let t1 = std::time::Instant::now();
+            let pruned = PrunedLattice::build_with(system.lattice(), interp, &mut ws);
+            rep.pruning += t1.elapsed();
+            rep.interpretations += 1;
+            rep.phase1_nodes_touched += pruned.phase1_nodes_touched();
+            let s = pruned.stats();
+            rep.prune.lattice_nodes = s.lattice_nodes;
+            rep.prune.retained_phase1 += s.retained_phase1;
+            rep.prune.total_nodes += s.total_nodes;
+            rep.prune.mtn_count += s.mtn_count;
+            rep.prune.pruned_nodes += s.pruned_nodes;
+            rep.prune.mtn_descendants_total += s.mtn_descendants_total;
+            rep.prune.mtn_descendants_unique += s.mtn_descendants_unique;
+        }
+        rep.queries += 1;
+    }
+    rep.wall = t_all.elapsed();
+    // Every build after the first reused the warmed workspace buffers.
+    rep.workspace_reuses = ws.builds().saturating_sub(1);
+    rep
 }
 
 /// Runs the Return-Everything baseline for one query.

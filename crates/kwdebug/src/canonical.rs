@@ -46,6 +46,76 @@ pub fn canonical_label(j: &Jnts) -> String {
         .expect("at least one root")
 }
 
+/// Computes the canonical key of a network: a compact binary encoding with
+/// the same equivalence classes as [`canonical_label`].
+///
+/// Lattice generation interns these byte keys in its duplicate-elimination
+/// hash map instead of the decimal strings — same AHU construction (root at
+/// every minimum-label vertex, sorted child codes, lexicographic minimum),
+/// but each vertex/edge id is a fixed-width little-endian word and the
+/// structural delimiters are single tag bytes, so keys are smaller and never
+/// go through decimal formatting. Both encodings are injective on rooted
+/// labeled trees, so `canonical_key(a) == canonical_key(b)` iff
+/// `canonical_label(a) == canonical_label(b)` (pinned by tests below).
+pub fn canonical_key(j: &Jnts) -> Vec<u8> {
+    let n = j.node_count();
+    let vid = |i: usize| -> u64 {
+        let ts = j.nodes()[i];
+        (ts.table as u64) << 8 | ts.copy as u64
+    };
+    let mut adj: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    for e in j.edges() {
+        let (a, b) = (e.a as usize, e.b as usize);
+        let id_ab = (e.fk as u64) << 1 | u64::from(e.a_is_from);
+        let id_ba = (e.fk as u64) << 1 | u64::from(!e.a_is_from);
+        adj[a].push((id_ab, b));
+        adj[b].push((id_ba, a));
+    }
+    let min_label = (0..n).map(vid).min().expect("non-empty network");
+    (0..n)
+        .filter(|&r| vid(r) == min_label)
+        .map(|r| get_key(r, usize::MAX, &adj, &vid))
+        .min()
+        .expect("at least one root")
+}
+
+/// Byte tag opening a vertex code (the `[` of the string encoding).
+const KEY_OPEN: u8 = 0x01;
+/// Byte tag introducing one child edge (the `|`/`:` of the string encoding).
+const KEY_EDGE: u8 = 0x02;
+/// Byte tag closing a vertex code (the `]` of the string encoding).
+const KEY_CLOSE: u8 = 0x03;
+
+/// Recursive rooted byte code: `OPEN vid (EDGE eid childcode)* CLOSE`, with
+/// child codes sorted bytewise.
+fn get_key(
+    u: usize,
+    parent: usize,
+    adj: &[Vec<(u64, usize)>],
+    vid: &dyn Fn(usize) -> u64,
+) -> Vec<u8> {
+    let mut children: Vec<Vec<u8>> = adj[u]
+        .iter()
+        .filter(|&&(_, v)| v != parent)
+        .map(|&(eid, v)| {
+            let mut c = Vec::new();
+            c.push(KEY_EDGE);
+            c.extend_from_slice(&eid.to_le_bytes());
+            c.extend_from_slice(&get_key(v, u, adj, vid));
+            c
+        })
+        .collect();
+    children.sort_unstable();
+    let mut out = Vec::with_capacity(10 + children.iter().map(Vec::len).sum::<usize>());
+    out.push(KEY_OPEN);
+    out.extend_from_slice(&vid(u).to_le_bytes());
+    for c in children {
+        out.extend_from_slice(&c);
+    }
+    out.push(KEY_CLOSE);
+    out
+}
+
 /// Recursive rooted code (the paper's `GetCode`).
 fn get_code(
     u: usize,
@@ -161,5 +231,52 @@ mod tests {
     fn label_is_deterministic() {
         let j = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 0);
         assert_eq!(canonical_label(&j), canonical_label(&j.clone()));
+    }
+
+    #[test]
+    fn byte_key_matches_label_equivalence() {
+        // The byte key must induce exactly the same equivalence classes as
+        // the string label: agree on every isomorphic pair and every
+        // non-isomorphic pair exercised above.
+        let networks = vec![
+            Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 2),
+            Jnts::single(TupleSet::new(1, 2)).extend(0, inc(0, 0, false), 1),
+            Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 1),
+            Jnts::single(TupleSet::new(0, 1))
+                .extend(0, inc(0, 1, false), 0)
+                .extend(1, inc(1, 0, true), 2),
+            Jnts::single(TupleSet::new(0, 1))
+                .extend(0, inc(1, 1, false), 0)
+                .extend(1, inc(0, 0, true), 2),
+            Jnts::single(TupleSet::new(0, 2))
+                .extend(0, inc(1, 1, false), 0)
+                .extend(1, inc(0, 0, true), 1),
+            Jnts::single(TupleSet::new(0, 0))
+                .extend(0, inc(0, 0, true), 0)
+                .extend(1, inc(0, 0, true), 0),
+            Jnts::single(TupleSet::new(0, 0))
+                .extend(0, inc(0, 0, true), 0)
+                .extend(0, inc(0, 0, true), 0),
+        ];
+        for a in &networks {
+            for b in &networks {
+                assert_eq!(
+                    canonical_label(a) == canonical_label(b),
+                    canonical_key(a) == canonical_key(b),
+                    "label and key disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_key_is_compact_and_deterministic() {
+        let j = Jnts::single(TupleSet::new(0, 1)).extend(0, inc(0, 1, true), 0);
+        let k = canonical_key(&j);
+        assert_eq!(k, canonical_key(&j.clone()));
+        // OPEN + vid + (EDGE + eid + leaf code) + CLOSE.
+        assert_eq!(k.len(), 1 + 8 + (1 + 8 + 10) + 1);
+        assert_eq!(k[0], KEY_OPEN);
+        assert_eq!(*k.last().unwrap(), KEY_CLOSE);
     }
 }

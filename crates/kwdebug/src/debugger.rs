@@ -18,6 +18,7 @@ use crate::prune::PrunedLattice;
 use crate::report::{DebugReport, InterpretationOutcome, NonAnswerInfo, QueryInfo};
 use crate::schema_graph::SchemaGraph;
 use crate::traversal::{self, StrategyKind};
+use crate::workspace::WorkspacePool;
 
 /// Configuration of a [`NonAnswerDebugger`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +108,10 @@ pub struct NonAnswerDebugger {
     graph: SchemaGraph,
     lattice: Lattice,
     config: DebugConfig,
+    /// Recycles Phase 1–2 scratch across queries (see [`crate::workspace`]);
+    /// `debug` takes `&self`, so concurrent sessions each borrow their own
+    /// workspace from the pool.
+    workspaces: WorkspacePool,
 }
 
 impl NonAnswerDebugger {
@@ -118,7 +123,14 @@ impl NonAnswerDebugger {
         let index = InvertedIndex::build(&db);
         let graph = SchemaGraph::new(&db);
         let lattice = Lattice::build(&db, &graph, config.max_joins);
-        Ok(NonAnswerDebugger { db, index, graph, lattice, config })
+        Ok(NonAnswerDebugger {
+            db,
+            index,
+            graph,
+            lattice,
+            config,
+            workspaces: WorkspacePool::new(),
+        })
     }
 
     /// Builds the system reusing a previously persisted lattice (see
@@ -140,7 +152,7 @@ impl NonAnswerDebugger {
             )));
         }
         for id in lattice.all_nodes() {
-            let jnts = &lattice.node(id).jnts;
+            let jnts = lattice.jnts(id);
             for ts in jnts.nodes() {
                 if ts.table >= db.table_count() {
                     return Err(KwError::BadConfig(format!(
@@ -161,7 +173,14 @@ impl NonAnswerDebugger {
         db.finalize();
         let index = InvertedIndex::build(&db);
         let graph = SchemaGraph::new(&db);
-        Ok(NonAnswerDebugger { db, index, graph, lattice, config })
+        Ok(NonAnswerDebugger {
+            db,
+            index,
+            graph,
+            lattice,
+            config,
+            workspaces: WorkspacePool::new(),
+        })
     }
 
     /// The underlying database.
@@ -187,6 +206,13 @@ impl NonAnswerDebugger {
     /// The active configuration.
     pub fn config(&self) -> &DebugConfig {
         &self.config
+    }
+
+    /// How many Phase 1–2 builds were served by a recycled scratch workspace
+    /// instead of a fresh allocation (system-level counter over the lifetime
+    /// of this debugger; see [`crate::workspace::WorkspacePool`]).
+    pub fn workspace_reuses(&self) -> u64 {
+        self.workspaces.reuses()
     }
 
     /// Sets the per-interpretation probe budget for subsequent debug calls.
@@ -261,7 +287,9 @@ impl NonAnswerDebugger {
         strategy: StrategyKind,
     ) -> Result<InterpretationOutcome, KwError> {
         let prune_start = Instant::now();
-        let pruned = PrunedLattice::build(&self.lattice, interp);
+        let (mut ws, _reused) = self.workspaces.acquire();
+        let pruned = PrunedLattice::build_with(&self.lattice, interp, &mut ws);
+        self.workspaces.release(ws);
         let pruning = prune_start.elapsed();
         let mut oracle = AlivenessOracle::new(
             &self.db,
@@ -282,7 +310,7 @@ impl NonAnswerDebugger {
             self.config.pa
         };
         let traversal_start = Instant::now();
-        let outcome = traversal::run_with_workers(
+        let mut outcome = traversal::run_with_workers(
             strategy,
             &self.lattice,
             &pruned,
@@ -291,6 +319,12 @@ impl NonAnswerDebugger {
             self.config.workers,
         )?;
         let traversal_time = traversal_start.elapsed();
+        // Phase-1 substrate accounting rides along in the probe counters so
+        // every report surface sees it. workspace_reuses intentionally does
+        // NOT: whether the pool was warm depends on call history, which would
+        // break the run-for-run equivalence guarantees; it is exposed as a
+        // system-level counter via [`NonAnswerDebugger::workspace_reuses`].
+        outcome.probes.phase1_nodes_touched = pruned.phase1_nodes_touched();
 
         let report_start = Instant::now();
         let keyword_tables = keywords

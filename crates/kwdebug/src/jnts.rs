@@ -112,6 +112,13 @@ impl Jnts {
         self.edges.len()
     }
 
+    /// Heap bytes held by this network's vertex and edge vectors (capacity,
+    /// not length) — used by [`crate::lattice::Lattice::memory_footprint`].
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<TupleSet>()
+            + self.edges.capacity() * std::mem::size_of::<JntsEdge>()
+    }
+
     /// Degree of vertex `i`.
     pub fn degree(&self, i: usize) -> usize {
         self.edges

@@ -6,26 +6,36 @@
 //! (hand-rolled little-endian writer; no external dependencies) so a
 //! production deployment builds it once and reloads it on every restart.
 //!
-//! Format (`KWSLAT01`): header (magic, `max_joins`, level count, per-level
+//! Format (`KWSLAT02`): header (magic, `max_joins`, level count, per-level
 //! node counts), then every node in level order — vertex list, edge list,
-//! child links (parent links are reconstructed from them, halving the file).
-//! Reading validates structure (tree-ness, level consistency, link ranges)
-//! and fails with a typed error rather than panicking on corrupt input.
+//! child links ascending (parent links, the postings index and the free-leaf
+//! flags are reconstructed by `Lattice::from_parts`, which keeps the file
+//! small and version-stable across index changes). Reading validates
+//! structure (tree-ness, level consistency, link ranges and order) and fails
+//! with a typed error rather than panicking on corrupt input.
+//!
+//! Version 1 files (`KWSLAT01`, written before the compact-arena substrate of
+//! DESIGN.md §9) are rejected with [`LatticeIoError::UnsupportedVersion`] —
+//! rebuild and re-save the lattice with the current binary.
 
 use std::io::{self, Read, Write};
 
 use crate::jnts::{Jnts, JntsEdge, TupleSet};
-use crate::lattice::{Lattice, LatticeNode, LevelStats, NodeId};
+use crate::lattice::{Lattice, LevelStats, NodeId};
 
-const MAGIC: &[u8; 8] = b"KWSLAT01";
+const MAGIC: &[u8; 8] = b"KWSLAT02";
+const MAGIC_V1: &[u8; 8] = b"KWSLAT01";
 
 /// Errors raised while reading a serialized lattice.
 #[derive(Debug)]
 pub enum LatticeIoError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The input is not a lattice file or is a different format version.
+    /// The input is not a lattice file at all.
     BadMagic,
+    /// The input is a lattice file of an older, no longer supported format
+    /// version (carries the version string found).
+    UnsupportedVersion(String),
     /// Structurally invalid content (with a description).
     Corrupt(String),
 }
@@ -34,7 +44,12 @@ impl std::fmt::Display for LatticeIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LatticeIoError::Io(e) => write!(f, "i/o error: {e}"),
-            LatticeIoError::BadMagic => write!(f, "not a KWSLAT01 lattice file"),
+            LatticeIoError::BadMagic => write!(f, "not a KWSLAT02 lattice file"),
+            LatticeIoError::UnsupportedVersion(v) => write!(
+                f,
+                "lattice file version {v} is no longer supported (current is KWSLAT02); \
+                 rebuild the lattice and save it again"
+            ),
             LatticeIoError::Corrupt(msg) => write!(f, "corrupt lattice file: {msg}"),
         }
     }
@@ -89,8 +104,7 @@ pub fn save_lattice(lattice: &Lattice, w: &mut impl Write) -> io::Result<()> {
         write_u64(w, stats.elapsed.as_nanos() as u64)?;
     }
     for id in lattice.all_nodes() {
-        let node = lattice.node(id);
-        let jnts = &node.jnts;
+        let jnts = lattice.jnts(id);
         w.write_all(&[jnts.node_count() as u8])?;
         for ts in jnts.nodes() {
             write_u32(w, ts.table as u32)?;
@@ -100,30 +114,48 @@ pub fn save_lattice(lattice: &Lattice, w: &mut impl Write) -> io::Result<()> {
             w.write_all(&[e.a, e.b, u8::from(e.a_is_from)])?;
             write_u32(w, e.fk as u32)?;
         }
-        write_u32(w, node.children.len() as u32)?;
-        for &c in &node.children {
+        let children = lattice.children(id);
+        write_u32(w, children.len() as u32)?;
+        for &c in children {
             write_u32(w, c)?;
         }
     }
     Ok(())
 }
 
-/// Deserializes a lattice from `r`, validating structure.
+/// Deserializes a lattice from `r`, validating structure. The derived arena
+/// indexes (parents CSR, tuple-set postings, free-leaf flags) are rebuilt by
+/// `Lattice::from_parts` from the validated networks and child links.
 pub fn load_lattice(r: &mut impl Read) -> Result<Lattice, LatticeIoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
+        if &magic == MAGIC_V1 {
+            return Err(LatticeIoError::UnsupportedVersion(
+                String::from_utf8_lossy(MAGIC_V1).into_owned(),
+            ));
+        }
         return Err(LatticeIoError::BadMagic);
     }
     let max_joins = read_u64(r)? as usize;
     let level_count = read_u64(r)? as usize;
+    // Guard against absurd sizes before allocating: a corrupt header or node
+    // section must produce a typed error, never a multi-gigabyte allocation
+    // in `Lattice::from_parts` (which sizes the postings index from the
+    // largest table id and `max_joins`).
+    const MAX_NODES: u64 = 1 << 28;
+    const MAX_LEVELS: usize = 64;
+    const MAX_TABLES: usize = 1 << 12;
+    if max_joins >= MAX_LEVELS {
+        return Err(LatticeIoError::Corrupt(format!(
+            "maxJoins {max_joins} exceeds sanity bound"
+        )));
+    }
     if level_count != max_joins + 1 {
         return Err(LatticeIoError::Corrupt(format!(
             "level count {level_count} does not match maxJoins {max_joins}"
         )));
     }
-    // Guard against absurd sizes before allocating.
-    const MAX_NODES: u64 = 1 << 28;
     let mut per_level = Vec::with_capacity(level_count);
     let mut total: u64 = 0;
     for _ in 0..level_count {
@@ -144,12 +176,13 @@ pub fn load_lattice(r: &mut impl Read) -> Result<Lattice, LatticeIoError> {
     }
 
     let total = total as usize;
-    let mut nodes: Vec<LatticeNode> = Vec::with_capacity(total);
-    let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(level_count);
+    let mut jnts: Vec<Jnts> = Vec::with_capacity(total);
+    let mut children: Vec<Vec<NodeId>> = Vec::with_capacity(total);
     let mut next_id: NodeId = 0;
+    let mut prev_level_first: NodeId = 0;
     for (li, &count) in per_level.iter().enumerate() {
         let level = (li + 1) as u32;
-        let mut ids = Vec::with_capacity(count);
+        let level_first = next_id;
         for _ in 0..count {
             let n_vertices = read_u8(r)? as usize;
             if n_vertices != li + 1 {
@@ -160,7 +193,17 @@ pub fn load_lattice(r: &mut impl Read) -> Result<Lattice, LatticeIoError> {
             let mut vertices = Vec::with_capacity(n_vertices);
             for _ in 0..n_vertices {
                 let table = read_u32(r)? as usize;
+                if table >= MAX_TABLES {
+                    return Err(LatticeIoError::Corrupt(format!(
+                        "tuple-set table index {table} exceeds sanity bound"
+                    )));
+                }
                 let copy = read_u8(r)?;
+                if copy as usize >= max_joins + 2 {
+                    return Err(LatticeIoError::Corrupt(format!(
+                        "tuple-set copy {copy} outside the 0..=maxJoins+1 range"
+                    )));
+                }
                 vertices.push(TupleSet::new(table, copy));
             }
             let mut edges = Vec::with_capacity(n_vertices.saturating_sub(1));
@@ -182,41 +225,35 @@ pub fn load_lattice(r: &mut impl Read) -> Result<Lattice, LatticeIoError> {
                 }
                 edges.push(JntsEdge { a, b, fk, a_is_from });
             }
-            let jnts = Jnts::from_parts(vertices, edges)
+            let network = Jnts::from_parts(vertices, edges)
                 .ok_or_else(|| LatticeIoError::Corrupt("node is not a tree".into()))?;
             let n_children = read_u32(r)? as usize;
             if n_children > total {
                 return Err(LatticeIoError::Corrupt("child count exceeds node count".into()));
             }
-            let mut children = Vec::with_capacity(n_children);
+            let mut child_ids = Vec::with_capacity(n_children);
             for _ in 0..n_children {
                 let c = read_u32(r)?;
-                if c >= next_id {
+                if c < prev_level_first || c >= level_first {
                     return Err(LatticeIoError::Corrupt(
-                        "child link points at same-or-higher level".into(),
+                        "child link points outside the previous level".into(),
                     ));
                 }
-                children.push(c);
+                if child_ids.last().is_some_and(|&last| c <= last) {
+                    return Err(LatticeIoError::Corrupt(
+                        "child links must be ascending and unique".into(),
+                    ));
+                }
+                child_ids.push(c);
             }
-            nodes.push(LatticeNode { jnts, level, parents: Vec::new(), children });
-            ids.push(next_id);
+            jnts.push(network);
+            children.push(child_ids);
             next_id += 1;
         }
-        levels.push(ids);
+        prev_level_first = level_first;
     }
 
-    // Rebuild parent links from children.
-    for id in 0..nodes.len() {
-        let children = nodes[id].children.clone();
-        for c in children {
-            nodes[c as usize].parents.push(id as NodeId);
-        }
-    }
-    for n in &mut nodes {
-        n.parents.sort_unstable();
-    }
-
-    Ok(Lattice::from_parts(nodes, levels, max_joins, stats))
+    Ok(Lattice::from_parts(jnts, children, per_level, max_joins, stats))
 }
 
 #[cfg(test)]
@@ -262,13 +299,23 @@ mod tests {
         assert_eq!(loaded.node_count(), original.node_count());
         assert_eq!(loaded.max_joins(), original.max_joins());
         assert_eq!(loaded.level_count(), original.level_count());
+        assert_eq!(loaded.table_count(), original.table_count());
         for id in original.all_nodes() {
-            let a = original.node(id);
-            let b = loaded.node(id);
-            assert_eq!(a.jnts, b.jnts, "node {id}");
-            assert_eq!(a.level, b.level);
-            assert_eq!(a.children, b.children);
-            assert_eq!(a.parents, b.parents);
+            assert_eq!(original.jnts(id), loaded.jnts(id), "node {id}");
+            assert_eq!(original.level_of(id), loaded.level_of(id));
+            assert_eq!(original.children(id), loaded.children(id));
+            assert_eq!(original.parents(id), loaded.parents(id));
+            assert_eq!(original.has_free_leaf(id), loaded.has_free_leaf(id));
+        }
+        // Derived postings index is rebuilt identically.
+        for t in 0..original.table_count() {
+            for copy in 0..original.copies_per_table() {
+                assert_eq!(
+                    original.postings(t, copy as u8),
+                    loaded.postings(t, copy as u8),
+                    "postings({t},{copy})"
+                );
+            }
         }
         for (sa, sb) in original.stats().iter().zip(loaded.stats()) {
             assert_eq!(sa.generated, sb.generated);
@@ -320,6 +367,21 @@ mod tests {
     }
 
     #[test]
+    fn v1_file_rejected_with_version_error() {
+        // A v1 header followed by anything must fail fast with a message that
+        // names both the found and the supported version.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"KWSLAT01");
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = load_lattice(&mut buf.as_slice()).expect_err("rejects v1");
+        assert!(matches!(err, LatticeIoError::UnsupportedVersion(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("KWSLAT01"), "{msg}");
+        assert!(msg.contains("KWSLAT02"), "{msg}");
+        assert!(msg.contains("rebuild"), "{msg}");
+    }
+
+    #[test]
     fn truncated_input_rejected() {
         let db = toy_store();
         let lattice = lattice_of(&db, 2);
@@ -339,10 +401,12 @@ mod tests {
         let lattice = lattice_of(&db, 2);
         let mut buf = Vec::new();
         save_lattice(&lattice, &mut buf).expect("writes");
-        // Smash a byte somewhere in the node section; most corruptions hit a
-        // validated field. Accept either an error or a still-consistent read
-        // (flipping e.g. a duplicate-count stat is benign), but never panic.
-        for pos in (MAGIC.len() + 16..buf.len()).step_by(buf.len() / 13) {
+        // Smash every byte in turn; most corruptions hit a validated field.
+        // Accept either an error or a still-consistent read (flipping e.g. a
+        // duplicate-count stat is benign), but never panic and never attempt
+        // an absurd allocation (a flipped table id or maxJoins must be caught
+        // by the sanity bounds, not sized into the postings index).
+        for pos in MAGIC.len()..buf.len() {
             let mut bad = buf.clone();
             bad[pos] ^= 0xFF;
             let _ = load_lattice(&mut bad.as_slice());
@@ -351,7 +415,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(LatticeIoError::BadMagic.to_string().contains("KWSLAT01"));
+        assert!(LatticeIoError::BadMagic.to_string().contains("KWSLAT02"));
         assert!(LatticeIoError::Corrupt("x".into()).to_string().contains("x"));
         let io_err: LatticeIoError = io::Error::other("boom").into();
         assert!(io_err.to_string().contains("boom"));

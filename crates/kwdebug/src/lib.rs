@@ -113,6 +113,7 @@ pub mod report;
 pub mod schema_graph;
 pub mod session;
 pub mod traversal;
+pub mod workspace;
 
 pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
 pub use debugger::{DebugConfig, NonAnswerDebugger};

@@ -26,6 +26,8 @@
 //! | `workers` | parallel scheduler, pool size per parallel traversal | beyond the paper (parallel probing) |
 //! | `steals` | parallel scheduler, jobs a worker took from another's queue | beyond the paper (parallel probing) |
 //! | `inference_suppressed_probes` | parallel dispatcher, probes answered by the shared memo at dispatch time | beyond the paper (parallel probing) |
+//! | `phase1_nodes_touched` | debugger, posting-list entries scanned by Phase 1 (DESIGN.md §9) | beyond the paper (compact substrate) |
+//! | `workspace_reuses` | debugger, `PrunedLattice` builds served from the pooled [`crate::workspace::QueryWorkspace`] | beyond the paper (compact substrate) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
 //! engine's own `ExecStats::queries`, so a strategy can never misreport its
@@ -160,6 +162,15 @@ pub struct Metrics {
     /// runs; in parallel runs every such event also counts one `memo_hits`,
     /// keeping the memo accounting comparable across modes.
     pub inference_suppressed_probes: Counter,
+    /// Posting-list entries scanned by the postings-based Phase 1 (union of
+    /// unbound copies + bound-copy intersection; see `DESIGN.md` §9). A proxy
+    /// for Phase-1 work that, unlike the old full-lattice scan, shrinks with
+    /// selective keywords.
+    pub phase1_nodes_touched: Counter,
+    /// `PrunedLattice` builds that reused a pooled
+    /// [`crate::workspace::QueryWorkspace`] instead of allocating fresh
+    /// scratch (first build on a pool slot counts 0).
+    pub workspace_reuses: Counter,
 }
 
 impl Metrics {
@@ -180,6 +191,8 @@ impl Metrics {
             workers: Counter::new(),
             steals: Counter::new(),
             inference_suppressed_probes: Counter::new(),
+            phase1_nodes_touched: Counter::new(),
+            workspace_reuses: Counter::new(),
         }
     }
 
@@ -200,6 +213,8 @@ impl Metrics {
             workers: self.workers.get(),
             steals: self.steals.get(),
             inference_suppressed_probes: self.inference_suppressed_probes.get(),
+            phase1_nodes_touched: self.phase1_nodes_touched.get(),
+            workspace_reuses: self.workspace_reuses.get(),
         }
     }
 
@@ -219,6 +234,8 @@ impl Metrics {
         self.workers.reset();
         self.steals.reset();
         self.inference_suppressed_probes.reset();
+        self.phase1_nodes_touched.reset();
+        self.workspace_reuses.reset();
     }
 }
 
@@ -259,6 +276,10 @@ pub struct ProbeCounters {
     /// Probes suppressed by the parallel dispatcher's memo pre-check
     /// (0 on sequential runs).
     pub inference_suppressed_probes: u64,
+    /// Posting-list entries scanned by Phase 1.
+    pub phase1_nodes_touched: u64,
+    /// `PrunedLattice` builds that reused pooled workspace scratch.
+    pub workspace_reuses: u64,
 }
 
 impl ProbeCounters {
@@ -280,6 +301,8 @@ impl ProbeCounters {
             steals: self.steals - baseline.steals,
             inference_suppressed_probes: self.inference_suppressed_probes
                 - baseline.inference_suppressed_probes,
+            phase1_nodes_touched: self.phase1_nodes_touched - baseline.phase1_nodes_touched,
+            workspace_reuses: self.workspace_reuses - baseline.workspace_reuses,
         }
     }
 
@@ -299,6 +322,8 @@ impl ProbeCounters {
         self.workers += other.workers;
         self.steals += other.steals;
         self.inference_suppressed_probes += other.inference_suppressed_probes;
+        self.phase1_nodes_touched += other.phase1_nodes_touched;
+        self.workspace_reuses += other.workspace_reuses;
     }
 
     /// Probe time as a [`Duration`].
@@ -364,6 +389,10 @@ pub struct MetricsSnapshot {
     pub max_level: u64,
     /// Interpretations explored for the query.
     pub interpretations: u64,
+    /// Resident bytes of the shared offline lattice arena (see
+    /// [`crate::lattice::Lattice::memory_footprint`]); 0 when the record does
+    /// not cover a lattice-backed run.
+    pub lattice_bytes: u64,
     /// Probe and inference counters (summed over interpretations).
     pub probes: ProbeCounters,
     /// Per-phase wall-clock breakdown.
@@ -402,7 +431,8 @@ impl MetricsSnapshot {
         let _ = write!(
             j,
             "{{\"experiment\":\"{}\",\"query\":\"{}\",\"strategy\":\"{}\",\
-             \"variant\":\"{}\",\"scale\":\"{}\",\"max_level\":{},\"interpretations\":{}",
+             \"variant\":\"{}\",\"scale\":\"{}\",\"max_level\":{},\"interpretations\":{},\
+             \"lattice_bytes\":{}",
             esc(&self.experiment),
             esc(&self.query),
             esc(&self.strategy),
@@ -410,20 +440,24 @@ impl MetricsSnapshot {
             esc(&self.scale),
             self.max_level,
             self.interpretations,
+            self.lattice_bytes,
         );
         // Counter keys in sorted order, so diffs stay clean as counters grow.
         let p = &self.probes;
         let _ = write!(
             j,
             ",\"probes\":{{\"budget_exhausted\":{},\"executed\":{},\"faults_injected\":{},\
-             \"inference_suppressed_probes\":{},\"memo_hits\":{},\"probes_abandoned\":{},\
+             \"inference_suppressed_probes\":{},\"memo_hits\":{},\"phase1_nodes_touched\":{},\
+             \"probes_abandoned\":{},\
              \"r1_inferences\":{},\"r2_inferences\":{},\"retries\":{},\"reuse_hits\":{},\
-             \"steals\":{},\"time_ns\":{},\"tuples_scanned\":{},\"workers\":{}}}",
+             \"steals\":{},\"time_ns\":{},\"tuples_scanned\":{},\"workers\":{},\
+             \"workspace_reuses\":{}}}",
             p.budget_exhausted,
             p.probes_executed,
             p.faults_injected,
             p.inference_suppressed_probes,
             p.memo_hits,
+            p.phase1_nodes_touched,
             p.probes_abandoned,
             p.r1_inferences,
             p.r2_inferences,
@@ -433,6 +467,7 @@ impl MetricsSnapshot {
             p.probe_time_ns,
             p.tuples_scanned,
             p.workers,
+            p.workspace_reuses,
         );
         let t = &self.phases;
         let _ = write!(
@@ -562,6 +597,7 @@ mod tests {
             scale: "small".into(),
             max_level: 5,
             interpretations: 1,
+            lattice_bytes: 4096,
             probes: ProbeCounters {
                 probes_executed: 12,
                 probe_time_ns: 345,
@@ -577,6 +613,8 @@ mod tests {
                 workers: 4,
                 steals: 7,
                 inference_suppressed_probes: 2,
+                phase1_nodes_touched: 42,
+                workspace_reuses: 1,
             },
             phases: PhaseTiming {
                 mapping: Duration::from_nanos(1),
@@ -608,10 +646,13 @@ mod tests {
             "{\"experiment\":\"exp_traversal\",\"query\":\"Q3\",\"strategy\":\"BUWR\",\
              \"variant\":\"fault_pm=50\",\
              \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
+             \"lattice_bytes\":4096,\
              \"probes\":{\"budget_exhausted\":1,\"executed\":12,\"faults_injected\":5,\
-             \"inference_suppressed_probes\":2,\"memo_hits\":0,\"probes_abandoned\":1,\
+             \"inference_suppressed_probes\":2,\"memo_hits\":0,\"phase1_nodes_touched\":42,\
+             \"probes_abandoned\":1,\
              \"r1_inferences\":4,\"r2_inferences\":9,\"retries\":2,\"reuse_hits\":3,\
-             \"steals\":7,\"time_ns\":345,\"tuples_scanned\":678,\"workers\":4},\
+             \"steals\":7,\"time_ns\":345,\"tuples_scanned\":678,\"workers\":4,\
+             \"workspace_reuses\":1},\
              \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
              \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\
              \"prune\":{\"lattice_nodes\":100,\"retained_phase1\":20,\"total_nodes\":5,\

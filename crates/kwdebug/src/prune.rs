@@ -7,13 +7,41 @@
 //! R1/R2 propagation, MPAN extraction, SBH scoring — runs on this small
 //! structure, matching the paper's observation that keyword pruning removes
 //! ~98% of lattice nodes.
-
-use std::collections::HashMap;
+//!
+//! # Substrate (DESIGN.md §9)
+//!
+//! Both phases run on the compact arena indexes of [`crate::lattice`] instead
+//! of scanning every node's network:
+//!
+//! * **Phase 1** is set algebra over the precomputed tuple-set postings. A
+//!   node is *excluded* iff its network contains a keyword copy the
+//!   interpretation leaves unbound, so the excluded set is the bitset union
+//!   of the unbound copies' postings and `retained = lattice ∖ excluded`.
+//!   A retained node is *total* iff it contains all `k` bound copies
+//!   (interpretations bind distinct copies per keyword), found by
+//!   intersecting the `k` bound postings lists; it is an MTN iff additionally
+//!   its precomputed [`crate::lattice::Lattice::has_free_leaf`] bit is clear.
+//! * **Phase 2** marks MTNs ∪ descendants in a keep-bitset via an explicit
+//!   stack over the CSR children arrays, then packs the dense sub-lattice.
+//! * The descendant closure is a per-node bitset over dense indices
+//!   (`word_count` `u64`s per node), computed bottom-up by OR-ing child rows;
+//!   the `desc_plus`/`asc_plus` slices are packed once from those rows, and
+//!   [`PrunedLattice::is_desc_or_self`] is a single bit test.
+//!
+//! All transient state lives in a caller-provided
+//! [`crate::workspace::QueryWorkspace`] ([`PrunedLattice::build_with`]), so a
+//! warmed workspace makes Phases 1–2 allocation-light: only the dense output
+//! arrays of the `PrunedLattice` itself are freshly allocated per query.
 
 use crate::binding::Interpretation;
-use crate::jnts::Jnts;
+use crate::jnts::{CopyIdx, Jnts, TupleSet};
 use crate::lattice::{Lattice, NodeId};
-use crate::mtn::{is_mtn, is_retained, is_total};
+use crate::workspace::QueryWorkspace;
+
+/// Label of the Phase 1–2 substrate implementation in effect. Benches record
+/// it in their variant field so before/after rows in `results/` stay
+/// distinguishable across substrate changes.
+pub const SUBSTRATE: &str = "csr-bitset";
 
 /// Phase-1/2 statistics for one interpretation (reproduces §3.3 / Figure 10).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -49,121 +77,322 @@ impl PruneStats {
 /// The per-interpretation sub-lattice: MTNs and their descendants, densely
 /// re-indexed in ascending level order (so iterating `0..len` is a bottom-up
 /// sweep and the reverse is top-down).
+///
+/// Adjacency and both closures are CSR-packed slices over the dense indices;
+/// the descendant closure is additionally kept as per-node bitsets, making
+/// [`PrunedLattice::is_desc_or_self`] O(1). All fields are plain `Vec`s, so a
+/// `&PrunedLattice` is freely shareable across the probe workers of
+/// [`crate::parallel`].
 #[derive(Debug, Clone)]
 pub struct PrunedLattice {
-    /// Dense index → offline lattice node id.
+    /// Dense index → offline lattice node id (ascending, level-ordered).
     nodes: Vec<NodeId>,
     /// Level of each dense node.
     levels: Vec<u32>,
-    /// Children (dense) of each dense node.
-    children: Vec<Vec<usize>>,
-    /// Parents (dense) of each dense node, restricted to the pruned set.
-    parents: Vec<Vec<usize>>,
-    /// Descendant closure including self, sorted ascending.
-    desc_plus: Vec<Vec<usize>>,
-    /// Ancestor closure (within the pruned set) including self, sorted.
-    asc_plus: Vec<Vec<usize>>,
+    /// CSR offsets/payload: children (dense) of each dense node, ascending.
+    child_off: Vec<usize>,
+    child_items: Vec<usize>,
+    /// CSR offsets/payload: parents (dense, within the pruned set), ascending.
+    parent_off: Vec<usize>,
+    parent_items: Vec<usize>,
+    /// `u64` words per descendant-closure row.
+    word_count: usize,
+    /// Descendant closure incl. self as bitsets: row `i` is
+    /// `desc_words[i*word_count..(i+1)*word_count]` over dense indices.
+    desc_words: Vec<u64>,
+    /// CSR offsets/payload: descendant closure incl. self, ascending.
+    desc_off: Vec<usize>,
+    desc_items: Vec<usize>,
+    /// CSR offsets/payload: ancestor closure incl. self, ascending.
+    asc_off: Vec<usize>,
+    asc_items: Vec<usize>,
     /// Dense indices of the MTNs, ascending.
     mtns: Vec<usize>,
     stats: PruneStats,
+    /// Posting-list entries scanned during Phase 1 (the work the postings
+    /// index does in place of a full lattice scan).
+    phase1_nodes_touched: u64,
+}
+
+/// Intersects two ascending id lists into `out` (cleared first).
+fn intersect_sorted(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], id: NodeId) {
+    words[(id / 64) as usize] |= 1u64 << (id % 64);
+}
+
+#[inline]
+fn bit_test(words: &[u64], id: NodeId) -> bool {
+    words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+}
+
+fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
 }
 
 impl PrunedLattice {
-    /// Runs Phases 1 and 2 for one interpretation.
+    /// Runs Phases 1 and 2 for one interpretation with a fresh scratch
+    /// workspace. Sustained callers should hold a
+    /// [`crate::workspace::QueryWorkspace`] (or borrow one from a
+    /// [`crate::workspace::WorkspacePool`]) and use
+    /// [`PrunedLattice::build_with`]; the result is identical either way.
     pub fn build(lattice: &Lattice, interp: &Interpretation) -> PrunedLattice {
-        let mut stats =
-            PruneStats { lattice_nodes: lattice.node_count(), ..PruneStats::default() };
+        PrunedLattice::build_with(lattice, interp, &mut QueryWorkspace::new())
+    }
 
-        // Phase 1 + totality classification, in level order.
-        let mut retained: Vec<NodeId> = Vec::new();
-        let mut mtn_ids: Vec<NodeId> = Vec::new();
-        for id in lattice.all_nodes() {
-            let jnts = &lattice.node(id).jnts;
-            if !is_retained(jnts, interp) {
+    /// Runs Phases 1 and 2 for one interpretation, reusing `ws` for all
+    /// transient state.
+    pub fn build_with(
+        lattice: &Lattice,
+        interp: &Interpretation,
+        ws: &mut QueryWorkspace,
+    ) -> PrunedLattice {
+        ws.note_build();
+        let n = lattice.node_count();
+        let words = n.div_ceil(64);
+        let mut stats = PruneStats { lattice_nodes: n, ..PruneStats::default() };
+        let mut touched: u64 = 0;
+
+        // Phase 1: excluded = ∪ postings of keyword copies the interpretation
+        // leaves unbound. retained = complement.
+        ws.excluded.clear();
+        ws.excluded.resize(words, 0);
+        for table in 0..lattice.table_count() {
+            for copy in 1..lattice.copies_per_table() {
+                if interp.keyword_for(TupleSet::new(table, copy as CopyIdx)).is_some() {
+                    continue;
+                }
+                let posted = lattice.postings(table, copy as CopyIdx);
+                touched += posted.len() as u64;
+                for &id in posted {
+                    bit_set(&mut ws.excluded, id);
+                }
+            }
+        }
+        stats.retained_phase1 = n - popcount(&ws.excluded);
+
+        // Totality: a retained node is total iff it contains every bound
+        // copy, i.e. lies in the intersection of the k bound postings lists.
+        let k = interp.keyword_count();
+        ws.candidates.clear();
+        if k > 0 {
+            let ts = interp.tuple_set_of(0);
+            let posted = lattice.postings(ts.table, ts.copy);
+            touched += posted.len() as u64;
+            ws.candidates.extend_from_slice(posted);
+            for i in 1..k {
+                if ws.candidates.is_empty() {
+                    break;
+                }
+                let ts = interp.tuple_set_of(i);
+                let posted = lattice.postings(ts.table, ts.copy);
+                touched += posted.len() as u64;
+                intersect_sorted(&ws.candidates, posted, &mut ws.candidates_next);
+                std::mem::swap(&mut ws.candidates, &mut ws.candidates_next);
+            }
+        }
+        // MTN classification over the (ascending) total candidates: the
+        // minimality test is the precomputed free-leaf bit.
+        ws.candidates_next.clear();
+        for &id in &ws.candidates {
+            if bit_test(&ws.excluded, id) {
                 continue;
             }
-            retained.push(id);
-            if is_total(jnts, interp) {
-                stats.total_nodes += 1;
-                if is_mtn(jnts, interp) {
-                    mtn_ids.push(id);
-                }
+            stats.total_nodes += 1;
+            if !lattice.has_free_leaf(id) {
+                ws.candidates_next.push(id);
             }
         }
-        stats.retained_phase1 = retained.len();
-        stats.mtn_count = mtn_ids.len();
+        stats.mtn_count = ws.candidates_next.len();
 
-        // Phase 2: keep MTNs ∪ descendants (children closure downward).
-        let mut keep: HashMap<NodeId, bool> = HashMap::new();
-        let mut stack: Vec<NodeId> = mtn_ids.clone();
-        while let Some(id) = stack.pop() {
-            if keep.insert(id, true).is_some() {
+        // Phase 2: keep = MTNs ∪ descendants (children closure downward).
+        ws.keep.clear();
+        ws.keep.resize(words, 0);
+        ws.stack.clear();
+        ws.stack.extend_from_slice(&ws.candidates_next);
+        while let Some(id) = ws.stack.pop() {
+            if bit_test(&ws.keep, id) {
                 continue;
             }
-            for &c in &lattice.node(id).children {
-                if !keep.contains_key(&c) {
-                    stack.push(c);
+            bit_set(&mut ws.keep, id);
+            for &c in lattice.children(id) {
+                if !bit_test(&ws.keep, c) {
+                    ws.stack.push(c);
+                }
+            }
+        }
+        let len = popcount(&ws.keep);
+        stats.pruned_nodes = len;
+
+        // Dense re-index in ascending id (= level) order. `dense_of` entries
+        // are only read under a keep-bit test, so stale ones need no reset.
+        if ws.dense_of.len() < n {
+            ws.dense_of.resize(n, 0);
+        }
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(len);
+        for (wi, &word) in ws.keep.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let id = (wi * 64) as NodeId + w.trailing_zeros();
+                ws.dense_of[id as usize] = nodes.len() as u32;
+                nodes.push(id);
+                w &= w - 1;
+            }
+        }
+        let levels: Vec<u32> = nodes.iter().map(|&id| lattice.level_of(id)).collect();
+
+        // Children CSR (lattice child lists are ascending and the dense map
+        // is monotone, so dense children stay ascending), parents inverted.
+        let mut child_off = Vec::with_capacity(len + 1);
+        child_off.push(0usize);
+        let mut child_items: Vec<usize> = Vec::new();
+        let mut parent_counts = vec![0usize; len];
+        for &id in &nodes {
+            for &c in lattice.children(id) {
+                if bit_test(&ws.keep, c) {
+                    let ci = ws.dense_of[c as usize] as usize;
+                    child_items.push(ci);
+                    parent_counts[ci] += 1;
+                }
+            }
+            child_off.push(child_items.len());
+        }
+        let mut parent_off = Vec::with_capacity(len + 1);
+        parent_off.push(0usize);
+        for &c in &parent_counts {
+            parent_off.push(parent_off.last().unwrap() + c);
+        }
+        let mut parent_items = vec![0usize; *parent_off.last().unwrap()];
+        let mut parent_next = parent_off[..len].to_vec();
+        for i in 0..len {
+            for &ci in &child_items[child_off[i]..child_off[i + 1]] {
+                parent_items[parent_next[ci]] = i;
+                parent_next[ci] += 1;
+            }
+        }
+
+        // Descendant closure bottom-up as bitset rows: children have smaller
+        // dense index (strictly lower level), so row `i` only ORs finished
+        // rows from the prefix.
+        let word_count = len.div_ceil(64);
+        let mut desc_words = vec![0u64; len * word_count];
+        for i in 0..len {
+            let (lower, rest) = desc_words.split_at_mut(i * word_count);
+            let row = &mut rest[..word_count];
+            row[i / 64] |= 1u64 << (i % 64);
+            for &c in &child_items[child_off[i]..child_off[i + 1]] {
+                let src = &lower[c * word_count..(c + 1) * word_count];
+                for (d, s) in row.iter_mut().zip(src) {
+                    *d |= *s;
                 }
             }
         }
 
-        // Dense indexing in level order (lattice.all_nodes is level-ordered).
-        let nodes: Vec<NodeId> =
-            lattice.all_nodes().filter(|id| keep.contains_key(id)).collect();
-        stats.pruned_nodes = nodes.len();
-        let dense: HashMap<NodeId, usize> =
-            nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        let levels: Vec<u32> = nodes.iter().map(|&id| lattice.node(id).level).collect();
-
-        let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-        for (i, &id) in nodes.iter().enumerate() {
-            for &c in &lattice.node(id).children {
-                if let Some(&ci) = dense.get(&c) {
-                    children[i].push(ci);
-                    parents[ci].push(i);
+        // Pack the closure slices (ascending by construction of the bit
+        // scan); ancestors by inversion, which preserves ascending order.
+        let closure_len = popcount(&desc_words);
+        let mut desc_off = Vec::with_capacity(len + 1);
+        desc_off.push(0usize);
+        let mut desc_items: Vec<usize> = Vec::with_capacity(closure_len);
+        let mut asc_counts = vec![0usize; len];
+        for i in 0..len {
+            for (wi, &word) in
+                desc_words[i * word_count..(i + 1) * word_count].iter().enumerate()
+            {
+                let mut w = word;
+                while w != 0 {
+                    let d = wi * 64 + w.trailing_zeros() as usize;
+                    desc_items.push(d);
+                    asc_counts[d] += 1;
+                    w &= w - 1;
                 }
             }
+            desc_off.push(desc_items.len());
         }
-
-        // Descendant closure bottom-up (children have smaller dense index).
-        let mut desc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-        for i in 0..nodes.len() {
-            let mut d: Vec<usize> = vec![i];
-            for &c in &children[i] {
-                d.extend_from_slice(&desc_plus[c]);
-            }
-            d.sort_unstable();
-            d.dedup();
-            desc_plus[i] = d;
+        let mut asc_off = Vec::with_capacity(len + 1);
+        asc_off.push(0usize);
+        for &c in &asc_counts {
+            asc_off.push(asc_off.last().unwrap() + c);
         }
-        // Ancestor closure by inversion.
-        let mut asc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-        for (i, descs) in desc_plus.iter().enumerate() {
-            for &d in descs {
-                asc_plus[d].push(i);
+        let mut asc_items = vec![0usize; closure_len];
+        let mut asc_next = asc_off[..len].to_vec();
+        for i in 0..len {
+            for &d in &desc_items[desc_off[i]..desc_off[i + 1]] {
+                asc_items[asc_next[d]] = i;
+                asc_next[d] += 1;
             }
         }
-        for a in &mut asc_plus {
-            a.sort_unstable();
-        }
 
-        let mtns: Vec<usize> = mtn_ids.iter().map(|id| dense[id]).collect();
-        let mut mtns = mtns;
-        mtns.sort_unstable();
+        // MTNs in dense space (ascending: candidates were ascending and the
+        // dense map is monotone).
+        let mtns: Vec<usize> =
+            ws.candidates_next.iter().map(|&id| ws.dense_of[id as usize] as usize).collect();
+        debug_assert!(mtns.windows(2).all(|w| w[0] < w[1]));
 
         for &m in &mtns {
-            stats.mtn_descendants_total += desc_plus[m].len() - 1;
+            let row = &desc_words[m * word_count..(m + 1) * word_count];
+            stats.mtn_descendants_total += popcount(row) - 1;
         }
-        let mut uniq: Vec<usize> = mtns
-            .iter()
-            .flat_map(|&m| desc_plus[m].iter().copied().filter(move |&d| d != m))
-            .collect();
-        uniq.sort_unstable();
-        uniq.dedup();
-        stats.mtn_descendants_unique = uniq.len();
+        // Minimality means no MTN descends from another, so each MTN's self
+        // bit in the union was contributed only by its own row; clearing the
+        // self bits leaves exactly the union of proper-descendant sets.
+        #[cfg(debug_assertions)]
+        for &m1 in &mtns {
+            for &m2 in &mtns {
+                if m1 != m2 {
+                    debug_assert!(
+                        desc_words[m1 * word_count + m2 / 64] & (1u64 << (m2 % 64)) == 0,
+                        "MTN {m2} descends from MTN {m1}"
+                    );
+                }
+            }
+        }
+        ws.scratch.clear();
+        ws.scratch.resize(word_count, 0);
+        for &m in &mtns {
+            for (dst, s) in
+                ws.scratch.iter_mut().zip(&desc_words[m * word_count..(m + 1) * word_count])
+            {
+                *dst |= *s;
+            }
+        }
+        for &m in &mtns {
+            ws.scratch[m / 64] &= !(1u64 << (m % 64));
+        }
+        stats.mtn_descendants_unique = popcount(&ws.scratch);
 
-        PrunedLattice { nodes, levels, children, parents, desc_plus, asc_plus, mtns, stats }
+        PrunedLattice {
+            nodes,
+            levels,
+            child_off,
+            child_items,
+            parent_off,
+            parent_items,
+            word_count,
+            desc_words,
+            desc_off,
+            desc_items,
+            asc_off,
+            asc_items,
+            mtns,
+            stats,
+            phase1_nodes_touched: touched,
+        }
     }
 
     /// Number of nodes in the sub-lattice.
@@ -183,7 +412,7 @@ impl PrunedLattice {
 
     /// The network of dense node `i`.
     pub fn jnts<'a>(&self, lattice: &'a Lattice, i: usize) -> &'a Jnts {
-        &lattice.node(self.nodes[i]).jnts
+        lattice.jnts(self.nodes[i])
     }
 
     /// Level of dense node `i`.
@@ -193,27 +422,28 @@ impl PrunedLattice {
 
     /// Children (dense) of node `i`.
     pub fn children(&self, i: usize) -> &[usize] {
-        &self.children[i]
+        &self.child_items[self.child_off[i]..self.child_off[i + 1]]
     }
 
     /// Parents (dense, within the pruned set) of node `i`.
     pub fn parents(&self, i: usize) -> &[usize] {
-        &self.parents[i]
+        &self.parent_items[self.parent_off[i]..self.parent_off[i + 1]]
     }
 
     /// Descendants of `i` including `i`, ascending.
     pub fn desc_plus(&self, i: usize) -> &[usize] {
-        &self.desc_plus[i]
+        &self.desc_items[self.desc_off[i]..self.desc_off[i + 1]]
     }
 
     /// Ancestors of `i` (within the pruned set) including `i`, ascending.
     pub fn asc_plus(&self, i: usize) -> &[usize] {
-        &self.asc_plus[i]
+        &self.asc_items[self.asc_off[i]..self.asc_off[i + 1]]
     }
 
-    /// Whether `d` is a descendant of `a` (or equal).
+    /// Whether `d` is a descendant of `a` (or equal). A single bit test on
+    /// the closure row of `a`.
     pub fn is_desc_or_self(&self, d: usize, a: usize) -> bool {
-        self.desc_plus[a].binary_search(&d).is_ok()
+        self.desc_words[a * self.word_count + d / 64] & (1u64 << (d % 64)) != 0
     }
 
     /// Dense indices of the MTNs, ascending (= by level).
@@ -224,6 +454,13 @@ impl PrunedLattice {
     /// Phase-1/2 statistics.
     pub fn stats(&self) -> &PruneStats {
         &self.stats
+    }
+
+    /// Posting-list entries scanned by Phase 1 for this build (the
+    /// `phase1_nodes_touched` metric; compare against
+    /// [`PruneStats::lattice_nodes`], the cost of the old full scan).
+    pub fn phase1_nodes_touched(&self) -> u64 {
+        self.phase1_nodes_touched
     }
 }
 
@@ -366,5 +603,51 @@ mod tests {
         assert_eq!(p.mtns().len(), 1);
         assert_eq!(p.len(), 1);
         assert_eq!(p.stats().mtn_descendants_total, 0);
+    }
+
+    #[test]
+    fn phase1_touches_fewer_nodes_than_a_full_scan_would() {
+        let (lattice, p) = pruned(2);
+        assert!(p.phase1_nodes_touched() > 0);
+        // The postings walk visits list entries, not every node's network.
+        assert!(
+            p.phase1_nodes_touched() < (lattice.node_count() * 3) as u64,
+            "touched {} of {} nodes",
+            p.phase1_nodes_touched(),
+            lattice.node_count()
+        );
+    }
+
+    #[test]
+    fn reused_workspace_builds_identically() {
+        let db = db();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let idx = InvertedIndex::build(&db);
+        let mut ws = QueryWorkspace::new();
+        let mut builds = 0u64;
+        // Alternate queries of different shapes through one workspace and
+        // compare each against a fresh build.
+        for q in ["red candle", "red", "candle", "red candle"] {
+            let m = map_keywords(&KeywordQuery::parse(q).unwrap(), &idx);
+            for interp in &m.interpretations {
+                let fresh = PrunedLattice::build(&lattice, interp);
+                let reused = PrunedLattice::build_with(&lattice, interp, &mut ws);
+                builds += 1;
+                assert_eq!(fresh.stats(), reused.stats(), "{q}");
+                assert_eq!(fresh.mtns(), reused.mtns(), "{q}");
+                assert_eq!(fresh.len(), reused.len(), "{q}");
+                assert_eq!(fresh.phase1_nodes_touched(), reused.phase1_nodes_touched());
+                for i in 0..fresh.len() {
+                    assert_eq!(fresh.lattice_id(i), reused.lattice_id(i));
+                    assert_eq!(fresh.children(i), reused.children(i));
+                    assert_eq!(fresh.parents(i), reused.parents(i));
+                    assert_eq!(fresh.desc_plus(i), reused.desc_plus(i));
+                    assert_eq!(fresh.asc_plus(i), reused.asc_plus(i));
+                }
+            }
+        }
+        assert!(builds >= 4);
+        assert_eq!(ws.builds(), builds);
     }
 }

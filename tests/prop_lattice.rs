@@ -25,7 +25,7 @@ fn check_lattice_invariants(lattice: &Lattice, graph: &SchemaGraph) {
     // Dedup soundness + index for the closure check.
     let mut by_label: HashMap<String, u32> = HashMap::new();
     for id in lattice.all_nodes() {
-        let label = canonical_label(&lattice.node(id).jnts);
+        let label = canonical_label(lattice.jnts(id));
         assert!(
             by_label.insert(label, id).is_none(),
             "two lattice nodes share a canonical label"
@@ -33,13 +33,13 @@ fn check_lattice_invariants(lattice: &Lattice, graph: &SchemaGraph) {
     }
 
     for id in lattice.all_nodes() {
-        let node = lattice.node(id);
-        assert!(node.jnts.validate(), "node {id} is not a tree");
-        assert_eq!(node.jnts.node_count() as u32, node.level);
+        let jnts = lattice.jnts(id);
+        assert!(jnts.validate(), "node {id} is not a tree");
+        assert_eq!(jnts.node_count() as u32, lattice.level_of(id));
 
         // Copy discipline.
         let mut seen: HashSet<(usize, u8)> = HashSet::new();
-        for ts in node.jnts.nodes() {
+        for ts in jnts.nodes() {
             if ts.copy > 0 {
                 assert!(graph.has_text(ts.table), "keyword copy of text-less table");
                 assert!(seen.insert((ts.table, ts.copy)), "repeated keyword copy");
@@ -47,26 +47,41 @@ fn check_lattice_invariants(lattice: &Lattice, graph: &SchemaGraph) {
         }
 
         // Link symmetry.
-        for &c in &node.children {
-            assert_eq!(lattice.node(c).level + 1, node.level);
-            assert!(lattice.node(c).parents.contains(&id));
+        for &c in lattice.children(id) {
+            assert_eq!(lattice.level_of(c) + 1, lattice.level_of(id));
+            assert!(lattice.parents(c).contains(&id));
         }
-        for &p in &node.parents {
-            assert_eq!(lattice.node(p).level, node.level + 1);
-            assert!(lattice.node(p).children.contains(&id));
+        for &p in lattice.parents(id) {
+            assert_eq!(lattice.level_of(p), lattice.level_of(id) + 1);
+            assert!(lattice.children(p).contains(&id));
         }
+
+        // Postings index agrees with network membership.
+        for ts in jnts.nodes() {
+            assert!(
+                lattice.postings(ts.table, ts.copy).binary_search(&id).is_ok(),
+                "node {id} missing from postings({}, {})",
+                ts.table,
+                ts.copy
+            );
+        }
+
+        // Free-leaf flag agrees with structure.
+        let expect_free_leaf = jnts.node_count() > 1
+            && jnts.leaves().iter().any(|&l| jnts.nodes()[l].is_free());
+        assert_eq!(lattice.has_free_leaf(id), expect_free_leaf, "node {id}");
 
         // Closure under leaf removal: every maximal sub-network exists and
         // is linked as a child.
-        if node.jnts.node_count() > 1 {
-            for leaf in node.jnts.leaves() {
-                let sub = node.jnts.remove_leaf(leaf);
+        if jnts.node_count() > 1 {
+            for leaf in jnts.leaves() {
+                let sub = jnts.remove_leaf(leaf);
                 let label = canonical_label(&sub);
                 let child = by_label
                     .get(&label)
                     .unwrap_or_else(|| panic!("sub-network of node {id} missing from lattice"));
                 assert!(
-                    node.children.contains(child),
+                    lattice.children(id).contains(child),
                     "sub-network present but not linked as child"
                 );
             }

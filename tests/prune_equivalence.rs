@@ -1,0 +1,192 @@
+//! Differential test: the compact Phase 1–2 substrate against a naive
+//! reference implementation.
+//!
+//! The postings/bitset pipeline of [`kwdebug::prune::PrunedLattice`]
+//! (DESIGN.md §9) must be observably identical to the definitional form of
+//! Phases 1–2: scan every lattice node, classify it with the §3.2 predicates
+//! ([`kwdebug::mtn`]), keep MTNs ∪ descendants, and build the closures by the
+//! textbook sort/dedup construction. This suite runs both over seeded toydb
+//! and DBLife workloads — every interpretation of every query — and compares
+//! node sets, levels, adjacency, both closures, MTN sets, membership tests
+//! and all `PruneStats` fields.
+
+use datagen::{generate_dblife, paper_queries, product_database, DblifeConfig};
+use kwdebug::binding::{map_keywords, Interpretation, KeywordQuery};
+use kwdebug::lattice::{Lattice, NodeId};
+use kwdebug::mtn::{is_mtn, is_retained, is_total};
+use kwdebug::prune::{PruneStats, PrunedLattice};
+use kwdebug::workspace::QueryWorkspace;
+use kwdebug::SchemaGraph;
+use std::collections::{HashMap, HashSet};
+use textindex::InvertedIndex;
+
+/// The definitional Phase 1–2 pipeline, kept deliberately naive: full lattice
+/// scan with the `mtn` predicates, hash-set Phase 2, sort/dedup closures.
+struct NaivePruned {
+    nodes: Vec<NodeId>,
+    levels: Vec<u32>,
+    children: Vec<Vec<usize>>,
+    parents: Vec<Vec<usize>>,
+    desc_plus: Vec<Vec<usize>>,
+    asc_plus: Vec<Vec<usize>>,
+    mtns: Vec<usize>,
+    stats: PruneStats,
+}
+
+fn naive_build(lattice: &Lattice, interp: &Interpretation) -> NaivePruned {
+    let mut stats = PruneStats { lattice_nodes: lattice.node_count(), ..PruneStats::default() };
+
+    let mut mtn_ids: Vec<NodeId> = Vec::new();
+    for id in lattice.all_nodes() {
+        let jnts = lattice.jnts(id);
+        if !is_retained(jnts, interp) {
+            continue;
+        }
+        stats.retained_phase1 += 1;
+        if is_total(jnts, interp) {
+            stats.total_nodes += 1;
+            if is_mtn(jnts, interp) {
+                mtn_ids.push(id);
+            }
+        }
+    }
+    stats.mtn_count = mtn_ids.len();
+
+    let mut keep: HashSet<NodeId> = HashSet::new();
+    let mut stack = mtn_ids.clone();
+    while let Some(id) = stack.pop() {
+        if !keep.insert(id) {
+            continue;
+        }
+        for &c in lattice.children(id) {
+            if !keep.contains(&c) {
+                stack.push(c);
+            }
+        }
+    }
+
+    let nodes: Vec<NodeId> = lattice.all_nodes().filter(|id| keep.contains(id)).collect();
+    stats.pruned_nodes = nodes.len();
+    let dense: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let levels: Vec<u32> = nodes.iter().map(|&id| lattice.level_of(id)).collect();
+
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, &id) in nodes.iter().enumerate() {
+        for &c in lattice.children(id) {
+            if let Some(&ci) = dense.get(&c) {
+                children[i].push(ci);
+                parents[ci].push(i);
+            }
+        }
+    }
+
+    let mut desc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for i in 0..nodes.len() {
+        let mut d: Vec<usize> = vec![i];
+        for &c in &children[i] {
+            d.extend_from_slice(&desc_plus[c]);
+        }
+        d.sort_unstable();
+        d.dedup();
+        desc_plus[i] = d;
+    }
+    let mut asc_plus: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, descs) in desc_plus.iter().enumerate() {
+        for &d in descs {
+            asc_plus[d].push(i);
+        }
+    }
+    for a in &mut asc_plus {
+        a.sort_unstable();
+    }
+
+    let mut mtns: Vec<usize> = mtn_ids.iter().map(|id| dense[id]).collect();
+    mtns.sort_unstable();
+    for &m in &mtns {
+        stats.mtn_descendants_total += desc_plus[m].len() - 1;
+    }
+    let mut uniq: Vec<usize> = mtns
+        .iter()
+        .flat_map(|&m| desc_plus[m].iter().copied().filter(move |&d| d != m))
+        .collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    stats.mtn_descendants_unique = uniq.len();
+
+    NaivePruned { nodes, levels, children, parents, desc_plus, asc_plus, mtns, stats }
+}
+
+fn assert_same(fast: &PrunedLattice, slow: &NaivePruned, ctx: &str) {
+    assert_eq!(fast.stats(), &slow.stats, "{ctx}: stats");
+    assert_eq!(fast.len(), slow.nodes.len(), "{ctx}: node count");
+    assert_eq!(fast.mtns(), slow.mtns.as_slice(), "{ctx}: MTN set");
+    for i in 0..fast.len() {
+        assert_eq!(fast.lattice_id(i), slow.nodes[i], "{ctx}: node {i}");
+        assert_eq!(fast.level(i), slow.levels[i], "{ctx}: level {i}");
+        assert_eq!(fast.children(i), slow.children[i].as_slice(), "{ctx}: children {i}");
+        assert_eq!(fast.parents(i), slow.parents[i].as_slice(), "{ctx}: parents {i}");
+        assert_eq!(fast.desc_plus(i), slow.desc_plus[i].as_slice(), "{ctx}: desc {i}");
+        assert_eq!(fast.asc_plus(i), slow.asc_plus[i].as_slice(), "{ctx}: asc {i}");
+        // Membership predicate matches the closure content both ways.
+        for j in 0..fast.len() {
+            assert_eq!(
+                fast.is_desc_or_self(j, i),
+                slow.desc_plus[i].binary_search(&j).is_ok(),
+                "{ctx}: is_desc_or_self({j}, {i})"
+            );
+        }
+    }
+}
+
+fn check_workload(lattice: &Lattice, index: &InvertedIndex, queries: &[&str], label: &str) {
+    let mut ws = QueryWorkspace::new();
+    let mut interps = 0usize;
+    for q in queries {
+        let Ok(parsed) = KeywordQuery::parse(q) else { continue };
+        let mapping = map_keywords(&parsed, index);
+        for (ii, interp) in mapping.interpretations.iter().enumerate() {
+            let ctx = format!("{label} {q:?} interp {ii}");
+            let slow = naive_build(lattice, interp);
+            let fresh = PrunedLattice::build(lattice, interp);
+            assert_same(&fresh, &slow, &ctx);
+            // The pooled-workspace path must agree too (this is the path the
+            // debugger takes in production).
+            let reused = PrunedLattice::build_with(lattice, interp, &mut ws);
+            assert_same(&reused, &slow, &format!("{ctx} (reused ws)"));
+            interps += 1;
+        }
+    }
+    assert!(interps > 0, "{label}: workload produced no interpretations");
+}
+
+#[test]
+fn toydb_matches_naive_reference() {
+    let db = product_database();
+    let graph = SchemaGraph::new(&db);
+    let index = InvertedIndex::build(&db);
+    let queries = [
+        "saffron scented candle",
+        "red candle",
+        "saffron",
+        "candle holder",
+        "red scented oil",
+    ];
+    for max_joins in [1, 2, 3] {
+        let lattice = Lattice::build(&db, &graph, max_joins);
+        check_workload(&lattice, &index, &queries, &format!("toydb mj={max_joins}"));
+    }
+}
+
+#[test]
+fn dblife_matches_naive_reference_across_seeds() {
+    for seed in [DblifeConfig::tiny().seed, 1729] {
+        let db = generate_dblife(&DblifeConfig { seed, ..DblifeConfig::tiny() });
+        let graph = SchemaGraph::new(&db);
+        let index = InvertedIndex::build(&db);
+        let lattice = Lattice::build(&db, &graph, 3);
+        let queries: Vec<&str> = paper_queries().iter().map(|q| q.text).collect();
+        check_workload(&lattice, &index, &queries, &format!("dblife seed={seed}"));
+    }
+}

@@ -25,12 +25,15 @@ echo "==> parallel scheduler (sequential-equivalence + chaos smoke, single-threa
 cargo test --workspace -q --test parallel_equivalence
 cargo test --workspace -q --test parallel_equivalence --test chaos_soundness -- --test-threads=1
 
+echo "==> prune substrate differential (compact vs naive reference)"
+cargo test --workspace --release -q --test prune_equivalence
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-    echo "==> cargo clippy -p kwdebug (warnings denied)"
-    cargo clippy -p kwdebug --all-targets -- -D warnings
+    echo "==> cargo clippy --workspace (warnings denied)"
+    cargo clippy --workspace --all-targets -- -D warnings
 fi
 
 echo "==> all checks passed"
