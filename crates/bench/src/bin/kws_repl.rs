@@ -9,7 +9,10 @@
 //! `:budget N [MS]` caps probes (and optionally a deadline in milliseconds)
 //! per interpretation, `:chaos SEED T P [L]` turns on deterministic fault
 //! injection (per-mille transient/permanent/latency rates), `:budget off` /
-//! `:chaos off` restore the defaults, `:quit` exits. Useful for poking at
+//! `:chaos off` restore the defaults, `:cache on|off` toggles the
+//! session-scoped cross-probe evaluation cache ([`kwdebug::evalcache`]) and
+//! bare `:cache` shows its resident contents plus the last query's hit
+//! counters, `:quit` exits. Useful for poking at
 //! the system — including its degraded mode — the way the paper's intended
 //! developer/SEO user would.
 //!
@@ -136,6 +139,33 @@ fn show_metrics(system: &NonAnswerDebugger, last: &LastRun, args: &ExpArgs, max_
     println!("{}", snap.to_json());
 }
 
+/// `:cache` — resident contents of the session evaluation cache and, when a
+/// query has run, where its probing work went.
+fn show_cache(system: &NonAnswerDebugger, enabled: bool, last: Option<&LastRun>) {
+    let cache = system.eval_cache();
+    println!(
+        "evaluation cache: {} ({} selection entries, {} subtree value-sets, {} keywords, {} payload bytes)",
+        if enabled { "on" } else { "off" },
+        cache.selection_entries(),
+        cache.subtree_entries(),
+        cache.interned_keywords(),
+        cache.bytes()
+    );
+    if let Some(run) = last {
+        let p = run.report.probes();
+        println!(
+            "last query: {} selection hits, {} subtree hits, {} dead shortcuts, {} bytes added",
+            p.selection_cache_hits,
+            p.subtree_cache_hits,
+            p.subtree_cache_dead_shortcuts,
+            p.cache_bytes
+        );
+    }
+    if !enabled {
+        println!("(entries stay valid for the session; `:cache on` resumes using them)");
+    }
+}
+
 /// Parses `:budget N [MS]` / `:budget off` into a probe budget.
 fn parse_budget(parts: &mut std::str::SplitWhitespace<'_>) -> Option<ProbeBudget> {
     let first = parts.next()?;
@@ -187,6 +217,7 @@ fn main() {
     );
 
     let mut strategy = StrategyKind::ScoreBasedHeuristic;
+    let mut cache_on = false;
     let mut last: Option<LastRun> = None;
     let stdin = std::io::stdin();
     loop {
@@ -217,6 +248,20 @@ fn main() {
                     None => println!("no query run yet — type a keyword query first"),
                 },
                 Some("lattice") => show_lattice(&system),
+                Some("cache") => match parts.next() {
+                    None => show_cache(&system, cache_on, last.as_ref()),
+                    Some(arg) if arg.eq_ignore_ascii_case("on") => {
+                        cache_on = true;
+                        system.set_eval_cache(true);
+                        println!("evaluation cache on (session-scoped)");
+                    }
+                    Some(arg) if arg.eq_ignore_ascii_case("off") => {
+                        cache_on = false;
+                        system.set_eval_cache(false);
+                        println!("evaluation cache off (entries retained)");
+                    }
+                    Some(_) => println!("usage: :cache [on|off]"),
+                },
                 Some("budget") => match parse_budget(&mut parts) {
                     Some(budget) => {
                         let label = if budget.is_unlimited() { "unlimited" } else { "set" };
@@ -238,7 +283,7 @@ fn main() {
                     }
                     None => println!("usage: :chaos SEED TRANSIENT‰ PERMANENT‰ [LATENCY‰]  |  :chaos off"),
                 },
-                _ => println!("commands: :strategy <name>, :metrics, :lattice, :budget ..., :chaos ..., :quit"),
+                _ => println!("commands: :strategy <name>, :metrics, :lattice, :cache [on|off], :budget ..., :chaos ..., :quit"),
             }
             continue;
         }

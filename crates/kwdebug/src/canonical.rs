@@ -79,6 +79,40 @@ pub fn canonical_key(j: &Jnts) -> Vec<u8> {
         .expect("at least one root")
 }
 
+/// Rooted canonical byte key of the subtree of a network hanging below
+/// `root`, with the neighbour `parent` (and everything beyond it) excluded —
+/// `usize::MAX` for the whole network rooted at `root`. Unlike
+/// [`canonical_key`] the root is fixed by the caller, which is what a
+/// cut-edge identifies: the subtree on one side of a cut is always re-entered
+/// through the same vertex. `vid` supplies the vertex labels, so callers can
+/// label vertices by binding (table + bound keyword) instead of `(table,
+/// copy)` — isomorphic *bound* subtrees then share a key regardless of copy
+/// numbers. `adj` must hold `(direction-aware edge id, neighbour)` pairs as
+/// built by [`canonical_key`] (`(fk << 1) | is_from` seen from each side).
+pub fn rooted_subtree_key(
+    root: usize,
+    parent: usize,
+    adj: &[Vec<(u64, usize)>],
+    vid: &dyn Fn(usize) -> u64,
+) -> Vec<u8> {
+    get_key(root, parent, adj, vid)
+}
+
+/// Direction-aware adjacency of a network, shared by [`canonical_key`] and
+/// the cut-subtree keys of the evaluation cache: entry `adj[a]` holds
+/// `((fk << 1) | a_is_from_here, neighbour)` per incident edge.
+pub fn direction_aware_adjacency(j: &Jnts) -> Vec<Vec<(u64, usize)>> {
+    let mut adj: Vec<Vec<(u64, usize)>> = vec![Vec::new(); j.node_count()];
+    for e in j.edges() {
+        let (a, b) = (e.a as usize, e.b as usize);
+        let id_ab = (e.fk as u64) << 1 | u64::from(e.a_is_from);
+        let id_ba = (e.fk as u64) << 1 | u64::from(!e.a_is_from);
+        adj[a].push((id_ab, b));
+        adj[b].push((id_ba, a));
+    }
+    adj
+}
+
 /// Byte tag opening a vertex code (the `[` of the string encoding).
 const KEY_OPEN: u8 = 0x01;
 /// Byte tag introducing one child edge (the `|`/`:` of the string encoding).

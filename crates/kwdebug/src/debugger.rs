@@ -1,5 +1,6 @@
 //! The end-to-end system: offline setup + the four-phase debug pipeline.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use relengine::Database;
@@ -10,6 +11,7 @@ use relengine::FaultConfig;
 use crate::binding::{map_keywords, Interpretation, KeywordQuery};
 use crate::budget::{ProbeBudget, RetryPolicy};
 use crate::error::KwError;
+use crate::evalcache::EvalCache;
 use crate::jnts::Jnts;
 use crate::lattice::Lattice;
 use crate::metrics::PhaseTiming;
@@ -62,6 +64,15 @@ pub struct DebugConfig {
     /// either way — workers only change wall-clock — so this is a pure
     /// throughput knob for disk/remote-bound probe workloads.
     pub workers: usize,
+    /// Share the session-scoped [`crate::evalcache::EvalCache`] across every
+    /// probe of every debug call (extension; off by default like `memoize`).
+    /// Keyword selections are evaluated once per session and subtree
+    /// semi-join value-sets are reused across probes, queries and parallel
+    /// workers. Reports are bit-identical with the cache on or off (the
+    /// differential suite pins this down); only probe work shrinks. Caveat:
+    /// with a *limited* [`DebugConfig::budget`] the cache can change which
+    /// probe trips the cap, so partial reports may differ.
+    pub eval_cache: bool,
 }
 
 impl Default for DebugConfig {
@@ -77,6 +88,7 @@ impl Default for DebugConfig {
             retry: RetryPolicy::default(),
             chaos: None,
             workers: 1,
+            eval_cache: false,
         }
     }
 }
@@ -112,6 +124,10 @@ pub struct NonAnswerDebugger {
     /// `debug` takes `&self`, so concurrent sessions each borrow their own
     /// workspace from the pool.
     workspaces: WorkspacePool,
+    /// The session-scoped evaluation cache, alive exactly as long as the
+    /// debugger (the database is immutable, so lifetime *is* invalidation).
+    /// Only consulted when [`DebugConfig::eval_cache`] is on.
+    cache: Arc<EvalCache>,
 }
 
 impl NonAnswerDebugger {
@@ -130,6 +146,7 @@ impl NonAnswerDebugger {
             lattice,
             config,
             workspaces: WorkspacePool::new(),
+            cache: Arc::new(EvalCache::new()),
         })
     }
 
@@ -180,6 +197,7 @@ impl NonAnswerDebugger {
             lattice,
             config,
             workspaces: WorkspacePool::new(),
+            cache: Arc::new(EvalCache::new()),
         })
     }
 
@@ -235,6 +253,29 @@ impl NonAnswerDebugger {
     /// sequential; see [`crate::parallel`] for the equivalence guarantee).
     pub fn set_workers(&mut self, workers: usize) {
         self.config.workers = workers;
+    }
+
+    /// Enables or disables the session evaluation cache for subsequent debug
+    /// calls. Disabling does not clear the cache — entries stay valid for
+    /// the debugger's lifetime and are reused when re-enabled.
+    pub fn set_eval_cache(&mut self, on: bool) {
+        self.config.eval_cache = on;
+    }
+
+    /// The session evaluation cache (sizes and entry counts for dashboards
+    /// and the REPL's `:cache` command; empty until a cache-enabled debug
+    /// call populates it).
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Drops every cached selection and subtree value-set, returning the
+    /// session to a cold cache. Entries are otherwise valid for the
+    /// debugger's whole lifetime (the database is immutable), so this exists
+    /// for memory pressure in long sessions and for benchmarking cold-start
+    /// behaviour repeatably.
+    pub fn reset_eval_cache(&mut self) {
+        self.cache = Arc::new(EvalCache::new());
     }
 
     /// Debugs a keyword query end to end (Phases 1–3).
@@ -302,6 +343,9 @@ impl NonAnswerDebugger {
         .with_retry(self.config.retry);
         if let Some(chaos) = self.config.chaos {
             oracle = oracle.with_chaos(chaos);
+        }
+        if self.config.eval_cache {
+            oracle = oracle.with_eval_cache(Arc::clone(&self.cache));
         }
         let pa = if self.config.estimate_pa {
             crate::estimate::PaEstimator::new(&self.db, &self.index, interp, keywords)

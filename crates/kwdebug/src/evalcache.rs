@@ -1,0 +1,323 @@
+//! Session-scoped cross-probe evaluation cache.
+//!
+//! Every aliveness probe of a debug session runs against the same immutable
+//! database, and the probed networks are subtrees of the same MTNs — so most
+//! of the work of one probe is a verbatim replay of another's. This module
+//! caches that work at two levels, below the verdict-level memo/R1/R2 reuse:
+//!
+//! * **Selection cache** — `(table, keyword)` → the sorted row ids satisfying
+//!   the keyword's containment predicate. Computed once per session; every
+//!   later probe attaches the shared selection to its plan node and the
+//!   executor skips predicate evaluation for that node entirely.
+//! * **Subtree semi-join cache** — canonical *binding* label of a cut subtree
+//!   (vertices labeled `table + bound keyword`, so copy numbers don't split
+//!   entries) plus the subtree's outgoing join column → the sorted set of
+//!   join values surviving that subtree's Yannakakis reduction. A parent
+//!   probe semi-joins against the cached value-set instead of re-reducing the
+//!   subtree; an *empty* cached set proves any network joining through that
+//!   cut dead without touching the engine at all.
+//!
+//! Both maps are lock-striped like `parallel::ShardedMemo` so the parallel
+//! scheduler's workers share them without a global lock. Entries are only
+//! ever written from *completed* reductions (chaos faults fire before
+//! execution and abort the probe, so a failed probe contributes nothing), and
+//! since the database is immutable for the life of a
+//! [`crate::debugger::NonAnswerDebugger`], invalidation is simply the cache's
+//! lifetime: it is created with the debugger and dropped with it.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use relengine::sortedvals::ValuePostings;
+use relengine::{ColId, Database, RowId, TableId};
+
+use crate::canonical::{direction_aware_adjacency, rooted_subtree_key};
+use crate::jnts::Jnts;
+
+/// Number of lock stripes per map (same as `parallel::MEMO_SHARDS`).
+const SHARDS: usize = 16;
+
+/// Key of one cached selection: table, interned keyword id, and whether the
+/// session restricts candidates through the inverted index (the cached rows
+/// must equal what the uncached path would have produced, and that path
+/// differs with index availability).
+type SelectionKey = (TableId, u64, bool);
+
+/// One lock-striped map: `SHARDS` independently locked hash maps.
+type Striped<K, V> = Vec<Mutex<HashMap<K, V>>>;
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// The session-scoped evaluation cache shared by all probes (and all parallel
+/// workers) of one debug session. See the module docs for the two layers.
+pub struct EvalCache {
+    selections: Striped<SelectionKey, Arc<Vec<RowId>>>,
+    /// Per-column value→rows postings of a cached selection — the derived
+    /// sets probes attach as `PlanNode::col_postings`, extracted once per
+    /// (selection, column) per session.
+    sel_postings: Striped<(SelectionKey, ColId), Arc<ValuePostings>>,
+    subtrees: Striped<Vec<u8>, Arc<Vec<i64>>>,
+    interner: Mutex<HashMap<String, u64>>,
+    bytes: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache {
+            selections: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            sel_postings: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            subtrees: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            interner: Mutex::new(HashMap::new()),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Stable per-session id of a keyword string (used in binding labels and
+    /// selection keys, so entries survive across queries sharing keywords).
+    pub fn intern(&self, keyword: &str) -> u64 {
+        let mut map = self.interner.lock().expect("interner poisoned");
+        let next = map.len() as u64;
+        *map.entry(keyword.to_owned()).or_insert(next)
+    }
+
+    /// Looks up a cached selection.
+    pub fn selection(&self, table: TableId, kw: u64, indexed: bool) -> Option<Arc<Vec<RowId>>> {
+        let key = (table, kw, indexed);
+        self.selections[shard_of(&key)]
+            .lock()
+            .expect("selection shard poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Inserts a selection, keeping the existing entry on a race. Returns the
+    /// canonical shared vector plus the bytes newly added to the cache
+    /// (0 when it lost the race).
+    pub fn insert_selection(
+        &self,
+        table: TableId,
+        kw: u64,
+        indexed: bool,
+        rows: Vec<RowId>,
+    ) -> (Arc<Vec<RowId>>, u64) {
+        let key = (table, kw, indexed);
+        let mut shard = self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
+        if let Some(existing) = shard.get(&key) {
+            return (Arc::clone(existing), 0);
+        }
+        let bytes = std::mem::size_of_val(rows.as_slice()) as u64;
+        let arc = Arc::new(rows);
+        shard.insert(key, Arc::clone(&arc));
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        (arc, bytes)
+    }
+
+    /// Looks up the cached value→rows postings of selection
+    /// `(table, kw, indexed)` in column `col`.
+    pub fn selection_postings(
+        &self,
+        table: TableId,
+        kw: u64,
+        indexed: bool,
+        col: ColId,
+    ) -> Option<Arc<ValuePostings>> {
+        let key = ((table, kw, indexed), col);
+        self.sel_postings[shard_of(&key)]
+            .lock()
+            .expect("selection-postings shard poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Inserts the value→rows postings of a selection in one column, keeping
+    /// the existing entry on a race. Returns the canonical shared postings
+    /// plus the bytes newly added (0 when it lost the race).
+    pub fn insert_selection_postings(
+        &self,
+        table: TableId,
+        kw: u64,
+        indexed: bool,
+        col: ColId,
+        postings: ValuePostings,
+    ) -> (Arc<ValuePostings>, u64) {
+        let key = ((table, kw, indexed), col);
+        let mut shard =
+            self.sel_postings[shard_of(&key)].lock().expect("selection-postings shard poisoned");
+        if let Some(existing) = shard.get(&key) {
+            return (Arc::clone(existing), 0);
+        }
+        let bytes = postings.payload_bytes();
+        let arc = Arc::new(postings);
+        shard.insert(key, Arc::clone(&arc));
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        (arc, bytes)
+    }
+
+    /// Looks up a cached subtree value-set by its binding key.
+    pub fn subtree(&self, key: &[u8]) -> Option<Arc<Vec<i64>>> {
+        self.subtrees[shard_of(&key)]
+            .lock()
+            .expect("subtree shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts a subtree value-set, keeping the existing entry on a race.
+    /// Returns the bytes newly added to the cache (0 when it lost the race).
+    pub fn insert_subtree(&self, key: Vec<u8>, values: Vec<i64>) -> u64 {
+        let shard = shard_of(&key.as_slice());
+        let mut map = self.subtrees[shard].lock().expect("subtree shard poisoned");
+        if map.contains_key(key.as_slice()) {
+            return 0;
+        }
+        let bytes = (key.len() + std::mem::size_of_val(values.as_slice())) as u64;
+        map.insert(key, Arc::new(values));
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        bytes
+    }
+
+    /// Total payload bytes currently resident (selections + subtree sets).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached selections.
+    pub fn selection_entries(&self) -> usize {
+        self.selections.iter().map(|s| s.lock().expect("selection shard poisoned").len()).sum()
+    }
+
+    /// Number of cached subtree value-sets.
+    pub fn subtree_entries(&self) -> usize {
+        self.subtrees.iter().map(|s| s.lock().expect("subtree shard poisoned").len()).sum()
+    }
+
+    /// Number of interned keywords.
+    pub fn interned_keywords(&self) -> usize {
+        self.interner.lock().expect("interner poisoned").len()
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+/// One cut subtree of a network, as seen from the tree rooted at vertex 0:
+/// removing the edge `parent — vertex` leaves the component containing
+/// `vertex`, whose canonical binding key (plus the component's outgoing join
+/// column) addresses the subtree cache.
+pub struct SubtreeRef {
+    /// Root of the cut component (jnts vertex index).
+    pub vertex: usize,
+    /// The vertex on the root-0 side of the cut edge.
+    pub parent: usize,
+    /// `vertex`-side join column of the cut edge — the column the cached
+    /// value-set is projected on.
+    pub child_col: ColId,
+    /// `parent`-side join column of the cut edge — the column a reusing probe
+    /// constrains.
+    pub parent_col: ColId,
+    /// Cache key: rooted binding key of the component ++ `child_col`.
+    pub key: Vec<u8>,
+}
+
+/// Computes the [`SubtreeRef`] of every non-root vertex of `j` (rooted at
+/// vertex 0, matching the executor's reduction root), in DFS pre-order.
+/// `vid` labels vertices by binding — see
+/// [`crate::oracle::AlivenessOracle::with_eval_cache`] for how labels are
+/// built from an interpretation.
+pub fn subtree_refs(j: &Jnts, db: &Database, vid: &dyn Fn(usize) -> u64) -> Vec<SubtreeRef> {
+    let n = j.node_count();
+    let dadj = direction_aware_adjacency(j);
+    // Plain adjacency with edge indices, for join columns.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ei, e) in j.edges().iter().enumerate() {
+        adj[e.a as usize].push((ei, e.b as usize));
+        adj[e.b as usize].push((ei, e.a as usize));
+    }
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    let mut stack = vec![(0usize, usize::MAX)];
+    let mut visited = vec![false; n];
+    while let Some((u, parent)) = stack.pop() {
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        for &(ei, v) in &adj[u] {
+            if v == parent || visited[v] {
+                continue;
+            }
+            let e = &j.edges()[ei];
+            let fk = db.foreign_key(e.fk);
+            let (a_col, b_col) = if e.a_is_from {
+                (fk.from_col, fk.to_col)
+            } else {
+                (fk.to_col, fk.from_col)
+            };
+            let (child_col, parent_col) =
+                if e.a as usize == v { (a_col, b_col) } else { (b_col, a_col) };
+            let mut key = rooted_subtree_key(v, u, &dadj, vid);
+            key.extend_from_slice(&(child_col as u64).to_le_bytes());
+            out.push(SubtreeRef { vertex: v, parent: u, child_col, parent_col, key });
+            stack.push((v, u));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_stable() {
+        let c = EvalCache::new();
+        let a = c.intern("saffron");
+        let b = c.intern("candle");
+        assert_ne!(a, b);
+        assert_eq!(c.intern("saffron"), a);
+        assert_eq!(c.interned_keywords(), 2);
+    }
+
+    #[test]
+    fn selection_roundtrip_and_race() {
+        let c = EvalCache::new();
+        assert!(c.selection(0, 1, true).is_none());
+        let (first, added) = c.insert_selection(0, 1, true, vec![3, 5, 8]);
+        assert_eq!(*first, vec![3, 5, 8]);
+        assert!(added > 0);
+        let bytes = c.bytes();
+        assert_eq!(bytes, added);
+        // Losing writer keeps the existing entry and adds no bytes.
+        let (second, re_added) = c.insert_selection(0, 1, true, vec![9]);
+        assert_eq!(*second, vec![3, 5, 8]);
+        assert_eq!(re_added, 0);
+        assert_eq!(c.bytes(), bytes);
+        assert_eq!(c.selection_entries(), 1);
+        // Indexed flag is part of the key.
+        assert!(c.selection(0, 1, false).is_none());
+    }
+
+    #[test]
+    fn subtree_roundtrip_and_race() {
+        let c = EvalCache::new();
+        assert!(c.subtree(b"k1").is_none());
+        let added = c.insert_subtree(b"k1".to_vec(), vec![7, 9]);
+        assert!(added > 0);
+        assert_eq!(*c.subtree(b"k1").unwrap(), vec![7, 9]);
+        assert_eq!(c.insert_subtree(b"k1".to_vec(), vec![1]), 0);
+        assert_eq!(*c.subtree(b"k1").unwrap(), vec![7, 9]);
+        assert_eq!(c.subtree_entries(), 1);
+        // Empty sets are legitimate entries (dead-subtree proofs).
+        c.insert_subtree(b"k2".to_vec(), vec![]);
+        assert_eq!(*c.subtree(b"k2").unwrap(), Vec::<i64>::new());
+    }
+}

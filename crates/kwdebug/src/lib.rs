@@ -52,6 +52,7 @@
 //! | Probe budgets / retries (extension) | caps, deadlines, backoff, degraded mode | [`budget`] |
 //! | Fault injection (extension) | deterministic chaos harness for probes | [`relengine::chaos`] |
 //! | Parallel probe scheduling (extension) | work-stealing wave scheduler, sharded memo | [`parallel`] |
+//! | Cross-probe evaluation cache (extension) | shared keyword selections, subtree semi-join value-sets | [`evalcache`] |
 //!
 //! ## Observability
 //!
@@ -100,6 +101,7 @@ pub mod debugger;
 pub mod diagnose;
 pub mod error;
 pub mod estimate;
+pub mod evalcache;
 pub mod filter;
 pub mod jnts;
 pub mod lattice;

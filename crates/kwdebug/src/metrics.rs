@@ -28,6 +28,10 @@
 //! | `inference_suppressed_probes` | parallel dispatcher, probes answered by the shared memo at dispatch time | beyond the paper (parallel probing) |
 //! | `phase1_nodes_touched` | debugger, posting-list entries scanned by Phase 1 (DESIGN.md §9) | beyond the paper (compact substrate) |
 //! | `workspace_reuses` | debugger, `PrunedLattice` builds served from the pooled [`crate::workspace::QueryWorkspace`] | beyond the paper (compact substrate) |
+//! | `selection_cache_hits` | oracle, plan nodes served a shared keyword selection by [`crate::evalcache`] | beyond the paper (evaluation cache) |
+//! | `subtree_cache_hits` | oracle, probe subtrees replaced by a cached semi-join value-set | beyond the paper (evaluation cache) |
+//! | `subtree_cache_dead_shortcuts` | oracle/dispatcher, probes answered Dead from an empty cached value-set | beyond the paper (evaluation cache) |
+//! | `cache_bytes` | oracle, payload bytes resident in the session [`crate::evalcache::EvalCache`] | beyond the paper (evaluation cache) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
 //! engine's own `ExecStats::queries`, so a strategy can never misreport its
@@ -171,6 +175,20 @@ pub struct Metrics {
     /// [`crate::workspace::QueryWorkspace`] instead of allocating fresh
     /// scratch (first build on a pool slot counts 0).
     pub workspace_reuses: Counter,
+    /// Plan nodes whose keyword selection was served from the session
+    /// [`crate::evalcache::EvalCache`] instead of re-evaluating the
+    /// containment predicate (population-order-dependent in parallel runs).
+    pub selection_cache_hits: Counter,
+    /// Probe subtrees pruned because a cached semi-join value-set stood in
+    /// for their reduction (population-order-dependent in parallel runs).
+    pub subtree_cache_hits: Counter,
+    /// Probes answered Dead without touching the engine because a cached cut
+    /// value-set was empty; counted like an inference, never as a probe.
+    pub subtree_cache_dead_shortcuts: Counter,
+    /// Payload bytes this oracle newly added to the session evaluation
+    /// cache; summed across a session the counter equals the cache's
+    /// resident size (warm runs that add nothing report 0).
+    pub cache_bytes: Counter,
 }
 
 impl Metrics {
@@ -193,6 +211,10 @@ impl Metrics {
             inference_suppressed_probes: Counter::new(),
             phase1_nodes_touched: Counter::new(),
             workspace_reuses: Counter::new(),
+            selection_cache_hits: Counter::new(),
+            subtree_cache_hits: Counter::new(),
+            subtree_cache_dead_shortcuts: Counter::new(),
+            cache_bytes: Counter::new(),
         }
     }
 
@@ -215,6 +237,10 @@ impl Metrics {
             inference_suppressed_probes: self.inference_suppressed_probes.get(),
             phase1_nodes_touched: self.phase1_nodes_touched.get(),
             workspace_reuses: self.workspace_reuses.get(),
+            selection_cache_hits: self.selection_cache_hits.get(),
+            subtree_cache_hits: self.subtree_cache_hits.get(),
+            subtree_cache_dead_shortcuts: self.subtree_cache_dead_shortcuts.get(),
+            cache_bytes: self.cache_bytes.get(),
         }
     }
 
@@ -236,6 +262,10 @@ impl Metrics {
         self.inference_suppressed_probes.reset();
         self.phase1_nodes_touched.reset();
         self.workspace_reuses.reset();
+        self.selection_cache_hits.reset();
+        self.subtree_cache_hits.reset();
+        self.subtree_cache_dead_shortcuts.reset();
+        self.cache_bytes.reset();
     }
 }
 
@@ -280,6 +310,14 @@ pub struct ProbeCounters {
     pub phase1_nodes_touched: u64,
     /// `PrunedLattice` builds that reused pooled workspace scratch.
     pub workspace_reuses: u64,
+    /// Plan nodes served a shared keyword selection by the evaluation cache.
+    pub selection_cache_hits: u64,
+    /// Probe subtrees replaced by a cached semi-join value-set.
+    pub subtree_cache_hits: u64,
+    /// Probes answered Dead from an empty cached value-set (no execution).
+    pub subtree_cache_dead_shortcuts: u64,
+    /// Payload bytes newly added to the session evaluation cache.
+    pub cache_bytes: u64,
 }
 
 impl ProbeCounters {
@@ -303,6 +341,11 @@ impl ProbeCounters {
                 - baseline.inference_suppressed_probes,
             phase1_nodes_touched: self.phase1_nodes_touched - baseline.phase1_nodes_touched,
             workspace_reuses: self.workspace_reuses - baseline.workspace_reuses,
+            selection_cache_hits: self.selection_cache_hits - baseline.selection_cache_hits,
+            subtree_cache_hits: self.subtree_cache_hits - baseline.subtree_cache_hits,
+            subtree_cache_dead_shortcuts: self.subtree_cache_dead_shortcuts
+                - baseline.subtree_cache_dead_shortcuts,
+            cache_bytes: self.cache_bytes - baseline.cache_bytes,
         }
     }
 
@@ -324,6 +367,10 @@ impl ProbeCounters {
         self.inference_suppressed_probes += other.inference_suppressed_probes;
         self.phase1_nodes_touched += other.phase1_nodes_touched;
         self.workspace_reuses += other.workspace_reuses;
+        self.selection_cache_hits += other.selection_cache_hits;
+        self.subtree_cache_hits += other.subtree_cache_hits;
+        self.subtree_cache_dead_shortcuts += other.subtree_cache_dead_shortcuts;
+        self.cache_bytes += other.cache_bytes;
     }
 
     /// Probe time as a [`Duration`].
@@ -446,13 +493,17 @@ impl MetricsSnapshot {
         let p = &self.probes;
         let _ = write!(
             j,
-            ",\"probes\":{{\"budget_exhausted\":{},\"executed\":{},\"faults_injected\":{},\
+            ",\"probes\":{{\"budget_exhausted\":{},\"cache_bytes\":{},\"executed\":{},\
+             \"faults_injected\":{},\
              \"inference_suppressed_probes\":{},\"memo_hits\":{},\"phase1_nodes_touched\":{},\
              \"probes_abandoned\":{},\
              \"r1_inferences\":{},\"r2_inferences\":{},\"retries\":{},\"reuse_hits\":{},\
-             \"steals\":{},\"time_ns\":{},\"tuples_scanned\":{},\"workers\":{},\
+             \"selection_cache_hits\":{},\
+             \"steals\":{},\"subtree_cache_dead_shortcuts\":{},\"subtree_cache_hits\":{},\
+             \"time_ns\":{},\"tuples_scanned\":{},\"workers\":{},\
              \"workspace_reuses\":{}}}",
             p.budget_exhausted,
+            p.cache_bytes,
             p.probes_executed,
             p.faults_injected,
             p.inference_suppressed_probes,
@@ -463,7 +514,10 @@ impl MetricsSnapshot {
             p.r2_inferences,
             p.retries,
             p.reuse_hits,
+            p.selection_cache_hits,
             p.steals,
+            p.subtree_cache_dead_shortcuts,
+            p.subtree_cache_hits,
             p.probe_time_ns,
             p.tuples_scanned,
             p.workers,
@@ -615,6 +669,10 @@ mod tests {
                 inference_suppressed_probes: 2,
                 phase1_nodes_touched: 42,
                 workspace_reuses: 1,
+                selection_cache_hits: 13,
+                subtree_cache_hits: 6,
+                subtree_cache_dead_shortcuts: 2,
+                cache_bytes: 512,
             },
             phases: PhaseTiming {
                 mapping: Duration::from_nanos(1),
@@ -647,11 +705,14 @@ mod tests {
              \"variant\":\"fault_pm=50\",\
              \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
              \"lattice_bytes\":4096,\
-             \"probes\":{\"budget_exhausted\":1,\"executed\":12,\"faults_injected\":5,\
+             \"probes\":{\"budget_exhausted\":1,\"cache_bytes\":512,\"executed\":12,\
+             \"faults_injected\":5,\
              \"inference_suppressed_probes\":2,\"memo_hits\":0,\"phase1_nodes_touched\":42,\
              \"probes_abandoned\":1,\
              \"r1_inferences\":4,\"r2_inferences\":9,\"retries\":2,\"reuse_hits\":3,\
-             \"steals\":7,\"time_ns\":345,\"tuples_scanned\":678,\"workers\":4,\
+             \"selection_cache_hits\":13,\
+             \"steals\":7,\"subtree_cache_dead_shortcuts\":2,\"subtree_cache_hits\":6,\
+             \"time_ns\":345,\"tuples_scanned\":678,\"workers\":4,\
              \"workspace_reuses\":1},\
              \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
              \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\

@@ -67,17 +67,20 @@
 //! side of that equation. A failed attempt also returns its reserved budget
 //! slot ([`BudgetGate::release`]), so the budget only ever counts executions.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use relengine::sortedvals::ValuePostings;
 use relengine::{
-    ChaosExecutor, Database, EngineError, ExecStats, Executor, FaultConfig, FaultStats,
-    JoinTreePlan, MatchTuple, PlanEdge, PlanNode, Predicate,
+    ChaosExecutor, ColId, Database, EngineError, ExecStats, Executor, FaultConfig, FaultStats,
+    HarvestOut, JoinTreePlan, MatchTuple, PlanEdge, PlanNode, Predicate, RowId, TableId,
 };
 use textindex::InvertedIndex;
 
 use crate::binding::Interpretation;
 use crate::budget::{BudgetGate, Exhausted, ProbeBudget, RetryPolicy};
 use crate::error::KwError;
+use crate::evalcache::{subtree_refs, EvalCache};
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
 use crate::metrics::Metrics;
@@ -148,6 +151,17 @@ impl<'a> ProbeEngine<'a> {
         }
     }
 
+    fn exists_harvesting(
+        &mut self,
+        plan: &JoinTreePlan,
+        harvest: &[usize],
+    ) -> Result<(bool, HarvestOut), EngineError> {
+        match self {
+            ProbeEngine::Plain(e) => e.exists_harvesting(plan, harvest),
+            ProbeEngine::Chaos(c) => c.exists_harvesting(plan, harvest),
+        }
+    }
+
     fn execute(
         &mut self,
         plan: &JoinTreePlan,
@@ -187,6 +201,15 @@ enum ProbeFail {
     Exhausted(Exhausted),
 }
 
+/// A cache-aware probe plan: the (possibly pruned) executable plan plus the
+/// subtree-cache keys to populate from this probe's reduction, as
+/// `(plan node index, cache key)` pairs aligned with the executor's
+/// harvest output.
+struct CachedPlan {
+    plan: JoinTreePlan,
+    harvest: Vec<(usize, Vec<u8>)>,
+}
+
 /// The `Send + Sync` probe backend shared by every probing thread.
 ///
 /// Holds everything a probe needs *except* an engine: the plan-builder
@@ -211,6 +234,9 @@ pub(crate) struct ProbeCore<'a> {
     /// The fault schedule, kept so per-worker engines can derive their own
     /// deterministic streams (`None` = plain engines).
     chaos: Option<FaultConfig>,
+    /// The session-scoped evaluation cache (`None` = plain planning). Shared
+    /// across interpretations and parallel workers; see [`crate::evalcache`].
+    cache: Option<Arc<EvalCache>>,
 }
 
 // The core must stay shareable across the scheduler's worker threads; this
@@ -238,6 +264,7 @@ impl<'a> ProbeCore<'a> {
             gate: BudgetGate::new(ProbeBudget::default()),
             retry: RetryPolicy::default(),
             chaos: None,
+            cache: None,
         }
     }
 
@@ -263,6 +290,263 @@ impl<'a> ProbeCore<'a> {
     /// The memoized verdict of a node, if any (a pure read; no metrics).
     pub(crate) fn verdict_if_known(&self, node: NodeId) -> Option<bool> {
         self.memo.as_ref().and_then(|m| m.get(node))
+    }
+
+    /// Binding label of every jnts vertex for the subtree cache: the table id
+    /// in the high 32 bits and, for bound copies, the session-interned
+    /// keyword id + 1 in the low bits (0 = free copy). Copy numbers are
+    /// deliberately absent, so structurally identical subtrees of different
+    /// networks share cache entries.
+    fn binding_labels(&self, jnts: &Jnts, cache: &EvalCache) -> Vec<u64> {
+        jnts.nodes()
+            .iter()
+            .map(|&ts| {
+                let base = (ts.table as u64) << 32;
+                match self.interp.keyword_for(ts) {
+                    None => base,
+                    Some(k) => base | (cache.intern(&self.keywords[k]) + 1),
+                }
+            })
+            .collect()
+    }
+
+    /// The exact rows the uncached probe path would keep for a bound copy of
+    /// `table`: index posting list (when the session has one) filtered by the
+    /// containment predicate, in ascending row order. Computed oracle-side —
+    /// never through a (possibly chaos-wrapped) engine — so a cached
+    /// selection can never be poisoned by a fault.
+    fn compute_selection(&self, table: TableId, kw: &str) -> Vec<RowId> {
+        let pred = Predicate::any_text_contains(kw.to_owned()).compile();
+        let t = self.db.table(table);
+        let schema = t.schema();
+        match self.index {
+            Some(idx) => idx
+                .rows_containing(table, kw)
+                .iter()
+                .copied()
+                .filter(|&rid| pred.eval(schema, t.row(rid)))
+                .collect(),
+            None => (0..t.len() as RowId).filter(|&rid| pred.eval(schema, t.row(rid))).collect(),
+        }
+    }
+
+    /// The shared selection for one bound copy: cache hit, or computed and
+    /// published. Counts `selection_cache_hits` / `cache_bytes`.
+    fn shared_selection(&self, cache: &EvalCache, table: TableId, kw: &str) -> Arc<Vec<RowId>> {
+        let kid = cache.intern(kw);
+        let indexed = self.index.is_some();
+        match cache.selection(table, kid, indexed) {
+            Some(sel) => {
+                self.metrics.selection_cache_hits.incr();
+                sel
+            }
+            None => {
+                let (sel, added) =
+                    cache.insert_selection(table, kid, indexed, self.compute_selection(table, kw));
+                self.metrics.cache_bytes.add(added);
+                sel
+            }
+        }
+    }
+
+    /// The sorted distinct join values a shared selection holds in `col`:
+    /// cache hit, or extracted once from the selection's rows and published.
+    /// Attached to plans as [`PlanNode::col_postings`], letting the executor
+    /// answer untouched-selection membership, parent-side semi-joins and
+    /// whole single-node probes without re-reading rows. Counts `cache_bytes`
+    /// only — it is derived state of an already-counted selection hit.
+    fn shared_selection_postings(
+        &self,
+        cache: &EvalCache,
+        table: TableId,
+        kw: &str,
+        col: ColId,
+        sel: &Arc<Vec<RowId>>,
+    ) -> Arc<ValuePostings> {
+        let kid = cache.intern(kw);
+        let indexed = self.index.is_some();
+        if let Some(postings) = cache.selection_postings(table, kid, indexed, col) {
+            return postings;
+        }
+        let t = self.db.table(table);
+        let postings = ValuePostings::build(
+            sel.iter().filter_map(|&rid| t.row(rid)[col].as_int().map(|v| (v, rid))).collect(),
+        );
+        let (postings, added) = cache.insert_selection_postings(table, kid, indexed, col, postings);
+        self.metrics.cache_bytes.add(added);
+        postings
+    }
+
+    /// Answers a probe Dead without touching the engine when any cached cut
+    /// value-set of the network is empty: the component on the far side of
+    /// that cut is unsatisfiable (or joins on an all-NULL column), so no
+    /// assignment of the whole network can exist either way. Counted like an
+    /// inference (`subtree_cache_dead_shortcuts`), never as a probe; the
+    /// verdict is ground truth, so it also feeds the memo.
+    pub(crate) fn dead_shortcut(&self, node: NodeId, jnts: &Jnts) -> bool {
+        let Some(cache) = &self.cache else { return false };
+        if jnts.join_count() == 0 {
+            return false;
+        }
+        let labels = self.binding_labels(jnts, cache);
+        let vid = |i: usize| labels[i];
+        for r in subtree_refs(jnts, self.db, &vid) {
+            if cache.subtree(&r.key).is_some_and(|set| set.is_empty()) {
+                self.metrics.subtree_cache_dead_shortcuts.incr();
+                if let Some(memo) = &self.memo {
+                    memo.insert(node, false);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Builds a cache-aware probe plan rooted (like the executor's reduction)
+    /// at vertex 0:
+    ///
+    /// * every branch whose cut-subtree value-set is already cached is
+    ///   pruned from the plan, replaced by a sorted-membership constraint on
+    ///   its ex-parent (`subtree_cache_hits`);
+    /// * every bound copy that stays gets the shared keyword selection;
+    /// * every kept non-root vertex whose value-set is *not* cached is
+    ///   scheduled for harvesting, so this probe's reduction populates it.
+    fn build_plan_cached(
+        &self,
+        jnts: &Jnts,
+        cache: &EvalCache,
+    ) -> Result<CachedPlan, EngineError> {
+        let labels = self.binding_labels(jnts, cache);
+        let vid = |i: usize| labels[i];
+        let refs = subtree_refs(jnts, self.db, &vid);
+        let n = jnts.node_count();
+        // Prune cached branches. `refs` is in DFS pre-order from vertex 0, so
+        // a vertex's parent is always decided first; a branch inside an
+        // already-pruned branch is skipped without counting a hit.
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        let mut cons_by_vertex: Vec<Vec<(ColId, Arc<Vec<i64>>)>> = vec![Vec::new(); n];
+        for r in &refs {
+            if !keep[r.parent] {
+                continue;
+            }
+            if let Some(set) = cache.subtree(&r.key) {
+                self.metrics.subtree_cache_hits.incr();
+                cons_by_vertex[r.parent].push((r.parent_col, set));
+            } else {
+                keep[r.vertex] = true;
+            }
+        }
+        // Each vertex's join columns in the *full* network — kept edges and
+        // the constraint columns of pruned branches alike — so bound nodes
+        // can carry the pre-extracted selection values for every membership
+        // question the reduction might ask about them.
+        let mut join_cols: Vec<Vec<ColId>> = vec![Vec::new(); n];
+        for e in jnts.edges() {
+            let fk = self.db.foreign_key(e.fk);
+            let (a_col, b_col) =
+                if e.a_is_from { (fk.from_col, fk.to_col) } else { (fk.to_col, fk.from_col) };
+            for (v, col) in [(e.a as usize, a_col), (e.b as usize, b_col)] {
+                if !join_cols[v].contains(&col) {
+                    join_cols[v].push(col);
+                }
+            }
+        }
+        let mut plan_idx = vec![usize::MAX; n];
+        let mut nodes = Vec::new();
+        for (i, &ts) in jnts.nodes().iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            plan_idx[i] = nodes.len();
+            let table_name = &self.db.table(ts.table).schema().name;
+            let alias = format!("{}{}", table_name, ts.copy);
+            let mut node = match self.interp.keyword_for(ts) {
+                None => PlanNode::free(ts.table).with_alias(alias),
+                Some(kw_idx) => {
+                    let kw = &self.keywords[kw_idx];
+                    let sel = self.shared_selection(cache, ts.table, kw);
+                    let mut node = PlanNode::new(ts.table, Predicate::any_text_contains(kw.clone()))
+                        .with_alias(alias)
+                        .with_selection(Arc::clone(&sel));
+                    for &col in &join_cols[i] {
+                        node = node.with_col_postings(
+                            col,
+                            self.shared_selection_postings(cache, ts.table, kw, col, &sel),
+                        );
+                    }
+                    node
+                }
+            };
+            for (col, set) in cons_by_vertex[i].drain(..) {
+                node = node.with_constraint(col, set);
+            }
+            nodes.push(node);
+        }
+        let mut edges = Vec::new();
+        for e in jnts.edges() {
+            let (a, b) = (plan_idx[e.a as usize], plan_idx[e.b as usize]);
+            if a == usize::MAX || b == usize::MAX {
+                continue;
+            }
+            let fk = self.db.foreign_key(e.fk);
+            let (a_col, b_col) =
+                if e.a_is_from { (fk.from_col, fk.to_col) } else { (fk.to_col, fk.from_col) };
+            edges.push(PlanEdge { a, a_col, b, b_col });
+        }
+        let harvest = refs
+            .into_iter()
+            .filter(|r| keep[r.vertex])
+            .map(|r| (plan_idx[r.vertex], r.key))
+            .collect();
+        Ok(CachedPlan { plan: JoinTreePlan::new(nodes, edges)?, harvest })
+    }
+
+    /// The full (unpruned) plan used for report samples: identical to
+    /// [`build_plan`], except bound copies reuse the shared keyword
+    /// selections when the session has an [`EvalCache`]. Samples enumerate
+    /// one row per copy of the network, so subtree pruning never applies.
+    fn build_sample_plan(&self, jnts: &Jnts) -> Result<JoinTreePlan, EngineError> {
+        let Some(cache) = &self.cache else {
+            return build_plan(jnts, self.interp, self.db, self.index, self.keywords);
+        };
+        let mut edges = Vec::with_capacity(jnts.join_count());
+        let mut join_cols: Vec<Vec<ColId>> = vec![Vec::new(); jnts.node_count()];
+        for e in jnts.edges() {
+            let fk = self.db.foreign_key(e.fk);
+            let (a_col, b_col) =
+                if e.a_is_from { (fk.from_col, fk.to_col) } else { (fk.to_col, fk.from_col) };
+            edges.push(PlanEdge { a: e.a as usize, a_col, b: e.b as usize, b_col });
+            for (v, col) in [(e.a as usize, a_col), (e.b as usize, b_col)] {
+                if !join_cols[v].contains(&col) {
+                    join_cols[v].push(col);
+                }
+            }
+        }
+        let mut nodes = Vec::with_capacity(jnts.node_count());
+        for (i, &ts) in jnts.nodes().iter().enumerate() {
+            let table_name = &self.db.table(ts.table).schema().name;
+            let alias = format!("{}{}", table_name, ts.copy);
+            let node = match self.interp.keyword_for(ts) {
+                None => PlanNode::free(ts.table).with_alias(alias),
+                Some(kw_idx) => {
+                    let kw = &self.keywords[kw_idx];
+                    let sel = self.shared_selection(cache, ts.table, kw);
+                    let mut node = PlanNode::new(ts.table, Predicate::any_text_contains(kw.clone()))
+                        .with_alias(alias)
+                        .with_selection(Arc::clone(&sel));
+                    for &col in &join_cols[i] {
+                        node = node.with_col_postings(
+                            col,
+                            self.shared_selection_postings(cache, ts.table, kw, col, &sel),
+                        );
+                    }
+                    node
+                }
+            };
+            nodes.push(node);
+        }
+        JoinTreePlan::new(nodes, edges)
     }
 
     /// Reserves one budget slot, translating a refusal into the sticky
@@ -329,18 +613,39 @@ impl<'a> ProbeCore<'a> {
         node: NodeId,
         jnts: &Jnts,
     ) -> Probe {
-        let plan = match build_plan(jnts, self.interp, self.db, self.index, self.keywords) {
-            Ok(p) => p,
-            Err(e) => {
-                self.gate.release();
-                self.metrics.probes_abandoned.incr();
-                return Probe::NodeFailed(e);
-            }
+        let cached = match &self.cache {
+            None => None,
+            Some(cache) => match self.build_plan_cached(jnts, cache) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    self.gate.release();
+                    self.metrics.probes_abandoned.incr();
+                    return Probe::NodeFailed(e);
+                }
+            },
         };
+        let plain = match &cached {
+            Some(_) => None,
+            None => match build_plan(jnts, self.interp, self.db, self.index, self.keywords) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    self.gate.release();
+                    self.metrics.probes_abandoned.incr();
+                    return Probe::NodeFailed(e);
+                }
+            },
+        };
+        let harvest_idx: Vec<usize> =
+            cached.as_ref().map_or_else(Vec::new, |c| c.harvest.iter().map(|h| h.0).collect());
         let rows_before = engine.stats().rows_examined;
         let start = Instant::now();
-        match self.execute_with_retry(engine, |eng| eng.exists(&plan)) {
-            Ok(alive) => {
+        let outcome = self.execute_with_retry(engine, |eng| match (&cached, &plain) {
+            (Some(c), _) => eng.exists_harvesting(&c.plan, &harvest_idx),
+            (None, Some(p)) => eng.exists(p).map(|alive| (alive, Vec::new())),
+            (None, None) => unreachable!("one of the plans is always built"),
+        });
+        match outcome {
+            Ok((alive, harvested)) => {
                 self.metrics.probes_executed.incr();
                 self.metrics.probe_time.add(start.elapsed());
                 self.metrics
@@ -348,6 +653,16 @@ impl<'a> ProbeCore<'a> {
                     .add(engine.stats().rows_examined - rows_before);
                 if let Some(memo) = &self.memo {
                     memo.insert(node, alive);
+                }
+                // Only a *completed* reduction reaches this point (a chaos
+                // fault aborts before execution), so every harvested
+                // value-set is a sound cache entry.
+                if let (Some(c), Some(cache)) = (cached, &self.cache) {
+                    for ((_, key), values) in c.harvest.into_iter().zip(harvested) {
+                        if let Some(values) = values {
+                            self.metrics.cache_bytes.add(cache.insert_subtree(key, values));
+                        }
+                    }
                 }
                 Probe::Verdict(alive)
             }
@@ -419,6 +734,17 @@ impl<'a> AlivenessOracle<'a> {
         self
     }
 
+    /// Attaches a session-scoped [`EvalCache`] shared with other oracles of
+    /// the same debug session (and all parallel workers). Probes then reuse
+    /// cached keyword selections, prune subtrees whose semi-join value-sets
+    /// are cached, answer probes Dead from empty cached cuts without
+    /// executing, and harvest their own reductions into the cache. Verdicts
+    /// and reports are unchanged; only the work to reach them shrinks.
+    pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.core.cache = Some(cache);
+        self
+    }
+
     /// The memoized verdict of a node, without probing: `Some(true)` for
     /// cached alive, `Some(false)` for cached dead, `None` when the node was
     /// never probed (or memoization is off). Lets traversals and the session
@@ -457,6 +783,9 @@ impl<'a> AlivenessOracle<'a> {
             self.core.metrics.memo_hits.incr();
             return Probe::Verdict(alive);
         }
+        if self.core.dead_shortcut(node, jnts) {
+            return Probe::Verdict(false);
+        }
         if let Err(why) = self.core.try_reserve() {
             return Probe::Exhausted(why);
         }
@@ -486,7 +815,7 @@ impl<'a> AlivenessOracle<'a> {
             return Err(KwError::BudgetExhausted(why));
         }
         let core = &self.core;
-        let plan = match build_plan(jnts, core.interp, core.db, core.index, core.keywords) {
+        let plan = match core.build_sample_plan(jnts) {
             Ok(p) => p,
             Err(e) => {
                 core.gate.release();
@@ -919,6 +1248,67 @@ mod tests {
         let j = mtn_jnts();
         assert!(matches!(oracle.probe(0, &j), Probe::Verdict(_)), "first probe runs");
         assert!(matches!(oracle.probe(1, &j), Probe::Exhausted(Exhausted::Tuples)));
+    }
+
+    #[test]
+    fn eval_cache_shortcuts_dead_probes_and_reuses_selections() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        // glowy binds item, saffron binds color; the glowy item is red, so
+        // the item–color cut dies mid-reduction and proves the cut dead.
+        let q = KeywordQuery::parse("glowy saffron").unwrap();
+        let m = map_keywords(&q, &idx);
+        let interp = &m.interpretations[0];
+        let j = Jnts::single(TupleSet::new(0, 0))
+            .extend(0, inc(0, 1, false), 1)
+            .extend(1, inc(1, 2, true), 1);
+        let cache = Arc::new(crate::evalcache::EvalCache::new());
+        let mut plain = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false);
+        let mut o1 = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
+            .with_eval_cache(Arc::clone(&cache));
+        assert!(!plain.is_alive(0, &j).unwrap(), "no saffron glowy item");
+        assert!(!o1.is_alive(0, &j).unwrap(), "cached oracle agrees");
+        assert_eq!(o1.queries(), 1, "cold probe executes");
+        assert!(cache.subtree_entries() > 0, "the reduction was harvested");
+        assert!(cache.selection_entries() > 0, "keyword selections published");
+        assert!(cache.bytes() > 0);
+
+        // A fresh oracle sharing the session cache answers Dead for free.
+        let mut o2 = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
+            .with_eval_cache(Arc::clone(&cache));
+        assert!(!o2.is_alive(0, &j).unwrap());
+        assert_eq!(o2.queries(), 0, "empty cached cut answers without executing");
+        let snap = o2.metrics().snapshot();
+        assert_eq!(snap.subtree_cache_dead_shortcuts, 1);
+        assert_eq!(snap.probes_executed, 0);
+
+        // A different network reusing the saffron binding hits the shared
+        // selection instead of re-evaluating the predicate.
+        let single = Jnts::single(TupleSet::new(2, 1));
+        assert!(o2.is_alive(1, &single).unwrap(), "saffron colors exist");
+        assert_eq!(o2.metrics().snapshot().selection_cache_hits, 1);
+    }
+
+    #[test]
+    fn eval_cache_matches_plain_verdicts_and_samples() {
+        let db = db();
+        let idx = InvertedIndex::build(&db);
+        let q = KeywordQuery::parse("candle red").unwrap();
+        let m = map_keywords(&q, &idx);
+        let interp = &m.interpretations[0];
+        let j = mtn_jnts();
+        let cache = Arc::new(crate::evalcache::EvalCache::new());
+        let mut plain = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false);
+        let mut warm = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
+            .with_eval_cache(Arc::clone(&cache));
+        // Warm the cache, then compare a second cached oracle to plain.
+        assert!(warm.is_alive(0, &j).unwrap());
+        let mut o = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
+            .with_eval_cache(Arc::clone(&cache));
+        assert_eq!(plain.is_alive(0, &j).unwrap(), o.is_alive(0, &j).unwrap());
+        assert_eq!(plain.sample(&j, 5).unwrap(), o.sample(&j, 5).unwrap(), "same tuples");
+        assert!(o.metrics().snapshot().subtree_cache_hits > 0, "warm probe pruned subtrees");
+        assert_eq!(o.sql(&j).unwrap(), plain.sql(&j).unwrap(), "SQL text is cache-blind");
     }
 
     #[test]

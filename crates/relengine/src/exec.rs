@@ -6,21 +6,59 @@
 //! a full match of the whole tree. Enumeration then proceeds top-down over the
 //! reduced sets, with a result limit for early exit — aliveness only needs the
 //! first tuple.
+//!
+//! Two cache-oriented extensions feed the cross-probe evaluation cache
+//! (`kwdebug`'s session cache): plan nodes may carry a pre-verified shared
+//! *selection* (the executor then skips predicate evaluation for that node)
+//! and sorted join-value *constraints* standing in for pruned child subtrees;
+//! [`Executor::exists_harvesting`] additionally reports, per requested node,
+//! the sorted join-value set that survived that node's subtree reduction —
+//! exactly the set a later probe can reuse as a constraint.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::catalog::Database;
+use crate::catalog::{Database, TableId};
 use crate::error::EngineError;
-use crate::plan::JoinTreePlan;
+use crate::plan::{JoinTreePlan, PlanNode};
+use crate::sortedvals::{intersect_sorted, normalize, ValuePostings};
 use crate::stats::ExecStats;
-use crate::table::{RowId, Table};
+use crate::table::{Row, RowId, Table};
 
 /// One result tuple: for each plan node (by index), the matched row id.
 pub type MatchTuple = Vec<RowId>;
 
+/// Per-requested-node harvest output of [`Executor::exists_harvesting`]:
+/// `Some(values)` when the subtree's surviving join-value set is known
+/// (including the empty set when the subtree is known unsatisfiable),
+/// `None` when the reduction never materialized it.
+pub type HarvestOut = Vec<Option<Vec<i64>>>;
+
 /// One enumeration step: `(node, parent, parent_col, join value → live rows)`.
-type EnumStep = (usize, usize, usize, HashMap<i64, Vec<RowId>>);
+type EnumStep = (usize, usize, usize, ValueRows);
+
+/// A node's live rows grouped by join value, for enumeration: a map built by
+/// reading each live row once, the shared postings of a still-untouched
+/// cached selection, or — for a free unfiltered node — the table's own
+/// column index. The latter two group with zero row reads.
+enum ValueRows {
+    Map(HashMap<i64, Vec<RowId>>),
+    Postings(Arc<ValuePostings>),
+    Indexed(TableId, usize),
+}
+
+impl ValueRows {
+    fn rows_for<'a>(&'a self, db: &'a Database, v: i64) -> &'a [RowId] {
+        match self {
+            ValueRows::Map(m) => m.get(&v).map(Vec::as_slice).unwrap_or(&[]),
+            ValueRows::Postings(p) => p.rows_for(v),
+            ValueRows::Indexed(table, col) => {
+                db.table(*table).lookup_indexed(*col, v).unwrap_or(&[])
+            }
+        }
+    }
+}
 
 /// The set of live rows at a plan node during reduction.
 #[derive(Debug, Clone)]
@@ -29,6 +67,16 @@ enum LiveSet {
     All,
     /// Exactly these rows are live (ascending row ids).
     Rows(Vec<RowId>),
+    /// Exactly these rows are live, borrowed from a shared pre-verified
+    /// selection — no copy is made until a semi-join actually filters it.
+    Shared(Arc<Vec<RowId>>),
+    /// Exactly the rows of `sel` whose value in `col` lies in the sorted
+    /// `vals`. Built when a selection's only constrained column carries
+    /// pre-extracted values ([`PlanNode::col_postings`]): `vals` is then the
+    /// constraint ∩ the selection's distinct values, so every element is
+    /// witnessed by a row and the set is empty iff no row survives. Rows are
+    /// materialized only when a later step genuinely needs them.
+    Deferred { sel: Arc<Vec<RowId>>, col: usize, vals: Vec<i64> },
 }
 
 impl LiveSet {
@@ -36,14 +84,30 @@ impl LiveSet {
         match self {
             LiveSet::All => table.is_empty(),
             LiveSet::Rows(r) => r.is_empty(),
+            LiveSet::Shared(r) => r.is_empty(),
+            LiveSet::Deferred { vals, .. } => vals.is_empty(),
         }
     }
+}
+
+/// The rows of `sel` whose `col` value is in sorted `vals` — materializing a
+/// [`LiveSet::Deferred`]. Reads every selection row once.
+fn deferred_rows(table: &Table, sel: &[RowId], col: usize, vals: &[i64]) -> Vec<RowId> {
+    sel.iter()
+        .copied()
+        .filter(|&rid| {
+            table.row(rid)[col].as_int().is_some_and(|v| vals.binary_search(&v).is_ok())
+        })
+        .collect()
 }
 
 /// Membership test for "does the child have a live row with this join value".
 enum ValueMembership<'a> {
     Indexed(&'a Table, usize),
-    Set(HashSet<i64>),
+    Sorted(Vec<i64>),
+    /// Pre-extracted values borrowed from the plan's `col_postings` — the
+    /// untouched-selection case, where no row needs to be re-read.
+    SortedRef(&'a [i64]),
 }
 
 impl ValueMembership<'_> {
@@ -52,7 +116,135 @@ impl ValueMembership<'_> {
             ValueMembership::Indexed(t, col) => {
                 t.lookup_indexed(*col, v).is_some_and(|rows| !rows.is_empty())
             }
-            ValueMembership::Set(s) => s.contains(&v),
+            ValueMembership::Sorted(s) => s.binary_search(&v).is_ok(),
+            ValueMembership::SortedRef(s) => s.binary_search(&v).is_ok(),
+        }
+    }
+
+    fn as_sorted(&self) -> Option<&[i64]> {
+        match self {
+            ValueMembership::Indexed(..) => None,
+            ValueMembership::Sorted(s) => Some(s),
+            ValueMembership::SortedRef(s) => Some(s),
+        }
+    }
+}
+
+/// A node's merged join-value constraints: same-column sets are intersected
+/// once (galloping) before the row loop, so each row pays one binary search
+/// per distinct constrained column.
+enum ConstraintSet<'p> {
+    Borrowed(&'p [i64]),
+    Owned(Vec<i64>),
+}
+
+impl ConstraintSet<'_> {
+    fn as_slice(&self) -> &[i64] {
+        match self {
+            ConstraintSet::Borrowed(s) => s,
+            ConstraintSet::Owned(v) => v,
+        }
+    }
+}
+
+fn merged_constraints(node: &PlanNode) -> Vec<(usize, ConstraintSet<'_>)> {
+    let mut out: Vec<(usize, ConstraintSet<'_>)> = Vec::new();
+    for (col, vals) in &node.constraints {
+        if let Some(existing) = out.iter_mut().find(|(c, _)| c == col) {
+            existing.1 = ConstraintSet::Owned(intersect_sorted(existing.1.as_slice(), vals));
+        } else {
+            out.push((*col, ConstraintSet::Borrowed(vals)));
+        }
+    }
+    out
+}
+
+fn filter_rows(
+    table: &Table,
+    rows: &[RowId],
+    col: usize,
+    membership: &ValueMembership<'_>,
+) -> Vec<RowId> {
+    rows.iter()
+        .copied()
+        .filter(|&rid| table.row(rid)[col].as_int().is_some_and(|v| membership.contains(v)))
+        .collect()
+}
+
+/// The ascending rows of `p` whose value lies in the sorted `vals` — a
+/// semi-join answered purely from postings, with zero row reads. Iterates
+/// whichever side is shorter; groups are disjoint so a final sort restores
+/// row order without deduplication.
+fn postings_semijoin(p: &ValuePostings, vals: &[i64]) -> Vec<RowId> {
+    let mut out = Vec::new();
+    if p.values().len() <= vals.len() {
+        for (i, v) in p.values().iter().enumerate() {
+            if vals.binary_search(v).is_ok() {
+                out.extend_from_slice(p.rows_at(i));
+            }
+        }
+    } else {
+        for &v in vals {
+            out.extend_from_slice(p.rows_for(v));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Two-pointer intersection of ascending row-id slices.
+fn intersect_rows(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn row_passes(row: &Row, cons: &[(usize, ConstraintSet<'_>)]) -> bool {
+    cons.iter().all(|(col, set)| {
+        row.get(*col)
+            .and_then(|v| v.as_int())
+            .is_some_and(|v| set.as_slice().binary_search(&v).is_ok())
+    })
+}
+
+/// Collects subtree value-sets during a harvesting reduction and attributes
+/// deaths: when a node's live set empties, every enclosing subtree (the node
+/// and its ancestors toward the root) is known unsatisfiable, so their
+/// harvests are the empty set.
+struct Harvester<'h> {
+    /// `req_pos[node]` = index into `out`, or `usize::MAX` if not requested.
+    req_pos: Vec<usize>,
+    /// Rooted parent links (`usize::MAX` at the root).
+    parent_of: Vec<usize>,
+    out: &'h mut HarvestOut,
+}
+
+impl Harvester<'_> {
+    fn record(&mut self, node: usize, values: &[i64]) {
+        let p = self.req_pos[node];
+        if p != usize::MAX {
+            self.out[p] = Some(values.to_vec());
+        }
+    }
+
+    fn mark_dead(&mut self, mut node: usize) {
+        while node != usize::MAX {
+            let p = self.req_pos[node];
+            if p != usize::MAX {
+                self.out[p] = Some(Vec::new());
+            }
+            node = self.parent_of[node];
         }
     }
 }
@@ -93,13 +285,104 @@ impl<'a> Executor<'a> {
         self.db
     }
 
+    /// Answers a single-node plan without reading any rows, when the shape
+    /// allows it: every constraint sits on one column `c`, and either
+    ///
+    /// * the node is selection-backed and the plan carries the selection's
+    ///   distinct values in `c` ([`PlanNode::col_postings`]) — liveness is
+    ///   `values(c) ∩ every constraint ≠ ∅`, a pure galloping intersection; or
+    /// * the node is free (no predicate, no candidates) and `c` is indexed —
+    ///   liveness is "some constrained value has an index posting".
+    ///
+    /// NULL join values are absent from value lists, constraint sets and
+    /// index postings alike, matching the row-wise check (which rejects NULL
+    /// too). `None` means the shape doesn't apply and the caller runs the
+    /// normal reduction.
+    fn single_node_fast(&self, plan: &JoinTreePlan) -> Option<bool> {
+        if plan.node_count() != 1 {
+            return None;
+        }
+        let node = &plan.nodes()[0];
+        let (first, rest) = node.constraints.split_first()?;
+        let col = first.0;
+        if rest.iter().any(|(c, _)| *c != col) {
+            return None;
+        }
+        let merged = || {
+            let mut acc = ConstraintSet::Borrowed(&first.1);
+            for (_, set) in rest {
+                if acc.as_slice().is_empty() {
+                    break;
+                }
+                acc = ConstraintSet::Owned(intersect_sorted(acc.as_slice(), set));
+            }
+            acc
+        };
+        if let Some(sel) = &node.selection {
+            let vals =
+                node.col_postings.iter().find(|(c, _)| *c == col).map(|(_, p)| p.values())?;
+            if sel.is_empty() {
+                return Some(false);
+            }
+            return Some(!intersect_sorted(vals, merged().as_slice()).is_empty());
+        }
+        if node.candidates.is_none() && node.predicate.is_true() {
+            let table = self.db.table(node.table);
+            if table.has_index(col) {
+                let acc = merged();
+                return Some(acc.as_slice().iter().any(|&v| {
+                    table.lookup_indexed(col, v).is_some_and(|rows| !rows.is_empty())
+                }));
+            }
+        }
+        None
+    }
+
     /// Does the query return at least one tuple? (The paper's aliveness test.)
     pub fn exists(&mut self, plan: &JoinTreePlan) -> Result<bool, EngineError> {
         plan.validate(self.db)?;
         let start = Instant::now();
-        let alive = self.reduce(plan)?.is_some();
+        let alive = match self.single_node_fast(plan) {
+            Some(a) => a,
+            None => self.reduce(plan, None)?.is_some(),
+        };
         self.stats.record(start.elapsed());
         Ok(alive)
+    }
+
+    /// [`Executor::exists`] that additionally harvests, for each plan node
+    /// listed in `harvest`, the sorted set of distinct join values (on that
+    /// node's column toward its parent in the tree rooted at node 0) whose
+    /// rows survive the node's entire subtree reduction — the value-set a
+    /// parent-side semi-join sees, and exactly what the cross-probe subtree
+    /// cache stores. Output slots are `None` when the reduction never
+    /// materialized the set (dead before reaching the node, or the node
+    /// stayed unfiltered behind a column index); a `Some(empty)` slot is a
+    /// proof that the subtree is unsatisfiable. Counts as one query in
+    /// [`ExecStats`], identically to `exists`.
+    pub fn exists_harvesting(
+        &mut self,
+        plan: &JoinTreePlan,
+        harvest: &[usize],
+    ) -> Result<(bool, HarvestOut), EngineError> {
+        plan.validate(self.db)?;
+        for &node in harvest {
+            if node >= plan.node_count() || node == 0 {
+                return Err(EngineError::InvalidPlan(format!(
+                    "harvest node #{node} is out of range or the root"
+                )));
+            }
+        }
+        let start = Instant::now();
+        let mut out: HarvestOut = vec![None; harvest.len()];
+        // A single-node plan has nothing harvestable (the root never is),
+        // so the no-row fast path composes with harvesting trivially.
+        let alive = match self.single_node_fast(plan) {
+            Some(a) => a,
+            None => self.reduce(plan, Some((harvest, &mut out)))?.is_some(),
+        };
+        self.stats.record(start.elapsed());
+        Ok((alive, out))
     }
 
     /// Evaluates the query, returning up to `limit` result tuples.
@@ -113,7 +396,7 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<MatchTuple>, EngineError> {
         plan.validate(self.db)?;
         let start = Instant::now();
-        let result = match self.reduce(plan)? {
+        let result = match self.reduce(plan, None)? {
             None => Vec::new(),
             Some(live) => self.enumerate(plan, live, limit),
         };
@@ -128,50 +411,164 @@ impl<'a> Executor<'a> {
 
     /// Bottom-up semi-join reduction rooted at node 0. Returns `None` as soon
     /// as any live set empties (the query is dead), otherwise the fully
-    /// reduced live sets.
-    fn reduce(&mut self, plan: &JoinTreePlan) -> Result<Option<Vec<LiveSet>>, EngineError> {
+    /// reduced live sets. When `harvest` is given, subtree value-sets for the
+    /// requested nodes are collected along the way (see
+    /// [`Executor::exists_harvesting`]).
+    fn reduce(
+        &mut self,
+        plan: &JoinTreePlan,
+        harvest: Option<(&[usize], &mut HarvestOut)>,
+    ) -> Result<Option<Vec<LiveSet>>, EngineError> {
         let n = plan.node_count();
+        let order = plan.post_order(0);
+        let mut harvester = harvest.map(|(requested, out)| {
+            let mut req_pos = vec![usize::MAX; n];
+            for (i, &node) in requested.iter().enumerate() {
+                req_pos[node] = i;
+            }
+            let mut parent_of = vec![usize::MAX; n];
+            for &(node, _, parent) in &order {
+                parent_of[node] = parent;
+            }
+            Harvester { req_pos, parent_of, out }
+        });
+
         let mut live: Vec<LiveSet> = Vec::with_capacity(n);
-        // Initial per-node filtering: candidates ∩ predicate.
-        for node in plan.nodes() {
+        // Initial per-node filtering: selection (pre-verified, predicate
+        // skipped) or candidates ∩ predicate, then join-value constraints.
+        for (i, node) in plan.nodes().iter().enumerate() {
             let table = self.db.table(node.table);
-            let set = match (&node.candidates, node.predicate.is_true()) {
-                (None, true) => LiveSet::All,
-                (None, false) => {
-                    let mut rows = Vec::new();
-                    for (rid, row) in table.iter() {
+            let cons = merged_constraints(node);
+            let set = if let Some(sel) = &node.selection {
+                if let Some(&last) = sel.last() {
+                    if (last as usize) >= table.len() {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "selection row {last} out of range for table `{}`",
+                            table.schema().name
+                        )));
+                    }
+                }
+                let deferrable = match &cons[..] {
+                    // A single constrained column whose distinct selection
+                    // values ride on the plan: the filter collapses to a
+                    // value intersection, and the row set stays symbolic.
+                    [(col, set)] => node
+                        .col_postings
+                        .iter()
+                        .find(|(c, _)| c == col)
+                        .map(|(_, p)| (*col, intersect_sorted(p.values(), set.as_slice()))),
+                    _ => None,
+                };
+                let postings_of = |col: usize| {
+                    node.col_postings.iter().find(|(c, _)| *c == col).map(|(_, p)| p.as_ref())
+                };
+                if cons.is_empty() {
+                    // Cache-backed node: no rows are read at all here.
+                    LiveSet::Shared(Arc::clone(sel))
+                } else if let Some((col, vals)) = deferrable {
+                    LiveSet::Deferred { sel: Arc::clone(sel), col, vals }
+                } else if cons.iter().all(|(c, _)| postings_of(*c).is_some()) {
+                    // Several constrained columns, each with postings: every
+                    // per-column filter is a postings semi-join and the live
+                    // set is their intersection — still no rows read.
+                    let mut rows: Option<Vec<RowId>> = None;
+                    for (col, set) in &cons {
+                        let p = postings_of(*col).expect("checked above");
+                        let r = postings_semijoin(p, set.as_slice());
+                        rows = Some(match rows {
+                            None => r,
+                            Some(prev) => intersect_rows(&prev, &r),
+                        });
+                        if rows.as_ref().is_some_and(Vec::is_empty) {
+                            break;
+                        }
+                    }
+                    LiveSet::Rows(rows.unwrap_or_default())
+                } else {
+                    let mut rows = Vec::with_capacity(sel.len());
+                    for &rid in sel.iter() {
                         self.stats.rows_examined += 1;
-                        if node.predicate.eval(table.schema(), row) {
+                        if row_passes(table.row(rid), &cons) {
                             rows.push(rid);
                         }
                     }
                     LiveSet::Rows(rows)
                 }
-                (Some(cands), _) => {
-                    let mut rows = Vec::with_capacity(cands.len());
-                    for &rid in cands {
-                        if (rid as usize) >= table.len() {
-                            return Err(EngineError::InvalidPlan(format!(
-                                "candidate row {rid} out of range for table `{}`",
-                                table.schema().name
-                            )));
+            } else {
+                // Compile once per node so substring needles are lowercased
+                // outside the row loop.
+                let compiled = (!node.predicate.is_true()).then(|| node.predicate.compile());
+                match (&node.candidates, &compiled) {
+                    (None, None) if cons.is_empty() => LiveSet::All,
+                    // Free node whose constrained columns are all indexed:
+                    // each constraint set resolves to a union of index
+                    // postings (disjoint per value, so a sort restores row
+                    // order), intersected across columns — no scan.
+                    (None, None) if cons.iter().all(|(c, _)| table.has_index(*c)) => {
+                        let mut rows: Option<Vec<RowId>> = None;
+                        for (col, set) in &cons {
+                            let mut r: Vec<RowId> = Vec::new();
+                            for &v in set.as_slice() {
+                                if let Some(p) = table.lookup_indexed(*col, v) {
+                                    r.extend_from_slice(p);
+                                }
+                            }
+                            r.sort_unstable();
+                            rows = Some(match rows {
+                                None => r,
+                                Some(prev) => intersect_rows(&prev, &r),
+                            });
+                            if rows.as_ref().is_some_and(Vec::is_empty) {
+                                break;
+                            }
                         }
-                        self.stats.rows_examined += 1;
-                        if node.predicate.eval(table.schema(), table.row(rid)) {
-                            rows.push(rid);
-                        }
+                        LiveSet::Rows(rows.unwrap_or_default())
                     }
-                    LiveSet::Rows(rows)
+                    (None, _) => {
+                        let mut rows = Vec::new();
+                        for (rid, row) in table.iter() {
+                            self.stats.rows_examined += 1;
+                            if compiled.as_ref().is_none_or(|p| p.eval(table.schema(), row))
+                                && row_passes(row, &cons)
+                            {
+                                rows.push(rid);
+                            }
+                        }
+                        LiveSet::Rows(rows)
+                    }
+                    (Some(cands), _) => {
+                        let mut rows = Vec::with_capacity(cands.len());
+                        for &rid in cands {
+                            if (rid as usize) >= table.len() {
+                                return Err(EngineError::InvalidPlan(format!(
+                                    "candidate row {rid} out of range for table `{}`",
+                                    table.schema().name
+                                )));
+                            }
+                            self.stats.rows_examined += 1;
+                            if compiled
+                                .as_ref()
+                                .is_none_or(|p| p.eval(table.schema(), table.row(rid)))
+                                && row_passes(table.row(rid), &cons)
+                            {
+                                rows.push(rid);
+                            }
+                        }
+                        LiveSet::Rows(rows)
+                    }
                 }
             };
             if set.is_empty(table) {
+                if let Some(h) = harvester.as_mut() {
+                    h.mark_dead(i);
+                }
                 return Ok(None);
             }
             live.push(set);
         }
 
         // Children-before-parent semi-joins.
-        for (node, parent_edge, parent) in plan.post_order(0) {
+        for &(node, parent_edge, parent) in &order {
             if parent == usize::MAX {
                 continue; // root has no parent to reduce
             }
@@ -182,52 +579,154 @@ impl<'a> Executor<'a> {
                 (edge.b_col, edge.a_col)
             };
             let child_table = self.db.table(plan.nodes()[node].table);
-            let membership = match &live[node] {
-                LiveSet::Rows(rows) => {
-                    let mut s = HashSet::with_capacity(rows.len());
-                    for &rid in rows {
-                        if let Some(v) = child_table.row(rid)[child_col].as_int() {
-                            s.insert(v);
-                        }
+            let collect_sorted = |rows: &[RowId]| {
+                let mut vals = Vec::with_capacity(rows.len());
+                for &rid in rows {
+                    if let Some(v) = child_table.row(rid)[child_col].as_int() {
+                        vals.push(v);
                     }
-                    ValueMembership::Set(s)
                 }
+                normalize(vals)
+            };
+            let node_plan = &plan.nodes()[node];
+            let precomputed = |col: usize| {
+                node_plan.col_postings.iter().find(|(c, _)| *c == col).map(|(_, p)| p.as_ref())
+            };
+            // A deferred child whose membership column differs from its
+            // constrained column needs real rows after all.
+            if matches!(&live[node], LiveSet::Deferred { col, .. } if *col != child_col) {
+                if let LiveSet::Deferred { sel, col, vals } =
+                    std::mem::replace(&mut live[node], LiveSet::All)
+                {
+                    live[node] = LiveSet::Rows(match precomputed(col) {
+                        Some(p) => postings_semijoin(p, &vals),
+                        None => {
+                            self.stats.rows_examined += sel.len() as u64;
+                            deferred_rows(child_table, &sel, col, &vals)
+                        }
+                    });
+                }
+            }
+            let membership = match &live[node] {
+                LiveSet::Rows(rows) => ValueMembership::Sorted(collect_sorted(rows)),
+                // `Shared` means the live set is still exactly the node's
+                // selection, so the plan's pre-extracted value list (when the
+                // builder supplied one) IS this membership set — no row reads.
+                LiveSet::Shared(rows) => match precomputed(child_col) {
+                    Some(p) => ValueMembership::SortedRef(p.values()),
+                    None => ValueMembership::Sorted(collect_sorted(rows)),
+                },
+                // Materialized above unless `col == child_col`, in which
+                // case the deferred value set IS the membership set.
+                LiveSet::Deferred { vals, .. } => ValueMembership::Sorted(vals.clone()),
                 LiveSet::All => {
                     if child_table.has_index(child_col) {
                         ValueMembership::Indexed(child_table, child_col)
                     } else {
-                        let mut s = HashSet::new();
+                        let mut vals = Vec::new();
                         for (_, row) in child_table.iter() {
                             self.stats.rows_examined += 1;
                             if let Some(v) = row[child_col].as_int() {
-                                s.insert(v);
+                                vals.push(v);
                             }
                         }
-                        ValueMembership::Set(s)
+                        ValueMembership::Sorted(normalize(vals))
                     }
                 }
             };
+            // The materialized set is the node's complete subtree value-set
+            // (its own children were already folded in), so it can be
+            // harvested before the parent filter decides life or death.
+            if let (Some(h), Some(vals)) = (harvester.as_mut(), membership.as_sorted()) {
+                h.record(node, vals);
+            }
             let parent_table = self.db.table(plan.nodes()[parent].table);
-            let filtered: Vec<RowId> = match &live[parent] {
-                LiveSet::All => parent_table
-                    .iter()
-                    .filter(|(_, row)| {
-                        row[parent_col].as_int().is_some_and(|v| membership.contains(v))
-                    })
-                    .map(|(rid, _)| rid)
-                    .collect(),
-                LiveSet::Rows(rows) => rows
-                    .iter()
-                    .copied()
-                    .filter(|&rid| {
-                        parent_table.row(rid)[parent_col]
-                            .as_int()
-                            .is_some_and(|v| membership.contains(v))
-                    })
-                    .collect(),
+            let parent_plan = &plan.nodes()[parent];
+            let parent_postings = |col: usize| {
+                parent_plan.col_postings.iter().find(|(c, _)| *c == col).map(|(_, p)| p.as_ref())
             };
-            self.stats.rows_examined += filtered.len() as u64;
+            let (filtered, rows_read): (Vec<RowId>, u64) = match &live[parent] {
+                // An unfiltered parent semi-joined against a sorted value-set
+                // is the union of the index postings of those values when the
+                // join column is indexed — groups are disjoint, so a sort
+                // restores row order and no parent row is ever read.
+                LiveSet::All => match membership.as_sorted() {
+                    Some(mvals) if parent_table.has_index(parent_col) => {
+                        let mut rows: Vec<RowId> = Vec::new();
+                        for &v in mvals {
+                            if let Some(r) = parent_table.lookup_indexed(parent_col, v) {
+                                rows.extend_from_slice(r);
+                            }
+                        }
+                        rows.sort_unstable();
+                        (rows, 0)
+                    }
+                    _ => (
+                        parent_table
+                            .iter()
+                            .filter(|(_, row)| {
+                                row[parent_col].as_int().is_some_and(|v| membership.contains(v))
+                            })
+                            .map(|(rid, _)| rid)
+                            .collect(),
+                        parent_table.len() as u64,
+                    ),
+                },
+                LiveSet::Rows(rows) => (filter_rows(parent_table, rows, parent_col, &membership), rows.len() as u64),
+                // A shared live set is still exactly the node's selection, so
+                // when the plan carries that selection's postings for the join
+                // column the semi-join is answered entirely from them — no
+                // parent row is read. (NULL rows are absent from postings and
+                // rejected by the row-wise check alike.)
+                LiveSet::Shared(rows) => {
+                    match (parent_postings(parent_col), membership.as_sorted()) {
+                        (Some(pp), Some(mvals)) => (postings_semijoin(pp, mvals), 0),
+                        _ => (
+                            filter_rows(parent_table, rows, parent_col, &membership),
+                            rows.len() as u64,
+                        ),
+                    }
+                }
+                // Deferred selection: with postings for both the constrained
+                // column and the join column, each filter becomes a postings
+                // semi-join and the row set is their intersection — again no
+                // row reads. Otherwise one fused pass over the selection.
+                LiveSet::Deferred { sel, col, vals } => {
+                    match (parent_postings(*col), parent_postings(parent_col), membership.as_sorted())
+                    {
+                        (Some(dp), Some(pp), Some(mvals)) => (
+                            intersect_rows(
+                                &postings_semijoin(dp, vals),
+                                &postings_semijoin(pp, mvals),
+                            ),
+                            0,
+                        ),
+                        _ => (
+                            sel.iter()
+                                .copied()
+                                .filter(|&rid| {
+                                    let row = parent_table.row(rid);
+                                    row[*col]
+                                        .as_int()
+                                        .is_some_and(|v| vals.binary_search(&v).is_ok())
+                                        && row[parent_col]
+                                            .as_int()
+                                            .is_some_and(|v| membership.contains(v))
+                                })
+                                .collect(),
+                            sel.len() as u64,
+                        ),
+                    }
+                }
+            };
+            // Every parent row was read to test its join value, so all of
+            // them count — not just the survivors (the old behaviour, which
+            // under-counted scans on the indexed-child fast path too).
+            self.stats.rows_examined += rows_read;
             if filtered.is_empty() {
+                if let Some(h) = harvester.as_mut() {
+                    h.mark_dead(parent);
+                }
                 return Ok(None);
             }
             live[parent] = LiveSet::Rows(filtered);
@@ -243,21 +742,13 @@ impl<'a> Executor<'a> {
     /// plain backtracking enumerates exactly the join results.
     fn enumerate(&mut self, plan: &JoinTreePlan, live: Vec<LiveSet>, limit: usize) -> Vec<MatchTuple> {
         let n = plan.node_count();
-        // Materialize every live set.
-        let rows_per_node: Vec<Vec<RowId>> = live
-            .into_iter()
-            .enumerate()
-            .map(|(i, set)| match set {
-                LiveSet::Rows(r) => r,
-                LiveSet::All => {
-                    let t = self.db.table(plan.nodes()[i].table);
-                    (0..t.len() as RowId).collect()
-                }
-            })
-            .collect();
+        let mut live: Vec<Option<LiveSet>> = live.into_iter().map(Some).collect();
+        let root_set = live[0].take().expect("root live set present");
+        let root_rows = self.materialize_rows(plan, 0, root_set);
 
-        // Pre-order = reversed post-order; each entry is (node, parent_col,
-        // by-value map of the node's live rows keyed on its own join column).
+        // Pre-order = reversed post-order; each entry groups the node's live
+        // rows by its own join column. A still-shared selection whose plan
+        // node carries postings for that column reuses them directly.
         let mut post = plan.post_order(0);
         post.reverse();
         let mut steps: Vec<EnumStep> = Vec::new();
@@ -271,25 +762,71 @@ impl<'a> Executor<'a> {
             } else {
                 (edge.b_col, edge.a_col)
             };
-            let table = self.db.table(plan.nodes()[node].table);
-            let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
-            for &rid in &rows_per_node[node] {
-                if let Some(v) = table.row(rid)[child_col].as_int() {
-                    map.entry(v).or_default().push(rid);
+            let set = live[node].take().expect("every node appears once in post-order");
+            let grouped = match &set {
+                LiveSet::Shared(_) => plan.nodes()[node]
+                    .col_postings
+                    .iter()
+                    .find(|(c, _)| *c == child_col)
+                    .map(|(_, p)| ValueRows::Postings(Arc::clone(p))),
+                // A leaf that was never filtered: the table's column index
+                // (when present) already groups every row by join value.
+                LiveSet::All => {
+                    let tid = plan.nodes()[node].table;
+                    self.db
+                        .table(tid)
+                        .has_index(child_col)
+                        .then_some(ValueRows::Indexed(tid, child_col))
                 }
-            }
-            steps.push((node, parent, parent_col, map));
+                _ => None,
+            };
+            let value_rows = match grouped {
+                Some(vr) => vr,
+                None => {
+                    let rows = self.materialize_rows(plan, node, set);
+                    let table = self.db.table(plan.nodes()[node].table);
+                    let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
+                    for &rid in &rows {
+                        if let Some(v) = table.row(rid)[child_col].as_int() {
+                            map.entry(v).or_default().push(rid);
+                        }
+                    }
+                    ValueRows::Map(map)
+                }
+            };
+            steps.push((node, parent, parent_col, value_rows));
         }
 
         let mut results = Vec::new();
         let mut assignment: Vec<RowId> = vec![0; n];
-        for &root_row in &rows_per_node[0] {
+        for &root_row in &root_rows {
             assignment[0] = root_row;
             if !self.backtrack(plan, &steps, 0, &mut assignment, &mut results, limit) {
                 break;
             }
         }
         results
+    }
+
+    /// Turns a reduced live set into a plain row list for enumeration.
+    fn materialize_rows(&mut self, plan: &JoinTreePlan, node: usize, set: LiveSet) -> Vec<RowId> {
+        match set {
+            LiveSet::Rows(r) => r,
+            LiveSet::Shared(r) => r.as_ref().clone(),
+            LiveSet::All => {
+                let t = self.db.table(plan.nodes()[node].table);
+                (0..t.len() as RowId).collect()
+            }
+            LiveSet::Deferred { sel, col, vals } => {
+                match plan.nodes()[node].col_postings.iter().find(|(c, _)| *c == col) {
+                    Some((_, p)) => postings_semijoin(p, &vals),
+                    None => {
+                        self.stats.rows_examined += sel.len() as u64;
+                        deferred_rows(self.db.table(plan.nodes()[node].table), &sel, col, &vals)
+                    }
+                }
+            }
+        }
     }
 
     /// Assigns `steps[pos..]` in order; returns `false` once `limit` results
@@ -307,15 +844,12 @@ impl<'a> Executor<'a> {
             results.push(assignment.clone());
             return limit == 0 || results.len() < limit;
         }
-        let (node, parent, parent_col, ref map) = steps[pos];
+        let (node, parent, parent_col, ref value_rows) = steps[pos];
         let table = self.db.table(plan.nodes()[parent].table);
         let Some(v) = table.row(assignment[parent])[parent_col].as_int() else {
             return true; // null join value: no extension on this branch
         };
-        let Some(rows) = map.get(&v) else {
-            return true;
-        };
-        for &rid in rows {
+        for &rid in value_rows.rows_for(self.db, v) {
             assignment[node] = rid;
             if !self.backtrack(plan, steps, pos + 1, assignment, results, limit) {
                 return false;
@@ -549,6 +1083,193 @@ mod tests {
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0][1], 1); // tag row 1 = gift
         assert_eq!(tuples[0][2], 2); // tag row 2 = luxury on item 2
+    }
+
+    #[test]
+    fn selection_skips_predicate_and_matches_candidates_path() {
+        let db = db();
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        // Uncached: predicate over candidates. Cached: pre-verified selection.
+        let edges = vec![PlanEdge { a: 0, a_col: 2, b: 1, b_col: 0 }];
+        let uncached = JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::any_text_contains("candle"))
+                    .with_candidates(vec![0, 1, 2]),
+                PlanNode::new(color, Predicate::any_text_contains("yellow")),
+            ],
+            edges.clone(),
+        )
+        .unwrap();
+        // Rows 1 and 2 are the candles; the predicate never runs for them.
+        let cached = JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::any_text_contains("candle"))
+                    .with_selection(Arc::new(vec![1, 2])),
+                PlanNode::new(color, Predicate::any_text_contains("yellow")),
+            ],
+            edges,
+        )
+        .unwrap();
+        let mut ex = Executor::new(&db);
+        assert_eq!(ex.exists(&uncached).unwrap(), ex.exists(&cached).unwrap());
+        assert_eq!(
+            ex.execute(&uncached, 0).unwrap(),
+            ex.execute(&cached, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn selection_out_of_range_is_error() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let p = JoinTreePlan::new(
+            vec![PlanNode::free(0).with_selection(Arc::new(vec![99]))],
+            vec![],
+        )
+        .unwrap();
+        assert!(ex.exists(&p).is_err());
+    }
+
+    #[test]
+    fn constraints_stand_in_for_pruned_subtree() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        // Full plan: item ⋈ color[yellow]. Constrained plan: item alone, with
+        // the yellow color ids (color id 2) as a constraint on item.color_id.
+        let full = plan2(&db, "candle", "yellow");
+        let constrained = JoinTreePlan::new(
+            vec![PlanNode::new(item, Predicate::any_text_contains("candle"))
+                .with_constraint(2, Arc::new(vec![2]))],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(ex.exists(&full).unwrap(), ex.exists(&constrained).unwrap());
+        // Empty constraint set kills the plan outright.
+        let dead = JoinTreePlan::new(
+            vec![PlanNode::free(item).with_constraint(2, Arc::new(vec![]))],
+            vec![],
+        )
+        .unwrap();
+        assert!(!ex.exists(&dead).unwrap());
+        // Two same-column constraints intersect: {1,2} ∩ {2,3} = {2}.
+        let both = JoinTreePlan::new(
+            vec![PlanNode::free(item)
+                .with_constraint(2, Arc::new(vec![1, 2]))
+                .with_constraint(2, Arc::new(vec![2, 3]))],
+            vec![],
+        )
+        .unwrap();
+        let tuples = ex.execute(&both, 0).unwrap();
+        assert_eq!(tuples.len(), 1); // only item row 1 (color_id 2)
+        assert_eq!(tuples[0][0], 1);
+    }
+
+    #[test]
+    fn constraint_on_text_column_is_invalid() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let p = JoinTreePlan::new(
+            vec![PlanNode::free(item).with_constraint(1, Arc::new(vec![1]))],
+            vec![],
+        )
+        .unwrap();
+        assert!(ex.exists(&p).is_err());
+    }
+
+    #[test]
+    fn harvest_returns_subtree_value_sets() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        // item[scented] (root) ⋈ color[any]: the color subtree's surviving
+        // id set is all three color ids — but colors joined from item are
+        // what the membership sees, so harvest node 1 = color ids {1,2,3}.
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::new(item, Predicate::any_text_contains("scented")),
+                PlanNode::new(color, Predicate::any_text_contains("saffron")),
+            ],
+            vec![PlanEdge { a: 0, a_col: 2, b: 1, b_col: 0 }],
+        )
+        .unwrap();
+        let (alive, sets) = ex.exists_harvesting(&plan, &[1]).unwrap();
+        assert!(alive); // scented oil is saffron
+        assert_eq!(sets, vec![Some(vec![3])]); // saffron = color id 3
+    }
+
+    #[test]
+    fn harvest_marks_dead_subtrees_empty() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        let tag = db.table_id("tag").unwrap();
+        // Chain rooted at tag: tag ⋈ item[no such kw] ⋈ color. The item
+        // node's initial filter empties, which proves both the item subtree
+        // and (transitively) nothing about the untouched color leaf — the
+        // color set is never materialized, the item set is proven empty.
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::free(tag),
+                PlanNode::new(item, Predicate::any_text_contains("no-such-item")),
+                PlanNode::free(color),
+            ],
+            vec![
+                PlanEdge { a: 1, a_col: 0, b: 0, b_col: 1 },
+                PlanEdge { a: 1, a_col: 2, b: 2, b_col: 0 },
+            ],
+        )
+        .unwrap();
+        let (alive, sets) = ex.exists_harvesting(&plan, &[1, 2]).unwrap();
+        assert!(!alive);
+        assert_eq!(sets[0], Some(vec![])); // item subtree proven unsatisfiable
+        assert_eq!(sets[1], None); // color leaf never reached
+    }
+
+    #[test]
+    fn harvest_rejects_root_and_out_of_range() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let plan = plan2(&db, "scented", "yellow");
+        assert!(ex.exists_harvesting(&plan, &[0]).is_err());
+        assert!(ex.exists_harvesting(&plan, &[5]).is_err());
+    }
+
+    #[test]
+    fn rows_examined_counts_scanned_parent_rows() {
+        let db = db();
+        let mut ex = Executor::new(&db);
+        let item = db.table_id("item").unwrap();
+        let color = db.table_id("color").unwrap();
+        // color (free root) ⋈ item[oil]: the initial filter scans all 3
+        // items; the parent filter then resolves against color's primary-key
+        // index — the sorted child value-set turns into index postings, so
+        // no color row is read at all.
+        let plan = JoinTreePlan::new(
+            vec![
+                PlanNode::free(color),
+                PlanNode::new(item, Predicate::any_text_contains("oil")),
+            ],
+            vec![PlanEdge { a: 1, a_col: 2, b: 0, b_col: 0 }],
+        )
+        .unwrap();
+        assert!(ex.exists(&plan).unwrap());
+        assert_eq!(ex.stats().rows_examined, 3);
+        // color (free root) ⋈ item (free child): the child stays behind its
+        // column index (`ValueMembership::Indexed`, no sorted value-set), so
+        // the parent filter falls back to scanning all 3 color rows.
+        ex.reset_stats();
+        let plan = JoinTreePlan::new(
+            vec![PlanNode::free(color), PlanNode::free(item)],
+            vec![PlanEdge { a: 1, a_col: 2, b: 0, b_col: 0 }],
+        )
+        .unwrap();
+        assert!(ex.exists(&plan).unwrap());
+        assert_eq!(ex.stats().rows_examined, 3);
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod plan;
 mod predicate;
 pub mod rng;
 mod schema;
+pub mod sortedvals;
 mod sql;
 mod stats;
 mod table;
@@ -74,10 +75,10 @@ pub use catalog::{Database, ForeignKey, FkId, TableId};
 pub use chaos::{ChaosExecutor, FaultConfig, FaultDecision, FaultInjector, FaultStats};
 pub use csv::{dump_csv, load_csv};
 pub use error::EngineError;
-pub use exec::{Executor, MatchTuple};
+pub use exec::{Executor, HarvestOut, MatchTuple};
 pub use explain::{estimate_cardinality, explain};
 pub use plan::{JoinTreePlan, PlanEdge, PlanNode};
-pub use predicate::Predicate;
+pub use predicate::{CompiledPredicate, Predicate};
 pub use schema::{ColId, ColumnDef, TableSchema};
 pub use sql::render_sql;
 pub use stats::ExecStats;

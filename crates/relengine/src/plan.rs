@@ -6,10 +6,13 @@
 //! construction, mirroring the paper's observation that candidate join-query
 //! networks "by definition must be a tree" (DISCOVER).
 
+use std::sync::Arc;
+
 use crate::catalog::{Database, TableId};
 use crate::error::EngineError;
 use crate::predicate::Predicate;
 use crate::schema::ColId;
+use crate::sortedvals::ValuePostings;
 use crate::table::RowId;
 use crate::value::DataType;
 
@@ -25,6 +28,24 @@ pub struct PlanNode {
     /// posting list), sorted ascending. When present, only these rows are
     /// considered — the predicate is still verified against each.
     pub candidates: Option<Vec<RowId>>,
+    /// Optional pre-*verified* selection (e.g. from the session-scoped
+    /// selection cache), sorted ascending: exactly the rows satisfying
+    /// `predicate`, shared without copying. When present it supersedes both
+    /// `candidates` and the predicate — the executor uses these rows as-is
+    /// and skips `Predicate::eval` entirely.
+    pub selection: Option<Arc<Vec<RowId>>>,
+    /// Join-value constraints `(column, allowed values)`: a row survives the
+    /// initial filter only if its integer value in `column` appears in the
+    /// sorted set. Used by the subtree semi-join cache to stand in for a
+    /// pruned child subtree; an empty set kills the node (and the plan).
+    pub constraints: Vec<(ColId, Arc<Vec<i64>>)>,
+    /// Pre-extracted value→rows postings of `selection`: for each listed
+    /// column, `selection`'s rows grouped by their non-NULL integer value in
+    /// it ([`ValuePostings`]). The executor trusts them (like `selection`
+    /// itself) and uses them to answer both value-membership questions about
+    /// the *untouched* selection and value→row lookups without re-reading
+    /// any rows. Meaningless (and ignored) without `selection`.
+    pub col_postings: Vec<(ColId, Arc<ValuePostings>)>,
     /// Display alias used by SQL rendering, e.g. `P1` or `I0`.
     pub alias: Option<String>,
 }
@@ -32,7 +53,15 @@ pub struct PlanNode {
 impl PlanNode {
     /// Creates a node over `table` filtered by `predicate`.
     pub fn new(table: TableId, predicate: Predicate) -> Self {
-        PlanNode { table, predicate, candidates: None, alias: None }
+        PlanNode {
+            table,
+            predicate,
+            candidates: None,
+            selection: None,
+            constraints: Vec::new(),
+            col_postings: Vec::new(),
+            alias: None,
+        }
     }
 
     /// Creates an unfiltered (free tuple set) node.
@@ -44,6 +73,31 @@ impl PlanNode {
     pub fn with_candidates(mut self, candidates: Vec<RowId>) -> Self {
         debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
         self.candidates = Some(candidates);
+        self
+    }
+
+    /// Attaches a pre-verified shared selection (must be sorted ascending and
+    /// must equal the rows `predicate` would accept — the executor trusts it).
+    pub fn with_selection(mut self, selection: Arc<Vec<RowId>>) -> Self {
+        debug_assert!(selection.windows(2).all(|w| w[0] < w[1]));
+        self.selection = Some(selection);
+        self
+    }
+
+    /// Adds a join-value constraint on `col` (values must be sorted and
+    /// deduplicated, as produced by [`crate::sortedvals::normalize`]).
+    pub fn with_constraint(mut self, col: ColId, values: Arc<Vec<i64>>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        self.constraints.push((col, values));
+        self
+    }
+
+    /// Attaches the pre-extracted value→rows postings of the node's
+    /// selection in `col` (must group exactly the selection's rows by their
+    /// value in `col` — the executor trusts it).
+    pub fn with_col_postings(mut self, col: ColId, postings: Arc<ValuePostings>) -> Self {
+        debug_assert!(postings.values().windows(2).all(|w| w[0] < w[1]));
+        self.col_postings.push((col, postings));
         self
     }
 
@@ -134,6 +188,26 @@ impl JoinTreePlan {
                     "plan references unknown table #{}",
                     n.table
                 )));
+            }
+            let constrained = n.constraints.iter().map(|&(c, _)| ("constraint", c));
+            let postings = n.col_postings.iter().map(|&(c, _)| ("col_postings", c));
+            for (kind, col) in constrained.chain(postings) {
+                let table = db.table(n.table);
+                match table.schema().columns.get(col) {
+                    None => {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "{kind} column #{col} out of range for table `{}`",
+                            table.schema().name
+                        )))
+                    }
+                    Some(c) if c.ty != DataType::Int => {
+                        return Err(EngineError::InvalidPlan(format!(
+                            "{kind} column `{}`.`{}` is not INT",
+                            table.schema().name, c.name
+                        )))
+                    }
+                    _ => {}
+                }
             }
         }
         for e in &self.edges {

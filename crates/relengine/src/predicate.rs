@@ -7,7 +7,7 @@
 
 use crate::schema::TableSchema;
 use crate::table::Row;
-use crate::value::contains_ci;
+use crate::value::{contains_ci, contains_ci_lower};
 
 /// A boolean predicate over a single row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +75,83 @@ impl Predicate {
             Predicate::True => true,
             Predicate::And(ps) => ps.iter().all(Predicate::is_true),
             _ => false,
+        }
+    }
+
+    /// Precompiles the predicate for repeated evaluation: substring needles
+    /// are ASCII-lowercased once here instead of once per row inside
+    /// `contains_ci`. The executor compiles each plan node's predicate once
+    /// per reduction and evaluates the compiled form in the row loop.
+    pub fn compile(&self) -> CompiledPredicate {
+        match self {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::AnyTextContains(needle) => {
+                CompiledPredicate::AnyTextContains(needle.to_ascii_lowercase().into_bytes())
+            }
+            Predicate::ColumnContains { col, needle } => CompiledPredicate::ColumnContains {
+                col: *col,
+                needle: needle.to_ascii_lowercase().into_bytes(),
+            },
+            Predicate::IntEq { col, value } => {
+                CompiledPredicate::IntEq { col: *col, value: *value }
+            }
+            Predicate::And(ps) => CompiledPredicate::And(ps.iter().map(Predicate::compile).collect()),
+            Predicate::Or(ps) => CompiledPredicate::Or(ps.iter().map(Predicate::compile).collect()),
+        }
+    }
+}
+
+/// The evaluation-ready form of a [`Predicate`]: same shape, but substring
+/// needles are stored as pre-lowercased bytes so the per-row hot loop only
+/// case-folds the haystack side. Semantically identical to evaluating the
+/// source predicate (`contains_ci` is ASCII-case-insensitive on both sides).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledPredicate {
+    /// Always true.
+    True,
+    /// Some text column contains the pre-lowercased needle bytes.
+    AnyTextContains(Vec<u8>),
+    /// A specific column contains the pre-lowercased needle bytes.
+    ColumnContains {
+        /// Column index within the table schema.
+        col: usize,
+        /// Pre-lowercased substring bytes.
+        needle: Vec<u8>,
+    },
+    /// A specific integer column equals the value.
+    IntEq {
+        /// Column index within the table schema.
+        col: usize,
+        /// Value to compare against.
+        value: i64,
+    },
+    /// Conjunction; empty conjunction is true.
+    And(Vec<CompiledPredicate>),
+    /// Disjunction; empty disjunction is false.
+    Or(Vec<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluates the compiled predicate against a row of the given schema.
+    /// Agrees with [`Predicate::eval`] on the source predicate for every row.
+    pub fn eval(&self, schema: &TableSchema, row: &Row) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::AnyTextContains(needle) => {
+                row.iter().zip(&schema.columns).any(|(v, c)| {
+                    c.ty == crate::value::DataType::Text
+                        && v.as_text().is_some_and(|s| contains_ci_lower(s, needle))
+                })
+            }
+            CompiledPredicate::ColumnContains { col, needle } => row
+                .get(*col)
+                .and_then(|v| v.as_text())
+                .is_some_and(|s| contains_ci_lower(s, needle)),
+            CompiledPredicate::IntEq { col, value } => {
+                row.get(*col).and_then(|v| v.as_int()) == Some(*value)
+            }
+            CompiledPredicate::And(ps) => ps.iter().all(|p| p.eval(schema, row)),
+            CompiledPredicate::Or(ps) => ps.iter().any(|p| p.eval(schema, row)),
         }
     }
 }
@@ -150,6 +227,35 @@ mod tests {
         let r = row(1, "red candle", "rose scented");
         assert!(Predicate::all_keywords(&["red", "rose"]).eval(&s, &r));
         assert!(!Predicate::all_keywords(&["red", "vanilla"]).eval(&s, &r));
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreted() {
+        let s = schema();
+        let rows = [
+            row(1, "Red CANDLE", "rose scented"),
+            row(2, "blue mug", ""),
+            row(3, "", "SAFFRON scented candle"),
+        ];
+        let preds = [
+            Predicate::True,
+            Predicate::any_text_contains("CaNdLe"),
+            Predicate::any_text_contains("vanilla"),
+            Predicate::ColumnContains { col: 1, needle: "RED".into() },
+            Predicate::ColumnContains { col: 0, needle: "1".into() },
+            Predicate::IntEq { col: 0, value: 2 },
+            Predicate::all_keywords(&["scented", "ROSE"]),
+            Predicate::Or(vec![
+                Predicate::any_text_contains("mug"),
+                Predicate::any_text_contains("saffron"),
+            ]),
+        ];
+        for p in &preds {
+            let c = p.compile();
+            for r in &rows {
+                assert_eq!(c.eval(&s, r), p.eval(&s, r), "{p:?} on {r:?}");
+            }
+        }
     }
 
     #[test]

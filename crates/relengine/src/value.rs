@@ -139,6 +139,32 @@ pub(crate) fn contains_ci(hay: &str, needle: &str) -> bool {
     false
 }
 
+/// [`contains_ci`] against a needle whose bytes are already ASCII-lowercased
+/// (by [`crate::Predicate::compile`], once per plan instead of once per row).
+/// Only the haystack side still pays the per-byte case fold.
+pub(crate) fn contains_ci_lower(hay: &str, needle_lower: &[u8]) -> bool {
+    if needle_lower.is_empty() {
+        return true;
+    }
+    let hay = hay.as_bytes();
+    if needle_lower.len() > hay.len() {
+        return false;
+    }
+    let first = needle_lower[0];
+    'outer: for start in 0..=(hay.len() - needle_lower.len()) {
+        if hay[start].to_ascii_lowercase() != first {
+            continue;
+        }
+        for (i, &nb) in needle_lower.iter().enumerate().skip(1) {
+            if hay[start + i].to_ascii_lowercase() != nb {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut reference: Option<(usize, usize, usize)> = None;
+    let mut baseline_probes = Vec::new();
     for kind in StrategyKind::ALL {
         let report = debugger.debug_with_strategy(query, kind)?;
         let signature =
@@ -38,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let p = report.probes();
         assert_eq!(p.probes_executed, report.sql_queries(), "probe accounting must agree");
+        baseline_probes.push(p.probes_executed);
         println!(
             "{:<8} {:>7} {:>10} {:>6} {:>6} {:>6} {:>9} {:>8} {:>12}",
             kind.name(),
@@ -53,5 +55,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nall strategies produced identical answers, non-answers and MPANs");
     println!("(probes == SQL queries executed; R1/R2 = statuses inferred by the rules)");
+
+    // Same shootout with the session-scoped evaluation cache on: keyword
+    // selections and reduced subtree value-sets carry across probes (and
+    // across strategies — the session warms as the loop runs). The verdicts
+    // are identical; the cache columns show where the probing work went.
+    let db = generate_dblife(&DblifeConfig::small());
+    let cached = NonAnswerDebugger::new(
+        db,
+        DebugConfig { max_joins: 4, sample_limit: 0, eval_cache: true, ..DebugConfig::default() },
+    )?;
+    println!("\nwith the cross-probe evaluation cache (one warming session):\n");
+    println!(
+        "{:<8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "strategy", "probes", "dead-sc", "sel-hit", "sub-hit", "scanned", "time"
+    );
+    for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        let report = cached.debug_with_strategy(query, kind)?;
+        let signature =
+            (report.answer_count(), report.non_answer_count(), report.mpan_count());
+        assert_eq!(reference, Some(signature), "{kind}: cache changed the output");
+        let p = report.probes();
+        assert_eq!(
+            p.probes_executed + p.subtree_cache_dead_shortcuts,
+            baseline_probes[i],
+            "{kind}: every skipped probe must be a dead shortcut"
+        );
+        println!(
+            "{:<8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>10}",
+            kind.name(),
+            p.probes_executed,
+            p.subtree_cache_dead_shortcuts,
+            p.selection_cache_hits,
+            p.subtree_cache_hits,
+            p.tuples_scanned,
+            format!("{:.2?}", report.sql_time()),
+        );
+    }
+    let cache = cached.eval_cache();
+    println!(
+        "\nsame answers, fewer scans: {} selections + {} subtree value-sets cached ({} bytes)",
+        cache.selection_entries(),
+        cache.subtree_entries(),
+        cache.bytes()
+    );
+    println!("(dead-sc = probes answered from an empty cached cut value-set, no SQL issued)");
     Ok(())
 }

@@ -28,6 +28,12 @@ cargo test --workspace -q --test parallel_equivalence --test chaos_soundness -- 
 echo "==> prune substrate differential (compact vs naive reference)"
 cargo test --workspace --release -q --test prune_equivalence
 
+echo "==> probe evaluation cache differential (cache on/off, all strategies)"
+cargo test --workspace --release -q --test probe_cache_equivalence
+
+echo "==> cold-vs-warm probe cache benchmark (DBLife, results/BENCH_exp_probe_cache.json)"
+./target/release/exp_probe_cache --scale medium | grep -E "throughput|speedup|wrote"
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
