@@ -1,0 +1,252 @@
+//! Experiment E16 — serving-layer load generator (`kwserve` under
+//! concurrency).
+//!
+//! Starts a real [`kwserve::Server`] on a loopback port over one shared
+//! substrate, then sweeps closed-loop session counts: for each count `S`,
+//! `S` client threads connect as tenants, each runs a fixed number of
+//! Table 2 workload queries back to back over its own session, and every
+//! request's client-side wall-clock is recorded. Reported per sweep point:
+//! requests, wall time, throughput (QPS) and the latency distribution
+//! (p50 / p99 / mean / max) — the serving numbers the library benches
+//! cannot produce, because they include framing, socket hops and the
+//! per-session state split.
+//!
+//! Records go to `results/BENCH_exp_serve.json` via the shared writer
+//! ([`bench::harness::write_records`]), one stable-JSON line per sweep
+//! point. See `EXPERIMENTS.md` §E16 and `SERVING.md` for interpretation.
+//!
+//! Usage: `exp_serve [--scale S] [--max-level N] [--seed N]
+//! [--sessions 2,8,64] [--queries N] [--workers N]`
+//! (workers defaults to the sweep point's session count, so every session
+//! is served concurrently rather than queued in the accept backlog).
+
+use std::time::Instant;
+
+use bench::harness::write_records;
+use bench::{build_system, print_table, DataScale};
+use kwserve::{DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+
+struct Args {
+    scale: DataScale,
+    max_level: usize,
+    seed: u64,
+    sessions: Vec<usize>,
+    queries: usize,
+    workers: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: DataScale::Tiny,
+        max_level: 3,
+        seed: 7,
+        sessions: vec![2, 8, 64],
+        queries: 8,
+        workers: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                out.scale = DataScale::parse(value(i)).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{}` (tiny|small|medium|paper)", args[i + 1]);
+                    std::process::exit(2);
+                });
+            }
+            "--max-level" => out.max_level = expect_num(value(i), "--max-level"),
+            "--seed" => out.seed = expect_num(value(i), "--seed"),
+            "--queries" => out.queries = expect_num(value(i), "--queries"),
+            "--workers" => out.workers = Some(expect_num(value(i), "--workers")),
+            "--sessions" => {
+                out.sessions = value(i)
+                    .split(',')
+                    .map(|s| expect_num(s, "--sessions"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --scale tiny|small|medium|paper  --max-level N  --seed N  \
+                     --sessions N,N,...  --queries N  --workers N"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+fn expect_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a number, got `{s}`");
+        std::process::exit(2);
+    })
+}
+
+/// One sweep point's aggregated serving numbers.
+struct SweepPoint {
+    sessions: usize,
+    workers: usize,
+    queries: usize,
+    degraded: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Runs one closed-loop sweep point: a fresh server, `sessions` concurrent
+/// client threads, `queries` requests each.
+fn run_point(
+    system: &kwdebug::debugger::NonAnswerDebugger,
+    sessions: usize,
+    queries: usize,
+    workers: usize,
+) -> SweepPoint {
+    let config = ServeConfig { workers, debug: *system.config(), ..ServeConfig::default() };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .expect("server binds on loopback");
+    let addr = server.addr();
+    let workload = datagen::paper_queries();
+
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(sessions * queries);
+    let mut degraded = 0usize;
+    std::thread::scope(|s| {
+        let workload = &workload;
+        let handles: Vec<_> = (0..sessions)
+            .map(|si| {
+                s.spawn(move || {
+                    let tenant = format!("tenant{}", si % 8);
+                    let mut client =
+                        DebugClient::connect(addr, &tenant).expect("session admitted");
+                    let mut latencies = Vec::with_capacity(queries);
+                    let mut degraded = 0usize;
+                    for qi in 0..queries {
+                        let q = &workload[(si + qi) % workload.len()];
+                        let t = Instant::now();
+                        let wire = client.debug(q.text).expect("query served");
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        degraded += wire.degraded as usize;
+                    }
+                    client.bye().expect("clean goodbye");
+                    (latencies, degraded)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, deg) = h.join().expect("session thread");
+            all_latencies.extend(lat);
+            degraded += deg;
+        }
+    });
+    let wall = t0.elapsed();
+    server.shutdown();
+
+    all_latencies.sort_unstable();
+    let n = all_latencies.len();
+    let mean = if n == 0 { 0 } else { all_latencies.iter().sum::<u64>() / n as u64 };
+    SweepPoint {
+        sessions,
+        workers,
+        queries: n,
+        degraded,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: if wall.is_zero() { 0.0 } else { n as f64 / wall.as_secs_f64() },
+        p50_ns: percentile(&all_latencies, 50),
+        p99_ns: percentile(&all_latencies, 99),
+        mean_ns: mean,
+        max_ns: all_latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "building system (scale {}, level {}, seed {})...",
+        args.scale.name(),
+        args.max_level,
+        args.seed
+    );
+    let system = build_system(args.scale, args.seed, args.max_level);
+    eprintln!(
+        "serving {} tuples / {} lattice nodes; sweeping sessions {:?} x {} queries each",
+        system.database().total_rows(),
+        system.lattice().node_count(),
+        args.sessions,
+        args.queries
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &sessions in &args.sessions {
+        let workers = args.workers.unwrap_or(sessions);
+        let p = run_point(&system, sessions, args.queries, workers);
+        let us = |ns: u64| ns as f64 / 1e3;
+        rows.push(vec![
+            p.sessions.to_string(),
+            p.workers.to_string(),
+            p.queries.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.qps),
+            format!("{:.1}", us(p.p50_ns)),
+            format!("{:.1}", us(p.p99_ns)),
+            format!("{:.1}", us(p.mean_ns)),
+            format!("{:.1}", us(p.max_ns)),
+        ]);
+        records.push(format!(
+            "{{\"degraded\":{},\"experiment\":\"serve\",\"latency_max_ns\":{},\
+             \"latency_mean_ns\":{},\"latency_p50_ns\":{},\"latency_p99_ns\":{},\
+             \"max_level\":{},\"qps\":{:.2},\"queries\":{},\"scale\":\"{}\",\"seed\":{},\
+             \"sessions\":{},\"wall_ms\":{:.3},\"workers\":{}}}",
+            p.degraded,
+            p.max_ns,
+            p.mean_ns,
+            p.p50_ns,
+            p.p99_ns,
+            args.max_level,
+            p.qps,
+            p.queries,
+            args.scale.name(),
+            args.seed,
+            p.sessions,
+            p.wall_ms,
+            p.workers,
+        ));
+    }
+
+    println!("\nE16: closed-loop serving throughput and latency (client-side clocks)");
+    print_table(
+        &[
+            "sessions", "workers", "requests", "wall ms", "QPS", "p50 us", "p99 us", "mean us",
+            "max us",
+        ],
+        &rows,
+    );
+    println!();
+    write_records("exp_serve", &records);
+}

@@ -18,17 +18,112 @@
 //!
 //! Usage: `kws_repl [--scale S] [--max-level N]` (default small, N=5), then
 //! e.g. `DeRose VLDB` at the prompt.
+//!
+//! The same binary also speaks the `kwserve` wire protocol (SERVING.md):
+//!
+//! * `kws_repl --listen ADDR [--workers N]` builds the system and serves it
+//!   over TCP until stdin closes (EOF or a line), then shuts down gracefully
+//!   and prints the final server counters.
+//! * `kws_repl --connect HOST:PORT [--tenant NAME]` skips the local build
+//!   entirely and runs the REPL as one client session against a running
+//!   server: queries and `:strategy` work as usual (the strategy rides along
+//!   per request), `:metrics` fetches the session's server-side record, and
+//!   the local-only knobs (`:lattice`, `:budget`, `:chaos`, `:cache`) say so.
 
 use std::io::{BufRead, Write};
+use std::net::SocketAddr;
 use std::time::Duration;
 
-use bench::{build_system, ExpArgs};
+use bench::{build_system, DataScale};
 use kwdebug::budget::ProbeBudget;
 use kwdebug::debugger::NonAnswerDebugger;
 use kwdebug::metrics::MetricsSnapshot;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
+use kwserve::{DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
 use relengine::FaultConfig;
+
+/// REPL arguments: the common experiment knobs plus the two wire modes.
+struct ReplArgs {
+    scale: DataScale,
+    max_level: Option<usize>,
+    seed: u64,
+    connect: Option<SocketAddr>,
+    tenant: String,
+    listen: Option<SocketAddr>,
+    workers: usize,
+}
+
+fn parse_args() -> ReplArgs {
+    let mut out = ReplArgs {
+        scale: DataScale::Small,
+        max_level: None,
+        seed: 7,
+        connect: None,
+        tenant: "repl".to_owned(),
+        listen: None,
+        workers: 4,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                std::process::exit(2);
+            })
+        };
+        let addr = |i: usize| -> SocketAddr {
+            value(i).parse().unwrap_or_else(|_| {
+                eprintln!("{} expects HOST:PORT, got `{}`", args[i], args[i + 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                out.scale = DataScale::parse(value(i)).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{}` (tiny|small|medium|paper)", args[i + 1]);
+                    std::process::exit(2);
+                });
+            }
+            "--max-level" => {
+                out.max_level = Some(value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--max-level expects a number");
+                    std::process::exit(2);
+                }));
+            }
+            "--seed" => {
+                out.seed = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => {
+                out.workers = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--workers expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--connect" => out.connect = Some(addr(i)),
+            "--listen" => out.listen = Some(addr(i)),
+            "--tenant" => out.tenant = value(i).to_owned(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --scale tiny|small|medium|paper  --max-level N  --seed N\n\
+                     modes:   --listen HOST:PORT [--workers N]   serve over TCP\n\
+                     \x20        --connect HOST:PORT [--tenant NAME]   client session"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    out
+}
 
 fn parse_strategy(name: &str) -> Option<StrategyKind> {
     match name.to_ascii_uppercase().as_str() {
@@ -94,7 +189,7 @@ fn show_lattice(system: &NonAnswerDebugger) {
     println!("workspace reuses so far: {}", system.workspace_reuses());
 }
 
-fn show_metrics(system: &NonAnswerDebugger, last: &LastRun, args: &ExpArgs, max_level: usize) {
+fn show_metrics(system: &NonAnswerDebugger, last: &LastRun, args: &ReplArgs, max_level: usize) {
     let p = last.report.probes();
     let t = &last.report.timing;
     println!("last query: {:?} under {}", last.query, last.strategy.name());
@@ -205,9 +300,124 @@ fn parse_chaos(parts: &mut std::str::SplitWhitespace<'_>) -> Option<Option<Fault
     }))
 }
 
+/// `--listen` mode: serve the built system over TCP until stdin closes.
+fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
+    eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
+    let system = build_system(args.scale, args.seed, max_level);
+    let config = ServeConfig {
+        addr,
+        workers: args.workers,
+        debug: *system.config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot serve on {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The resolved address on its own stdout line, so scripts (and the
+    // check.sh smoke step) can scrape it even when port 0 was requested.
+    println!("kwserve listening on {}", server.addr());
+    eprintln!(
+        "{} tuples, {} lattice nodes, {} workers; press Enter (or close stdin) to stop",
+        system.database().total_rows(),
+        system.lattice().node_count(),
+        args.workers
+    );
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    eprintln!("shutting down...");
+    let metrics = server.shutdown();
+    println!("{}", metrics.to_json());
+}
+
+/// `--connect` mode: the REPL as one client session against a live server.
+fn client_repl(addr: SocketAddr, tenant: &str) {
+    let mut client = DebugClient::connect(addr, tenant).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "connected to {addr} as tenant `{tenant}` (session {}); :quit to exit",
+        client.session_id()
+    );
+    let mut strategy: Option<StrategyKind> = None;
+    let stdin = std::io::stdin();
+    loop {
+        let name = strategy.map_or("server", |s| s.name());
+        print!("kws@{name}> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("quit") | Some("q") => break,
+                Some("strategy") => match parts.next() {
+                    Some(arg) if arg.eq_ignore_ascii_case("default") => {
+                        strategy = None;
+                        println!("strategy = server default");
+                    }
+                    Some(arg) => match parse_strategy(arg) {
+                        Some(s) => {
+                            strategy = Some(s);
+                            println!("strategy = {} (per request)", s.name());
+                        }
+                        None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE|default"),
+                    },
+                    None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE|default"),
+                },
+                Some("metrics") => match client.metrics_json() {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Some("lattice") | Some("budget") | Some("chaos") | Some("cache") => {
+                    println!("local-only command; budgets are set per tenant on the server")
+                }
+                _ => println!("commands: :strategy <name>|default, :metrics, :quit"),
+            }
+            continue;
+        }
+        match client.debug_with_strategy(line, strategy) {
+            Ok(wire) => {
+                print!("{}", wire.report);
+                println!(
+                    "[{} answers, {} non-answers, {} MPANs; {}served in {:.2} ms]",
+                    wire.report.answer_count(),
+                    wire.report.non_answer_count(),
+                    wire.report.mpan_count(),
+                    if wire.degraded { "DEGRADED, " } else { "" },
+                    wire.server_ns as f64 / 1e6,
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    let _ = client.bye();
+}
+
 fn main() {
-    let args = ExpArgs::parse();
+    let args = parse_args();
     let max_level = args.max_level.unwrap_or(5);
+    if let Some(addr) = args.connect {
+        client_repl(addr, &args.tenant);
+        return;
+    }
+    if let Some(addr) = args.listen {
+        serve_mode(&args, addr, max_level);
+        return;
+    }
     eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
     let mut system = build_system(args.scale, args.seed, max_level);
     eprintln!(

@@ -85,6 +85,35 @@ impl Bench {
     }
 }
 
+/// Writes newline-delimited stable-JSON records to
+/// `results/BENCH_<experiment>.json` and echoes each line to stdout
+/// (prefixed `BENCH_JSON `), so a human scanning the console and a script
+/// scraping the results directory see the same records. This is the one
+/// BENCH_*.json writer in the repo: the library benches go through
+/// [`crate::emit_metrics`] and the serving load generator (`exp_serve`)
+/// calls it directly, so every results file has the same shape regardless
+/// of which layer produced it. Callers are responsible for sorted keys
+/// inside each record (the [`kwdebug::metrics::MetricsSnapshot::to_json`]
+/// discipline).
+pub fn write_records(experiment: &str, records: &[String]) {
+    use std::io::Write as _;
+    let mut lines = String::new();
+    for json in records {
+        println!("BENCH_JSON {json}");
+        lines.push_str(json);
+        lines.push('\n');
+    }
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::File::create(&path))
+        .and_then(|mut f| f.write_all(lines.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("wrote {} metrics records to {}", records.len(), path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 /// Renders a duration with a unit suited to its magnitude.
 fn fmt_duration(d: Duration) -> String {
     let nanos = d.as_nanos();

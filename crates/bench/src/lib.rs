@@ -231,27 +231,11 @@ impl QueryAggregate {
 }
 
 /// Writes newline-delimited metrics records to `results/BENCH_<experiment>.json`
-/// and echoes each JSON line to stdout (prefixed `BENCH_JSON `), so both a
-/// human scanning the console and a script scraping the results directory see
-/// the same stable records.
+/// via the shared writer ([`harness::write_records`]), echoing each JSON line
+/// to stdout (prefixed `BENCH_JSON `).
 pub fn emit_metrics(experiment: &str, records: &[MetricsSnapshot]) {
-    use std::io::Write as _;
-    let mut lines = String::new();
-    for r in records {
-        let json = r.to_json();
-        println!("BENCH_JSON {json}");
-        lines.push_str(&json);
-        lines.push('\n');
-    }
-    let dir = std::path::Path::new("results");
-    let path = dir.join(format!("BENCH_{experiment}.json"));
-    let write = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::File::create(&path))
-        .and_then(|mut f| f.write_all(lines.as_bytes()));
-    match write {
-        Ok(()) => eprintln!("wrote {} metrics records to {}", records.len(), path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
-    }
+    let lines: Vec<String> = records.iter().map(MetricsSnapshot::to_json).collect();
+    harness::write_records(experiment, &lines);
 }
 
 /// Robustness knobs for [`run_query_with`]: deterministic fault injection,

@@ -108,17 +108,81 @@ impl DebugConfig {
     }
 }
 
+/// The immutable offline substrate of a debugger, shareable across sessions.
+///
+/// Everything a debug call *reads but never writes* — the finalized
+/// [`Database`], the [`InvertedIndex`] over it, the [`SchemaGraph`] and the
+/// offline [`Lattice`] arena — bundled behind [`Arc`]s so that any number of
+/// concurrent sessions (one [`NonAnswerDebugger`] each) can run over a single
+/// resident copy. Cloning is a handful of reference-count bumps; the multi-
+/// megabyte arenas are never duplicated. This is the state split the serving
+/// layer builds on (`kwserve`; DESIGN.md §11): per-session mutable state
+/// (workspace pool, evaluation cache, budget window) stays inside each
+/// debugger, while the substrate is shared process-wide.
+#[derive(Clone)]
+pub struct SharedParts {
+    db: Arc<Database>,
+    index: Arc<InvertedIndex>,
+    graph: Arc<SchemaGraph>,
+    lattice: Arc<Lattice>,
+}
+
+impl SharedParts {
+    /// The shared database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The shared schema graph.
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        &self.graph
+    }
+
+    /// The shared offline lattice arena.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// `maxJoins` the shared lattice was built for — session configs must
+    /// match it (see [`NonAnswerDebugger::from_shared`]).
+    pub fn max_joins(&self) -> usize {
+        self.lattice.max_joins()
+    }
+}
+
+impl std::fmt::Debug for SharedParts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedParts")
+            .field("tables", &self.db.table_count())
+            .field("lattice_nodes", &self.lattice.node_count())
+            .field("max_joins", &self.lattice.max_joins())
+            .finish()
+    }
+}
+
 /// The KWS-S system with non-answer debugging.
 ///
 /// Construction performs the offline work (Phase 0): building the inverted
 /// index over the data and generating the query lattice from the schema
 /// graph. [`NonAnswerDebugger::debug`] then answers keyword queries with the
 /// full `A(K) ∪ N(K) ∪ M(K)` output.
+///
+/// The immutable substrate (database, index, schema graph, lattice) lives
+/// behind [`Arc`]s: [`NonAnswerDebugger::shared_parts`] hands out a cheap
+/// [`SharedParts`] handle and [`NonAnswerDebugger::from_shared`] builds more
+/// debuggers over the *same* resident arenas — the unit of multi-tenant
+/// serving, where each session owns its own workspace pool, evaluation cache
+/// and budget window but all sessions read one copy of the data.
 pub struct NonAnswerDebugger {
-    db: Database,
-    index: InvertedIndex,
-    graph: SchemaGraph,
-    lattice: Lattice,
+    db: Arc<Database>,
+    index: Arc<InvertedIndex>,
+    graph: Arc<SchemaGraph>,
+    lattice: Arc<Lattice>,
     config: DebugConfig,
     /// Recycles Phase 1–2 scratch across queries (see [`crate::workspace`]);
     /// `debug` takes `&self`, so concurrent sessions each borrow their own
@@ -140,10 +204,49 @@ impl NonAnswerDebugger {
         let graph = SchemaGraph::new(&db);
         let lattice = Lattice::build(&db, &graph, config.max_joins);
         Ok(NonAnswerDebugger {
-            db,
-            index,
-            graph,
-            lattice,
+            db: Arc::new(db),
+            index: Arc::new(index),
+            graph: Arc::new(graph),
+            lattice: Arc::new(lattice),
+            config,
+            workspaces: WorkspacePool::new(),
+            cache: Arc::new(EvalCache::new()),
+        })
+    }
+
+    /// A cheap handle onto this debugger's immutable substrate (database,
+    /// index, schema graph, lattice), for building sibling sessions with
+    /// [`NonAnswerDebugger::from_shared`]. Clones bump reference counts only.
+    pub fn shared_parts(&self) -> SharedParts {
+        SharedParts {
+            db: Arc::clone(&self.db),
+            index: Arc::clone(&self.index),
+            graph: Arc::clone(&self.graph),
+            lattice: Arc::clone(&self.lattice),
+        }
+    }
+
+    /// Builds a new *session* over an existing substrate: the returned
+    /// debugger reads the same database, index and lattice arena as every
+    /// other holder of `parts`, but owns fresh per-session state — an empty
+    /// [`EvalCache`], a cold [`WorkspacePool`], and its own `config` (budget,
+    /// strategy, workers, ...). This is O(1): no data is copied and no
+    /// Phase-0 work runs, which is what makes per-connection sessions viable
+    /// in the serving layer. `config.max_joins` must match the lattice.
+    pub fn from_shared(parts: SharedParts, config: DebugConfig) -> Result<Self, KwError> {
+        config.validate()?;
+        if parts.lattice.max_joins() != config.max_joins {
+            return Err(KwError::BadConfig(format!(
+                "shared lattice was built for maxJoins = {}, config wants {}",
+                parts.lattice.max_joins(),
+                config.max_joins
+            )));
+        }
+        Ok(NonAnswerDebugger {
+            db: parts.db,
+            index: parts.index,
+            graph: parts.graph,
+            lattice: parts.lattice,
             config,
             workspaces: WorkspacePool::new(),
             cache: Arc::new(EvalCache::new()),
@@ -191,10 +294,10 @@ impl NonAnswerDebugger {
         let index = InvertedIndex::build(&db);
         let graph = SchemaGraph::new(&db);
         Ok(NonAnswerDebugger {
-            db,
-            index,
-            graph,
-            lattice,
+            db: Arc::new(db),
+            index: Arc::new(index),
+            graph: Arc::new(graph),
+            lattice: Arc::new(lattice),
             config,
             workspaces: WorkspacePool::new(),
             cache: Arc::new(EvalCache::new()),
@@ -679,6 +782,48 @@ mod tests {
         assert!(d.config().chaos.is_some());
         d.set_chaos(None);
         assert!(d.config().chaos.is_none());
+    }
+
+    #[test]
+    fn shared_parts_sessions_agree_with_owner() {
+        // The serving-layer split: one owner builds Phase 0, then O(1)
+        // sessions attach to the same immutable substrate and must report
+        // exactly what the owner reports — with private eval caches.
+        let owner = debugger(StrategyKind::ScoreBasedHeuristic);
+        let parts = owner.shared_parts();
+        assert_eq!(parts.max_joins(), 2);
+        assert_eq!(parts.database().tables().count(), owner.database().tables().count());
+
+        let session = NonAnswerDebugger::from_shared(
+            parts.clone(),
+            DebugConfig { max_joins: 2, eval_cache: true, ..DebugConfig::default() },
+        )
+        .expect("O(1) session over shared parts");
+        for query in ["saffron candle", "red candle", "scented oil"] {
+            let a = owner.debug(query).unwrap();
+            let b = session.debug(query).unwrap();
+            assert_eq!(a.answer_count(), b.answer_count(), "{query}");
+            assert_eq!(a.non_answer_count(), b.non_answer_count(), "{query}");
+            assert_eq!(a.mpan_count(), b.mpan_count(), "{query}");
+        }
+        // The session warmed its own cache generation, not the owner's.
+        assert!(session.eval_cache().selection_entries() > 0);
+        assert_eq!(owner.eval_cache().selection_entries(), 0);
+    }
+
+    #[test]
+    fn from_shared_validates_config_against_lattice() {
+        let owner = debugger(StrategyKind::ScoreBasedHeuristic);
+        let result = NonAnswerDebugger::from_shared(
+            owner.shared_parts(),
+            DebugConfig { max_joins: 3, ..DebugConfig::default() },
+        );
+        assert!(matches!(result, Err(KwError::BadConfig(_))), "lattice depth must match");
+        let result = NonAnswerDebugger::from_shared(
+            owner.shared_parts(),
+            DebugConfig { max_joins: 2, pa: 7.0, ..DebugConfig::default() },
+        );
+        assert!(matches!(result, Err(KwError::BadConfig(_))), "config still validated");
     }
 }
 

@@ -53,6 +53,8 @@
 //! | Fault injection (extension) | deterministic chaos harness for probes | [`relengine::chaos`] |
 //! | Parallel probe scheduling (extension) | work-stealing wave scheduler, sharded memo | [`parallel`] |
 //! | Cross-probe evaluation cache (extension) | shared keyword selections, subtree semi-join value-sets | [`evalcache`] |
+//! | Pooled traversal scratch (extension) | reusable per-query workspaces, zero steady-state allocation | [`workspace`] |
+//! | Multi-tenant serving (extension) | shared substrate ([`SharedParts`]), per-session debuggers over TCP | [`debugger`], `kwserve` |
 //!
 //! ## Observability
 //!
@@ -118,7 +120,7 @@ pub mod traversal;
 pub mod workspace;
 
 pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
-pub use debugger::{DebugConfig, NonAnswerDebugger};
+pub use debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
 pub use error::KwError;
 pub use jnts::{CopyIdx, Jnts, TupleSet};
 pub use report::DebugReport;

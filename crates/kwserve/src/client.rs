@@ -1,0 +1,161 @@
+//! A blocking client for the debug service.
+//!
+//! One [`DebugClient`] is one session: `connect` performs the
+//! `Hello`/`Welcome` handshake, after which [`DebugClient::debug`] maps a
+//! keyword query to a decoded [`DebugReport`] plus the wire-level facts a
+//! library call cannot give you — the degraded flag, the server-side
+//! wall-clock, and the raw canonical payload (which the loopback test
+//! compares byte-for-byte against a direct [`kwdebug`] call). The client is
+//! the only protocol speaker the repo ships besides the server itself, and
+//! the load generator (`exp_serve`) and REPL client mode are built on it.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+use kwdebug::report::DebugReport;
+use kwdebug::traversal::StrategyKind;
+
+use crate::protocol::{
+    decode_report, decode_response, encode_request, read_frame, write_frame, ErrorCode,
+    Request, Response, WireError,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke.
+    Io(io::Error),
+    /// The server sent bytes this client cannot decode.
+    Wire(WireError),
+    /// The server refused the request (admission, bad query, shutdown...).
+    Server {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with an unexpected message type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused: {code} ({message})")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A report as received over the wire.
+#[derive(Debug, Clone)]
+pub struct WireReport {
+    /// The decoded report (wall-clock fields zero; see the canonical codec).
+    pub report: DebugReport,
+    /// Whether a tenant budget degraded this report to sound partial bounds.
+    pub degraded: bool,
+    /// Server-side wall-clock of the debug call, in nanoseconds.
+    pub server_ns: u64,
+    /// The canonical payload exactly as it crossed the wire — byte-equal to
+    /// [`crate::protocol::encode_report`] of the equivalent library call.
+    pub canonical: Vec<u8>,
+}
+
+/// One session against a running debug service.
+#[derive(Debug)]
+pub struct DebugClient {
+    stream: TcpStream,
+    session_id: u64,
+}
+
+impl DebugClient {
+    /// Connects and performs the `Hello { tenant }` handshake. A quota
+    /// refusal surfaces as [`ClientError::Server`] with
+    /// [`ErrorCode::QuotaExhausted`].
+    pub fn connect(addr: SocketAddr, tenant: &str) -> Result<DebugClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = DebugClient { stream, session_id: 0 };
+        match client.call(&Request::Hello { tenant: tenant.to_owned() })? {
+            Response::Welcome { session_id } => {
+                client.session_id = session_id;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Debugs one keyword query with the session's default strategy.
+    pub fn debug(&mut self, query: &str) -> Result<WireReport, ClientError> {
+        self.debug_with_strategy(query, None)
+    }
+
+    /// Debugs one keyword query, optionally overriding the traversal
+    /// strategy for this request only.
+    pub fn debug_with_strategy(
+        &mut self,
+        query: &str,
+        strategy: Option<StrategyKind>,
+    ) -> Result<WireReport, ClientError> {
+        let request = Request::Debug { strategy, query: query.to_owned() };
+        match self.call(&request)? {
+            Response::Report { degraded, server_ns, payload } => {
+                let report = decode_report(&payload)?;
+                Ok(WireReport { report, degraded, server_ns, canonical: payload })
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("expected Report, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the session's cumulative metrics as one stable-JSON record.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsJson { json } => Ok(json),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("expected MetricsJson, got {other:?}"))),
+        }
+    }
+
+    /// Ends the session cleanly (waits for the server's `ByeAck`).
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Bye)? {
+            Response::ByeAck => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("expected ByeAck, got {other:?}"))),
+        }
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::Protocol("server closed mid-exchange".into())),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # kwserve — a multi-tenant TCP front-end over the `kwdebug` library
+//!
+//! The paper frames non-answer debugging as an *interactive* capability of a
+//! keyword search system; this crate is the serving layer that makes the
+//! reproduction measurable under concurrency. It follows the library-first
+//! pattern: [`kwdebug`] stays a pure library and `kwserve` is a thin,
+//! **registry-free, std-only** network shell around it — a hand-rolled,
+//! length-prefixed binary protocol over [`std::net::TcpListener`] with a
+//! worker-pool accept loop. No async runtime, no HTTP framework, no external
+//! dependency: the same discipline as the rest of the workspace.
+//!
+//! The normative wire-protocol specification and the operations guide live
+//! in `SERVING.md`; the architecture chapter (state split, thread model,
+//! why sessions never share an evaluation-cache generation) is DESIGN.md
+//! §11. In code:
+//!
+//! * [`protocol`] — framing, request/response codecs, and the *canonical
+//!   report encoding* whose payloads are bit-identical to direct library
+//!   calls (the loopback equivalence test pins this).
+//! * [`tenant`] — admission control: per-tenant concurrent-session quotas
+//!   and per-query [`kwdebug::budget::ProbeBudget`]s; budget-degraded
+//!   queries cross the wire as flagged partial reports with sound MPAN
+//!   bounds.
+//! * [`server`] — the worker-pool [`TcpListener`](std::net::TcpListener)
+//!   loop, session lifecycle over [`kwdebug::SharedParts`] (one immutable
+//!   database + index + lattice arena shared by every session), graceful
+//!   shutdown, and server metrics.
+//! * [`client`] — the blocking client the REPL client mode, the loopback
+//!   tests and the `exp_serve` load generator drive.
+//!
+//! ## A session in five lines
+//!
+//! ```no_run
+//! use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+//! use kwserve::{DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+//! # fn run(db: relengine::Database) -> Result<(), Box<dyn std::error::Error>> {
+//! let system = NonAnswerDebugger::new(db, DebugConfig::default())?;
+//! let server = Server::start(
+//!     system.shared_parts(),
+//!     TenantRegistry::new(TenantPolicy::default()),
+//!     ServeConfig::default(),
+//! )?;
+//! let mut client = DebugClient::connect(server.addr(), "acme")?;
+//! println!("{}", client.debug("saffron candle")?.report);
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use client::{ClientError, DebugClient, WireReport};
+pub use protocol::ErrorCode;
+pub use server::{ServeConfig, Server, ServerMetrics};
+pub use tenant::{TenantPolicy, TenantRegistry};

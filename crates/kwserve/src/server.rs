@@ -1,0 +1,455 @@
+//! The TCP server: worker-pool accept loop, session lifecycle, graceful
+//! shutdown, and server-level metrics.
+//!
+//! ## Threading model
+//!
+//! [`Server::start`] binds one [`TcpListener`] and spawns
+//! [`ServeConfig::workers`] OS threads that all block in `accept()` on the
+//! shared listener (the kernel wakes exactly one per connection). Each
+//! worker owns at most one connection at a time and runs its whole session
+//! loop inline — so the worker count *is* the concurrent-session capacity,
+//! and connections beyond it queue in the OS accept backlog until a worker
+//! frees up. That queueing is the server's global admission control;
+//! per-tenant fairness is the [`TenantRegistry`]'s explicit rejection
+//! (see `kwserve::tenant`).
+//!
+//! ## Per-session state
+//!
+//! Every admitted session builds its own [`NonAnswerDebugger`] via
+//! [`NonAnswerDebugger::from_shared`]: a fresh workspace pool, a fresh
+//! evaluation-cache generation and the tenant's budget, over the one shared
+//! immutable database/index/lattice (DESIGN.md §11 explains why sessions
+//! must never share an evalcache generation). Session construction is O(1),
+//! so a connection costs no Phase-0 work.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] flips an atomic flag and pokes one dummy connection
+//! per worker to wake blocked `accept()`s. Workers mid-session notice the
+//! flag at their next read-timeout tick ([`ServeConfig::poll_interval`]),
+//! answer the client with `ShuttingDown`, and exit; in-flight requests
+//! finish normally — a debug call is never interrupted.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kwdebug::debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
+use kwdebug::metrics::{MetricsSnapshot, PhaseTiming, ProbeCounters};
+use kwdebug::KwError;
+
+use crate::protocol::{
+    decode_request, encode_report, encode_response, read_frame, write_frame, ErrorCode,
+    Request, Response,
+};
+use crate::tenant::{SessionPermit, TenantRegistry};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: SocketAddr,
+    /// Worker threads — the concurrent-session capacity.
+    pub workers: usize,
+    /// Session read timeout: how often an idle session checks the shutdown
+    /// flag. Bounds shutdown latency, not request latency.
+    pub poll_interval: Duration,
+    /// Base per-session debugger configuration (strategy, workers,
+    /// eval-cache, ...). A tenant's non-unlimited budget overrides
+    /// `debug.budget`; `debug.max_joins` must match the shared lattice.
+    pub debug: DebugConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 4,
+            poll_interval: Duration::from_millis(100),
+            debug: DebugConfig::default(),
+        }
+    }
+}
+
+/// Monotonic server-wide counters (relaxed atomics, mirrored after
+/// [`kwdebug::metrics`]).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Sessions admitted (Hello accepted).
+    pub sessions_admitted: AtomicU64,
+    /// Sessions refused by tenant quota.
+    pub sessions_rejected: AtomicU64,
+    /// Sessions ended (any reason) after admission.
+    pub sessions_closed: AtomicU64,
+    /// Debug requests answered with a report.
+    pub queries_ok: AtomicU64,
+    /// Debug requests refused (`BadQuery`).
+    pub queries_rejected: AtomicU64,
+    /// Reports flagged degraded (budget tripped mid-traversal).
+    pub reports_degraded: AtomicU64,
+    /// Connections dropped for malformed frames.
+    pub frames_malformed: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// One stable-JSON object (sorted keys), same discipline as
+    /// [`kwdebug::metrics::MetricsSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"frames_malformed\":{},\"queries_ok\":{},\"queries_rejected\":{},\
+             \"reports_degraded\":{},\"sessions_admitted\":{},\"sessions_closed\":{},\
+             \"sessions_rejected\":{}}}",
+            self.frames_malformed.load(Ordering::Relaxed),
+            self.queries_ok.load(Ordering::Relaxed),
+            self.queries_rejected.load(Ordering::Relaxed),
+            self.reports_degraded.load(Ordering::Relaxed),
+            self.sessions_admitted.load(Ordering::Relaxed),
+            self.sessions_closed.load(Ordering::Relaxed),
+            self.sessions_rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// State shared by every worker thread.
+struct Shared {
+    parts: SharedParts,
+    registry: Arc<TenantRegistry>,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    config: ServeConfig,
+}
+
+/// A running debug service. Dropping without [`Server::shutdown`] detaches
+/// the workers (they keep serving until the process exits); call `shutdown`
+/// for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `parts` under `config`, with `registry`
+    /// deciding admission. Fails fast if `config.debug` does not fit the
+    /// shared lattice (a misconfigured server should not accept a single
+    /// connection).
+    pub fn start(
+        parts: SharedParts,
+        registry: TenantRegistry,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        // Surface config/lattice mismatches now, not per connection.
+        NonAnswerDebugger::from_shared(parts.clone(), config.debug)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            parts,
+            registry: Arc::new(registry),
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            config,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for worker_id in 0..workers {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("kwserve-{worker_id}"))
+                    .spawn(move || worker_loop(&listener, &shared))?,
+            );
+        }
+        Ok(Server { addr, shared, workers: handles })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// The admission registry (for live quota inspection).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.registry
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// tell idle sessions `ShuttingDown`, join every worker, and return the
+    /// final counters.
+    pub fn shutdown(self) -> ServerMetrics {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake workers blocked in accept(): one dummy connection each. A
+        // worker serving a session ignores these; it sees the flag at its
+        // next poll tick instead, so extras are harmlessly accepted-and-
+        // dropped by whoever wakes first.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.metrics,
+            Err(_) => ServerMetrics::default(),
+        }
+    }
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Woken by the shutdown dummy connection (or raced with it):
+            // refuse politely and exit.
+            let _ = send(
+                &stream,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server shutting down".into(),
+                },
+            );
+            return;
+        }
+        serve_connection(stream, shared);
+    }
+}
+
+fn send(mut stream: &TcpStream, response: &Response) -> std::io::Result<()> {
+    write_frame(&mut stream, &encode_response(response))?;
+    stream.flush()
+}
+
+/// Whether a read error is this platform's read-timeout signal.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// One admitted session's mutable state.
+struct Session {
+    debugger: NonAnswerDebugger,
+    /// Holds the tenant quota slot; released on drop (i.e. disconnect).
+    _permit: SessionPermit,
+    id: u64,
+    tenant: String,
+    queries: u64,
+    interpretations: u64,
+    probes: ProbeCounters,
+    phases: PhaseTiming,
+    last_query: String,
+}
+
+impl Session {
+    /// Cumulative session metrics as one stable-JSON record. `variant`
+    /// carries the tenant, `query` the last query served.
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            experiment: "kwserve".to_owned(),
+            query: self.last_query.clone(),
+            strategy: self.debugger.config().strategy.name().to_owned(),
+            variant: format!("tenant={};session={};queries={}", self.tenant, self.id, self.queries),
+            scale: String::new(),
+            max_level: (self.debugger.config().max_joins + 1) as u64,
+            interpretations: self.interpretations,
+            lattice_bytes: self.debugger.lattice().memory_footprint().total_bytes() as u64,
+            probes: self.probes,
+            phases: self.phases,
+            prune: None,
+            levels: Vec::new(),
+        }
+    }
+}
+
+/// Runs one connection from handshake to disconnect.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut session: Option<Session> = None;
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // peer closed
+            Err(e) if is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    let _ = send(
+                        &stream,
+                        &Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "server shutting down".into(),
+                        },
+                    );
+                    break;
+                }
+                continue;
+            }
+            Err(_) => {
+                shared.metrics.frames_malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    &stream,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "unreadable frame".into(),
+                    },
+                );
+                break;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.metrics.frames_malformed.fetch_add(1, Ordering::Relaxed);
+                let code = if e.0.contains("version") {
+                    ErrorCode::UnsupportedVersion
+                } else {
+                    ErrorCode::Malformed
+                };
+                let _ = send(&stream, &Response::Error { code, message: e.0 });
+                break;
+            }
+        };
+        match (request, &mut session) {
+            (Request::Hello { tenant }, None) => {
+                match admit(shared, &tenant) {
+                    Ok(new_session) => {
+                        let id = new_session.id;
+                        session = Some(new_session);
+                        shared.metrics.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+                        if send(&stream, &Response::Welcome { session_id: id }).is_err() {
+                            break;
+                        }
+                    }
+                    Err(response) => {
+                        shared.metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = send(&stream, &response);
+                        break;
+                    }
+                }
+            }
+            (Request::Hello { .. }, Some(_)) => {
+                let _ = send(
+                    &stream,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "session already established".into(),
+                    },
+                );
+                break;
+            }
+            (request, None) => {
+                let _ = send(
+                    &stream,
+                    &Response::Error {
+                        code: ErrorCode::NotReady,
+                        message: format!("{request:?} before Hello"),
+                    },
+                );
+                break;
+            }
+            (Request::Debug { strategy, query }, Some(session)) => {
+                let response = run_debug(shared, session, strategy, &query);
+                if send(&stream, &response).is_err() {
+                    break;
+                }
+            }
+            (Request::Metrics, Some(session)) => {
+                let json = session.snapshot().to_json();
+                if send(&stream, &Response::MetricsJson { json }).is_err() {
+                    break;
+                }
+            }
+            (Request::Bye, Some(_)) => {
+                let _ = send(&stream, &Response::ByeAck);
+                break;
+            }
+        }
+    }
+    if session.is_some() {
+        shared.metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+    }
+    // Dropping `session` releases the tenant permit.
+}
+
+/// Admission: quota check, then an O(1) per-session debugger over the shared
+/// substrate with the tenant's budget folded into the base config.
+fn admit(shared: &Shared, tenant: &str) -> Result<Session, Response> {
+    let permit = shared.registry.try_admit(tenant).ok_or_else(|| Response::Error {
+        code: ErrorCode::QuotaExhausted,
+        message: format!("tenant `{tenant}` is at its concurrent-session quota"),
+    })?;
+    let policy = shared.registry.policy(tenant);
+    let mut config = shared.config.debug;
+    if !policy.budget.is_unlimited() {
+        config.budget = policy.budget;
+    }
+    let debugger =
+        NonAnswerDebugger::from_shared(shared.parts.clone(), config).map_err(|e| {
+            Response::Error { code: ErrorCode::Internal, message: e.to_string() }
+        })?;
+    Ok(Session {
+        debugger,
+        _permit: permit,
+        id: shared.next_session.fetch_add(1, Ordering::Relaxed),
+        tenant: tenant.to_owned(),
+        queries: 0,
+        interpretations: 0,
+        probes: ProbeCounters::default(),
+        phases: PhaseTiming::default(),
+        last_query: String::new(),
+    })
+}
+
+fn run_debug(
+    shared: &Shared,
+    session: &mut Session,
+    strategy: Option<kwdebug::traversal::StrategyKind>,
+    query: &str,
+) -> Response {
+    let start = Instant::now();
+    let strategy = strategy.unwrap_or(session.debugger.config().strategy);
+    match session.debugger.debug_with_strategy(query, strategy) {
+        Ok(report) => {
+            let degraded = !report.is_complete();
+            session.queries += 1;
+            session.interpretations += report.interpretations.len() as u64;
+            session.probes.accumulate(report.probes());
+            session.phases.accumulate(&report.timing);
+            session.last_query = query.to_owned();
+            shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+            if degraded {
+                shared.metrics.reports_degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Report {
+                degraded,
+                server_ns: start.elapsed().as_nanos() as u64,
+                payload: encode_report(&report),
+            }
+        }
+        Err(e @ (KwError::EmptyQuery | KwError::BadConfig(_))) => {
+            shared.metrics.queries_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Error { code: ErrorCode::BadQuery, message: e.to_string() }
+        }
+        Err(e) => {
+            shared.metrics.queries_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Error { code: ErrorCode::Internal, message: e.to_string() }
+        }
+    }
+}

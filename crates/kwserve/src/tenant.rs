@@ -1,0 +1,188 @@
+//! Per-tenant admission control and budgets.
+//!
+//! A *tenant* is the unit of resource isolation: every session declares one
+//! in its `Hello`, and the server applies that tenant's [`TenantPolicy`] —
+//! a cap on concurrent sessions (admission control) and a per-query
+//! [`ProbeBudget`] (work control). The two compose: admission bounds how
+//! many debuggers a tenant can have resident, the budget bounds how much
+//! probing each of its queries may do, and a query that hits its budget
+//! degrades to a *partial* report with sound MPAN bounds (PR 2's guarantee)
+//! rather than failing — exactly what crosses the wire as a
+//! degraded-flagged report.
+//!
+//! Global capacity is handled elsewhere (the worker pool: when every worker
+//! is busy, new connections queue in the OS accept backlog); this module is
+//! only about fairness *between* tenants.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kwdebug::budget::ProbeBudget;
+
+/// Resource limits for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Concurrent sessions this tenant may hold open (`usize::MAX` =
+    /// unlimited). The `max_sessions + 1`-th `Hello` is rejected with
+    /// `QuotaExhausted` — rejected, not queued, so one tenant can never
+    /// occupy the whole worker pool.
+    pub max_sessions: usize,
+    /// Probe budget applied to every query of every session of this tenant
+    /// (per interpretation, like [`kwdebug::DebugConfig::budget`]).
+    /// Unlimited by default; a capped budget turns over-long queries into
+    /// degraded partial reports instead of unbounded work.
+    pub budget: ProbeBudget,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy { max_sessions: usize::MAX, budget: ProbeBudget::unlimited() }
+    }
+}
+
+impl TenantPolicy {
+    /// A policy capping concurrent sessions only.
+    pub fn sessions(max_sessions: usize) -> TenantPolicy {
+        TenantPolicy { max_sessions, ..TenantPolicy::default() }
+    }
+
+    /// Adds a per-query probe budget to this policy.
+    pub fn with_budget(mut self, budget: ProbeBudget) -> TenantPolicy {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The server's tenant table: explicit policies per known tenant plus a
+/// default for everyone else, and the live per-tenant session counts.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    policies: HashMap<String, TenantPolicy>,
+    default: TenantPolicy,
+    /// Live session count per tenant name (only tenants with ≥ 1 session
+    /// have an entry, so idle tenants cost nothing).
+    active: Mutex<HashMap<String, usize>>,
+}
+
+impl TenantRegistry {
+    /// A registry where every tenant gets `default`.
+    pub fn new(default: TenantPolicy) -> TenantRegistry {
+        TenantRegistry { default, ..TenantRegistry::default() }
+    }
+
+    /// Sets an explicit policy for `tenant` (builder style).
+    pub fn with_tenant(mut self, tenant: &str, policy: TenantPolicy) -> TenantRegistry {
+        self.policies.insert(tenant.to_owned(), policy);
+        self
+    }
+
+    /// The policy `tenant` is served under.
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.policies.get(tenant).copied().unwrap_or(self.default)
+    }
+
+    /// Live sessions `tenant` holds right now.
+    pub fn active_sessions(&self, tenant: &str) -> usize {
+        self.active.lock().expect("registry lock").get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Tries to admit one session for `tenant`: returns a [`SessionPermit`]
+    /// that holds the slot until dropped, or `None` when the tenant is at
+    /// its `max_sessions` quota. Check-and-increment happens under one lock,
+    /// so racing `Hello`s can never overshoot the quota.
+    pub fn try_admit(self: &Arc<Self>, tenant: &str) -> Option<SessionPermit> {
+        let policy = self.policy(tenant);
+        let mut active = self.active.lock().expect("registry lock");
+        let count = active.entry(tenant.to_owned()).or_insert(0);
+        if *count >= policy.max_sessions {
+            return None;
+        }
+        *count += 1;
+        Some(SessionPermit { registry: Arc::clone(self), tenant: tenant.to_owned() })
+    }
+}
+
+/// An admitted session's slot; dropping it releases the tenant's quota.
+#[derive(Debug)]
+pub struct SessionPermit {
+    registry: Arc<TenantRegistry>,
+    tenant: String,
+}
+
+impl SessionPermit {
+    /// The tenant this permit belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for SessionPermit {
+    fn drop(&mut self) {
+        let mut active = self.registry.active.lock().expect("registry lock");
+        if let Some(count) = active.get_mut(&self.tenant) {
+            *count -= 1;
+            if *count == 0 {
+                active.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_unlimited() {
+        let p = TenantPolicy::default();
+        assert_eq!(p.max_sessions, usize::MAX);
+        assert!(p.budget.is_unlimited());
+    }
+
+    #[test]
+    fn quota_enforced_and_released() {
+        let reg = Arc::new(
+            TenantRegistry::new(TenantPolicy::default())
+                .with_tenant("small", TenantPolicy::sessions(1)),
+        );
+        let permit = reg.try_admit("small").expect("first session fits");
+        assert_eq!(reg.active_sessions("small"), 1);
+        assert!(reg.try_admit("small").is_none(), "quota of 1 is full");
+        drop(permit);
+        assert_eq!(reg.active_sessions("small"), 0);
+        assert!(reg.try_admit("small").is_some(), "slot came back");
+    }
+
+    #[test]
+    fn unknown_tenants_use_default() {
+        let reg = Arc::new(TenantRegistry::new(TenantPolicy::sessions(2)));
+        let a = reg.try_admit("anyone").unwrap();
+        let _b = reg.try_admit("anyone").unwrap();
+        assert!(reg.try_admit("anyone").is_none());
+        assert!(reg.try_admit("someone-else").is_some(), "quotas are per tenant");
+        drop(a);
+        assert!(reg.try_admit("anyone").is_some());
+    }
+
+    #[test]
+    fn admission_is_race_free() {
+        let reg = Arc::new(TenantRegistry::new(TenantPolicy::sessions(10)));
+        // Permits park here so none is released while threads still race.
+        let held = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        if let Some(p) = reg.try_admit("t") {
+                            held.lock().unwrap().push(p);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(held.lock().unwrap().len(), 10, "exactly the quota admitted");
+        assert_eq!(reg.active_sessions("t"), 10);
+        held.lock().unwrap().clear();
+        assert_eq!(reg.active_sessions("t"), 0, "all permits released");
+    }
+}

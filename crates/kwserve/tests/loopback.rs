@@ -1,0 +1,305 @@
+//! Loopback integration tests: a real server on 127.0.0.1, real sockets,
+//! and the central guarantee of the serving layer — a report that crosses
+//! the wire is **bit-identical** to the one a direct library call produces.
+//!
+//! The comparison works at the canonical-payload level
+//! ([`kwserve::protocol::encode_report`]): wall-clock noise is excluded by
+//! construction, so `wire.canonical == encode_report(direct)` proves the
+//! server computed exactly the same classification, MPAN sets, sample
+//! tuples and deterministic counters as the library, across concurrent
+//! tenant sessions and degraded (budget-capped) runs alike.
+
+use std::time::Duration;
+
+use kwdebug::budget::ProbeBudget;
+use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kwdebug::traversal::StrategyKind;
+use kwserve::protocol::{
+    self, encode_report, read_frame, write_frame, ErrorCode, Request, Response,
+};
+use kwserve::{ClientError, DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+use relengine::{DataType, Database, DatabaseBuilder, Value};
+
+/// The saffron-candle store of the paper's Figure 2 (same fixture as the
+/// `kwdebug::debugger` tests): small enough for fast loopback runs, rich
+/// enough to produce answers, non-answers and MPANs.
+fn store_db() -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("ptype").column("id", DataType::Int).column("name", DataType::Text).primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("ptype_id", DataType::Int)
+        .column("color_id", DataType::Int)
+        .primary_key("id");
+    b.table("color").column("id", DataType::Int).column("name", DataType::Text).primary_key("id");
+    b.foreign_key("item", "ptype_id", "ptype", "id").unwrap();
+    b.foreign_key("item", "color_id", "color", "id").unwrap();
+    let mut db = b.finish().unwrap();
+    db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+    db.insert_values("ptype", vec![Value::Int(2), Value::text("oil")]).unwrap();
+    db.insert_values("color", vec![Value::Int(1), Value::text("saffron")]).unwrap();
+    db.insert_values("color", vec![Value::Int(2), Value::text("red")]).unwrap();
+    db.insert_values(
+        "item",
+        vec![Value::Int(1), Value::text("scented pillar"), Value::Int(1), Value::Int(2)],
+    )
+    .unwrap();
+    db.insert_values(
+        "item",
+        vec![Value::Int(2), Value::text("scented burner"), Value::Int(2), Value::Int(1)],
+    )
+    .unwrap();
+    db
+}
+
+fn base_config() -> DebugConfig {
+    DebugConfig { max_joins: 2, eval_cache: true, ..DebugConfig::default() }
+}
+
+fn quick_serve_config() -> ServeConfig {
+    ServeConfig {
+        poll_interval: Duration::from_millis(10),
+        debug: base_config(),
+        ..ServeConfig::default()
+    }
+}
+
+/// The query mix every session runs: answers, non-answers, a repeat (which
+/// exercises the session evaluation cache) and an unknown keyword.
+const QUERIES: &[&str] = &["saffron candle", "red candle", "scented oil", "saffron candle"];
+
+#[test]
+fn concurrent_tenant_sessions_match_direct_library_calls() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let parts = system.shared_parts();
+    let server = Server::start(
+        parts.clone(),
+        TenantRegistry::new(TenantPolicy::default()),
+        quick_serve_config(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Two tenants drive their sessions concurrently, end to end.
+    std::thread::scope(|s| {
+        for tenant in ["acme", "globex"] {
+            let parts = parts.clone();
+            s.spawn(move || {
+                let mut client = DebugClient::connect(addr, tenant).expect("admitted");
+                // The reference session: same substrate, same config, same
+                // query sequence — sequence matters because the session
+                // eval cache makes later counters depend on earlier queries.
+                let direct = NonAnswerDebugger::from_shared(parts, base_config()).unwrap();
+                for query in QUERIES {
+                    let wire = client.debug(query).expect("served");
+                    let expect = direct.debug(query).expect("library call");
+                    assert_eq!(
+                        wire.canonical,
+                        encode_report(&expect),
+                        "tenant {tenant}: wire report for {query:?} must be bit-identical"
+                    );
+                    assert!(!wire.degraded, "unlimited budget never degrades");
+                    assert_eq!(
+                        wire.report.answer_count(),
+                        expect.answer_count(),
+                        "decoded report agrees"
+                    );
+                }
+                // Per-request strategy override takes the same path.
+                let wire = client
+                    .debug_with_strategy("saffron candle", Some(StrategyKind::BottomUp))
+                    .expect("served");
+                let expect = direct
+                    .debug_with_strategy("saffron candle", StrategyKind::BottomUp)
+                    .expect("library call");
+                assert_eq!(wire.canonical, encode_report(&expect), "strategy override");
+                client.bye().expect("clean goodbye");
+            });
+        }
+    });
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.sessions_admitted.into_inner(), 2);
+    assert_eq!(metrics.queries_ok.into_inner(), 2 * (QUERIES.len() as u64 + 1));
+    assert_eq!(metrics.reports_degraded.into_inner(), 0);
+}
+
+#[test]
+fn tenant_quota_rejects_then_releases() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let registry = TenantRegistry::new(TenantPolicy::default())
+        .with_tenant("small", TenantPolicy::sessions(1));
+    let server = Server::start(system.shared_parts(), registry, quick_serve_config()).unwrap();
+    let addr = server.addr();
+
+    let first = DebugClient::connect(addr, "small").expect("first session fits");
+    match DebugClient::connect(addr, "small") {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::QuotaExhausted);
+        }
+        other => panic!("expected quota rejection, got {other:?}"),
+    }
+    // Another tenant is unaffected — quotas are per tenant.
+    DebugClient::connect(addr, "other").expect("different tenant fits").bye().unwrap();
+
+    // Ending the first session returns the slot (poll for the server to
+    // notice the disconnect).
+    first.bye().expect("clean goodbye");
+    let mut readmitted = None;
+    for _ in 0..100 {
+        match DebugClient::connect(addr, "small") {
+            Ok(c) => {
+                readmitted = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    readmitted.expect("slot released after goodbye");
+
+    let metrics = server.shutdown();
+    assert!(metrics.sessions_rejected.into_inner() >= 1);
+}
+
+#[test]
+fn budget_degraded_partial_report_crosses_the_wire() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let parts = system.shared_parts();
+    let capped = ProbeBudget::probes(0);
+    let registry = TenantRegistry::new(TenantPolicy::default())
+        .with_tenant("throttled", TenantPolicy::default().with_budget(capped));
+    let server = Server::start(parts.clone(), registry, quick_serve_config()).unwrap();
+
+    let mut client = DebugClient::connect(server.addr(), "throttled").unwrap();
+    let wire = client.debug("saffron candle").expect("degraded, not failed");
+    assert!(wire.degraded, "budget of zero probes must degrade the report");
+    assert!(wire.report.unknown_count() > 0, "MTNs reported, just unclassified");
+    assert!(!wire.report.is_complete());
+
+    // Degraded soundness carries over the wire bit-for-bit too.
+    let direct =
+        NonAnswerDebugger::from_shared(parts, DebugConfig { budget: capped, ..base_config() })
+            .unwrap();
+    let expect = direct.debug("saffron candle").unwrap();
+    assert_eq!(wire.canonical, encode_report(&expect));
+
+    // A tenant with a (generous) deadline budget stays complete.
+    let mut ok = DebugClient::connect(server.addr(), "anyone").unwrap();
+    assert!(!ok.debug("saffron candle").unwrap().degraded);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.reports_degraded.into_inner(), 1);
+}
+
+#[test]
+fn protocol_violations_get_typed_errors() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        quick_serve_config(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Request before Hello → NotReady.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &protocol::encode_request(&Request::Metrics)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("server answers");
+        match protocol::decode_response(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotReady),
+            other => panic!("expected NotReady, got {other:?}"),
+        }
+    }
+    // Garbage opcode → Malformed, connection closed, server survives.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &[0x7C, 1, 2, 3]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("server answers");
+        match protocol::decode_response(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(read_frame(&mut stream).unwrap().is_none(), "server closed");
+    }
+    // Wrong protocol version → UnsupportedVersion.
+    {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut hello = protocol::encode_request(&Request::Hello { tenant: "t".into() });
+        hello[5] = 0x7F; // clobber the version field
+        write_frame(&mut stream, &hello).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("server answers");
+        match protocol::decode_response(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+    // An empty query is a per-request error: the session survives it.
+    {
+        let mut client = DebugClient::connect(addr, "t").unwrap();
+        match client.debug("  !! ") {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadQuery),
+            other => panic!("expected BadQuery, got {other:?}"),
+        }
+        assert!(client.debug("red candle").is_ok(), "session still serves");
+        client.bye().unwrap();
+    }
+
+    let metrics = server.shutdown();
+    assert!(metrics.frames_malformed.into_inner() >= 2);
+    assert_eq!(metrics.queries_rejected.into_inner(), 1);
+}
+
+#[test]
+fn session_metrics_record_is_stable_json() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        quick_serve_config(),
+    )
+    .unwrap();
+    let mut client = DebugClient::connect(server.addr(), "acme").unwrap();
+    client.debug("saffron candle").unwrap();
+    client.debug("red candle").unwrap();
+    let json = client.metrics_json().unwrap();
+    assert!(json.starts_with("{\"experiment\":\"kwserve\""), "{json}");
+    assert!(json.contains("\"variant\":\"tenant=acme;session="), "{json}");
+    assert!(json.contains("\"query\":\"red candle\""), "last query served: {json}");
+    assert!(json.contains("\"probes\":{"), "{json}");
+    client.bye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_notifies_idle_sessions() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        quick_serve_config(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut client = DebugClient::connect(addr, "acme").unwrap();
+    client.debug("saffron candle").unwrap();
+
+    // Shut down while the session sits idle. The worker notices at its next
+    // poll tick, sends `ShuttingDown` to the client, and joins — so by the
+    // time `shutdown` returns, the notice sits in our receive buffer.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.queries_ok.into_inner(), 1);
+    match client.debug("red candle") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        // Benign race: the socket may already have reset under us.
+        Err(ClientError::Io(_) | ClientError::Protocol(_)) => {}
+        Ok(_) => panic!("server accepted work after shutdown"),
+        Err(other) => panic!("unexpected failure mode: {other}"),
+    }
+
+    // The port no longer serves new sessions.
+    assert!(DebugClient::connect(addr, "acme").is_err());
+}

@@ -34,6 +34,12 @@ cargo test --workspace --release -q --test probe_cache_equivalence
 echo "==> cold-vs-warm probe cache benchmark (DBLife, results/BENCH_exp_probe_cache.json)"
 ./target/release/exp_probe_cache --scale medium | grep -E "throughput|speedup|wrote"
 
+echo "==> serving layer (kwserve loopback: wire-vs-library bit-equivalence, admission)"
+cargo test --workspace --release -q --test loopback
+
+echo "==> serving load generator (E16 smoke, results/BENCH_exp_serve.json)"
+./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 | grep BENCH_JSON
+
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
