@@ -11,20 +11,35 @@
 //! cannot produce, because they include framing, socket hops and the
 //! per-session state split.
 //!
+//! With `--overload` (E17's overload protocol) two extra points run through
+//! a bounded-admission server: an *uncontended* point (`sessions ==
+//! workers`) and an *overload* point (`sessions == 6 × workers` against an
+//! in-flight gate of `2 × workers`). Shed clients honor the server's
+//! `retry_after_ms` hint and reconnect; rows record shed counts, shed rate,
+//! served-request p50/p99 (server-observed service time, so the comparison
+//! isolates how the server treats admitted work rather than client-thread
+//! scheduling delay) and **goodput** (served QPS). The acceptance
+//! check is shed-not-collapse: goodput stays flat and served p99 under
+//! overload stays within 2× the uncontended p99, because excess load is
+//! refused in O(1) at accept instead of queueing behind busy workers.
+//!
 //! Records go to `results/BENCH_exp_serve.json` via the shared writer
 //! ([`bench::harness::write_records`]), one stable-JSON line per sweep
-//! point. See `EXPERIMENTS.md` §E16 and `SERVING.md` for interpretation.
+//! point. See `EXPERIMENTS.md` §E16/§E17 and `SERVING.md` for
+//! interpretation.
 //!
 //! Usage: `exp_serve [--scale S] [--max-level N] [--seed N]
-//! [--sessions 2,8,64] [--queries N] [--workers N]`
+//! [--sessions 2,8,64] [--queries N] [--workers N] [--overload]`
 //! (workers defaults to the sweep point's session count, so every session
 //! is served concurrently rather than queued in the accept backlog).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::harness::write_records;
 use bench::{build_system, print_table, DataScale};
-use kwserve::{DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+use kwserve::{
+    ClientError, DebugClient, ErrorCode, ServeConfig, Server, TenantPolicy, TenantRegistry,
+};
 
 struct Args {
     scale: DataScale,
@@ -33,6 +48,7 @@ struct Args {
     sessions: Vec<usize>,
     queries: usize,
     workers: Option<usize>,
+    overload: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +59,7 @@ fn parse_args() -> Args {
         sessions: vec![2, 8, 64],
         queries: 8,
         workers: None,
+        overload: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -70,10 +87,15 @@ fn parse_args() -> Args {
                     .map(|s| expect_num(s, "--sessions"))
                     .collect();
             }
+            "--overload" => {
+                out.overload = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale tiny|small|medium|paper  --max-level N  --seed N  \
-                     --sessions N,N,...  --queries N  --workers N"
+                     --sessions N,N,...  --queries N  --workers N  --overload"
                 );
                 std::process::exit(0);
             }
@@ -184,6 +206,149 @@ fn run_point(
     }
 }
 
+/// One overload-protocol point's aggregated numbers (served requests only;
+/// shed connections retry until admitted).
+struct OverloadPoint {
+    sessions: usize,
+    workers: usize,
+    served: usize,
+    degraded: usize,
+    sheds: u64,
+    shed_rate: f64,
+    wall_ms: f64,
+    goodput_qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Runs one point of the overload protocol: a bounded-admission server
+/// (`max_inflight == 2 × workers`), `sessions` closed-loop clients that
+/// honor `Overloaded` retry hints, `queries` requests per admitted session.
+fn run_overload_point(
+    system: &kwdebug::debugger::NonAnswerDebugger,
+    sessions: usize,
+    queries: usize,
+    workers: usize,
+) -> OverloadPoint {
+    let config = ServeConfig {
+        workers,
+        max_inflight: workers * 2,
+        poll_interval: Duration::from_millis(20),
+        // Small enough that retrying shed clients keep the bounded queue
+        // primed (a session on the tiny scale lasts well under a
+        // millisecond) — the worker must never idle while load exists, or
+        // goodput dips below capacity between admission waves.
+        retry_after: Duration::from_millis(1),
+        debug: *system.config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .expect("server binds on loopback");
+    let addr = server.addr();
+    let workload = datagen::paper_queries();
+
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(sessions * queries);
+    let mut degraded = 0usize;
+    std::thread::scope(|s| {
+        let workload = &workload;
+        let handles: Vec<_> = (0..sessions)
+            .map(|si| {
+                s.spawn(move || {
+                    let tenant = format!("tenant{}", si % 8);
+                    let mut latencies = Vec::with_capacity(queries);
+                    let mut degraded = 0usize;
+                    // Admission loop: a shed is an O(1) refusal with a retry
+                    // hint, so back off exactly as told and try again.
+                    let mut client = None;
+                    for _ in 0..100_000 {
+                        match DebugClient::connect(addr, &tenant) {
+                            Ok(c) => {
+                                client = Some(c);
+                                break;
+                            }
+                            Err(ClientError::Server {
+                                code: ErrorCode::Overloaded,
+                                retry_after_ms,
+                                ..
+                            }) => {
+                                std::thread::sleep(Duration::from_millis(u64::from(
+                                    retry_after_ms.max(1),
+                                )));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                    let Some(mut client) = client else { return (latencies, degraded) };
+                    for qi in 0..queries {
+                        let q = &workload[(si + qi) % workload.len()];
+                        let wire = client.debug(q.text).expect("query served");
+                        // Server-observed service time: the shed-not-collapse
+                        // criterion is about how the *server* treats admitted
+                        // requests; client-side clocks on a loaded box fold
+                        // client-thread scheduling delay into the tail.
+                        latencies.push(wire.server_ns);
+                        degraded += wire.degraded as usize;
+                    }
+                    let _ = client.bye();
+                    (latencies, degraded)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, deg) = h.join().expect("session thread");
+            all_latencies.extend(lat);
+            degraded += deg;
+        }
+    });
+    let wall = t0.elapsed();
+    let metrics = server.shutdown();
+    let sheds = metrics.sessions_shed.into_inner();
+    let accepted = metrics.connections_accepted.into_inner();
+
+    all_latencies.sort_unstable();
+    let n = all_latencies.len();
+    OverloadPoint {
+        sessions,
+        workers,
+        served: n,
+        degraded,
+        sheds,
+        shed_rate: if accepted == 0 { 0.0 } else { sheds as f64 / accepted as f64 },
+        wall_ms: wall.as_secs_f64() * 1e3,
+        goodput_qps: if wall.is_zero() { 0.0 } else { n as f64 / wall.as_secs_f64() },
+        p50_ns: percentile(&all_latencies, 50),
+        p99_ns: percentile(&all_latencies, 99),
+    }
+}
+
+fn overload_record(args: &Args, variant: &str, p: &OverloadPoint) -> String {
+    format!(
+        "{{\"degraded\":{},\"experiment\":\"serve\",\"goodput_qps\":{:.2},\
+         \"latency_p50_ns\":{},\"latency_p99_ns\":{},\"max_level\":{},\"scale\":\"{}\",\
+         \"seed\":{},\"served\":{},\"sessions\":{},\"shed_rate\":{:.4},\"sheds\":{},\
+         \"variant\":\"{}\",\"wall_ms\":{:.3},\"workers\":{}}}",
+        p.degraded,
+        p.goodput_qps,
+        p.p50_ns,
+        p.p99_ns,
+        args.max_level,
+        args.scale.name(),
+        args.seed,
+        p.served,
+        p.sessions,
+        p.shed_rate,
+        p.sheds,
+        variant,
+        p.wall_ms,
+        p.workers,
+    )
+}
+
 fn main() {
     let args = parse_args();
     eprintln!(
@@ -248,5 +413,57 @@ fn main() {
         &rows,
     );
     println!();
+
+    if args.overload {
+        // Size the overload protocol to the machine: more worker threads
+        // than cores just measures the scheduler, not the admission gate.
+        let workers = args
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+            })
+            .max(1);
+        eprintln!(
+            "overload protocol: workers {workers}, gate {}, sessions {} then {}",
+            workers * 2,
+            workers,
+            workers * 6
+        );
+        // Same total request count on both points (p99 over a dozen samples
+        // is a coin flip, so both points serve 24× the per-session query
+        // budget): the uncontended point runs few long sessions, the
+        // overload point spreads the same work over 6× the sessions.
+        let base = run_overload_point(&system, workers, args.queries * 24, workers);
+        let hot = run_overload_point(&system, workers * 6, args.queries * 4, workers);
+        let us = |ns: u64| ns as f64 / 1e3;
+        let overload_rows: Vec<Vec<String>> = [("uncontended", &base), ("overload", &hot)]
+            .iter()
+            .map(|(variant, p)| {
+                vec![
+                    (*variant).to_string(),
+                    p.sessions.to_string(),
+                    p.served.to_string(),
+                    p.sheds.to_string(),
+                    format!("{:.1}%", p.shed_rate * 100.0),
+                    format!("{:.0}", p.goodput_qps),
+                    format!("{:.1}", us(p.p50_ns)),
+                    format!("{:.1}", us(p.p99_ns)),
+                ]
+            })
+            .collect();
+        println!("E17: overload shed-not-collapse (served requests only)");
+        print_table(
+            &["variant", "sessions", "served", "sheds", "shed rate", "goodput", "p50 us", "p99 us"],
+            &overload_rows,
+        );
+        let ratio = if base.p99_ns == 0 { 0.0 } else { hot.p99_ns as f64 / base.p99_ns as f64 };
+        println!(
+            "\noverload p99 / uncontended p99 = {ratio:.2} (shed-not-collapse target: <= 2.0)"
+        );
+        println!();
+        records.push(overload_record(&args, "uncontended", &base));
+        records.push(overload_record(&args, "overload", &hot));
+    }
+
     write_records("exp_serve", &records);
 }

@@ -25,10 +25,13 @@
 //!   over TCP until stdin closes (EOF or a line), then shuts down gracefully
 //!   and prints the final server counters.
 //! * `kws_repl --connect HOST:PORT [--tenant NAME]` skips the local build
-//!   entirely and runs the REPL as one client session against a running
-//!   server: queries and `:strategy` work as usual (the strategy rides along
-//!   per request), `:metrics` fetches the session's server-side record, and
-//!   the local-only knobs (`:lattice`, `:budget`, `:chaos`, `:cache`) say so.
+//!   entirely and runs the REPL as one [`ResilientClient`] session against a
+//!   running server: queries and `:strategy` work as usual (the strategy
+//!   rides along per request), overload refusals and dropped connections are
+//!   retried with capped-exponential backoff, `:metrics` fetches the
+//!   session's server-side record plus the client-observed reconnect count,
+//!   and the local-only knobs (`:lattice`, `:budget`, `:chaos`, `:cache`)
+//!   say so.
 
 use std::io::{BufRead, Write};
 use std::net::SocketAddr;
@@ -40,7 +43,7 @@ use kwdebug::debugger::NonAnswerDebugger;
 use kwdebug::metrics::MetricsSnapshot;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
-use kwserve::{DebugClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+use kwserve::{ReconnectPolicy, ResilientClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
 use relengine::FaultConfig;
 
 /// REPL arguments: the common experiment knobs plus the two wire modes.
@@ -336,14 +339,20 @@ fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
 }
 
 /// `--connect` mode: the REPL as one client session against a live server.
+///
+/// Uses a [`ResilientClient`], so transient faults, shutdowns and overload
+/// refusals are retried with capped-exponential backoff instead of killing
+/// the REPL; `:metrics` appends the client-observed reconnect count next to
+/// the server-side record.
 fn client_repl(addr: SocketAddr, tenant: &str) {
-    let mut client = DebugClient::connect(addr, tenant).unwrap_or_else(|e| {
+    let policy = ReconnectPolicy { io_timeout: Some(Duration::from_secs(10)), ..ReconnectPolicy::default() };
+    let mut client = ResilientClient::connect(addr, tenant, policy).unwrap_or_else(|e| {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
     eprintln!(
         "connected to {addr} as tenant `{tenant}` (session {}); :quit to exit",
-        client.session_id()
+        client.session_id().expect("connect() leaves a live session")
     );
     let mut strategy: Option<StrategyKind> = None;
     let stdin = std::io::stdin();
@@ -379,7 +388,13 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
                     None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE|default"),
                 },
                 Some("metrics") => match client.metrics_json() {
-                    Ok(json) => println!("{json}"),
+                    Ok(json) => {
+                        println!("{json}");
+                        // The server cannot observe reconnections (each one
+                        // is just a new session to it) — report them from
+                        // the client side, where they are counted.
+                        println!("{{\"client\":{{\"reconnects\":{}}}}}", client.reconnects());
+                    }
                     Err(e) => println!("error: {e}"),
                 },
                 Some("lattice") | Some("budget") | Some("chaos") | Some("cache") => {
@@ -404,7 +419,7 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
             Err(e) => println!("error: {e}"),
         }
     }
-    let _ = client.bye();
+    let _ = client.close();
 }
 
 fn main() {

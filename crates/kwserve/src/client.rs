@@ -1,22 +1,32 @@
-//! A blocking client for the debug service.
+//! Blocking clients for the debug service: the plain one-session
+//! [`DebugClient`] and the reconnecting [`ResilientClient`].
 //!
 //! One [`DebugClient`] is one session: `connect` performs the
 //! `Hello`/`Welcome` handshake, after which [`DebugClient::debug`] maps a
 //! keyword query to a decoded [`DebugReport`] plus the wire-level facts a
 //! library call cannot give you — the degraded flag, the server-side
 //! wall-clock, and the raw canonical payload (which the loopback test
-//! compares byte-for-byte against a direct [`kwdebug`] call). The client is
-//! the only protocol speaker the repo ships besides the server itself, and
-//! the load generator (`exp_serve`) and REPL client mode are built on it.
+//! compares byte-for-byte against a direct [`kwdebug`] call).
+//!
+//! [`ResilientClient`] wraps that session for hostile networks and loaded
+//! servers: capped-exponential-backoff reconnect with a fresh `Hello`
+//! re-handshake, honoring the server's `retry_after_ms` hint on
+//! `Overloaded`, and **at-most-once** semantics for `Debug` — a request is
+//! retried only when the transport failed *before any response byte
+//! arrived*, so the server cannot have answered (and on reconnect the old
+//! session dies with its connection, taking any stale in-flight answer with
+//! it). Read-only calls (`Metrics`) are idempotent and retry freely. The
+//! load generator (`exp_serve`) and the REPL client mode are built on these.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
 
 use crate::protocol::{
-    decode_report, decode_response, encode_request, read_frame, write_frame, ErrorCode,
+    decode_report, decode_response, encode_request, write_frame, ErrorCode, FrameReader,
     Request, Response, WireError,
 };
 
@@ -27,10 +37,14 @@ pub enum ClientError {
     Io(io::Error),
     /// The server sent bytes this client cannot decode.
     Wire(WireError),
-    /// The server refused the request (admission, bad query, shutdown...).
+    /// The server refused the request (admission, overload, bad query,
+    /// shutdown...).
     Server {
         /// Machine-readable cause.
         code: ErrorCode,
+        /// Server's suggested retry delay in milliseconds (0 = no hint;
+        /// meaningful with [`ErrorCode::Overloaded`]).
+        retry_after_ms: u32,
         /// Human-readable detail.
         message: String,
     },
@@ -43,8 +57,11 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Wire(e) => write!(f, "{e}"),
-            ClientError::Server { code, message } => {
+            ClientError::Server { code, retry_after_ms: 0, message } => {
                 write!(f, "server refused: {code} ({message})")
+            }
+            ClientError::Server { code, retry_after_ms, message } => {
+                write!(f, "server refused: {code} ({message}; retry after {retry_after_ms} ms)")
             }
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
@@ -84,22 +101,41 @@ pub struct WireReport {
 pub struct DebugClient {
     stream: TcpStream,
     session_id: u64,
+    /// Response bytes received during the most recent exchange — the
+    /// at-most-once evidence: 0 means the server cannot have answered.
+    last_rx: u64,
 }
 
 impl DebugClient {
     /// Connects and performs the `Hello { tenant }` handshake. A quota
     /// refusal surfaces as [`ClientError::Server`] with
-    /// [`ErrorCode::QuotaExhausted`].
+    /// [`ErrorCode::QuotaExhausted`]; a shed connection as
+    /// [`ErrorCode::Overloaded`].
     pub fn connect(addr: SocketAddr, tenant: &str) -> Result<DebugClient, ClientError> {
+        DebugClient::connect_with_timeout(addr, tenant, None)
+    }
+
+    /// Like [`DebugClient::connect`], with an IO timeout on every read and
+    /// write: an exchange in which the server goes silent for longer fails
+    /// with [`ClientError::Io`] instead of blocking forever.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        tenant: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<DebugClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut client = DebugClient { stream, session_id: 0 };
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        let mut client = DebugClient { stream, session_id: 0, last_rx: 0 };
         match client.call(&Request::Hello { tenant: tenant.to_owned() })? {
             Response::Welcome { session_id } => {
                 client.session_id = session_id;
                 Ok(client)
             }
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, retry_after_ms, message } => {
+                Err(ClientError::Server { code, retry_after_ms, message })
+            }
             other => Err(ClientError::Protocol(format!("expected Welcome, got {other:?}"))),
         }
     }
@@ -107,6 +143,12 @@ impl DebugClient {
     /// The server-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// Response bytes received during the most recent exchange (0 after a
+    /// failure means the request is safe to retry: the server never spoke).
+    pub fn last_rx_bytes(&self) -> u64 {
+        self.last_rx
     }
 
     /// Debugs one keyword query with the session's default strategy.
@@ -127,16 +169,21 @@ impl DebugClient {
                 let report = decode_report(&payload)?;
                 Ok(WireReport { report, degraded, server_ns, canonical: payload })
             }
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, retry_after_ms, message } => {
+                Err(ClientError::Server { code, retry_after_ms, message })
+            }
             other => Err(ClientError::Protocol(format!("expected Report, got {other:?}"))),
         }
     }
 
-    /// Fetches the session's cumulative metrics as one stable-JSON record.
+    /// Fetches the cumulative metrics (server-wide counters plus this
+    /// session's snapshot) as one stable-JSON record.
     pub fn metrics_json(&mut self) -> Result<String, ClientError> {
         match self.call(&Request::Metrics)? {
             Response::MetricsJson { json } => Ok(json),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, retry_after_ms, message } => {
+                Err(ClientError::Server { code, retry_after_ms, message })
+            }
             other => Err(ClientError::Protocol(format!("expected MetricsJson, got {other:?}"))),
         }
     }
@@ -145,17 +192,224 @@ impl DebugClient {
     pub fn bye(mut self) -> Result<(), ClientError> {
         match self.call(&Request::Bye)? {
             Response::ByeAck => Ok(()),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Error { code, retry_after_ms, message } => {
+                Err(ClientError::Server { code, retry_after_ms, message })
+            }
             other => Err(ClientError::Protocol(format!("expected ByeAck, got {other:?}"))),
         }
     }
 
-    /// One request/response exchange.
+    /// One request/response exchange, tracking received bytes for the
+    /// at-most-once decision.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.last_rx = 0;
         write_frame(&mut self.stream, &encode_request(request))?;
-        match read_frame(&mut self.stream)? {
-            Some(payload) => Ok(decode_response(&payload)?),
-            None => Err(ClientError::Protocol("server closed mid-exchange".into())),
+        let mut reader = FrameReader::new();
+        let polled = reader.poll(&mut self.stream);
+        self.last_rx = reader.bytes_read();
+        match polled {
+            Ok(Some(payload)) => Ok(decode_response(&payload)?),
+            Ok(None) => Err(ClientError::Protocol("server closed mid-exchange".into())),
+            Err(e) => Err(e.into()),
         }
+    }
+}
+
+/// Reconnect-and-retry policy for a [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    /// Retries per operation beyond the first attempt.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per attempt up to
+    /// [`ReconnectPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Per-read/write socket timeout (see
+    /// [`DebugClient::connect_with_timeout`]). `None` waits forever.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            io_timeout: None,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The capped-exponential delay before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        self.base_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// A self-healing session: reconnects (with a fresh `Hello` handshake)
+/// across connection loss, shutdown notices, connection-deadline drops, and
+/// `Overloaded` sheds — honoring the server's retry hint — while keeping
+/// `Debug` at-most-once (see the module docs for the exact rule).
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    tenant: String,
+    policy: ReconnectPolicy,
+    inner: Option<DebugClient>,
+    connects: u64,
+}
+
+impl ResilientClient {
+    /// Creates the client and establishes the first session (retrying under
+    /// `policy` if the server is briefly unavailable or shedding).
+    pub fn connect(
+        addr: SocketAddr,
+        tenant: &str,
+        policy: ReconnectPolicy,
+    ) -> Result<ResilientClient, ClientError> {
+        let mut client = ResilientClient {
+            addr,
+            tenant: tenant.to_owned(),
+            policy,
+            inner: None,
+            connects: 0,
+        };
+        client.with_retry(true, |_| Ok(()))?;
+        Ok(client)
+    }
+
+    /// Times this client re-established a session after the first connect.
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// The current session id, if a session is live.
+    pub fn session_id(&self) -> Option<u64> {
+        self.inner.as_ref().map(DebugClient::session_id)
+    }
+
+    /// Debugs one query with the session's default strategy (at-most-once).
+    pub fn debug(&mut self, query: &str) -> Result<WireReport, ClientError> {
+        self.debug_with_strategy(query, None)
+    }
+
+    /// Debugs one query, optionally overriding the strategy (at-most-once:
+    /// never retried once any response byte has arrived).
+    pub fn debug_with_strategy(
+        &mut self,
+        query: &str,
+        strategy: Option<StrategyKind>,
+    ) -> Result<WireReport, ClientError> {
+        self.with_retry(false, |client| client.debug_with_strategy(query, strategy))
+    }
+
+    /// Fetches metrics JSON (idempotent: retried freely).
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        self.with_retry(true, DebugClient::metrics_json)
+    }
+
+    /// Ends the session cleanly, if one is live.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        match self.inner.take() {
+            Some(client) => client.bye(),
+            None => Ok(()),
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut DebugClient, ClientError> {
+        if self.inner.is_none() {
+            let client = DebugClient::connect_with_timeout(
+                self.addr,
+                &self.tenant,
+                self.policy.io_timeout,
+            )?;
+            self.connects += 1;
+            self.inner = Some(client);
+        }
+        Ok(self.inner.as_mut().expect("just connected"))
+    }
+
+    /// The retry loop. `idempotent` operations retry on any transport
+    /// failure; non-idempotent ones (`Debug`) only when zero response bytes
+    /// arrived, so the server cannot have executed and answered the request.
+    fn with_retry<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut DebugClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = match self.ensure_connected() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            let error = match outcome {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let received = self.inner.as_ref().map_or(0, DebugClient::last_rx_bytes);
+            let delay = match &error {
+                // No work was done server-side; honor the hint. A shed
+                // request leaves the session alive, a shed connection never
+                // had one — either way a retry is safe.
+                ClientError::Server { code: ErrorCode::Overloaded, retry_after_ms, .. } => {
+                    Some(
+                        self.policy
+                            .backoff(attempt)
+                            .max(Duration::from_millis(u64::from(*retry_after_ms))),
+                    )
+                }
+                // The server dropped (or is dropping) the connection between
+                // requests; the request itself was never started.
+                ClientError::Server {
+                    code: ErrorCode::ShuttingDown | ErrorCode::Timeout, ..
+                } => {
+                    self.inner = None;
+                    Some(self.policy.backoff(attempt))
+                }
+                // Typed refusals (bad query, quota, internal...) are answers,
+                // not transport failures: surface them.
+                ClientError::Server { .. } => None,
+                // Transport broke. At-most-once: only safe when the server
+                // never spoke.
+                ClientError::Io(_) | ClientError::Wire(_) | ClientError::Protocol(_) => {
+                    self.inner = None;
+                    if idempotent || received == 0 {
+                        Some(self.policy.backoff(attempt))
+                    } else {
+                        None
+                    }
+                }
+            };
+            match delay {
+                Some(delay) if attempt < self.policy.max_retries => {
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                }
+                _ => return Err(error),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = ReconnectPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(70),
+            ..ReconnectPolicy::default()
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff(3), Duration::from_millis(70), "capped");
+        assert_eq!(policy.backoff(30), Duration::from_millis(70), "shift clamped");
     }
 }

@@ -21,12 +21,19 @@
 //!   and per-query [`kwdebug::budget::ProbeBudget`]s; budget-degraded
 //!   queries cross the wire as flagged partial reports with sound MPAN
 //!   bounds.
-//! * [`server`] — the worker-pool [`TcpListener`](std::net::TcpListener)
-//!   loop, session lifecycle over [`kwdebug::SharedParts`] (one immutable
-//!   database + index + lattice arena shared by every session), graceful
-//!   shutdown, and server metrics.
-//! * [`client`] — the blocking client the REPL client mode, the loopback
-//!   tests and the `exp_serve` load generator drive.
+//! * [`server`] — the acceptor + worker-pool
+//!   [`TcpListener`](std::net::TcpListener) loop, bounded in-flight
+//!   admission with `Overloaded` load shedding, per-connection frame/idle/
+//!   write deadlines, per-request panic isolation, session lifecycle over
+//!   [`kwdebug::SharedParts`] (one immutable database + index + lattice
+//!   arena shared by every session), graceful shutdown, and server metrics.
+//! * [`chaos`] — deterministic, seeded network-fault injection
+//!   ([`ChaosStream`]) on the server's accepted streams: partial writes,
+//!   read stalls, mid-frame resets, bit flips, injected query panics — the
+//!   `relengine::chaos` discipline applied to the wire.
+//! * [`client`] — the blocking clients (plain and reconnecting) the REPL
+//!   client mode, the loopback/soak tests and the `exp_serve` load
+//!   generator drive.
 //!
 //! ## A session in five lines
 //!
@@ -47,12 +54,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod tenant;
 
-pub use client::{ClientError, DebugClient, WireReport};
+pub use chaos::{ChaosConfig, ChaosStream};
+pub use client::{ClientError, DebugClient, ReconnectPolicy, ResilientClient, WireReport};
 pub use protocol::ErrorCode;
 pub use server::{ServeConfig, Server, ServerMetrics};
 pub use tenant::{TenantPolicy, TenantRegistry};

@@ -30,6 +30,7 @@
 //! payload.
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 use kwdebug::budget::Exhausted;
 use kwdebug::metrics::{PhaseTiming, ProbeCounters};
@@ -91,6 +92,16 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// An internal error the client cannot fix; the session closes.
     Internal = 7,
+    /// A connection deadline tripped: the peer dribbled a frame slower than
+    /// the server's frame deadline (slowloris defense), sat idle past the
+    /// idle timeout, or blocked the write path. The connection closes.
+    Timeout = 8,
+    /// Load shedding: the server's in-flight admission gate is at its
+    /// high-water mark (connection refused, closed) or the tenant is at its
+    /// concurrent-request cap (request refused, session survives). The
+    /// response carries a `retry_after_ms` hint; back off at least that long
+    /// before retrying — no work was done, so a retry is always safe.
+    Overloaded = 9,
 }
 
 impl ErrorCode {
@@ -104,6 +115,8 @@ impl ErrorCode {
             5 => Some(ErrorCode::NotReady),
             6 => Some(ErrorCode::ShuttingDown),
             7 => Some(ErrorCode::Internal),
+            8 => Some(ErrorCode::Timeout),
+            9 => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -119,6 +132,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::NotReady => "handshake not completed",
             ErrorCode::ShuttingDown => "server shutting down",
             ErrorCode::Internal => "internal server error",
+            ErrorCode::Timeout => "connection deadline exceeded",
+            ErrorCode::Overloaded => "server overloaded, retry later",
         };
         f.write_str(s)
     }
@@ -181,9 +196,30 @@ pub enum Response {
     Error {
         /// Machine-readable cause.
         code: ErrorCode,
+        /// Back-off hint in milliseconds, `0` = no hint. Only
+        /// [`ErrorCode::Overloaded`] (and shutdown notices) set it; clients
+        /// SHOULD wait at least this long before retrying.
+        retry_after_ms: u32,
         /// Human-readable detail.
         message: String,
     },
+}
+
+impl Response {
+    /// An [`Response::Error`] without a back-off hint.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error { code, retry_after_ms: 0, message: message.into() }
+    }
+
+    /// A load-shedding [`ErrorCode::Overloaded`] refusal with its back-off
+    /// hint.
+    pub fn overloaded(retry_after: Duration, message: impl Into<String>) -> Response {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: retry_after.as_millis().min(u128::from(u32::MAX)) as u32,
+            message: message.into(),
+        }
+    }
 }
 
 /// A decode failure: the peer sent bytes this protocol version cannot read.
@@ -208,28 +244,110 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame payload. Returns `Ok(None)` on clean EOF at a frame
-/// boundary (the peer closed); propagates timeouts (`WouldBlock`/`TimedOut`)
-/// so a server poll loop can check its shutdown flag between reads. A length
-/// prefix beyond [`MAX_FRAME`] is `InvalidData` — detected *before* any
-/// allocation.
+/// Reads one frame payload from a stream with **no read timeout set**.
+/// Returns `Ok(None)` on clean EOF at a frame boundary (the peer closed).
+/// A length prefix beyond [`MAX_FRAME`] is `InvalidData` — detected *before*
+/// any allocation. Session loops that poll with a read timeout must use a
+/// persistent [`FrameReader`] instead: this one-shot helper forgets partial
+/// bytes on error, which is only sound when reads never time out.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match r.read(&mut len) {
-        Ok(0) => return Ok(None),
-        Ok(n) => r.read_exact(&mut len[n..])?,
-        Err(e) => return Err(e),
+    FrameReader::new().poll(r)
+}
+
+/// Incremental frame reader: accumulates one frame across any number of
+/// short reads, so a read *timeout* mid-frame keeps the bytes already
+/// received and the next [`FrameReader::poll`] resumes exactly where the
+/// peer stalled — the property the server's poll loop needs to stay framed
+/// while checking its shutdown flag. It also tracks when the current frame's
+/// first byte arrived ([`FrameReader::frame_age`], the slowloris clock) and
+/// counts lifetime bytes consumed ([`FrameReader::bytes_read`], the client's
+/// at-most-once evidence).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Bytes of the frame in progress (length prefix included).
+    buf: Vec<u8>,
+    /// Total frame size (4 + payload) once the length prefix is complete.
+    need: Option<usize>,
+    /// When the current frame's first byte arrived.
+    started: Option<Instant>,
+    /// Lifetime bytes consumed from the stream.
+    total: u64,
+}
+
+impl FrameReader {
+    /// A reader with no frame in progress.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
-        ));
+
+    /// Whether an incomplete frame is buffered (the peer started one and has
+    /// not finished it).
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+
+    /// How long the current frame has been in flight (first byte to now);
+    /// `None` when no frame is in progress.
+    pub fn frame_age(&self) -> Option<Duration> {
+        self.started.map(|s| s.elapsed())
+    }
+
+    /// Lifetime bytes consumed from the stream across all frames, complete
+    /// or partial.
+    pub fn bytes_read(&self) -> u64 {
+        self.total
+    }
+
+    /// Tries to complete one frame. `Ok(Some(payload))` on a full frame
+    /// (the reader resets for the next one); `Ok(None)` on clean EOF at a
+    /// frame boundary. Timeouts (`WouldBlock`/`TimedOut`) and other IO
+    /// errors propagate with the partial bytes retained, so the caller can
+    /// poll again; EOF mid-frame is `UnexpectedEof`. A length prefix beyond
+    /// [`MAX_FRAME`] is `InvalidData`, detected *before* any allocation.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            // Until the length prefix is in, we only ever ask for its
+            // remainder; afterwards for the validated frame remainder — a
+            // hostile prefix can never drive allocation past MAX_FRAME.
+            let need = self.need.unwrap_or(4);
+            while self.buf.len() < need {
+                let mut chunk = [0u8; 16 * 1024];
+                let want = (need - self.buf.len()).min(chunk.len());
+                let n = r.read(&mut chunk[..want])?;
+                if n == 0 {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "peer closed mid-frame",
+                        ))
+                    };
+                }
+                if self.started.is_none() {
+                    self.started = Some(Instant::now());
+                }
+                self.total += n as u64;
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+            if self.need.is_none() {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+                    ));
+                }
+                self.need = Some(4 + len as usize);
+                continue; // a zero-length payload is already complete
+            }
+            let payload = self.buf.split_off(4);
+            self.buf.clear();
+            self.need = None;
+            self.started = None;
+            return Ok(Some(payload));
+        }
+    }
 }
 
 // --------------------------------------------------------------- encoding --
@@ -418,9 +536,10 @@ pub fn encode_response(r: &Response) -> Vec<u8> {
             put_str(&mut out, json);
         }
         Response::ByeAck => out.push(resp::BYE_ACK),
-        Response::Error { code, message } => {
+        Response::Error { code, retry_after_ms, message } => {
             out.push(resp::ERROR);
             out.push(*code as u8);
+            put_u32(&mut out, *retry_after_ms);
             put_str(&mut out, message);
         }
     }
@@ -449,7 +568,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         resp::ERROR => {
             let code = ErrorCode::from_u8(rd.u8()?)
                 .ok_or_else(|| WireError("unknown error code".into()))?;
-            Response::Error { code, message: rd.str()? }
+            let retry_after_ms = rd.u32()?;
+            Response::Error { code, retry_after_ms, message: rd.str()? }
         }
         other => return Err(WireError(format!("unknown response opcode {other:#04x}"))),
     };
@@ -781,7 +901,9 @@ mod tests {
             Response::Report { degraded: true, server_ns: 99, payload: vec![1, 2, 3] },
             Response::MetricsJson { json: "{}".into() },
             Response::ByeAck,
-            Response::Error { code: ErrorCode::QuotaExhausted, message: "full".into() },
+            Response::error(ErrorCode::QuotaExhausted, "full"),
+            Response::overloaded(Duration::from_millis(250), "gate at high water"),
+            Response::error(ErrorCode::Timeout, "frame too slow"),
         ];
         for r in &resps {
             assert_eq!(&decode_response(&encode_response(r)).unwrap(), r);
@@ -849,6 +971,104 @@ mod tests {
         let mut bad = Vec::new();
         bad.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         assert!(read_frame(&mut &bad[..]).is_err(), "oversized frame refused");
+    }
+
+    /// A reader that yields at most `chunk` bytes per call and a timeout
+    /// after each chunk — the shape of a dribbling (slowloris) peer under a
+    /// socket read timeout.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
+            }
+            self.ready = false;
+            let n = self.chunk.min(out.len()).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slow but framed").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let total = wire.len();
+        let mut dribble = Dribble { data: wire, pos: 0, chunk: 3, ready: false };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        // One byte every other call: every WouldBlock must leave framing
+        // intact (the old one-shot read_frame lost partial bytes here).
+        for _ in 0..10 * total {
+            match reader.poll(&mut dribble) {
+                Ok(Some(p)) => frames.push(p),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![b"slow but framed".to_vec(), b"second".to_vec()]);
+        assert_eq!(reader.bytes_read(), total as u64);
+        assert!(!reader.mid_frame());
+        assert!(reader.frame_age().is_none());
+    }
+
+    #[test]
+    fn frame_reader_tracks_mid_frame_state() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        wire.truncate(6); // length prefix + 2 payload bytes, then stall
+        let mut dribble = Dribble { data: wire, pos: 0, chunk: 16, ready: true };
+        let mut reader = FrameReader::new();
+        // Two polls drain the 6 available bytes (prefix, then 2 payload
+        // bytes), each ending in a timeout with the frame incomplete.
+        for _ in 0..2 {
+            let err = reader.poll(&mut dribble).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        }
+        assert!(reader.mid_frame(), "partial frame is buffered");
+        assert!(reader.frame_age().is_some(), "slowloris clock is running");
+        assert_eq!(reader.bytes_read(), 6);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_and_torn_frames() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut reader = FrameReader::new();
+        let err = reader.poll(&mut &oversized[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"whole").unwrap();
+        torn.truncate(torn.len() - 2);
+        let mut reader = FrameReader::new();
+        let err = reader.poll(&mut &torn[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "EOF mid-frame is torn");
+    }
+
+    #[test]
+    fn error_retry_hint_round_trips() {
+        let r = Response::overloaded(Duration::from_millis(123), "busy");
+        match decode_response(&encode_response(&r)).unwrap() {
+            Response::Error { code, retry_after_ms, .. } => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert_eq!(retry_after_ms, 123);
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        assert_eq!(ErrorCode::from_u8(8), Some(ErrorCode::Timeout));
+        assert_eq!(ErrorCode::from_u8(9), Some(ErrorCode::Overloaded));
+        assert_eq!(ErrorCode::from_u8(10), None, "codes append at the end only");
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //! rather than failing — exactly what crosses the wire as a
 //! degraded-flagged report.
 //!
-//! Global capacity is handled elsewhere (the worker pool: when every worker
-//! is busy, new connections queue in the OS accept backlog); this module is
-//! only about fairness *between* tenants.
+//! Overload adds a third, finer cap: [`TenantPolicy::max_inflight_requests`]
+//! bounds how many `Debug` requests a tenant may have *executing at once*
+//! across all its sessions. A tenant that fans one session's worth of quota
+//! into a burst of expensive queries gets `Overloaded` (with a retry hint)
+//! on the excess instead of starving its neighbours; the session itself
+//! survives. Global capacity (the server-wide in-flight gate) is handled in
+//! the server; this module is only about fairness *between* tenants.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -32,11 +36,20 @@ pub struct TenantPolicy {
     /// Unlimited by default; a capped budget turns over-long queries into
     /// degraded partial reports instead of unbounded work.
     pub budget: ProbeBudget,
+    /// Concurrent `Debug` requests this tenant may have executing at once,
+    /// summed over all its sessions (`usize::MAX` = unlimited). The excess
+    /// request is answered `Overloaded` with a retry hint — shed, not
+    /// queued — while the session stays open.
+    pub max_inflight_requests: usize,
 }
 
 impl Default for TenantPolicy {
     fn default() -> Self {
-        TenantPolicy { max_sessions: usize::MAX, budget: ProbeBudget::unlimited() }
+        TenantPolicy {
+            max_sessions: usize::MAX,
+            budget: ProbeBudget::unlimited(),
+            max_inflight_requests: usize::MAX,
+        }
     }
 }
 
@@ -51,6 +64,13 @@ impl TenantPolicy {
         self.budget = budget;
         self
     }
+
+    /// Caps concurrent in-flight `Debug` requests across the tenant's
+    /// sessions.
+    pub fn with_max_inflight(mut self, max_inflight_requests: usize) -> TenantPolicy {
+        self.max_inflight_requests = max_inflight_requests;
+        self
+    }
 }
 
 /// The server's tenant table: explicit policies per known tenant plus a
@@ -59,9 +79,23 @@ impl TenantPolicy {
 pub struct TenantRegistry {
     policies: HashMap<String, TenantPolicy>,
     default: TenantPolicy,
-    /// Live session count per tenant name (only tenants with ≥ 1 session
+    /// Live per-tenant counts (only tenants with ≥ 1 live session or request
     /// have an entry, so idle tenants cost nothing).
-    active: Mutex<HashMap<String, usize>>,
+    active: Mutex<HashMap<String, Counts>>,
+}
+
+/// Live usage of one tenant: both counters under the same lock so sessions
+/// and requests can never skew against each other.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counts {
+    sessions: usize,
+    requests: usize,
+}
+
+impl Counts {
+    fn is_zero(&self) -> bool {
+        self.sessions == 0 && self.requests == 0
+    }
 }
 
 impl TenantRegistry {
@@ -83,7 +117,12 @@ impl TenantRegistry {
 
     /// Live sessions `tenant` holds right now.
     pub fn active_sessions(&self, tenant: &str) -> usize {
-        self.active.lock().expect("registry lock").get(tenant).copied().unwrap_or(0)
+        self.active.lock().expect("registry lock").get(tenant).map_or(0, |c| c.sessions)
+    }
+
+    /// `Debug` requests `tenant` has executing right now.
+    pub fn active_requests(&self, tenant: &str) -> usize {
+        self.active.lock().expect("registry lock").get(tenant).map_or(0, |c| c.requests)
     }
 
     /// Tries to admit one session for `tenant`: returns a [`SessionPermit`]
@@ -93,12 +132,38 @@ impl TenantRegistry {
     pub fn try_admit(self: &Arc<Self>, tenant: &str) -> Option<SessionPermit> {
         let policy = self.policy(tenant);
         let mut active = self.active.lock().expect("registry lock");
-        let count = active.entry(tenant.to_owned()).or_insert(0);
-        if *count >= policy.max_sessions {
+        let counts = active.entry(tenant.to_owned()).or_default();
+        if counts.sessions >= policy.max_sessions {
             return None;
         }
-        *count += 1;
+        counts.sessions += 1;
         Some(SessionPermit { registry: Arc::clone(self), tenant: tenant.to_owned() })
+    }
+
+    /// Tries to start one `Debug` request for `tenant`: returns a
+    /// [`RequestPermit`] held for the duration of the request, or `None`
+    /// when the tenant is at its `max_inflight_requests` cap (the caller
+    /// answers `Overloaded` and keeps the session open). Same single-lock
+    /// check-and-increment discipline as [`TenantRegistry::try_admit`].
+    pub fn try_start_request(self: &Arc<Self>, tenant: &str) -> Option<RequestPermit> {
+        let policy = self.policy(tenant);
+        let mut active = self.active.lock().expect("registry lock");
+        let counts = active.entry(tenant.to_owned()).or_default();
+        if counts.requests >= policy.max_inflight_requests {
+            return None;
+        }
+        counts.requests += 1;
+        Some(RequestPermit { registry: Arc::clone(self), tenant: tenant.to_owned() })
+    }
+
+    fn release(&self, tenant: &str, f: impl FnOnce(&mut Counts)) {
+        let mut active = self.active.lock().expect("registry lock");
+        if let Some(counts) = active.get_mut(tenant) {
+            f(counts);
+            if counts.is_zero() {
+                active.remove(tenant);
+            }
+        }
     }
 }
 
@@ -118,13 +183,21 @@ impl SessionPermit {
 
 impl Drop for SessionPermit {
     fn drop(&mut self) {
-        let mut active = self.registry.active.lock().expect("registry lock");
-        if let Some(count) = active.get_mut(&self.tenant) {
-            *count -= 1;
-            if *count == 0 {
-                active.remove(&self.tenant);
-            }
-        }
+        self.registry.release(&self.tenant, |c| c.sessions -= 1);
+    }
+}
+
+/// One executing `Debug` request's slot; dropping it (on any exit path,
+/// including unwind) releases the tenant's in-flight cap.
+#[derive(Debug)]
+pub struct RequestPermit {
+    registry: Arc<TenantRegistry>,
+    tenant: String,
+}
+
+impl Drop for RequestPermit {
+    fn drop(&mut self) {
+        self.registry.release(&self.tenant, |c| c.requests -= 1);
     }
 }
 
@@ -137,6 +210,48 @@ mod tests {
         let p = TenantPolicy::default();
         assert_eq!(p.max_sessions, usize::MAX);
         assert!(p.budget.is_unlimited());
+        assert_eq!(p.max_inflight_requests, usize::MAX);
+    }
+
+    #[test]
+    fn request_cap_enforced_and_survives_unwind() {
+        let reg = Arc::new(
+            TenantRegistry::new(TenantPolicy::default())
+                .with_tenant("bursty", TenantPolicy::default().with_max_inflight(2)),
+        );
+        let a = reg.try_start_request("bursty").expect("first request fits");
+        let b = reg.try_start_request("bursty").expect("second request fits");
+        assert_eq!(reg.active_requests("bursty"), 2);
+        assert!(reg.try_start_request("bursty").is_none(), "cap of 2 is full");
+        assert!(
+            reg.try_start_request("other").is_some(),
+            "caps are per tenant"
+        );
+        drop(a);
+        drop(b);
+        // A panicking request still releases its permit via Drop.
+        let reg2 = Arc::clone(&reg);
+        let _ = std::panic::catch_unwind(move || {
+            let _p = reg2.try_start_request("bursty").unwrap();
+            panic!("poisoned query");
+        });
+        assert_eq!(reg.active_requests("bursty"), 0, "no leaked request permits");
+    }
+
+    #[test]
+    fn sessions_and_requests_are_independent_counts() {
+        let reg = Arc::new(TenantRegistry::new(
+            TenantPolicy::sessions(1).with_max_inflight(1),
+        ));
+        let s = reg.try_admit("t").unwrap();
+        let r = reg.try_start_request("t").unwrap();
+        assert_eq!(reg.active_sessions("t"), 1);
+        assert_eq!(reg.active_requests("t"), 1);
+        drop(s);
+        assert_eq!(reg.active_sessions("t"), 0);
+        assert_eq!(reg.active_requests("t"), 1, "request outlives its session's permit");
+        drop(r);
+        assert_eq!(reg.active_requests("t"), 0);
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Overload and fault-injection integration tests: the serving layer's
+//! robustness contract under hostile networks and pressure.
+//!
+//! Deterministic pieces first — shed latency, slowloris and idle deadlines,
+//! per-tenant request shedding — then the seeded **chaos soak**: several
+//! seeds × worker counts, every accepted stream wrapped in a
+//! [`ChaosConfig`] schedule (partial writes, read stalls, mid-frame resets,
+//! bit flips, injected query panics), resilient clients hammering two
+//! tenants. The invariants asserted after each round:
+//!
+//! * no panic escapes a connection (worker threads and client threads all
+//!   join; a server-side escape would break the accounting equation),
+//! * permits and gate slots balance to zero (no leaks on any exit path),
+//! * every client outcome is a typed response or typed error,
+//! * the books balance: `connections_accepted == sessions_shed +
+//!   sessions_admitted + sessions_rejected + conns_failed` and
+//!   `sessions_admitted == sessions_closed`,
+//! * with chaos quiet, payloads remain byte-identical to direct library
+//!   calls (the loopback guarantee survives the chaos plumbing).
+
+use std::time::{Duration, Instant};
+
+use kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kwserve::protocol::{self, read_frame, write_frame, ErrorCode, Request, Response};
+use kwserve::{
+    ChaosConfig, ClientError, DebugClient, ReconnectPolicy, ResilientClient, ServeConfig,
+    Server, TenantPolicy, TenantRegistry,
+};
+use relengine::{DataType, Database, DatabaseBuilder, Value};
+
+/// The saffron-candle store of the paper's Figure 2 (same fixture as the
+/// loopback tests).
+fn store_db() -> Database {
+    let mut b = DatabaseBuilder::new();
+    b.table("ptype").column("id", DataType::Int).column("name", DataType::Text).primary_key("id");
+    b.table("item")
+        .column("id", DataType::Int)
+        .column("name", DataType::Text)
+        .column("ptype_id", DataType::Int)
+        .column("color_id", DataType::Int)
+        .primary_key("id");
+    b.table("color").column("id", DataType::Int).column("name", DataType::Text).primary_key("id");
+    b.foreign_key("item", "ptype_id", "ptype", "id").unwrap();
+    b.foreign_key("item", "color_id", "color", "id").unwrap();
+    let mut db = b.finish().unwrap();
+    db.insert_values("ptype", vec![Value::Int(1), Value::text("candle")]).unwrap();
+    db.insert_values("ptype", vec![Value::Int(2), Value::text("oil")]).unwrap();
+    db.insert_values("color", vec![Value::Int(1), Value::text("saffron")]).unwrap();
+    db.insert_values("color", vec![Value::Int(2), Value::text("red")]).unwrap();
+    db.insert_values(
+        "item",
+        vec![Value::Int(1), Value::text("scented pillar"), Value::Int(1), Value::Int(2)],
+    )
+    .unwrap();
+    db.insert_values(
+        "item",
+        vec![Value::Int(2), Value::text("scented burner"), Value::Int(2), Value::Int(1)],
+    )
+    .unwrap();
+    db
+}
+
+fn base_config() -> DebugConfig {
+    DebugConfig { max_joins: 2, eval_cache: true, ..DebugConfig::default() }
+}
+
+const QUERIES: &[&str] = &["saffron candle", "red candle", "scented oil", "saffron candle"];
+
+/// Above the high-water mark the `Overloaded` answer must arrive right away
+/// (shed at accept), not after a queue drains — even with a glacial poll
+/// interval and one busy worker.
+#[test]
+fn overload_shed_is_immediate_and_hinted() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let config = ServeConfig {
+        workers: 1,
+        max_inflight: 2,
+        poll_interval: Duration::from_secs(2),
+        retry_after: Duration::from_millis(75),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Two raw connections fill the gate (one being served, one queued);
+    // neither speaks, so the single worker stays pinned.
+    let _held_a = std::net::TcpStream::connect(addr).unwrap();
+    let _held_b = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let the acceptor queue them
+
+    let start = Instant::now();
+    match DebugClient::connect(addr, "acme") {
+        Err(ClientError::Server { code, retry_after_ms, .. }) => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert_eq!(retry_after_ms, 75, "server's configured hint crosses the wire");
+        }
+        other => panic!("expected Overloaded shed, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "shed answer took {:?}, must not wait for a worker or poll tick",
+        start.elapsed()
+    );
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.sessions_shed.into_inner(), 1);
+    assert_eq!(metrics.connections_accepted.into_inner(), 3);
+}
+
+/// A peer that starts a frame and dribbles is disconnected with
+/// `Error(Timeout)` once the frame deadline passes — the slowloris defense.
+#[test]
+fn slowloris_frames_hit_the_deadline() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let config = ServeConfig {
+        workers: 1,
+        poll_interval: Duration::from_millis(10),
+        frame_deadline: Duration::from_millis(80),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    // Claim a 100-byte frame, deliver 10 bytes, stall.
+    std::io::Write::write_all(&mut stream, &100u32.to_le_bytes()).unwrap();
+    std::io::Write::write_all(&mut stream, &[0u8; 10]).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("server answers before closing");
+    match protocol::decode_response(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(read_frame(&mut stream).unwrap().is_none(), "connection closed after timeout");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.deadlines_hit.into_inner(), 1);
+}
+
+/// With `idle_timeout` set, a session with no traffic is reaped with
+/// `Error(Timeout)`; traffic resets the clock.
+#[test]
+fn idle_sessions_are_reaped() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let config = ServeConfig {
+        workers: 1,
+        poll_interval: Duration::from_millis(10),
+        idle_timeout: Some(Duration::from_millis(100)),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let hello = protocol::encode_request(&Request::Hello { tenant: "acme".into() });
+    write_frame(&mut stream, &hello).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("welcome");
+    assert!(matches!(
+        protocol::decode_response(&payload).unwrap(),
+        Response::Welcome { .. }
+    ));
+    // Now go silent: the server reaps us.
+    let payload = read_frame(&mut stream).unwrap().expect("reap notice");
+    match protocol::decode_response(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    assert!(read_frame(&mut stream).unwrap().is_none(), "connection closed");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.deadlines_hit.into_inner(), 1);
+    assert_eq!(metrics.sessions_admitted.into_inner(), 1);
+    assert_eq!(metrics.sessions_closed.into_inner(), 1, "reaped session still accounted");
+}
+
+/// A tenant at its in-flight request cap gets `Overloaded` on the excess
+/// request while the session itself survives and keeps serving.
+#[test]
+fn tenant_request_cap_sheds_requests_not_sessions() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let registry = TenantRegistry::new(TenantPolicy::default())
+        .with_tenant("capped", TenantPolicy::default().with_max_inflight(0));
+    let config = ServeConfig {
+        workers: 2,
+        poll_interval: Duration::from_millis(10),
+        retry_after: Duration::from_millis(40),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(system.shared_parts(), registry, config).unwrap();
+
+    let mut client = DebugClient::connect(server.addr(), "capped").unwrap();
+    match client.debug("saffron candle") {
+        Err(ClientError::Server { code, retry_after_ms, .. }) => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert_eq!(retry_after_ms, 40);
+        }
+        other => panic!("expected request shed, got {other:?}"),
+    }
+    // The session survived the shed: metrics still answer on it.
+    let json = client.metrics_json().expect("session alive after shed");
+    assert!(json.contains("\"requests_shed\":1"), "{json}");
+    client.bye().unwrap();
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests_shed.into_inner(), 1);
+    assert_eq!(metrics.sessions_closed.into_inner(), 1);
+}
+
+/// One soak round: chaos-wrapped server, two tenants × three resilient
+/// clients × eight queries each. Returns (queries answered, typed errors,
+/// final metrics as (panics_caught, chaos_faults, queries_ok)).
+fn soak_round(seed: u64, workers: usize) -> (u64, u64, (u64, u64, u64)) {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let chaos = ChaosConfig {
+        seed,
+        read_stall_per_mille: 30,
+        stall: Duration::from_millis(1),
+        bitflip_per_mille: 10,
+        partial_write_per_mille: 150,
+        reset_per_mille: 25,
+        panic_per_mille: 40,
+    };
+    let registry = TenantRegistry::new(TenantPolicy::default())
+        .with_tenant("bursty", TenantPolicy::default().with_max_inflight(2));
+    let config = ServeConfig {
+        workers,
+        poll_interval: Duration::from_millis(5),
+        max_inflight: 4,
+        frame_deadline: Duration::from_millis(300),
+        write_deadline: Duration::from_secs(1),
+        retry_after: Duration::from_millis(5),
+        chaos: Some(chaos),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(system.shared_parts(), registry, config).unwrap();
+    let addr = server.addr();
+
+    let policy = ReconnectPolicy {
+        max_retries: 25,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        io_timeout: Some(Duration::from_millis(400)),
+    };
+    let mut answered = 0u64;
+    let mut typed_errors = 0u64;
+    // Client threads: a panic in any of them fails the scope join, so
+    // "every outcome is typed" is enforced by construction — ClientError is
+    // the only failure channel.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ["acme", "bursty"]
+            .iter()
+            .flat_map(|tenant| (0..3).map(move |c| (tenant, c)))
+            .map(|(tenant, c)| {
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut err = 0u64;
+                    match ResilientClient::connect(addr, tenant, policy) {
+                        Ok(mut client) => {
+                            for i in 0..8usize {
+                                match client.debug(QUERIES[(i + c) % QUERIES.len()]) {
+                                    Ok(wire) => {
+                                        // Well-formed by construction: the
+                                        // payload decoded into a report.
+                                        assert!(!wire.canonical.is_empty());
+                                        ok += 1;
+                                    }
+                                    Err(_) => err += 1,
+                                }
+                            }
+                            let _ = client.close();
+                        }
+                        Err(_) => err += 1,
+                    }
+                    (ok, err)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (ok, err) = handle.join().expect("no panic escapes a client");
+            answered += ok;
+            typed_errors += err;
+        }
+    });
+
+    // Leak checks: every gate slot and every permit must come back. Workers
+    // may still be reading EOF off abandoned connections; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.inflight() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.inflight(), 0, "gate slots leaked (seed {seed}, workers {workers})");
+    for tenant in ["acme", "bursty"] {
+        assert_eq!(server.registry().active_sessions(tenant), 0, "leaked session permit");
+        assert_eq!(server.registry().active_requests(tenant), 0, "leaked request permit");
+    }
+
+    let m = server.shutdown();
+    let accepted = m.connections_accepted.into_inner();
+    let shed = m.sessions_shed.into_inner();
+    let admitted = m.sessions_admitted.into_inner();
+    let rejected = m.sessions_rejected.into_inner();
+    let failed = m.conns_failed.into_inner();
+    let closed = m.sessions_closed.into_inner();
+    assert_eq!(
+        accepted,
+        shed + admitted + rejected + failed,
+        "accounting must balance (seed {seed}, workers {workers}): accepted {accepted} = \
+         shed {shed} + admitted {admitted} + rejected {rejected} + failed {failed}"
+    );
+    assert_eq!(admitted, closed, "every admitted session must be closed");
+    (
+        answered,
+        typed_errors,
+        (
+            m.panics_caught.into_inner(),
+            m.chaos_faults_injected.load(std::sync::atomic::Ordering::Relaxed),
+            m.queries_ok.into_inner(),
+        ),
+    )
+}
+
+/// The seeded chaos soak: ≥3 seeds, 2 tenants, workers 1 and 4.
+#[test]
+fn chaos_soak_across_seeds_and_worker_counts() {
+    let mut total_answered = 0u64;
+    let mut total_panics = 0u64;
+    let mut total_faults = 0u64;
+    for workers in [1usize, 4] {
+        for seed in [1u64, 2, 3] {
+            let (answered, _typed_errors, (panics, faults, queries_ok)) =
+                soak_round(seed, workers);
+            assert!(
+                queries_ok >= 1,
+                "server must make progress under chaos (seed {seed}, workers {workers})"
+            );
+            total_answered += answered;
+            total_panics += panics;
+            total_faults += faults;
+        }
+    }
+    assert!(total_answered > 0, "some client exchanges must complete");
+    assert!(total_faults > 0, "the chaos schedule must actually inject faults");
+    // ~300+ panic draws at 40‰ across the rounds: P(zero) < 1e-5.
+    assert!(total_panics > 0, "injected panics must be caught, not absent");
+}
+
+/// With the chaos plumbing compiled in but quiet, the loopback guarantee is
+/// untouched: wire payloads are byte-identical to direct library calls and
+/// zero faults are counted.
+#[test]
+fn quiet_chaos_is_byte_identical_to_direct_calls() {
+    let system = NonAnswerDebugger::new(store_db(), base_config()).unwrap();
+    let parts = system.shared_parts();
+    let config = ServeConfig {
+        workers: 2,
+        poll_interval: Duration::from_millis(10),
+        chaos: Some(ChaosConfig::quiet(99)),
+        debug: base_config(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        parts.clone(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .unwrap();
+
+    let mut client = DebugClient::connect(server.addr(), "acme").unwrap();
+    let direct = NonAnswerDebugger::from_shared(parts, base_config()).unwrap();
+    for query in QUERIES {
+        let wire = client.debug(query).expect("served");
+        let expect = direct.debug(query).expect("library call");
+        assert_eq!(
+            wire.canonical,
+            protocol::encode_report(&expect),
+            "quiet chaos must be byte-transparent for {query:?}"
+        );
+    }
+    client.bye().unwrap();
+
+    let metrics = server.shutdown();
+    assert_eq!(
+        metrics.chaos_faults_injected.load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "quiet schedule injects nothing"
+    );
+}

@@ -248,7 +248,7 @@ fn protocol_violations_get_typed_errors() {
     }
 
     let metrics = server.shutdown();
-    assert!(metrics.frames_malformed.into_inner() >= 2);
+    assert!(metrics.frames_rejected.into_inner() >= 2);
     assert_eq!(metrics.queries_rejected.into_inner(), 1);
 }
 
@@ -265,7 +265,10 @@ fn session_metrics_record_is_stable_json() {
     client.debug("saffron candle").unwrap();
     client.debug("red candle").unwrap();
     let json = client.metrics_json().unwrap();
-    assert!(json.starts_with("{\"experiment\":\"kwserve\""), "{json}");
+    assert!(json.starts_with("{\"server\":{"), "composite record leads with server: {json}");
+    assert!(json.contains("\"session\":{\"experiment\":\"kwserve\""), "{json}");
+    assert!(json.contains("\"queries_ok\":2"), "server counters live: {json}");
+    assert!(json.contains("\"sessions_shed\":0"), "{json}");
     assert!(json.contains("\"variant\":\"tenant=acme;session="), "{json}");
     assert!(json.contains("\"query\":\"red candle\""), "last query served: {json}");
     assert!(json.contains("\"probes\":{"), "{json}");

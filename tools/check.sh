@@ -37,8 +37,14 @@ echo "==> cold-vs-warm probe cache benchmark (DBLife, results/BENCH_exp_probe_ca
 echo "==> serving layer (kwserve loopback: wire-vs-library bit-equivalence, admission)"
 cargo test --workspace --release -q --test loopback
 
-echo "==> serving load generator (E16 smoke, results/BENCH_exp_serve.json)"
-./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 | grep BENCH_JSON
+echo "==> protocol decoder fuzz (truncations, bit flips, hostile length prefixes)"
+cargo test --workspace --release -q --test protocol_fuzz
+
+echo "==> chaos soak (fixed seeds: shedding, deadlines, panic isolation, leak-free permits)"
+cargo test --workspace --release -q --test chaos_soak
+
+echo "==> serving load generator (E16 smoke + E17 overload, results/BENCH_exp_serve.json)"
+./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 --overload | grep -E "BENCH_JSON|overload p99"
 
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
