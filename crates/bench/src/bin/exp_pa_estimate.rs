@@ -1,17 +1,25 @@
-//! Ablation — fixed `p_a = 0.5` vs statistics-estimated `p_a` (§2.5.3
-//! future work, implemented in `kwdebug::estimate`).
+//! Ablation — fixed `p_a = 0.5` vs statistics-estimated vs online-observed
+//! `p_a` (§2.5.3 future work, implemented in `kwdebug::estimate`).
 //!
-//! Runs SBH over the workload twice: once with the paper's fixed prior, once
-//! with the per-interpretation estimate derived from row counts, join-key
-//! distinct counts and keyword document frequencies. Reports executed-SQL
-//! counts side by side; outputs are asserted identical.
+//! Runs SBH over the workload four ways: the paper's fixed prior, the
+//! per-interpretation static estimate (row counts, join-key distinct counts,
+//! keyword document frequencies), and the online per-level alive-rate
+//! estimator ([`kwdebug::OnlinePa`]) twice — a first pass that starts at the
+//! paper's prior and learns from its own executed verdicts, and a second
+//! pass over the same workload with the estimator already warmed (the
+//! cross-session steady state under the serving layer, DESIGN.md §12).
+//! Reports executed-SQL counts side by side; outputs are asserted identical
+//! by the library's equivalence tests — `p_a` only reorders the greedy
+//! frontier.
 //!
 //! Usage: `exp_pa_estimate [--scale S] [--max-level N]` (default N=5).
+
+use std::sync::Arc;
 
 use bench::{build_system, print_table, ExpArgs};
 use datagen::paper_queries;
 use kwdebug::binding::{map_keywords, KeywordQuery};
-use kwdebug::estimate::PaEstimator;
+use kwdebug::estimate::{OnlinePa, PaEstimator};
 use kwdebug::oracle::AlivenessOracle;
 use kwdebug::prune::PrunedLattice;
 use kwdebug::traversal::{self, StrategyKind};
@@ -20,10 +28,42 @@ fn main() {
     let args = ExpArgs::parse();
     let max_level = args.max_level.unwrap_or(5);
     println!(
-        "== Ablation: SBH with fixed vs estimated p_a (scale {:?}, level {max_level}) ==\n",
+        "== Ablation: SBH with fixed vs estimated vs online p_a (scale {:?}, level {max_level}) ==\n",
         args.scale
     );
     let system = build_system(args.scale, args.seed, max_level);
+
+    // One estimator across the whole workload, exactly as `SharedParts`
+    // shares it across a server's sessions: pass 1 warms it, pass 2 reads
+    // the accumulated evidence.
+    let online = Arc::new(OnlinePa::new());
+    let run_online = |q: &datagen::WorkloadQuery, stats: &Arc<OnlinePa>| -> u64 {
+        let query = KeywordQuery::parse(q.text).expect("workload query parses");
+        let mapping = map_keywords(&query, system.index());
+        let mut total = 0u64;
+        for interp in &mapping.interpretations {
+            let pruned = PrunedLattice::build(system.lattice(), interp);
+            let prior = stats.estimate_pa(&pruned);
+            let mut oracle = AlivenessOracle::new(
+                system.database(),
+                Some(system.index()),
+                interp,
+                &mapping.keywords,
+                false,
+            )
+            .with_pa_stats(Arc::clone(stats));
+            let out = traversal::run(
+                StrategyKind::ScoreBasedHeuristic,
+                system.lattice(),
+                &pruned,
+                &mut oracle,
+                prior,
+            )
+            .expect("SBH runs");
+            total += out.sql_queries;
+        }
+        total
+    };
 
     let mut rows = Vec::new();
     for q in paper_queries() {
@@ -56,14 +96,29 @@ fn main() {
                 *counter += out.sql_queries;
             }
         }
-        rows.push(vec![
+        let cold = run_online(&q, &online);
+        rows.push((q, pa_shown, fixed, estimated, cold));
+    }
+    // Second pass: the estimator now carries every verdict of pass 1.
+    let observations = online.observations();
+    let mut table = Vec::new();
+    for (q, pa_shown, fixed, estimated, cold) in rows {
+        let warm = run_online(&q, &online);
+        table.push(vec![
             q.id.to_string(),
             pa_shown,
             fixed.to_string(),
             estimated.to_string(),
+            cold.to_string(),
+            warm.to_string(),
             format!("{:+}", estimated as i64 - fixed as i64),
         ]);
     }
-    print_table(&["query", "est_pa", "SBH@0.5", "SBH@est", "delta"], &rows);
-    println!("\n(outputs are identical; only the greedy order — and thus query count — shifts)");
+    print_table(
+        &["query", "est_pa", "SBH@0.5", "SBH@est", "SBH@onl", "SBH@onl-warm", "delta"],
+        &table,
+    );
+    println!(
+        "\n(outputs are identical; only the greedy order — and thus query count — shifts.\n online estimator observed {observations} executed verdicts in pass 1; levels with\n no observations keep the paper's 0.5 prior via Laplace smoothing)"
+    );
 }

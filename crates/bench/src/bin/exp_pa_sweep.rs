@@ -5,13 +5,19 @@
 //! whole workload for `p_a ∈ {0.0, 0.1, …, 1.0}` and reports the total
 //! number of SQL queries executed — `p_a = 0` makes SBH behave like an
 //! R2-greedy (bets everything on nodes dying), `p_a = 1` like an R1-greedy.
+//! A final `online` row replays the workload with the per-level
+//! [`kwdebug::OnlinePa`] estimator (DESIGN.md §12) warming from its own
+//! verdicts, placing the learned prior against the static grid.
 //! Correctness is unaffected by `p_a` (asserted per run).
 //!
 //! Usage: `exp_pa_sweep [--scale S] [--max-level N]` (default N=5).
 
+use std::sync::Arc;
+
 use bench::{build_system, print_table, run_query, ExpArgs};
 use datagen::paper_queries;
 use kwdebug::binding::{map_keywords, KeywordQuery};
+use kwdebug::estimate::OnlinePa;
 use kwdebug::oracle::AlivenessOracle;
 use kwdebug::prune::PrunedLattice;
 use kwdebug::traversal::{self, StrategyKind};
@@ -51,6 +57,38 @@ fn main() {
         }
         rows.push(vec![format!("{pa:.1}"), total_queries.to_string()]);
     }
+
+    // The online estimator, warming across the same workload: each
+    // interpretation's prior is the current per-level observed alive rate,
+    // and every executed verdict feeds the next.
+    let online = Arc::new(OnlinePa::new());
+    let mut online_queries = 0u64;
+    for q in paper_queries() {
+        let query = KeywordQuery::parse(q.text).expect("workload query parses");
+        let mapping = map_keywords(&query, system.index());
+        for interp in &mapping.interpretations {
+            let pruned = PrunedLattice::build(system.lattice(), interp);
+            let prior = online.estimate_pa(&pruned);
+            let mut oracle = AlivenessOracle::new(
+                system.database(),
+                Some(system.index()),
+                interp,
+                &mapping.keywords,
+                false,
+            )
+            .with_pa_stats(Arc::clone(&online));
+            let out = traversal::run(
+                StrategyKind::ScoreBasedHeuristic,
+                system.lattice(),
+                &pruned,
+                &mut oracle,
+                prior,
+            )
+            .expect("SBH runs");
+            online_queries += out.sql_queries;
+        }
+    }
+    rows.push(vec!["online".to_string(), online_queries.to_string()]);
     print_table(&["p_a", "total SQL queries (Q1-Q10)"], &rows);
 
     // Sanity: p_a does not change outputs, only costs.

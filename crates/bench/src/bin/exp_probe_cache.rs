@@ -14,10 +14,10 @@
 //! * `warm` — same session again: selections and value-sets all hit.
 //!
 //! Probe throughput is *verdicts per probing second*:
-//! `(probes_executed + subtree_cache_dead_shortcuts) / probe_time`. The
-//! numerator is pass-invariant (the equivalence contract — see
-//! `tests/probe_cache_equivalence.rs`), so the ratio isolates the probing
-//! work the cache removes. Target: warm ≥ 3× cold.
+//! `(probes_executed + subtree_cache_dead_shortcuts + verdict_cache_hits) /
+//! probe_time`. The numerator is pass-invariant (the equivalence contract —
+//! see `tests/probe_cache_equivalence.rs`), so the ratio isolates the
+//! probing work the cache removes. Target: warm ≥ 3× cold.
 //!
 //! Individual probes run in microseconds, so a single pass is at the mercy
 //! of scheduler noise. The whole off/cold/warm cycle therefore repeats
@@ -81,12 +81,16 @@ fn run_pass(
     rows
 }
 
-/// Verdicts per probing second over a pass: the dead-shortcut identity makes
-/// the numerator equal across passes, so this is a like-for-like rate.
+/// Verdicts per probing second over a pass: the shortcut identity makes the
+/// numerator equal across passes, so this is a like-for-like rate.
 fn throughput(rows: &[Row]) -> f64 {
     let verdicts: u64 = rows
         .iter()
-        .map(|r| r.rec.probes.probes_executed + r.rec.probes.subtree_cache_dead_shortcuts)
+        .map(|r| {
+            r.rec.probes.probes_executed
+                + r.rec.probes.subtree_cache_dead_shortcuts
+                + r.rec.probes.verdict_cache_hits
+        })
         .sum();
     let ns: u64 = rows.iter().map(|r| r.rec.probes.probe_time_ns).sum();
     if ns == 0 {
@@ -129,9 +133,10 @@ fn main() {
     let (t_off, t_cold, t_warm) = (throughput(&off), throughput(&cold), throughput(&warm));
     let cache = system.eval_cache();
     println!(
-        "session cache: {} selection entries, {} subtree entries, {} keywords, {} payload bytes\n",
+        "session cache: {} selection entries, {} subtree entries, {} verdicts, {} keywords, {} payload bytes\n",
         cache.selection_entries(),
         cache.subtree_entries(),
+        cache.verdict_entries(),
         cache.interned_keywords(),
         cache.bytes()
     );
@@ -142,8 +147,10 @@ fn main() {
         table.push(vec![
             r.query.clone(),
             r.pass.to_string(),
-            (p.probes_executed + p.subtree_cache_dead_shortcuts).to_string(),
+            (p.probes_executed + p.subtree_cache_dead_shortcuts + p.verdict_cache_hits)
+                .to_string(),
             p.subtree_cache_dead_shortcuts.to_string(),
+            p.verdict_cache_hits.to_string(),
             p.selection_cache_hits.to_string(),
             p.subtree_cache_hits.to_string(),
             p.tuples_scanned.to_string(),
@@ -153,8 +160,8 @@ fn main() {
     }
     print_table(
         &[
-            "query", "pass", "verdicts", "dead-sc", "sel-hit", "sub-hit", "scanned", "probe ms",
-            "wall ms",
+            "query", "pass", "verdicts", "dead-sc", "vc-hit", "sel-hit", "sub-hit", "scanned",
+            "probe ms", "wall ms",
         ],
         &table,
     );

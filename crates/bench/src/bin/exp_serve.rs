@@ -23,13 +23,27 @@
 //! overload stays within 2× the uncontended p99, because excess load is
 //! refused in O(1) at accept instead of queueing behind busy workers.
 //!
+//! With `--warm` (E18's warm-multi-tenant protocol) three extra points run
+//! 8 tenants with *overlapping* keyword workloads — every tenant walks the
+//! same Table 2 queries, phase-shifted so each query is cold exactly once
+//! and warm for every later tenant: once without a shared cache (each
+//! request pays full probing), once with [`kwserve::ServeConfig::
+//! shared_cache`] enabled (the process-wide store turns co-tenant repeats
+//! into selection hits and dead shortcuts), and once with a deliberately
+//! tiny byte budget (eviction pressure: the run must keep
+//! `cache_bytes <= budget` while the eviction counter climbs). Rows record
+//! aggregate QPS, server-counted probes per served request, and the
+//! shared-cache counters; the binary asserts a warm canary report is
+//! identical (modulo executed-query counts and timings) across all three
+//! points — sharing the cache must never change answers.
+//!
 //! Records go to `results/BENCH_exp_serve.json` via the shared writer
 //! ([`bench::harness::write_records`]), one stable-JSON line per sweep
-//! point. See `EXPERIMENTS.md` §E16/§E17 and `SERVING.md` for
+//! point. See `EXPERIMENTS.md` §E16/§E17/§E18 and `SERVING.md` for
 //! interpretation.
 //!
 //! Usage: `exp_serve [--scale S] [--max-level N] [--seed N]
-//! [--sessions 2,8,64] [--queries N] [--workers N] [--overload]`
+//! [--sessions 2,8,64] [--queries N] [--workers N] [--overload] [--warm]`
 //! (workers defaults to the sweep point's session count, so every session
 //! is served concurrently rather than queued in the accept backlog).
 
@@ -38,7 +52,8 @@ use std::time::{Duration, Instant};
 use bench::harness::write_records;
 use bench::{build_system, print_table, DataScale};
 use kwserve::{
-    ClientError, DebugClient, ErrorCode, ServeConfig, Server, TenantPolicy, TenantRegistry,
+    ClientError, DebugClient, ErrorCode, ServeConfig, Server, SharedCacheConfig, TenantPolicy,
+    TenantRegistry,
 };
 
 struct Args {
@@ -49,6 +64,7 @@ struct Args {
     queries: usize,
     workers: Option<usize>,
     overload: bool,
+    warm: bool,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +76,7 @@ fn parse_args() -> Args {
         queries: 8,
         workers: None,
         overload: false,
+        warm: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,10 +109,15 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
+            "--warm" => {
+                out.warm = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale tiny|small|medium|paper  --max-level N  --seed N  \
-                     --sessions N,N,...  --queries N  --workers N  --overload"
+                     --sessions N,N,...  --queries N  --workers N  --overload  --warm"
                 );
                 std::process::exit(0);
             }
@@ -326,6 +348,145 @@ fn run_overload_point(
     }
 }
 
+/// One warm-multi-tenant point's aggregated numbers (E18).
+struct WarmPoint {
+    variant: &'static str,
+    tenants: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    probes_executed: u64,
+    probes_per_request: f64,
+    cache_bytes: u64,
+    cache_evictions: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Scrubbed warm-state canary report (executed-query counts and wall
+    /// clocks blanked), for the cross-point identity assertion.
+    canary: String,
+}
+
+/// Blanks the per-interpretation query count and wall clock of rendered
+/// report lines — `(12 SQL queries, 1.3ms)` → `(q SQL queries, t)` — the
+/// same scrub the cache-equivalence suites use: dead shortcuts legitimately
+/// shrink the executed-query count, everything else must match.
+fn scrub(s: &str) -> String {
+    s.lines()
+        .map(|l| match l.find(" SQL queries, ") {
+            Some(i) => match l[..i].rfind('(') {
+                Some(j) => format!("{}(q SQL queries, t)", &l[..j]),
+                None => l.to_string(),
+            },
+            None => l.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs one E18 point: `tenants` closed-loop clients (one per tenant) walk
+/// the same workload phase-shifted by their index, so every query is cold
+/// exactly once and a co-tenant repeat everywhere else. After the load
+/// phase, a canary client replays the first workload query against the
+/// warm server and the scrubbed report is kept for cross-point comparison.
+fn run_warm_point(
+    system: &kwdebug::debugger::NonAnswerDebugger,
+    tenants: usize,
+    queries: usize,
+    workers: usize,
+    shared: Option<SharedCacheConfig>,
+    variant: &'static str,
+) -> WarmPoint {
+    let config = ServeConfig {
+        workers,
+        // E18 measures cache behavior, not admission: every tenant (plus the
+        // canary) must be resident at once, so the in-flight gate stays open.
+        max_inflight: tenants + 1,
+        debug: *system.config(),
+        shared_cache: shared,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .expect("server binds on loopback");
+    let addr = server.addr();
+    let workload = datagen::paper_queries();
+
+    let t0 = Instant::now();
+    let mut requests = 0usize;
+    std::thread::scope(|s| {
+        let workload = &workload;
+        let handles: Vec<_> = (0..tenants)
+            .map(|ti| {
+                s.spawn(move || {
+                    let tenant = format!("tenant{ti}");
+                    let mut client =
+                        DebugClient::connect(addr, &tenant).expect("session admitted");
+                    for qi in 0..queries {
+                        let q = &workload[(ti + qi) % workload.len()];
+                        client.debug(q.text).expect("query served");
+                    }
+                    client.bye().expect("clean goodbye");
+                    queries
+                })
+            })
+            .collect();
+        for h in handles {
+            requests += h.join().expect("tenant thread");
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut canary_client = DebugClient::connect(addr, "canary").expect("canary admitted");
+    let canary =
+        scrub(&canary_client.debug(workload[0].text).expect("canary served").report.to_string());
+    canary_client.bye().expect("clean goodbye");
+
+    let metrics = server.shutdown();
+    let probes = metrics.probes_executed.into_inner();
+    let ok = metrics.queries_ok.into_inner();
+    WarmPoint {
+        variant,
+        tenants,
+        requests,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: if wall.is_zero() { 0.0 } else { requests as f64 / wall.as_secs_f64() },
+        probes_executed: probes,
+        probes_per_request: if ok == 0 { 0.0 } else { probes as f64 / ok as f64 },
+        cache_bytes: metrics.shared_cache_bytes.into_inner(),
+        cache_evictions: metrics.shared_cache_evictions.into_inner(),
+        cache_hits: metrics.shared_cache_hits.into_inner(),
+        cache_misses: metrics.shared_cache_misses.into_inner(),
+        canary,
+    }
+}
+
+fn warm_record(args: &Args, p: &WarmPoint, workers: usize) -> String {
+    format!(
+        "{{\"cache_bytes\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"experiment\":\"serve\",\"max_level\":{},\"probes_executed\":{},\
+         \"probes_per_request\":{:.3},\"qps\":{:.2},\"requests\":{},\"scale\":\"{}\",\
+         \"seed\":{},\"tenants\":{},\"variant\":\"{}\",\"wall_ms\":{:.3},\"workers\":{}}}",
+        p.cache_bytes,
+        p.cache_evictions,
+        p.cache_hits,
+        p.cache_misses,
+        args.max_level,
+        p.probes_executed,
+        p.probes_per_request,
+        p.qps,
+        p.requests,
+        args.scale.name(),
+        args.seed,
+        p.tenants,
+        p.variant,
+        p.wall_ms,
+        workers,
+    )
+}
+
 fn overload_record(args: &Args, variant: &str, p: &OverloadPoint) -> String {
     format!(
         "{{\"degraded\":{},\"experiment\":\"serve\",\"goodput_qps\":{:.2},\
@@ -463,6 +624,97 @@ fn main() {
         println!();
         records.push(overload_record(&args, "uncontended", &base));
         records.push(overload_record(&args, "overload", &hot));
+    }
+
+    if args.warm {
+        let tenants = 8;
+        // Phase-shifted over a 10-query workload, each query is cold once
+        // and a co-tenant repeat ~ (tenants × queries / 10 − 1) times; 3×
+        // the per-session budget keeps the warm fraction high enough that
+        // the steady state dominates the aggregate.
+        let wq = args.queries * 3;
+        let workers = args
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+            })
+            .max(1);
+        eprintln!("warm protocol: {tenants} tenants x {wq} overlapping queries, {workers} workers");
+        let off = run_warm_point(&system, tenants, wq, workers, None, "warm_off");
+        let on = run_warm_point(
+            &system,
+            tenants,
+            wq,
+            workers,
+            Some(SharedCacheConfig::default()),
+            "warm_shared",
+        );
+        // Over-budget point: a ceiling at a quarter of the measured warm
+        // working set (whatever the scale) guarantees eviction pressure.
+        let tiny_budget = (on.cache_bytes / 4).max(64);
+        let tiny = run_warm_point(
+            &system,
+            tenants,
+            wq,
+            workers,
+            Some(SharedCacheConfig { budget_bytes: Some(tiny_budget), online_pa: true }),
+            "warm_shared_tiny_budget",
+        );
+
+        let warm_rows: Vec<Vec<String>> = [&off, &on, &tiny]
+            .iter()
+            .map(|p| {
+                vec![
+                    p.variant.to_string(),
+                    p.requests.to_string(),
+                    format!("{:.1}", p.wall_ms),
+                    format!("{:.0}", p.qps),
+                    p.probes_executed.to_string(),
+                    format!("{:.2}", p.probes_per_request),
+                    p.cache_hits.to_string(),
+                    p.cache_misses.to_string(),
+                    p.cache_evictions.to_string(),
+                    p.cache_bytes.to_string(),
+                ]
+            })
+            .collect();
+        println!("E18: warm multi-tenant shared-cache protocol (8 overlapping tenants)");
+        print_table(
+            &[
+                "variant", "requests", "wall ms", "QPS", "probes", "probes/req", "hits",
+                "misses", "evictions", "bytes",
+            ],
+            &warm_rows,
+        );
+        let qps_ratio = if off.qps == 0.0 { 0.0 } else { on.qps / off.qps };
+        let probe_ratio = if on.probes_per_request == 0.0 {
+            0.0
+        } else {
+            off.probes_per_request / on.probes_per_request
+        };
+        println!(
+            "\nshared-on / shared-off: {qps_ratio:.2}x QPS, {probe_ratio:.2}x fewer probes \
+             per request (target: >= 2.0x on either axis)"
+        );
+        println!();
+
+        // Sharing the cache must never change answers: the warm canary
+        // reports agree across all three points once executed-query counts
+        // and timings are blanked.
+        assert_eq!(off.canary, on.canary, "E18: shared-cache canary report diverged");
+        assert_eq!(off.canary, tiny.canary, "E18: tiny-budget canary report diverged");
+        // The byte budget is a hard ceiling: the over-budget point (capped
+        // at a quarter of the measured warm working set) must have evicted
+        // while the final accounted footprint stays at or under the budget.
+        assert!(tiny.cache_evictions > 0, "E18: over-budget run never evicted");
+        assert!(
+            tiny.cache_bytes <= tiny_budget,
+            "E18: cache_bytes {} exceeds budget {tiny_budget}",
+            tiny.cache_bytes
+        );
+        records.push(warm_record(&args, &off, workers));
+        records.push(warm_record(&args, &on, workers));
+        records.push(warm_record(&args, &tiny, workers));
     }
 
     write_records("exp_serve", &records);

@@ -21,16 +21,20 @@
 //!
 //! The same binary also speaks the `kwserve` wire protocol (SERVING.md):
 //!
-//! * `kws_repl --listen ADDR [--workers N]` builds the system and serves it
-//!   over TCP until stdin closes (EOF or a line), then shuts down gracefully
-//!   and prints the final server counters.
+//! * `kws_repl --listen ADDR [--workers N] [--shared-cache]` builds the
+//!   system and serves it over TCP until stdin closes (EOF or a line), then
+//!   shuts down gracefully and prints the final server counters;
+//!   `--shared-cache` turns on the process-wide evaluation cache
+//!   ([`kwserve::SharedCacheConfig::default`]: 64 MiB budget, online `p_a`).
 //! * `kws_repl --connect HOST:PORT [--tenant NAME]` skips the local build
 //!   entirely and runs the REPL as one [`ResilientClient`] session against a
 //!   running server: queries and `:strategy` work as usual (the strategy
 //!   rides along per request), overload refusals and dropped connections are
 //!   retried with capped-exponential backoff, `:metrics` fetches the
 //!   session's server-side record plus the client-observed reconnect count,
-//!   and the local-only knobs (`:lattice`, `:budget`, `:chaos`, `:cache`)
+//!   `:cache` renders the server's process-wide shared-cache gauges
+//!   (`shared_cache_*`; zeroes when [`kwserve::ServeConfig::shared_cache`]
+//!   is off), and the local-only knobs (`:lattice`, `:budget`, `:chaos`)
 //!   say so.
 
 use std::io::{BufRead, Write};
@@ -43,7 +47,10 @@ use kwdebug::debugger::NonAnswerDebugger;
 use kwdebug::metrics::MetricsSnapshot;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
-use kwserve::{ReconnectPolicy, ResilientClient, ServeConfig, Server, TenantPolicy, TenantRegistry};
+use kwserve::{
+    ReconnectPolicy, ResilientClient, ServeConfig, Server, SharedCacheConfig, TenantPolicy,
+    TenantRegistry,
+};
 use relengine::FaultConfig;
 
 /// REPL arguments: the common experiment knobs plus the two wire modes.
@@ -55,6 +62,7 @@ struct ReplArgs {
     tenant: String,
     listen: Option<SocketAddr>,
     workers: usize,
+    shared_cache: bool,
 }
 
 fn parse_args() -> ReplArgs {
@@ -66,6 +74,7 @@ fn parse_args() -> ReplArgs {
         tenant: "repl".to_owned(),
         listen: None,
         workers: 4,
+        shared_cache: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -110,10 +119,15 @@ fn parse_args() -> ReplArgs {
             "--connect" => out.connect = Some(addr(i)),
             "--listen" => out.listen = Some(addr(i)),
             "--tenant" => out.tenant = value(i).to_owned(),
+            "--shared-cache" => {
+                out.shared_cache = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale tiny|small|medium|paper  --max-level N  --seed N\n\
-                     modes:   --listen HOST:PORT [--workers N]   serve over TCP\n\
+                     modes:   --listen HOST:PORT [--workers N] [--shared-cache]   serve over TCP\n\
                      \x20        --connect HOST:PORT [--tenant NAME]   client session"
                 );
                 std::process::exit(0);
@@ -242,20 +256,22 @@ fn show_metrics(system: &NonAnswerDebugger, last: &LastRun, args: &ReplArgs, max
 fn show_cache(system: &NonAnswerDebugger, enabled: bool, last: Option<&LastRun>) {
     let cache = system.eval_cache();
     println!(
-        "evaluation cache: {} ({} selection entries, {} subtree value-sets, {} keywords, {} payload bytes)",
+        "evaluation cache: {} ({} selection entries, {} subtree value-sets, {} verdicts, {} keywords, {} payload bytes)",
         if enabled { "on" } else { "off" },
         cache.selection_entries(),
         cache.subtree_entries(),
+        cache.verdict_entries(),
         cache.interned_keywords(),
         cache.bytes()
     );
     if let Some(run) = last {
         let p = run.report.probes();
         println!(
-            "last query: {} selection hits, {} subtree hits, {} dead shortcuts, {} bytes added",
+            "last query: {} selection hits, {} subtree hits, {} dead shortcuts, {} verdict hits, {} bytes added",
             p.selection_cache_hits,
             p.subtree_cache_hits,
             p.subtree_cache_dead_shortcuts,
+            p.verdict_cache_hits,
             p.cache_bytes
         );
     }
@@ -311,6 +327,7 @@ fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
         addr,
         workers: args.workers,
         debug: *system.config(),
+        shared_cache: args.shared_cache.then(SharedCacheConfig::default),
         ..ServeConfig::default()
     };
     let server = Server::start(
@@ -338,12 +355,46 @@ fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
     println!("{}", metrics.to_json());
 }
 
+/// `:cache` against a server: renders the process-wide shared store's wire
+/// gauges (`shared_cache_*` in the Metrics JSON — SERVING.md). All-zero
+/// gauges are indistinguishable from a server running without
+/// [`kwserve::ServeConfig::shared_cache`], so say so.
+fn show_shared_cache(json: &str) {
+    let field = |key: &str| -> u64 {
+        let tag = format!("\"{key}\":");
+        json.find(&tag)
+            .and_then(|i| {
+                let rest = &json[i + tag.len()..];
+                let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+                rest[..end].parse().ok()
+            })
+            .unwrap_or(0)
+    };
+    let bytes = field("shared_cache_bytes");
+    let evictions = field("shared_cache_evictions");
+    let hits = field("shared_cache_hits");
+    let misses = field("shared_cache_misses");
+    if bytes == 0 && evictions == 0 && hits == 0 && misses == 0 {
+        println!(
+            "shared cache: no activity (server runs without `shared_cache`, or nothing cached yet)"
+        );
+        return;
+    }
+    let lookups = hits + misses;
+    let rate = if lookups > 0 { hits as f64 * 100.0 / lookups as f64 } else { 0.0 };
+    println!(
+        "shared cache: {bytes} bytes resident, {hits} hits / {misses} misses \
+         ({rate:.1}% hit rate), {evictions} evicted"
+    );
+    println!("(process-wide across every tenant; the gauges refresh on each :metrics/:cache)");
+}
+
 /// `--connect` mode: the REPL as one client session against a live server.
 ///
 /// Uses a [`ResilientClient`], so transient faults, shutdowns and overload
 /// refusals are retried with capped-exponential backoff instead of killing
 /// the REPL; `:metrics` appends the client-observed reconnect count next to
-/// the server-side record.
+/// the server-side record, and `:cache` renders the shared store's gauges.
 fn client_repl(addr: SocketAddr, tenant: &str) {
     let policy = ReconnectPolicy { io_timeout: Some(Duration::from_secs(10)), ..ReconnectPolicy::default() };
     let mut client = ResilientClient::connect(addr, tenant, policy).unwrap_or_else(|e| {
@@ -397,10 +448,14 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
                     }
                     Err(e) => println!("error: {e}"),
                 },
-                Some("lattice") | Some("budget") | Some("chaos") | Some("cache") => {
+                Some("cache") => match client.metrics_json() {
+                    Ok(json) => show_shared_cache(&json),
+                    Err(e) => println!("error: {e}"),
+                },
+                Some("lattice") | Some("budget") | Some("chaos") => {
                     println!("local-only command; budgets are set per tenant on the server")
                 }
-                _ => println!("commands: :strategy <name>|default, :metrics, :quit"),
+                _ => println!("commands: :strategy <name>|default, :metrics, :cache, :quit"),
             }
             continue;
         }

@@ -1,5 +1,6 @@
 //! The end-to-end system: offline setup + the four-phase debug pipeline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -11,7 +12,8 @@ use relengine::FaultConfig;
 use crate::binding::{map_keywords, Interpretation, KeywordQuery};
 use crate::budget::{ProbeBudget, RetryPolicy};
 use crate::error::KwError;
-use crate::evalcache::EvalCache;
+use crate::estimate::OnlinePa;
+use crate::evalcache::{EvalCache, SharedEvalCache};
 use crate::jnts::Jnts;
 use crate::lattice::Lattice;
 use crate::metrics::PhaseTiming;
@@ -73,6 +75,16 @@ pub struct DebugConfig {
     /// with a *limited* [`DebugConfig::budget`] the cache can change which
     /// probe trips the cap, so partial reports may differ.
     pub eval_cache: bool,
+    /// Drive SBH's prior from the online per-level alive-rate estimator
+    /// ([`crate::estimate::OnlinePa`]) instead of the fixed `pa` — observed
+    /// verdicts sharpen the prior for later queries, and when sessions share
+    /// a substrate ([`SharedParts`]) the estimator is shared too, so one
+    /// tenant's probes inform every other's traversal order. Takes precedence
+    /// over [`DebugConfig::estimate_pa`]. With zero observations the
+    /// estimate is exactly the paper's 0.5, so a cold estimator changes
+    /// nothing. Only affects the score-based heuristic's query count, never
+    /// its output (DESIGN.md §12).
+    pub online_pa: bool,
 }
 
 impl Default for DebugConfig {
@@ -89,6 +101,7 @@ impl Default for DebugConfig {
             chaos: None,
             workers: 1,
             eval_cache: false,
+            online_pa: false,
         }
     }
 }
@@ -108,6 +121,18 @@ impl DebugConfig {
     }
 }
 
+/// Process-wide source of database generation numbers. Every substrate built
+/// by [`NonAnswerDebugger::new`] / [`NonAnswerDebugger::with_lattice`] gets
+/// the next generation, so a [`SharedEvalCache`] stamped for one database can
+/// never be adopted by another ([`SharedParts::adopt_eval_cache`]) — the
+/// invalidation contract of CACHING.md: rebuild the substrate, and stale
+/// shared state is structurally unreachable.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The immutable offline substrate of a debugger, shareable across sessions.
 ///
 /// Everything a debug call *reads but never writes* — the finalized
@@ -117,14 +142,33 @@ impl DebugConfig {
 /// resident copy. Cloning is a handful of reference-count bumps; the multi-
 /// megabyte arenas are never duplicated. This is the state split the serving
 /// layer builds on (`kwserve`; DESIGN.md §11): per-session mutable state
-/// (workspace pool, evaluation cache, budget window) stays inside each
-/// debugger, while the substrate is shared process-wide.
+/// (workspace pool, budget window) stays inside each debugger, while the
+/// substrate is shared process-wide.
+///
+/// Two pieces of *cross-session learning* ride along (DESIGN.md §12):
+///
+/// * an optional [`SharedEvalCache`] — attach one with
+///   [`SharedParts::share_eval_cache`] and every session built from this
+///   handle via [`NonAnswerDebugger::from_shared`] reuses one keyword-
+///   selection/subtree store instead of a private one;
+/// * the [`OnlinePa`] estimator, always present — sessions with
+///   [`DebugConfig::online_pa`] feed it and read it, so observed verdicts
+///   sharpen SBH priors across the whole process.
 #[derive(Clone)]
 pub struct SharedParts {
     db: Arc<Database>,
     index: Arc<InvertedIndex>,
     graph: Arc<SchemaGraph>,
     lattice: Arc<Lattice>,
+    /// Generation of the database build this substrate wraps (keys the
+    /// shared-cache invalidation contract).
+    generation: u64,
+    /// The process-wide evaluation cache sessions attach to, when sharing is
+    /// enabled (`None` = each session gets a private cache).
+    shared_cache: Option<SharedEvalCache>,
+    /// Cross-session online `p_a` estimator (inert until a session enables
+    /// [`DebugConfig::online_pa`]).
+    pa_stats: Arc<OnlinePa>,
 }
 
 impl SharedParts {
@@ -153,6 +197,59 @@ impl SharedParts {
     pub fn max_joins(&self) -> usize {
         self.lattice.max_joins()
     }
+
+    /// Generation of the database build this substrate wraps. Shared caches
+    /// are stamped with it; see [`SharedParts::adopt_eval_cache`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The process-wide evaluation cache sessions of this handle attach to,
+    /// if sharing is enabled.
+    pub fn shared_cache(&self) -> Option<&SharedEvalCache> {
+        self.shared_cache.as_ref()
+    }
+
+    /// The cross-session online `p_a` estimator (always present; inert until
+    /// a session enables [`DebugConfig::online_pa`]).
+    pub fn pa_stats(&self) -> &Arc<OnlinePa> {
+        &self.pa_stats
+    }
+
+    /// Creates a process-wide [`SharedEvalCache`] for this substrate's
+    /// generation, bounded by `budget_bytes` payload bytes (`None` =
+    /// unbounded), and attaches it: every session subsequently built from
+    /// this handle (or its clones) shares the one store. Returns the cache
+    /// for metrics/monitoring. Replaces any previously attached store.
+    pub fn share_eval_cache(&mut self, budget_bytes: Option<u64>) -> SharedEvalCache {
+        let cache = SharedEvalCache::new(self.generation, budget_bytes);
+        self.shared_cache = Some(cache.clone());
+        cache
+    }
+
+    /// Attaches an existing [`SharedEvalCache`] — e.g. one created by another
+    /// `SharedParts` clone of the same substrate. Rejected with
+    /// [`KwError::BadConfig`] when the cache was stamped for a different
+    /// database generation: entries from another build must never serve this
+    /// one (the CACHING.md invalidation contract).
+    pub fn adopt_eval_cache(&mut self, cache: SharedEvalCache) -> Result<(), KwError> {
+        if cache.generation() != self.generation {
+            return Err(KwError::BadConfig(format!(
+                "shared cache was built for database generation {}, substrate is generation {}",
+                cache.generation(),
+                self.generation
+            )));
+        }
+        self.shared_cache = Some(cache);
+        Ok(())
+    }
+
+    /// A clone of this handle without the shared cache: sessions built from
+    /// it get private, session-scoped caches (the serving layer's per-tenant
+    /// `private_cache` opt-out). The online `p_a` estimator remains shared.
+    pub fn without_shared_cache(&self) -> SharedParts {
+        SharedParts { shared_cache: None, ..self.clone() }
+    }
 }
 
 impl std::fmt::Debug for SharedParts {
@@ -161,6 +258,8 @@ impl std::fmt::Debug for SharedParts {
             .field("tables", &self.db.table_count())
             .field("lattice_nodes", &self.lattice.node_count())
             .field("max_joins", &self.lattice.max_joins())
+            .field("generation", &self.generation)
+            .field("shared_cache", &self.shared_cache.is_some())
             .finish()
     }
 }
@@ -188,10 +287,21 @@ pub struct NonAnswerDebugger {
     /// `debug` takes `&self`, so concurrent sessions each borrow their own
     /// workspace from the pool.
     workspaces: WorkspacePool,
-    /// The session-scoped evaluation cache, alive exactly as long as the
-    /// debugger (the database is immutable, so lifetime *is* invalidation).
-    /// Only consulted when [`DebugConfig::eval_cache`] is on.
+    /// The evaluation cache probes consult when [`DebugConfig::eval_cache`]
+    /// is on: session-private by default (alive exactly as long as the
+    /// debugger — the database is immutable, so lifetime *is* invalidation),
+    /// or a handle onto the process-wide [`SharedEvalCache`] when this
+    /// session was built from [`SharedParts`] with one attached.
     cache: Arc<EvalCache>,
+    /// Generation of the database build this debugger reads.
+    generation: u64,
+    /// Online `p_a` estimator fed by executed probes when
+    /// [`DebugConfig::online_pa`] is on — shared with sibling sessions when
+    /// built [`NonAnswerDebugger::from_shared`].
+    pa_stats: Arc<OnlinePa>,
+    /// The shared store this session attached to, if any (re-exported by
+    /// [`NonAnswerDebugger::shared_parts`] so sibling sessions keep sharing).
+    shared_cache: Option<SharedEvalCache>,
 }
 
 impl NonAnswerDebugger {
@@ -211,6 +321,9 @@ impl NonAnswerDebugger {
             config,
             workspaces: WorkspacePool::new(),
             cache: Arc::new(EvalCache::new()),
+            generation: next_generation(),
+            pa_stats: Arc::new(OnlinePa::new()),
+            shared_cache: None,
         })
     }
 
@@ -223,16 +336,24 @@ impl NonAnswerDebugger {
             index: Arc::clone(&self.index),
             graph: Arc::clone(&self.graph),
             lattice: Arc::clone(&self.lattice),
+            generation: self.generation,
+            shared_cache: self.shared_cache.clone(),
+            pa_stats: Arc::clone(&self.pa_stats),
         }
     }
 
     /// Builds a new *session* over an existing substrate: the returned
     /// debugger reads the same database, index and lattice arena as every
-    /// other holder of `parts`, but owns fresh per-session state — an empty
-    /// [`EvalCache`], a cold [`WorkspacePool`], and its own `config` (budget,
-    /// strategy, workers, ...). This is O(1): no data is copied and no
-    /// Phase-0 work runs, which is what makes per-connection sessions viable
-    /// in the serving layer. `config.max_joins` must match the lattice.
+    /// other holder of `parts`, but owns fresh per-session state — a cold
+    /// [`WorkspacePool`] and its own `config` (budget, strategy, workers,
+    /// ...). This is O(1): no data is copied and no Phase-0 work runs, which
+    /// is what makes per-connection sessions viable in the serving layer.
+    /// `config.max_joins` must match the lattice.
+    ///
+    /// When `parts` carries a [`SharedEvalCache`]
+    /// ([`SharedParts::share_eval_cache`]) the session attaches to that
+    /// process-wide store instead of a private [`EvalCache`]; the online
+    /// `p_a` estimator is always the substrate's shared one.
     pub fn from_shared(parts: SharedParts, config: DebugConfig) -> Result<Self, KwError> {
         config.validate()?;
         if parts.lattice.max_joins() != config.max_joins {
@@ -242,6 +363,10 @@ impl NonAnswerDebugger {
                 config.max_joins
             )));
         }
+        let cache = match &parts.shared_cache {
+            Some(shared) => shared.handle(),
+            None => Arc::new(EvalCache::new()),
+        };
         Ok(NonAnswerDebugger {
             db: parts.db,
             index: parts.index,
@@ -249,7 +374,10 @@ impl NonAnswerDebugger {
             lattice: parts.lattice,
             config,
             workspaces: WorkspacePool::new(),
-            cache: Arc::new(EvalCache::new()),
+            cache,
+            generation: parts.generation,
+            pa_stats: parts.pa_stats,
+            shared_cache: parts.shared_cache,
         })
     }
 
@@ -301,6 +429,9 @@ impl NonAnswerDebugger {
             config,
             workspaces: WorkspacePool::new(),
             cache: Arc::new(EvalCache::new()),
+            generation: next_generation(),
+            pa_stats: Arc::new(OnlinePa::new()),
+            shared_cache: None,
         })
     }
 
@@ -376,9 +507,32 @@ impl NonAnswerDebugger {
     /// session to a cold cache. Entries are otherwise valid for the
     /// debugger's whole lifetime (the database is immutable), so this exists
     /// for memory pressure in long sessions and for benchmarking cold-start
-    /// behaviour repeatably.
+    /// behaviour repeatably. A session attached to a [`SharedEvalCache`]
+    /// *detaches* onto a private cold cache instead (the shared store belongs
+    /// to every session; one session must not be able to dump it) — not
+    /// reachable over the serving wire.
     pub fn reset_eval_cache(&mut self) {
         self.cache = Arc::new(EvalCache::new());
+        self.shared_cache = None;
+    }
+
+    /// Generation of the database build this debugger reads (stamped on
+    /// shared caches; see [`SharedParts::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The online `p_a` estimator this debugger records into and reads from
+    /// when [`DebugConfig::online_pa`] is on (shared across sibling sessions
+    /// built with [`NonAnswerDebugger::from_shared`]).
+    pub fn pa_stats(&self) -> &Arc<OnlinePa> {
+        &self.pa_stats
+    }
+
+    /// The process-wide store this session attached to, if it was built over
+    /// [`SharedParts`] carrying one.
+    pub fn shared_cache(&self) -> Option<&SharedEvalCache> {
+        self.shared_cache.as_ref()
     }
 
     /// Debugs a keyword query end to end (Phases 1–3).
@@ -450,7 +604,12 @@ impl NonAnswerDebugger {
         if self.config.eval_cache {
             oracle = oracle.with_eval_cache(Arc::clone(&self.cache));
         }
-        let pa = if self.config.estimate_pa {
+        if self.config.online_pa {
+            oracle = oracle.with_pa_stats(Arc::clone(&self.pa_stats));
+        }
+        let pa = if self.config.online_pa {
+            self.pa_stats.estimate_pa(&pruned)
+        } else if self.config.estimate_pa {
             crate::estimate::PaEstimator::new(&self.db, &self.index, interp, keywords)
                 .estimate_pa(&self.lattice, &pruned)
         } else {
@@ -809,6 +968,76 @@ mod tests {
         // The session warmed its own cache generation, not the owner's.
         assert!(session.eval_cache().selection_entries() > 0);
         assert_eq!(owner.eval_cache().selection_entries(), 0);
+    }
+
+    #[test]
+    fn shared_cache_sessions_share_one_store() {
+        let owner = debugger(StrategyKind::ScoreBasedHeuristic);
+        let mut parts = owner.shared_parts();
+        let store = parts.share_eval_cache(None);
+        let config = DebugConfig { max_joins: 2, eval_cache: true, ..DebugConfig::default() };
+        let a = NonAnswerDebugger::from_shared(parts.clone(), config).expect("session a");
+        let b = NonAnswerDebugger::from_shared(parts.clone(), config).expect("session b");
+        let ra = a.debug("saffron candle").unwrap();
+        let warmed = store.bytes();
+        assert!(warmed > 0, "first session populates the shared store");
+        let rb = b.debug("saffron candle").unwrap();
+        assert_eq!(store.bytes(), warmed, "second session adds nothing new");
+        assert!(store.hits() > 0, "second session hits shared entries");
+        assert_eq!(ra.answer_count(), rb.answer_count());
+        assert_eq!(ra.non_answer_count(), rb.non_answer_count());
+        assert_eq!(ra.mpan_count(), rb.mpan_count());
+        // Both sessions see the same resident store through their accessor.
+        assert_eq!(a.eval_cache().bytes(), b.eval_cache().bytes());
+        assert!(a.shared_cache().is_some() && b.shared_cache().is_some());
+        // shared_parts() re-exports the attachment for further siblings.
+        assert!(a.shared_parts().shared_cache().is_some());
+        // The opt-out handle yields private-cache sessions.
+        let private =
+            NonAnswerDebugger::from_shared(parts.without_shared_cache(), config).expect("session");
+        assert!(private.shared_cache().is_none());
+        private.debug("saffron candle").unwrap();
+        assert_eq!(store.bytes(), warmed, "opted-out session never touches the store");
+    }
+
+    #[test]
+    fn adopt_rejects_foreign_generation() {
+        let one = debugger(StrategyKind::ScoreBasedHeuristic);
+        let two = debugger(StrategyKind::ScoreBasedHeuristic);
+        let mut parts_one = one.shared_parts();
+        let mut parts_two = two.shared_parts();
+        assert_ne!(parts_one.generation(), parts_two.generation());
+        let store = parts_one.share_eval_cache(Some(1 << 20));
+        assert!(
+            matches!(parts_two.adopt_eval_cache(store.clone()), Err(KwError::BadConfig(_))),
+            "a cache from another database build must not attach"
+        );
+        // Same-generation adoption (another clone of the same substrate) is
+        // fine.
+        let mut sibling = one.shared_parts();
+        sibling.adopt_eval_cache(store).expect("same generation adopts");
+        assert!(sibling.shared_cache().is_some());
+    }
+
+    #[test]
+    fn online_pa_matches_fixed_prior_output() {
+        let base = debugger(StrategyKind::ScoreBasedHeuristic);
+        let parts = base.shared_parts();
+        let online = NonAnswerDebugger::from_shared(
+            parts,
+            DebugConfig { max_joins: 2, online_pa: true, ..DebugConfig::default() },
+        )
+        .expect("session");
+        for query in ["saffron candle", "red candle", "scented oil", "saffron candle"] {
+            let a = base.debug(query).unwrap();
+            let b = online.debug(query).unwrap();
+            assert_eq!(a.answer_count(), b.answer_count(), "{query}");
+            assert_eq!(a.non_answer_count(), b.non_answer_count(), "{query}");
+            assert_eq!(a.mpan_count(), b.mpan_count(), "{query}");
+        }
+        assert!(online.pa_stats().observations() > 0, "verdicts were recorded");
+        // The estimator is the substrate's: the owner sees the same one.
+        assert!(Arc::ptr_eq(base.pa_stats(), online.pa_stats()));
     }
 
     #[test]

@@ -22,6 +22,21 @@
 //! and the node's aliveness probability is modeled as `1 − e^(−E[|T|])`
 //! (a Poisson approximation of "at least one result"). `p_a` for a pruned
 //! lattice is the mean over its nodes.
+//!
+//! ## Online estimation (DESIGN.md §12)
+//!
+//! The static model above never looks at a verdict. [`OnlinePa`] closes the
+//! loop: every *executed* probe reports `(level, alive)` into per-level
+//! counters, and SBH's prior for a node becomes the Laplace-smoothed
+//! observed alive rate of its level — exactly 0.5 (the paper's prior) at
+//! zero observations, converging to the workload's true rate as probes
+//! accumulate. Under the serving layer the estimator lives in
+//! [`crate::debugger::SharedParts`], so verdicts observed by one tenant's
+//! session sharpen the prior for every other (see CACHING.md). Enabled by
+//! `DebugConfig::online_pa`; measured by the `exp_pa_estimate` /
+//! `exp_pa_sweep` harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use relengine::Database;
 use textindex::InvertedIndex;
@@ -93,6 +108,81 @@ impl<'a> PaEstimator<'a> {
         let sum: f64 =
             (0..pruned.len()).map(|i| self.alive_probability(pruned.jnts(lattice, i))).sum();
         (sum / pruned.len() as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Number of per-level slots in [`OnlinePa`]. `DebugConfig::max_joins` is
+/// capped at 12, so networks have at most 13 nodes; deeper levels (never
+/// produced today) share the last slot rather than panic.
+const PA_LEVELS: usize = 16;
+
+/// Online per-level alive-rate estimator for SBH's prior `p_a`
+/// (DESIGN.md §12).
+///
+/// Lock-free: two `AtomicU64` counters per network level (level = node
+/// count), updated by [`OnlinePa::record`] from every *executed* probe —
+/// memo hits, R1/R2 inferences and dead shortcuts are derived facts, not
+/// fresh observations, so they don't count. The per-level rate is
+/// Laplace-smoothed, `(alive + 1) / (total + 2)`: with no observations it is
+/// exactly `0.5`, the paper's fixed prior, so an unwarmed estimator is
+/// behavior-identical to the default — the estimate only moves once evidence
+/// exists. Shared across sessions via [`crate::debugger::SharedParts`].
+#[derive(Debug)]
+pub struct OnlinePa {
+    alive: [AtomicU64; PA_LEVELS],
+    total: [AtomicU64; PA_LEVELS],
+}
+
+impl OnlinePa {
+    /// Creates an estimator with no observations (every level at 0.5).
+    pub fn new() -> OnlinePa {
+        OnlinePa {
+            alive: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn slot(level: usize) -> usize {
+        level.saturating_sub(1).min(PA_LEVELS - 1)
+    }
+
+    /// Records one executed probe's verdict for a network of `level` nodes.
+    pub fn record(&self, level: usize, alive: bool) {
+        let s = OnlinePa::slot(level);
+        self.total[s].fetch_add(1, Ordering::Relaxed);
+        if alive {
+            self.alive[s].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Laplace-smoothed alive rate of networks with `level` nodes:
+    /// `(alive + 1) / (total + 2)`, i.e. 0.5 with no observations.
+    pub fn level_rate(&self, level: usize) -> f64 {
+        let s = OnlinePa::slot(level);
+        let alive = self.alive[s].load(Ordering::Relaxed) as f64;
+        let total = self.total[s].load(Ordering::Relaxed) as f64;
+        (alive + 1.0) / (total + 2.0)
+    }
+
+    /// Total verdicts observed across all levels.
+    pub fn observations(&self) -> u64 {
+        self.total.iter().map(|t| t.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Estimated `p_a` for a pruned lattice: the mean of its nodes' level
+    /// rates. Empty lattices fall back to the paper's 0.5.
+    pub fn estimate_pa(&self, pruned: &PrunedLattice) -> f64 {
+        if pruned.is_empty() {
+            return crate::traversal::DEFAULT_PA;
+        }
+        let sum: f64 = (0..pruned.len()).map(|i| self.level_rate(pruned.level(i) as usize)).sum();
+        (sum / pruned.len() as f64).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for OnlinePa {
+    fn default() -> Self {
+        OnlinePa::new()
     }
 }
 
@@ -239,5 +329,57 @@ mod tests {
         assert!(pruned.is_empty());
         let est = PaEstimator::new(&db, &idx, interp, &q.keywords);
         assert_eq!(est.estimate_pa(&lattice, &pruned), 0.5);
+    }
+
+    #[test]
+    fn online_pa_starts_at_paper_prior_and_learns() {
+        let est = OnlinePa::new();
+        assert_eq!(est.level_rate(1), 0.5);
+        assert_eq!(est.observations(), 0);
+        // 3 alive / 1 dead at level 1 → (3+1)/(4+2) = 2/3.
+        est.record(1, true);
+        est.record(1, true);
+        est.record(1, true);
+        est.record(1, false);
+        assert!((est.level_rate(1) - 4.0 / 6.0).abs() < 1e-12);
+        // Level 2 untouched: still the prior.
+        assert_eq!(est.level_rate(2), 0.5);
+        assert_eq!(est.observations(), 4);
+        // All-dead evidence pulls below 0.5 but never to 0 (smoothing).
+        est.record(2, false);
+        est.record(2, false);
+        let r2 = est.level_rate(2);
+        assert!(r2 > 0.0 && r2 < 0.5, "rate {r2}");
+    }
+
+    #[test]
+    fn online_pa_over_pruned_lattice_mixes_levels() {
+        let (db, idx) = setup();
+        let graph = SchemaGraph::new(&db);
+        let lattice = Lattice::build(&db, &graph, 2);
+        let q = map_keywords(&KeywordQuery::parse("blue widget").expect("parses"), &idx);
+        let interp = &q.interpretations[0];
+        let pruned = PrunedLattice::build(&lattice, interp);
+        assert!(!pruned.is_empty());
+        let est = OnlinePa::new();
+        // Unwarmed estimator reproduces the paper prior exactly.
+        assert_eq!(est.estimate_pa(&pruned), crate::traversal::DEFAULT_PA);
+        // Warm it heavily alive: the lattice-wide estimate rises.
+        for level in 1..=3 {
+            for _ in 0..20 {
+                est.record(level, true);
+            }
+        }
+        let pa = est.estimate_pa(&pruned);
+        assert!(pa > 0.8, "warmed estimate {pa}");
+        assert!((0.0..=1.0).contains(&pa));
+    }
+
+    #[test]
+    fn online_pa_deep_levels_share_last_slot() {
+        let est = OnlinePa::new();
+        est.record(40, true); // far past PA_LEVELS: clamps, never panics
+        assert_eq!(est.observations(), 1);
+        assert!(est.level_rate(99) > 0.5, "clamped slot sees the observation");
     }
 }

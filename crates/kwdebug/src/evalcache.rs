@@ -1,9 +1,10 @@
-//! Session-scoped cross-probe evaluation cache.
+//! Cross-probe evaluation cache: session-scoped by default, optionally
+//! promoted to a process-wide [`SharedEvalCache`].
 //!
 //! Every aliveness probe of a debug session runs against the same immutable
 //! database, and the probed networks are subtrees of the same MTNs — so most
 //! of the work of one probe is a verbatim replay of another's. This module
-//! caches that work at two levels, below the verdict-level memo/R1/R2 reuse:
+//! caches that work at three levels, below the node-id memo/R1/R2 reuse:
 //!
 //! * **Selection cache** — `(table, keyword)` → the sorted row ids satisfying
 //!   the keyword's containment predicate. Computed once per session; every
@@ -16,6 +17,13 @@
 //!   probe semi-joins against the cached value-set instead of re-reducing the
 //!   subtree; an *empty* cached set proves any network joining through that
 //!   cut dead without touching the engine at all.
+//! * **Verdict cache** — canonical binding key of a *whole* network
+//!   ([`network_key`]) → its completed semi-join verdict. The memo answers
+//!   repeats by lattice node id within one traversal; this layer answers
+//!   them structurally, across traversals and (shared) across sessions: a
+//!   probe whose exact bound network was ever fully reduced is answered —
+//!   alive or dead — without touching the engine
+//!   (`verdict_cache_hits`).
 //!
 //! Both maps are lock-striped like `parallel::ShardedMemo` so the parallel
 //! scheduler's workers share them without a global lock. Entries are only
@@ -24,6 +32,28 @@
 //! since the database is immutable for the life of a
 //! [`crate::debugger::NonAnswerDebugger`], invalidation is simply the cache's
 //! lifetime: it is created with the debugger and dropped with it.
+//!
+//! ## Process-wide sharing (DESIGN.md §12, CACHING.md)
+//!
+//! Under the serving layer most redundant probe work is *across* sessions —
+//! tenants hitting overlapping keywords recompute each other's selections
+//! and subtree reductions. [`SharedEvalCache`] promotes one `EvalCache` to a
+//! process-wide store handed to every session through
+//! [`crate::debugger::SharedParts`]: the store is keyed by the substrate's
+//! **database generation** (a fresh database build gets a fresh generation,
+//! so a stale store can never attach to new data — the invalidation
+//! contract), and bounded by a **byte-budget LRU** so one tenant's working
+//! set cannot blow out process memory for all. Every lookup stamps the entry
+//! with a logical clock; when an insert pushes [`EvalCache::bytes`] past the
+//! budget, least-recently-used entries are evicted (and their bytes
+//! *returned* to the accounting — `bytes()` always equals the sum of
+//! resident entry footprints, see [`EvalCache::accounted_bytes`]) until the
+//! store fits again. Hits, misses and evictions are counted on the store
+//! itself, surfaced by the serving layer's `shared_cache_*` metrics.
+//!
+//! Sharing never changes answers: the differential suites
+//! (`tests/probe_cache_equivalence.rs`, `tests/shared_cache_equivalence.rs`)
+//! pin reports bit-identical with the cache off, session-scoped, or shared.
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -45,8 +75,17 @@ const SHARDS: usize = 16;
 /// differs with index availability).
 type SelectionKey = (TableId, u64, bool);
 
+/// One resident cache entry: the shared value, its accounted footprint, and
+/// the logical-clock stamp of its last touch (insert or hit) driving LRU
+/// eviction.
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: u64,
+    stamp: u64,
+}
+
 /// One lock-striped map: `SHARDS` independently locked hash maps.
-type Striped<K, V> = Vec<Mutex<HashMap<K, V>>>;
+type Striped<K, V> = Vec<Mutex<HashMap<K, Entry<V>>>>;
 
 fn shard_of<K: Hash>(key: &K) -> usize {
     let mut h = DefaultHasher::new();
@@ -54,32 +93,81 @@ fn shard_of<K: Hash>(key: &K) -> usize {
     (h.finish() as usize) % SHARDS
 }
 
-/// The session-scoped evaluation cache shared by all probes (and all parallel
-/// workers) of one debug session. See the module docs for the two layers.
+/// Which striped map a victim entry lives in (internal to eviction).
+enum Victim {
+    Selection(SelectionKey),
+    Postings((SelectionKey, ColId)),
+    Subtree(Vec<u8>),
+    Verdict(Vec<u8>),
+}
+
+/// The cross-probe evaluation cache shared by all probes (and all parallel
+/// workers) of one debug session — or, wrapped in a [`SharedEvalCache`], by
+/// every session of a serving process. See the module docs for the layers,
+/// the generation key and the LRU byte budget.
 pub struct EvalCache {
-    selections: Striped<SelectionKey, Arc<Vec<RowId>>>,
+    selections: Striped<SelectionKey, Vec<RowId>>,
     /// Per-column value→rows postings of a cached selection — the derived
     /// sets probes attach as `PlanNode::col_postings`, extracted once per
-    /// (selection, column) per session.
-    sel_postings: Striped<(SelectionKey, ColId), Arc<ValuePostings>>,
-    subtrees: Striped<Vec<u8>, Arc<Vec<i64>>>,
+    /// (selection, column) per cache generation.
+    sel_postings: Striped<(SelectionKey, ColId), ValuePostings>,
+    subtrees: Striped<Vec<u8>, Vec<i64>>,
+    /// Completed whole-network verdicts by canonical binding key (see
+    /// [`network_key`]); `true` = alive.
+    verdicts: Striped<Vec<u8>, bool>,
     interner: Mutex<HashMap<String, u64>>,
+    /// Sum of resident entry footprints. Incremented on insert, decremented
+    /// on eviction — `bytes() == accounted_bytes()` is the accounting
+    /// identity the shared-cache suite asserts.
     bytes: AtomicU64,
+    /// Logical LRU clock; every touch (insert or hit) takes the next tick.
+    clock: AtomicU64,
+    /// Byte budget (`None` = unbounded, the session-scoped default). When an
+    /// insert pushes `bytes` past it, least-recently-stamped entries are
+    /// evicted until the store fits.
+    budget: Option<u64>,
+    /// Database generation this cache was built for (0 = session-private).
+    generation: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Serializes evictors so concurrent over-budget inserts don't stampede
+    /// the shard scan; held only during eviction, never during lookups.
+    evict_lock: Mutex<()>,
 }
 
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded, session-private cache (generation 0).
     pub fn new() -> EvalCache {
+        EvalCache::with_budget(0, None)
+    }
+
+    /// Creates an empty cache for database generation `generation`, bounded
+    /// by `budget` payload bytes (`None` = unbounded).
+    pub fn with_budget(generation: u64, budget: Option<u64>) -> EvalCache {
         EvalCache {
             selections: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             sel_postings: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             subtrees: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            verdicts: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             interner: Mutex::new(HashMap::new()),
             bytes: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            budget,
+            generation,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evict_lock: Mutex::new(()),
         }
     }
 
-    /// Stable per-session id of a keyword string (used in binding labels and
+    /// The next logical-clock tick (monotone across threads).
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stable per-cache id of a keyword string (used in binding labels and
     /// selection keys, so entries survive across queries sharing keywords).
     pub fn intern(&self, keyword: &str) -> u64 {
         let mut map = self.interner.lock().expect("interner poisoned");
@@ -87,14 +175,22 @@ impl EvalCache {
         *map.entry(keyword.to_owned()).or_insert(next)
     }
 
-    /// Looks up a cached selection.
+    /// Looks up a cached selection, stamping it most-recently-used.
     pub fn selection(&self, table: TableId, kw: u64, indexed: bool) -> Option<Arc<Vec<RowId>>> {
         let key = (table, kw, indexed);
-        self.selections[shard_of(&key)]
-            .lock()
-            .expect("selection shard poisoned")
-            .get(&key)
-            .cloned()
+        let mut shard =
+            self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
+        match shard.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Inserts a selection, keeping the existing entry on a race. Returns the
@@ -108,19 +204,24 @@ impl EvalCache {
         rows: Vec<RowId>,
     ) -> (Arc<Vec<RowId>>, u64) {
         let key = (table, kw, indexed);
-        let mut shard = self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
+        let stamp = self.tick();
+        let mut shard =
+            self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
         if let Some(existing) = shard.get(&key) {
-            return (Arc::clone(existing), 0);
+            return (Arc::clone(&existing.value), 0);
         }
         let bytes = std::mem::size_of_val(rows.as_slice()) as u64;
         let arc = Arc::new(rows);
-        shard.insert(key, Arc::clone(&arc));
+        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp });
+        drop(shard);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict();
         (arc, bytes)
     }
 
     /// Looks up the cached value→rows postings of selection
-    /// `(table, kw, indexed)` in column `col`.
+    /// `(table, kw, indexed)` in column `col`, stamping them
+    /// most-recently-used.
     pub fn selection_postings(
         &self,
         table: TableId,
@@ -129,11 +230,19 @@ impl EvalCache {
         col: ColId,
     ) -> Option<Arc<ValuePostings>> {
         let key = ((table, kw, indexed), col);
-        self.sel_postings[shard_of(&key)]
-            .lock()
-            .expect("selection-postings shard poisoned")
-            .get(&key)
-            .cloned()
+        let mut shard =
+            self.sel_postings[shard_of(&key)].lock().expect("selection-postings shard poisoned");
+        match shard.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Inserts the value→rows postings of a selection in one column, keeping
@@ -148,44 +257,233 @@ impl EvalCache {
         postings: ValuePostings,
     ) -> (Arc<ValuePostings>, u64) {
         let key = ((table, kw, indexed), col);
+        let stamp = self.tick();
         let mut shard =
             self.sel_postings[shard_of(&key)].lock().expect("selection-postings shard poisoned");
         if let Some(existing) = shard.get(&key) {
-            return (Arc::clone(existing), 0);
+            return (Arc::clone(&existing.value), 0);
         }
         let bytes = postings.payload_bytes();
         let arc = Arc::new(postings);
-        shard.insert(key, Arc::clone(&arc));
+        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp });
+        drop(shard);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict();
         (arc, bytes)
     }
 
-    /// Looks up a cached subtree value-set by its binding key.
+    /// Looks up a cached subtree value-set by its binding key, stamping it
+    /// most-recently-used.
     pub fn subtree(&self, key: &[u8]) -> Option<Arc<Vec<i64>>> {
-        self.subtrees[shard_of(&key)]
-            .lock()
-            .expect("subtree shard poisoned")
-            .get(key)
-            .cloned()
+        let mut shard = self.subtrees[shard_of(&key)].lock().expect("subtree shard poisoned");
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Inserts a subtree value-set, keeping the existing entry on a race.
     /// Returns the bytes newly added to the cache (0 when it lost the race).
     pub fn insert_subtree(&self, key: Vec<u8>, values: Vec<i64>) -> u64 {
+        let stamp = self.tick();
         let shard = shard_of(&key.as_slice());
         let mut map = self.subtrees[shard].lock().expect("subtree shard poisoned");
         if map.contains_key(key.as_slice()) {
             return 0;
         }
         let bytes = (key.len() + std::mem::size_of_val(values.as_slice())) as u64;
-        map.insert(key, Arc::new(values));
+        map.insert(key, Entry { value: Arc::new(values), bytes, stamp });
+        drop(map);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict();
         bytes
     }
 
-    /// Total payload bytes currently resident (selections + subtree sets).
+    /// Looks up a completed whole-network verdict by canonical binding key,
+    /// stamping it most-recently-used.
+    pub fn verdict(&self, key: &[u8]) -> Option<bool> {
+        let mut shard = self.verdicts[shard_of(&key)].lock().expect("verdict shard poisoned");
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = self.tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*entry.value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a completed whole-network verdict, keeping the existing entry
+    /// on a race. Returns the bytes newly added (0 when it lost the race).
+    pub fn insert_verdict(&self, key: Vec<u8>, alive: bool) -> u64 {
+        let stamp = self.tick();
+        let shard = shard_of(&key.as_slice());
+        let mut map = self.verdicts[shard].lock().expect("verdict shard poisoned");
+        if map.contains_key(key.as_slice()) {
+            return 0;
+        }
+        let bytes = (key.len() + 1) as u64;
+        map.insert(key, Entry { value: Arc::new(alive), bytes, stamp });
+        drop(map);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.maybe_evict();
+        bytes
+    }
+
+    /// Evicts least-recently-used entries until the store fits its budget.
+    /// Eviction is approximate LRU (the global minimum stamp at scan time);
+    /// losing a race with a concurrent touch merely evicts a slightly-stale
+    /// victim, never corrupts accounting. Each removed entry returns its
+    /// footprint to [`EvalCache::bytes`] and counts one eviction.
+    fn maybe_evict(&self) {
+        let Some(budget) = self.budget else { return };
+        if self.bytes.load(Ordering::Relaxed) <= budget {
+            return;
+        }
+        let _guard = self.evict_lock.lock().expect("evict lock poisoned");
+        while self.bytes.load(Ordering::Relaxed) > budget {
+            // Find the globally oldest entry across all three maps.
+            let mut best: Option<(u64, Victim)> = None;
+            let better = |best: &Option<(u64, Victim)>, stamp: u64| {
+                best.as_ref().is_none_or(|(s, _)| stamp < *s)
+            };
+            for shard in &self.selections {
+                for (k, e) in shard.lock().expect("selection shard poisoned").iter() {
+                    if better(&best, e.stamp) {
+                        best = Some((e.stamp, Victim::Selection(*k)));
+                    }
+                }
+            }
+            for shard in &self.sel_postings {
+                for (k, e) in shard.lock().expect("selection-postings shard poisoned").iter() {
+                    if better(&best, e.stamp) {
+                        best = Some((e.stamp, Victim::Postings(*k)));
+                    }
+                }
+            }
+            for shard in &self.subtrees {
+                for (k, e) in shard.lock().expect("subtree shard poisoned").iter() {
+                    if better(&best, e.stamp) {
+                        best = Some((e.stamp, Victim::Subtree(k.clone())));
+                    }
+                }
+            }
+            for shard in &self.verdicts {
+                for (k, e) in shard.lock().expect("verdict shard poisoned").iter() {
+                    if better(&best, e.stamp) {
+                        best = Some((e.stamp, Victim::Verdict(k.clone())));
+                    }
+                }
+            }
+            let Some((_, victim)) = best else { break };
+            let freed = match victim {
+                Victim::Selection(k) => self.selections[shard_of(&k)]
+                    .lock()
+                    .expect("selection shard poisoned")
+                    .remove(&k)
+                    .map(|e| e.bytes),
+                Victim::Postings(k) => self.sel_postings[shard_of(&k)]
+                    .lock()
+                    .expect("selection-postings shard poisoned")
+                    .remove(&k)
+                    .map(|e| e.bytes),
+                Victim::Subtree(k) => self.subtrees[shard_of(&k.as_slice())]
+                    .lock()
+                    .expect("subtree shard poisoned")
+                    .remove(k.as_slice())
+                    .map(|e| e.bytes),
+                Victim::Verdict(k) => self.verdicts[shard_of(&k.as_slice())]
+                    .lock()
+                    .expect("verdict shard poisoned")
+                    .remove(k.as_slice())
+                    .map(|e| e.bytes),
+            };
+            if let Some(freed) = freed {
+                self.bytes.fetch_sub(freed, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total payload bytes currently resident (selections + postings +
+    /// subtree sets + verdicts). Decremented on eviction; always equals
+    /// [`EvalCache::accounted_bytes`].
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Recomputes the resident footprint by walking every shard — the slow
+    /// ground truth for the `bytes()` accounting identity, used by the
+    /// shared-cache differential suite.
+    pub fn accounted_bytes(&self) -> u64 {
+        let sel: u64 = self
+            .selections
+            .iter()
+            .map(|s| {
+                s.lock().expect("selection shard poisoned").values().map(|e| e.bytes).sum::<u64>()
+            })
+            .sum();
+        let post: u64 = self
+            .sel_postings
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("selection-postings shard poisoned")
+                    .values()
+                    .map(|e| e.bytes)
+                    .sum::<u64>()
+            })
+            .sum();
+        let sub: u64 = self
+            .subtrees
+            .iter()
+            .map(|s| {
+                s.lock().expect("subtree shard poisoned").values().map(|e| e.bytes).sum::<u64>()
+            })
+            .sum();
+        let ver: u64 = self
+            .verdicts
+            .iter()
+            .map(|s| {
+                s.lock().expect("verdict shard poisoned").values().map(|e| e.bytes).sum::<u64>()
+            })
+            .sum();
+        sel + post + sub + ver
+    }
+
+    /// The byte budget, if this cache is bounded.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Database generation this cache serves (0 = session-private).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Lookups answered from the cache (all three layers).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (all three layers).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to keep the store within its byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of cached selections.
@@ -198,6 +496,11 @@ impl EvalCache {
         self.subtrees.iter().map(|s| s.lock().expect("subtree shard poisoned").len()).sum()
     }
 
+    /// Number of cached whole-network verdicts.
+    pub fn verdict_entries(&self) -> usize {
+        self.verdicts.iter().map(|s| s.lock().expect("verdict shard poisoned").len()).sum()
+    }
+
     /// Number of interned keywords.
     pub fn interned_keywords(&self) -> usize {
         self.interner.lock().expect("interner poisoned").len()
@@ -207,6 +510,92 @@ impl EvalCache {
 impl Default for EvalCache {
     fn default() -> Self {
         EvalCache::new()
+    }
+}
+
+/// A process-wide evaluation cache handle, shared by every session of a
+/// serving process (DESIGN.md §12, CACHING.md).
+///
+/// Wraps one [`EvalCache`] keyed by **database generation** and bounded by a
+/// **byte-budget LRU**: sessions built over the same
+/// [`crate::debugger::SharedParts`] reuse each other's keyword selections and
+/// subtree semi-join value-sets, so a keyword one tenant warmed is free for
+/// the next. Cloning shares the store (reference-count bump). Attach with
+/// [`crate::debugger::SharedParts::share_eval_cache`] (which stamps the
+/// matching generation) or [`crate::debugger::SharedParts::adopt_eval_cache`]
+/// (which validates it); the serving layer's `ServeConfig::shared_cache` knob
+/// does this per server.
+#[derive(Clone)]
+pub struct SharedEvalCache {
+    inner: Arc<EvalCache>,
+}
+
+impl SharedEvalCache {
+    /// Creates a process-wide store for database generation `generation`,
+    /// bounded by `budget_bytes` (`None` = unbounded).
+    pub fn new(generation: u64, budget_bytes: Option<u64>) -> SharedEvalCache {
+        SharedEvalCache { inner: Arc::new(EvalCache::with_budget(generation, budget_bytes)) }
+    }
+
+    /// The shared store, in the form sessions attach to their oracles.
+    pub fn handle(&self) -> Arc<EvalCache> {
+        Arc::clone(&self.inner)
+    }
+
+    /// Database generation the store was built for.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+
+    /// The byte budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.budget()
+    }
+
+    /// Resident payload bytes (≤ budget after any insert returns).
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    /// Lookups answered from the store, across all sessions and layers.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Entries evicted by the LRU byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions()
+    }
+
+    /// Number of resident selections (dashboards; see `kws_repl :cache`).
+    pub fn selection_entries(&self) -> usize {
+        self.inner.selection_entries()
+    }
+
+    /// Number of resident subtree value-sets.
+    pub fn subtree_entries(&self) -> usize {
+        self.inner.subtree_entries()
+    }
+
+    /// Number of resident whole-network verdicts.
+    pub fn verdict_entries(&self) -> usize {
+        self.inner.verdict_entries()
+    }
+}
+
+impl std::fmt::Debug for SharedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEvalCache")
+            .field("generation", &self.generation())
+            .field("bytes", &self.bytes())
+            .field("budget", &self.budget())
+            .field("evictions", &self.evictions())
+            .finish()
     }
 }
 
@@ -227,6 +616,17 @@ pub struct SubtreeRef {
     pub parent_col: ColId,
     /// Cache key: rooted binding key of the component ++ `child_col`.
     pub key: Vec<u8>,
+}
+
+/// Canonical binding key of a *whole* network: the rooted byte code of the
+/// full tree (rooted at vertex 0, matching the executor's reduction root),
+/// with vertices labeled by binding like the cut-subtree keys. Two probes
+/// with this key equal ask the engine the exact same question, so the
+/// verdict-cache layer ([`EvalCache::verdict`]) answers the second from the
+/// first's completed reduction — within a session or, through
+/// [`SharedEvalCache`], across every session of the generation.
+pub fn network_key(j: &Jnts, vid: &dyn Fn(usize) -> u64) -> Vec<u8> {
+    rooted_subtree_key(0, usize::MAX, &direction_aware_adjacency(j), vid)
 }
 
 /// Computes the [`SubtreeRef`] of every non-root vertex of `j` (rooted at
@@ -319,5 +719,64 @@ mod tests {
         // Empty sets are legitimate entries (dead-subtree proofs).
         c.insert_subtree(b"k2".to_vec(), vec![]);
         assert_eq!(*c.subtree(b"k2").unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn hit_miss_counters_track_all_layers() {
+        let c = EvalCache::new();
+        assert!(c.selection(0, 0, true).is_none());
+        assert!(c.subtree(b"nope").is_none());
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+        c.insert_selection(0, 0, true, vec![1]);
+        c.insert_subtree(b"yes".to_vec(), vec![4]);
+        assert!(c.selection(0, 0, true).is_some());
+        assert!(c.subtree(b"yes").is_some());
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_returns_bytes() {
+        // Each selection of 4 RowIds costs 16 bytes; budget fits two.
+        let c = EvalCache::with_budget(7, Some(32));
+        assert_eq!(c.generation(), 7);
+        c.insert_selection(0, 0, true, vec![1, 2, 3, 4]);
+        c.insert_selection(1, 1, true, vec![1, 2, 3, 4]);
+        assert_eq!(c.evictions(), 0);
+        // Touch the first so the second is the LRU victim.
+        assert!(c.selection(0, 0, true).is_some());
+        c.insert_selection(2, 2, true, vec![1, 2, 3, 4]);
+        assert_eq!(c.evictions(), 1, "one entry evicted to fit the budget");
+        assert!(c.bytes() <= 32, "budget enforced: {}", c.bytes());
+        assert!(c.selection(0, 0, true).is_some(), "recently-touched entry survives");
+        assert!(c.selection(1, 1, true).is_none(), "LRU entry evicted");
+        assert!(c.selection(2, 2, true).is_some(), "newest entry resident");
+        assert_eq!(c.bytes(), c.accounted_bytes(), "accounting identity after eviction");
+    }
+
+    #[test]
+    fn eviction_spans_layers_and_keeps_identity() {
+        let c = EvalCache::with_budget(1, Some(48));
+        c.insert_subtree(b"old-subtree-key".to_vec(), vec![1, 2]);
+        c.insert_selection(0, 0, true, vec![1, 2, 3, 4]);
+        c.insert_selection(1, 1, true, vec![1, 2, 3, 4]);
+        // 15+16 key/value + 16 + 16 = 63 > 48: the oldest (subtree) goes.
+        assert!(c.evictions() > 0);
+        assert!(c.subtree(b"old-subtree-key").is_none(), "oldest layer-2 entry evicted");
+        assert!(c.bytes() <= 48);
+        assert_eq!(c.bytes(), c.accounted_bytes());
+    }
+
+    #[test]
+    fn shared_handle_is_one_store() {
+        let shared = SharedEvalCache::new(3, Some(1 << 20));
+        let a = shared.handle();
+        let b = shared.handle();
+        a.insert_subtree(b"k".to_vec(), vec![1]);
+        assert!(b.subtree(b"k").is_some(), "handles alias one store");
+        assert_eq!(shared.generation(), 3);
+        assert_eq!(shared.budget(), Some(1 << 20));
+        assert!(shared.bytes() > 0);
+        assert_eq!(shared.hits(), 1);
+        assert_eq!(shared.subtree_entries(), 1);
     }
 }

@@ -122,6 +122,8 @@ pub mod workspace;
 pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
 pub use debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
 pub use error::KwError;
+pub use estimate::OnlinePa;
+pub use evalcache::SharedEvalCache;
 pub use jnts::{CopyIdx, Jnts, TupleSet};
 pub use report::DebugReport;
 pub use schema_graph::SchemaGraph;

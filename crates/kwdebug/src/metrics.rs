@@ -31,6 +31,7 @@
 //! | `selection_cache_hits` | oracle, plan nodes served a shared keyword selection by [`crate::evalcache`] | beyond the paper (evaluation cache) |
 //! | `subtree_cache_hits` | oracle, probe subtrees replaced by a cached semi-join value-set | beyond the paper (evaluation cache) |
 //! | `subtree_cache_dead_shortcuts` | oracle/dispatcher, probes answered Dead from an empty cached value-set | beyond the paper (evaluation cache) |
+//! | `verdict_cache_hits` | oracle/dispatcher, probes answered (Alive *or* Dead) from a cached whole-network verdict | beyond the paper (evaluation cache) |
 //! | `cache_bytes` | oracle, payload bytes resident in the session [`crate::evalcache::EvalCache`] | beyond the paper (evaluation cache) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
@@ -185,6 +186,11 @@ pub struct Metrics {
     /// Probes answered Dead without touching the engine because a cached cut
     /// value-set was empty; counted like an inference, never as a probe.
     pub subtree_cache_dead_shortcuts: Counter,
+    /// Probes answered without touching the engine because the evaluation
+    /// cache held a completed verdict for the network's canonical binding key
+    /// ([`crate::evalcache::network_key`]); unlike dead shortcuts this layer
+    /// answers *alive* repeats too.
+    pub verdict_cache_hits: Counter,
     /// Payload bytes this oracle newly added to the session evaluation
     /// cache; summed across a session the counter equals the cache's
     /// resident size (warm runs that add nothing report 0).
@@ -214,6 +220,7 @@ impl Metrics {
             selection_cache_hits: Counter::new(),
             subtree_cache_hits: Counter::new(),
             subtree_cache_dead_shortcuts: Counter::new(),
+            verdict_cache_hits: Counter::new(),
             cache_bytes: Counter::new(),
         }
     }
@@ -240,6 +247,7 @@ impl Metrics {
             selection_cache_hits: self.selection_cache_hits.get(),
             subtree_cache_hits: self.subtree_cache_hits.get(),
             subtree_cache_dead_shortcuts: self.subtree_cache_dead_shortcuts.get(),
+            verdict_cache_hits: self.verdict_cache_hits.get(),
             cache_bytes: self.cache_bytes.get(),
         }
     }
@@ -265,6 +273,7 @@ impl Metrics {
         self.selection_cache_hits.reset();
         self.subtree_cache_hits.reset();
         self.subtree_cache_dead_shortcuts.reset();
+        self.verdict_cache_hits.reset();
         self.cache_bytes.reset();
     }
 }
@@ -316,6 +325,8 @@ pub struct ProbeCounters {
     pub subtree_cache_hits: u64,
     /// Probes answered Dead from an empty cached value-set (no execution).
     pub subtree_cache_dead_shortcuts: u64,
+    /// Probes answered from a cached whole-network verdict (no execution).
+    pub verdict_cache_hits: u64,
     /// Payload bytes newly added to the session evaluation cache.
     pub cache_bytes: u64,
 }
@@ -345,6 +356,7 @@ impl ProbeCounters {
             subtree_cache_hits: self.subtree_cache_hits - baseline.subtree_cache_hits,
             subtree_cache_dead_shortcuts: self.subtree_cache_dead_shortcuts
                 - baseline.subtree_cache_dead_shortcuts,
+            verdict_cache_hits: self.verdict_cache_hits - baseline.verdict_cache_hits,
             cache_bytes: self.cache_bytes - baseline.cache_bytes,
         }
     }
@@ -370,6 +382,7 @@ impl ProbeCounters {
         self.selection_cache_hits += other.selection_cache_hits;
         self.subtree_cache_hits += other.subtree_cache_hits;
         self.subtree_cache_dead_shortcuts += other.subtree_cache_dead_shortcuts;
+        self.verdict_cache_hits += other.verdict_cache_hits;
         self.cache_bytes += other.cache_bytes;
     }
 
@@ -500,7 +513,7 @@ impl MetricsSnapshot {
              \"r1_inferences\":{},\"r2_inferences\":{},\"retries\":{},\"reuse_hits\":{},\
              \"selection_cache_hits\":{},\
              \"steals\":{},\"subtree_cache_dead_shortcuts\":{},\"subtree_cache_hits\":{},\
-             \"time_ns\":{},\"tuples_scanned\":{},\"workers\":{},\
+             \"time_ns\":{},\"tuples_scanned\":{},\"verdict_cache_hits\":{},\"workers\":{},\
              \"workspace_reuses\":{}}}",
             p.budget_exhausted,
             p.cache_bytes,
@@ -520,6 +533,7 @@ impl MetricsSnapshot {
             p.subtree_cache_hits,
             p.probe_time_ns,
             p.tuples_scanned,
+            p.verdict_cache_hits,
             p.workers,
             p.workspace_reuses,
         );
@@ -672,6 +686,7 @@ mod tests {
                 selection_cache_hits: 13,
                 subtree_cache_hits: 6,
                 subtree_cache_dead_shortcuts: 2,
+                verdict_cache_hits: 8,
                 cache_bytes: 512,
             },
             phases: PhaseTiming {
@@ -712,7 +727,7 @@ mod tests {
              \"r1_inferences\":4,\"r2_inferences\":9,\"retries\":2,\"reuse_hits\":3,\
              \"selection_cache_hits\":13,\
              \"steals\":7,\"subtree_cache_dead_shortcuts\":2,\"subtree_cache_hits\":6,\
-             \"time_ns\":345,\"tuples_scanned\":678,\"workers\":4,\
+             \"time_ns\":345,\"tuples_scanned\":678,\"verdict_cache_hits\":8,\"workers\":4,\
              \"workspace_reuses\":1},\
              \"phases\":{\"mapping_ns\":1,\"pruning_ns\":2,\"traversal_ns\":3,\
              \"sql_ns\":4,\"reporting_ns\":5,\"total_ns\":6},\

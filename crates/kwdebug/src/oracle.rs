@@ -80,7 +80,7 @@ use textindex::InvertedIndex;
 use crate::binding::Interpretation;
 use crate::budget::{BudgetGate, Exhausted, ProbeBudget, RetryPolicy};
 use crate::error::KwError;
-use crate::evalcache::{subtree_refs, EvalCache};
+use crate::evalcache::{network_key, subtree_refs, EvalCache};
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
 use crate::metrics::Metrics;
@@ -237,6 +237,9 @@ pub(crate) struct ProbeCore<'a> {
     /// The session-scoped evaluation cache (`None` = plain planning). Shared
     /// across interpretations and parallel workers; see [`crate::evalcache`].
     cache: Option<Arc<EvalCache>>,
+    /// Online `p_a` observer (`None` = off). Every *executed* probe reports
+    /// its `(level, verdict)` here; see [`crate::estimate::OnlinePa`].
+    pa_stats: Option<Arc<crate::estimate::OnlinePa>>,
 }
 
 // The core must stay shareable across the scheduler's worker threads; this
@@ -265,6 +268,7 @@ impl<'a> ProbeCore<'a> {
             retry: RetryPolicy::default(),
             chaos: None,
             cache: None,
+            pa_stats: None,
         }
     }
 
@@ -400,6 +404,31 @@ impl<'a> ProbeCore<'a> {
             }
         }
         false
+    }
+
+    /// Answers a probe without touching the engine when the evaluation cache
+    /// already knows the outcome — first from a completed whole-network
+    /// verdict under the network's canonical binding key
+    /// ([`crate::evalcache::network_key`]; `verdict_cache_hits`), then from
+    /// an empty cached cut value-set ([`ProbeCore::dead_shortcut`]). The
+    /// verdict layer answers *alive* repeats too, which is what makes warm
+    /// shared-cache sessions probe-free on repeated workloads. Both answers
+    /// are ground truth, so they also feed the memo.
+    pub(crate) fn shortcut(&self, node: NodeId, jnts: &Jnts) -> Option<bool> {
+        if let Some(cache) = &self.cache {
+            let labels = self.binding_labels(jnts, cache);
+            if let Some(alive) = cache.verdict(&network_key(jnts, &|i| labels[i])) {
+                self.metrics.verdict_cache_hits.incr();
+                if let Some(memo) = &self.memo {
+                    memo.insert(node, alive);
+                }
+                return Some(alive);
+            }
+        }
+        if self.dead_shortcut(node, jnts) {
+            return Some(false);
+        }
+        None
     }
 
     /// Builds a cache-aware probe plan rooted (like the executor's reduction)
@@ -654,15 +683,25 @@ impl<'a> ProbeCore<'a> {
                 if let Some(memo) = &self.memo {
                     memo.insert(node, alive);
                 }
+                // Executed verdicts (and only those — memo hits, inferences
+                // and dead shortcuts are derived facts) feed the online p_a
+                // estimator.
+                if let Some(stats) = &self.pa_stats {
+                    stats.record(jnts.node_count(), alive);
+                }
                 // Only a *completed* reduction reaches this point (a chaos
                 // fault aborts before execution), so every harvested
-                // value-set is a sound cache entry.
+                // value-set — and the whole-network verdict itself — is a
+                // sound cache entry.
                 if let (Some(c), Some(cache)) = (cached, &self.cache) {
                     for ((_, key), values) in c.harvest.into_iter().zip(harvested) {
                         if let Some(values) = values {
                             self.metrics.cache_bytes.add(cache.insert_subtree(key, values));
                         }
                     }
+                    let labels = self.binding_labels(jnts, cache);
+                    let key = network_key(jnts, &|i| labels[i]);
+                    self.metrics.cache_bytes.add(cache.insert_verdict(key, alive));
                 }
                 Probe::Verdict(alive)
             }
@@ -745,6 +784,17 @@ impl<'a> AlivenessOracle<'a> {
         self
     }
 
+    /// Attaches an [`crate::estimate::OnlinePa`] observer: every executed
+    /// probe reports its `(level, verdict)` so later queries — in this
+    /// session or, when the estimator is shared through
+    /// [`crate::debugger::SharedParts`], any session of the process — start
+    /// SBH from observed alive rates instead of the fixed paper prior.
+    /// Recording is lock-free and does not change verdicts or reports.
+    pub fn with_pa_stats(mut self, stats: Arc<crate::estimate::OnlinePa>) -> Self {
+        self.core.pa_stats = Some(stats);
+        self
+    }
+
     /// The memoized verdict of a node, without probing: `Some(true)` for
     /// cached alive, `Some(false)` for cached dead, `None` when the node was
     /// never probed (or memoization is off). Lets traversals and the session
@@ -783,8 +833,8 @@ impl<'a> AlivenessOracle<'a> {
             self.core.metrics.memo_hits.incr();
             return Probe::Verdict(alive);
         }
-        if self.core.dead_shortcut(node, jnts) {
-            return Probe::Verdict(false);
+        if let Some(alive) = self.core.shortcut(node, jnts) {
+            return Probe::Verdict(alive);
         }
         if let Err(why) = self.core.try_reserve() {
             return Probe::Exhausted(why);
@@ -1273,11 +1323,21 @@ mod tests {
         assert!(cache.selection_entries() > 0, "keyword selections published");
         assert!(cache.bytes() > 0);
 
-        // A fresh oracle sharing the session cache answers Dead for free.
+        // A fresh oracle sharing the session cache answers Dead for free —
+        // the whole network's completed verdict is already cached.
         let mut o2 = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
             .with_eval_cache(Arc::clone(&cache));
         assert!(!o2.is_alive(0, &j).unwrap());
-        assert_eq!(o2.queries(), 0, "empty cached cut answers without executing");
+        assert_eq!(o2.queries(), 0, "cached verdict answers without executing");
+        let snap = o2.metrics().snapshot();
+        assert_eq!(snap.verdict_cache_hits, 1);
+        assert_eq!(snap.probes_executed, 0);
+
+        // A *larger* network was never probed whole, so no verdict exists for
+        // it — but it contains the cached-empty cut, so the dead shortcut
+        // still answers without the engine.
+        let j3 = j.extend(0, inc(0, 1, false), 2);
+        assert!(!o2.is_alive(2, &j3).unwrap());
         let snap = o2.metrics().snapshot();
         assert_eq!(snap.subtree_cache_dead_shortcuts, 1);
         assert_eq!(snap.probes_executed, 0);
@@ -1306,7 +1366,12 @@ mod tests {
         let mut o = AlivenessOracle::new(&db, Some(&idx), interp, &m.keywords, false)
             .with_eval_cache(Arc::clone(&cache));
         assert_eq!(plain.is_alive(0, &j).unwrap(), o.is_alive(0, &j).unwrap());
+        assert_eq!(o.metrics().snapshot().verdict_cache_hits, 1, "warm repeat skips the engine");
         assert_eq!(plain.sample(&j, 5).unwrap(), o.sample(&j, 5).unwrap(), "same tuples");
+        // A larger network sharing the warmed item–color branch has no cached
+        // verdict, but its probe prunes the branch from the plan.
+        let j2 = j.extend(0, inc(0, 1, false), 2);
+        assert_eq!(plain.is_alive(1, &j2).unwrap(), o.is_alive(1, &j2).unwrap());
         assert!(o.metrics().snapshot().subtree_cache_hits > 0, "warm probe pruned subtrees");
         assert_eq!(o.sql(&j).unwrap(), plain.sql(&j).unwrap(), "SQL text is cache-blind");
     }

@@ -271,10 +271,13 @@ pub(crate) fn run_waves(
                     frontier.apply(dense, alive, &core.metrics);
                     continue;
                 }
-                // An empty cached cut value-set answers the node Dead right
-                // at dispatch, like a memo hit: no budget slot, no engine.
-                if core.dead_shortcut(pruned.lattice_id(dense), pruned.jnts(lattice, dense)) {
-                    frontier.apply(dense, false, &core.metrics);
+                // A cached whole-network verdict or an empty cached cut
+                // value-set answers the node right at dispatch, like a memo
+                // hit: no budget slot, no engine.
+                if let Some(alive) =
+                    core.shortcut(pruned.lattice_id(dense), pruned.jnts(lattice, dense))
+                {
+                    frontier.apply(dense, alive, &core.metrics);
                     continue;
                 }
                 if core.try_reserve().is_err() {

@@ -63,5 +63,5 @@ pub mod tenant;
 pub use chaos::{ChaosConfig, ChaosStream};
 pub use client::{ClientError, DebugClient, ReconnectPolicy, ResilientClient, WireReport};
 pub use protocol::ErrorCode;
-pub use server::{ServeConfig, Server, ServerMetrics};
+pub use server::{ServeConfig, Server, ServerMetrics, SharedCacheConfig};
 pub use tenant::{TenantPolicy, TenantRegistry};

@@ -156,8 +156,11 @@ pub enum Request {
         /// The raw keyword query text.
         query: String,
     },
-    /// Requests the session's cumulative metrics as one stable-JSON
-    /// [`kwdebug::metrics::MetricsSnapshot`] record.
+    /// Requests the composite metrics record: server-wide counters
+    /// (including the `shared_cache_*` gauges when the server runs a
+    /// process-wide evaluation cache, see SERVING.md §7) alongside the
+    /// session's cumulative stable-JSON
+    /// [`kwdebug::metrics::MetricsSnapshot`].
     Metrics,
     /// Ends the session cleanly; the server answers [`Response::ByeAck`]
     /// and closes.
@@ -184,9 +187,12 @@ pub enum Response {
         /// Canonical report payload ([`encode_report`]).
         payload: Vec<u8>,
     },
-    /// The session metrics record.
+    /// The composite metrics record.
     MetricsJson {
-        /// One [`kwdebug::metrics::MetricsSnapshot::to_json`] line.
+        /// One `{"server":…,"session":…}` line: sorted-key server counters
+        /// (`ServerMetrics::to_json`, including `probes_executed` and the
+        /// four `shared_cache_*` fields) plus the session's
+        /// [`kwdebug::metrics::MetricsSnapshot::to_json`] record.
         json: String,
     },
     /// Clean goodbye; the server closes after sending this.
@@ -642,6 +648,7 @@ fn put_probes(out: &mut Vec<u8>, p: &ProbeCounters) {
     put_u64(out, p.selection_cache_hits);
     put_u64(out, p.subtree_cache_hits);
     put_u64(out, p.subtree_cache_dead_shortcuts);
+    put_u64(out, p.verdict_cache_hits);
     put_u64(out, p.cache_bytes);
 }
 
@@ -666,6 +673,7 @@ fn read_probes(rd: &mut Rd<'_>) -> Result<ProbeCounters, WireError> {
         selection_cache_hits: rd.u64()?,
         subtree_cache_hits: rd.u64()?,
         subtree_cache_dead_shortcuts: rd.u64()?,
+        verdict_cache_hits: rd.u64()?,
         cache_bytes: rd.u64()?,
     })
 }

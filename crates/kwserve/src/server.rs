@@ -46,11 +46,16 @@
 //! ## Per-session state
 //!
 //! Every admitted session builds its own [`NonAnswerDebugger`] via
-//! [`NonAnswerDebugger::from_shared`]: a fresh workspace pool, a fresh
-//! evaluation-cache generation and the tenant's budget, over the one shared
-//! immutable database/index/lattice (DESIGN.md §11 explains why sessions
-//! must never share an evalcache generation). Session construction is O(1),
-//! so a connection costs no Phase-0 work. Under pressure, a configured
+//! [`NonAnswerDebugger::from_shared`]: a fresh workspace pool and the
+//! tenant's budget, over the one shared immutable database/index/lattice.
+//! The evaluation cache is private per session by default; with
+//! [`ServeConfig::shared_cache`] set, sessions instead attach to one
+//! process-wide [`SharedEvalCache`] keyed by the substrate's database
+//! generation and bounded by a byte-budget LRU, so overlapping-keyword
+//! tenants reuse each other's selections and subtree reductions (DESIGN.md
+//! §12, CACHING.md; tenants opt out via `TenantPolicy::private_cache`).
+//! Session construction is O(1), so a connection costs no Phase-0 work.
+//! Under pressure, a configured
 //! [`ServeConfig::request_deadline`] is scaled down by gate occupancy (see
 //! [`scaled_deadline`]) and folded into the session's [`ProbeBudget`], so
 //! late requests degrade to *sound partial reports* instead of timing out
@@ -75,6 +80,7 @@ use std::time::{Duration, Instant};
 
 use kwdebug::budget::ProbeBudget;
 use kwdebug::debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
+use kwdebug::evalcache::SharedEvalCache;
 use kwdebug::metrics::{MetricsSnapshot, PhaseTiming, ProbeCounters};
 use kwdebug::KwError;
 
@@ -126,6 +132,37 @@ pub struct ServeConfig {
     /// eval-cache, ...). A tenant's non-unlimited budget overrides
     /// `debug.budget`; `debug.max_joins` must match the shared lattice.
     pub debug: DebugConfig,
+    /// Process-wide evaluation cache shared across every session of every
+    /// tenant (`None`, the default, keeps the PR 5 behavior: one private
+    /// cache per session). When set, the server creates one
+    /// [`SharedEvalCache`] for the substrate's database generation, forces
+    /// `debug.eval_cache` on, and hands the store to each admitted session —
+    /// so a keyword one tenant warmed is free for the next. The byte-budget
+    /// LRU bounds residency; tenants can opt out per policy
+    /// (`TenantPolicy::private_cache`). See CACHING.md and SERVING.md §7.
+    pub shared_cache: Option<SharedCacheConfig>,
+}
+
+/// Configuration of the process-wide shared evaluation cache
+/// ([`ServeConfig::shared_cache`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedCacheConfig {
+    /// LRU byte budget of the store (`None` = unbounded — only sensible for
+    /// benchmarks). Defaults to 64 MiB: enough to keep the hot keyword
+    /// working set of dozens of tenants resident on the paper's scales while
+    /// bounding worst-case memory per process.
+    pub budget_bytes: Option<u64>,
+    /// Also enable cross-session online `p_a` estimation
+    /// (`DebugConfig::online_pa`): executed verdicts from all sessions drive
+    /// SBH priors instead of the fixed 0.5. On by default — it never changes
+    /// reports, only probe order.
+    pub online_pa: bool,
+}
+
+impl Default for SharedCacheConfig {
+    fn default() -> Self {
+        SharedCacheConfig { budget_bytes: Some(64 << 20), online_pa: true }
+    }
 }
 
 impl Default for ServeConfig {
@@ -142,6 +179,7 @@ impl Default for ServeConfig {
             retry_after: Duration::from_millis(100),
             chaos: None,
             debug: DebugConfig::default(),
+            shared_cache: None,
         }
     }
 }
@@ -202,6 +240,18 @@ pub struct ServerMetrics {
     /// Faults injected by `ChaosStream`s (shared with every wrapped
     /// connection; 0 when chaos is off or quiet).
     pub chaos_faults_injected: Arc<AtomicU64>,
+    /// Aliveness probes executed across every session's reports (the
+    /// probes-per-request denominator of E18's cache-efficiency ratio).
+    pub probes_executed: AtomicU64,
+    /// Resident bytes of the shared evaluation cache (gauge, refreshed at
+    /// every Metrics read; 0 when `shared_cache` is off).
+    pub shared_cache_bytes: AtomicU64,
+    /// Entries evicted by the shared cache's LRU byte budget.
+    pub shared_cache_evictions: AtomicU64,
+    /// Lookups answered from the shared cache, across all sessions/layers.
+    pub shared_cache_hits: AtomicU64,
+    /// Shared-cache lookups that found nothing.
+    pub shared_cache_misses: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -211,15 +261,18 @@ impl ServerMetrics {
         format!(
             "{{\"chaos_faults_injected\":{},\"connections_accepted\":{},\"conns_failed\":{},\
              \"deadlines_hit\":{},\"frames_rejected\":{},\"panics_caught\":{},\
-             \"queries_ok\":{},\"queries_rejected\":{},\"reports_degraded\":{},\
-             \"requests_shed\":{},\"sessions_admitted\":{},\"sessions_closed\":{},\
-             \"sessions_rejected\":{},\"sessions_shed\":{}}}",
+             \"probes_executed\":{},\"queries_ok\":{},\"queries_rejected\":{},\
+             \"reports_degraded\":{},\"requests_shed\":{},\"sessions_admitted\":{},\
+             \"sessions_closed\":{},\"sessions_rejected\":{},\"sessions_shed\":{},\
+             \"shared_cache_bytes\":{},\"shared_cache_evictions\":{},\
+             \"shared_cache_hits\":{},\"shared_cache_misses\":{}}}",
             self.chaos_faults_injected.load(Ordering::Relaxed),
             self.connections_accepted.load(Ordering::Relaxed),
             self.conns_failed.load(Ordering::Relaxed),
             self.deadlines_hit.load(Ordering::Relaxed),
             self.frames_rejected.load(Ordering::Relaxed),
             self.panics_caught.load(Ordering::Relaxed),
+            self.probes_executed.load(Ordering::Relaxed),
             self.queries_ok.load(Ordering::Relaxed),
             self.queries_rejected.load(Ordering::Relaxed),
             self.reports_degraded.load(Ordering::Relaxed),
@@ -228,6 +281,10 @@ impl ServerMetrics {
             self.sessions_closed.load(Ordering::Relaxed),
             self.sessions_rejected.load(Ordering::Relaxed),
             self.sessions_shed.load(Ordering::Relaxed),
+            self.shared_cache_bytes.load(Ordering::Relaxed),
+            self.shared_cache_evictions.load(Ordering::Relaxed),
+            self.shared_cache_hits.load(Ordering::Relaxed),
+            self.shared_cache_misses.load(Ordering::Relaxed),
         )
     }
 }
@@ -293,6 +350,21 @@ struct Shared {
     queue: Mutex<VecDeque<PendingConn>>,
     queue_cv: Condvar,
     config: ServeConfig,
+    /// The process-wide evaluation cache, when [`ServeConfig::shared_cache`]
+    /// is set (also attached inside `parts`; kept here for metrics refresh).
+    shared_cache: Option<SharedEvalCache>,
+}
+
+impl Shared {
+    /// Mirrors the shared store's live counters into [`ServerMetrics`]
+    /// (gauges, overwritten on every refresh). No-op without a shared cache.
+    fn refresh_cache_metrics(&self) {
+        let Some(cache) = &self.shared_cache else { return };
+        self.metrics.shared_cache_bytes.store(cache.bytes(), Ordering::Relaxed);
+        self.metrics.shared_cache_evictions.store(cache.evictions(), Ordering::Relaxed);
+        self.metrics.shared_cache_hits.store(cache.hits(), Ordering::Relaxed);
+        self.metrics.shared_cache_misses.store(cache.misses(), Ordering::Relaxed);
+    }
 }
 
 /// A running debug service. Dropping without [`Server::shutdown`] detaches
@@ -314,6 +386,18 @@ impl Server {
         registry: TenantRegistry,
         config: ServeConfig,
     ) -> std::io::Result<Server> {
+        let mut parts = parts;
+        let mut config = config;
+        // The shared-cache knob: build one process-wide store for this
+        // substrate's generation and attach it to the parts every session is
+        // spawned from. Sessions need the eval cache on to consult it.
+        let shared_cache = config.shared_cache.map(|sc| {
+            config.debug.eval_cache = true;
+            if sc.online_pa {
+                config.debug.online_pa = true;
+            }
+            parts.share_eval_cache(sc.budget_bytes)
+        });
         // Surface config/lattice mismatches now, not per connection.
         NonAnswerDebugger::from_shared(parts.clone(), config.debug)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -332,6 +416,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             config,
+            shared_cache,
         });
         let mut threads = Vec::with_capacity(workers + 1);
         {
@@ -358,9 +443,16 @@ impl Server {
         self.addr
     }
 
-    /// Live server counters.
+    /// Live server counters (shared-cache gauges refreshed on each call).
     pub fn metrics(&self) -> &ServerMetrics {
+        self.shared.refresh_cache_metrics();
         &self.shared.metrics
+    }
+
+    /// The process-wide evaluation cache, when the server was started with
+    /// [`ServeConfig::shared_cache`] (live counters for benches/dashboards).
+    pub fn shared_cache(&self) -> Option<&SharedEvalCache> {
+        self.shared.shared_cache.as_ref()
     }
 
     /// The admission registry (for live quota inspection).
@@ -387,6 +479,7 @@ impl Server {
         for handle in self.threads {
             let _ = handle.join();
         }
+        self.shared.refresh_cache_metrics();
         match Arc::try_unwrap(self.shared) {
             Ok(shared) => shared.metrics,
             Err(_) => ServerMetrics::default(),
@@ -810,7 +903,9 @@ fn serve_connection(stream: TcpStream, conn_index: u64, shared: &Shared) {
             (Request::Metrics, Some(session)) => {
                 // Composite: server-wide robustness counters alongside the
                 // session's own snapshot, both stable-sorted (`"server"` <
-                // `"session"`).
+                // `"session"`). Shared-cache gauges are refreshed first so
+                // the wire always carries current residency.
+                shared.refresh_cache_metrics();
                 let json = format!(
                     "{{\"server\":{},\"session\":{}}}",
                     shared.metrics.to_json(),
@@ -851,7 +946,14 @@ fn admit(shared: &Shared, tenant: &str) -> Result<Session, Response> {
     if !policy.budget.is_unlimited() {
         config.budget = policy.budget;
     }
-    let debugger = NonAnswerDebugger::from_shared(shared.parts.clone(), config)
+    // Tenants opted out of the shared store get sessions over a cache-less
+    // clone of the substrate: private evalcache, same shared p_a estimator.
+    let parts = if policy.private_cache {
+        shared.parts.without_shared_cache()
+    } else {
+        shared.parts.clone()
+    };
+    let debugger = NonAnswerDebugger::from_shared(parts, config)
         .map_err(|e| Response::error(ErrorCode::Internal, e.to_string()))?;
     Ok(Session {
         debugger,
@@ -897,6 +999,10 @@ fn run_debug(
             session.phases.accumulate(&report.timing);
             session.last_query = query.to_owned();
             shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .probes_executed
+                .fetch_add(report.probes().probes_executed, Ordering::Relaxed);
             if degraded {
                 shared.metrics.reports_degraded.fetch_add(1, Ordering::Relaxed);
             }
@@ -972,5 +1078,18 @@ mod tests {
         assert!(json.contains("\"queries_ok\":3"));
         assert!(json.contains("\"sessions_shed\":0"));
         assert!(json.contains("\"panics_caught\":0"));
+        assert!(json.contains("\"probes_executed\":0"));
+        assert!(json.contains("\"shared_cache_bytes\":0"));
+        assert!(json.contains("\"shared_cache_evictions\":0"));
+        assert!(json.contains("\"shared_cache_hits\":0"));
+        assert!(json.contains("\"shared_cache_misses\":0"));
+    }
+
+    #[test]
+    fn shared_cache_config_defaults_are_bounded() {
+        let sc = SharedCacheConfig::default();
+        assert_eq!(sc.budget_bytes, Some(64 << 20), "bounded by default");
+        assert!(sc.online_pa, "online p_a rides along by default");
+        assert!(ServeConfig::default().shared_cache.is_none(), "knob is opt-in");
     }
 }

@@ -41,6 +41,14 @@ pub struct TenantPolicy {
     /// request is answered `Overloaded` with a retry hint — shed, not
     /// queued — while the session stays open.
     pub max_inflight_requests: usize,
+    /// Opt this tenant out of the server's process-wide
+    /// [`kwdebug::evalcache::SharedEvalCache`] (when `ServeConfig::
+    /// shared_cache` is enabled): its sessions get private, session-scoped
+    /// caches instead. Isolation knob for tenants whose query mix would
+    /// thrash the shared LRU, or whose workload must not influence (or be
+    /// influenced by) co-tenants' cache residency. No effect when the server
+    /// runs without a shared cache.
+    pub private_cache: bool,
 }
 
 impl Default for TenantPolicy {
@@ -49,6 +57,7 @@ impl Default for TenantPolicy {
             max_sessions: usize::MAX,
             budget: ProbeBudget::unlimited(),
             max_inflight_requests: usize::MAX,
+            private_cache: false,
         }
     }
 }
@@ -69,6 +78,13 @@ impl TenantPolicy {
     /// sessions.
     pub fn with_max_inflight(mut self, max_inflight_requests: usize) -> TenantPolicy {
         self.max_inflight_requests = max_inflight_requests;
+        self
+    }
+
+    /// Opts this tenant out of the server's shared evaluation cache (see
+    /// [`TenantPolicy::private_cache`]).
+    pub fn with_private_cache(mut self) -> TenantPolicy {
+        self.private_cache = true;
         self
     }
 }

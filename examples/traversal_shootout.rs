@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\nwith the cross-probe evaluation cache (one warming session):\n");
     println!(
-        "{:<8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>10}",
-        "strategy", "probes", "dead-sc", "sel-hit", "sub-hit", "scanned", "time"
+        "{:<8} {:>7} {:>8} {:>7} {:>8} {:>8} {:>9} {:>10}",
+        "strategy", "probes", "dead-sc", "vc-hit", "sel-hit", "sub-hit", "scanned", "time"
     );
     for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
         let report = cached.debug_with_strategy(query, kind)?;
@@ -77,15 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(reference, Some(signature), "{kind}: cache changed the output");
         let p = report.probes();
         assert_eq!(
-            p.probes_executed + p.subtree_cache_dead_shortcuts,
+            p.probes_executed + p.subtree_cache_dead_shortcuts + p.verdict_cache_hits,
             baseline_probes[i],
-            "{kind}: every skipped probe must be a dead shortcut"
+            "{kind}: every skipped probe must be a cache shortcut"
         );
         println!(
-            "{:<8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>10}",
+            "{:<8} {:>7} {:>8} {:>7} {:>8} {:>8} {:>9} {:>10}",
             kind.name(),
             p.probes_executed,
             p.subtree_cache_dead_shortcuts,
+            p.verdict_cache_hits,
             p.selection_cache_hits,
             p.subtree_cache_hits,
             p.tuples_scanned,
@@ -94,11 +95,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let cache = cached.eval_cache();
     println!(
-        "\nsame answers, fewer scans: {} selections + {} subtree value-sets cached ({} bytes)",
+        "\nsame answers, fewer scans: {} selections + {} subtree value-sets + {} verdicts cached ({} bytes)",
         cache.selection_entries(),
         cache.subtree_entries(),
+        cache.verdict_entries(),
         cache.bytes()
     );
-    println!("(dead-sc = probes answered from an empty cached cut value-set, no SQL issued)");
+    println!("(dead-sc = probes answered from an empty cached cut value-set; vc-hit = probes answered from a cached whole-network verdict; no SQL issued for either)");
     Ok(())
 }

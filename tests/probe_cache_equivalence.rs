@@ -9,11 +9,13 @@
 //! Probe counts obey the documented identity
 //!
 //! ```text
-//! probes_executed(cache on) + subtree_cache_dead_shortcuts == probes_executed(cache off)
+//! probes_executed(cache on) + subtree_cache_dead_shortcuts + verdict_cache_hits
+//!     == probes_executed(cache off)
 //! ```
 //!
 //! — every probe the cache skips is one answered Dead from an empty cached
-//! cut value-set. `tuples_scanned`, `probe_time_ns` and the cache-hit
+//! cut value-set or answered (either way) from a cached whole-network
+//! verdict. `tuples_scanned`, `probe_time_ns` and the cache-hit
 //! counters legitimately differ (that is the point of the cache) and are
 //! scrubbed before comparison. Budgets stay unlimited here: a limited budget
 //! composed with the cache can change *which* probe trips the cap, which is
@@ -61,6 +63,7 @@ fn comparable(mut p: ProbeCounters) -> ProbeCounters {
     p.selection_cache_hits = 0;
     p.subtree_cache_hits = 0;
     p.subtree_cache_dead_shortcuts = 0;
+    p.verdict_cache_hits = 0;
     p.cache_bytes = 0;
     p.workers = 0;
     p.steals = 0;
@@ -79,12 +82,14 @@ fn assert_cache_equivalent(off: &DebugReport, on: &DebugReport, ctx: &str) {
         assert_eq!(a.budget_exhausted, b.budget_exhausted, "{ctx}: exhaustion cause");
         assert_eq!(comparable(a.probes), comparable(b.probes), "{ctx}: probe counters");
         assert_eq!(
-            a.probes.probes_executed + a.probes.subtree_cache_dead_shortcuts,
+            a.probes.probes_executed
+                + a.probes.subtree_cache_dead_shortcuts
+                + a.probes.verdict_cache_hits,
             b.probes.probes_executed,
-            "{ctx}: every skipped probe is accounted as a dead shortcut"
+            "{ctx}: every skipped probe is accounted as a shortcut"
         );
         assert_eq!(
-            a.sql_queries + a.probes.subtree_cache_dead_shortcuts,
+            a.sql_queries + a.probes.subtree_cache_dead_shortcuts + a.probes.verdict_cache_hits,
             b.sql_queries,
             "{ctx}: traversal query counts obey the same identity"
         );
@@ -173,7 +178,11 @@ fn warm_session_repeats_identically_with_less_work() {
         let w = warm.probes();
         if cold.probes().probes_executed > 0 {
             assert!(
-                w.selection_cache_hits + w.subtree_cache_hits + w.subtree_cache_dead_shortcuts > 0,
+                w.selection_cache_hits
+                    + w.subtree_cache_hits
+                    + w.subtree_cache_dead_shortcuts
+                    + w.verdict_cache_hits
+                    > 0,
                 "{}: warm run reuses session state",
                 q.id
             );

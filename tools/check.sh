@@ -31,6 +31,9 @@ cargo test --workspace --release -q --test prune_equivalence
 echo "==> probe evaluation cache differential (cache on/off, all strategies)"
 cargo test --workspace --release -q --test probe_cache_equivalence
 
+echo "==> shared evaluation cache differential (cross-session, budgets, chaos pollution)"
+cargo test --workspace --release -q --test shared_cache_equivalence
+
 echo "==> cold-vs-warm probe cache benchmark (DBLife, results/BENCH_exp_probe_cache.json)"
 ./target/release/exp_probe_cache --scale medium | grep -E "throughput|speedup|wrote"
 
@@ -43,8 +46,32 @@ cargo test --workspace --release -q --test protocol_fuzz
 echo "==> chaos soak (fixed seeds: shedding, deadlines, panic isolation, leak-free permits)"
 cargo test --workspace --release -q --test chaos_soak
 
-echo "==> serving load generator (E16 smoke + E17 overload, results/BENCH_exp_serve.json)"
-./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 --overload | grep -E "BENCH_JSON|overload p99"
+echo "==> shared-cache soak (cross-tenant chaos against one store, accounting, pollution)"
+cargo test --workspace --release -q --test shared_cache_soak
+
+echo "==> serving load generator (E16 smoke + E17 overload + E18 warm, results/BENCH_exp_serve.json)"
+./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 --overload --warm \
+    | grep -E "BENCH_JSON|overload p99|fewer probes"
+
+echo "==> SERVING.md wire-spec drift check (tables must match protocol.rs codes)"
+drift=0
+# Every message-type constant (`pub const BYE_ACK: u8 = 0x84;`) must appear in
+# the SERVING.md frame tables as a `| \`0x84\` | \`ByeAck\` |` row.
+while read -r name code; do
+    camel=$(echo "$name" | awk -F_ '{for (i = 1; i <= NF; i++) \
+        printf "%s%s", toupper(substr($i,1,1)), tolower(substr($i,2))}')
+    grep -Eq "\|[[:space:]]*\`${code}\`[[:space:]]*\|[[:space:]]*\`${camel}\`" SERVING.md \
+        || { echo "SERVING.md: missing or renamed message row: ${code} ${camel}"; drift=1; }
+done < <(sed -n 's/^ *pub const \([A-Z_]*\): u8 = \(0x[0-9A-Fa-f]*\);.*/\1 \2/p' \
+    crates/kwserve/src/protocol.rs)
+# Every error code (`1 => Some(ErrorCode::Malformed),`) must appear in the
+# SERVING.md error table as a `| 1 | \`Malformed\` |` row.
+while read -r num name; do
+    grep -Eq "^\|[[:space:]]*${num}[[:space:]]*\|[[:space:]]*\`${name}\`" SERVING.md \
+        || { echo "SERVING.md: missing or renamed error row: ${num} ${name}"; drift=1; }
+done < <(sed -n 's/^ *\([0-9][0-9]*\) => Some(ErrorCode::\([A-Za-z]*\)).*/\1 \2/p' \
+    crates/kwserve/src/protocol.rs)
+[[ $drift -eq 0 ]] || { echo "wire-spec tables have drifted from protocol.rs"; exit 1; }
 
 if [[ $fast -eq 0 ]]; then
     echo "==> cargo doc --no-deps (warnings denied)"
