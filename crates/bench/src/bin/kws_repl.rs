@@ -16,6 +16,15 @@
 //! the system — including its degraded mode — the way the paper's intended
 //! developer/SEO user would.
 //!
+//! The local database is writable through the single-writer coordinator
+//! ([`kwdebug::MutableDatabase`]): `:mutate append TABLE v1,v2,...`,
+//! `:mutate update TABLE ROW v1,v2,...` and `:mutate delete TABLE ROW`
+//! bump the write epoch, incrementally maintain the inverted index, and
+//! selectively invalidate the evaluation cache — re-run a query before and
+//! after to watch a non-answer become an answer. `:epoch` shows the current
+//! `(db_id, epoch)` identity, the index's delta state, and what invalidation
+//! has evicted so far.
+//!
 //! Usage: `kws_repl [--scale S] [--max-level N]` (default small, N=5), then
 //! e.g. `DeRose VLDB` at the prompt.
 //!
@@ -34,24 +43,27 @@
 //!   session's server-side record plus the client-observed reconnect count,
 //!   `:cache` renders the server's process-wide shared-cache gauges
 //!   (`shared_cache_*`; zeroes when [`kwserve::ServeConfig::shared_cache`]
-//!   is off), and the local-only knobs (`:lattice`, `:budget`, `:chaos`)
-//!   say so.
+//!   is off), `:epoch` prints the database epoch the server's snapshot
+//!   serves (from `Welcome` — the session's local pin; reports from
+//!   different epochs are not comparable), and the local-only knobs
+//!   (`:lattice`, `:budget`, `:chaos`, `:mutate`) say so.
 
 use std::io::{BufRead, Write};
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use bench::{build_system, DataScale};
+use bench::{build_mutable_system, build_system, mutable_session_config, DataScale};
 use kwdebug::budget::ProbeBudget;
 use kwdebug::debugger::NonAnswerDebugger;
 use kwdebug::metrics::MetricsSnapshot;
+use kwdebug::mutable::MutableDatabase;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
 use kwserve::{
     ReconnectPolicy, ResilientClient, ServeConfig, Server, SharedCacheConfig, TenantPolicy,
     TenantRegistry,
 };
-use relengine::FaultConfig;
+use relengine::{FaultConfig, Value};
 
 /// REPL arguments: the common experiment knobs plus the two wire modes.
 struct ReplArgs {
@@ -319,6 +331,88 @@ fn parse_chaos(parts: &mut std::str::SplitWhitespace<'_>) -> Option<Option<Fault
     }))
 }
 
+/// `:mutate` value syntax: comma-separated, each item an integer when it
+/// parses as one and text otherwise ("5,glow candle,1").
+fn parse_values(csv: &str) -> Vec<Value> {
+    csv.split(',')
+        .map(|s| {
+            let s = s.trim();
+            match s.parse::<i64>() {
+                Ok(i) => Value::Int(i),
+                Err(_) => Value::text(s),
+            }
+        })
+        .collect()
+}
+
+const MUTATE_USAGE: &str = "usage: :mutate append TABLE v1,v2,...  |  \
+                            :mutate update TABLE ROW v1,v2,...  |  \
+                            :mutate delete TABLE ROW";
+
+/// `:mutate` — one DML statement through the single-writer write path.
+/// The caller has already quiesced (dropped the REPL's session); this
+/// returns the human-readable outcome either way.
+fn apply_mutation(mdb: &mut MutableDatabase, args: &[String]) -> String {
+    let (Some(op), Some(table_name)) = (args.first(), args.get(1)) else {
+        return MUTATE_USAGE.to_owned();
+    };
+    let Some(table) = mdb.table_id(table_name) else {
+        return format!("unknown table `{table_name}`");
+    };
+    let row_arg = |s: &String| s.parse::<u32>().ok();
+    let outcome = match op.as_str() {
+        "append" if args.len() >= 3 => mdb
+            .append_rows(table, vec![parse_values(&args[2..].join(" "))])
+            .map(|ids| format!("appended row {} to {table_name}", ids[0])),
+        "update" if args.len() >= 4 => match row_arg(&args[2]) {
+            Some(row) => mdb
+                .update_row(table, row, parse_values(&args[3..].join(" ")))
+                .map(|_| format!("updated {table_name} row {row}")),
+            None => return MUTATE_USAGE.to_owned(),
+        },
+        "delete" if args.len() == 3 => match row_arg(&args[2]) {
+            Some(row) => mdb
+                .delete_row(table, row)
+                .map(|_| format!("deleted {table_name} row {row} (tombstoned)")),
+            None => return MUTATE_USAGE.to_owned(),
+        },
+        _ => return MUTATE_USAGE.to_owned(),
+    };
+    match outcome {
+        Ok(msg) => format!(
+            "{msg}; now at epoch {} ({} pending delta rows, {} compactions)",
+            mdb.epoch(),
+            mdb.index().pending_delta_rows(),
+            mdb.index().compactions()
+        ),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// `:epoch` — the `(db_id, epoch)` identity and the incremental-maintenance
+/// state of the index and the shared evaluation cache.
+fn show_epoch(mdb: &MutableDatabase) {
+    println!(
+        "database id {} at write epoch {}",
+        mdb.db_id(),
+        mdb.epoch()
+    );
+    println!(
+        "index: applied epoch {}, {} pending delta rows, {} compactions",
+        mdb.index().applied_epoch(),
+        mdb.index().pending_delta_rows(),
+        mdb.index().compactions()
+    );
+    if let Some(store) = mdb.shared_cache() {
+        println!(
+            "cache: pinned at epoch {}, {} entries invalidated so far, {} bytes resident",
+            store.epoch(),
+            store.invalidated(),
+            store.bytes()
+        );
+    }
+}
+
 /// `--listen` mode: serve the built system over TCP until stdin closes.
 fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
     eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
@@ -452,10 +546,25 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
                     Ok(json) => show_shared_cache(&json),
                     Err(e) => println!("error: {e}"),
                 },
-                Some("lattice") | Some("budget") | Some("chaos") => {
-                    println!("local-only command; budgets are set per tenant on the server")
+                Some("epoch") => match client.epoch() {
+                    // The session's local pin: every report of this session
+                    // reflects exactly this database write epoch.
+                    Some(epoch) => println!(
+                        "server snapshot at write epoch {epoch} (session {}); \
+                         reports from other epochs are not comparable",
+                        client.session_id().unwrap_or(0)
+                    ),
+                    None => println!("no live session (reconnect pending)"),
+                },
+                Some("lattice") | Some("budget") | Some("chaos") | Some("mutate") => {
+                    println!(
+                        "local-only command; the server holds an immutable snapshot \
+                         and budgets are set per tenant"
+                    )
                 }
-                _ => println!("commands: :strategy <name>|default, :metrics, :cache, :quit"),
+                _ => println!(
+                    "commands: :strategy <name>|default, :metrics, :cache, :epoch, :quit"
+                ),
             }
             continue;
         }
@@ -489,15 +598,20 @@ fn main() {
         return;
     }
     eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
-    let mut system = build_system(args.scale, args.seed, max_level);
+    let mut mdb = build_mutable_system(args.scale, args.seed, max_level);
+    mdb.share_eval_cache(None);
+    let base_config = mutable_session_config(max_level);
+    let mut session = Some(mdb.session(base_config).expect("valid experiment configuration"));
     eprintln!(
         "ready: {} tuples, lattice {} nodes. Try `DeRose VLDB` or `Widom Trio`; :quit to exit.",
-        system.database().total_rows(),
-        system.lattice().node_count()
+        mdb.database().total_rows(),
+        session.as_ref().expect("just built").lattice().node_count()
     );
 
     let mut strategy = StrategyKind::ScoreBasedHeuristic;
     let mut cache_on = false;
+    let mut budget: Option<ProbeBudget> = None;
+    let mut chaos: Option<FaultConfig> = None;
     let mut last: Option<LastRun> = None;
     let stdin = std::io::stdin();
     loop {
@@ -514,6 +628,7 @@ fn main() {
         }
         if let Some(rest) = line.strip_prefix(':') {
             let mut parts = rest.split_whitespace();
+            let system = session.as_mut().expect("session is live between commands");
             match parts.next() {
                 Some("quit") | Some("q") => break,
                 Some("strategy") => match parts.next().and_then(parse_strategy) {
@@ -524,16 +639,36 @@ fn main() {
                     None => println!("usage: :strategy BU|TD|BUWR|TDWR|SBH|BRUTE"),
                 },
                 Some("metrics") => match &last {
-                    Some(run) => show_metrics(&system, run, &args, max_level),
+                    Some(run) => show_metrics(system, run, &args, max_level),
                     None => println!("no query run yet — type a keyword query first"),
                 },
-                Some("lattice") => show_lattice(&system),
+                Some("lattice") => show_lattice(system),
+                Some("epoch") => show_epoch(&mdb),
+                Some("mutate") => {
+                    let margs: Vec<String> = parts.map(str::to_owned).collect();
+                    // Quiesce: the REPL's session is the only snapshot
+                    // holder; drop it so the write path has exclusivity,
+                    // then rebuild over the new epoch (O(1)) with the
+                    // session knobs reapplied. The evaluation cache lives
+                    // in the shared store, so surviving (clean) entries
+                    // stay warm across the write.
+                    drop(session.take());
+                    println!("{}", apply_mutation(&mut mdb, &margs));
+                    let mut s =
+                        mdb.session(base_config).expect("config still matches the lattice");
+                    s.set_eval_cache(cache_on);
+                    if let Some(b) = budget {
+                        s.set_budget(b);
+                    }
+                    s.set_chaos(chaos);
+                    session = Some(s);
+                }
                 Some("cache") => match parts.next() {
-                    None => show_cache(&system, cache_on, last.as_ref()),
+                    None => show_cache(system, cache_on, last.as_ref()),
                     Some(arg) if arg.eq_ignore_ascii_case("on") => {
                         cache_on = true;
                         system.set_eval_cache(true);
-                        println!("evaluation cache on (session-scoped)");
+                        println!("evaluation cache on (shared store, epoch-invalidated)");
                     }
                     Some(arg) if arg.eq_ignore_ascii_case("off") => {
                         cache_on = false;
@@ -543,31 +678,33 @@ fn main() {
                     Some(_) => println!("usage: :cache [on|off]"),
                 },
                 Some("budget") => match parse_budget(&mut parts) {
-                    Some(budget) => {
-                        let label = if budget.is_unlimited() { "unlimited" } else { "set" };
-                        system.set_budget(budget);
+                    Some(b) => {
+                        let label = if b.is_unlimited() { "unlimited" } else { "set" };
+                        budget = Some(b);
+                        system.set_budget(b);
                         println!("probe budget {label} (per interpretation)");
                     }
                     None => println!("usage: :budget PROBES [DEADLINE_MS]  |  :budget off"),
                 },
                 Some("chaos") => match parse_chaos(&mut parts) {
-                    Some(chaos) => {
-                        match &chaos {
+                    Some(c) => {
+                        match &c {
                             Some(c) => println!(
                                 "chaos on: seed={} transient={}‰ permanent={}‰ latency={}‰",
                                 c.seed, c.transient_per_mille, c.permanent_per_mille, c.latency_per_mille
                             ),
                             None => println!("chaos off"),
                         }
-                        system.set_chaos(chaos);
+                        chaos = c;
+                        system.set_chaos(c);
                     }
                     None => println!("usage: :chaos SEED TRANSIENT‰ PERMANENT‰ [LATENCY‰]  |  :chaos off"),
                 },
-                _ => println!("commands: :strategy <name>, :metrics, :lattice, :cache [on|off], :budget ..., :chaos ..., :quit"),
+                _ => println!("commands: :strategy <name>, :metrics, :lattice, :epoch, :mutate ..., :cache [on|off], :budget ..., :chaos ..., :quit"),
             }
             continue;
         }
-        if let Some(run) = handle(&system, strategy, line) {
+        if let Some(run) = handle(session.as_ref().expect("session is live"), strategy, line) {
             last = Some(run);
         }
     }

@@ -166,6 +166,30 @@ pub fn build_system(scale: DataScale, seed: u64, max_level: usize) -> NonAnswerD
     .expect("valid experiment configuration")
 }
 
+/// The session configuration matching [`build_system`], for sessions built
+/// over a [`build_mutable_system`] coordinator.
+pub fn mutable_session_config(max_level: usize) -> DebugConfig {
+    DebugConfig {
+        max_joins: max_level.saturating_sub(1),
+        sample_limit: 0,
+        ..DebugConfig::default()
+    }
+}
+
+/// Builds the full system under the single-writer mutable coordinator
+/// ([`kwdebug::MutableDatabase`]): same data, index and lattice as
+/// [`build_system`], but writable between debug sessions — the substrate of
+/// the mutation experiments (E19) and the REPL's `:mutate`.
+pub fn build_mutable_system(
+    scale: DataScale,
+    seed: u64,
+    max_level: usize,
+) -> kwdebug::MutableDatabase {
+    let db = generate_dblife(&scale.config(seed));
+    kwdebug::MutableDatabase::new(db, max_level.saturating_sub(1))
+        .expect("valid experiment configuration")
+}
+
 /// Aggregate of one query's Phase 1-3 run under one strategy, summed over
 /// interpretations.
 #[derive(Debug, Clone, Default)]

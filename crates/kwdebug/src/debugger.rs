@@ -1,6 +1,5 @@
 //! The end-to-end system: offline setup + the four-phase debug pipeline.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -121,18 +120,6 @@ impl DebugConfig {
     }
 }
 
-/// Process-wide source of database generation numbers. Every substrate built
-/// by [`NonAnswerDebugger::new`] / [`NonAnswerDebugger::with_lattice`] gets
-/// the next generation, so a [`SharedEvalCache`] stamped for one database can
-/// never be adopted by another ([`SharedParts::adopt_eval_cache`]) — the
-/// invalidation contract of CACHING.md: rebuild the substrate, and stale
-/// shared state is structurally unreachable.
-static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
-
-fn next_generation() -> u64 {
-    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
-}
-
 /// The immutable offline substrate of a debugger, shareable across sessions.
 ///
 /// Everything a debug call *reads but never writes* — the finalized
@@ -160,9 +147,6 @@ pub struct SharedParts {
     index: Arc<InvertedIndex>,
     graph: Arc<SchemaGraph>,
     lattice: Arc<Lattice>,
-    /// Generation of the database build this substrate wraps (keys the
-    /// shared-cache invalidation contract).
-    generation: u64,
     /// The process-wide evaluation cache sessions attach to, when sharing is
     /// enabled (`None` = each session gets a private cache).
     shared_cache: Option<SharedEvalCache>,
@@ -198,10 +182,19 @@ impl SharedParts {
         self.lattice.max_joins()
     }
 
-    /// Generation of the database build this substrate wraps. Shared caches
-    /// are stamped with it; see [`SharedParts::adopt_eval_cache`].
-    pub fn generation(&self) -> u64 {
-        self.generation
+    /// Process-unique id of the database this substrate wraps. Together with
+    /// [`SharedParts::epoch`] it forms the identity shared caches are stamped
+    /// with; see [`SharedParts::adopt_eval_cache`].
+    pub fn db_id(&self) -> u64 {
+        self.db.db_id()
+    }
+
+    /// The epoch of the wrapped database snapshot. A `SharedParts` handle is
+    /// immutable — writes happen on a [`crate::mutable::MutableDatabase`],
+    /// which hands out fresh parts per epoch — so this is the pin every
+    /// session built from this handle reads at.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch()
     }
 
     /// The process-wide evaluation cache sessions of this handle attach to,
@@ -216,13 +209,14 @@ impl SharedParts {
         &self.pa_stats
     }
 
-    /// Creates a process-wide [`SharedEvalCache`] for this substrate's
-    /// generation, bounded by `budget_bytes` payload bytes (`None` =
-    /// unbounded), and attaches it: every session subsequently built from
-    /// this handle (or its clones) shares the one store. Returns the cache
-    /// for metrics/monitoring. Replaces any previously attached store.
+    /// Creates a process-wide [`SharedEvalCache`] stamped with this
+    /// substrate's `(db_id, epoch)` identity, bounded by `budget_bytes`
+    /// payload bytes (`None` = unbounded), and attaches it: every session
+    /// subsequently built from this handle (or its clones) shares the one
+    /// store. Returns the cache for metrics/monitoring. Replaces any
+    /// previously attached store.
     pub fn share_eval_cache(&mut self, budget_bytes: Option<u64>) -> SharedEvalCache {
-        let cache = SharedEvalCache::new(self.generation, budget_bytes);
+        let cache = SharedEvalCache::new(self.db.db_id(), self.db.epoch(), budget_bytes);
         self.shared_cache = Some(cache.clone());
         cache
     }
@@ -230,16 +224,28 @@ impl SharedParts {
     /// Attaches an existing [`SharedEvalCache`] — e.g. one created by another
     /// `SharedParts` clone of the same substrate. Rejected with
     /// [`KwError::BadConfig`] when the cache was stamped for a different
-    /// database generation: entries from another build must never serve this
-    /// one (the CACHING.md invalidation contract).
+    /// database (`db_id` mismatch — entries from another build must never
+    /// serve this one) or when the cache's epoch is *ahead* of this
+    /// snapshot (its entries absorbed writes this snapshot has not seen).
+    /// A cache *behind* this snapshot is caught up through
+    /// [`SharedEvalCache::invalidate`] on attach — the CACHING.md epoch
+    /// contract.
     pub fn adopt_eval_cache(&mut self, cache: SharedEvalCache) -> Result<(), KwError> {
-        if cache.generation() != self.generation {
+        if cache.db_id() != self.db.db_id() {
             return Err(KwError::BadConfig(format!(
-                "shared cache was built for database generation {}, substrate is generation {}",
-                cache.generation(),
-                self.generation
+                "shared cache was stamped for database #{}, substrate is database #{}",
+                cache.db_id(),
+                self.db.db_id()
             )));
         }
+        if cache.epoch() > self.db.epoch() {
+            return Err(KwError::BadConfig(format!(
+                "shared cache is at epoch {}, ahead of this snapshot's epoch {}",
+                cache.epoch(),
+                self.db.epoch()
+            )));
+        }
+        cache.invalidate(&self.db);
         self.shared_cache = Some(cache);
         Ok(())
     }
@@ -250,6 +256,20 @@ impl SharedParts {
     pub fn without_shared_cache(&self) -> SharedParts {
         SharedParts { shared_cache: None, ..self.clone() }
     }
+
+    /// Assembles a handle from pre-built substrate pieces — the snapshot path
+    /// of [`crate::mutable::MutableDatabase`];
+    /// [`NonAnswerDebugger::shared_parts`] is the public route.
+    pub(crate) fn assemble(
+        db: Arc<Database>,
+        index: Arc<InvertedIndex>,
+        graph: Arc<SchemaGraph>,
+        lattice: Arc<Lattice>,
+        shared_cache: Option<SharedEvalCache>,
+        pa_stats: Arc<OnlinePa>,
+    ) -> SharedParts {
+        SharedParts { db, index, graph, lattice, shared_cache, pa_stats }
+    }
 }
 
 impl std::fmt::Debug for SharedParts {
@@ -258,7 +278,8 @@ impl std::fmt::Debug for SharedParts {
             .field("tables", &self.db.table_count())
             .field("lattice_nodes", &self.lattice.node_count())
             .field("max_joins", &self.lattice.max_joins())
-            .field("generation", &self.generation)
+            .field("db_id", &self.db.db_id())
+            .field("epoch", &self.db.epoch())
             .field("shared_cache", &self.shared_cache.is_some())
             .finish()
     }
@@ -288,13 +309,13 @@ pub struct NonAnswerDebugger {
     /// workspace from the pool.
     workspaces: WorkspacePool,
     /// The evaluation cache probes consult when [`DebugConfig::eval_cache`]
-    /// is on: session-private by default (alive exactly as long as the
-    /// debugger — the database is immutable, so lifetime *is* invalidation),
-    /// or a handle onto the process-wide [`SharedEvalCache`] when this
-    /// session was built from [`SharedParts`] with one attached.
+    /// is on: session-private by default (stamped with this snapshot's
+    /// `(db_id, epoch)` identity — the snapshot never changes under a
+    /// debugger, so lifetime *is* invalidation), or a handle onto the
+    /// process-wide [`SharedEvalCache`] when this session was built from
+    /// [`SharedParts`] with one attached (there, writes on the owning
+    /// [`crate::mutable::MutableDatabase`] invalidate selectively).
     cache: Arc<EvalCache>,
-    /// Generation of the database build this debugger reads.
-    generation: u64,
     /// Online `p_a` estimator fed by executed probes when
     /// [`DebugConfig::online_pa`] is on — shared with sibling sessions when
     /// built [`NonAnswerDebugger::from_shared`].
@@ -313,6 +334,7 @@ impl NonAnswerDebugger {
         let index = InvertedIndex::build(&db);
         let graph = SchemaGraph::new(&db);
         let lattice = Lattice::build(&db, &graph, config.max_joins);
+        let cache = EvalCache::with_identity(db.db_id(), db.epoch(), None);
         Ok(NonAnswerDebugger {
             db: Arc::new(db),
             index: Arc::new(index),
@@ -320,8 +342,7 @@ impl NonAnswerDebugger {
             lattice: Arc::new(lattice),
             config,
             workspaces: WorkspacePool::new(),
-            cache: Arc::new(EvalCache::new()),
-            generation: next_generation(),
+            cache: Arc::new(cache),
             pa_stats: Arc::new(OnlinePa::new()),
             shared_cache: None,
         })
@@ -336,7 +357,6 @@ impl NonAnswerDebugger {
             index: Arc::clone(&self.index),
             graph: Arc::clone(&self.graph),
             lattice: Arc::clone(&self.lattice),
-            generation: self.generation,
             shared_cache: self.shared_cache.clone(),
             pa_stats: Arc::clone(&self.pa_stats),
         }
@@ -365,7 +385,9 @@ impl NonAnswerDebugger {
         }
         let cache = match &parts.shared_cache {
             Some(shared) => shared.handle(),
-            None => Arc::new(EvalCache::new()),
+            None => {
+                Arc::new(EvalCache::with_identity(parts.db.db_id(), parts.db.epoch(), None))
+            }
         };
         Ok(NonAnswerDebugger {
             db: parts.db,
@@ -375,7 +397,6 @@ impl NonAnswerDebugger {
             config,
             workspaces: WorkspacePool::new(),
             cache,
-            generation: parts.generation,
             pa_stats: parts.pa_stats,
             shared_cache: parts.shared_cache,
         })
@@ -421,6 +442,7 @@ impl NonAnswerDebugger {
         db.finalize();
         let index = InvertedIndex::build(&db);
         let graph = SchemaGraph::new(&db);
+        let cache = EvalCache::with_identity(db.db_id(), db.epoch(), None);
         Ok(NonAnswerDebugger {
             db: Arc::new(db),
             index: Arc::new(index),
@@ -428,8 +450,7 @@ impl NonAnswerDebugger {
             lattice: Arc::new(lattice),
             config,
             workspaces: WorkspacePool::new(),
-            cache: Arc::new(EvalCache::new()),
-            generation: next_generation(),
+            cache: Arc::new(cache),
             pa_stats: Arc::new(OnlinePa::new()),
             shared_cache: None,
         })
@@ -512,14 +533,21 @@ impl NonAnswerDebugger {
     /// to every session; one session must not be able to dump it) — not
     /// reachable over the serving wire.
     pub fn reset_eval_cache(&mut self) {
-        self.cache = Arc::new(EvalCache::new());
+        self.cache =
+            Arc::new(EvalCache::with_identity(self.db.db_id(), self.db.epoch(), None));
         self.shared_cache = None;
     }
 
-    /// Generation of the database build this debugger reads (stamped on
-    /// shared caches; see [`SharedParts::generation`]).
-    pub fn generation(&self) -> u64 {
-        self.generation
+    /// Process-unique id of the database build this debugger reads (stamped
+    /// on shared caches; see [`SharedParts::db_id`]).
+    pub fn db_id(&self) -> u64 {
+        self.db.db_id()
+    }
+
+    /// The epoch of the database snapshot this debugger reads — its cache
+    /// pin and the `epoch` gauge of every report it produces.
+    pub fn epoch(&self) -> u64 {
+        self.db.epoch()
     }
 
     /// The online `p_a` estimator this debugger records into and reads from
@@ -631,6 +659,13 @@ impl NonAnswerDebugger {
         // break the run-for-run equivalence guarantees; it is exposed as a
         // system-level counter via [`NonAnswerDebugger::workspace_reuses`].
         outcome.probes.phase1_nodes_touched = pruned.phase1_nodes_touched();
+        // Write-path gauges: the snapshot epoch this report was computed at,
+        // and the lifetime invalidation/compaction counts of the substrate it
+        // read. Gauges, not probe work — `Metrics::delta` carries them
+        // through windows unchanged.
+        outcome.probes.epoch = self.db.epoch();
+        outcome.probes.entries_invalidated = self.cache.invalidated();
+        outcome.probes.compactions = self.index.compactions();
 
         let report_start = Instant::now();
         let keyword_tables = keywords
@@ -1001,21 +1036,21 @@ mod tests {
     }
 
     #[test]
-    fn adopt_rejects_foreign_generation() {
+    fn adopt_rejects_foreign_database() {
         let one = debugger(StrategyKind::ScoreBasedHeuristic);
         let two = debugger(StrategyKind::ScoreBasedHeuristic);
         let mut parts_one = one.shared_parts();
         let mut parts_two = two.shared_parts();
-        assert_ne!(parts_one.generation(), parts_two.generation());
+        assert_ne!(parts_one.db_id(), parts_two.db_id());
         let store = parts_one.share_eval_cache(Some(1 << 20));
         assert!(
             matches!(parts_two.adopt_eval_cache(store.clone()), Err(KwError::BadConfig(_))),
             "a cache from another database build must not attach"
         );
-        // Same-generation adoption (another clone of the same substrate) is
+        // Same-identity adoption (another clone of the same substrate) is
         // fine.
         let mut sibling = one.shared_parts();
-        sibling.adopt_eval_cache(store).expect("same generation adopts");
+        sibling.adopt_eval_cache(store).expect("same identity adopts");
         assert!(sibling.shared_cache().is_some());
     }
 

@@ -1,13 +1,14 @@
 //! Cross-probe evaluation cache: session-scoped by default, optionally
 //! promoted to a process-wide [`SharedEvalCache`].
 //!
-//! Every aliveness probe of a debug session runs against the same immutable
-//! database, and the probed networks are subtrees of the same MTNs — so most
-//! of the work of one probe is a verbatim replay of another's. This module
-//! caches that work at three levels, below the node-id memo/R1/R2 reuse:
+//! Every aliveness probe of a debug session runs against one epoch-stamped
+//! snapshot of the database, and the probed networks are subtrees of the same
+//! MTNs — so most of the work of one probe is a verbatim replay of another's.
+//! This module caches that work at three levels, below the node-id
+//! memo/R1/R2 reuse:
 //!
 //! * **Selection cache** — `(table, keyword)` → the sorted row ids satisfying
-//!   the keyword's containment predicate. Computed once per session; every
+//!   the keyword's containment predicate. Computed once per epoch; every
 //!   later probe attaches the shared selection to its plan node and the
 //!   executor skips predicate evaluation for that node entirely.
 //! * **Subtree semi-join cache** — canonical *binding* label of a cut subtree
@@ -25,13 +26,40 @@
 //!   alive or dead — without touching the engine
 //!   (`verdict_cache_hits`).
 //!
-//! Both maps are lock-striped like `parallel::ShardedMemo` so the parallel
+//! All maps are lock-striped like `parallel::ShardedMemo` so the parallel
 //! scheduler's workers share them without a global lock. Entries are only
 //! ever written from *completed* reductions (chaos faults fire before
-//! execution and abort the probe, so a failed probe contributes nothing), and
-//! since the database is immutable for the life of a
-//! [`crate::debugger::NonAnswerDebugger`], invalidation is simply the cache's
-//! lifetime: it is created with the debugger and dropped with it.
+//! execution and abort the probe, so a failed probe contributes nothing).
+//!
+//! ## The epoch contract (DESIGN.md §13, CACHING.md)
+//!
+//! The cache is keyed by **database identity**: the substrate's
+//! [`Database::db_id`] (process-unique per build — a fresh database can never
+//! alias a stale store) plus its monotonic write **epoch**. Every entry is
+//! stamped with the epoch of the snapshot it was computed from, every lookup
+//! and insert carries the calling session's *pin* epoch, and three rules keep
+//! sharing sound under mutation:
+//!
+//! 1. **Read fence** — a lookup pinned at epoch `E` ignores entries stamped
+//!    `E' > E`: a session attached before a write never observes state from
+//!    after it mid-traversal.
+//! 2. **Write fence** — an insert pinned at `E < ` the cache's current epoch
+//!    is dropped (checked under the shard lock, after [`EvalCache::invalidate`]
+//!    has published the new epoch): a straggler session cannot poison the
+//!    store with results computed from superseded data.
+//! 3. **Selective invalidation** — [`EvalCache::invalidate`] advances the
+//!    cache to the database's current epoch and evicts exactly the entries the
+//!    intervening [`relengine::EpochDelta`]s can have changed: selections
+//!    whose keyword occurs (as a case-insensitive substring, matching the
+//!    predicate) in any touched text value of their table; postings whose
+//!    selection is dirty or whose column was written; subtree value-sets and
+//!    verdicts whose `tables_mask` intersects a written table (re-validation
+//!    by recomputation — a dead network can come alive after an append, so a
+//!    cached verdict over a written table proves nothing). Surviving entries
+//!    keep their stamps and stay valid for both old-pin and new-pin readers.
+//!
+//! If the database's delta log no longer covers the cache's epoch (the log
+//! was truncated), nothing can be proven clean and the store is purged.
 //!
 //! ## Process-wide sharing (DESIGN.md §12, CACHING.md)
 //!
@@ -39,29 +67,30 @@
 //! tenants hitting overlapping keywords recompute each other's selections
 //! and subtree reductions. [`SharedEvalCache`] promotes one `EvalCache` to a
 //! process-wide store handed to every session through
-//! [`crate::debugger::SharedParts`]: the store is keyed by the substrate's
-//! **database generation** (a fresh database build gets a fresh generation,
-//! so a stale store can never attach to new data — the invalidation
-//! contract), and bounded by a **byte-budget LRU** so one tenant's working
-//! set cannot blow out process memory for all. Every lookup stamps the entry
-//! with a logical clock; when an insert pushes [`EvalCache::bytes`] past the
-//! budget, least-recently-used entries are evicted (and their bytes
-//! *returned* to the accounting — `bytes()` always equals the sum of
-//! resident entry footprints, see [`EvalCache::accounted_bytes`]) until the
-//! store fits again. Hits, misses and evictions are counted on the store
-//! itself, surfaced by the serving layer's `shared_cache_*` metrics.
+//! [`crate::debugger::SharedParts`], bounded by a **byte-budget LRU** so one
+//! tenant's working set cannot blow out process memory for all. Every lookup
+//! stamps the entry with a logical clock; when an insert pushes
+//! [`EvalCache::bytes`] past the budget, least-recently-used entries are
+//! evicted (and their bytes *returned* to the accounting — `bytes()` always
+//! equals the sum of resident entry footprints, see
+//! [`EvalCache::accounted_bytes`]) until the store fits again. Invalidation
+//! rides the same removal path, so an entry the LRU already evicted is never
+//! double-subtracted. Hits, misses, evictions and invalidations are counted
+//! on the store itself, surfaced by the serving layer's `shared_cache_*`
+//! metrics.
 //!
 //! Sharing never changes answers: the differential suites
-//! (`tests/probe_cache_equivalence.rs`, `tests/shared_cache_equivalence.rs`)
-//! pin reports bit-identical with the cache off, session-scoped, or shared.
+//! (`tests/probe_cache_equivalence.rs`, `tests/shared_cache_equivalence.rs`,
+//! `tests/mutation_equivalence.rs`) pin reports bit-identical with the cache
+//! off, session-scoped, or shared — including across seeded mutations.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use relengine::sortedvals::ValuePostings;
-use relengine::{ColId, Database, RowId, TableId};
+use relengine::{ColId, Database, DataType, DeltaKind, RowId, TableId};
 
 use crate::canonical::{direction_aware_adjacency, rooted_subtree_key};
 use crate::jnts::Jnts;
@@ -75,13 +104,30 @@ const SHARDS: usize = 16;
 /// differs with index availability).
 type SelectionKey = (TableId, u64, bool);
 
-/// One resident cache entry: the shared value, its accounted footprint, and
-/// the logical-clock stamp of its last touch (insert or hit) driving LRU
-/// eviction.
+/// The table-set bit of one table in a `tables_mask`: tables `0..63` get
+/// their own bit, everything above shares bit 63 (a sound catch-all — masks
+/// only ever *over*-approximate reachability).
+pub fn table_mask_bit(table: TableId) -> u64 {
+    1u64 << (table as u64).min(63)
+}
+
+/// The `tables_mask` of a whole network: the union of its vertices' table
+/// bits. Stamped on verdict-cache entries so invalidation can evict exactly
+/// the verdicts reachable from written tables.
+pub fn network_mask(j: &Jnts) -> u64 {
+    j.nodes().iter().fold(0, |m, ts| m | table_mask_bit(ts.table))
+}
+
+/// One resident cache entry: the shared value, its accounted footprint, the
+/// logical-clock stamp of its last touch (insert or hit) driving LRU
+/// eviction, the epoch of the snapshot it was computed from (read fence), and
+/// the set of tables it was computed over (invalidation reachability).
 struct Entry<V> {
     value: Arc<V>,
     bytes: u64,
     stamp: u64,
+    epoch: u64,
+    mask: u64,
 }
 
 /// One lock-striped map: `SHARDS` independently locked hash maps.
@@ -104,12 +150,12 @@ enum Victim {
 /// The cross-probe evaluation cache shared by all probes (and all parallel
 /// workers) of one debug session — or, wrapped in a [`SharedEvalCache`], by
 /// every session of a serving process. See the module docs for the layers,
-/// the generation key and the LRU byte budget.
+/// the epoch contract and the LRU byte budget.
 pub struct EvalCache {
     selections: Striped<SelectionKey, Vec<RowId>>,
     /// Per-column value→rows postings of a cached selection — the derived
     /// sets probes attach as `PlanNode::col_postings`, extracted once per
-    /// (selection, column) per cache generation.
+    /// (selection, column) per epoch.
     sel_postings: Striped<(SelectionKey, ColId), ValuePostings>,
     subtrees: Striped<Vec<u8>, Vec<i64>>,
     /// Completed whole-network verdicts by canonical binding key (see
@@ -117,8 +163,8 @@ pub struct EvalCache {
     verdicts: Striped<Vec<u8>, bool>,
     interner: Mutex<HashMap<String, u64>>,
     /// Sum of resident entry footprints. Incremented on insert, decremented
-    /// on eviction — `bytes() == accounted_bytes()` is the accounting
-    /// identity the shared-cache suite asserts.
+    /// on eviction and invalidation — `bytes() == accounted_bytes()` is the
+    /// accounting identity the shared-cache suite asserts.
     bytes: AtomicU64,
     /// Logical LRU clock; every touch (insert or hit) takes the next tick.
     clock: AtomicU64,
@@ -126,25 +172,35 @@ pub struct EvalCache {
     /// insert pushes `bytes` past it, least-recently-stamped entries are
     /// evicted until the store fits.
     budget: Option<u64>,
-    /// Database generation this cache was built for (0 = session-private).
-    generation: u64,
+    /// [`Database::db_id`] this cache was built for (0 = session-private
+    /// caches built before the substrate existed; real builds always stamp).
+    db_id: u64,
+    /// Database epoch the resident entries are valid at. Advanced by
+    /// [`EvalCache::invalidate`] *before* the eviction scan, so stale-pinned
+    /// writers are fenced out while the scan runs.
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Entries evicted by [`EvalCache::invalidate`] (distinct from LRU
+    /// `evictions`).
+    invalidated: AtomicU64,
     /// Serializes evictors so concurrent over-budget inserts don't stampede
     /// the shard scan; held only during eviction, never during lookups.
     evict_lock: Mutex<()>,
 }
 
 impl EvalCache {
-    /// Creates an empty, unbounded, session-private cache (generation 0).
+    /// Creates an empty, unbounded cache with the null identity
+    /// `(db_id 0, epoch 0)` — fine for session-private use against an
+    /// unwritten database.
     pub fn new() -> EvalCache {
-        EvalCache::with_budget(0, None)
+        EvalCache::with_identity(0, 0, None)
     }
 
-    /// Creates an empty cache for database generation `generation`, bounded
-    /// by `budget` payload bytes (`None` = unbounded).
-    pub fn with_budget(generation: u64, budget: Option<u64>) -> EvalCache {
+    /// Creates an empty cache for database `db_id` at write epoch `epoch`,
+    /// bounded by `budget` payload bytes (`None` = unbounded).
+    pub fn with_identity(db_id: u64, epoch: u64, budget: Option<u64>) -> EvalCache {
         EvalCache {
             selections: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             sel_postings: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -154,10 +210,12 @@ impl EvalCache {
             bytes: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             budget,
-            generation,
+            db_id,
+            epoch: AtomicU64::new(epoch),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
             evict_lock: Mutex::new(()),
         }
     }
@@ -175,29 +233,58 @@ impl EvalCache {
         *map.entry(keyword.to_owned()).or_insert(next)
     }
 
-    /// Looks up a cached selection, stamping it most-recently-used.
-    pub fn selection(&self, table: TableId, kw: u64, indexed: bool) -> Option<Arc<Vec<RowId>>> {
+    /// Whether an entry stamped `entry_epoch` may be served to a reader
+    /// pinned at `pin`: the entry must not come from a future snapshot.
+    /// (Entries from *past* epochs are safe — invalidation removed every
+    /// entry a later write dirtied, so a surviving old entry is bitwise what
+    /// the reader's snapshot would compute.)
+    fn visible(entry_epoch: u64, pin: u64) -> bool {
+        entry_epoch <= pin
+    }
+
+    /// Whether an insert pinned at `pin` may populate the store: only when
+    /// the pin is the cache's current epoch. Checked under the shard lock so
+    /// it races cleanly with [`EvalCache::invalidate`] publishing a new
+    /// epoch (either the insert lands before the invalidation scan reaches
+    /// the shard — and the scan removes it if dirty — or the inserter
+    /// observes the new epoch and drops the write).
+    fn admissible(&self, pin: u64) -> bool {
+        pin == self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Looks up a cached selection as seen from epoch `pin`, stamping it
+    /// most-recently-used.
+    pub fn selection(
+        &self,
+        pin: u64,
+        table: TableId,
+        kw: u64,
+        indexed: bool,
+    ) -> Option<Arc<Vec<RowId>>> {
         let key = (table, kw, indexed);
         let mut shard =
             self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
         match shard.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if Self::visible(entry.epoch, pin) => {
                 entry.stamp = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.value))
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts a selection, keeping the existing entry on a race. Returns the
-    /// canonical shared vector plus the bytes newly added to the cache
-    /// (0 when it lost the race).
+    /// Inserts a selection computed at epoch `pin`, keeping the existing
+    /// entry on a race and dropping the write when the cache has moved past
+    /// `pin`. Returns the canonical shared vector plus the bytes newly added
+    /// to the cache (0 when it lost the race or was fenced out — the caller
+    /// still gets a usable `Arc` either way).
     pub fn insert_selection(
         &self,
+        pin: u64,
         table: TableId,
         kw: u64,
         indexed: bool,
@@ -207,12 +294,19 @@ impl EvalCache {
         let stamp = self.tick();
         let mut shard =
             self.selections[shard_of(&key)].lock().expect("selection shard poisoned");
+        if !self.admissible(pin) {
+            return (Arc::new(rows), 0);
+        }
         if let Some(existing) = shard.get(&key) {
-            return (Arc::clone(&existing.value), 0);
+            if Self::visible(existing.epoch, pin) {
+                return (Arc::clone(&existing.value), 0);
+            }
+            return (Arc::new(rows), 0);
         }
         let bytes = std::mem::size_of_val(rows.as_slice()) as u64;
         let arc = Arc::new(rows);
-        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp });
+        let mask = table_mask_bit(table);
+        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp, epoch: pin, mask });
         drop(shard);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.maybe_evict();
@@ -220,10 +314,11 @@ impl EvalCache {
     }
 
     /// Looks up the cached value→rows postings of selection
-    /// `(table, kw, indexed)` in column `col`, stamping them
-    /// most-recently-used.
+    /// `(table, kw, indexed)` in column `col` as seen from epoch `pin`,
+    /// stamping them most-recently-used.
     pub fn selection_postings(
         &self,
+        pin: u64,
         table: TableId,
         kw: u64,
         indexed: bool,
@@ -233,12 +328,12 @@ impl EvalCache {
         let mut shard =
             self.sel_postings[shard_of(&key)].lock().expect("selection-postings shard poisoned");
         match shard.get_mut(&key) {
-            Some(entry) => {
+            Some(entry) if Self::visible(entry.epoch, pin) => {
                 entry.stamp = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.value))
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -246,10 +341,12 @@ impl EvalCache {
     }
 
     /// Inserts the value→rows postings of a selection in one column, keeping
-    /// the existing entry on a race. Returns the canonical shared postings
-    /// plus the bytes newly added (0 when it lost the race).
+    /// the existing entry on a race and dropping fenced-out writes. Returns
+    /// the canonical shared postings plus the bytes newly added (0 when it
+    /// lost the race or was fenced).
     pub fn insert_selection_postings(
         &self,
+        pin: u64,
         table: TableId,
         kw: u64,
         indexed: bool,
@@ -260,84 +357,310 @@ impl EvalCache {
         let stamp = self.tick();
         let mut shard =
             self.sel_postings[shard_of(&key)].lock().expect("selection-postings shard poisoned");
+        if !self.admissible(pin) {
+            return (Arc::new(postings), 0);
+        }
         if let Some(existing) = shard.get(&key) {
-            return (Arc::clone(&existing.value), 0);
+            if Self::visible(existing.epoch, pin) {
+                return (Arc::clone(&existing.value), 0);
+            }
+            return (Arc::new(postings), 0);
         }
         let bytes = postings.payload_bytes();
         let arc = Arc::new(postings);
-        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp });
+        let mask = table_mask_bit(table);
+        shard.insert(key, Entry { value: Arc::clone(&arc), bytes, stamp, epoch: pin, mask });
         drop(shard);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.maybe_evict();
         (arc, bytes)
     }
 
-    /// Looks up a cached subtree value-set by its binding key, stamping it
-    /// most-recently-used.
-    pub fn subtree(&self, key: &[u8]) -> Option<Arc<Vec<i64>>> {
+    /// Looks up a cached subtree value-set by its binding key as seen from
+    /// epoch `pin`, stamping it most-recently-used.
+    pub fn subtree(&self, pin: u64, key: &[u8]) -> Option<Arc<Vec<i64>>> {
         let mut shard = self.subtrees[shard_of(&key)].lock().expect("subtree shard poisoned");
         match shard.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if Self::visible(entry.epoch, pin) => {
                 entry.stamp = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.value))
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts a subtree value-set, keeping the existing entry on a race.
-    /// Returns the bytes newly added to the cache (0 when it lost the race).
-    pub fn insert_subtree(&self, key: Vec<u8>, values: Vec<i64>) -> u64 {
+    /// Inserts a subtree value-set computed at epoch `pin` over the tables in
+    /// `tables_mask`, keeping the existing entry on a race and dropping
+    /// fenced-out writes. Returns the bytes newly added to the cache (0 when
+    /// it lost the race or was fenced).
+    pub fn insert_subtree(
+        &self,
+        pin: u64,
+        key: Vec<u8>,
+        tables_mask: u64,
+        values: Vec<i64>,
+    ) -> u64 {
         let stamp = self.tick();
         let shard = shard_of(&key.as_slice());
         let mut map = self.subtrees[shard].lock().expect("subtree shard poisoned");
+        if !self.admissible(pin) {
+            return 0;
+        }
         if map.contains_key(key.as_slice()) {
             return 0;
         }
         let bytes = (key.len() + std::mem::size_of_val(values.as_slice())) as u64;
-        map.insert(key, Entry { value: Arc::new(values), bytes, stamp });
+        map.insert(
+            key,
+            Entry { value: Arc::new(values), bytes, stamp, epoch: pin, mask: tables_mask },
+        );
         drop(map);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.maybe_evict();
         bytes
     }
 
-    /// Looks up a completed whole-network verdict by canonical binding key,
-    /// stamping it most-recently-used.
-    pub fn verdict(&self, key: &[u8]) -> Option<bool> {
+    /// Looks up a completed whole-network verdict by canonical binding key as
+    /// seen from epoch `pin`, stamping it most-recently-used.
+    pub fn verdict(&self, pin: u64, key: &[u8]) -> Option<bool> {
         let mut shard = self.verdicts[shard_of(&key)].lock().expect("verdict shard poisoned");
         match shard.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if Self::visible(entry.epoch, pin) => {
                 entry.stamp = self.tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(*entry.value)
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Inserts a completed whole-network verdict, keeping the existing entry
-    /// on a race. Returns the bytes newly added (0 when it lost the race).
-    pub fn insert_verdict(&self, key: Vec<u8>, alive: bool) -> u64 {
+    /// Inserts a completed whole-network verdict computed at epoch `pin` over
+    /// the tables in `tables_mask`, keeping the existing entry on a race and
+    /// dropping fenced-out writes. Returns the bytes newly added (0 when it
+    /// lost the race or was fenced).
+    pub fn insert_verdict(&self, pin: u64, key: Vec<u8>, tables_mask: u64, alive: bool) -> u64 {
         let stamp = self.tick();
         let shard = shard_of(&key.as_slice());
         let mut map = self.verdicts[shard].lock().expect("verdict shard poisoned");
+        if !self.admissible(pin) {
+            return 0;
+        }
         if map.contains_key(key.as_slice()) {
             return 0;
         }
         let bytes = (key.len() + 1) as u64;
-        map.insert(key, Entry { value: Arc::new(alive), bytes, stamp });
+        map.insert(
+            key,
+            Entry { value: Arc::new(alive), bytes, stamp, epoch: pin, mask: tables_mask },
+        );
         drop(map);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.maybe_evict();
         bytes
+    }
+
+    /// Advances the cache to `db`'s current epoch, evicting exactly the
+    /// entries the intervening write deltas can have changed (module docs,
+    /// rule 3). Returns the number of entries invalidated.
+    ///
+    /// The new epoch is published *before* the eviction scan, so writers
+    /// still pinned at the old epoch are fenced out of every shard the scan
+    /// has yet to reach (and any stale entry that slips into a shard before
+    /// the scan gets there is removed by the scan itself if dirty —
+    /// see `EvalCache::admissible`).
+    ///
+    /// When the database's delta log no longer covers this cache's epoch,
+    /// nothing can be proven clean and the whole store is purged.
+    pub fn invalidate(&self, db: &Database) -> u64 {
+        if db.db_id() != self.db_id {
+            return 0;
+        }
+        let from = self.epoch.load(Ordering::SeqCst);
+        let to = db.epoch();
+        if to <= from {
+            return 0;
+        }
+        self.epoch.store(to, Ordering::SeqCst);
+        let deltas = db.deltas_since(from);
+        // One delta per epoch bump: a shorter slice means the log was
+        // truncated past `from` and the gap is unauditable.
+        if deltas.len() as u64 != to - from {
+            return self.purge_all();
+        }
+
+        // Per-table dirt gathered from the deltas: the changed text values
+        // (ASCII-lowercased, matching the containment predicate), the set of
+        // written columns, and the union bitmask for subtree/verdict
+        // reachability.
+        let mut dirty_text: HashMap<TableId, Vec<String>> = HashMap::new();
+        let mut dirty_cols: HashMap<TableId, HashSet<ColId>> = HashMap::new();
+        let mut dirty_mask = 0u64;
+        for d in deltas {
+            dirty_mask |= table_mask_bit(d.table);
+            let t = db.table(d.table);
+            let text_cols: Vec<ColId> = t
+                .schema()
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.ty == DataType::Text)
+                .map(|(i, _)| i)
+                .collect();
+            let texts = dirty_text.entry(d.table).or_default();
+            match d.kind {
+                DeltaKind::Append => {
+                    for &rid in &d.rows {
+                        let row = t.row(rid);
+                        for &c in &text_cols {
+                            if let Some(s) = row[c].as_text() {
+                                texts.push(s.to_ascii_lowercase());
+                            }
+                        }
+                    }
+                }
+                DeltaKind::Update => {
+                    dirty_cols.entry(d.table).or_default().extend(d.cols.iter().copied());
+                    for (rid, old) in &d.old {
+                        let new_row = t.row(*rid);
+                        for &c in &d.cols {
+                            if !text_cols.contains(&c) {
+                                continue;
+                            }
+                            if let Some(s) = old[c].as_text() {
+                                texts.push(s.to_ascii_lowercase());
+                            }
+                            if let Some(s) = new_row[c].as_text() {
+                                texts.push(s.to_ascii_lowercase());
+                            }
+                        }
+                    }
+                }
+                DeltaKind::Delete => {
+                    for (_, old) in &d.old {
+                        for &c in &text_cols {
+                            if let Some(s) = old[c].as_text() {
+                                texts.push(s.to_ascii_lowercase());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // A selection (table, kw) is dirty iff some changed text value of its
+        // table contains the keyword — the exact condition under which a row
+        // enters, leaves, or re-enters the predicate's answer.
+        let dirty_kws: HashSet<(TableId, u64)> = {
+            let interner = self.interner.lock().expect("interner poisoned");
+            let mut dirty = HashSet::new();
+            for (kw, &id) in interner.iter() {
+                let kw_lower = kw.to_ascii_lowercase();
+                for (&table, texts) in &dirty_text {
+                    if texts.iter().any(|t| t.contains(&kw_lower)) {
+                        dirty.insert((table, id));
+                    }
+                }
+            }
+            dirty
+        };
+
+        let mut removed = 0u64;
+        let mut freed = 0u64;
+        for shard in &self.selections {
+            let mut map = shard.lock().expect("selection shard poisoned");
+            map.retain(|k, e| {
+                let dirty = dirty_kws.contains(&(k.0, k.1));
+                if dirty {
+                    freed += e.bytes;
+                    removed += 1;
+                }
+                !dirty
+            });
+        }
+        // Postings are derived from (selection rows, column values): dirty
+        // when the selection is, or when the column itself was updated under
+        // a surviving selection. Appends and deletes need no extra test —
+        // they change a selection's postings only by changing the selection,
+        // and a row joining or leaving a selection always carries the keyword
+        // in its text, which the selection test above already catches.
+        for shard in &self.sel_postings {
+            let mut map = shard.lock().expect("selection-postings shard poisoned");
+            map.retain(|(sel, col), e| {
+                let dirty = dirty_kws.contains(&(sel.0, sel.1))
+                    || dirty_cols.get(&sel.0).is_some_and(|cols| cols.contains(col));
+                if dirty {
+                    freed += e.bytes;
+                    removed += 1;
+                }
+                !dirty
+            });
+        }
+        for shard in &self.subtrees {
+            let mut map = shard.lock().expect("subtree shard poisoned");
+            map.retain(|_, e| {
+                let dirty = e.mask & dirty_mask != 0;
+                if dirty {
+                    freed += e.bytes;
+                    removed += 1;
+                }
+                !dirty
+            });
+        }
+        for shard in &self.verdicts {
+            let mut map = shard.lock().expect("verdict shard poisoned");
+            map.retain(|_, e| {
+                let dirty = e.mask & dirty_mask != 0;
+                if dirty {
+                    freed += e.bytes;
+                    removed += 1;
+                }
+                !dirty
+            });
+        }
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.invalidated.fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+
+    /// Removes every resident entry (delta log truncated past this cache's
+    /// epoch — nothing can be proven clean). Returns the entry count.
+    fn purge_all(&self) -> u64 {
+        let mut removed = 0u64;
+        let mut freed = 0u64;
+        let drain = |freed: &mut u64, removed: &mut u64, bytes: u64, n: usize| {
+            *freed += bytes;
+            *removed += n as u64;
+        };
+        for shard in &self.selections {
+            let mut map = shard.lock().expect("selection shard poisoned");
+            drain(&mut freed, &mut removed, map.values().map(|e| e.bytes).sum(), map.len());
+            map.clear();
+        }
+        for shard in &self.sel_postings {
+            let mut map = shard.lock().expect("selection-postings shard poisoned");
+            drain(&mut freed, &mut removed, map.values().map(|e| e.bytes).sum(), map.len());
+            map.clear();
+        }
+        for shard in &self.subtrees {
+            let mut map = shard.lock().expect("subtree shard poisoned");
+            drain(&mut freed, &mut removed, map.values().map(|e| e.bytes).sum(), map.len());
+            map.clear();
+        }
+        for shard in &self.verdicts {
+            let mut map = shard.lock().expect("verdict shard poisoned");
+            drain(&mut freed, &mut removed, map.values().map(|e| e.bytes).sum(), map.len());
+            map.clear();
+        }
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.invalidated.fetch_add(removed, Ordering::Relaxed);
+        removed
     }
 
     /// Evicts least-recently-used entries until the store fits its budget.
@@ -416,8 +739,8 @@ impl EvalCache {
     }
 
     /// Total payload bytes currently resident (selections + postings +
-    /// subtree sets + verdicts). Decremented on eviction; always equals
-    /// [`EvalCache::accounted_bytes`].
+    /// subtree sets + verdicts). Decremented on eviction and invalidation;
+    /// always equals [`EvalCache::accounted_bytes`].
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
@@ -466,9 +789,14 @@ impl EvalCache {
         self.budget
     }
 
-    /// Database generation this cache serves (0 = session-private).
-    pub fn generation(&self) -> u64 {
-        self.generation
+    /// [`Database::db_id`] this cache serves (0 = null identity).
+    pub fn db_id(&self) -> u64 {
+        self.db_id
+    }
+
+    /// Database epoch the resident entries are valid at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Lookups answered from the cache (all three layers).
@@ -486,9 +814,22 @@ impl EvalCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by write-delta invalidation.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated.load(Ordering::Relaxed)
+    }
+
     /// Number of cached selections.
     pub fn selection_entries(&self) -> usize {
         self.selections.iter().map(|s| s.lock().expect("selection shard poisoned").len()).sum()
+    }
+
+    /// Number of cached per-column selection postings.
+    pub fn postings_entries(&self) -> usize {
+        self.sel_postings
+            .iter()
+            .map(|s| s.lock().expect("selection-postings shard poisoned").len())
+            .sum()
     }
 
     /// Number of cached subtree value-sets.
@@ -514,27 +855,29 @@ impl Default for EvalCache {
 }
 
 /// A process-wide evaluation cache handle, shared by every session of a
-/// serving process (DESIGN.md §12, CACHING.md).
+/// serving process (DESIGN.md §12–§13, CACHING.md).
 ///
-/// Wraps one [`EvalCache`] keyed by **database generation** and bounded by a
-/// **byte-budget LRU**: sessions built over the same
+/// Wraps one [`EvalCache`] keyed by **database identity** `(db_id, epoch)`
+/// and bounded by a **byte-budget LRU**: sessions built over the same
 /// [`crate::debugger::SharedParts`] reuse each other's keyword selections and
 /// subtree semi-join value-sets, so a keyword one tenant warmed is free for
 /// the next. Cloning shares the store (reference-count bump). Attach with
 /// [`crate::debugger::SharedParts::share_eval_cache`] (which stamps the
-/// matching generation) or [`crate::debugger::SharedParts::adopt_eval_cache`]
+/// matching identity) or [`crate::debugger::SharedParts::adopt_eval_cache`]
 /// (which validates it); the serving layer's `ServeConfig::shared_cache` knob
-/// does this per server.
+/// does this per server. After writes, [`SharedEvalCache::invalidate`]
+/// advances the store to the database's new epoch in place — sessions pinned
+/// at older epochs keep reading their entries through the epoch fence.
 #[derive(Clone)]
 pub struct SharedEvalCache {
     inner: Arc<EvalCache>,
 }
 
 impl SharedEvalCache {
-    /// Creates a process-wide store for database generation `generation`,
-    /// bounded by `budget_bytes` (`None` = unbounded).
-    pub fn new(generation: u64, budget_bytes: Option<u64>) -> SharedEvalCache {
-        SharedEvalCache { inner: Arc::new(EvalCache::with_budget(generation, budget_bytes)) }
+    /// Creates a process-wide store for database `db_id` at write epoch
+    /// `epoch`, bounded by `budget_bytes` (`None` = unbounded).
+    pub fn new(db_id: u64, epoch: u64, budget_bytes: Option<u64>) -> SharedEvalCache {
+        SharedEvalCache { inner: Arc::new(EvalCache::with_identity(db_id, epoch, budget_bytes)) }
     }
 
     /// The shared store, in the form sessions attach to their oracles.
@@ -542,9 +885,21 @@ impl SharedEvalCache {
         Arc::clone(&self.inner)
     }
 
-    /// Database generation the store was built for.
-    pub fn generation(&self) -> u64 {
-        self.inner.generation()
+    /// [`Database::db_id`] the store was built for.
+    pub fn db_id(&self) -> u64 {
+        self.inner.db_id()
+    }
+
+    /// Database epoch the store currently serves.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// Advances the store to `db`'s current epoch, selectively evicting
+    /// entries the intervening write deltas dirtied. Returns the number of
+    /// entries invalidated. See [`EvalCache::invalidate`].
+    pub fn invalidate(&self, db: &Database) -> u64 {
+        self.inner.invalidate(db)
     }
 
     /// The byte budget (`None` = unbounded).
@@ -572,6 +927,11 @@ impl SharedEvalCache {
         self.inner.evictions()
     }
 
+    /// Entries evicted by write-delta invalidation.
+    pub fn invalidated(&self) -> u64 {
+        self.inner.invalidated()
+    }
+
     /// Number of resident selections (dashboards; see `kws_repl :cache`).
     pub fn selection_entries(&self) -> usize {
         self.inner.selection_entries()
@@ -591,10 +951,12 @@ impl SharedEvalCache {
 impl std::fmt::Debug for SharedEvalCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedEvalCache")
-            .field("generation", &self.generation())
+            .field("db_id", &self.db_id())
+            .field("epoch", &self.epoch())
             .field("bytes", &self.bytes())
             .field("budget", &self.budget())
             .field("evictions", &self.evictions())
+            .field("invalidated", &self.invalidated())
             .finish()
     }
 }
@@ -616,6 +978,10 @@ pub struct SubtreeRef {
     pub parent_col: ColId,
     /// Cache key: rooted binding key of the component ++ `child_col`.
     pub key: Vec<u8>,
+    /// Union of [`table_mask_bit`]s of the component's tables — stamped on
+    /// the cache entry so invalidation can evict subtrees reachable from
+    /// written tables.
+    pub tables_mask: u64,
 }
 
 /// Canonical binding key of a *whole* network: the rooted byte code of the
@@ -624,7 +990,7 @@ pub struct SubtreeRef {
 /// with this key equal ask the engine the exact same question, so the
 /// verdict-cache layer ([`EvalCache::verdict`]) answers the second from the
 /// first's completed reduction — within a session or, through
-/// [`SharedEvalCache`], across every session of the generation.
+/// [`SharedEvalCache`], across every session of the epoch.
 pub fn network_key(j: &Jnts, vid: &dyn Fn(usize) -> u64) -> Vec<u8> {
     rooted_subtree_key(0, usize::MAX, &direction_aware_adjacency(j), vid)
 }
@@ -666,16 +1032,40 @@ pub fn subtree_refs(j: &Jnts, db: &Database, vid: &dyn Fn(usize) -> u64) -> Vec<
                 if e.a as usize == v { (a_col, b_col) } else { (b_col, a_col) };
             let mut key = rooted_subtree_key(v, u, &dadj, vid);
             key.extend_from_slice(&(child_col as u64).to_le_bytes());
-            out.push(SubtreeRef { vertex: v, parent: u, child_col, parent_col, key });
+            let tables_mask = component_mask(j, &adj, v, u);
+            out.push(SubtreeRef { vertex: v, parent: u, child_col, parent_col, key, tables_mask });
             stack.push((v, u));
         }
     }
     out
 }
 
+/// Union of table bits of the component containing `root` after cutting the
+/// edge to `banned` (the networks are tiny trees, so a fresh DFS per cut is
+/// cheaper than bookkeeping).
+fn component_mask(j: &Jnts, adj: &[Vec<(usize, usize)>], root: usize, banned: usize) -> u64 {
+    let mut mask = 0u64;
+    let mut stack = vec![(root, banned)];
+    let mut visited = vec![false; j.node_count()];
+    while let Some((u, parent)) = stack.pop() {
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        mask |= table_mask_bit(j.nodes()[u].table);
+        for &(_, v) in &adj[u] {
+            if v != parent && !visited[v] {
+                stack.push((v, u));
+            }
+        }
+    }
+    mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use relengine::{DatabaseBuilder, Value};
 
     #[test]
     fn interner_is_stable() {
@@ -690,93 +1080,315 @@ mod tests {
     #[test]
     fn selection_roundtrip_and_race() {
         let c = EvalCache::new();
-        assert!(c.selection(0, 1, true).is_none());
-        let (first, added) = c.insert_selection(0, 1, true, vec![3, 5, 8]);
+        assert!(c.selection(0, 0, 1, true).is_none());
+        let (first, added) = c.insert_selection(0, 0, 1, true, vec![3, 5, 8]);
         assert_eq!(*first, vec![3, 5, 8]);
         assert!(added > 0);
         let bytes = c.bytes();
         assert_eq!(bytes, added);
         // Losing writer keeps the existing entry and adds no bytes.
-        let (second, re_added) = c.insert_selection(0, 1, true, vec![9]);
+        let (second, re_added) = c.insert_selection(0, 0, 1, true, vec![9]);
         assert_eq!(*second, vec![3, 5, 8]);
         assert_eq!(re_added, 0);
         assert_eq!(c.bytes(), bytes);
         assert_eq!(c.selection_entries(), 1);
         // Indexed flag is part of the key.
-        assert!(c.selection(0, 1, false).is_none());
+        assert!(c.selection(0, 0, 1, false).is_none());
     }
 
     #[test]
     fn subtree_roundtrip_and_race() {
         let c = EvalCache::new();
-        assert!(c.subtree(b"k1").is_none());
-        let added = c.insert_subtree(b"k1".to_vec(), vec![7, 9]);
+        assert!(c.subtree(0, b"k1").is_none());
+        let added = c.insert_subtree(0, b"k1".to_vec(), 1, vec![7, 9]);
         assert!(added > 0);
-        assert_eq!(*c.subtree(b"k1").unwrap(), vec![7, 9]);
-        assert_eq!(c.insert_subtree(b"k1".to_vec(), vec![1]), 0);
-        assert_eq!(*c.subtree(b"k1").unwrap(), vec![7, 9]);
+        assert_eq!(*c.subtree(0, b"k1").unwrap(), vec![7, 9]);
+        assert_eq!(c.insert_subtree(0, b"k1".to_vec(), 1, vec![1]), 0);
+        assert_eq!(*c.subtree(0, b"k1").unwrap(), vec![7, 9]);
         assert_eq!(c.subtree_entries(), 1);
         // Empty sets are legitimate entries (dead-subtree proofs).
-        c.insert_subtree(b"k2".to_vec(), vec![]);
-        assert_eq!(*c.subtree(b"k2").unwrap(), Vec::<i64>::new());
+        c.insert_subtree(0, b"k2".to_vec(), 1, vec![]);
+        assert_eq!(*c.subtree(0, b"k2").unwrap(), Vec::<i64>::new());
     }
 
     #[test]
     fn hit_miss_counters_track_all_layers() {
         let c = EvalCache::new();
-        assert!(c.selection(0, 0, true).is_none());
-        assert!(c.subtree(b"nope").is_none());
+        assert!(c.selection(0, 0, 0, true).is_none());
+        assert!(c.subtree(0, b"nope").is_none());
         assert_eq!((c.hits(), c.misses()), (0, 2));
-        c.insert_selection(0, 0, true, vec![1]);
-        c.insert_subtree(b"yes".to_vec(), vec![4]);
-        assert!(c.selection(0, 0, true).is_some());
-        assert!(c.subtree(b"yes").is_some());
+        c.insert_selection(0, 0, 0, true, vec![1]);
+        c.insert_subtree(0, b"yes".to_vec(), 1, vec![4]);
+        assert!(c.selection(0, 0, 0, true).is_some());
+        assert!(c.subtree(0, b"yes").is_some());
         assert_eq!((c.hits(), c.misses()), (2, 2));
     }
 
     #[test]
     fn budget_evicts_lru_and_returns_bytes() {
         // Each selection of 4 RowIds costs 16 bytes; budget fits two.
-        let c = EvalCache::with_budget(7, Some(32));
-        assert_eq!(c.generation(), 7);
-        c.insert_selection(0, 0, true, vec![1, 2, 3, 4]);
-        c.insert_selection(1, 1, true, vec![1, 2, 3, 4]);
+        let c = EvalCache::with_identity(7, 0, Some(32));
+        assert_eq!(c.db_id(), 7);
+        c.insert_selection(0, 0, 0, true, vec![1, 2, 3, 4]);
+        c.insert_selection(0, 1, 1, true, vec![1, 2, 3, 4]);
         assert_eq!(c.evictions(), 0);
         // Touch the first so the second is the LRU victim.
-        assert!(c.selection(0, 0, true).is_some());
-        c.insert_selection(2, 2, true, vec![1, 2, 3, 4]);
+        assert!(c.selection(0, 0, 0, true).is_some());
+        c.insert_selection(0, 2, 2, true, vec![1, 2, 3, 4]);
         assert_eq!(c.evictions(), 1, "one entry evicted to fit the budget");
         assert!(c.bytes() <= 32, "budget enforced: {}", c.bytes());
-        assert!(c.selection(0, 0, true).is_some(), "recently-touched entry survives");
-        assert!(c.selection(1, 1, true).is_none(), "LRU entry evicted");
-        assert!(c.selection(2, 2, true).is_some(), "newest entry resident");
+        assert!(c.selection(0, 0, 0, true).is_some(), "recently-touched entry survives");
+        assert!(c.selection(0, 1, 1, true).is_none(), "LRU entry evicted");
+        assert!(c.selection(0, 2, 2, true).is_some(), "newest entry resident");
         assert_eq!(c.bytes(), c.accounted_bytes(), "accounting identity after eviction");
     }
 
     #[test]
     fn eviction_spans_layers_and_keeps_identity() {
-        let c = EvalCache::with_budget(1, Some(48));
-        c.insert_subtree(b"old-subtree-key".to_vec(), vec![1, 2]);
-        c.insert_selection(0, 0, true, vec![1, 2, 3, 4]);
-        c.insert_selection(1, 1, true, vec![1, 2, 3, 4]);
+        let c = EvalCache::with_identity(1, 0, Some(48));
+        c.insert_subtree(0, b"old-subtree-key".to_vec(), 1, vec![1, 2]);
+        c.insert_selection(0, 0, 0, true, vec![1, 2, 3, 4]);
+        c.insert_selection(0, 1, 1, true, vec![1, 2, 3, 4]);
         // 15+16 key/value + 16 + 16 = 63 > 48: the oldest (subtree) goes.
         assert!(c.evictions() > 0);
-        assert!(c.subtree(b"old-subtree-key").is_none(), "oldest layer-2 entry evicted");
+        assert!(c.subtree(0, b"old-subtree-key").is_none(), "oldest layer-2 entry evicted");
         assert!(c.bytes() <= 48);
         assert_eq!(c.bytes(), c.accounted_bytes());
     }
 
     #[test]
     fn shared_handle_is_one_store() {
-        let shared = SharedEvalCache::new(3, Some(1 << 20));
+        let shared = SharedEvalCache::new(3, 0, Some(1 << 20));
         let a = shared.handle();
         let b = shared.handle();
-        a.insert_subtree(b"k".to_vec(), vec![1]);
-        assert!(b.subtree(b"k").is_some(), "handles alias one store");
-        assert_eq!(shared.generation(), 3);
+        a.insert_subtree(0, b"k".to_vec(), 1, vec![1]);
+        assert!(b.subtree(0, b"k").is_some(), "handles alias one store");
+        assert_eq!(shared.db_id(), 3);
+        assert_eq!(shared.epoch(), 0);
         assert_eq!(shared.budget(), Some(1 << 20));
         assert!(shared.bytes() > 0);
         assert_eq!(shared.hits(), 1);
         assert_eq!(shared.subtree_entries(), 1);
+    }
+
+    /// A two-table db (color ← item) used by the invalidation tests.
+    fn writable_db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.table("color")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .primary_key("id");
+        b.table("item")
+            .column("id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("color_id", DataType::Int)
+            .primary_key("id");
+        b.foreign_key("item", "color_id", "color", "id").expect("static");
+        let mut db = b.finish().expect("static");
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).expect("row");
+        db.insert_values("color", vec![Value::Int(2), Value::text("blue")]).expect("row");
+        db.insert_values(
+            "item",
+            vec![Value::Int(10), Value::text("red candle"), Value::Int(1)],
+        )
+        .expect("row");
+        db.finalize();
+        db
+    }
+
+    #[test]
+    fn read_fence_hides_future_entries() {
+        let c = EvalCache::with_identity(9, 3, None);
+        c.insert_selection(3, 0, 0, true, vec![1, 2]);
+        // A reader pinned before the entry's epoch must miss it…
+        assert!(c.selection(2, 0, 0, true).is_none(), "entry from the future is invisible");
+        // …while a reader at (or past) it hits.
+        assert!(c.selection(3, 0, 0, true).is_some());
+        assert!(c.selection(4, 0, 0, true).is_some());
+        assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn write_fence_drops_stale_inserts() {
+        let mut db = writable_db();
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), None);
+        let color = db.table_id("color").expect("table");
+        db.append_rows(color, vec![vec![Value::Int(3), Value::text("green")]]).expect("write");
+        assert_eq!(c.invalidate(&db), 0, "empty cache: nothing to invalidate");
+        assert_eq!(c.epoch(), db.epoch());
+        // A session still pinned at epoch 0 computes against superseded data;
+        // its inserts must not land.
+        let (arc, added) = c.insert_selection(0, 0, 0, true, vec![1]);
+        assert_eq!(added, 0, "stale insert fenced out");
+        assert_eq!(*arc, vec![1], "caller still gets a usable value");
+        assert_eq!(c.selection_entries(), 0);
+        assert_eq!(c.insert_subtree(0, b"k".to_vec(), 1, vec![1]), 0);
+        assert_eq!(c.insert_verdict(0, b"k".to_vec(), 1, true), 0);
+        assert_eq!(c.bytes(), 0);
+        // Current-epoch inserts land normally.
+        let (_, added) = c.insert_selection(c.epoch(), 0, 0, true, vec![1]);
+        assert!(added > 0);
+    }
+
+    #[test]
+    fn invalidation_is_selective_per_keyword_and_table() {
+        let mut db = writable_db();
+        let color = db.table_id("color").expect("table");
+        let item = db.table_id("item").expect("table");
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), None);
+        let red = c.intern("red");
+        let candle = c.intern("candle");
+        // Selections on both tables, both keywords; one subtree per table.
+        c.insert_selection(0, color, red, true, vec![0]);
+        c.insert_selection(0, color, candle, true, vec![]);
+        c.insert_selection(0, item, red, true, vec![0]);
+        c.insert_selection(0, item, candle, true, vec![0]);
+        c.insert_subtree(0, b"color-side".to_vec(), table_mask_bit(color), vec![1]);
+        c.insert_subtree(0, b"item-side".to_vec(), table_mask_bit(item), vec![10]);
+        c.insert_verdict(
+            0,
+            b"net".to_vec(),
+            table_mask_bit(color) | table_mask_bit(item),
+            true,
+        );
+
+        // Append a color whose text mentions "red" but not "candle".
+        db.append_rows(color, vec![vec![Value::Int(3), Value::text("dark red")]])
+            .expect("write");
+        let removed = c.invalidate(&db);
+        let pin = c.epoch();
+        assert!(
+            c.selection(pin, color, red, true).is_none(),
+            "(color, red) dirtied by the append"
+        );
+        assert!(
+            c.selection(pin, color, candle, true).is_some(),
+            "(color, candle) untouched: 'dark red' does not contain 'candle'"
+        );
+        assert!(c.selection(pin, item, red, true).is_some(), "item selections untouched");
+        assert!(c.selection(pin, item, candle, true).is_some());
+        assert!(c.subtree(pin, b"color-side").is_none(), "color-reachable subtree evicted");
+        assert!(c.subtree(pin, b"item-side").is_some(), "item-only subtree survives");
+        assert!(c.verdict(pin, b"net").is_none(), "verdict spanning the written table evicted");
+        assert_eq!(removed, 3);
+        assert_eq!(c.invalidated(), 3);
+        assert_eq!(c.bytes(), c.accounted_bytes(), "accounting identity after invalidation");
+    }
+
+    #[test]
+    fn update_invalidation_uses_old_and_new_text() {
+        let mut db = writable_db();
+        let color = db.table_id("color").expect("table");
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), None);
+        let red = c.intern("red");
+        let blue = c.intern("blue");
+        let green = c.intern("green");
+        c.insert_selection(0, color, red, true, vec![0]);
+        c.insert_selection(0, color, blue, true, vec![1]);
+        c.insert_selection(0, color, green, true, vec![]);
+        // Rename "blue" → "teal": the old text dirties "blue"; neither text
+        // mentions "red" or "green".
+        db.update_row(color, 1, vec![Value::Int(2), Value::text("teal")]).expect("write");
+        c.invalidate(&db);
+        let pin = c.epoch();
+        assert!(c.selection(pin, color, blue, true).is_none(), "old text dirties 'blue'");
+        assert!(c.selection(pin, color, red, true).is_some());
+        assert!(c.selection(pin, color, green, true).is_some());
+        // And the reverse: rename "teal" → "green" dirties "green" via the
+        // new text.
+        db.update_row(color, 1, vec![Value::Int(2), Value::text("green")]).expect("write");
+        c.invalidate(&db);
+        let pin = c.epoch();
+        assert!(c.selection(pin, color, green, true).is_none(), "new text dirties 'green'");
+        assert!(c.selection(pin, color, red, true).is_some());
+    }
+
+    #[test]
+    fn postings_invalidated_by_column_writes() {
+        let mut db = writable_db();
+        let color = db.table_id("color").expect("table");
+        let item = db.table_id("item").expect("table");
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), None);
+        let candle = c.intern("candle");
+        let mk = || ValuePostings::build(vec![(1, 0)]);
+        c.insert_selection_postings(0, item, candle, true, 2, mk());
+        c.insert_selection_postings(0, item, candle, true, 0, mk());
+        // Repoint the item's color_id (column 2) without touching its text:
+        // the selection survives, the col-2 postings don't, the col-0
+        // postings do.
+        db.update_row(
+            item,
+            0,
+            vec![Value::Int(10), Value::text("red candle"), Value::Int(2)],
+        )
+        .expect("write");
+        c.invalidate(&db);
+        let pin = c.epoch();
+        assert!(c.selection_postings(pin, item, candle, true, 2).is_none());
+        assert!(c.selection_postings(pin, item, candle, true, 0).is_some());
+        // A delete dirties every column's postings of the touched table.
+        db.delete_row(color, 1).expect("write");
+        c.insert_selection_postings(c.epoch(), color, candle, true, 1, mk());
+        db.delete_row(item, 0).expect("write");
+        c.invalidate(&db);
+        let pin = c.epoch();
+        assert!(c.selection_postings(pin, item, candle, true, 0).is_none());
+        assert!(
+            c.selection_postings(pin, color, candle, true, 1).is_some(),
+            "postings on the untouched table survive"
+        );
+        assert_eq!(c.bytes(), c.accounted_bytes());
+    }
+
+    #[test]
+    fn truncated_delta_log_purges_everything() {
+        let mut db = writable_db();
+        let color = db.table_id("color").expect("table");
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), None);
+        c.insert_selection(0, color, 0, true, vec![0]);
+        c.insert_subtree(0, b"s".to_vec(), table_mask_bit(1), vec![1]);
+        db.append_rows(color, vec![vec![Value::Int(3), Value::text("green")]]).expect("write");
+        db.truncate_deltas(db.epoch());
+        let removed = c.invalidate(&db);
+        assert_eq!(removed, 2, "unauditable gap: everything goes");
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.selection_entries() + c.subtree_entries(), 0);
+    }
+
+    #[test]
+    fn foreign_database_is_ignored() {
+        let db = writable_db();
+        let c = EvalCache::with_identity(db.db_id().wrapping_add(1), 0, None);
+        c.insert_selection(0, 0, 0, true, vec![0]);
+        assert_eq!(c.invalidate(&db), 0, "identity mismatch: no-op");
+        assert_eq!(c.selection_entries(), 1);
+    }
+
+    #[test]
+    fn invalidating_an_evicted_entry_never_double_subtracts() {
+        let mut db = writable_db();
+        let color = db.table_id("color").expect("table");
+        // Budget fits two 16-byte selections; the third insert evicts the
+        // LRU one — which is exactly the entry the write then dirties.
+        let c = EvalCache::with_identity(db.db_id(), db.epoch(), Some(32));
+        let red = c.intern("red");
+        let stale = c.intern("stale");
+        c.insert_selection(0, color, red, true, vec![0, 1, 2, 3]);
+        c.insert_selection(0, color, stale, true, vec![0, 1, 2, 3]);
+        assert!(c.selection(0, color, stale, true).is_some(), "touch: 'red' becomes LRU");
+        c.insert_selection(0, 1, 9, true, vec![0, 1, 2, 3]);
+        assert_eq!(c.evictions(), 1, "'red' evicted by the budget");
+        let before = c.bytes();
+        assert_eq!(before, c.accounted_bytes());
+        // Append text matching both keywords: invalidation wants both
+        // selections, but 'red' is already gone — it must be skipped, not
+        // subtracted again.
+        db.append_rows(color, vec![vec![Value::Int(3), Value::text("stale red")]])
+            .expect("write");
+        let removed = c.invalidate(&db);
+        assert_eq!(removed, 1, "only the resident entry is invalidated");
+        assert_eq!(c.invalidated(), 1);
+        assert_eq!(c.bytes(), c.accounted_bytes(), "no double subtraction");
+        assert!(c.bytes() < before);
     }
 }

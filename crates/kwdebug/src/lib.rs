@@ -55,6 +55,7 @@
 //! | Cross-probe evaluation cache (extension) | shared keyword selections, subtree semi-join value-sets | [`evalcache`] |
 //! | Pooled traversal scratch (extension) | reusable per-query workspaces, zero steady-state allocation | [`workspace`] |
 //! | Multi-tenant serving (extension) | shared substrate ([`SharedParts`]), per-session debuggers over TCP | [`debugger`], `kwserve` |
+//! | Mutable databases (extension) | epoch-stamped writes, incremental index deltas, layered invalidation | [`mutable`], [`evalcache`] |
 //!
 //! ## Observability
 //!
@@ -110,6 +111,7 @@ pub mod lattice;
 pub mod lattice_io;
 pub mod metrics;
 pub mod mtn;
+pub mod mutable;
 pub mod oracle;
 pub mod parallel;
 pub mod prune;
@@ -121,6 +123,7 @@ pub mod workspace;
 
 pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
 pub use debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
+pub use mutable::MutableDatabase;
 pub use error::KwError;
 pub use estimate::OnlinePa;
 pub use evalcache::SharedEvalCache;

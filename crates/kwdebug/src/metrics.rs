@@ -33,6 +33,10 @@
 //! | `subtree_cache_dead_shortcuts` | oracle/dispatcher, probes answered Dead from an empty cached value-set | beyond the paper (evaluation cache) |
 //! | `verdict_cache_hits` | oracle/dispatcher, probes answered (Alive *or* Dead) from a cached whole-network verdict | beyond the paper (evaluation cache) |
 //! | `cache_bytes` | oracle, payload bytes resident in the session [`crate::evalcache::EvalCache`] | beyond the paper (evaluation cache) |
+//! | `delta_postings_merged` | oracle, bound plan nodes whose posting list was merged on read over pending index deltas | beyond the paper (mutable databases) |
+//! | `epoch` | debugger, gauge of the session's pinned database write epoch | beyond the paper (mutable databases) |
+//! | `entries_invalidated` | debugger, gauge of cache entries evicted by write-delta invalidation | beyond the paper (mutable databases) |
+//! | `compactions` | debugger, gauge of the index's delta-postings compactions | beyond the paper (mutable databases) |
 //!
 //! The invariant the integration tests pin down: `probes_executed` equals the
 //! engine's own `ExecStats::queries`, so a strategy can never misreport its
@@ -78,6 +82,13 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value — for the gauge-style fields (`epoch`,
+    /// `entries_invalidated`, `compactions`) that mirror external state
+    /// instead of counting events.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Resets to zero.
@@ -195,6 +206,22 @@ pub struct Metrics {
     /// cache; summed across a session the counter equals the cache's
     /// resident size (warm runs that add nothing report 0).
     pub cache_bytes: Counter,
+    /// Bound plan nodes whose inverted-index posting list was assembled by a
+    /// merge-on-read over pending write deltas
+    /// ([`textindex::InvertedIndex::rows_containing`] returning an owned
+    /// union) instead of a borrowed base list. 0 on fully-compacted indexes.
+    pub delta_postings_merged: Counter,
+    /// Gauge: the database write epoch this session is pinned at (set once
+    /// per debug call, not accumulated — see [`ProbeCounters::delta`]).
+    pub epoch: Counter,
+    /// Gauge: total entries the attached evaluation cache has evicted through
+    /// write-delta invalidation ([`crate::evalcache::EvalCache::invalidated`]);
+    /// 0 without a cache.
+    pub entries_invalidated: Counter,
+    /// Gauge: total delta-postings compactions the session's inverted index
+    /// has performed ([`textindex::InvertedIndex::compactions`]); 0 without
+    /// an index.
+    pub compactions: Counter,
 }
 
 impl Metrics {
@@ -222,6 +249,10 @@ impl Metrics {
             subtree_cache_dead_shortcuts: Counter::new(),
             verdict_cache_hits: Counter::new(),
             cache_bytes: Counter::new(),
+            delta_postings_merged: Counter::new(),
+            epoch: Counter::new(),
+            entries_invalidated: Counter::new(),
+            compactions: Counter::new(),
         }
     }
 
@@ -249,6 +280,10 @@ impl Metrics {
             subtree_cache_dead_shortcuts: self.subtree_cache_dead_shortcuts.get(),
             verdict_cache_hits: self.verdict_cache_hits.get(),
             cache_bytes: self.cache_bytes.get(),
+            delta_postings_merged: self.delta_postings_merged.get(),
+            epoch: self.epoch.get(),
+            entries_invalidated: self.entries_invalidated.get(),
+            compactions: self.compactions.get(),
         }
     }
 
@@ -275,6 +310,10 @@ impl Metrics {
         self.subtree_cache_dead_shortcuts.reset();
         self.verdict_cache_hits.reset();
         self.cache_bytes.reset();
+        self.delta_postings_merged.reset();
+        self.epoch.reset();
+        self.entries_invalidated.reset();
+        self.compactions.reset();
     }
 }
 
@@ -329,10 +368,22 @@ pub struct ProbeCounters {
     pub verdict_cache_hits: u64,
     /// Payload bytes newly added to the session evaluation cache.
     pub cache_bytes: u64,
+    /// Bound plan nodes whose posting list was merged on read over pending
+    /// index write deltas.
+    pub delta_postings_merged: u64,
+    /// Gauge: database write epoch the session is pinned at.
+    pub epoch: u64,
+    /// Gauge: total cache entries evicted by write-delta invalidation.
+    pub entries_invalidated: u64,
+    /// Gauge: total delta-postings compactions of the session's index.
+    pub compactions: u64,
 }
 
 impl ProbeCounters {
     /// Counts attributable to the window between `baseline` and `self`.
+    /// The gauge fields (`epoch`, `entries_invalidated`, `compactions`) are
+    /// state mirrors, not event counts, so the window carries `self`'s value
+    /// unchanged instead of a meaningless subtraction.
     pub fn delta(self, baseline: ProbeCounters) -> ProbeCounters {
         ProbeCounters {
             probes_executed: self.probes_executed - baseline.probes_executed,
@@ -358,10 +409,17 @@ impl ProbeCounters {
                 - baseline.subtree_cache_dead_shortcuts,
             verdict_cache_hits: self.verdict_cache_hits - baseline.verdict_cache_hits,
             cache_bytes: self.cache_bytes - baseline.cache_bytes,
+            delta_postings_merged: self.delta_postings_merged - baseline.delta_postings_merged,
+            epoch: self.epoch,
+            entries_invalidated: self.entries_invalidated,
+            compactions: self.compactions,
         }
     }
 
-    /// Adds another window's counts into this one.
+    /// Adds another window's counts into this one. Gauge fields take the
+    /// maximum — accumulating per-interpretation windows of one debug call
+    /// must report the call's (single) epoch and final cache/index state,
+    /// not a sum of repeats.
     pub fn accumulate(&mut self, other: ProbeCounters) {
         self.probes_executed += other.probes_executed;
         self.probe_time_ns += other.probe_time_ns;
@@ -384,6 +442,10 @@ impl ProbeCounters {
         self.subtree_cache_dead_shortcuts += other.subtree_cache_dead_shortcuts;
         self.verdict_cache_hits += other.verdict_cache_hits;
         self.cache_bytes += other.cache_bytes;
+        self.delta_postings_merged += other.delta_postings_merged;
+        self.epoch = self.epoch.max(other.epoch);
+        self.entries_invalidated = self.entries_invalidated.max(other.entries_invalidated);
+        self.compactions = self.compactions.max(other.compactions);
     }
 
     /// Probe time as a [`Duration`].
@@ -506,7 +568,9 @@ impl MetricsSnapshot {
         let p = &self.probes;
         let _ = write!(
             j,
-            ",\"probes\":{{\"budget_exhausted\":{},\"cache_bytes\":{},\"executed\":{},\
+            ",\"probes\":{{\"budget_exhausted\":{},\"cache_bytes\":{},\"compactions\":{},\
+             \"delta_postings_merged\":{},\"entries_invalidated\":{},\"epoch\":{},\
+             \"executed\":{},\
              \"faults_injected\":{},\
              \"inference_suppressed_probes\":{},\"memo_hits\":{},\"phase1_nodes_touched\":{},\
              \"probes_abandoned\":{},\
@@ -517,6 +581,10 @@ impl MetricsSnapshot {
              \"workspace_reuses\":{}}}",
             p.budget_exhausted,
             p.cache_bytes,
+            p.compactions,
+            p.delta_postings_merged,
+            p.entries_invalidated,
+            p.epoch,
             p.probes_executed,
             p.faults_injected,
             p.inference_suppressed_probes,
@@ -613,6 +681,8 @@ mod tests {
         let m = Metrics::new();
         m.probes_executed.add(3);
         m.r2_inferences.add(2);
+        m.epoch.set(5);
+        m.compactions.set(1);
         let before = m.snapshot();
         m.probes_executed.add(4);
         m.probe_time.add(Duration::from_nanos(70));
@@ -623,12 +693,15 @@ mod tests {
         assert_eq!(window.r2_inferences, 0);
         assert_eq!(window.reuse_hits, 1);
         assert_eq!(window.inferences(), 0);
+        assert_eq!(window.epoch, 5, "gauges pass through a delta window");
+        assert_eq!(window.compactions, 1);
 
         let mut sum = ProbeCounters::default();
         sum.accumulate(window);
         sum.accumulate(window);
         assert_eq!(sum.probes_executed, 8);
         assert_eq!(sum.probe_time(), Duration::from_nanos(140));
+        assert_eq!(sum.epoch, 5, "gauges accumulate by max, not sum");
     }
 
     #[test]
@@ -688,6 +761,10 @@ mod tests {
                 subtree_cache_dead_shortcuts: 2,
                 verdict_cache_hits: 8,
                 cache_bytes: 512,
+                delta_postings_merged: 3,
+                epoch: 11,
+                entries_invalidated: 7,
+                compactions: 2,
             },
             phases: PhaseTiming {
                 mapping: Duration::from_nanos(1),
@@ -720,7 +797,9 @@ mod tests {
              \"variant\":\"fault_pm=50\",\
              \"scale\":\"small\",\"max_level\":5,\"interpretations\":1,\
              \"lattice_bytes\":4096,\
-             \"probes\":{\"budget_exhausted\":1,\"cache_bytes\":512,\"executed\":12,\
+             \"probes\":{\"budget_exhausted\":1,\"cache_bytes\":512,\"compactions\":2,\
+             \"delta_postings_merged\":3,\"entries_invalidated\":7,\"epoch\":11,\
+             \"executed\":12,\
              \"faults_injected\":5,\
              \"inference_suppressed_probes\":2,\"memo_hits\":0,\"phase1_nodes_touched\":42,\
              \"probes_abandoned\":1,\

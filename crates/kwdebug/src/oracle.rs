@@ -80,7 +80,7 @@ use textindex::InvertedIndex;
 use crate::binding::Interpretation;
 use crate::budget::{BudgetGate, Exhausted, ProbeBudget, RetryPolicy};
 use crate::error::KwError;
-use crate::evalcache::{network_key, subtree_refs, EvalCache};
+use crate::evalcache::{network_key, network_mask, subtree_refs, EvalCache};
 use crate::jnts::Jnts;
 use crate::lattice::NodeId;
 use crate::metrics::Metrics;
@@ -203,11 +203,12 @@ enum ProbeFail {
 
 /// A cache-aware probe plan: the (possibly pruned) executable plan plus the
 /// subtree-cache keys to populate from this probe's reduction, as
-/// `(plan node index, cache key)` pairs aligned with the executor's
-/// harvest output.
+/// `(plan node index, cache key, tables mask)` triples aligned with the
+/// executor's harvest output. The mask travels with the key so the cache
+/// can later invalidate the entry when any of its tables is written.
 struct CachedPlan {
     plan: JoinTreePlan,
-    harvest: Vec<(usize, Vec<u8>)>,
+    harvest: Vec<(usize, Vec<u8>, u64)>,
 }
 
 /// The `Send + Sync` probe backend shared by every probing thread.
@@ -324,29 +325,38 @@ impl<'a> ProbeCore<'a> {
         let t = self.db.table(table);
         let schema = t.schema();
         match self.index {
-            Some(idx) => idx
-                .rows_containing(table, kw)
-                .iter()
-                .copied()
-                .filter(|&rid| pred.eval(schema, t.row(rid)))
+            Some(idx) => {
+                let rows = idx.rows_containing(table, kw);
+                if matches!(rows, std::borrow::Cow::Owned(_)) {
+                    self.metrics.delta_postings_merged.incr();
+                }
+                rows.iter().copied().filter(|&rid| pred.eval(schema, t.row(rid))).collect()
+            }
+            None => (0..t.len() as RowId)
+                .filter(|&rid| !t.is_deleted(rid) && pred.eval(schema, t.row(rid)))
                 .collect(),
-            None => (0..t.len() as RowId).filter(|&rid| pred.eval(schema, t.row(rid))).collect(),
         }
     }
 
     /// The shared selection for one bound copy: cache hit, or computed and
     /// published. Counts `selection_cache_hits` / `cache_bytes`.
     fn shared_selection(&self, cache: &EvalCache, table: TableId, kw: &str) -> Arc<Vec<RowId>> {
+        let pin = self.db.epoch();
         let kid = cache.intern(kw);
         let indexed = self.index.is_some();
-        match cache.selection(table, kid, indexed) {
+        match cache.selection(pin, table, kid, indexed) {
             Some(sel) => {
                 self.metrics.selection_cache_hits.incr();
                 sel
             }
             None => {
-                let (sel, added) =
-                    cache.insert_selection(table, kid, indexed, self.compute_selection(table, kw));
+                let (sel, added) = cache.insert_selection(
+                    pin,
+                    table,
+                    kid,
+                    indexed,
+                    self.compute_selection(table, kw),
+                );
                 self.metrics.cache_bytes.add(added);
                 sel
             }
@@ -367,16 +377,18 @@ impl<'a> ProbeCore<'a> {
         col: ColId,
         sel: &Arc<Vec<RowId>>,
     ) -> Arc<ValuePostings> {
+        let pin = self.db.epoch();
         let kid = cache.intern(kw);
         let indexed = self.index.is_some();
-        if let Some(postings) = cache.selection_postings(table, kid, indexed, col) {
+        if let Some(postings) = cache.selection_postings(pin, table, kid, indexed, col) {
             return postings;
         }
         let t = self.db.table(table);
         let postings = ValuePostings::build(
             sel.iter().filter_map(|&rid| t.row(rid)[col].as_int().map(|v| (v, rid))).collect(),
         );
-        let (postings, added) = cache.insert_selection_postings(table, kid, indexed, col, postings);
+        let (postings, added) =
+            cache.insert_selection_postings(pin, table, kid, indexed, col, postings);
         self.metrics.cache_bytes.add(added);
         postings
     }
@@ -395,7 +407,7 @@ impl<'a> ProbeCore<'a> {
         let labels = self.binding_labels(jnts, cache);
         let vid = |i: usize| labels[i];
         for r in subtree_refs(jnts, self.db, &vid) {
-            if cache.subtree(&r.key).is_some_and(|set| set.is_empty()) {
+            if cache.subtree(self.db.epoch(), &r.key).is_some_and(|set| set.is_empty()) {
                 self.metrics.subtree_cache_dead_shortcuts.incr();
                 if let Some(memo) = &self.memo {
                     memo.insert(node, false);
@@ -417,7 +429,9 @@ impl<'a> ProbeCore<'a> {
     pub(crate) fn shortcut(&self, node: NodeId, jnts: &Jnts) -> Option<bool> {
         if let Some(cache) = &self.cache {
             let labels = self.binding_labels(jnts, cache);
-            if let Some(alive) = cache.verdict(&network_key(jnts, &|i| labels[i])) {
+            if let Some(alive) =
+                cache.verdict(self.db.epoch(), &network_key(jnts, &|i| labels[i]))
+            {
                 self.metrics.verdict_cache_hits.incr();
                 if let Some(memo) = &self.memo {
                     memo.insert(node, alive);
@@ -459,7 +473,7 @@ impl<'a> ProbeCore<'a> {
             if !keep[r.parent] {
                 continue;
             }
-            if let Some(set) = cache.subtree(&r.key) {
+            if let Some(set) = cache.subtree(self.db.epoch(), &r.key) {
                 self.metrics.subtree_cache_hits.incr();
                 cons_by_vertex[r.parent].push((r.parent_col, set));
             } else {
@@ -526,7 +540,7 @@ impl<'a> ProbeCore<'a> {
         let harvest = refs
             .into_iter()
             .filter(|r| keep[r.vertex])
-            .map(|r| (plan_idx[r.vertex], r.key))
+            .map(|r| (plan_idx[r.vertex], r.key, r.tables_mask))
             .collect();
         Ok(CachedPlan { plan: JoinTreePlan::new(nodes, edges)?, harvest })
     }
@@ -664,6 +678,20 @@ impl<'a> ProbeCore<'a> {
                 }
             },
         };
+        // The uncached planner merges delta postings inside `rows_containing`
+        // (the cached path counts inside `compute_selection`): one merge per
+        // bound copy whose term is currently dirtied.
+        if plain.is_some() {
+            if let Some(idx) = self.index {
+                for &ts in jnts.nodes() {
+                    if let Some(k) = self.interp.keyword_for(ts) {
+                        if idx.has_delta(ts.table, &self.keywords[k]) {
+                            self.metrics.delta_postings_merged.incr();
+                        }
+                    }
+                }
+            }
+        }
         let harvest_idx: Vec<usize> =
             cached.as_ref().map_or_else(Vec::new, |c| c.harvest.iter().map(|h| h.0).collect());
         let rows_before = engine.stats().rows_examined;
@@ -694,14 +722,19 @@ impl<'a> ProbeCore<'a> {
                 // value-set — and the whole-network verdict itself — is a
                 // sound cache entry.
                 if let (Some(c), Some(cache)) = (cached, &self.cache) {
-                    for ((_, key), values) in c.harvest.into_iter().zip(harvested) {
+                    let pin = self.db.epoch();
+                    for ((_, key, mask), values) in c.harvest.into_iter().zip(harvested) {
                         if let Some(values) = values {
-                            self.metrics.cache_bytes.add(cache.insert_subtree(key, values));
+                            self.metrics
+                                .cache_bytes
+                                .add(cache.insert_subtree(pin, key, mask, values));
                         }
                     }
                     let labels = self.binding_labels(jnts, cache);
                     let key = network_key(jnts, &|i| labels[i]);
-                    self.metrics.cache_bytes.add(cache.insert_verdict(key, alive));
+                    self.metrics
+                        .cache_bytes
+                        .add(cache.insert_verdict(pin, key, network_mask(jnts), alive));
                 }
                 Probe::Verdict(alive)
             }

@@ -101,6 +101,8 @@ pub struct WireReport {
 pub struct DebugClient {
     stream: TcpStream,
     session_id: u64,
+    /// Database write epoch of the server's snapshot, from `Welcome`.
+    epoch: u64,
     /// Response bytes received during the most recent exchange — the
     /// at-most-once evidence: 0 means the server cannot have answered.
     last_rx: u64,
@@ -123,14 +125,29 @@ impl DebugClient {
         tenant: &str,
         io_timeout: Option<Duration>,
     ) -> Result<DebugClient, ClientError> {
+        DebugClient::connect_pinned(addr, tenant, None, io_timeout)
+    }
+
+    /// Like [`DebugClient::connect_with_timeout`], additionally pinning the
+    /// database epoch: the handshake fails with
+    /// [`ErrorCode::StaleEpoch`] if the server's snapshot is at any other
+    /// write epoch. Use it to prove, on reconnect, that reports remain
+    /// comparable with those of a previous session.
+    pub fn connect_pinned(
+        addr: SocketAddr,
+        tenant: &str,
+        pin_epoch: Option<u64>,
+        io_timeout: Option<Duration>,
+    ) -> Result<DebugClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(io_timeout)?;
         stream.set_write_timeout(io_timeout)?;
-        let mut client = DebugClient { stream, session_id: 0, last_rx: 0 };
-        match client.call(&Request::Hello { tenant: tenant.to_owned() })? {
-            Response::Welcome { session_id } => {
+        let mut client = DebugClient { stream, session_id: 0, epoch: 0, last_rx: 0 };
+        match client.call(&Request::Hello { tenant: tenant.to_owned(), pin_epoch })? {
+            Response::Welcome { session_id, epoch } => {
                 client.session_id = session_id;
+                client.epoch = epoch;
                 Ok(client)
             }
             Response::Error { code, retry_after_ms, message } => {
@@ -143,6 +160,12 @@ impl DebugClient {
     /// The server-assigned session id.
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// Database write epoch of the server's snapshot (from `Welcome`): every
+    /// report this session receives reflects exactly this epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Response bytes received during the most recent exchange (0 after a
@@ -289,6 +312,14 @@ impl ResilientClient {
     /// The current session id, if a session is live.
     pub fn session_id(&self) -> Option<u64> {
         self.inner.as_ref().map(DebugClient::session_id)
+    }
+
+    /// The database epoch of the current session's snapshot, if live.
+    /// Reconnects do not pin, so a value that changed across a reconnect
+    /// means the service was restarted over a mutated database — reports
+    /// before and after are not comparable.
+    pub fn epoch(&self) -> Option<u64> {
+        self.inner.as_ref().map(DebugClient::epoch)
     }
 
     /// Debugs one query with the session's default strategy (at-most-once).

@@ -11,8 +11,8 @@
 //!
 //! The normative wire-protocol specification and the operations guide live
 //! in `SERVING.md`; the architecture chapter (state split, thread model,
-//! why sessions never share an evaluation-cache generation) is DESIGN.md
-//! §11. In code:
+//! why sessions never share private evaluation-cache state across database
+//! epochs) is DESIGN.md §11. In code:
 //!
 //! * [`protocol`] — framing, request/response codecs, and the *canonical
 //!   report encoding* whose payloads are bit-identical to direct library

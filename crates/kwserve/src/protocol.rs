@@ -42,8 +42,10 @@ use kwdebug::traversal::StrategyKind;
 pub const MAGIC: u32 = u32::from_le_bytes(*b"KWSV");
 
 /// Protocol version carried in `Hello`; the server rejects mismatches with
-/// [`ErrorCode::UnsupportedVersion`] rather than guessing.
-pub const VERSION: u16 = 1;
+/// [`ErrorCode::UnsupportedVersion`] rather than guessing. Version 2 added
+/// the database epoch to `Welcome`, the optional `pin_epoch` to `Hello`,
+/// and the four epoch/invalidation counters to the report probes block.
+pub const VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload (32 MiB). Reports over DBLife at paper
 /// scale are well under 1 MiB; anything larger than this is a corrupt or
@@ -102,6 +104,10 @@ pub enum ErrorCode {
     /// response carries a `retry_after_ms` hint; back off at least that long
     /// before retrying — no work was done, so a retry is always safe.
     Overloaded = 9,
+    /// `Hello` pinned a database epoch the server no longer serves (the
+    /// database has been mutated past it). Reconnect without a pin — the
+    /// `Welcome` of a fresh handshake carries the current epoch.
+    StaleEpoch = 10,
 }
 
 impl ErrorCode {
@@ -117,6 +123,7 @@ impl ErrorCode {
             7 => Some(ErrorCode::Internal),
             8 => Some(ErrorCode::Timeout),
             9 => Some(ErrorCode::Overloaded),
+            10 => Some(ErrorCode::StaleEpoch),
             _ => None,
         }
     }
@@ -134,6 +141,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal server error",
             ErrorCode::Timeout => "connection deadline exceeded",
             ErrorCode::Overloaded => "server overloaded, retry later",
+            ErrorCode::StaleEpoch => "pinned database epoch is stale",
         };
         f.write_str(s)
     }
@@ -147,6 +155,13 @@ pub enum Request {
     Hello {
         /// Tenant name for admission control and per-tenant budgets.
         tenant: String,
+        /// Database epoch the client requires (`None` = serve whatever is
+        /// current). When the server's database has moved past the pin it
+        /// refuses the session with [`ErrorCode::StaleEpoch`] instead of
+        /// silently answering from a different database state — the
+        /// at-most-once analogue for reads: a reconnecting client can prove
+        /// whether the world changed underneath it.
+        pin_epoch: Option<u64>,
     },
     /// Runs one keyword query through the session's debugger.
     Debug {
@@ -174,6 +189,11 @@ pub enum Response {
     Welcome {
         /// Server-assigned session id (unique per server lifetime).
         session_id: u64,
+        /// Database write epoch the session's snapshot serves. Every report
+        /// this session produces reflects exactly this epoch; clients
+        /// comparing reports across sessions use it to tell recomputation
+        /// differences from database changes.
+        epoch: u64,
     },
     /// One debug report.
     Report {
@@ -477,11 +497,18 @@ pub fn strategy_from_code(b: u8) -> Result<Option<StrategyKind>, WireError> {
 pub fn encode_request(r: &Request) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     match r {
-        Request::Hello { tenant } => {
+        Request::Hello { tenant, pin_epoch } => {
             out.push(req::HELLO);
             put_u32(&mut out, MAGIC);
             put_u16(&mut out, VERSION);
             put_str(&mut out, tenant);
+            match pin_epoch {
+                None => out.push(0),
+                Some(e) => {
+                    out.push(1);
+                    put_u64(&mut out, *e);
+                }
+            }
         }
         Request::Debug { strategy, query } => {
             out.push(req::DEBUG);
@@ -508,7 +535,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             if version != VERSION {
                 return Err(WireError(format!("unsupported protocol version {version}")));
             }
-            Request::Hello { tenant: rd.str()? }
+            let tenant = rd.str()?;
+            let pin_epoch = match rd.u8()? {
+                0 => None,
+                1 => Some(rd.u64()?),
+                other => return Err(WireError(format!("bad pin-epoch flag {other}"))),
+            };
+            Request::Hello { tenant, pin_epoch }
         }
         req::DEBUG => {
             let strategy = strategy_from_code(rd.u8()?)?;
@@ -526,9 +559,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 pub fn encode_response(r: &Response) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     match r {
-        Response::Welcome { session_id } => {
+        Response::Welcome { session_id, epoch } => {
             out.push(resp::WELCOME);
             put_u64(&mut out, *session_id);
+            put_u64(&mut out, *epoch);
         }
         Response::Report { degraded, server_ns, payload } => {
             out.push(resp::REPORT);
@@ -557,7 +591,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     let mut rd = Rd::new(payload);
     let op = rd.u8()?;
     let msg = match op {
-        resp::WELCOME => Response::Welcome { session_id: rd.u64()? },
+        resp::WELCOME => Response::Welcome { session_id: rd.u64()?, epoch: rd.u64()? },
         resp::REPORT => {
             let degraded = match rd.u8()? {
                 0 => false,
@@ -650,6 +684,10 @@ fn put_probes(out: &mut Vec<u8>, p: &ProbeCounters) {
     put_u64(out, p.subtree_cache_dead_shortcuts);
     put_u64(out, p.verdict_cache_hits);
     put_u64(out, p.cache_bytes);
+    put_u64(out, p.delta_postings_merged);
+    put_u64(out, p.epoch);
+    put_u64(out, p.entries_invalidated);
+    put_u64(out, p.compactions);
 }
 
 fn read_probes(rd: &mut Rd<'_>) -> Result<ProbeCounters, WireError> {
@@ -675,6 +713,10 @@ fn read_probes(rd: &mut Rd<'_>) -> Result<ProbeCounters, WireError> {
         subtree_cache_dead_shortcuts: rd.u64()?,
         verdict_cache_hits: rd.u64()?,
         cache_bytes: rd.u64()?,
+        delta_postings_merged: rd.u64()?,
+        epoch: rd.u64()?,
+        entries_invalidated: rd.u64()?,
+        compactions: rd.u64()?,
     })
 }
 
@@ -875,6 +917,10 @@ mod tests {
                     probe_time_ns: 12345,
                     steals: 2,
                     r2_inferences: 1,
+                    delta_postings_merged: 3,
+                    epoch: 5,
+                    entries_invalidated: 11,
+                    compactions: 1,
                     ..ProbeCounters::default()
                 },
                 timing: PhaseTiming::default(),
@@ -888,7 +934,8 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Hello { tenant: "acme".into() },
+            Request::Hello { tenant: "acme".into(), pin_epoch: None },
+            Request::Hello { tenant: "acme".into(), pin_epoch: Some(17) },
             Request::Debug { strategy: None, query: "saffron candle".into() },
             Request::Debug {
                 strategy: Some(StrategyKind::BottomUpWithReuse),
@@ -905,13 +952,14 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let resps = [
-            Response::Welcome { session_id: 42 },
+            Response::Welcome { session_id: 42, epoch: 7 },
             Response::Report { degraded: true, server_ns: 99, payload: vec![1, 2, 3] },
             Response::MetricsJson { json: "{}".into() },
             Response::ByeAck,
             Response::error(ErrorCode::QuotaExhausted, "full"),
             Response::overloaded(Duration::from_millis(250), "gate at high water"),
             Response::error(ErrorCode::Timeout, "frame too slow"),
+            Response::error(ErrorCode::StaleEpoch, "database moved past pin 3"),
         ];
         for r in &resps {
             assert_eq!(&decode_response(&encode_response(r)).unwrap(), r);
@@ -920,12 +968,16 @@ mod tests {
 
     #[test]
     fn hello_rejects_bad_magic_and_version() {
-        let mut p = encode_request(&Request::Hello { tenant: "t".into() });
+        let hello = Request::Hello { tenant: "t".into(), pin_epoch: None };
+        let mut p = encode_request(&hello);
         p[1] ^= 0xFF;
         assert!(decode_request(&p).is_err(), "bad magic");
-        let mut p = encode_request(&Request::Hello { tenant: "t".into() });
+        let mut p = encode_request(&hello);
         p[5] = 0x7F;
         assert!(decode_request(&p).is_err(), "bad version");
+        let mut p = encode_request(&hello);
+        *p.last_mut().unwrap() = 7;
+        assert!(decode_request(&p).is_err(), "bad pin-epoch flag");
     }
 
     #[test]
@@ -944,6 +996,11 @@ mod tests {
         assert_eq!(back.interpretations[0].probes.probe_time_ns, 0);
         assert_eq!(back.interpretations[0].probes.steals, 0);
         assert_eq!(back.interpretations[0].probes.probes_executed, 7);
+        // The epoch/invalidation block added in protocol v2 is on the wire.
+        assert_eq!(back.interpretations[0].probes.delta_postings_merged, 3);
+        assert_eq!(back.interpretations[0].probes.epoch, 5);
+        assert_eq!(back.interpretations[0].probes.entries_invalidated, 11);
+        assert_eq!(back.interpretations[0].probes.compactions, 1);
         // Canonical: re-encoding the decoded report is byte-identical.
         assert_eq!(encode_report(&back), bytes);
     }
@@ -1076,7 +1133,8 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_u8(8), Some(ErrorCode::Timeout));
         assert_eq!(ErrorCode::from_u8(9), Some(ErrorCode::Overloaded));
-        assert_eq!(ErrorCode::from_u8(10), None, "codes append at the end only");
+        assert_eq!(ErrorCode::from_u8(10), Some(ErrorCode::StaleEpoch));
+        assert_eq!(ErrorCode::from_u8(11), None, "codes append at the end only");
     }
 
     #[test]

@@ -51,7 +51,8 @@
 //! The evaluation cache is private per session by default; with
 //! [`ServeConfig::shared_cache`] set, sessions instead attach to one
 //! process-wide [`SharedEvalCache`] keyed by the substrate's database
-//! generation and bounded by a byte-budget LRU, so overlapping-keyword
+//! identity `(db_id, epoch)` and bounded by a byte-budget LRU, so
+//! overlapping-keyword
 //! tenants reuse each other's selections and subtree reductions (DESIGN.md
 //! §12, CACHING.md; tenants opt out via `TenantPolicy::private_cache`).
 //! Session construction is O(1), so a connection costs no Phase-0 work.
@@ -135,7 +136,8 @@ pub struct ServeConfig {
     /// Process-wide evaluation cache shared across every session of every
     /// tenant (`None`, the default, keeps the PR 5 behavior: one private
     /// cache per session). When set, the server creates one
-    /// [`SharedEvalCache`] for the substrate's database generation, forces
+    /// [`SharedEvalCache`] stamped with the substrate's database identity
+    /// `(db_id, epoch)`, forces
     /// `debug.eval_cache` on, and hands the store to each admitted session —
     /// so a keyword one tenant warmed is free for the next. The byte-budget
     /// LRU bounds residency; tenants can opt out per policy
@@ -234,6 +236,10 @@ pub struct ServerMetrics {
     /// Connection deadlines tripped: slowloris frames, idle reaping, and
     /// stuck writes.
     pub deadlines_hit: AtomicU64,
+    /// Database write epoch of the served snapshot (gauge, fixed for the
+    /// server's lifetime — a server holds one immutable snapshot; restart
+    /// with the mutated [`SharedParts`] to serve a newer epoch).
+    pub epoch: AtomicU64,
     /// Panics caught by per-request isolation (the connection dies, the
     /// worker survives).
     pub panics_caught: AtomicU64,
@@ -260,7 +266,7 @@ impl ServerMetrics {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"chaos_faults_injected\":{},\"connections_accepted\":{},\"conns_failed\":{},\
-             \"deadlines_hit\":{},\"frames_rejected\":{},\"panics_caught\":{},\
+             \"deadlines_hit\":{},\"epoch\":{},\"frames_rejected\":{},\"panics_caught\":{},\
              \"probes_executed\":{},\"queries_ok\":{},\"queries_rejected\":{},\
              \"reports_degraded\":{},\"requests_shed\":{},\"sessions_admitted\":{},\
              \"sessions_closed\":{},\"sessions_rejected\":{},\"sessions_shed\":{},\
@@ -270,6 +276,7 @@ impl ServerMetrics {
             self.connections_accepted.load(Ordering::Relaxed),
             self.conns_failed.load(Ordering::Relaxed),
             self.deadlines_hit.load(Ordering::Relaxed),
+            self.epoch.load(Ordering::Relaxed),
             self.frames_rejected.load(Ordering::Relaxed),
             self.panics_caught.load(Ordering::Relaxed),
             self.probes_executed.load(Ordering::Relaxed),
@@ -388,9 +395,10 @@ impl Server {
     ) -> std::io::Result<Server> {
         let mut parts = parts;
         let mut config = config;
-        // The shared-cache knob: build one process-wide store for this
-        // substrate's generation and attach it to the parts every session is
-        // spawned from. Sessions need the eval cache on to consult it.
+        // The shared-cache knob: build one process-wide store stamped with
+        // this substrate's (db_id, epoch) identity and attach it to the parts
+        // every session is spawned from. Sessions need the eval cache on to
+        // consult it.
         let shared_cache = config.shared_cache.map(|sc| {
             config.debug.eval_cache = true;
             if sc.online_pa {
@@ -405,6 +413,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let capacity = config.effective_max_inflight();
+        let epoch = parts.epoch();
         let shared = Arc::new(Shared {
             parts,
             registry: Arc::new(registry),
@@ -418,6 +427,7 @@ impl Server {
             config,
             shared_cache,
         });
+        shared.metrics.epoch.store(epoch, Ordering::Relaxed);
         let mut threads = Vec::with_capacity(workers + 1);
         {
             let shared = Arc::clone(&shared);
@@ -812,22 +822,46 @@ fn serve_connection(stream: TcpStream, conn_index: u64, shared: &Shared) {
             }
         };
         match (request, &mut session) {
-            (Request::Hello { tenant }, None) => match admit(shared, &tenant) {
-                Ok(new_session) => {
-                    let id = new_session.id;
-                    session = Some(new_session);
-                    shared.metrics.sessions_admitted.fetch_add(1, Ordering::Relaxed);
-                    if !send(&mut transport, shared, &Response::Welcome { session_id: id }) {
+            (Request::Hello { tenant, pin_epoch }, None) => {
+                let epoch = shared.parts.epoch();
+                if let Some(pin) = pin_epoch {
+                    if pin != epoch {
+                        // Refuse rather than silently serve a different
+                        // database state than the client proved it saw.
+                        shared.metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                        rejected = true;
+                        let _ = send(
+                            &mut transport,
+                            shared,
+                            &Response::error(
+                                ErrorCode::StaleEpoch,
+                                format!("pinned epoch {pin}, server serves epoch {epoch}"),
+                            ),
+                        );
                         break;
                     }
                 }
-                Err(response) => {
-                    shared.metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-                    rejected = true;
-                    let _ = send(&mut transport, shared, &response);
-                    break;
+                match admit(shared, &tenant) {
+                    Ok(new_session) => {
+                        let id = new_session.id;
+                        session = Some(new_session);
+                        shared.metrics.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+                        if !send(
+                            &mut transport,
+                            shared,
+                            &Response::Welcome { session_id: id, epoch },
+                        ) {
+                            break;
+                        }
+                    }
+                    Err(response) => {
+                        shared.metrics.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                        rejected = true;
+                        let _ = send(&mut transport, shared, &response);
+                        break;
+                    }
                 }
-            },
+            }
             (Request::Hello { .. }, Some(_)) => {
                 shared.metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
                 let _ = send(

@@ -167,7 +167,7 @@ fn idle_sessions_are_reaped() {
     .unwrap();
 
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
-    let hello = protocol::encode_request(&Request::Hello { tenant: "acme".into() });
+    let hello = protocol::encode_request(&Request::Hello { tenant: "acme".into(), pin_epoch: None });
     write_frame(&mut stream, &hello).unwrap();
     let payload = read_frame(&mut stream).unwrap().expect("welcome");
     assert!(matches!(

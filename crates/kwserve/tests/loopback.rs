@@ -227,7 +227,7 @@ fn protocol_violations_get_typed_errors() {
     // Wrong protocol version → UnsupportedVersion.
     {
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
-        let mut hello = protocol::encode_request(&Request::Hello { tenant: "t".into() });
+        let mut hello = protocol::encode_request(&Request::Hello { tenant: "t".into(), pin_epoch: None });
         hello[5] = 0x7F; // clobber the version field
         write_frame(&mut stream, &hello).unwrap();
         let payload = read_frame(&mut stream).unwrap().expect("server answers");

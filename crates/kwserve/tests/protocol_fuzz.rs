@@ -43,8 +43,8 @@ fn store_db() -> Database {
 
 fn request_corpus() -> Vec<Vec<u8>> {
     [
-        Request::Hello { tenant: "acme".into() },
-        Request::Hello { tenant: String::new() },
+        Request::Hello { tenant: "acme".into(), pin_epoch: Some(3) },
+        Request::Hello { tenant: String::new(), pin_epoch: None },
         Request::Debug { strategy: None, query: "saffron candle".into() },
         Request::Debug { strategy: Some(StrategyKind::BottomUp), query: "x".into() },
         Request::Metrics,
@@ -57,7 +57,7 @@ fn request_corpus() -> Vec<Vec<u8>> {
 
 fn response_corpus() -> Vec<Vec<u8>> {
     [
-        Response::Welcome { session_id: 42 },
+        Response::Welcome { session_id: 42, epoch: 9 },
         Response::Report { degraded: true, server_ns: 123_456, payload: vec![9, 8, 7, 6] },
         Response::MetricsJson { json: "{\"a\":1}".into() },
         Response::ByeAck,

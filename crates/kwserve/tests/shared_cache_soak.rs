@@ -224,7 +224,7 @@ fn soak_round(seed: u64, workers: usize) -> u64 {
     // store must reproduce a clean uncached reference exactly.
     assert!(store.bytes() > 0, "the chaotic round still cached completed work");
     let mut verify_parts = system.shared_parts();
-    verify_parts.adopt_eval_cache(store).expect("same database generation");
+    verify_parts.adopt_eval_cache(store).expect("same (db_id, epoch) identity");
     let warmed = NonAnswerDebugger::from_shared(verify_parts, cached_config()).unwrap();
     let reference = NonAnswerDebugger::new(store_db(), uncached_config()).unwrap();
     for (_, queries) in WORKLOADS {

@@ -1,11 +1,30 @@
-//! The database catalog: tables plus the key/foreign-key schema graph.
+//! The database catalog: tables plus the key/foreign-key schema graph,
+//! and the epoch-stamped write path.
+//!
+//! Every database carries a process-unique **database id** and a monotonic
+//! **epoch**. Bulk loading (the builder / `insert_values` path) happens at
+//! epoch 0; afterwards the first-class write methods —
+//! [`Database::append_rows`], [`Database::update_row`],
+//! [`Database::delete_row`] — each bump the epoch and record an
+//! [`EpochDelta`] describing exactly which `(table, column)` inputs were
+//! dirtied. Downstream layers (textindex delta postings, the evaluation
+//! cache's selective invalidation) consume the delta log through
+//! [`Database::deltas_since`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::EngineError;
 use crate::schema::{ColId, SchemaFk, TableSchema};
-use crate::table::{RowId, Table};
+use crate::table::{Row, RowId, Table};
 use crate::value::{DataType, Value};
+
+/// Source of process-unique database ids (see [`Database::db_id`]).
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_db_id() -> u64 {
+    NEXT_DB_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Identifier of a table within a [`Database`] (dense, 0-based).
 pub type TableId = usize;
@@ -38,18 +57,210 @@ impl From<SchemaFk> for ForeignKey {
     }
 }
 
-/// An in-memory relational database: tables, name lookup, foreign keys.
-#[derive(Debug, Clone, Default)]
+/// What a write did, for delta consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Rows appended ([`Database::append_rows`]).
+    Append,
+    /// A row's values replaced in place ([`Database::update_row`]).
+    Update,
+    /// A row tombstoned ([`Database::delete_row`]).
+    Delete,
+}
+
+/// One epoch's dirty set: which table, which rows, which columns changed,
+/// and — for updates and deletes — the prior row values, so index and
+/// postings maintenance can subtract the old terms without a rescan.
+#[derive(Debug, Clone)]
+pub struct EpochDelta {
+    /// The epoch this write created (the database's epoch after the write).
+    pub epoch: u64,
+    /// The written table.
+    pub table: TableId,
+    /// What happened.
+    pub kind: DeltaKind,
+    /// Columns whose values changed. Appends and deletes dirty every
+    /// column; updates list only the columns whose value actually differs.
+    pub cols: Vec<ColId>,
+    /// The affected row ids.
+    pub rows: Vec<RowId>,
+    /// Prior values of updated/deleted rows (empty for appends).
+    pub old: Vec<(RowId, Row)>,
+}
+
+/// An in-memory relational database: tables, name lookup, foreign keys,
+/// and the epoch-stamped delta log (see the module docs).
+#[derive(Debug)]
 pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     fks: Vec<ForeignKey>,
+    /// Process-unique identity; a clone gets a fresh one (clones diverge).
+    db_id: u64,
+    /// Monotonic write counter; 0 = freshly loaded, never written.
+    epoch: u64,
+    /// Per-epoch dirty sets, ascending by epoch.
+    deltas: Vec<EpochDelta>,
+}
+
+impl Clone for Database {
+    /// Clones the data but assigns a **fresh database id**: two databases
+    /// that can diverge must never share a cache identity `(db_id, epoch)`.
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            by_name: self.by_name.clone(),
+            fks: self.fks.clone(),
+            db_id: fresh_db_id(),
+            epoch: self.epoch,
+            deltas: self.deltas.clone(),
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database::default()
+        Database {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            fks: Vec::new(),
+            db_id: fresh_db_id(),
+            epoch: 0,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Process-unique identity of this database instance. Together with
+    /// [`Database::epoch`] this forms the cache identity downstream layers
+    /// stamp entries with.
+    pub fn db_id(&self) -> u64 {
+        self.db_id
+    }
+
+    /// The current epoch: number of write calls applied since load.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deltas recorded after `epoch`, ascending. A consumer that last
+    /// synchronized at epoch E calls `deltas_since(E)` and applies what it
+    /// gets; an empty slice means it is current.
+    pub fn deltas_since(&self, epoch: u64) -> &[EpochDelta] {
+        let start = self.deltas.partition_point(|d| d.epoch <= epoch);
+        &self.deltas[start..]
+    }
+
+    /// Drops deltas at or below `epoch` from the log (they were compacted
+    /// into every consumer). [`Database::deltas_since`] for older epochs
+    /// then silently under-reports, so callers gate on
+    /// [`Database::oldest_delta_epoch`].
+    pub fn truncate_deltas(&mut self, epoch: u64) {
+        self.deltas.retain(|d| d.epoch > epoch);
+    }
+
+    /// The smallest epoch still covered by the delta log: a consumer pinned
+    /// at an epoch `>= oldest_delta_epoch() - 1` can catch up incrementally;
+    /// anything older was compacted away. Equals the current epoch when the
+    /// log is empty.
+    pub fn oldest_delta_epoch(&self) -> u64 {
+        self.deltas.first().map_or(self.epoch, |d| d.epoch)
+    }
+
+    /// Appends a batch of rows to a table as one epoch. All rows are
+    /// validated before any is inserted, so a bad row leaves the database
+    /// untouched. Returns the new row ids.
+    pub fn append_rows(
+        &mut self,
+        table: TableId,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Vec<RowId>, EngineError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(format!("#{table}")))?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        for r in &rows {
+            t.validate_row(r)?;
+        }
+        let mut ids = Vec::with_capacity(rows.len());
+        for r in rows {
+            ids.push(t.insert(r).expect("validated above"));
+        }
+        let cols = (0..t.schema().arity()).collect();
+        self.epoch += 1;
+        self.deltas.push(EpochDelta {
+            epoch: self.epoch,
+            table,
+            kind: DeltaKind::Append,
+            cols,
+            rows: ids.clone(),
+            old: Vec::new(),
+        });
+        Ok(ids)
+    }
+
+    /// Replaces one row's values as one epoch. The delta records only the
+    /// columns whose value actually changed (a no-op update still bumps the
+    /// epoch but dirties no columns).
+    pub fn update_row(
+        &mut self,
+        table: TableId,
+        id: RowId,
+        values: Vec<Value>,
+    ) -> Result<(), EngineError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(format!("#{table}")))?;
+        let old = t.update(id, values)?;
+        let new = t.row(id);
+        let cols: Vec<ColId> = old
+            .iter()
+            .zip(new.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        self.epoch += 1;
+        self.deltas.push(EpochDelta {
+            epoch: self.epoch,
+            table,
+            kind: DeltaKind::Update,
+            cols,
+            rows: vec![id],
+            old: vec![(id, old)],
+        });
+        Ok(())
+    }
+
+    /// Tombstones one row as one epoch (row ids stay stable; see
+    /// [`Table::delete`]).
+    pub fn delete_row(&mut self, table: TableId, id: RowId) -> Result<(), EngineError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::UnknownTable(format!("#{table}")))?;
+        let old = t.delete(id)?;
+        let cols = (0..t.schema().arity()).collect();
+        self.epoch += 1;
+        self.deltas.push(EpochDelta {
+            epoch: self.epoch,
+            table,
+            kind: DeltaKind::Delete,
+            cols,
+            rows: vec![id],
+            old: vec![(id, old)],
+        });
+        Ok(())
     }
 
     /// Registers a table; its name must be unique.
@@ -186,9 +397,9 @@ impl Database {
         }
     }
 
-    /// Total number of tuples across all tables.
+    /// Total number of live tuples across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::len).sum()
+        self.tables.iter().map(Table::live_rows).sum()
     }
 
     /// Validates referential integrity: every non-null FK value must resolve
@@ -331,5 +542,79 @@ mod tests {
             db.insert_values("ghost", vec![]),
             Err(EngineError::UnknownTable(_))
         ));
+    }
+
+    #[test]
+    fn writes_bump_epoch_and_record_deltas() {
+        let mut db = two_table_db();
+        db.insert_values("color", vec![Value::Int(1), Value::text("red")]).unwrap();
+        db.finalize();
+        assert_eq!(db.epoch(), 0, "bulk loading stays at epoch 0");
+        assert!(db.deltas_since(0).is_empty());
+
+        let ids = db
+            .append_rows(0, vec![vec![Value::Int(2), Value::text("blue")]])
+            .unwrap();
+        assert_eq!(ids, vec![1]);
+        assert_eq!(db.epoch(), 1);
+        db.update_row(0, 1, vec![Value::Int(2), Value::text("navy")]).unwrap();
+        db.delete_row(0, 0).unwrap();
+        assert_eq!(db.epoch(), 3);
+
+        let deltas = db.deltas_since(0);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].kind, DeltaKind::Append);
+        assert_eq!(deltas[0].cols, vec![0, 1], "append dirties every column");
+        assert_eq!(deltas[1].kind, DeltaKind::Update);
+        assert_eq!(deltas[1].cols, vec![1], "only the changed column is dirty");
+        assert_eq!(deltas[1].old[0].1[1], Value::text("blue"));
+        assert_eq!(deltas[2].kind, DeltaKind::Delete);
+        assert_eq!(deltas[2].old[0].1[1], Value::text("red"));
+        assert_eq!(db.deltas_since(2).len(), 1, "catch-up from a later epoch");
+        assert!(db.deltas_since(3).is_empty());
+
+        // Appended row is indexed without a finalize() call.
+        assert_eq!(db.table(0).lookup_indexed(0, 2).unwrap(), &[1]);
+        // Deleted row left the index.
+        assert_eq!(db.table(0).lookup_indexed(0, 1).unwrap(), &[] as &[RowId]);
+    }
+
+    #[test]
+    fn append_validates_whole_batch_atomically() {
+        let mut db = two_table_db();
+        let err = db.append_rows(
+            0,
+            vec![
+                vec![Value::Int(1), Value::text("ok")],
+                vec![Value::Int(2)], // bad arity
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(db.table(0).len(), 0, "no partial batch");
+        assert_eq!(db.epoch(), 0, "failed write does not bump the epoch");
+    }
+
+    #[test]
+    fn clone_gets_fresh_db_id_keeps_epoch() {
+        let mut db = two_table_db();
+        db.append_rows(0, vec![vec![Value::Int(1), Value::text("red")]]).unwrap();
+        let snap = db.clone();
+        assert_ne!(snap.db_id(), db.db_id(), "clones must not share cache identity");
+        assert_eq!(snap.epoch(), db.epoch());
+        assert_eq!(snap.deltas_since(0).len(), 1);
+    }
+
+    #[test]
+    fn delta_log_truncation() {
+        let mut db = two_table_db();
+        for i in 0..4 {
+            db.append_rows(0, vec![vec![Value::Int(i), Value::text("c")]]).unwrap();
+        }
+        assert_eq!(db.oldest_delta_epoch(), 1);
+        db.truncate_deltas(2);
+        assert_eq!(db.oldest_delta_epoch(), 3);
+        assert_eq!(db.deltas_since(2).len(), 2);
+        db.truncate_deltas(4);
+        assert_eq!(db.oldest_delta_epoch(), db.epoch(), "empty log = current");
     }
 }

@@ -669,7 +669,7 @@ impl<'a> Executor<'a> {
                             })
                             .map(|(rid, _)| rid)
                             .collect(),
-                        parent_table.len() as u64,
+                        parent_table.live_rows() as u64,
                     ),
                 },
                 LiveSet::Rows(rows) => (filter_rows(parent_table, rows, parent_col, &membership), rows.len() as u64),
@@ -815,7 +815,7 @@ impl<'a> Executor<'a> {
             LiveSet::Shared(r) => r.as_ref().clone(),
             LiveSet::All => {
                 let t = self.db.table(plan.nodes()[node].table);
-                (0..t.len() as RowId).collect()
+                t.iter().map(|(rid, _)| rid).collect()
             }
             LiveSet::Deferred { sel, col, vals } => {
                 match plan.nodes()[node].col_postings.iter().find(|(c, _)| *c == col) {

@@ -24,9 +24,9 @@ pub fn estimate_cardinality(plan: &JoinTreePlan, db: &Database) -> f64 {
         let table = db.table(node.table);
         let base = match &node.candidates {
             Some(c) => c.len() as f64,
-            None if node.predicate.is_true() => table.len() as f64,
+            None if node.predicate.is_true() => table.live_rows() as f64,
             // Without candidates, guess 10% predicate selectivity.
-            None => table.len() as f64 * 0.1,
+            None => table.live_rows() as f64 * 0.1,
         };
         est *= base;
     }
@@ -68,7 +68,7 @@ fn render_node(
         out,
         "{indent}{} [{} rows{}]{}",
         n.alias.clone().unwrap_or_else(|| table.schema().name.clone()),
-        table.len(),
+        table.live_rows(),
         cands,
         if filter.is_empty() { String::new() } else { format!(" filter: {filter}") },
     );

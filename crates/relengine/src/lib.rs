@@ -71,7 +71,7 @@ mod table;
 mod value;
 
 pub use builder::{DatabaseBuilder, TableBuilder};
-pub use catalog::{Database, ForeignKey, FkId, TableId};
+pub use catalog::{Database, DeltaKind, EpochDelta, ForeignKey, FkId, TableId};
 pub use chaos::{ChaosExecutor, FaultConfig, FaultDecision, FaultInjector, FaultStats};
 pub use csv::{dump_csv, load_csv};
 pub use error::EngineError;

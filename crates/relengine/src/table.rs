@@ -1,4 +1,10 @@
-//! Row storage and per-column hash indexes.
+//! Row storage, tombstones, and per-column hash indexes.
+//!
+//! Row ids are positional and **stable for the lifetime of the table**:
+//! deletion tombstones a row instead of removing it, so ids handed out to
+//! indexes, postings, and caches never shift. Equality indexes are
+//! maintained incrementally by [`Table::insert`], [`Table::update`], and
+//! [`Table::delete`] — a write never drops an index wholesale.
 
 use std::collections::HashMap;
 
@@ -18,15 +24,46 @@ pub type Row = Box<[Value]>;
 pub struct Table {
     pub(crate) schema: TableSchema,
     pub(crate) rows: Vec<Row>,
-    /// `indexes[col]` maps an integer value to the sorted row ids holding it.
-    /// Built by [`Table::build_index`]; nulls are not indexed.
+    /// Tombstone flags, parallel to `rows`. A deleted row keeps its slot
+    /// (and its values, for diagnostics) so row ids stay stable.
+    deleted: Vec<bool>,
+    /// Number of tombstoned rows.
+    dead: usize,
+    /// `indexes[col]` maps an integer value to the sorted live row ids
+    /// holding it. Built by [`Table::build_index`]; nulls are not indexed.
     indexes: HashMap<ColId, HashMap<i64, Vec<RowId>>>,
+}
+
+/// Inserts `rid` into a sorted posting list (no-op if already present).
+fn index_add(idx: &mut HashMap<i64, Vec<RowId>>, value: i64, rid: RowId) {
+    let list = idx.entry(value).or_default();
+    if let Err(pos) = list.binary_search(&rid) {
+        list.insert(pos, rid);
+    }
+}
+
+/// Removes `rid` from a sorted posting list, dropping empty lists.
+fn index_remove(idx: &mut HashMap<i64, Vec<RowId>>, value: i64, rid: RowId) {
+    if let Some(list) = idx.get_mut(&value) {
+        if let Ok(pos) = list.binary_search(&rid) {
+            list.remove(pos);
+        }
+        if list.is_empty() {
+            idx.remove(&value);
+        }
+    }
 }
 
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new(), indexes: HashMap::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            deleted: Vec::new(),
+            dead: 0,
+            indexes: HashMap::new(),
+        }
     }
 
     /// The table schema.
@@ -34,17 +71,29 @@ impl Table {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of row *slots* (live + tombstoned). Row ids range over
+    /// `0..len()`; use [`Table::live_rows`] for the live cardinality.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
-    /// Whether the table holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_rows(&self) -> usize {
+        self.rows.len() - self.dead
     }
 
-    /// Returns the row with the given id.
+    /// Whether the table holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live_rows() == 0
+    }
+
+    /// Whether the row with the given id has been deleted.
+    pub fn is_deleted(&self, id: RowId) -> bool {
+        self.deleted.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Returns the row with the given id. Tombstoned rows keep their values
+    /// readable (callers that must skip them check [`Table::is_deleted`]).
     ///
     /// # Panics
     /// Panics if `id` is out of range; row ids come from this table so an
@@ -53,16 +102,17 @@ impl Table {
         &self.rows[id as usize]
     }
 
-    /// Iterates over `(RowId, &Row)` pairs.
+    /// Iterates over `(RowId, &Row)` pairs of **live** rows.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.deleted[i])
+            .map(|(i, r)| (i as RowId, r))
     }
 
-    /// Appends a row after validating arity and column types.
-    ///
-    /// Indexes are invalidated (dropped) by insertion; call
-    /// [`Table::build_index`] (or `Database::finalize`) after loading.
-    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, EngineError> {
+    /// Validates arity, column types, and the non-null primary key rule.
+    pub(crate) fn validate_row(&self, values: &[Value]) -> Result<(), EngineError> {
         if values.len() != self.schema.arity() {
             return Err(EngineError::RowMismatch {
                 table: self.schema.name.clone(),
@@ -93,13 +143,79 @@ impl Table {
                 });
             }
         }
-        self.indexes.clear();
+        Ok(())
+    }
+
+    /// Appends a row after validating arity and column types. Existing
+    /// equality indexes are maintained in place (the new id is appended to
+    /// each value's posting list), so a loaded-and-indexed table stays
+    /// indexed across writes.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId, EngineError> {
+        self.validate_row(&values)?;
         let id = self.rows.len() as RowId;
-        self.rows.push(values.into_boxed_slice());
+        let row = values.into_boxed_slice();
+        for (&col, idx) in self.indexes.iter_mut() {
+            if let Some(v) = row[col].as_int() {
+                // The new id is the maximum, so pushing keeps lists sorted.
+                idx.entry(v).or_default().push(id);
+            }
+        }
+        self.rows.push(row);
+        self.deleted.push(false);
         Ok(id)
     }
 
+    /// Replaces the row with the given id, returning the previous values.
+    /// Indexes are maintained incrementally (old value removed, new value
+    /// inserted at its sorted position). Updating a tombstoned or
+    /// out-of-range row is an error.
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> Result<Row, EngineError> {
+        if id as usize >= self.rows.len() || self.deleted[id as usize] {
+            return Err(EngineError::RowMismatch {
+                table: self.schema.name.clone(),
+                detail: format!("update of missing or deleted row {id}"),
+            });
+        }
+        self.validate_row(&values)?;
+        let new = values.into_boxed_slice();
+        let old = std::mem::replace(&mut self.rows[id as usize], new);
+        for (&col, idx) in self.indexes.iter_mut() {
+            let (was, now) = (old[col].as_int(), self.rows[id as usize][col].as_int());
+            if was != now {
+                if let Some(v) = was {
+                    index_remove(idx, v, id);
+                }
+                if let Some(v) = now {
+                    index_add(idx, v, id);
+                }
+            }
+        }
+        Ok(old)
+    }
+
+    /// Tombstones the row with the given id, returning a copy of its values
+    /// (the slot keeps them readable; see [`Table::row`]). Indexes are
+    /// maintained incrementally. Deleting twice is an error.
+    pub fn delete(&mut self, id: RowId) -> Result<Row, EngineError> {
+        if id as usize >= self.rows.len() || self.deleted[id as usize] {
+            return Err(EngineError::RowMismatch {
+                table: self.schema.name.clone(),
+                detail: format!("delete of missing or deleted row {id}"),
+            });
+        }
+        self.deleted[id as usize] = true;
+        self.dead += 1;
+        let row = self.rows[id as usize].clone();
+        for (&col, idx) in self.indexes.iter_mut() {
+            if let Some(v) = row[col].as_int() {
+                index_remove(idx, v, id);
+            }
+        }
+        Ok(row)
+    }
+
     /// Builds (or rebuilds) the equality index on an integer column.
+    /// Tombstoned rows are excluded.
     pub fn build_index(&mut self, col: ColId) -> Result<(), EngineError> {
         if col >= self.schema.arity() {
             return Err(EngineError::UnknownColumn {
@@ -114,9 +230,9 @@ impl Table {
             });
         }
         let mut idx: HashMap<i64, Vec<RowId>> = HashMap::new();
-        for (rid, row) in self.rows.iter().enumerate() {
+        for (rid, row) in self.iter() {
             if let Some(v) = row[col].as_int() {
-                idx.entry(v).or_default().push(rid as RowId);
+                idx.entry(v).or_default().push(rid);
             }
         }
         self.indexes.insert(col, idx);
@@ -128,17 +244,15 @@ impl Table {
         self.indexes.contains_key(&col)
     }
 
-    /// Row ids whose `col` equals `value`, using the index if present and a
-    /// scan otherwise. Result is in ascending row-id order either way.
+    /// Live row ids whose `col` equals `value`, using the index if present
+    /// and a scan otherwise. Result is in ascending row-id order either way.
     pub fn lookup(&self, col: ColId, value: i64) -> Vec<RowId> {
         if let Some(idx) = self.indexes.get(&col) {
             return idx.get(&value).cloned().unwrap_or_default();
         }
-        self.rows
-            .iter()
-            .enumerate()
+        self.iter()
             .filter(|(_, r)| r[col].as_int() == Some(value))
-            .map(|(i, _)| i as RowId)
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -149,27 +263,27 @@ impl Table {
             .map(|idx| idx.get(&value).map_or(&[][..], |v| v.as_slice()))
     }
 
-    /// Number of distinct non-null integer values in `col`, using the index
-    /// if one exists and a scan otherwise. Used by cardinality estimation.
+    /// Number of distinct non-null integer values in `col` over live rows,
+    /// using the index if one exists and a scan otherwise. Used by
+    /// cardinality estimation.
     pub fn distinct_ints(&self, col: ColId) -> usize {
         if let Some(idx) = self.indexes.get(&col) {
             return idx.len();
         }
         let mut seen: Vec<i64> = self
-            .rows
             .iter()
-            .filter_map(|r| r.get(col).and_then(Value::as_int))
+            .filter_map(|(_, r)| r.get(col).and_then(Value::as_int))
             .collect();
         seen.sort_unstable();
         seen.dedup();
         seen.len()
     }
 
-    /// Verifies primary-key uniqueness over all rows.
+    /// Verifies primary-key uniqueness over all live rows.
     pub fn check_primary_key(&self) -> Result<(), EngineError> {
         let Some(pk) = self.schema.primary_key else { return Ok(()) };
-        let mut seen = HashMap::with_capacity(self.rows.len());
-        for row in &self.rows {
+        let mut seen = HashMap::with_capacity(self.live_rows());
+        for (_, row) in self.iter() {
             if let Some(k) = row[pk].as_int() {
                 if seen.insert(k, ()).is_some() {
                     return Err(EngineError::DuplicateKey {
@@ -212,6 +326,7 @@ mod tests {
     fn insert_and_read() {
         let t = filled();
         assert_eq!(t.len(), 3);
+        assert_eq!(t.live_rows(), 3);
         assert!(!t.is_empty());
         assert_eq!(t.row(1)[1], Value::text("b"));
         assert_eq!(t.iter().count(), 3);
@@ -267,13 +382,65 @@ mod tests {
     }
 
     #[test]
-    fn insert_invalidates_index() {
+    fn insert_maintains_index() {
         let mut t = filled();
         t.build_index(2).unwrap();
         t.insert(vec![Value::Int(4), Value::text("d"), Value::Int(10)]).unwrap();
-        assert!(!t.has_index(2));
-        // Scan fallback still finds everything.
+        assert!(t.has_index(2), "insert maintains the index in place");
         assert_eq!(t.lookup(2, 10), vec![0, 1, 3]);
+        assert_eq!(t.lookup_indexed(2, 10).unwrap(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn update_maintains_index() {
+        let mut t = filled();
+        t.build_index(2).unwrap();
+        let old = t.update(0, vec![Value::Int(1), Value::text("a2"), Value::Int(20)]).unwrap();
+        assert_eq!(old[2], Value::Int(10));
+        assert_eq!(t.lookup(2, 10), vec![1]);
+        assert_eq!(t.lookup(2, 20), vec![0]);
+        // Updating a NULL into a value and back.
+        t.update(2, vec![Value::Int(3), Value::text("c"), Value::Int(20)]).unwrap();
+        assert_eq!(t.lookup(2, 20), vec![0, 2]);
+        t.update(2, vec![Value::Int(3), Value::text("c"), Value::Null]).unwrap();
+        assert_eq!(t.lookup(2, 20), vec![0]);
+        assert!(matches!(t.update(9, vec![]), Err(EngineError::RowMismatch { .. })));
+    }
+
+    #[test]
+    fn delete_tombstones_and_maintains_index() {
+        let mut t = filled();
+        t.build_index(2).unwrap();
+        let old = t.delete(0).unwrap();
+        assert_eq!(old[0], Value::Int(1));
+        assert!(t.is_deleted(0));
+        assert_eq!(t.len(), 3, "slot count is stable");
+        assert_eq!(t.live_rows(), 2);
+        assert_eq!(t.lookup(2, 10), vec![1], "index excludes the tombstone");
+        assert_eq!(t.iter().count(), 2, "iteration skips the tombstone");
+        assert!(t.delete(0).is_err(), "double delete refused");
+        // Row ids of survivors are unchanged.
+        assert_eq!(t.row(1)[1], Value::text("b"));
+    }
+
+    #[test]
+    fn delete_then_reinsert_pk_is_legal() {
+        let mut t = filled();
+        t.delete(0).unwrap();
+        t.insert(vec![Value::Int(1), Value::text("a'"), Value::Int(10)]).unwrap();
+        assert!(t.check_primary_key().is_ok(), "tombstoned pk does not conflict");
+    }
+
+    #[test]
+    fn deleted_rows_skipped_by_scans() {
+        let mut t = filled();
+        t.delete(1).unwrap();
+        assert_eq!(t.lookup(2, 10), vec![0], "scan path skips tombstones");
+        assert_eq!(t.distinct_ints(0), 2);
+        let mut t2 = Table::new(schema());
+        t2.insert(vec![Value::Int(1), Value::text("x"), Value::Null]).unwrap();
+        t2.delete(0).unwrap();
+        assert!(t2.is_empty(), "all-tombstoned table is empty");
     }
 
     #[test]

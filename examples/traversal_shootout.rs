@@ -11,7 +11,9 @@
 
 use kws_nonanswer_debug::datagen::{generate_dblife, DblifeConfig};
 use kws_nonanswer_debug::kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
+use kws_nonanswer_debug::kwdebug::mutable::MutableDatabase;
 use kws_nonanswer_debug::kwdebug::traversal::StrategyKind;
+use kws_nonanswer_debug::relengine::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = generate_dblife(&DblifeConfig::small());
@@ -102,5 +104,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.bytes()
     );
     println!("(dead-sc = probes answered from an empty cached cut value-set; vc-hit = probes answered from a cached whole-network verdict; no SQL issued for either)");
+
+    // Same shootout against a *mutated* database: writes go through the
+    // epoch-stamped coordinator, the inverted index is maintained by delta
+    // postings, and the shared evaluation cache sheds only entries the
+    // writes touched. The epoch/invalidation columns show that machinery;
+    // the strategies must still agree with each other on the new data.
+    let db = generate_dblife(&DblifeConfig::small());
+    let mut mutated = MutableDatabase::new(db, 4)?;
+    mutated.share_eval_cache(None);
+    {
+        // Warm the shared store pre-write so invalidation has work to do.
+        let warm = mutated.session(DebugConfig {
+            sample_limit: 0,
+            eval_cache: true,
+            ..DebugConfig::default()
+        })?;
+        warm.debug(query)?;
+    }
+    // A new person named Das: overlaps the warmed query's keyword entries,
+    // so the shared store must shed exactly those.
+    let person = mutated.table_id("person").expect("dblife schema");
+    mutated.append_rows(person, vec![vec![Value::Int(900_001), Value::text("Anjali Das")]])?;
+    println!("\nafter a write (epoch {}), same session machinery:\n", mutated.epoch());
+    println!(
+        "{:<8} {:>7} {:>6} {:>12} {:>12} {:>12}",
+        "strategy", "probes", "epoch", "delta-merge", "invalidated", "compactions"
+    );
+    let mut mutated_reference = None;
+    for kind in StrategyKind::ALL {
+        let session = mutated.session(DebugConfig {
+            strategy: kind,
+            sample_limit: 0,
+            eval_cache: true,
+            ..DebugConfig::default()
+        })?;
+        let report = session.debug(query)?;
+        let signature =
+            (report.answer_count(), report.non_answer_count(), report.mpan_count());
+        match &mutated_reference {
+            None => mutated_reference = Some(signature),
+            Some(r) => {
+                assert_eq!(*r, signature, "{kind} disagrees on the mutated database")
+            }
+        }
+        let p = report.probes();
+        assert_eq!(p.epoch, mutated.epoch(), "sessions report the live epoch");
+        println!(
+            "{:<8} {:>7} {:>6} {:>12} {:>12} {:>12}",
+            kind.name(),
+            p.probes_executed,
+            p.epoch,
+            p.delta_postings_merged,
+            p.entries_invalidated,
+            p.compactions,
+        );
+    }
+    println!(
+        "\nall strategies agree after the write; the index served {} pending delta rows in place",
+        mutated.index().pending_delta_rows()
+    );
     Ok(())
 }

@@ -37,6 +37,12 @@ cargo test --workspace --release -q --test shared_cache_equivalence
 echo "==> cold-vs-warm probe cache benchmark (DBLife, results/BENCH_exp_probe_cache.json)"
 ./target/release/exp_probe_cache --scale medium | grep -E "throughput|speedup|wrote"
 
+echo "==> mutable-database differential (incremental maintenance vs fresh rebuild)"
+cargo test --workspace --release -q --test mutation_equivalence
+
+echo "==> mutation benchmark (E19 incremental vs drop-and-rebuild, results/BENCH_exp_mutate.json)"
+./target/release/exp_mutate | grep -E "speedup|wrote"
+
 echo "==> serving layer (kwserve loopback: wire-vs-library bit-equivalence, admission)"
 cargo test --workspace --release -q --test loopback
 
