@@ -37,17 +37,34 @@
 //! identical (modulo executed-query counts and timings) across all three
 //! points — sharing the cache must never change answers.
 //!
+//! With `--batch` (E20's cross-session batching protocol) four extra points
+//! run through a [`kwserve::ServeConfig::batching`] server with the shared
+//! cache *off* (cold, so batching is the only probe-saving mechanism): 8
+//! tenants walk the same Table 2 queries aligned per request, so concurrent
+//! sessions dispatch near-identical probe waves — once with batching off
+//! (every tenant executes its full wave) and once with the wave exchange on
+//! (duplicate probes coalesce into a single execution, verdicts fan back to
+//! every subscriber). Rows record probes per served request, merged waves,
+//! the coalesce ratio and server-observed p50/p99. Two solo points (one
+//! tenant, batching on/off) pin the bypass: uncontended p50 must stay
+//! within 10% of batching-off. The acceptance check is `>= 2.0x` fewer
+//! probe executions per request with batching on at QPS parity.
+//!
 //! Records go to `results/BENCH_exp_serve.json` via the shared writer
 //! ([`bench::harness::write_records`]), one stable-JSON line per sweep
-//! point. See `EXPERIMENTS.md` §E16/§E17/§E18 and `SERVING.md` for
+//! point. See `EXPERIMENTS.md` §E16/§E17/§E18/§E20 and `SERVING.md` for
 //! interpretation.
 //!
 //! Usage: `exp_serve [--scale S] [--max-level N] [--seed N]
-//! [--sessions 2,8,64] [--queries N] [--workers N] [--overload] [--warm]`
+//! [--sessions 2,8,64] [--queries N] [--workers N] [--overload] [--warm]
+//! [--batch]`
 //! (workers defaults to the sweep point's session count, so every session
 //! is served concurrently rather than queued in the accept backlog).
 
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
+
+use kwdebug::BatchConfig;
 
 use bench::harness::write_records;
 use bench::{build_system, print_table, DataScale};
@@ -65,6 +82,7 @@ struct Args {
     workers: Option<usize>,
     overload: bool,
     warm: bool,
+    batch: bool,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +95,7 @@ fn parse_args() -> Args {
         workers: None,
         overload: false,
         warm: false,
+        batch: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,10 +133,15 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
+            "--batch" => {
+                out.batch = true;
+                i += 1;
+                continue;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale tiny|small|medium|paper  --max-level N  --seed N  \
-                     --sessions N,N,...  --queries N  --workers N  --overload  --warm"
+                     --sessions N,N,...  --queries N  --workers N  --overload  --warm  --batch"
                 );
                 std::process::exit(0);
             }
@@ -463,6 +487,130 @@ fn run_warm_point(
     }
 }
 
+/// One cross-session batching point's aggregated numbers (E20).
+struct BatchPoint {
+    variant: &'static str,
+    tenants: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    probes_executed: u64,
+    probes_per_request: f64,
+    merged_waves: u64,
+    coalesce_ratio: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Runs one E20 point: `tenants` closed-loop clients walk the same workload
+/// *aligned per request* (a barrier before every query), so concurrent
+/// sessions park near-identical probe waves in the exchange — the workload
+/// shape batching exists for. Latencies are server-observed service times,
+/// the same clock as E17. Shared cache stays off: batching must earn its
+/// probe savings alone, on a cold store.
+fn run_batch_point(
+    system: &kwdebug::debugger::NonAnswerDebugger,
+    tenants: usize,
+    queries: usize,
+    workers: usize,
+    batching: Option<BatchConfig>,
+    variant: &'static str,
+) -> BatchPoint {
+    let config = ServeConfig {
+        workers,
+        // E20 measures dispatch, not admission: every tenant resident.
+        max_inflight: tenants + 1,
+        debug: *system.config(),
+        batching,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        system.shared_parts(),
+        TenantRegistry::new(TenantPolicy::default()),
+        config,
+    )
+    .expect("server binds on loopback");
+    let addr = server.addr();
+    let workload = datagen::paper_queries();
+    let barrier = Barrier::new(tenants);
+
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(tenants * queries);
+    std::thread::scope(|s| {
+        let workload = &workload;
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..tenants)
+            .map(|ti| {
+                s.spawn(move || {
+                    let tenant = format!("tenant{ti}");
+                    let mut client =
+                        DebugClient::connect(addr, &tenant).expect("session admitted");
+                    let mut latencies = Vec::with_capacity(queries);
+                    for qi in 0..queries {
+                        // Align every tenant on the same query so their
+                        // frontiers genuinely overlap in flight.
+                        barrier.wait();
+                        let q = &workload[qi % workload.len()];
+                        let wire = client.debug(q.text).expect("query served");
+                        latencies.push(wire.server_ns);
+                    }
+                    client.bye().expect("clean goodbye");
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            all_latencies.extend(h.join().expect("tenant thread"));
+        }
+    });
+    let wall = t0.elapsed();
+
+    let (merged, submitted, coalesced) = server
+        .wave_exchange()
+        .map_or((0, 0, 0), |ex| (ex.merged_waves(), ex.submitted_probes(), ex.coalesced_probes()));
+    let metrics = server.shutdown();
+    let probes = metrics.probes_executed.into_inner();
+    let ok = metrics.queries_ok.into_inner();
+    all_latencies.sort_unstable();
+    BatchPoint {
+        variant,
+        tenants,
+        requests: all_latencies.len(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: if wall.is_zero() { 0.0 } else { all_latencies.len() as f64 / wall.as_secs_f64() },
+        probes_executed: probes,
+        probes_per_request: if ok == 0 { 0.0 } else { probes as f64 / ok as f64 },
+        merged_waves: merged,
+        coalesce_ratio: if submitted == 0 { 0.0 } else { coalesced as f64 / submitted as f64 },
+        p50_ns: percentile(&all_latencies, 50),
+        p99_ns: percentile(&all_latencies, 99),
+    }
+}
+
+fn batch_record(args: &Args, p: &BatchPoint, workers: usize) -> String {
+    format!(
+        "{{\"coalesce_ratio\":{:.4},\"experiment\":\"serve\",\"latency_p50_ns\":{},\
+         \"latency_p99_ns\":{},\"max_level\":{},\"merged_waves\":{},\"probes_executed\":{},\
+         \"probes_per_request\":{:.3},\"qps\":{:.2},\"requests\":{},\"scale\":\"{}\",\
+         \"seed\":{},\"tenants\":{},\"variant\":\"{}\",\"wall_ms\":{:.3},\"workers\":{}}}",
+        p.coalesce_ratio,
+        p.p50_ns,
+        p.p99_ns,
+        args.max_level,
+        p.merged_waves,
+        p.probes_executed,
+        p.probes_per_request,
+        p.qps,
+        p.requests,
+        args.scale.name(),
+        args.seed,
+        p.tenants,
+        p.variant,
+        p.wall_ms,
+        workers,
+    )
+}
+
 fn warm_record(args: &Args, p: &WarmPoint, workers: usize) -> String {
     format!(
         "{{\"cache_bytes\":{},\"cache_evictions\":{},\"cache_hits\":{},\"cache_misses\":{},\
@@ -715,6 +863,90 @@ fn main() {
         records.push(warm_record(&args, &off, workers));
         records.push(warm_record(&args, &on, workers));
         records.push(warm_record(&args, &tiny, workers));
+    }
+
+    if args.batch {
+        let tenants = 8;
+        let bq = args.queries * 2;
+        // Every tenant must be resident and in flight at once for waves to
+        // overlap, so the service capacity matches the tenant count.
+        let workers = args.workers.unwrap_or(tenants).max(1);
+        // A window comfortably above per-query barrier skew; flushes almost
+        // always fire early via the everyone-parked rule, the window only
+        // catches stragglers.
+        let knobs = BatchConfig { window_us: 2_000, max_wave: 512, min_sessions: 2 };
+        eprintln!("batch protocol: {tenants} tenants x {bq} aligned queries, {workers} workers");
+        let off = run_batch_point(&system, tenants, bq, workers, None, "batch_off");
+        let on = run_batch_point(&system, tenants, bq, workers, Some(knobs), "batch_on");
+        // The bypass: a solo tenant through a batching-enabled server must
+        // pay nothing for the exchange it never uses.
+        let sq = args.queries * 8;
+        let solo_off = run_batch_point(&system, 1, sq, 2, None, "batch_solo_off");
+        let solo_on = run_batch_point(&system, 1, sq, 2, Some(knobs), "batch_solo_on");
+
+        let us = |ns: u64| ns as f64 / 1e3;
+        let batch_rows: Vec<Vec<String>> = [&off, &on, &solo_off, &solo_on]
+            .iter()
+            .map(|p| {
+                vec![
+                    p.variant.to_string(),
+                    p.tenants.to_string(),
+                    p.requests.to_string(),
+                    format!("{:.0}", p.qps),
+                    p.probes_executed.to_string(),
+                    format!("{:.2}", p.probes_per_request),
+                    p.merged_waves.to_string(),
+                    format!("{:.2}", p.coalesce_ratio),
+                    format!("{:.1}", us(p.p50_ns)),
+                    format!("{:.1}", us(p.p99_ns)),
+                ]
+            })
+            .collect();
+        println!("E20: cross-session batched probing (8 aligned tenants, cold shared cache)");
+        print_table(
+            &[
+                "variant", "tenants", "requests", "QPS", "probes", "probes/req", "merged",
+                "coalesce", "p50 us", "p99 us",
+            ],
+            &batch_rows,
+        );
+        let probe_ratio = if on.probes_per_request == 0.0 {
+            0.0
+        } else {
+            off.probes_per_request / on.probes_per_request
+        };
+        println!(
+            "\nbatch-on / batch-off: {probe_ratio:.2}x fewer probe executions per request \
+             (target: >= 2.0x)"
+        );
+        let solo_delta = if solo_off.p50_ns == 0 {
+            0.0
+        } else {
+            solo_on.p50_ns as f64 / solo_off.p50_ns as f64
+        };
+        println!("solo p50 with batching on / off = {solo_delta:.2} (bypass target: <= 1.10)");
+        println!();
+        assert!(
+            probe_ratio >= 2.0,
+            "E20: batching saved only {probe_ratio:.2}x probes per request (need >= 2.0x)"
+        );
+        assert!(on.merged_waves > 0, "E20: aligned tenants never merged a wave");
+        assert_eq!(
+            solo_on.merged_waves, 0,
+            "E20: a solo tenant entered the exchange (bypass broken)"
+        );
+        // 10% relative plus a small absolute floor — on the tiny scale a
+        // request is tens of microseconds and scheduler jitter dominates.
+        assert!(
+            solo_on.p50_ns as f64 <= solo_off.p50_ns as f64 * 1.10 + 300_000.0,
+            "E20: solo p50 {}ns vs {}ns off — bypass must be free",
+            solo_on.p50_ns,
+            solo_off.p50_ns
+        );
+        records.push(batch_record(&args, &off, workers));
+        records.push(batch_record(&args, &on, workers));
+        records.push(batch_record(&args, &solo_off, 2));
+        records.push(batch_record(&args, &solo_on, 2));
     }
 
     write_records("exp_serve", &records);

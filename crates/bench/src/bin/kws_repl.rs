@@ -34,7 +34,10 @@
 //!   system and serves it over TCP until stdin closes (EOF or a line), then
 //!   shuts down gracefully and prints the final server counters;
 //!   `--shared-cache` turns on the process-wide evaluation cache
-//!   ([`kwserve::SharedCacheConfig::default`]: 64 MiB budget, online `p_a`).
+//!   ([`kwserve::SharedCacheConfig::default`]: 64 MiB budget, online `p_a`);
+//!   `--batch-window-us N` / `--batch-max-wave N` turn on cross-session
+//!   probe batching ([`kwdebug::batch`]) with the given window/wave cap
+//!   (the unset knob keeps its [`kwdebug::BatchConfig`] default).
 //! * `kws_repl --connect HOST:PORT [--tenant NAME]` skips the local build
 //!   entirely and runs the REPL as one [`ResilientClient`] session against a
 //!   running server: queries and `:strategy` work as usual (the strategy
@@ -43,7 +46,9 @@
 //!   session's server-side record plus the client-observed reconnect count,
 //!   `:cache` renders the server's process-wide shared-cache gauges
 //!   (`shared_cache_*`; zeroes when [`kwserve::ServeConfig::shared_cache`]
-//!   is off), `:epoch` prints the database epoch the server's snapshot
+//!   is off), `:batch` renders the wave-exchange gauges (`batch_*`; zeroes
+//!   when [`kwserve::ServeConfig::batching`] is off or traffic never
+//!   overlapped), `:epoch` prints the database epoch the server's snapshot
 //!   serves (from `Welcome` — the session's local pin; reports from
 //!   different epochs are not comparable), and the local-only knobs
 //!   (`:lattice`, `:budget`, `:chaos`, `:mutate`) say so.
@@ -59,6 +64,7 @@ use kwdebug::metrics::MetricsSnapshot;
 use kwdebug::mutable::MutableDatabase;
 use kwdebug::report::DebugReport;
 use kwdebug::traversal::StrategyKind;
+use kwdebug::BatchConfig;
 use kwserve::{
     ReconnectPolicy, ResilientClient, ServeConfig, Server, SharedCacheConfig, TenantPolicy,
     TenantRegistry,
@@ -75,6 +81,8 @@ struct ReplArgs {
     listen: Option<SocketAddr>,
     workers: usize,
     shared_cache: bool,
+    batch_window_us: Option<u64>,
+    batch_max_wave: Option<usize>,
 }
 
 fn parse_args() -> ReplArgs {
@@ -87,6 +95,8 @@ fn parse_args() -> ReplArgs {
         listen: None,
         workers: 4,
         shared_cache: false,
+        batch_window_us: None,
+        batch_max_wave: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -131,6 +141,18 @@ fn parse_args() -> ReplArgs {
             "--connect" => out.connect = Some(addr(i)),
             "--listen" => out.listen = Some(addr(i)),
             "--tenant" => out.tenant = value(i).to_owned(),
+            "--batch-window-us" => {
+                out.batch_window_us = Some(value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--batch-window-us expects microseconds");
+                    std::process::exit(2);
+                }));
+            }
+            "--batch-max-wave" => {
+                out.batch_max_wave = Some(value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--batch-max-wave expects a number");
+                    std::process::exit(2);
+                }));
+            }
             "--shared-cache" => {
                 out.shared_cache = true;
                 i += 1;
@@ -139,7 +161,8 @@ fn parse_args() -> ReplArgs {
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale tiny|small|medium|paper  --max-level N  --seed N\n\
-                     modes:   --listen HOST:PORT [--workers N] [--shared-cache]   serve over TCP\n\
+                     modes:   --listen HOST:PORT [--workers N] [--shared-cache]\n\
+                     \x20                [--batch-window-us N] [--batch-max-wave N]   serve over TCP\n\
                      \x20        --connect HOST:PORT [--tenant NAME]   client session"
                 );
                 std::process::exit(0);
@@ -417,11 +440,24 @@ fn show_epoch(mdb: &MutableDatabase) {
 fn serve_mode(args: &ReplArgs, addr: SocketAddr, max_level: usize) {
     eprintln!("building system (scale {:?}, level {max_level})...", args.scale);
     let system = build_system(args.scale, args.seed, max_level);
+    // Either batch flag opts the server into cross-session wave batching;
+    // the unset knob keeps its kwdebug default.
+    let batching = (args.batch_window_us.is_some() || args.batch_max_wave.is_some()).then(|| {
+        let mut bc = BatchConfig::default();
+        if let Some(us) = args.batch_window_us {
+            bc.window_us = us;
+        }
+        if let Some(n) = args.batch_max_wave {
+            bc.max_wave = n;
+        }
+        bc
+    });
     let config = ServeConfig {
         addr,
         workers: args.workers,
         debug: *system.config(),
         shared_cache: args.shared_cache.then(SharedCacheConfig::default),
+        batching,
         ..ServeConfig::default()
     };
     let server = Server::start(
@@ -481,6 +517,37 @@ fn show_shared_cache(json: &str) {
          ({rate:.1}% hit rate), {evictions} evicted"
     );
     println!("(process-wide across every tenant; the gauges refresh on each :metrics/:cache)");
+}
+
+/// `:batch` against a server: renders the cross-session wave-exchange gauges
+/// (`batch_*` in the Metrics JSON — SERVING.md). All-zero gauges are
+/// indistinguishable from a server running without
+/// [`kwserve::ServeConfig::batching`], so say so.
+fn show_batching(json: &str) {
+    let field = |key: &str| -> u64 {
+        let tag = format!("\"{key}\":");
+        json.find(&tag)
+            .and_then(|i| {
+                let rest = &json[i + tag.len()..];
+                let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+                rest[..end].parse().ok()
+            })
+            .unwrap_or(0)
+    };
+    let merged = field("batch_merged_waves");
+    let ratio = field("batch_coalesce_ratio");
+    if merged == 0 && ratio == 0 {
+        println!(
+            "batching: no merged waves (server runs without `batching`, or traffic \
+             never overlapped)"
+        );
+        return;
+    }
+    println!(
+        "batching: {merged} merged waves, {:.1}% of submitted probes coalesced away",
+        ratio as f64 / 10.0
+    );
+    println!("(process-wide across every tenant; the gauges refresh on each :metrics/:batch)");
 }
 
 /// `--connect` mode: the REPL as one client session against a live server.
@@ -546,6 +613,10 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
                     Ok(json) => show_shared_cache(&json),
                     Err(e) => println!("error: {e}"),
                 },
+                Some("batch") => match client.metrics_json() {
+                    Ok(json) => show_batching(&json),
+                    Err(e) => println!("error: {e}"),
+                },
                 Some("epoch") => match client.epoch() {
                     // The session's local pin: every report of this session
                     // reflects exactly this database write epoch.
@@ -563,7 +634,7 @@ fn client_repl(addr: SocketAddr, tenant: &str) {
                     )
                 }
                 _ => println!(
-                    "commands: :strategy <name>|default, :metrics, :cache, :epoch, :quit"
+                    "commands: :strategy <name>|default, :metrics, :cache, :batch, :epoch, :quit"
                 ),
             }
             continue;

@@ -1,0 +1,865 @@
+//! Cross-session batched probing: merge concurrent sessions' frontiers into
+//! shared dispatch waves.
+//!
+//! PR 8's process-wide [`crate::evalcache::SharedEvalCache`] deduplicates
+//! overlapping probes *after* the first session has paid for the execution.
+//! This module removes the other half of the redundancy: probes that are
+//! simultaneously **in flight** across sessions. Concurrent sessions on the
+//! same `(db_id, epoch)` park each wave in a shared [`WaveExchange`] for up
+//! to a configured window; probes are canonicalized by the same
+//! [`crate::evalcache::network_key`] the layer-3 verdict cache uses, equal
+//! keys coalesce, and each distinct probe executes exactly once — on the
+//! PR 3 work-stealing pool of the first session that submitted it (the
+//! *owner*). Every other subscriber (a *follower*) receives the verdict in
+//! flight and books it like a memo hit (`coalesced_probes`), never as an
+//! execution.
+//!
+//! **Determinism** (DESIGN.md §14): the batched driver replays verdicts in
+//! each session's original dispatch-slot order, so per-session reports are
+//! identical to unbatched runs. Three properties make this sound:
+//!
+//! * *Wave independence* (§8) — no verdict in a wave can classify another
+//!   member, so within a wave the apply order is the only order that
+//!   matters, and the driver preserves it per session.
+//! * *Ground-truth verdicts* — two probes with equal canonical keys on the
+//!   same database snapshot are the same query; the owner's verdict is
+//!   bit-for-bit the verdict the follower's own engine would have produced.
+//! * *Deterministic budgets* — followers reserve their own
+//!   [`crate::budget::BudgetGate`] slot at their original dispatch position
+//!   *before* parking, so a `max_probes` budget trips at exactly the node
+//!   where the unbatched run would have stopped.
+//!
+//! **Liveness**: a session always executes and publishes *all* probes it
+//! owns before waiting on any follower cell, so two sessions can never wait
+//! on each other. If an owner dies mid-wave (panic, hard failure), an RAII
+//! guard orphans its unpublished cells and each follower re-executes the
+//! probe on its own pool — the reservation it already holds makes that a
+//! pure fallback to unbatched behavior. The exchange never outlives its
+//! sessions: registrations are RAII (one `BatchTicket` per attached
+//! debugger, for the debugger's lifetime), groups are removed when their
+//! last session leaves, and the per-round cell map is cleared at every
+//! flush. A session leaving mid-round re-checks the everyone-parked flush
+//! condition, so parked peers never wait on a session that is gone.
+//!
+//! Single-session traffic (fewer than [`BatchConfig::min_sessions`]
+//! *registered* sessions on the group) bypasses the exchange entirely — no
+//! lock, no parking, gauges untouched — so the uncontended fast path costs
+//! one atomic load per wave. Registration is session-lifetime rather than
+//! call-lifetime deliberately: real requests are often far shorter than the
+//! scheduling jitter between them, so "who is in a debug call *right now*"
+//! would almost never overlap — what predicts a mergeable peer is "who is
+//! attached and sending traffic". The price is that a wave parked while a
+//! registered peer sits idle waits out the window; [`BatchConfig::window_us`]
+//! is exactly that worst-case latency tax, and single-registration groups
+//! never pay it.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use relengine::ExecStats;
+
+use crate::error::KwError;
+use crate::lattice::Lattice;
+use crate::oracle::{AlivenessOracle, Probe};
+use crate::parallel::{Completion, Job, PoolState};
+use crate::prune::PrunedLattice;
+use crate::traversal::Frontier;
+
+/// Tuning knobs for the cross-session wave exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// How long a parked wave waits for other sessions to join the round
+    /// before a leader flushes it, in microseconds. The worst-case latency
+    /// a batched wave can add to a session.
+    pub window_us: u64,
+    /// Probe count at which a round flushes immediately, without waiting
+    /// out the window.
+    pub max_wave: usize,
+    /// Minimum registered sessions on a `(db_id, epoch)` group before waves
+    /// park at all; below this the exchange is bypassed and traffic behaves
+    /// exactly as if batching were off.
+    pub min_sessions: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { window_us: 500, max_wave: 256, min_sessions: 2 }
+    }
+}
+
+impl BatchConfig {
+    /// Validates the knobs (a zero `max_wave` or `min_sessions` would make
+    /// every round degenerate).
+    pub fn validate(&self) -> Result<(), KwError> {
+        if self.max_wave == 0 {
+            return Err(KwError::BadConfig("batching max_wave must be at least 1".into()));
+        }
+        if self.min_sessions == 0 {
+            return Err(KwError::BadConfig("batching min_sessions must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one coalesced probe cell.
+enum CellState {
+    /// The owner has not delivered yet.
+    Pending,
+    /// The owner executed the probe; the ground-truth verdict.
+    Done(bool),
+    /// The owner gave up (fault, budget, death) — followers re-execute.
+    Orphaned,
+}
+
+/// One coalesced probe in flight: the owner fulfills (or orphans) it,
+/// followers block on it after finishing their own owned probes.
+struct ProbeCell {
+    state: Mutex<CellState>,
+    done: Condvar,
+}
+
+impl ProbeCell {
+    fn new() -> ProbeCell {
+        ProbeCell { state: Mutex::new(CellState::Pending), done: Condvar::new() }
+    }
+
+    /// Publishes the owner's verdict (idempotent; verdicts never change).
+    fn fulfill(&self, alive: bool) {
+        let mut st = self.state.lock().unwrap();
+        if matches!(*st, CellState::Pending) {
+            *st = CellState::Done(alive);
+            self.done.notify_all();
+        }
+    }
+
+    /// Marks the cell undeliverable; a no-op if a verdict already landed.
+    fn orphan(&self) {
+        let mut st = self.state.lock().unwrap();
+        if matches!(*st, CellState::Pending) {
+            *st = CellState::Orphaned;
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until the owner fulfills or orphans the cell.
+    fn wait(&self) -> Option<bool> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            match *st {
+                CellState::Pending => st = self.done.wait(st).unwrap(),
+                CellState::Done(alive) => return Some(alive),
+                CellState::Orphaned => return None,
+            }
+        }
+    }
+}
+
+/// Mutable state of one `(db_id, epoch)` group's current round.
+struct GroupState {
+    /// Monotonic round number; bumped at every flush so parked sessions can
+    /// detect that their round closed.
+    round: u64,
+    /// Sessions parked in the current round.
+    parked: usize,
+    /// Probes submitted to the current round.
+    total: usize,
+    /// Wall-clock bound of the current round, set by its first parker.
+    deadline: Option<Instant>,
+    /// Canonical probe key → in-flight cell, for the current round only.
+    /// Cleared at flush: the exchange deduplicates *in-flight* work; repeats
+    /// across rounds belong to the verdict cache.
+    cells: HashMap<Vec<u8>, Arc<ProbeCell>>,
+}
+
+/// One `(db_id, epoch)` batching domain: sessions pinned to different
+/// epochs land in different groups and are never merged into one wave.
+struct Group {
+    state: Mutex<GroupState>,
+    /// Signaled at every flush (and on session exit, which can complete the
+    /// everyone-parked condition).
+    flushed: Condvar,
+    /// Sessions currently registered (holding a [`BatchTicket`]) on this
+    /// group.
+    members: AtomicUsize,
+}
+
+impl Group {
+    fn new() -> Group {
+        Group {
+            state: Mutex::new(GroupState {
+                round: 0,
+                parked: 0,
+                total: 0,
+                deadline: None,
+                cells: HashMap::new(),
+            }),
+            flushed: Condvar::new(),
+            members: AtomicUsize::new(0),
+        }
+    }
+
+    /// Closes the current round: parked sessions are released (they already
+    /// hold their roles), the cell map is cleared so the next round starts
+    /// fresh, and the merged-wave gauge counts rounds ≥ 2 sessions wide.
+    fn flush(&self, st: &mut GroupState, exchange: &WaveExchange) {
+        if st.parked >= 2 {
+            exchange.merged_waves.fetch_add(1, Ordering::Relaxed);
+        }
+        st.round += 1;
+        st.parked = 0;
+        st.total = 0;
+        st.deadline = None;
+        st.cells.clear();
+        self.flushed.notify_all();
+    }
+}
+
+/// The process-wide meeting point where concurrent sessions' probe waves
+/// merge (see the module docs). One exchange serves any number of
+/// databases and epochs; sessions on different `(db_id, epoch)` snapshots
+/// never share a wave. Created once (e.g. by `kwserve` from
+/// `ServeConfig::batching`) and attached to each session's debugger via
+/// [`crate::debugger::NonAnswerDebugger::set_wave_exchange`].
+pub struct WaveExchange {
+    config: BatchConfig,
+    /// The exchange's own keyword interner: canonical keys must agree
+    /// *across* sessions, so they cannot use any session cache's ids.
+    interner: Mutex<HashMap<String, u64>>,
+    groups: Mutex<HashMap<(u64, u64), Arc<Group>>>,
+    /// Rounds that closed with ≥ 2 sessions parked.
+    merged_waves: AtomicU64,
+    /// Probes parked across all rounds (bypassed waves never count).
+    submitted: AtomicU64,
+    /// Parked probes answered by another session's in-flight execution.
+    coalesced: AtomicU64,
+}
+
+impl WaveExchange {
+    /// An empty exchange with the given knobs.
+    pub fn new(config: BatchConfig) -> WaveExchange {
+        WaveExchange {
+            config,
+            interner: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            merged_waves: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// Rounds that actually merged ≥ 2 sessions' waves.
+    pub fn merged_waves(&self) -> u64 {
+        self.merged_waves.load(Ordering::Relaxed)
+    }
+
+    /// Probes parked in the exchange (owners + followers; bypassed waves
+    /// never park).
+    pub fn submitted_probes(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Parked probes answered by another session's execution.
+    pub fn coalesced_probes(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Sessions currently registered, across all groups. Zero once every
+    /// session has ended — the leak check of the equivalence suite.
+    pub fn active_sessions(&self) -> usize {
+        self.groups
+            .lock()
+            .unwrap()
+            .values()
+            .map(|g| g.members.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// In-flight cells of all current rounds. Zero whenever no wave is
+    /// parked — flushed rounds always clear their cell map.
+    pub fn pending_cells(&self) -> usize {
+        self.groups.lock().unwrap().values().map(|g| g.state.lock().unwrap().cells.len()).sum()
+    }
+
+    /// The exchange-wide id of a keyword (stable for the exchange's
+    /// lifetime, shared by every session).
+    fn intern(&self, kw: &str) -> u64 {
+        let mut map = self.interner.lock().unwrap();
+        let next = map.len() as u64;
+        *map.entry(kw.to_owned()).or_insert(next)
+    }
+
+    /// Registers a session on the `(db_id, epoch)` group for the session's
+    /// lifetime. The returned RAII ticket deregisters on drop; a drop
+    /// mid-round also re-checks the everyone-parked flush condition so
+    /// parked peers never wait on a session that left.
+    pub(crate) fn register(self: &Arc<Self>, db_id: u64, epoch: u64) -> BatchTicket {
+        let group = {
+            let mut groups = self.groups.lock().unwrap();
+            let group = groups.entry((db_id, epoch)).or_insert_with(|| Arc::new(Group::new()));
+            group.members.fetch_add(1, Ordering::Relaxed);
+            group.clone()
+        };
+        BatchTicket { exchange: self.clone(), group, key: (db_id, epoch) }
+    }
+}
+
+/// A session's registration on one `(db_id, epoch)` group — RAII, held by
+/// the attached debugger for its lifetime (see the module docs for why
+/// registration outlives individual debug calls).
+pub(crate) struct BatchTicket {
+    exchange: Arc<WaveExchange>,
+    group: Arc<Group>,
+    key: (u64, u64),
+}
+
+/// What the exchange assigned this session for one pending probe.
+enum Role {
+    /// First submitter of the key this round: executes and publishes.
+    Owner(Arc<ProbeCell>),
+    /// A later submitter: waits for the owner's verdict.
+    Follower(Arc<ProbeCell>),
+}
+
+impl BatchTicket {
+    /// The exchange this registration belongs to.
+    pub(crate) fn exchange(&self) -> &Arc<WaveExchange> {
+        &self.exchange
+    }
+
+    /// Parks one wave's pending probes (canonical keys, in dispatch-slot
+    /// order) in the current round and blocks until the round flushes.
+    /// Returns `None` — with nothing parked and no gauges touched — when
+    /// fewer than `min_sessions` sessions are registered on the group.
+    fn park(&self, keys: &[Vec<u8>]) -> Option<Vec<Role>> {
+        if self.group.members.load(Ordering::Relaxed) < self.exchange.config.min_sessions {
+            return None;
+        }
+        let window = Duration::from_micros(self.exchange.config.window_us);
+        let mut st = self.group.state.lock().unwrap();
+        let round = st.round;
+        // Roles are fixed at park time; the flush only opens the barrier.
+        let roles: Vec<Role> = keys
+            .iter()
+            .map(|k| match st.cells.entry(k.clone()) {
+                Entry::Occupied(e) => Role::Follower(e.get().clone()),
+                Entry::Vacant(v) => Role::Owner(v.insert(Arc::new(ProbeCell::new())).clone()),
+            })
+            .collect();
+        st.parked += 1;
+        st.total += keys.len();
+        self.exchange.submitted.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let deadline = *st.deadline.get_or_insert_with(|| Instant::now() + window);
+        if st.parked >= self.group.members.load(Ordering::Relaxed)
+            || st.total >= self.exchange.config.max_wave
+        {
+            self.group.flush(&mut st, &self.exchange);
+        } else {
+            while st.round == round {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.group.flush(&mut st, &self.exchange);
+                    break;
+                }
+                st = self.group.flushed.wait_timeout(st, deadline - now).unwrap().0;
+            }
+        }
+        Some(roles)
+    }
+}
+
+impl Drop for BatchTicket {
+    fn drop(&mut self) {
+        let mut groups = self.exchange.groups.lock().unwrap();
+        let remaining = self.group.members.fetch_sub(1, Ordering::Relaxed) - 1;
+        // Leaving can complete the everyone-parked condition for a round
+        // that was waiting on this session.
+        let mut st = self.group.state.lock().unwrap();
+        if st.parked > 0 && st.parked >= remaining {
+            self.group.flush(&mut st, &self.exchange);
+        }
+        drop(st);
+        if remaining == 0 {
+            groups.remove(&self.key);
+        }
+    }
+}
+
+/// RAII custody of the cells a session owns in one wave: any cell not yet
+/// published when the guard drops (hard failure, panic unwinding through
+/// the dispatcher) is orphaned so followers fall back to self-execution.
+struct OwnedCells {
+    cells: HashMap<usize, Arc<ProbeCell>>,
+}
+
+impl OwnedCells {
+    fn new() -> OwnedCells {
+        OwnedCells { cells: HashMap::new() }
+    }
+
+    fn insert(&mut self, slot: usize, cell: Arc<ProbeCell>) {
+        self.cells.insert(slot, cell);
+    }
+
+    fn take(&mut self, slot: usize) -> Option<Arc<ProbeCell>> {
+        self.cells.remove(&slot)
+    }
+}
+
+impl Drop for OwnedCells {
+    fn drop(&mut self) {
+        for cell in self.cells.values() {
+            cell.orphan();
+        }
+    }
+}
+
+/// Runs a strategy's probe waves through the exchange: the batched twin of
+/// `crate::parallel::run_waves`, identical in classification, reservation
+/// and apply order, with the execution set partitioned across sessions by
+/// the exchange (see the module docs). Used for every worker count when a
+/// ticket is held — a one-worker pool is the sequential driver with the
+/// exchange spliced in.
+pub(crate) fn run_batched_waves(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    frontier: &mut dyn Frontier,
+    workers: usize,
+    ticket: &BatchTicket,
+) -> Result<(), KwError> {
+    let workers = workers.max(1);
+    if workers == 1 {
+        // One worker means the pool buys nothing but a thread spawn per
+        // interpretation — run the same protocol inline instead, so a
+        // sequential session pays no overhead for the exchange it may never
+        // need (the uncontended-p50 half of the E20 contract).
+        return run_batched_waves_seq(lattice, pruned, oracle, frontier, ticket);
+    }
+    let core = oracle.core();
+    core.metrics.workers.add(workers as u64);
+
+    let pool = PoolState::new(workers);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+
+    let mut failure: Option<KwError> = None;
+    let worker_stats: Vec<ExecStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let pool = &pool;
+                let done = done_tx.clone();
+                scope.spawn(move || {
+                    let mut engine = core.make_engine(w as u64);
+                    while let Some(job) = pool.take(w, &core.metrics) {
+                        let node = pruned.lattice_id(job.dense);
+                        let jnts = pruned.jnts(lattice, job.dense);
+                        let probe = core.execute_reserved(&mut engine, node, jnts);
+                        if done
+                            .send(Completion { slot: job.slot, dense: job.dense, probe })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    engine.stats().clone()
+                })
+            })
+            .collect();
+        drop(done_tx);
+
+        let mut wave = Vec::new();
+        let mut next_worker = 0usize;
+        'traversal: loop {
+            wave.clear();
+            frontier.next_wave(&mut wave);
+            if wave.is_empty() {
+                break;
+            }
+            // Classify and reserve in sequential visit order — byte-for-byte
+            // the dispatch loop of `run_waves`, except that probes surviving
+            // to dispatch are *collected* (slot = dispatch position) instead
+            // of pushed to the pool immediately.
+            let mut pending: Vec<usize> = Vec::new();
+            let mut stop_after_wave = false;
+            for &dense in wave.iter() {
+                if !frontier.is_unknown(dense) {
+                    core.metrics.reuse_hits.incr();
+                    continue;
+                }
+                if let Some(alive) = core.verdict_if_known(pruned.lattice_id(dense)) {
+                    core.metrics.memo_hits.incr();
+                    frontier.apply(dense, alive, &core.metrics);
+                    continue;
+                }
+                if let Some(alive) =
+                    core.shortcut(pruned.lattice_id(dense), pruned.jnts(lattice, dense))
+                {
+                    frontier.apply(dense, alive, &core.metrics);
+                    continue;
+                }
+                if core.try_reserve().is_err() {
+                    stop_after_wave = true;
+                    break;
+                }
+                pending.push(dense);
+            }
+
+            // Park the wave. `None` = bypass (too few sessions): every probe
+            // is implicitly owned and the wave runs exactly like `run_waves`.
+            let roles = if pending.is_empty() {
+                None
+            } else {
+                let keys: Vec<Vec<u8>> = pending
+                    .iter()
+                    .map(|&dense| {
+                        core.exchange_key(pruned.jnts(lattice, dense), &mut |kw| {
+                            ticket.exchange.intern(kw)
+                        })
+                    })
+                    .collect();
+                let roles = ticket.park(&keys);
+                if roles.is_some() {
+                    core.metrics.batched_waves.incr();
+                }
+                roles
+            };
+
+            // Execute every probe this session owns on its own pool, then
+            // publish each verdict to its cell as it completes — all before
+            // waiting on any follower cell, which is what makes the
+            // exchange deadlock-free.
+            let mut outcomes: Vec<Option<(usize, Probe)>> = pending.iter().map(|_| None).collect();
+            let mut owned = OwnedCells::new();
+            let mut dispatched = 0usize;
+            for (slot, &dense) in pending.iter().enumerate() {
+                if let Some(r) = &roles {
+                    match &r[slot] {
+                        Role::Owner(cell) => owned.insert(slot, cell.clone()),
+                        Role::Follower(_) => continue,
+                    }
+                }
+                pool.push(next_worker, Job { slot, dense });
+                next_worker = (next_worker + 1) % workers;
+                dispatched += 1;
+            }
+            for _ in 0..dispatched {
+                let c = done_rx.recv().expect("worker pool hung up mid-wave");
+                if let Some(cell) = owned.take(c.slot) {
+                    match &c.probe {
+                        Probe::Verdict(alive) => cell.fulfill(*alive),
+                        // Faults, hard failures and budget trips are
+                        // session-local; followers re-execute on their own.
+                        _ => cell.orphan(),
+                    }
+                }
+                outcomes[c.slot] = Some((c.dense, c.probe));
+            }
+
+            // Collect follower verdicts; orphaned cells fall back to local
+            // execution (the budget slot reserved above still stands).
+            if let Some(roles) = &roles {
+                let mut redispatched = 0usize;
+                for (slot, role) in roles.iter().enumerate() {
+                    let Role::Follower(cell) = role else { continue };
+                    let dense = pending[slot];
+                    match cell.wait() {
+                        Some(alive) => {
+                            core.record_coalesced(
+                                pruned.lattice_id(dense),
+                                pruned.jnts(lattice, dense),
+                                alive,
+                            );
+                            ticket.exchange.coalesced.fetch_add(1, Ordering::Relaxed);
+                            outcomes[slot] = Some((dense, Probe::Verdict(alive)));
+                        }
+                        None => {
+                            pool.push(next_worker, Job { slot, dense });
+                            next_worker = (next_worker + 1) % workers;
+                            redispatched += 1;
+                        }
+                    }
+                }
+                for _ in 0..redispatched {
+                    let c = done_rx.recv().expect("worker pool hung up mid-wave");
+                    outcomes[c.slot] = Some((c.dense, c.probe));
+                }
+            }
+
+            // Apply in dispatch (= sequential visit) order — identical to
+            // `run_waves`.
+            for outcome in outcomes.into_iter() {
+                let (dense, probe) = outcome.expect("every pending slot completes");
+                match probe {
+                    Probe::Verdict(alive) => {
+                        if frontier.is_unknown(dense) {
+                            frontier.apply(dense, alive, &core.metrics);
+                        } else {
+                            core.metrics.inference_suppressed_probes.incr();
+                        }
+                    }
+                    Probe::NodeFailed(e) if e.is_fault() => frontier.abandon(dense),
+                    Probe::NodeFailed(e) => {
+                        failure = Some(e.into());
+                        break 'traversal;
+                    }
+                    Probe::Exhausted(_) => stop_after_wave = true,
+                }
+            }
+            if stop_after_wave {
+                frontier.exhaust();
+                break;
+            }
+        }
+        pool.shutdown();
+        handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+    });
+
+    for stats in &worker_stats {
+        oracle.absorb_stats(stats);
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// The single-worker twin of [`run_batched_waves`]: the identical wave
+/// protocol (classify and reserve in visit order, park, register owned
+/// cells, execute owned probes publishing each verdict, collect followers,
+/// apply in slot order) with probes executed inline on the calling thread —
+/// no pool, no channels, no thread spawn. A solo session that bypasses
+/// every park therefore runs the same instruction path as the unbatched
+/// sequential driver plus one atomic load per wave.
+fn run_batched_waves_seq(
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    frontier: &mut dyn Frontier,
+    ticket: &BatchTicket,
+) -> Result<(), KwError> {
+    let core = oracle.core();
+    core.metrics.workers.add(1);
+    let mut engine = core.make_engine(0);
+
+    let mut failure: Option<KwError> = None;
+    let mut wave = Vec::new();
+    'traversal: loop {
+        wave.clear();
+        frontier.next_wave(&mut wave);
+        if wave.is_empty() {
+            break;
+        }
+        let mut pending: Vec<usize> = Vec::new();
+        let mut stop_after_wave = false;
+        for &dense in wave.iter() {
+            if !frontier.is_unknown(dense) {
+                core.metrics.reuse_hits.incr();
+                continue;
+            }
+            if let Some(alive) = core.verdict_if_known(pruned.lattice_id(dense)) {
+                core.metrics.memo_hits.incr();
+                frontier.apply(dense, alive, &core.metrics);
+                continue;
+            }
+            if let Some(alive) =
+                core.shortcut(pruned.lattice_id(dense), pruned.jnts(lattice, dense))
+            {
+                frontier.apply(dense, alive, &core.metrics);
+                continue;
+            }
+            if core.try_reserve().is_err() {
+                stop_after_wave = true;
+                break;
+            }
+            pending.push(dense);
+        }
+
+        let roles = if pending.is_empty() {
+            None
+        } else {
+            let keys: Vec<Vec<u8>> = pending
+                .iter()
+                .map(|&dense| {
+                    core.exchange_key(pruned.jnts(lattice, dense), &mut |kw| {
+                        ticket.exchange.intern(kw)
+                    })
+                })
+                .collect();
+            let roles = ticket.park(&keys);
+            if roles.is_some() {
+                core.metrics.batched_waves.incr();
+            }
+            roles
+        };
+
+        // Register every owned cell *before* the first execution, so an
+        // unwind mid-wave orphans the not-yet-published remainder (the same
+        // guarantee the pooled driver gets from dispatching first).
+        let mut owned = OwnedCells::new();
+        if let Some(r) = &roles {
+            for (slot, role) in r.iter().enumerate() {
+                if let Role::Owner(cell) = role {
+                    owned.insert(slot, cell.clone());
+                }
+            }
+        }
+        let mut outcomes: Vec<Option<(usize, Probe)>> = pending.iter().map(|_| None).collect();
+        for (slot, &dense) in pending.iter().enumerate() {
+            if matches!(&roles, Some(r) if matches!(&r[slot], Role::Follower(_))) {
+                continue;
+            }
+            let probe =
+                core.execute_reserved(&mut engine, pruned.lattice_id(dense), pruned.jnts(lattice, dense));
+            if let Some(cell) = owned.take(slot) {
+                match &probe {
+                    Probe::Verdict(alive) => cell.fulfill(*alive),
+                    _ => cell.orphan(),
+                }
+            }
+            outcomes[slot] = Some((dense, probe));
+        }
+
+        if let Some(roles) = &roles {
+            for (slot, role) in roles.iter().enumerate() {
+                let Role::Follower(cell) = role else { continue };
+                let dense = pending[slot];
+                match cell.wait() {
+                    Some(alive) => {
+                        core.record_coalesced(
+                            pruned.lattice_id(dense),
+                            pruned.jnts(lattice, dense),
+                            alive,
+                        );
+                        ticket.exchange.coalesced.fetch_add(1, Ordering::Relaxed);
+                        outcomes[slot] = Some((dense, Probe::Verdict(alive)));
+                    }
+                    None => {
+                        let probe = core.execute_reserved(
+                            &mut engine,
+                            pruned.lattice_id(dense),
+                            pruned.jnts(lattice, dense),
+                        );
+                        outcomes[slot] = Some((dense, probe));
+                    }
+                }
+            }
+        }
+
+        for outcome in outcomes.into_iter() {
+            let (dense, probe) = outcome.expect("every pending slot completes");
+            match probe {
+                Probe::Verdict(alive) => {
+                    if frontier.is_unknown(dense) {
+                        frontier.apply(dense, alive, &core.metrics);
+                    } else {
+                        core.metrics.inference_suppressed_probes.incr();
+                    }
+                }
+                Probe::NodeFailed(e) if e.is_fault() => frontier.abandon(dense),
+                Probe::NodeFailed(e) => {
+                    failure = Some(e.into());
+                    break 'traversal;
+                }
+                Probe::Exhausted(_) => stop_after_wave = true,
+            }
+        }
+        if stop_after_wave {
+            frontier.exhaust();
+            break;
+        }
+    }
+
+    let stats = engine.stats().clone();
+    oracle.absorb_stats(&stats);
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_deliver_and_orphan() {
+        let cell = ProbeCell::new();
+        cell.fulfill(true);
+        cell.orphan(); // late orphan must not clobber a verdict
+        assert_eq!(cell.wait(), Some(true));
+
+        let cell = ProbeCell::new();
+        cell.orphan();
+        cell.fulfill(false); // late verdict must not resurrect an orphan
+        assert_eq!(cell.wait(), None);
+    }
+
+    #[test]
+    fn tickets_register_and_clean_up_groups() {
+        let ex = Arc::new(WaveExchange::new(BatchConfig::default()));
+        assert_eq!(ex.active_sessions(), 0);
+        let t1 = ex.register(1, 0);
+        let t2 = ex.register(1, 0);
+        let t3 = ex.register(1, 1); // pinned to another epoch: separate group
+        assert_eq!(ex.active_sessions(), 3);
+        assert_eq!(ex.groups.lock().unwrap().len(), 2);
+        drop(t2);
+        drop(t3);
+        assert_eq!(ex.active_sessions(), 1);
+        assert_eq!(ex.groups.lock().unwrap().len(), 1, "empty groups are removed");
+        drop(t1);
+        assert_eq!(ex.active_sessions(), 0);
+        assert!(ex.groups.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn solo_sessions_bypass_the_exchange() {
+        let ex = Arc::new(WaveExchange::new(BatchConfig::default()));
+        let t = ex.register(7, 0);
+        assert!(t.park(&[vec![1, 2, 3]]).is_none(), "one session < min_sessions");
+        assert_eq!(ex.submitted_probes(), 0, "bypassed waves touch no gauge");
+        assert_eq!(ex.pending_cells(), 0);
+    }
+
+    #[test]
+    fn overlapping_parks_coalesce_and_separate_epochs_never_merge() {
+        let ex = Arc::new(WaveExchange::new(BatchConfig {
+            window_us: 200_000,
+            ..BatchConfig::default()
+        }));
+        let a = ex.register(1, 0);
+        let b = ex.register(1, 0);
+        let shared = vec![9, 9, 9];
+        let roles = std::thread::scope(|s| {
+            let ra = s.spawn(|| a.park(std::slice::from_ref(&shared)).unwrap());
+            let rb = s.spawn(|| b.park(std::slice::from_ref(&shared)).unwrap());
+            (ra.join().unwrap(), rb.join().unwrap())
+        });
+        let owners = usize::from(matches!(roles.0[0], Role::Owner(_)))
+            + usize::from(matches!(roles.1[0], Role::Owner(_)));
+        assert_eq!(owners, 1, "exactly one session owns a coalesced key");
+        assert_eq!(ex.submitted_probes(), 2);
+        assert_eq!(ex.merged_waves(), 1);
+        assert_eq!(ex.pending_cells(), 0, "flushing clears the round's cells");
+
+        // A session pinned to another epoch is alone on its group: bypass.
+        let c = ex.register(1, 3);
+        assert!(c.park(std::slice::from_ref(&shared)).is_none());
+        assert_eq!(ex.submitted_probes(), 2);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        assert!(BatchConfig::default().validate().is_ok());
+        assert!(BatchConfig { max_wave: 0, ..BatchConfig::default() }.validate().is_err());
+        assert!(BatchConfig { min_sessions: 0, ..BatchConfig::default() }.validate().is_err());
+    }
+}

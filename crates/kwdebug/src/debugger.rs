@@ -323,6 +323,12 @@ pub struct NonAnswerDebugger {
     /// The shared store this session attached to, if any (re-exported by
     /// [`NonAnswerDebugger::shared_parts`] so sibling sessions keep sharing).
     shared_cache: Option<SharedEvalCache>,
+    /// This session's registration on the cross-session wave exchange, if
+    /// one was attached ([`NonAnswerDebugger::set_wave_exchange`]). Held for
+    /// the debugger's lifetime so concurrent peers see the session as a
+    /// merge candidate between debug calls, not only during them.
+    /// `None` (the default) keeps every debug call on the unbatched drivers.
+    ticket: Option<crate::batch::BatchTicket>,
 }
 
 impl NonAnswerDebugger {
@@ -345,6 +351,7 @@ impl NonAnswerDebugger {
             cache: Arc::new(cache),
             pa_stats: Arc::new(OnlinePa::new()),
             shared_cache: None,
+            ticket: None,
         })
     }
 
@@ -399,6 +406,7 @@ impl NonAnswerDebugger {
             cache,
             pa_stats: parts.pa_stats,
             shared_cache: parts.shared_cache,
+            ticket: None,
         })
     }
 
@@ -453,6 +461,7 @@ impl NonAnswerDebugger {
             cache: Arc::new(cache),
             pa_stats: Arc::new(OnlinePa::new()),
             shared_cache: None,
+            ticket: None,
         })
     }
 
@@ -508,6 +517,22 @@ impl NonAnswerDebugger {
     /// sequential; see [`crate::parallel`] for the equivalence guarantee).
     pub fn set_workers(&mut self, workers: usize) {
         self.config.workers = workers;
+    }
+
+    /// Attaches a cross-session [`crate::batch::WaveExchange`]: the session
+    /// registers on the exchange's `(db_id, epoch)` group for its lifetime,
+    /// and subsequent debug calls merge their probe waves with concurrently
+    /// registered sessions (see the [`crate::batch`] module docs — reports
+    /// are identical to unbatched runs). Sessions pinned to different epochs
+    /// land in different groups and never share a wave. `None` detaches
+    /// (deregistering immediately).
+    pub fn set_wave_exchange(&mut self, exchange: Option<Arc<crate::batch::WaveExchange>>) {
+        self.ticket = exchange.map(|ex| ex.register(self.db.db_id(), self.db.epoch()));
+    }
+
+    /// The attached cross-session wave exchange, if any.
+    pub fn wave_exchange(&self) -> Option<&Arc<crate::batch::WaveExchange>> {
+        self.ticket.as_ref().map(|t| t.exchange())
     }
 
     /// Enables or disables the session evaluation cache for subsequent debug
@@ -582,12 +607,14 @@ impl NonAnswerDebugger {
         let mapping = map_keywords(&query, &self.index);
         let mapping_time = map_start.elapsed();
 
+        let ticket = self.ticket.as_ref();
         let mut interpretations = Vec::with_capacity(mapping.interpretations.len());
         for interp in &mapping.interpretations {
             interpretations.push(self.debug_interpretation(
                 interp,
                 &mapping.keywords,
                 strategy,
+                ticket,
             )?);
         }
         let mut timing = PhaseTiming { mapping: mapping_time, ..PhaseTiming::default() };
@@ -611,6 +638,7 @@ impl NonAnswerDebugger {
         interp: &Interpretation,
         keywords: &[String],
         strategy: StrategyKind,
+        ticket: Option<&crate::batch::BatchTicket>,
     ) -> Result<InterpretationOutcome, KwError> {
         let prune_start = Instant::now();
         let (mut ws, _reused) = self.workspaces.acquire();
@@ -644,13 +672,14 @@ impl NonAnswerDebugger {
             self.config.pa
         };
         let traversal_start = Instant::now();
-        let mut outcome = traversal::run_with_workers(
+        let mut outcome = traversal::run_with_ticket(
             strategy,
             &self.lattice,
             &pruned,
             &mut oracle,
             pa,
             self.config.workers,
+            ticket,
         )?;
         let traversal_time = traversal_start.elapsed();
         // Phase-1 substrate accounting rides along in the probe counters so

@@ -56,6 +56,7 @@
 //! | Pooled traversal scratch (extension) | reusable per-query workspaces, zero steady-state allocation | [`workspace`] |
 //! | Multi-tenant serving (extension) | shared substrate ([`SharedParts`]), per-session debuggers over TCP | [`debugger`], `kwserve` |
 //! | Mutable databases (extension) | epoch-stamped writes, incremental index deltas, layered invalidation | [`mutable`], [`evalcache`] |
+//! | Cross-session batched probing (extension) | merged dispatch waves, in-flight probe coalescing | [`batch`] |
 //!
 //! ## Observability
 //!
@@ -97,6 +98,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod binding;
 pub mod budget;
 pub mod canonical;
@@ -121,6 +123,7 @@ pub mod session;
 pub mod traversal;
 pub mod workspace;
 
+pub use batch::{BatchConfig, WaveExchange};
 pub use budget::{Exhausted, ProbeBudget, RetryPolicy};
 pub use debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
 pub use mutable::MutableDatabase;

@@ -748,6 +748,58 @@ impl<'a> ProbeCore<'a> {
             }
         }
     }
+
+    /// The canonical cross-session identity of a probe: the same
+    /// [`crate::evalcache::network_key`] the layer-3 verdict cache uses, but
+    /// with keyword ids drawn from a caller-supplied interner (the
+    /// [`crate::batch::WaveExchange`]'s own) instead of the session cache's.
+    /// Two sessions on the same `(db_id, epoch)` produce equal keys exactly
+    /// when their probes are the same ground-truth query, whether or not
+    /// either session has an evaluation cache attached.
+    pub(crate) fn exchange_key(
+        &self,
+        jnts: &Jnts,
+        intern: &mut dyn FnMut(&str) -> u64,
+    ) -> Vec<u8> {
+        let labels: Vec<u64> = jnts
+            .nodes()
+            .iter()
+            .map(|&ts| {
+                let base = (ts.table as u64) << 32;
+                match self.interp.keyword_for(ts) {
+                    None => base,
+                    Some(k) => base | (intern(&self.keywords[k]) + 1),
+                }
+            })
+            .collect();
+        network_key(jnts, &|i| labels[i])
+    }
+
+    /// Books a verdict another session executed for this session's probe in
+    /// a merged wave. Mirrors the non-execution bookkeeping of
+    /// [`ProbeCore::execute_reserved`]'s success path — memo insert, online
+    /// `p_a`, verdict-cache publish — but counts `coalesced_probes` instead
+    /// of `probes_executed` (the accounting twin of a memo hit), keeping the
+    /// `probes_executed == ExecStats::queries` invariant intact. The budget
+    /// slot the dispatcher reserved for this probe stays consumed, exactly
+    /// as if the probe had executed, so budget-cut partials match unbatched
+    /// runs.
+    pub(crate) fn record_coalesced(&self, node: NodeId, jnts: &Jnts, alive: bool) {
+        self.metrics.coalesced_probes.incr();
+        if let Some(memo) = &self.memo {
+            memo.insert(node, alive);
+        }
+        if let Some(stats) = &self.pa_stats {
+            stats.record(jnts.node_count(), alive);
+        }
+        if let Some(cache) = &self.cache {
+            let labels = self.binding_labels(jnts, cache);
+            let key = network_key(jnts, &|i| labels[i]);
+            self.metrics
+                .cache_bytes
+                .add(cache.insert_verdict(self.db.epoch(), key, network_mask(jnts), alive));
+        }
+    }
 }
 
 /// Answers aliveness queries for lattice nodes, counting every execution.

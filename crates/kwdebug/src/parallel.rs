@@ -105,21 +105,22 @@ impl Default for ShardedMemo {
 
 /// One probe handed to the pool: which wave slot it fills and which dense
 /// node to execute. The budget slot is already reserved by the dispatcher.
-struct Job {
+/// Shared with [`crate::batch`], whose driver dispatches the same way.
+pub(crate) struct Job {
     /// Index into the wave's completion table (dispatch order).
-    slot: usize,
-    dense: usize,
+    pub(crate) slot: usize,
+    pub(crate) dense: usize,
 }
 
 /// A worker's answer for one job.
-struct Completion {
-    slot: usize,
-    dense: usize,
-    probe: Probe,
+pub(crate) struct Completion {
+    pub(crate) slot: usize,
+    pub(crate) dense: usize,
+    pub(crate) probe: Probe,
 }
 
 /// Shared pool state: per-worker job deques plus a pending/shutdown latch.
-struct PoolState {
+pub(crate) struct PoolState {
     queues: Vec<Mutex<VecDeque<Job>>>,
     latch: Mutex<Latch>,
     wake: Condvar,
@@ -132,7 +133,7 @@ struct Latch {
 }
 
 impl PoolState {
-    fn new(workers: usize) -> PoolState {
+    pub(crate) fn new(workers: usize) -> PoolState {
         PoolState {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             latch: Mutex::new(Latch { pending: 0, shutdown: false }),
@@ -141,7 +142,7 @@ impl PoolState {
     }
 
     /// Pushes a job onto worker `w`'s deque and wakes a sleeper.
-    fn push(&self, w: usize, job: Job) {
+    pub(crate) fn push(&self, w: usize, job: Job) {
         // Increment `pending` BEFORE the job becomes visible in a deque: a
         // worker that claims it decrements immediately, and claiming can
         // only happen after the push, so the counter can never underflow.
@@ -155,7 +156,7 @@ impl PoolState {
     /// Takes the next job for worker `w`: own deque front first, then steal
     /// from the back of another worker's deque, else sleep until work or
     /// shutdown. Returns `(job, stolen)`; `None` means shutdown.
-    fn take(&self, w: usize, metrics: &Metrics) -> Option<Job> {
+    pub(crate) fn take(&self, w: usize, metrics: &Metrics) -> Option<Job> {
         loop {
             if let Some(job) = self.queues[w].lock().unwrap().pop_front() {
                 self.decr_pending();
@@ -186,7 +187,7 @@ impl PoolState {
         latch.pending -= 1;
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         self.latch.lock().unwrap().shutdown = true;
         self.wake.notify_all();
     }

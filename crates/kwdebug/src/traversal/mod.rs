@@ -224,6 +224,23 @@ pub fn run_with_workers(
     pa: f64,
     workers: usize,
 ) -> Result<TraversalOutcome, KwError> {
+    run_with_ticket(kind, lattice, pruned, oracle, pa, workers, None)
+}
+
+/// [`run_with_workers`] with an optional cross-session batching ticket:
+/// when one is held, every wave goes through the batched driver
+/// (`crate::batch::run_batched_waves`) so overlapping probes of concurrent
+/// sessions coalesce in flight. The classification outcome is identical
+/// either way; see the `crate::batch` module docs for the argument.
+pub(crate) fn run_with_ticket(
+    kind: StrategyKind,
+    lattice: &Lattice,
+    pruned: &PrunedLattice,
+    oracle: &mut AlivenessOracle<'_>,
+    pa: f64,
+    workers: usize,
+    ticket: Option<&crate::batch::BatchTicket>,
+) -> Result<TraversalOutcome, KwError> {
     let q0 = oracle.stats().queries;
     let t0 = oracle.stats().total_time;
     let m0 = oracle.metrics().snapshot();
@@ -235,7 +252,9 @@ pub fn run_with_workers(
         StrategyKind::ScoreBasedHeuristic => Box::new(sbh::SbhFrontier::new(pruned, pa)),
         StrategyKind::BruteForce => Box::new(brute::BruteFrontier::new(pruned)),
     };
-    if workers > 1 {
+    if let Some(ticket) = ticket {
+        crate::batch::run_batched_waves(lattice, pruned, oracle, frontier.as_mut(), workers, ticket)?;
+    } else if workers > 1 {
         crate::parallel::run_waves(lattice, pruned, oracle, frontier.as_mut(), workers)?;
     } else {
         drive_sequential(lattice, pruned, oracle, frontier.as_mut())?;

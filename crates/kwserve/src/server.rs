@@ -79,6 +79,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use kwdebug::batch::{BatchConfig, WaveExchange};
 use kwdebug::budget::ProbeBudget;
 use kwdebug::debugger::{DebugConfig, NonAnswerDebugger, SharedParts};
 use kwdebug::evalcache::SharedEvalCache;
@@ -143,6 +144,17 @@ pub struct ServeConfig {
     /// LRU bounds residency; tenants can opt out per policy
     /// (`TenantPolicy::private_cache`). See CACHING.md and SERVING.md §7.
     pub shared_cache: Option<SharedCacheConfig>,
+    /// Cross-session batched probing (`None`, the default, keeps every
+    /// session dispatching its own waves). When set, the server creates one
+    /// [`WaveExchange`] and attaches it to each admitted session's debugger:
+    /// concurrent sessions park each probe wave for up to
+    /// `window_us`, duplicate probes (same canonical network on the same
+    /// `(db_id, epoch)` snapshot) are coalesced into a single execution, and
+    /// verdicts fan back to every subscriber in its original dispatch-slot
+    /// order — reports stay byte-identical to unbatched runs. Single-session
+    /// traffic bypasses the exchange entirely (`min_sessions`), so the
+    /// uncontended p50 is untouched. See DESIGN.md §14 and SERVING.md.
+    pub batching: Option<BatchConfig>,
 }
 
 /// Configuration of the process-wide shared evaluation cache
@@ -182,6 +194,7 @@ impl Default for ServeConfig {
             chaos: None,
             debug: DebugConfig::default(),
             shared_cache: None,
+            batching: None,
         }
     }
 }
@@ -207,6 +220,13 @@ impl ServeConfig {
 /// `sessions_admitted == sessions_closed`.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
+    /// Dispatch waves the exchange merged across ≥ 2 parked sessions (gauge,
+    /// refreshed at every Metrics read; 0 when batching is off).
+    pub batch_merged_waves: AtomicU64,
+    /// Per-mille share of parked probes answered by another session's
+    /// in-flight execution: `coalesced * 1000 / submitted` (gauge; 0 when
+    /// batching is off or nothing has been parked).
+    pub batch_coalesce_ratio: AtomicU64,
     /// Connections accepted by the acceptor (excludes the shutdown wake-up).
     pub connections_accepted: AtomicU64,
     /// Connections shed at accept with `Overloaded` (gate at high water).
@@ -265,13 +285,16 @@ impl ServerMetrics {
     /// [`kwdebug::metrics::MetricsSnapshot::to_json`].
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"chaos_faults_injected\":{},\"connections_accepted\":{},\"conns_failed\":{},\
+            "{{\"batch_coalesce_ratio\":{},\"batch_merged_waves\":{},\
+             \"chaos_faults_injected\":{},\"connections_accepted\":{},\"conns_failed\":{},\
              \"deadlines_hit\":{},\"epoch\":{},\"frames_rejected\":{},\"panics_caught\":{},\
              \"probes_executed\":{},\"queries_ok\":{},\"queries_rejected\":{},\
              \"reports_degraded\":{},\"requests_shed\":{},\"sessions_admitted\":{},\
              \"sessions_closed\":{},\"sessions_rejected\":{},\"sessions_shed\":{},\
              \"shared_cache_bytes\":{},\"shared_cache_evictions\":{},\
              \"shared_cache_hits\":{},\"shared_cache_misses\":{}}}",
+            self.batch_coalesce_ratio.load(Ordering::Relaxed),
+            self.batch_merged_waves.load(Ordering::Relaxed),
             self.chaos_faults_injected.load(Ordering::Relaxed),
             self.connections_accepted.load(Ordering::Relaxed),
             self.conns_failed.load(Ordering::Relaxed),
@@ -360,6 +383,9 @@ struct Shared {
     /// The process-wide evaluation cache, when [`ServeConfig::shared_cache`]
     /// is set (also attached inside `parts`; kept here for metrics refresh).
     shared_cache: Option<SharedEvalCache>,
+    /// The cross-session wave exchange, when [`ServeConfig::batching`] is
+    /// set. Cloned into every admitted session's debugger.
+    exchange: Option<Arc<WaveExchange>>,
 }
 
 impl Shared {
@@ -371,6 +397,16 @@ impl Shared {
         self.metrics.shared_cache_evictions.store(cache.evictions(), Ordering::Relaxed);
         self.metrics.shared_cache_hits.store(cache.hits(), Ordering::Relaxed);
         self.metrics.shared_cache_misses.store(cache.misses(), Ordering::Relaxed);
+    }
+
+    /// Mirrors the wave exchange's live counters into [`ServerMetrics`]
+    /// (gauges, overwritten on every refresh). No-op without batching.
+    fn refresh_batch_metrics(&self) {
+        let Some(exchange) = &self.exchange else { return };
+        self.metrics.batch_merged_waves.store(exchange.merged_waves(), Ordering::Relaxed);
+        let submitted = exchange.submitted_probes();
+        let ratio = exchange.coalesced_probes() * 1000 / submitted.max(1);
+        self.metrics.batch_coalesce_ratio.store(ratio, Ordering::Relaxed);
     }
 }
 
@@ -406,6 +442,18 @@ impl Server {
             }
             parts.share_eval_cache(sc.budget_bytes)
         });
+        // The batching knob: one process-wide exchange; handed to every
+        // session at admission. Validate the knobs up front — a degenerate
+        // wave cap should not take a single connection down later.
+        let exchange = match &config.batching {
+            None => None,
+            Some(bc) => {
+                bc.validate().map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+                })?;
+                Some(Arc::new(WaveExchange::new(*bc)))
+            }
+        };
         // Surface config/lattice mismatches now, not per connection.
         NonAnswerDebugger::from_shared(parts.clone(), config.debug)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
@@ -426,6 +474,7 @@ impl Server {
             queue_cv: Condvar::new(),
             config,
             shared_cache,
+            exchange,
         });
         shared.metrics.epoch.store(epoch, Ordering::Relaxed);
         let mut threads = Vec::with_capacity(workers + 1);
@@ -456,6 +505,7 @@ impl Server {
     /// Live server counters (shared-cache gauges refreshed on each call).
     pub fn metrics(&self) -> &ServerMetrics {
         self.shared.refresh_cache_metrics();
+        self.shared.refresh_batch_metrics();
         &self.shared.metrics
     }
 
@@ -463,6 +513,12 @@ impl Server {
     /// [`ServeConfig::shared_cache`] (live counters for benches/dashboards).
     pub fn shared_cache(&self) -> Option<&SharedEvalCache> {
         self.shared.shared_cache.as_ref()
+    }
+
+    /// The cross-session wave exchange, when the server was started with
+    /// [`ServeConfig::batching`] (live gauges for benches/tests).
+    pub fn wave_exchange(&self) -> Option<&Arc<WaveExchange>> {
+        self.shared.exchange.as_ref()
     }
 
     /// The admission registry (for live quota inspection).
@@ -490,6 +546,7 @@ impl Server {
             let _ = handle.join();
         }
         self.shared.refresh_cache_metrics();
+        self.shared.refresh_batch_metrics();
         match Arc::try_unwrap(self.shared) {
             Ok(shared) => shared.metrics,
             Err(_) => ServerMetrics::default(),
@@ -940,6 +997,7 @@ fn serve_connection(stream: TcpStream, conn_index: u64, shared: &Shared) {
                 // `"session"`). Shared-cache gauges are refreshed first so
                 // the wire always carries current residency.
                 shared.refresh_cache_metrics();
+                shared.refresh_batch_metrics();
                 let json = format!(
                     "{{\"server\":{},\"session\":{}}}",
                     shared.metrics.to_json(),
@@ -987,8 +1045,13 @@ fn admit(shared: &Shared, tenant: &str) -> Result<Session, Response> {
     } else {
         shared.parts.clone()
     };
-    let debugger = NonAnswerDebugger::from_shared(parts, config)
+    let mut debugger = NonAnswerDebugger::from_shared(parts, config)
         .map_err(|e| Response::error(ErrorCode::Internal, e.to_string()))?;
+    // Batching: every session of every tenant shares one exchange. The
+    // exchange groups by `(db_id, epoch)`, so even if sessions over distinct
+    // snapshots ever shared a process, their waves could never merge; on
+    // this server Hello.pin_epoch mismatches are refused before admission.
+    debugger.set_wave_exchange(shared.exchange.clone());
     Ok(Session {
         debugger,
         _permit: permit,
@@ -1109,6 +1172,8 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted, "keys must be emitted sorted: {json}");
+        assert!(json.contains("\"batch_coalesce_ratio\":0"));
+        assert!(json.contains("\"batch_merged_waves\":0"));
         assert!(json.contains("\"queries_ok\":3"));
         assert!(json.contains("\"sessions_shed\":0"));
         assert!(json.contains("\"panics_caught\":0"));
@@ -1125,5 +1190,14 @@ mod tests {
         assert_eq!(sc.budget_bytes, Some(64 << 20), "bounded by default");
         assert!(sc.online_pa, "online p_a rides along by default");
         assert!(ServeConfig::default().shared_cache.is_none(), "knob is opt-in");
+    }
+
+    #[test]
+    fn batching_knob_is_opt_in_and_validated_at_start() {
+        assert!(ServeConfig::default().batching.is_none(), "knob is opt-in");
+        let bc = BatchConfig::default();
+        assert!(bc.validate().is_ok(), "defaults are sane");
+        assert!(BatchConfig { max_wave: 0, ..bc }.validate().is_err());
+        assert!(BatchConfig { min_sessions: 0, ..bc }.validate().is_err());
     }
 }

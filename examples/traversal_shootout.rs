@@ -13,6 +13,7 @@ use kws_nonanswer_debug::datagen::{generate_dblife, DblifeConfig};
 use kws_nonanswer_debug::kwdebug::debugger::{DebugConfig, NonAnswerDebugger};
 use kws_nonanswer_debug::kwdebug::mutable::MutableDatabase;
 use kws_nonanswer_debug::kwdebug::traversal::StrategyKind;
+use kws_nonanswer_debug::kwdebug::{BatchConfig, WaveExchange};
 use kws_nonanswer_debug::relengine::Value;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -104,6 +105,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache.bytes()
     );
     println!("(dead-sc = probes answered from an empty cached cut value-set; vc-hit = probes answered from a cached whole-network verdict; no SQL issued for either)");
+
+    // Same shootout with two concurrent sessions merging their probe waves
+    // through a cross-session exchange (kwdebug::batch): every pending probe
+    // is executed by one session and coalesced away by the other, so the
+    // per-session probe + coalesced columns must add back up to the
+    // unbatched baseline — and the reports stay identical.
+    let exchange = std::sync::Arc::new(WaveExchange::new(BatchConfig {
+        window_us: 5_000,
+        ..BatchConfig::default()
+    }));
+    println!("\nwith two sessions batching through one wave exchange:\n");
+    println!(
+        "{:<8} {:>9} {:>9} {:>7} {:>11} {:>11}",
+        "strategy", "s1-probes", "s2-probes", "waves", "s1-coalesce", "s2-coalesce"
+    );
+    for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        let barrier = std::sync::Barrier::new(2);
+        let reports = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let exchange = exchange.clone();
+                    let barrier = &barrier;
+                    let parts = debugger.shared_parts();
+                    s.spawn(move || {
+                        let mut session = NonAnswerDebugger::from_shared(
+                            parts,
+                            DebugConfig {
+                                max_joins: 4,
+                                sample_limit: 0,
+                                strategy: kind,
+                                ..DebugConfig::default()
+                            },
+                        )
+                        .expect("same substrate, same config");
+                        session.set_wave_exchange(Some(exchange));
+                        barrier.wait();
+                        session.debug(query).expect("batched debug run")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("session thread")).collect::<Vec<_>>()
+        });
+        for report in &reports {
+            let signature =
+                (report.answer_count(), report.non_answer_count(), report.mpan_count());
+            assert_eq!(reference, Some(signature), "{kind}: batching changed the output");
+            let p = report.probes();
+            assert_eq!(
+                p.probes_executed + p.coalesced_probes,
+                baseline_probes[i],
+                "{kind}: every skipped probe must be a coalesced one"
+            );
+        }
+        let (p1, p2) = (reports[0].probes(), reports[1].probes());
+        println!(
+            "{:<8} {:>9} {:>9} {:>7} {:>11} {:>11}",
+            kind.name(),
+            p1.probes_executed,
+            p2.probes_executed,
+            p1.batched_waves + p2.batched_waves,
+            p1.coalesced_probes,
+            p2.coalesced_probes,
+        );
+    }
+    println!(
+        "\n{} waves merged, {} of {} submitted probes answered by a peer's execution",
+        exchange.merged_waves(),
+        exchange.coalesced_probes(),
+        exchange.submitted_probes()
+    );
+    println!("(each session is charged for every probe it would have run: executed + coalesced = unbatched probes)");
 
     // Same shootout against a *mutated* database: writes go through the
     // epoch-stamped coordinator, the inverted index is maintained by delta

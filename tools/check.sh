@@ -55,9 +55,12 @@ cargo test --workspace --release -q --test chaos_soak
 echo "==> shared-cache soak (cross-tenant chaos against one store, accounting, pollution)"
 cargo test --workspace --release -q --test shared_cache_soak
 
-echo "==> serving load generator (E16 smoke + E17 overload + E18 warm, results/BENCH_exp_serve.json)"
-./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 --overload --warm \
-    | grep -E "BENCH_JSON|overload p99|fewer probes"
+echo "==> batched probing differential (cross-session waves, budgets, chaos, mid-wave death)"
+cargo test --workspace --release -q --test batch_equivalence
+
+echo "==> serving load generator (E16 smoke + E17 overload + E18 warm + E20 batch, results/BENCH_exp_serve.json)"
+./target/release/exp_serve --scale tiny --sessions 2,8,64 --queries 4 --overload --warm --batch \
+    | grep -E "BENCH_JSON|overload p99|fewer probes|fewer probe executions"
 
 echo "==> SERVING.md wire-spec drift check (tables must match protocol.rs codes)"
 drift=0
